@@ -1,0 +1,106 @@
+//! Shared-memory parallel graph contraction, used by the CPU-parallel
+//! baselines. Produces exactly the same graph as [`cd_graph::contract`].
+
+use crate::scratch::NeighborScratch;
+use cd_graph::{Csr, Partition, VertexId, Weight};
+use rayon::prelude::*;
+
+/// Contracts `g` by `p` in parallel: groups vertices by (renumbered)
+/// community, then merges each community's neighborhood independently.
+pub fn contract_parallel(g: &Csr, p: &Partition) -> (Csr, Partition) {
+    assert_eq!(g.num_vertices(), p.len());
+    let (renum, k) = p.renumbered();
+    let comm = renum.as_slice();
+
+    // Group member vertices by community.
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for (v, &c) in comm.iter().enumerate() {
+        members[c as usize].push(v as VertexId);
+    }
+
+    // Merge each community's adjacency in parallel.
+    let max_deg_sum = members
+        .par_iter()
+        .map(|ms| ms.iter().map(|&v| g.degree(v)).sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    let merged: Vec<Vec<(VertexId, Weight)>> = members
+        .par_iter()
+        .map_init(
+            || NeighborScratch::new(max_deg_sum.max(4)),
+            |scratch, ms| {
+                scratch.begin();
+                for &v in ms {
+                    for (t, w) in g.edges(v) {
+                        scratch.add(comm[t as usize], w);
+                    }
+                }
+                let mut adj: Vec<(VertexId, Weight)> = scratch.iter().collect();
+                adj.sort_unstable_by_key(|&(c, _)| c);
+                adj
+            },
+        )
+        .collect();
+
+    // Assemble the CSR.
+    let mut offsets = Vec::with_capacity(k + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for adj in &merged {
+        acc += adj.len();
+        offsets.push(acc);
+    }
+    let targets: Vec<VertexId> = merged
+        .par_iter()
+        .flat_map_iter(|adj| adj.iter().map(|&(t, _)| t))
+        .collect();
+    let weights: Vec<Weight> = merged
+        .par_iter()
+        .flat_map_iter(|adj| adj.iter().map(|&(_, w)| w))
+        .collect();
+
+    (Csr::from_parts(offsets, targets, weights), renum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_graph::gen::{add_random_edges, cliques, cycle};
+    use cd_graph::{contract, csr_from_edges};
+
+    fn assert_matches_sequential(g: &Csr, p: &Partition) {
+        let (seq, renum_seq) = contract(g, p);
+        let (par, renum_par) = contract_parallel(g, p);
+        assert_eq!(renum_seq.as_slice(), renum_par.as_slice());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matches_sequential_on_cliques() {
+        let g = cliques(4, 5, true);
+        let p = Partition::from_vec((0..20).map(|v| v / 5).collect());
+        assert_matches_sequential(&g, &p);
+    }
+
+    #[test]
+    fn matches_sequential_on_random() {
+        let g = add_random_edges(&cycle(200), 400, 3);
+        for seed in 0..3u32 {
+            let p = Partition::from_vec((0..200u32).map(|v| (v * 7 + seed) % 13).collect());
+            assert_matches_sequential(&g, &p);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_self_loops() {
+        let g = csr_from_edges(4, &[(0, 1, 2.0), (1, 1, 3.0), (2, 3, 1.0), (0, 3, 1.5)]);
+        let p = Partition::from_vec(vec![0, 0, 1, 1]);
+        assert_matches_sequential(&g, &p);
+    }
+
+    #[test]
+    fn identity_partition() {
+        let g = cliques(2, 4, true);
+        assert_matches_sequential(&g, &Partition::singleton(8));
+    }
+}

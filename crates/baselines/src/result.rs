@@ -1,0 +1,48 @@
+//! Shared result types for the baseline algorithms.
+
+use cd_graph::{Dendrogram, Partition};
+use std::time::Duration;
+
+/// Per-stage (one optimize + aggregate round) statistics.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Vertices of the stage's input graph.
+    pub num_vertices: usize,
+    /// Edges of the stage's input graph.
+    pub num_edges: usize,
+    /// Full sweeps of the modularity-optimization phase.
+    pub iterations: usize,
+    /// Modularity at the end of the optimization phase.
+    pub modularity: f64,
+    /// Time spent optimizing.
+    pub opt_time: Duration,
+    /// Time spent aggregating.
+    pub agg_time: Duration,
+}
+
+/// Result of a complete Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// Final communities of the *original* vertices.
+    pub partition: Partition,
+    /// The full clustering hierarchy.
+    pub dendrogram: Dendrogram,
+    /// Modularity of `partition` on the original graph.
+    pub modularity: f64,
+    /// One entry per stage.
+    pub stages: Vec<StageStats>,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl LouvainResult {
+    /// Total time in optimization phases.
+    pub fn opt_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.opt_time).sum()
+    }
+
+    /// Total time in aggregation phases.
+    pub fn agg_time(&self) -> Duration {
+        self.stages.iter().map(|s| s.agg_time).sum()
+    }
+}

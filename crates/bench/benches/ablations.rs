@@ -1,0 +1,57 @@
+//! Ablation benchmarks of the design choices Section 4.1 motivates:
+//! degree-binned vs node-centric thread assignment, shared vs global hash
+//! tables, and per-bucket vs relaxed updates. Wall-clock companion to
+//! `repro ablation` (which also reports model time and lane occupancy).
+
+use cd_core::{louvain_gpu, GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy};
+use cd_gpusim::Device;
+use cd_workloads::{by_name, Scale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    // A heavy-tailed graph (binning matters most) and a uniform mesh.
+    for name in ["uk2002", "audikw"] {
+        let built = by_name(name).unwrap().build(Scale::Tiny);
+        let g = built.graph;
+        let dev = Device::k40m();
+
+        let paper = GpuLouvainConfig::paper_default();
+        group.bench_function(BenchmarkId::new("paper-default", name), |b| {
+            b.iter(|| black_box(louvain_gpu(&dev, &g, &paper).unwrap()));
+        });
+
+        let mut node_centric = GpuLouvainConfig::paper_default();
+        node_centric.assignment = ThreadAssignment::NodeCentric;
+        group.bench_function(BenchmarkId::new("node-centric", name), |b| {
+            b.iter(|| black_box(louvain_gpu(&dev, &g, &node_centric).unwrap()));
+        });
+
+        let mut global_hash = GpuLouvainConfig::paper_default();
+        global_hash.hash_placement = HashPlacement::ForceGlobal;
+        group.bench_function(BenchmarkId::new("global-hash", name), |b| {
+            b.iter(|| black_box(louvain_gpu(&dev, &g, &global_hash).unwrap()));
+        });
+
+        let mut relaxed = GpuLouvainConfig::paper_default();
+        relaxed.update_strategy = UpdateStrategy::Relaxed;
+        group.bench_function(BenchmarkId::new("relaxed-updates", name), |b| {
+            b.iter(|| black_box(louvain_gpu(&dev, &g, &relaxed).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the device primitives the paper's kernels are built
+//! from: hash-table accumulation (the inner loop of `computeMove` /
+//! `mergeCommunity`), the Thrust-style collectives, and atomic memory
+//! operations. These isolate the costs behind every table/figure.
+
+use cd_core::hashtable::{TableSpace, TableStorage};
+use cd_core::primes::table_size_for;
+use cd_gpusim::{BlockCounters, Device, DeviceConfig, GlobalF64, GroupCtx};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hash_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_insert");
+    for &deg in &[8usize, 84, 1024] {
+        let slots = table_size_for(deg);
+        // Pseudo-random community keys with ~50% duplicates, like a
+        // half-converged neighborhood.
+        let keys: Vec<u32> = (0..deg as u32).map(|i| (i * 2654435761) % (deg as u32 / 2 + 1)).collect();
+        for space in [TableSpace::Shared, TableSpace::Global] {
+            let label = format!("{space:?}/deg{deg}");
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let mut storage = TableStorage::with_capacity(slots);
+                let mut counters = BlockCounters::default();
+                b.iter(|| {
+                    let mut ctx = GroupCtx::new(0, 32, &mut counters);
+                    let mut t = storage.table(slots, space);
+                    t.reset(&mut ctx);
+                    for &k in &keys {
+                        t.insert_add(&mut ctx, k, 1.0);
+                    }
+                    black_box(t.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_thrust(c: &mut Criterion) {
+    let dev = Device::new(DeviceConfig::tesla_k40m());
+    let mut group = c.benchmark_group("thrust");
+    let n = 100_000usize;
+    let data: Vec<usize> = (0..n).map(|i| i % 17).collect();
+    group.bench_function("exclusive_scan_100k", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            black_box(dev.exclusive_scan_usize(&mut v))
+        });
+    });
+    let items: Vec<u32> = (0..n as u32).collect();
+    group.bench_function("partition_100k", |b| {
+        b.iter(|| black_box(dev.partition(&items, |&x| x % 3 == 0)));
+    });
+    let f: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    group.bench_function("reduce_sum_100k", |b| {
+        b.iter(|| black_box(dev.reduce_sum_f64(&f)));
+    });
+    group.finish();
+}
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomics");
+    let buf = GlobalF64::zeroed(1024);
+    let mut counters = BlockCounters::default();
+    group.bench_function("f64_atomic_add_spread", |b| {
+        b.iter(|| {
+            let mut ctx = GroupCtx::new(0, 32, &mut counters);
+            for i in 0..1024usize {
+                ctx.atomic_add_f64(&buf, i, 1.0);
+            }
+        });
+    });
+    group.bench_function("f64_atomic_add_contended_cell", |b| {
+        b.iter(|| {
+            let mut ctx = GroupCtx::new(0, 32, &mut counters);
+            for _ in 0..1024usize {
+                ctx.atomic_add_f64(&buf, 0, 1.0);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hash_insert, bench_thrust, bench_atomics
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|medium|large] [--out DIR]
+//!
+//! experiments:
+//!   table1    graphs, sequential vs GPU times and modularity
+//!   fig1-2    threshold grid: relative modularity and speedup
+//!   fig3-4    speedup vs original and adaptive sequential
+//!   fig5-6    per-stage breakdown (road network, KKT graph)
+//!   fig7      GPU vs CPU-parallel (OpenMP-style) Louvain
+//!   relaxed   relaxed vs per-bucket community updates
+//!   plm       comparison with PLM on the four common graphs
+//!   teps      first-iteration traversed-edges-per-second rates
+//!   profile   kernel utilization counters (nvprof analogue)
+//!   ablation  degree binning & hash placement ablations
+//!   buckets   degree-bucket census of the workloads (Section 4.1)
+//!   multigpu  coarse-grained multi-device extension (Section 6)
+//!   schedule  multi-level threshold schedules (Section 6)
+//!   all       everything above
+//! ```
+
+use cd_bench::experiments;
+use cd_workloads::Scale;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_help();
+        return;
+    }
+    let experiment = args[0].as_str();
+    let mut scale = Scale::Small;
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
+                scale = Scale::parse(v).unwrap_or_else(|| die("scale must be tiny|small|medium|large"));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a value")));
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    println!("# repro: experiment={experiment} scale={scale:?} out={}", out.display());
+    let t0 = std::time::Instant::now();
+    match experiment {
+        "table1" => experiments::table1(scale, &out),
+        "fig1-2" => experiments::fig1_2(scale, &out),
+        "fig3-4" => experiments::fig3_4(scale, &out),
+        "fig5-6" => experiments::fig5_6(scale, &out),
+        "fig7" => experiments::fig7(scale, &out),
+        "relaxed" => experiments::relaxed(scale, &out),
+        "plm" => experiments::plm(scale, &out),
+        "teps" => experiments::teps(scale, &out),
+        "profile" => experiments::profile(scale, &out),
+        "ablation" => experiments::ablation(scale, &out),
+        "buckets" => experiments::buckets(scale, &out),
+        "multigpu" => experiments::multigpu(scale, &out),
+        "schedule" => experiments::schedule(scale, &out),
+        "all" => {
+            experiments::table1(scale, &out);
+            experiments::fig1_2(scale, &out);
+            experiments::fig3_4(scale, &out);
+            experiments::fig5_6(scale, &out);
+            experiments::fig7(scale, &out);
+            experiments::relaxed(scale, &out);
+            experiments::plm(scale, &out);
+            experiments::teps(scale, &out);
+            experiments::profile(scale, &out);
+            experiments::ablation(scale, &out);
+            experiments::buckets(scale, &out);
+            experiments::multigpu(scale, &out);
+            experiments::schedule(scale, &out);
+        }
+        other => die(&format!("unknown experiment '{other}'")),
+    }
+    println!("\n# done in {:?}", t0.elapsed());
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR]\n\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, all\n\
+         default scale: small; outputs CSVs under DIR (default ./results)"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    print_help();
+    std::process::exit(2);
+}

@@ -1,0 +1,648 @@
+//! One function per table/figure of the paper's evaluation (Section 5).
+//! Each prints the rows/series the paper reports and saves them as CSV.
+
+use crate::report::{f4, ratio, secs, Table};
+use crate::runner::{run_cpu_parallel, run_gpu, run_plm, run_seq, run_seq_adaptive};
+use cd_core::{GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy};
+use cd_workloads::{by_name, BuiltWorkload, Scale, WorkloadSpec, SUITE};
+use std::path::Path;
+
+/// Workload subset used by the threshold sweep and comparison experiments
+/// (one representative per family, to bound runtime).
+fn comparison_subset() -> Vec<&'static WorkloadSpec> {
+    ["orkut", "uk2002", "audikw", "nlpkkt", "rgg-sparse", "road-usa", "com-dblp", "copapers"]
+        .iter()
+        .map(|n| by_name(n).expect("workload"))
+        .collect()
+}
+
+fn build(spec: &WorkloadSpec, scale: Scale) -> BuiltWorkload {
+    spec.build(scale)
+}
+
+/// The paper's adaptive switch sits at 100k vertices, *below every graph in
+/// its collection* — i.e. every first stage ran under `th_bin`. Our
+/// workloads are scaled down, so the limit scales with them to preserve that
+/// regime (first stages coarse, contracted stages fine).
+fn size_limit(scale: Scale) -> usize {
+    1000 * scale.factor()
+}
+
+/// The paper-default GPU configuration with the scale-adjusted size limit.
+fn gpu_cfg(scale: Scale) -> GpuLouvainConfig {
+    let mut cfg = GpuLouvainConfig::paper_default();
+    cfg.size_limit = size_limit(scale);
+    cfg
+}
+
+/// Table 1: the workload collection with sequential and GPU running times.
+pub fn table1(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        format!("Table 1 — graphs and running times (scale: {scale:?})"),
+        &["graph", "family", "|V|", "|E|", "seq[s]", "gpu-model[s]", "gpu-host[s]", "Q-seq", "Q-gpu", "speedup(model)"],
+    );
+    let mut speedups = Vec::new();
+    let mut rel_q = Vec::new();
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let seq = run_seq(g);
+        let gpu = run_gpu(g, &gpu_cfg(scale));
+        let speedup = seq.total_time.as_secs_f64() / gpu.model_seconds;
+        speedups.push(speedup);
+        if seq.modularity > 0.0 {
+            rel_q.push(gpu.result.modularity / seq.modularity);
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:?}", spec.family),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            secs(seq.total_time),
+            format!("{:.4}", gpu.model_seconds),
+            secs(gpu.host_time),
+            f4(seq.modularity),
+            f4(gpu.result.modularity),
+            ratio(speedup),
+        ]);
+    }
+    t.print();
+    let gmean = geometric_mean(&speedups);
+    let avg_rel = rel_q.iter().sum::<f64>() / rel_q.len() as f64;
+    println!(
+        "summary: speedup(model) min {} / geo-mean {} / max {}; avg Q(gpu)/Q(seq) = {:.3}",
+        ratio(speedups.iter().copied().fold(f64::INFINITY, f64::min)),
+        ratio(gmean),
+        ratio(speedups.iter().copied().fold(0.0, f64::max)),
+        avg_rel,
+    );
+    println!("paper: speedups 2.7x-312x (avg 41.7x) vs original sequential; modularity within 2%.");
+    let _ = t.save_csv(out, "table1");
+}
+
+/// Figs. 1 & 2: modularity and speedup over the (th_bin, th_final) grid.
+pub fn fig1_2(scale: Scale, out: &Path) {
+    let th_bins = [1e-1, 1e-2, 1e-3, 1e-4];
+    let th_finals = [1e-3, 1e-4, 1e-5, 1e-6, 1e-7];
+    let subset = comparison_subset();
+    let builds: Vec<BuiltWorkload> = subset.iter().map(|s| build(s, scale)).collect();
+    let seq_q: Vec<f64> = builds.iter().map(|b| run_seq(&b.graph).modularity).collect();
+
+    // One run per (graph, config); collect modularity and model time.
+    let mut q_grid = vec![vec![vec![0.0f64; builds.len()]; th_finals.len()]; th_bins.len()];
+    let mut t_grid = vec![vec![vec![0.0f64; builds.len()]; th_finals.len()]; th_bins.len()];
+    for (bi, &tb) in th_bins.iter().enumerate() {
+        for (fi, &tf) in th_finals.iter().enumerate() {
+            for (gi, b) in builds.iter().enumerate() {
+                let run = run_gpu(&b.graph, &{
+                    let mut c = GpuLouvainConfig::with_thresholds(tb, tf);
+                    c.size_limit = size_limit(scale);
+                    c
+                });
+                q_grid[bi][fi][gi] = run.result.modularity;
+                t_grid[bi][fi][gi] = run.model_seconds;
+            }
+        }
+    }
+
+    // Fig. 1: average relative modularity per config.
+    let mut t1 = Table::new(
+        format!("Fig. 1 — avg modularity relative to sequential, % (scale: {scale:?})"),
+        &[&"th_bin \\ th_final".to_string()]
+            .into_iter()
+            .map(|s| s.as_str())
+            .chain(th_finals.iter().map(|f| leak(format!("{f:.0e}"))))
+            .collect::<Vec<_>>(),
+    );
+    for (bi, &tb) in th_bins.iter().enumerate() {
+        let mut row = vec![format!("{tb:.0e}")];
+        for fi in 0..th_finals.len() {
+            let avg: f64 = (0..builds.len())
+                .map(|gi| q_grid[bi][fi][gi] / seq_q[gi].max(1e-12))
+                .sum::<f64>()
+                / builds.len() as f64;
+            row.push(format!("{:.2}", 100.0 * avg));
+        }
+        t1.row(row);
+    }
+    t1.print();
+    println!("paper: never more than 2% below sequential; decreases as thresholds loosen.");
+    let _ = t1.save_csv(out, "fig1_modularity_grid");
+
+    // Fig. 2: speedup relative to the best configuration per graph.
+    let mut best_t: Vec<f64> = vec![f64::INFINITY; builds.len()];
+    for bi in 0..th_bins.len() {
+        for fi in 0..th_finals.len() {
+            for gi in 0..builds.len() {
+                best_t[gi] = best_t[gi].min(t_grid[bi][fi][gi]);
+            }
+        }
+    }
+    let mut t2 = Table::new(
+        format!("Fig. 2 — avg speedup relative to best config, % (scale: {scale:?})"),
+        &[&"th_bin \\ th_final".to_string()]
+            .into_iter()
+            .map(|s| s.as_str())
+            .chain(th_finals.iter().map(|f| leak(format!("{f:.0e}"))))
+            .collect::<Vec<_>>(),
+    );
+    for (bi, &tb) in th_bins.iter().enumerate() {
+        let mut row = vec![format!("{tb:.0e}")];
+        for fi in 0..th_finals.len() {
+            let avg: f64 = (0..builds.len())
+                .map(|gi| best_t[gi] / t_grid[bi][fi][gi])
+                .sum::<f64>()
+                / builds.len() as f64;
+            row.push(format!("{:.1}", 100.0 * avg));
+        }
+        t2.row(row);
+    }
+    t2.print();
+    println!("paper: speedup critically depends on th_bin (higher = faster); chosen (1e-2, 1e-6) keeps >99% modularity at ~63% of best speedup.");
+    let _ = t2.save_csv(out, "fig2_speedup_grid");
+}
+
+/// Figs. 3 & 4: GPU speedup vs the original and the adaptive sequential
+/// algorithm.
+pub fn fig3_4(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        format!("Figs. 3 & 4 — GPU speedup vs sequential variants (scale: {scale:?})"),
+        &["graph", "seq-orig[s]", "seq-adapt[s]", "gpu-model[s]", "fig3: vs orig", "fig4: vs adapt", "Q-orig", "Q-adapt", "Q-gpu"],
+    );
+    let (mut s3, mut s4, mut adapt_speed, mut q_drop) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let orig = run_seq(g);
+        let adapt = run_seq_adaptive(g, size_limit(scale));
+        let gpu = run_gpu(g, &gpu_cfg(scale));
+        let sp3 = orig.total_time.as_secs_f64() / gpu.model_seconds;
+        let sp4 = adapt.total_time.as_secs_f64() / gpu.model_seconds;
+        s3.push(sp3);
+        s4.push(sp4);
+        adapt_speed.push(orig.total_time.as_secs_f64() / adapt.total_time.as_secs_f64().max(1e-12));
+        if orig.modularity > 0.0 {
+            q_drop.push(adapt.modularity / orig.modularity);
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            secs(orig.total_time),
+            secs(adapt.total_time),
+            format!("{:.4}", gpu.model_seconds),
+            ratio(sp3),
+            ratio(sp4),
+            f4(orig.modularity),
+            f4(adapt.modularity),
+            f4(gpu.result.modularity),
+        ]);
+    }
+    t.print();
+    println!(
+        "summary: fig3 speedup geo-mean {} (paper: avg 41.7x, range 2.7-312x); fig4 geo-mean {} (paper: avg 6.7x, range 1-27x)",
+        ratio(geometric_mean(&s3)),
+        ratio(geometric_mean(&s4))
+    );
+    println!(
+        "adaptive sequential vs original: geo-mean {} faster (paper: avg 7.3x), avg modularity ratio {:.4} (paper: -0.13%)",
+        ratio(geometric_mean(&adapt_speed)),
+        q_drop.iter().sum::<f64>() / q_drop.len() as f64
+    );
+    let _ = t.save_csv(out, "fig3_4_speedups");
+}
+
+/// Figs. 5 & 6: per-stage time breakdown on a road network and a KKT graph.
+pub fn fig5_6(scale: Scale, out: &Path) {
+    for (fig, name) in [("Fig. 5", "road-usa"), ("Fig. 6", "nlpkkt")] {
+        let spec = by_name(name).unwrap();
+        let built = build(spec, scale);
+        let gpu = run_gpu(&built.graph, &gpu_cfg(scale));
+        let mut t = Table::new(
+            format!("{fig} — per-stage breakdown on {name} (scale: {scale:?})"),
+            &["stage", "|V|", "arcs", "iters", "opt[s]", "agg[s]", "Q"],
+        );
+        for (i, s) in gpu.result.stages.iter().enumerate() {
+            t.row(vec![
+                (i + 1).to_string(),
+                s.num_vertices.to_string(),
+                s.num_arcs.to_string(),
+                s.iterations.to_string(),
+                secs(s.opt_time),
+                secs(s.agg_time),
+                f4(s.modularity),
+            ]);
+        }
+        t.print();
+        let opt: f64 = gpu.result.opt_time().as_secs_f64();
+        let agg: f64 = gpu.result.agg_time().as_secs_f64();
+        println!(
+            "optimization/aggregation split: {:.0}% / {:.0}% (paper: ~70% / 30%)",
+            100.0 * opt / (opt + agg),
+            100.0 * agg / (opt + agg)
+        );
+        if name == "nlpkkt" {
+            println!("paper: nlpkkt-style graphs stall for a few stages before the graph collapses (weak initial community structure).");
+        } else {
+            println!("paper: typical profile — expensive first stage, long cheap tail.");
+        }
+        let _ = t.save_csv(out, &format!("fig5_6_{name}"));
+    }
+}
+
+/// Fig. 7: GPU vs the fine-grained CPU-parallel (OpenMP-style) baseline,
+/// plus the first-iteration hashing-rate comparison.
+pub fn fig7(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        format!("Fig. 7 — GPU vs CPU-parallel Louvain (scale: {scale:?})"),
+        &["graph", "cpu-par[s]", "gpu-model[s]", "speedup", "Q-cpu", "Q-gpu", "hash-rate ratio"],
+    );
+    let mut speeds = Vec::new();
+    let mut hash_ratios = Vec::new();
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let cpu = run_cpu_parallel(g);
+        let gpu = run_gpu(g, &gpu_cfg(scale));
+        let sp = cpu.total_time.as_secs_f64() / gpu.model_seconds;
+        speeds.push(sp);
+        // First-iteration hashing rate: both algorithms hash all 2|E| edges
+        // once in their first sweep.
+        let cpu_first = cpu.stages.first().map(|s| s.opt_time.as_secs_f64() / s.iterations.max(1) as f64);
+        let gpu_first = gpu.result.stages.first().and_then(|s| s.iter_times.first()).map(|d| d.as_secs_f64());
+        let gpu_first_model = gpu_first.map(|h| {
+            h / gpu.host_time.as_secs_f64().max(1e-12) * gpu.model_seconds
+        });
+        let hr = match (cpu_first, gpu_first_model) {
+            (Some(c), Some(gm)) if gm > 0.0 => c / gm,
+            _ => f64::NAN,
+        };
+        if hr.is_finite() {
+            hash_ratios.push(hr);
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            secs(cpu.total_time),
+            format!("{:.4}", gpu.model_seconds),
+            ratio(sp),
+            f4(cpu.modularity),
+            f4(gpu.result.modularity),
+            if hr.is_finite() { ratio(hr) } else { "-".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "summary: speedup geo-mean {} (paper: avg 6.1x, range 1.1-27x); first-iteration hashing geo-mean {} faster (paper: ~9x)",
+        ratio(geometric_mean(&speeds)),
+        ratio(geometric_mean(&hash_ratios)),
+    );
+    let _ = t.save_csv(out, "fig7_vs_openmp");
+}
+
+/// Section 5 text: the relaxed-update experiment.
+pub fn relaxed(scale: Scale, out: &Path) {
+    let subset = comparison_subset();
+    let mut t = Table::new(
+        format!("Relaxed vs per-bucket updates (scale: {scale:?})"),
+        &["graph", "Q-bucket", "Q-relaxed", "Q ratio", "t-bucket(model)", "t-relaxed(model)", "slowdown", "stages b/r"],
+    );
+    let mut ratios = Vec::new();
+    for spec in subset {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let bucketed = run_gpu(g, &gpu_cfg(scale));
+        let mut cfg = gpu_cfg(scale);
+        cfg.update_strategy = UpdateStrategy::Relaxed;
+        let relaxed = run_gpu(g, &cfg);
+        let qr = relaxed.result.modularity / bucketed.result.modularity.max(1e-12);
+        ratios.push(qr);
+        t.row(vec![
+            spec.name.to_string(),
+            f4(bucketed.result.modularity),
+            f4(relaxed.result.modularity),
+            format!("{qr:.4}"),
+            format!("{:.4}", bucketed.model_seconds),
+            format!("{:.4}", relaxed.model_seconds),
+            ratio(relaxed.model_seconds / bucketed.model_seconds.max(1e-12)),
+            format!("{}/{}", bucketed.result.stages.len(), relaxed.result.stages.len()),
+        ]);
+    }
+    t.print();
+    println!(
+        "avg modularity ratio relaxed/bucketed: {:.4} (paper: difference < 0.13%; relaxed sometimes up to 10x slower)",
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    );
+    let _ = t.save_csv(out, "relaxed_updates");
+}
+
+/// Section 5 text: comparison with PLM on the four common graphs.
+pub fn plm(scale: Scale, out: &Path) {
+    let names = ["copapers", "livejournal", "europe-osm", "uk2002"];
+    let mut t = Table::new(
+        format!("PLM comparison (paper: coPapersDBLP, soc-LiveJournal1, europe_osm, uk-2002; scale: {scale:?})"),
+        &["graph", "plm[s]", "gpu-model[s]", "speedup", "Q-plm", "Q-gpu"],
+    );
+    let mut speeds = Vec::new();
+    let mut qs = Vec::new();
+    for name in names {
+        let spec = by_name(name).unwrap();
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let plm = run_plm(g);
+        let gpu = run_gpu(g, &gpu_cfg(scale));
+        let sp = plm.total_time.as_secs_f64() / gpu.model_seconds;
+        speeds.push(sp);
+        if plm.modularity > 0.0 {
+            qs.push(gpu.result.modularity / plm.modularity);
+        }
+        t.row(vec![
+            name.to_string(),
+            secs(plm.total_time),
+            format!("{:.4}", gpu.model_seconds),
+            ratio(sp),
+            f4(plm.modularity),
+            f4(gpu.result.modularity),
+        ]);
+    }
+    t.print();
+    println!(
+        "summary: geo-mean speedup {} (paper: 1.3-4.6x, avg 2.7x); avg modularity ratio {:.4} (paper: <0.2% apart)",
+        ratio(geometric_mean(&speeds)),
+        qs.iter().sum::<f64>() / qs.len() as f64
+    );
+    let _ = t.save_csv(out, "plm_comparison");
+}
+
+/// Section 5 text: TEPS rates of the first modularity-optimization iteration.
+pub fn teps(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        format!("TEPS — first-iteration edge-hashing rate (scale: {scale:?})"),
+        &["graph", "arcs", "model GTEPS"],
+    );
+    let mut best = (0.0f64, "");
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let gpu = run_gpu(&built.graph, &gpu_cfg(scale));
+        let gteps = gpu.model_teps() / 1e9;
+        if gteps > best.0 {
+            best = (gteps, spec.name);
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            built.graph.num_arcs().to_string(),
+            format!("{gteps:.4}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "max model rate: {:.3} GTEPS on {} (paper: 0.225 GTEPS on channel-500; Blue Gene/Q with 524,288 threads: 1.54 GTEPS, <7x higher)",
+        best.0, best.1
+    );
+    let _ = t.save_csv(out, "teps");
+}
+
+/// Section 5 text: hardware-utilization profile (active lanes per warp).
+pub fn profile(scale: Scale, out: &Path) {
+    let spec = by_name("uk2002").unwrap();
+    let built = build(spec, scale);
+    let gpu = run_gpu(&built.graph, &gpu_cfg(scale));
+    let mut t = Table::new(
+        format!("Profile — kernel utilization on uk2002 analogue (scale: {scale:?})"),
+        &["kernel", "launches", "blocks", "active-lane %", "occupancy %", "eligible warps", "atomics", "global txns"],
+    );
+    let dev_cfg = &gpu.device_config;
+    for (name, k) in gpu.metrics.kernels() {
+        if k.counters.lane_slots == 0 {
+            continue;
+        }
+        t.row(vec![
+            name.clone(),
+            k.launches.to_string(),
+            k.blocks.to_string(),
+            format!("{:.1}", 100.0 * k.active_lane_fraction()),
+            format!("{:.0}", 100.0 * k.occupancy(dev_cfg)),
+            format!("{:.1}", k.eligible_warps_per_scheduler(dev_cfg)),
+            (k.counters.atomic_adds + k.counters.cas_ops).to_string(),
+            k.counters.global_transactions.to_string(),
+        ]);
+    }
+    t.print();
+    let total = gpu.metrics.total();
+    // Work-weighted eligible-warps average over the computeMove kernels (the
+    // paper's 3.4 figure is measured over the whole run on uk-2002).
+    let (mut weighted, mut weight) = (0.0, 0.0);
+    for (name, k) in gpu.metrics.kernels() {
+        if name.starts_with("compute_move") && k.counters.lane_slots > 0 {
+            let w = k.counters.lane_slots as f64;
+            weighted += w * k.eligible_warps_per_scheduler(dev_cfg);
+            weight += w;
+        }
+    }
+    println!(
+        "overall active-lane fraction: {:.1}% (paper reports 62.5% on uk-2002; the simulator's strided model is an upper bound — it does not model intra-probe divergence)",
+        100.0 * total.active_lane_fraction()
+    );
+    if weight > 0.0 {
+        println!(
+            "work-weighted eligible warps/scheduler in computeMove: {:.1} (paper: 3.4; ours is the occupancy-based upper bound)",
+            weighted / weight
+        );
+    }
+    let _ = t.save_csv(out, "profile_uk2002");
+}
+
+/// Ablations: degree-binned vs node-centric assignment and shared vs global
+/// hash placement (the design choices Section 4.1 motivates).
+pub fn ablation(scale: Scale, out: &Path) {
+    let names = ["orkut", "uk2002", "hollywood", "road-usa"];
+    let mut t = Table::new(
+        format!("Ablation — thread assignment, hash placement, pruning (scale: {scale:?})"),
+        &["graph", "binned[s]", "node-centric[s]", "nc slowdown", "nc active %", "global-hash[s]", "gh slowdown", "pruned[s]", "pruning speedup", "pruned Q ratio"],
+    );
+    for name in names {
+        let spec = by_name(name).unwrap();
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let binned = run_gpu(g, &gpu_cfg(scale));
+
+        let mut nc_cfg = gpu_cfg(scale);
+        nc_cfg.assignment = ThreadAssignment::NodeCentric;
+        let nc = run_gpu(g, &nc_cfg);
+        let nc_active = nc
+            .metrics
+            .kernel("compute_move_node_centric")
+            .map(|k| 100.0 * k.active_lane_fraction())
+            .unwrap_or(0.0);
+
+        let mut gh_cfg = gpu_cfg(scale);
+        gh_cfg.hash_placement = HashPlacement::ForceGlobal;
+        let gh = run_gpu(g, &gh_cfg);
+
+        let mut pr_cfg = gpu_cfg(scale);
+        pr_cfg.pruning = true;
+        let pr = run_gpu(g, &pr_cfg);
+
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", binned.model_seconds),
+            format!("{:.4}", nc.model_seconds),
+            ratio(nc.model_seconds / binned.model_seconds.max(1e-12)),
+            format!("{nc_active:.1}"),
+            format!("{:.4}", gh.model_seconds),
+            ratio(gh.model_seconds / binned.model_seconds.max(1e-12)),
+            format!("{:.4}", pr.model_seconds),
+            ratio(binned.model_seconds / pr.model_seconds.max(1e-12)),
+            format!("{:.4}", pr.result.modularity / binned.result.modularity.max(1e-12)),
+        ]);
+    }
+    t.print();
+    println!("expected: node-centric loses most on heavy-tailed graphs (low active-lane %); global hashing costs a constant factor everywhere (shared memory ~ L1 speed, per the paper); pruning (extension) trims late-iteration work at ~equal quality.");
+    let _ = t.save_csv(out, "ablation");
+}
+
+/// Section 4.1 motivation data: the degree-bucket census of every workload —
+/// how many vertices (and edges) each of the seven `computeMove` buckets
+/// receives, i.e. why one thread-group width cannot fit all graphs.
+pub fn buckets(scale: Scale, out: &Path) {
+    use cd_graph::bucket_of_degree;
+    let mut t = Table::new(
+        format!("Degree-bucket census (scale: {scale:?})"),
+        &["graph", "b1[1-4]", "b2[5-8]", "b3[9-16]", "b4[17-32]", "b5[33-84]", "b6[85-319]", "b7[320+]", "edge share b5-7 %"],
+    );
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let mut verts = [0usize; 7];
+        let mut edges = [0usize; 7];
+        for v in 0..g.num_vertices() as u32 {
+            let d = g.degree(v);
+            if d == 0 {
+                continue;
+            }
+            let b = bucket_of_degree(d);
+            verts[b] += 1;
+            edges[b] += d;
+        }
+        let total_edges: usize = edges.iter().sum();
+        let heavy_share = if total_edges == 0 {
+            0.0
+        } else {
+            100.0 * (edges[4] + edges[5] + edges[6]) as f64 / total_edges as f64
+        };
+        let mut row = vec![spec.name.to_string()];
+        row.extend(verts.iter().map(|v| v.to_string()));
+        row.push(format!("{heavy_share:.1}"));
+        t.row(row);
+    }
+    t.print();
+    println!("the paper's load-balance argument: on heavy-tailed graphs most vertices sit in the subwarp buckets while a large share of *edges* belongs to the warp/block buckets — one thread per vertex starves either side.");
+    let _ = t.save_csv(out, "buckets");
+}
+
+/// Extension (paper Section 6): the single-GPU algorithm as a building block
+/// for coarse-grained multi-device Louvain. Reproduces the up-to-9%
+/// modularity loss the paper's related-work section attributes to the
+/// multi-GPU scheme of Cheong et al.
+pub fn multigpu(scale: Scale, out: &Path) {
+    use cd_core::{louvain_multi_gpu, MultiGpuConfig};
+    let names = ["orkut", "com-dblp", "road-usa"];
+    let mut t = Table::new(
+        format!("Extension — coarse-grained multi-device Louvain (scale: {scale:?})"),
+        &["graph", "devices", "Q", "Q vs 1-device", "cut weight %", "merged |V|"],
+    );
+    for name in names {
+        let built = build(by_name(name).unwrap(), scale);
+        let g = &built.graph;
+        let mut base_q = 0.0;
+        for d in [1usize, 2, 4, 8] {
+            let mut cfg = MultiGpuConfig::k40m(d);
+            cfg.gpu = gpu_cfg(scale);
+            let res = louvain_multi_gpu(g, &cfg).expect("multi-gpu run");
+            if d == 1 {
+                base_q = res.modularity;
+            }
+            t.row(vec![
+                name.to_string(),
+                d.to_string(),
+                f4(res.modularity),
+                format!("{:.2}%", 100.0 * res.modularity / base_q.max(1e-12)),
+                // Each cut edge is seen from both sides, so halve the sum.
+                format!("{:.2}", 100.0 * (res.cut_weight * 0.5) / g.total_weight_m()),
+                res.merged_vertices.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("paper (related work, Cheong et al. multi-GPU): up to 9% modularity loss from partition-blind local phases.");
+    println!("note: loss tracks the cut fraction — orkut's LFR stand-in shuffles vertex ids (worst case for block partitioning), road/planted graphs keep locality (mild loss, as on real collections).");
+    let _ = t.save_csv(out, "multigpu");
+}
+
+/// Extension (paper Section 6): "even more threshold values for varying
+/// sizes of graphs" — a geometric multi-level schedule against the paper's
+/// two-level scheme.
+pub fn schedule(scale: Scale, out: &Path) {
+    use cd_core::{louvain_gpu_with_schedule, ThresholdSchedule};
+    use cd_gpusim::{Device, DeviceConfig};
+    let subset = comparison_subset();
+    let mut t = Table::new(
+        format!("Extension — multi-level threshold schedules (scale: {scale:?})"),
+        &["graph", "Q 2-level", "Q 4-level", "t 2-level(model)", "t 4-level(model)", "time ratio"],
+    );
+    for spec in subset {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let cfg = gpu_cfg(scale);
+        let limit = size_limit(scale);
+        let run = |sched: &ThresholdSchedule| {
+            let dev = Device::new(DeviceConfig::tesla_k40m());
+            let res = louvain_gpu_with_schedule(&dev, g, &cfg, sched).unwrap();
+            let m = dev.metrics();
+            let model = dev.config().cycles_to_seconds(m.total_model_cycles(dev.config()));
+            (res.modularity, model)
+        };
+        let two = run(&ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, limit));
+        let four = run(&ThresholdSchedule::geometric(
+            cfg.threshold_bin,
+            cfg.threshold_final,
+            limit,
+            3,
+        ));
+        t.row(vec![
+            spec.name.to_string(),
+            f4(two.0),
+            f4(four.0),
+            format!("{:.4}", two.1),
+            format!("{:.4}", four.1),
+            ratio(four.1 / two.1.max(1e-12)),
+        ]);
+    }
+    t.print();
+    println!("paper: suggests graded thresholds as future work; expected shape — similar quality, smoother time/quality trade.");
+    let _ = t.save_csv(out, "schedule");
+}
+
+fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn subset_resolves() {
+        assert!(!comparison_subset().is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! The aggregation (contraction) phase — Algorithm 3 of the paper.
+//!
+//! Four sub-tasks, all on device:
+//!
+//! 1. community sizes and degree-sum upper bounds (`comSize`, `comDegree`)
+//!    via atomic accumulation;
+//! 2. a consecutive numbering of the non-empty communities (`newID`) via a
+//!    prefix sum;
+//! 3. storage layout for the new graph (`edgePos`, `vertexStart`) via prefix
+//!    sums, plus the `com` array ordering vertices by community;
+//! 4. `mergeCommunity` per community — bucketed by expected work exactly like
+//!    `computeMove` — hashing every member's neighbor communities, then
+//!    compacting the resulting edge lists into the final CSR.
+
+use crate::config::{GpuLouvainConfig, HashPlacement, AGG_BUCKETS};
+use crate::dev_graph::DeviceGraph;
+use crate::hashtable::{TableSpace, TableStorage};
+use crate::primes::table_size_for;
+use cd_gpusim::{Device, GlobalF64, GlobalU32, GlobalU64};
+
+/// Output of the aggregation phase.
+#[derive(Clone, Debug)]
+pub struct AggregateOutcome {
+    /// The contracted graph.
+    pub graph: DeviceGraph,
+    /// For every *old* vertex, the id of the new vertex (renumbered
+    /// community) it was merged into — one dendrogram level.
+    pub vertex_map: Vec<u32>,
+}
+
+/// Contracts `g` under the community labeling `comm`.
+pub fn aggregate(
+    dev: &Device,
+    g: &DeviceGraph,
+    comm: &[u32],
+    cfg: &GpuLouvainConfig,
+) -> AggregateOutcome {
+    let n = g.num_vertices();
+    assert_eq!(comm.len(), n);
+    // Alg. 3 sizes comSize/comDegree/newID by the vertex count: community
+    // ids are vertex ids (every phase starts from the singleton partition),
+    // so they are always < n.
+    assert!(
+        comm.iter().all(|&c| (c as usize) < n),
+        "community ids must be < |V| (Louvain labels communities by vertex id)"
+    );
+    if n == 0 {
+        return AggregateOutcome {
+            graph: DeviceGraph::from_parts(vec![0], Vec::new(), Vec::new()),
+            vertex_map: Vec::new(),
+        };
+    }
+
+    // ---- (i) community sizes and degree sums (Alg. 3 lines 2-6) ----------
+    let com_size = GlobalU32::zeroed(n);
+    let com_degree = GlobalU64::zeroed(n);
+    dev.launch_threads("aggregate_sizes", n, |ctx, i| {
+        let c = comm[i] as usize;
+        ctx.global_read_coalesced(2);
+        ctx.atomic_add_u32(&com_size, c, 1);
+        ctx.atomic_add_u64(&com_degree, c, g.degree(i) as u64);
+    });
+    let com_size = com_size.to_vec();
+    let com_degree = com_degree.to_vec();
+
+    // ---- (ii) consecutive new ids (lines 7-12) ----------------------------
+    let mut new_id: Vec<usize> = com_size.iter().map(|&s| usize::from(s > 0)).collect();
+    let new_n = dev.exclusive_scan_usize(&mut new_id);
+
+    // ---- (iii) storage layout (lines 13-19) -------------------------------
+    // edgePos: where each community's (upper-bound sized) edge scratch
+    // begins.
+    let mut edge_pos: Vec<usize> = com_degree.iter().map(|&d| d as usize).collect();
+    let scratch_len = dev.exclusive_scan_usize(&mut edge_pos);
+    // vertexStart: where each community's member list begins.
+    let mut vertex_start: Vec<usize> = com_size.iter().map(|&s| s as usize).collect();
+    dev.exclusive_scan_usize(&mut vertex_start);
+    let cursor = GlobalU64::from_slice(&vertex_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let com = GlobalU32::zeroed(n);
+    dev.launch_threads("aggregate_order_vertices", n, |ctx, i| {
+        let c = comm[i] as usize;
+        let slot = ctx.atomic_add_u64(&cursor, c, 1) as usize;
+        com.store(slot, i as u32);
+        ctx.global_write_scattered(1);
+    });
+    let com = com.to_vec();
+
+    // ---- (iv) merge communities, bucketed by expected work ----------------
+    // Scratch edge store (upper-bound layout), then per-new-vertex counts.
+    let scratch_targets = GlobalU32::zeroed(scratch_len);
+    let scratch_weights = GlobalF64::zeroed(scratch_len);
+    let new_deg = GlobalU64::zeroed(new_n);
+
+    let community_ids: Vec<u32> =
+        (0..n as u32).filter(|&c| com_size[c as usize] > 0).collect();
+
+    let merge_ctx = MergeContext {
+        g,
+        comm,
+        com: &com,
+        com_size: &com_size,
+        com_degree: &com_degree,
+        vertex_start: &vertex_start,
+        edge_pos: &edge_pos,
+        new_id: &new_id,
+        scratch_targets: &scratch_targets,
+        scratch_weights: &scratch_weights,
+        new_deg: &new_deg,
+    };
+
+    let mut lo = 0usize;
+    for (bucket_idx, &(hi, lanes)) in AGG_BUCKETS.iter().enumerate() {
+        let ids = dev.copy_if(&community_ids, |&c| {
+            let d = com_degree[c as usize] as usize;
+            d > lo && d <= hi
+        });
+        lo = hi;
+        if ids.is_empty() {
+            continue;
+        }
+        if bucket_idx == AGG_BUCKETS.len() - 1 {
+            merge_global_bucket(dev, &merge_ctx, cfg, &ids);
+        } else {
+            merge_shared_bucket(dev, &merge_ctx, cfg, &ids, hi, lanes, bucket_idx);
+        }
+    }
+
+    // ---- compaction: gather scratch ranges into the final CSR -------------
+    let new_deg = new_deg.to_vec();
+    let mut offsets: Vec<usize> = new_deg.iter().map(|&d| d as usize).collect();
+    offsets.push(0);
+    let total_arcs = dev.exclusive_scan_usize(&mut offsets[..new_n]);
+    offsets[new_n] = total_arcs;
+
+    let final_targets = GlobalU32::zeroed(total_arcs);
+    let final_weights = GlobalF64::zeroed(total_arcs);
+    {
+        let offsets = &offsets;
+        let new_deg = &new_deg;
+        dev.launch_tasks("aggregate_compact", community_ids.len(), 32, 0, || (), |ctx, _, t| {
+            let c = community_ids[t] as usize;
+            let nid = new_id[c];
+            let count = new_deg[nid] as usize;
+            let src = edge_pos[c];
+            let dst = offsets[nid];
+            ctx.strided_steps(count.max(1));
+            ctx.global_read_coalesced(2 * count);
+            ctx.global_write_coalesced(2 * count);
+            for e in 0..count {
+                final_targets.store(dst + e, scratch_targets.load(src + e));
+                final_weights.store(dst + e, scratch_weights.load(src + e));
+            }
+        });
+    }
+
+    // ---- per-vertex dendrogram level --------------------------------------
+    let vertex_map_dev = GlobalU32::zeroed(n);
+    dev.launch_threads("aggregate_vertex_map", n, |ctx, i| {
+        vertex_map_dev.store(i, new_id[comm[i] as usize] as u32);
+        ctx.global_read_scattered(1);
+        ctx.global_write_coalesced(1);
+    });
+
+    AggregateOutcome {
+        graph: DeviceGraph::from_parts(offsets, final_targets.to_vec(), final_weights.to_vec()),
+        vertex_map: vertex_map_dev.to_vec(),
+    }
+}
+
+/// Read-only context shared by the merge kernels.
+struct MergeContext<'a> {
+    g: &'a DeviceGraph,
+    comm: &'a [u32],
+    com: &'a [u32],
+    com_size: &'a [u32],
+    com_degree: &'a [u64],
+    vertex_start: &'a [usize],
+    edge_pos: &'a [usize],
+    new_id: &'a [usize],
+    scratch_targets: &'a GlobalU32,
+    scratch_weights: &'a GlobalF64,
+    new_deg: &'a GlobalU64,
+}
+
+/// `mergeCommunity` for one community: hash every member's neighbor
+/// communities, then write the (new-id-relabeled, sorted) adjacency into the
+/// community's scratch range.
+fn merge_one(
+    ctx: &mut cd_gpusim::GroupCtx,
+    mc: &MergeContext<'_>,
+    table: &mut TableStorage,
+    space: TableSpace,
+    slots: usize,
+    c: usize,
+) {
+    let mut t = table.table(slots, space);
+    t.reset(ctx);
+
+    let start = mc.vertex_start[c];
+    let size = mc.com_size[c] as usize;
+    ctx.global_read_coalesced(size + 3);
+
+    // Hash all members' edges. Members are processed one after another; each
+    // member's edges are strided across the group's lanes (Section 4.1: "all
+    // threads participate in the processing of each vertex").
+    for &v in &mc.com[start..start + size] {
+        let v = v as usize;
+        let deg = mc.g.degree(v);
+        ctx.strided_steps(deg);
+        ctx.global_read_coalesced(2 * deg);
+        ctx.global_read_scattered(deg);
+        for (&j, &w) in mc.g.neighbors(v).iter().zip(mc.g.edge_weights(v)) {
+            let cj = mc.comm[j as usize];
+            t.insert_add(ctx, cj, w);
+        }
+    }
+
+    // Extract, relabel to new vertex ids, sort for a canonical CSR, and write
+    // to the community's scratch range. On the device this is the
+    // marked-entry prefix-sum compaction described in the paper; the sort is
+    // the simulator's way of fixing a canonical edge order.
+    let mut entries: Vec<(u32, f64)> = t
+        .iter_filled()
+        .map(|(cj, w)| (mc.new_id[cj as usize] as u32, w))
+        .collect();
+    entries.sort_unstable_by_key(|&(t, _)| t);
+    ctx.strided_steps(entries.len());
+
+    let base = mc.edge_pos[c];
+    for (e, &(tgt, w)) in entries.iter().enumerate() {
+        mc.scratch_targets.store(base + e, tgt);
+        mc.scratch_weights.store(base + e, w);
+    }
+    ctx.global_write_coalesced(2 * entries.len());
+    mc.new_deg.store(mc.new_id[c], entries.len() as u64);
+    ctx.global_write_scattered(1);
+}
+
+/// Shared-memory community buckets (degree sums up to 479).
+fn merge_shared_bucket(
+    dev: &Device,
+    mc: &MergeContext<'_>,
+    cfg: &GpuLouvainConfig,
+    ids: &[u32],
+    max_degree_sum: usize,
+    lanes: usize,
+    bucket_idx: usize,
+) {
+    let slots = table_size_for(max_degree_sum);
+    let (space, shared_bytes) = match cfg.hash_placement {
+        HashPlacement::Auto => (TableSpace::Shared, slots * 12),
+        HashPlacement::ForceGlobal => (TableSpace::Global, 0),
+    };
+    let name = format!("merge_community_b{}", bucket_idx + 1);
+    dev.launch_tasks(
+        &name,
+        ids.len(),
+        lanes,
+        shared_bytes,
+        || TableStorage::with_capacity(slots),
+        |ctx, table, task| {
+            merge_one(ctx, mc, table, space, slots, ids[task] as usize);
+        },
+    );
+}
+
+/// The open-ended community bucket: global tables, communities sorted by
+/// degree sum and dealt to a bounded number of blocks.
+fn merge_global_bucket(dev: &Device, mc: &MergeContext<'_>, cfg: &GpuLouvainConfig, ids: &[u32]) {
+    let mut sorted = ids.to_vec();
+    dev.sort_by_key(&mut sorted, |&c| std::cmp::Reverse(mc.com_degree[c as usize]));
+    let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
+    let sorted_ref = &sorted;
+    dev.launch_blocks(
+        "merge_community_b3",
+        n_blocks,
+        |block| {
+            let first = sorted_ref[block] as usize;
+            TableStorage::with_capacity(table_size_for(mc.com_degree[first] as usize))
+        },
+        |ctx, table| {
+            let block = ctx.block_id;
+            let mut idx = block;
+            while idx < sorted_ref.len() {
+                let c = sorted_ref[idx] as usize;
+                let slots = table_size_for(mc.com_degree[c] as usize);
+                merge_one(ctx, mc, table, TableSpace::Global, slots, c);
+                ctx.finish_task();
+                idx += n_blocks;
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_gpusim::DeviceConfig;
+    use cd_graph::gen::{add_random_edges, cliques, cycle};
+    use cd_graph::{contract, modularity, Csr, Partition};
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::tesla_k40m())
+    }
+
+    /// Checks the GPU contraction against the sequential reference, modulo
+    /// the (different but consistent) renumbering orders.
+    fn assert_matches_reference(g: &Csr, comm: &[u32]) {
+        let d = dev();
+        let dg = DeviceGraph::from_csr(g);
+        let out = aggregate(&d, &dg, comm, &GpuLouvainConfig::paper_default());
+        let gpu_graph = out.graph.to_csr();
+
+        let p = Partition::from_vec(comm.to_vec());
+        let (ref_graph, ref_map) = contract(g, &p);
+
+        assert_eq!(gpu_graph.num_vertices(), ref_graph.num_vertices());
+        assert_eq!(gpu_graph.num_arcs(), ref_graph.num_arcs());
+        // Map reference new-ids -> gpu new-ids through any original vertex.
+        let k = ref_graph.num_vertices();
+        let mut perm = vec![u32::MAX; k];
+        for v in 0..g.num_vertices() {
+            let r = ref_map.community_of(v as u32) as usize;
+            let q = out.vertex_map[v];
+            assert!(perm[r] == u32::MAX || perm[r] == q, "inconsistent vertex map");
+            perm[r] = q;
+        }
+        // Compare adjacency of each new vertex through the permutation.
+        for r in 0..k as u32 {
+            let q = perm[r as usize];
+            let mut ref_adj: Vec<(u32, f64)> = ref_graph
+                .edges(r)
+                .map(|(t, w)| (perm[t as usize], w))
+                .collect();
+            ref_adj.sort_unstable_by_key(|&(t, _)| t);
+            let gpu_adj: Vec<(u32, f64)> = gpu_graph.edges(q).collect();
+            assert_eq!(ref_adj.len(), gpu_adj.len(), "vertex {r}/{q} degree");
+            for (a, b) in ref_adj.iter().zip(&gpu_adj) {
+                assert_eq!(a.0, b.0);
+                assert!((a.1 - b.1).abs() < 1e-9, "weight {} vs {}", a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_cliques() {
+        let g = cliques(4, 5, true);
+        let comm: Vec<u32> = (0..20).map(|v| (v / 5) * 5).collect(); // non-compact ids
+        assert_matches_reference(&g, &comm);
+    }
+
+    #[test]
+    fn matches_reference_on_random_partitions() {
+        let g = add_random_edges(&cycle(150), 300, 7);
+        for seed in 0..3u32 {
+            let comm: Vec<u32> = (0..150u32).map(|v| (v * 31 + seed * 7) % 11).collect();
+            assert_matches_reference(&g, &comm);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_self_loops_and_weights() {
+        let g = cd_graph::csr_from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 0, 1.5),
+                (3, 4, 1.0),
+                (4, 5, 2.5),
+                (1, 1, 3.0),
+                (2, 4, 1.0),
+            ],
+        );
+        assert_matches_reference(&g, &[0, 0, 0, 1, 1, 1]);
+        assert_matches_reference(&g, &[5, 5, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn modularity_invariant_under_gpu_aggregation() {
+        let g = add_random_edges(&cycle(120), 200, 3);
+        let comm: Vec<u32> = (0..120u32).map(|v| v % 9).collect();
+        let d = dev();
+        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default());
+        let q_before = modularity(&g, &Partition::from_vec(comm));
+        let cg = out.graph.to_csr();
+        let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
+        assert!((q_before - q_after).abs() < 1e-9, "{q_before} vs {q_after}");
+    }
+
+    #[test]
+    fn isolated_vertices_become_empty_new_vertices() {
+        let mut b = cd_graph::GraphBuilder::new(4);
+        b.add_unit_edge(0, 1);
+        let g = b.build(); // vertices 2, 3 isolated
+        let d = dev();
+        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &[0, 0, 2, 3], &GpuLouvainConfig::paper_default());
+        assert_eq!(out.graph.num_vertices(), 3);
+        assert_eq!(out.graph.num_arcs(), 1); // one merged self-loop edge
+        let cg = out.graph.to_csr();
+        assert_eq!(cg.self_loop(out.vertex_map[0]), 2.0);
+    }
+
+    #[test]
+    fn single_community_collapse() {
+        let g = cliques(1, 6, false);
+        let d = dev();
+        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &[0; 6], &GpuLouvainConfig::paper_default());
+        assert_eq!(out.graph.num_vertices(), 1);
+        let cg = out.graph.to_csr();
+        assert_eq!(cg.self_loop(0), g.total_weight_2m());
+    }
+}

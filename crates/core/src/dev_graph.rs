@@ -1,0 +1,100 @@
+//! The device-resident graph representation: the paper's `vertices`, `edges`
+//! and `weights` arrays (Section 4.1). Kernels read it directly; it is never
+//! mutated in place — aggregation builds a fresh one.
+
+use cd_graph::{Csr, VertexId, Weight};
+
+/// CSR arrays as laid out in (simulated) device global memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceGraph {
+    /// `vertices` array, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// `edges` array, length `2|E|` (self-loops stored once).
+    pub targets: Vec<VertexId>,
+    /// `weights` array, parallel to `targets`.
+    pub weights: Vec<Weight>,
+    /// Cached `2m` (sum of all weighted degrees).
+    pub two_m: f64,
+}
+
+impl DeviceGraph {
+    /// Copies a host CSR onto the device.
+    pub fn from_csr(g: &Csr) -> Self {
+        Self {
+            offsets: g.offsets().to_vec(),
+            targets: g.targets().to_vec(),
+            weights: g.weights().to_vec(),
+            two_m: g.total_weight_2m(),
+        }
+    }
+
+    /// Builds from raw parts produced by the aggregation kernel.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+        let two_m = weights.iter().sum();
+        Self { offsets, targets, weights, two_m }
+    }
+
+    /// Copies back to a host CSR (validating the invariants).
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_parts(self.offsets.clone(), self.targets.clone(), self.weights.clone())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of adjacency entries.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Adjacency slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[VertexId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Weight slice of `v`.
+    #[inline]
+    pub fn edge_weights(&self, v: usize) -> &[Weight] {
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `m` — sum of all edge weights.
+    #[inline]
+    pub fn total_weight_m(&self) -> f64 {
+        self.two_m * 0.5
+    }
+
+    /// Device bytes this graph occupies (offsets + targets + weights).
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4 + self.weights.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_graph::csr_from_edges;
+
+    #[test]
+    fn roundtrip() {
+        let g = csr_from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 2, 3.0)]);
+        let d = DeviceGraph::from_csr(&g);
+        assert_eq!(d.num_vertices(), 3);
+        assert_eq!(d.num_arcs(), 5);
+        assert_eq!(d.two_m, g.total_weight_2m());
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.to_csr(), g);
+        assert!(d.bytes() > 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The open-addressing hash table at the heart of both phases (Alg. 2
+//! lines 2-13): keys are community ids, values are accumulated edge weights,
+//! probing is double hashing over a prime-sized table.
+//!
+//! One table instance lives in a block's scratch and is reused across the
+//! tasks the block processes. The backing space ([`TableSpace`]) only changes
+//! *accounting*: a shared-memory table charges shared accesses, a
+//! global-memory table charges scattered global transactions plus the
+//! atomics/CAS traffic the paper's kernel issues (`atomicAdd` per weight
+//! update, CAS per slot claim). Lockstep execution already serializes lanes,
+//! so the simulated CAS always succeeds — the operation counts are what the
+//! cost model consumes.
+
+use cd_gpusim::GroupCtx;
+
+/// Sentinel for an unclaimed slot (the paper's `null`; community ids are
+/// 32-bit, so `u32::MAX` is never a valid id).
+pub const EMPTY: u32 = u32::MAX;
+
+/// Which memory space the table is modeled to occupy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableSpace {
+    /// On-chip shared memory (buckets whose tables fit the block budget).
+    Shared,
+    /// Off-chip global memory (the paper's bucket 7 / largest communities).
+    Global,
+}
+
+/// A community→weight accumulation table over borrowed storage.
+pub struct HashTable<'t> {
+    keys: &'t mut [u32],
+    weights: &'t mut [f64],
+    size: usize,
+    space: TableSpace,
+}
+
+impl<'t> HashTable<'t> {
+    /// Wraps `size` slots of the provided scratch. `size` must be one of the
+    /// prime-ladder sizes for the probe sequence to terminate.
+    pub fn new(keys: &'t mut [u32], weights: &'t mut [f64], size: usize, space: TableSpace) -> Self {
+        assert!(size >= 2 && size <= keys.len() && size <= weights.len());
+        Self { keys, weights, size, space }
+    }
+
+    /// Number of slots.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Clears all slots (done once per task; counted as writes).
+    pub fn reset(&mut self, ctx: &mut GroupCtx) {
+        self.keys[..self.size].fill(EMPTY);
+        self.weights[..self.size].fill(0.0);
+        self.charge_writes(ctx, self.size);
+        ctx.strided_steps(self.size);
+    }
+
+    #[inline]
+    fn h1(&self, key: u32) -> usize {
+        // Multiplicative scramble before the mod, so consecutive community
+        // ids don't collide into runs.
+        (key as usize).wrapping_mul(0x9E37_79B9) % self.size
+    }
+
+    #[inline]
+    fn h2(&self, key: u32) -> usize {
+        // Non-zero and < size; with a prime size every stride visits all
+        // slots.
+        1 + (key as usize).wrapping_mul(0x85EB_CA6B) % (self.size - 1)
+    }
+
+    /// The probe sequence position for `key` at attempt `it` — the paper's
+    /// `hash(C[j], it)`.
+    #[inline]
+    pub fn probe(&self, key: u32, it: usize) -> usize {
+        (self.h1(key) + it * self.h2(key)) % self.size
+    }
+
+    /// Algorithm 2, lines 2-13: accumulate `w` onto `key`'s slot, claiming a
+    /// slot with CAS when the key is not yet present. Returns the slot index
+    /// and its weight *after* the update (the "current value" a lane tracks
+    /// its local best with).
+    ///
+    /// Panics if the table is full, which the 1.5x sizing rule makes
+    /// impossible for valid inputs.
+    pub fn insert_add(&mut self, ctx: &mut GroupCtx, key: u32, w: f64) -> (usize, f64) {
+        debug_assert_ne!(key, EMPTY);
+        let mut it = 0usize;
+        loop {
+            assert!(it < self.size, "hash table overflow: size {} too small", self.size);
+            let pos = self.probe(key, it);
+            it += 1;
+            self.charge_reads(ctx, 1);
+            if self.keys[pos] == key {
+                // Key already claimed: atomicAdd the weight (line 7).
+                self.weights[pos] += w;
+                self.charge_atomic_add(ctx);
+                return (pos, self.weights[pos]);
+            }
+            if self.keys[pos] == EMPTY {
+                // Claim the slot with CAS (line 9). Lockstep execution means
+                // the claim always succeeds here; the paper's lines 11-13
+                // handle the lost-race case, which cannot arise within a
+                // serialized group.
+                self.keys[pos] = key;
+                self.charge_cas(ctx);
+                self.weights[pos] += w;
+                self.charge_atomic_add(ctx);
+                return (pos, self.weights[pos]);
+            }
+            // Occupied by another community: continue the probe sequence.
+        }
+    }
+
+    /// Looks up the accumulated weight for `key` (0 when absent).
+    pub fn get(&self, ctx: &mut GroupCtx, key: u32) -> f64 {
+        let mut it = 0usize;
+        loop {
+            if it >= self.size {
+                return 0.0;
+            }
+            let pos = self.probe(key, it);
+            it += 1;
+            self.charge_reads_const(ctx, 1);
+            if self.keys[pos] == key {
+                return self.weights[pos];
+            }
+            if self.keys[pos] == EMPTY {
+                return 0.0;
+            }
+        }
+    }
+
+    /// Key stored at a slot (`EMPTY` if unclaimed).
+    pub fn key_at(&self, pos: usize) -> u32 {
+        self.keys[pos]
+    }
+
+    /// Weight stored at a slot.
+    pub fn weight_at(&self, pos: usize) -> f64 {
+        self.weights[pos]
+    }
+
+    /// Iterates the filled `(key, weight)` slots in slot order.
+    pub fn iter_filled(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.keys[..self.size]
+            .iter()
+            .zip(self.weights[..self.size].iter())
+            .filter(|&(&k, _)| k != EMPTY)
+            .map(|(&k, &w)| (k, w))
+    }
+
+    /// Number of filled slots.
+    pub fn len(&self) -> usize {
+        self.keys[..self.size].iter().filter(|&&k| k != EMPTY).count()
+    }
+
+    /// True when no slot is claimed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn charge_reads(&self, ctx: &mut GroupCtx, n: usize) {
+        match self.space {
+            TableSpace::Shared => ctx.shared_access(n),
+            TableSpace::Global => ctx.global_read_scattered(n),
+        }
+    }
+
+    fn charge_reads_const(&self, ctx: &mut GroupCtx, n: usize) {
+        self.charge_reads(ctx, n);
+    }
+
+    fn charge_writes(&self, ctx: &mut GroupCtx, n: usize) {
+        match self.space {
+            TableSpace::Shared => ctx.shared_access(n),
+            TableSpace::Global => ctx.global_write_coalesced(n),
+        }
+    }
+
+    fn charge_atomic_add(&self, ctx: &mut GroupCtx) {
+        match self.space {
+            TableSpace::Shared => ctx.shared_access(2),
+            TableSpace::Global => ctx.note_atomic_adds(1),
+        }
+    }
+
+    fn charge_cas(&self, ctx: &mut GroupCtx) {
+        match self.space {
+            TableSpace::Shared => ctx.shared_access(2),
+            TableSpace::Global => ctx.note_cas(1, 0),
+        }
+    }
+}
+
+/// Reusable backing storage for one block's hash table.
+#[derive(Debug, Default)]
+pub struct TableStorage {
+    keys: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl TableStorage {
+    /// Storage able to hold tables up to `capacity` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { keys: vec![EMPTY; capacity], weights: vec![0.0; capacity] }
+    }
+
+    /// Borrows a table of `size` slots (growing the storage if needed).
+    pub fn table(&mut self, size: usize, space: TableSpace) -> HashTable<'_> {
+        if self.keys.len() < size {
+            self.keys.resize(size, EMPTY);
+            self.weights.resize(size, 0.0);
+        }
+        HashTable::new(&mut self.keys, &mut self.weights, size, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::table_size_for;
+    use cd_gpusim::{BlockCounters, GroupCtx};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut GroupCtx) -> R) -> (R, BlockCounters) {
+        let mut counters = BlockCounters::default();
+        let r = {
+            let mut ctx = GroupCtx::new(0, 32, &mut counters);
+            f(&mut ctx)
+        };
+        (r, counters)
+    }
+
+    #[test]
+    fn insert_and_accumulate() {
+        let mut storage = TableStorage::with_capacity(64);
+        let ((), counters) = with_ctx(|ctx| {
+            let mut t = storage.table(table_size_for(10), TableSpace::Shared);
+            t.reset(ctx);
+            t.insert_add(ctx, 5, 1.0);
+            t.insert_add(ctx, 7, 2.0);
+            let (_, running) = t.insert_add(ctx, 5, 0.5);
+            assert_eq!(running, 1.5);
+            assert_eq!(t.get(ctx, 5), 1.5);
+            assert_eq!(t.get(ctx, 7), 2.0);
+            assert_eq!(t.get(ctx, 9), 0.0);
+            assert_eq!(t.len(), 2);
+        });
+        assert!(counters.shared_accesses > 0);
+        assert_eq!(counters.atomic_adds, 0, "shared tables must not charge global atomics");
+    }
+
+    #[test]
+    fn global_space_charges_atomics() {
+        let mut storage = TableStorage::with_capacity(64);
+        let ((), counters) = with_ctx(|ctx| {
+            let mut t = storage.table(table_size_for(10), TableSpace::Global);
+            t.reset(ctx);
+            t.insert_add(ctx, 1, 1.0);
+            t.insert_add(ctx, 1, 1.0);
+        });
+        assert_eq!(counters.atomic_adds, 2);
+        assert_eq!(counters.cas_ops, 1);
+        assert!(counters.global_reads > 0);
+    }
+
+    #[test]
+    fn handles_colliding_keys_to_capacity() {
+        // Fill a small prime table completely; every key must remain
+        // retrievable.
+        let size = table_size_for(4); // 7
+        let mut storage = TableStorage::with_capacity(size);
+        with_ctx(|ctx| {
+            let mut t = storage.table(size, TableSpace::Shared);
+            t.reset(ctx);
+            for key in 0..size as u32 {
+                t.insert_add(ctx, key * 7919, key as f64 + 1.0);
+            }
+            for key in 0..size as u32 {
+                assert_eq!(t.get(ctx, key * 7919), key as f64 + 1.0);
+            }
+            assert_eq!(t.len(), size);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let size = table_size_for(2); // 5
+        let mut storage = TableStorage::with_capacity(size);
+        with_ctx(|ctx| {
+            let mut t = storage.table(size, TableSpace::Shared);
+            t.reset(ctx);
+            for key in 0..=size as u32 {
+                t.insert_add(ctx, key, 1.0);
+            }
+        });
+    }
+
+    #[test]
+    fn iter_filled_sees_all_entries() {
+        let mut storage = TableStorage::with_capacity(32);
+        with_ctx(|ctx| {
+            let mut t = storage.table(table_size_for(8), TableSpace::Shared);
+            t.reset(ctx);
+            for key in [3u32, 14, 159, 2653] {
+                t.insert_add(ctx, key, key as f64);
+            }
+            let mut entries: Vec<(u32, f64)> = t.iter_filled().collect();
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            assert_eq!(entries, vec![(3, 3.0), (14, 14.0), (159, 159.0), (2653, 2653.0)]);
+        });
+    }
+
+    #[test]
+    fn storage_reuse_and_growth() {
+        let mut storage = TableStorage::with_capacity(4);
+        with_ctx(|ctx| {
+            {
+                let mut t = storage.table(5, TableSpace::Shared);
+                t.reset(ctx);
+                t.insert_add(ctx, 9, 1.0);
+            }
+            // Bigger request grows the storage; reset clears old entries.
+            let mut t = storage.table(11, TableSpace::Shared);
+            t.reset(ctx);
+            assert_eq!(t.get(ctx, 9), 0.0);
+        });
+    }
+
+    #[test]
+    fn probe_sequence_covers_table() {
+        let size = 13;
+        let mut keys = vec![EMPTY; size];
+        let mut weights = vec![0.0; size];
+        let t = HashTable::new(&mut keys, &mut weights, size, TableSpace::Shared);
+        for key in [0u32, 1, 12, 911, u32::MAX - 1] {
+            let mut seen = std::collections::HashSet::new();
+            for it in 0..size {
+                seen.insert(t.probe(key, it));
+            }
+            assert_eq!(seen.len(), size, "probe sequence for {key} must be a full cycle");
+        }
+    }
+}

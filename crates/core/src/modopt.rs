@@ -1,0 +1,705 @@
+//! The modularity-optimization phase — Algorithms 1 and 2 of the paper.
+//!
+//! Each iteration partitions the vertices into seven degree buckets
+//! ([`crate::config::MODOPT_BUCKETS`]) and launches one `computeMove` kernel
+//! per bucket, with thread-group width scaled to the bucket's degrees and
+//! hash tables in shared memory for all but the open-ended bucket. After each
+//! bucket the new community labels are committed and the community volumes
+//! `a_c` updated, so later buckets see earlier buckets' moves (the paper's
+//! middle ground between fully synchronous and fully asynchronous updating;
+//! the `Relaxed` strategy defers all commits to the end of the iteration).
+
+use crate::config::{GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy, MODOPT_BUCKETS};
+use crate::dev_graph::DeviceGraph;
+use crate::hashtable::{HashTable, TableSpace, TableStorage};
+use crate::primes::table_size_for;
+use cd_gpusim::{Device, GlobalF64, GlobalU32, GroupCtx};
+use std::time::{Duration, Instant};
+
+/// Tie tolerance on modularity-gain comparisons.
+const GAIN_EPS: f64 = 1e-15;
+
+/// Result of one modularity-optimization phase.
+#[derive(Clone, Debug)]
+pub struct OptOutcome {
+    /// Final community label of every vertex.
+    pub comm: Vec<u32>,
+    /// Modularity of the final labeling.
+    pub modularity: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Wall time per iteration (drives the paper's per-stage breakdowns and
+    /// the TEPS figure, whose denominator is the first iteration).
+    pub iter_times: Vec<Duration>,
+    /// Total vertex moves committed.
+    pub moves: usize,
+}
+
+/// Device-resident optimization state.
+pub(crate) struct OptState {
+    /// `C` — current community of each vertex.
+    pub comm: GlobalU32,
+    /// `newComm` — staged destination of each vertex.
+    pub new_comm: GlobalU32,
+    /// Number of vertices in each community (drives the singleton rule).
+    pub comm_size: GlobalU32,
+    /// `a_c` — community volumes.
+    pub ac: GlobalF64,
+    /// `k_i` — weighted degrees (constant within a phase).
+    pub k: Vec<f64>,
+    /// Single-cell accumulator of the *predicted* Eq. 2 gains of accepted
+    /// moves — Alg. 1's "accumulated change in modularity during the
+    /// iteration", which drives loop termination. (The realized synchronous
+    /// Q delta can be negative while vertices still have profitable moves.)
+    pub pred_gain: GlobalF64,
+    /// Pruning frontier for the *current* iteration (1 = re-evaluate).
+    pub active: GlobalU32,
+    /// Pruning frontier under construction for the next iteration.
+    pub next_active: GlobalU32,
+}
+
+impl OptState {
+    fn new(dev: &Device, g: &DeviceGraph) -> Self {
+        let n = g.num_vertices();
+        let k = compute_weighted_degrees(dev, g);
+        let comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
+        let new_comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
+        let comm_size = GlobalU32::zeroed(n);
+        comm_size.fill(1);
+        let ac = GlobalF64::from_slice(&k);
+        let active = GlobalU32::zeroed(n);
+        active.fill(1);
+        Self {
+            comm,
+            new_comm,
+            comm_size,
+            ac,
+            k,
+            pred_gain: GlobalF64::zeroed(1),
+            active,
+            next_active: GlobalU32::zeroed(n),
+        }
+    }
+}
+
+/// Computes `k_i` for every vertex (Alg. 1 line 2).
+pub(crate) fn compute_weighted_degrees(dev: &Device, g: &DeviceGraph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let out = GlobalF64::zeroed(n);
+    dev.launch_tasks("compute_k", n, 4, 0, || (), |ctx, _, i| {
+        let deg = g.degree(i);
+        ctx.strided_steps(deg.max(1));
+        ctx.global_read_coalesced(deg + 2);
+        let s: f64 = g.edge_weights(i).iter().sum();
+        out.store(i, s);
+        ctx.global_write_coalesced(1);
+    });
+    out.to_vec()
+}
+
+/// Modularity of the current labeling, computed on device:
+/// `Q = Σ_i e_{i→C(i)} / 2m − Σ_c (a_c / 2m)^2`.
+pub(crate) fn device_modularity(dev: &Device, g: &DeviceGraph, state: &OptState) -> f64 {
+    let n = g.num_vertices();
+    let two_m = g.two_m;
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let partial = GlobalF64::zeroed(n);
+    dev.launch_tasks("modularity_partials", n, 4, 0, || (), |ctx, _, i| {
+        let ci = state.comm.load(i);
+        let deg = g.degree(i);
+        ctx.strided_steps(deg.max(1));
+        ctx.global_read_coalesced(2 * deg + 2);
+        ctx.global_read_scattered(deg); // community gathers
+        let mut s = 0.0;
+        for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
+            if state.comm.load(j as usize) == ci {
+                s += w;
+            }
+        }
+        partial.store(i, s);
+        ctx.global_write_coalesced(1);
+    });
+    let inside = dev.reduce_sum_f64(&partial.to_vec());
+    let sq: Vec<f64> = state
+        .ac
+        .to_vec()
+        .iter()
+        .map(|&a| (a / two_m) * (a / two_m))
+        .collect();
+    let penalty = dev.reduce_sum_f64(&sq);
+    inside / two_m - penalty
+}
+
+/// Runs one full modularity-optimization phase and returns the labeling.
+pub fn modularity_optimization(
+    dev: &Device,
+    g: &DeviceGraph,
+    cfg: &GpuLouvainConfig,
+    threshold: f64,
+) -> OptOutcome {
+    let n = g.num_vertices();
+    let state = OptState::new(dev, g);
+    if n == 0 || g.two_m == 0.0 {
+        return OptOutcome {
+            comm: state.comm.to_vec(),
+            modularity: 0.0,
+            iterations: 0,
+            iter_times: Vec::new(),
+            moves: 0,
+        };
+    }
+
+    let vertex_ids: Vec<u32> = (0..n as u32).collect();
+    let mut q_cur = device_modularity(dev, g, &state);
+    let mut iterations = 0usize;
+    let mut iter_times = Vec::new();
+    let mut total_moves = 0usize;
+    // A fully synchronous iteration can *decrease* modularity (vertices
+    // moving toward each other's old communities). The loop still terminates
+    // on the paper's gain-below-threshold rule, but the phase returns the
+    // best labeling observed so the result is never worse than its starting
+    // point.
+    let mut best_q = q_cur;
+    let mut best_comm: Option<Vec<u32>> = None;
+    let mut stagnant = 0usize;
+    // Termination: the phase ends once the realized modularity has failed to
+    // improve by more than the threshold for `patience` consecutive
+    // iterations. Per-bucket updates behave like the sequential algorithm
+    // (patience 1 = Alg. 1's gain-below-threshold rule); the fully
+    // synchronous Relaxed strategy oscillates transiently while its
+    // *predicted* gains stay positive, so it gets room to recover — which is
+    // exactly the up-to-10x extra optimization time the paper measured for
+    // this variant.
+    let patience = match cfg.update_strategy {
+        UpdateStrategy::PerBucket => 1,
+        UpdateStrategy::Relaxed => 12,
+    };
+
+    while iterations < cfg.max_iterations {
+        iterations += 1;
+        let iter_start = Instant::now();
+        let mut iter_moves = 0usize;
+        state.pred_gain.store(0, 0.0);
+        if cfg.pruning && iterations > 1 {
+            // Swap frontiers: this iteration re-evaluates only the vertices
+            // marked during the previous commits.
+            dev.launch_threads("pruning_swap_frontier", n, |ctx, v| {
+                state.active.store(v, state.next_active.load(v));
+                state.next_active.store(v, 0);
+                ctx.global_read_coalesced(1);
+                ctx.global_write_coalesced(2);
+            });
+        }
+
+        match cfg.assignment {
+            ThreadAssignment::DegreeBinned => {
+                let mut lo = 0usize;
+                for (bucket_idx, &(hi, lanes)) in MODOPT_BUCKETS.iter().enumerate() {
+                    let ids = dev.copy_if(&vertex_ids, |&v| {
+                        let d = g.degree(v as usize);
+                        d > lo
+                            && d <= hi
+                            && (!cfg.pruning || state.active.load(v as usize) == 1)
+                    });
+                    lo = hi;
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    if bucket_idx == MODOPT_BUCKETS.len() - 1 {
+                        compute_move_global_bucket(dev, g, &state, cfg, &ids);
+                    } else {
+                        compute_move_shared_bucket(dev, g, &state, cfg, &ids, hi, lanes, bucket_idx);
+                    }
+                    if cfg.update_strategy == UpdateStrategy::PerBucket {
+                        iter_moves += commit(dev, g, &state, &ids, cfg.pruning);
+                    }
+                }
+            }
+            ThreadAssignment::NodeCentric => {
+                compute_move_node_centric(dev, g, &state);
+            }
+        }
+
+        if cfg.update_strategy == UpdateStrategy::Relaxed
+            || cfg.assignment == ThreadAssignment::NodeCentric
+        {
+            iter_moves += commit(dev, g, &state, &vertex_ids, cfg.pruning);
+        }
+
+        total_moves += iter_moves;
+        let q_new = device_modularity(dev, g, &state);
+        iter_times.push(iter_start.elapsed());
+        if q_new > best_q + threshold {
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+        }
+        if q_new > best_q {
+            best_q = q_new;
+            best_comm = Some(state.comm.to_vec());
+        }
+        q_cur = q_new;
+        if iter_moves == 0 || stagnant >= patience {
+            break;
+        }
+    }
+    let _ = q_cur;
+
+    OptOutcome {
+        comm: best_comm.unwrap_or_else(|| (0..n as u32).collect()),
+        modularity: best_q,
+        iterations,
+        iter_times,
+        moves: total_moves,
+    }
+}
+
+/// Per-block scratch for `computeMove`: a reusable hash table and the
+/// per-lane best-candidate slots.
+struct MoveScratch {
+    table: TableStorage,
+    lane_best: Vec<(f64, u32)>,
+}
+
+impl MoveScratch {
+    fn new(table_slots: usize) -> Self {
+        Self { table: TableStorage::with_capacity(table_slots), lane_best: vec![(0.0, 0); 128] }
+    }
+}
+
+/// The body of Algorithm 2 for one vertex: hash the neighborhood, track
+/// per-lane bests, reduce, and stage the decision in `newComm`.
+#[allow(clippy::too_many_arguments)]
+fn compute_move_one(
+    ctx: &mut GroupCtx,
+    g: &DeviceGraph,
+    state: &OptState,
+    table: &mut HashTable<'_>,
+    lane_best: &mut [(f64, u32)],
+    i: usize,
+) {
+    let deg = g.degree(i);
+    let ci = state.comm.load(i);
+    let ki = state.k[i];
+    let m = g.total_weight_m();
+    let lanes = ctx.lanes();
+
+    table.reset(ctx);
+    for lb in lane_best[..lanes].iter_mut() {
+        *lb = (f64::NEG_INFINITY, u32::MAX);
+    }
+
+    ctx.global_read_coalesced(2); // offsets
+    ctx.global_read_scattered(2); // C[i], comm_size[C[i]]
+    let i_singleton = state.comm_size.load(ci as usize) == 1;
+
+    let nbrs = g.neighbors(i);
+    let ws = g.edge_weights(i);
+    ctx.strided_steps(deg);
+    ctx.global_read_coalesced(2 * deg); // edges + weights
+    ctx.global_read_scattered(deg); // C[j] gathers
+
+    for idx in 0..deg {
+        let j = nbrs[idx] as usize;
+        if j == i {
+            continue; // self-loop: excluded from e terms (C(i)\{i})
+        }
+        let w = ws[idx];
+        let cj = state.comm.load(j);
+        let (_slot, running) = table.insert_add(ctx, cj, w);
+        if cj == ci {
+            continue; // home community: the stay option, evaluated below
+        }
+        // Singleton ordering rule: a singleton vertex may only join another
+        // singleton community with a smaller id (prevents neighbor singletons
+        // from swapping forever).
+        if i_singleton && cj >= ci && state.comm_size.load(cj as usize) == 1 {
+            ctx.global_read_scattered(1);
+            continue;
+        }
+        let a_cj = state.ac.load(cj as usize);
+        ctx.global_read_scattered(1);
+        // Candidate term of Eq. (2); the shared parts cancel across
+        // candidates. `running` only grows, so the lane that performs the
+        // final update of a slot observes the full e_{i→cj} — the maximum
+        // over all partial observations is exact.
+        let gain = running / m - ki * a_cj / (2.0 * m * m);
+        let lane = idx % lanes;
+        let lb = &mut lane_best[lane];
+        if gain > lb.0 + GAIN_EPS || ((gain - lb.0).abs() <= GAIN_EPS && cj < lb.1) {
+            *lb = (gain, cj);
+        }
+    }
+
+    let best = ctx.reduce_best(&lane_best[..lanes]);
+    let e_home = table.get(ctx, ci);
+    let stay = e_home / m - ki * (state.ac.load(ci as usize) - ki) / (2.0 * m * m);
+    let target = match best {
+        Some((gain, c)) if c != u32::MAX && gain > stay + GAIN_EPS => {
+            ctx.atomic_add_f64(&state.pred_gain, 0, gain - stay);
+            c
+        }
+        _ => ci,
+    };
+    state.new_comm.store(i, target);
+    ctx.global_write_coalesced(1);
+}
+
+/// `computeMove` for one shared-memory bucket (buckets 1-6).
+fn compute_move_shared_bucket(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState,
+    cfg: &GpuLouvainConfig,
+    ids: &[u32],
+    max_degree: usize,
+    lanes: usize,
+    bucket_idx: usize,
+) {
+    let slots = table_size_for(max_degree);
+    let (space, shared_bytes) = match cfg.hash_placement {
+        HashPlacement::Auto => (TableSpace::Shared, slots * 12),
+        HashPlacement::ForceGlobal => (TableSpace::Global, 0),
+    };
+    let name = format!("compute_move_b{}", bucket_idx + 1);
+    dev.launch_tasks(
+        &name,
+        ids.len(),
+        lanes,
+        shared_bytes,
+        || MoveScratch::new(slots),
+        |ctx, scratch, task| {
+            let i = ids[task] as usize;
+            let MoveScratch { table, lane_best } = scratch;
+            let mut t = table.table(slots, space);
+            compute_move_one(ctx, g, state, &mut t, lane_best, i);
+        },
+    );
+}
+
+/// `computeMove` for the open-ended bucket (degree >= 320): hash tables in
+/// global memory, vertices sorted by degree and dealt to a bounded number of
+/// blocks in an interleaved fashion so block loads balance (Section 4.1).
+fn compute_move_global_bucket(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState,
+    cfg: &GpuLouvainConfig,
+    ids: &[u32],
+) {
+    let mut sorted = ids.to_vec();
+    dev.sort_by_key(&mut sorted, |&v| std::cmp::Reverse(g.degree(v as usize)));
+    let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
+    let sorted_ref = &sorted;
+    dev.launch_blocks(
+        "compute_move_b7",
+        n_blocks,
+        |block| {
+            // The block's largest vertex is its first (interleaved deal of a
+            // descending sort), so one allocation serves all its tasks.
+            let first = sorted_ref[block] as usize;
+            MoveScratch::new(table_size_for(g.degree(first)))
+        },
+        |ctx, scratch| {
+            let block = ctx.block_id;
+            let mut idx = block;
+            while idx < sorted_ref.len() {
+                let i = sorted_ref[idx] as usize;
+                let slots = table_size_for(g.degree(i));
+                let MoveScratch { table, lane_best } = scratch;
+                let mut t = table.table(slots, TableSpace::Global);
+                compute_move_one(ctx, g, state, &mut t, lane_best, i);
+                ctx.finish_task();
+                idx += n_blocks;
+            }
+        },
+    );
+}
+
+/// Node-centric ablation: one lane per vertex walks its whole adjacency
+/// sequentially (the assignment every earlier parallel Louvain used). Blocks
+/// of 128 vertices; warp divergence is the max-degree straggler effect.
+fn compute_move_node_centric(dev: &Device, g: &DeviceGraph, state: &OptState) {
+    let n = g.num_vertices();
+    let block_threads = dev.config().block_threads();
+    let warp = dev.config().warp_size;
+    let n_blocks = n.div_ceil(block_threads);
+    let max_deg = dev.max_usize(&(0..n).map(|v| g.degree(v)).collect::<Vec<_>>()).unwrap_or(0);
+    dev.launch_blocks(
+        "compute_move_node_centric",
+        n_blocks,
+        |_| MoveScratch::new(table_size_for(max_deg.max(1))),
+        |ctx, scratch| {
+            let lo = ctx.block_id * block_threads;
+            let hi = (lo + block_threads).min(n);
+            let mut w_lo = lo;
+            while w_lo < hi {
+                let w_hi = (w_lo + warp).min(hi);
+                // The warp advances in lockstep until its slowest lane (the
+                // highest-degree vertex) finishes.
+                let warp_max = (w_lo..w_hi).map(|v| g.degree(v)).max().unwrap_or(0) as u64;
+                let warp_sum: u64 = (w_lo..w_hi).map(|v| g.degree(v) as u64).sum();
+                ctx.steps(warp_max, warp_sum);
+                for i in w_lo..w_hi {
+                    let slots = table_size_for(g.degree(i).max(1));
+                    let MoveScratch { table, lane_best } = scratch;
+                    let mut t = table.table(slots, TableSpace::Global);
+                    node_centric_move_one(ctx, g, state, &mut t, &mut lane_best[0], i);
+                    ctx.finish_task();
+                }
+                w_lo = w_hi;
+            }
+        },
+    );
+}
+
+/// Single-lane variant of [`compute_move_one`] (no strided accounting — the
+/// caller charges warp-level divergence).
+fn node_centric_move_one(
+    ctx: &mut GroupCtx,
+    g: &DeviceGraph,
+    state: &OptState,
+    table: &mut HashTable<'_>,
+    best: &mut (f64, u32),
+    i: usize,
+) {
+    let deg = g.degree(i);
+    let ci = state.comm.load(i);
+    let ki = state.k[i];
+    let m = g.total_weight_m();
+    table.reset(ctx);
+    *best = (f64::NEG_INFINITY, u32::MAX);
+    let i_singleton = state.comm_size.load(ci as usize) == 1;
+    ctx.global_read_coalesced(2 * deg + 2);
+    ctx.global_read_scattered(deg + 2);
+    let nbrs = g.neighbors(i);
+    let ws = g.edge_weights(i);
+    for idx in 0..deg {
+        let j = nbrs[idx] as usize;
+        if j == i {
+            continue;
+        }
+        let cj = state.comm.load(j);
+        let (_slot, running) = table.insert_add(ctx, cj, ws[idx]);
+        if cj == ci || (i_singleton && cj >= ci && state.comm_size.load(cj as usize) == 1) {
+            continue;
+        }
+        let gain = running / m - ki * state.ac.load(cj as usize) / (2.0 * m * m);
+        ctx.global_read_scattered(1);
+        if gain > best.0 + GAIN_EPS || ((gain - best.0).abs() <= GAIN_EPS && cj < best.1) {
+            *best = (gain, cj);
+        }
+    }
+    let e_home = table.get(ctx, ci);
+    let stay = e_home / m - ki * (state.ac.load(ci as usize) - ki) / (2.0 * m * m);
+    let target = if best.1 != u32::MAX && best.0 > stay + GAIN_EPS {
+        ctx.atomic_add_f64(&state.pred_gain, 0, best.0 - stay);
+        best.1
+    } else {
+        ci
+    };
+    state.new_comm.store(i, target);
+    ctx.global_write_coalesced(1);
+}
+
+/// Commits staged moves for `ids` (Alg. 1 lines 8-9) and updates `a_c` and
+/// the community sizes incrementally (lines 10-11 — the incremental form is
+/// numerically identical up to f64 rounding and avoids a full O(n) rebuild
+/// per bucket). With pruning, every moved vertex marks itself and its
+/// neighbors for re-evaluation next iteration. Returns the number of
+/// vertices that moved.
+fn commit(dev: &Device, g: &DeviceGraph, state: &OptState, ids: &[u32], pruning: bool) -> usize {
+    let moves = GlobalU32::zeroed(1);
+    dev.launch_threads("update_communities", ids.len(), |ctx, t| {
+        let i = ids[t] as usize;
+        let old = state.comm.load(i);
+        let new = state.new_comm.load(i);
+        ctx.global_read_scattered(2);
+        if old != new {
+            state.comm.store(i, new);
+            ctx.global_write_scattered(1);
+            ctx.atomic_add_f64(&state.ac, old as usize, -state.k[i]);
+            ctx.atomic_add_f64(&state.ac, new as usize, state.k[i]);
+            ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1 (wrapping)
+            ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
+            ctx.atomic_add_u32(&moves, 0, 1);
+            if pruning {
+                state.next_active.store(i, 1);
+                for &j in g.neighbors(i) {
+                    state.next_active.store(j as usize, 1);
+                }
+                ctx.global_write_scattered(1 + g.degree(i));
+            }
+        }
+    });
+    moves.load(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_gpusim::DeviceConfig;
+    use cd_graph::gen::{cliques, star};
+    use cd_graph::{modularity as host_modularity, Partition};
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::tesla_k40m())
+    }
+
+    #[test]
+    fn weighted_degrees_match_host() {
+        let g = cd_graph::csr_from_edges(4, &[(0, 1, 2.0), (1, 2, 1.5), (3, 3, 4.0)]);
+        let dg = DeviceGraph::from_csr(&g);
+        let k = compute_weighted_degrees(&dev(), &dg);
+        for v in 0..4u32 {
+            assert!((k[v as usize] - g.weighted_degree(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn device_modularity_matches_host_on_singletons() {
+        let g = cliques(3, 5, true);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let state = OptState::new(&d, &dg);
+        let q_dev = device_modularity(&d, &dg, &state);
+        let q_host = host_modularity(&g, &Partition::singleton(g.num_vertices()));
+        assert!((q_dev - q_host).abs() < 1e-12, "{q_dev} vs {q_host}");
+    }
+
+    #[test]
+    fn one_phase_finds_cliques() {
+        let g = cliques(4, 6, true);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        for c in 0..4u32 {
+            let base = (c * 6) as usize;
+            for v in 1..6usize {
+                assert_eq!(out.comm[base], out.comm[base + v], "clique {c} split");
+            }
+        }
+        let q_host = host_modularity(&g, &Partition::from_vec(out.comm.clone()));
+        assert!((out.modularity - q_host).abs() < 1e-9);
+        assert!(out.modularity > 0.6);
+    }
+
+    #[test]
+    fn phase_modularity_never_decreases_much() {
+        let g = cd_graph::gen::planted_partition(5, 30, 0.4, 0.02, 11).graph;
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let q0 = {
+            let state = OptState::new(&d, &dg);
+            device_modularity(&d, &dg, &state)
+        };
+        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        assert!(out.modularity > q0);
+        assert_eq!(out.iter_times.len(), out.iterations);
+    }
+
+    #[test]
+    fn singleton_rule_on_star() {
+        // All leaves are singletons pointing at the hub; the rule must let
+        // them join the hub (hub community id 0 < leaf ids) without leaf-leaf
+        // oscillation.
+        let g = star(40);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        assert!(out.iterations < 30);
+        let distinct: std::collections::HashSet<u32> = out.comm.iter().copied().collect();
+        assert!(distinct.len() <= 2, "star should collapse, got {distinct:?}");
+    }
+
+    #[test]
+    fn relaxed_strategy_reaches_similar_quality() {
+        let g = cd_graph::gen::planted_partition(4, 25, 0.5, 0.02, 5).graph;
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        let per_bucket = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        cfg.update_strategy = UpdateStrategy::Relaxed;
+        let relaxed = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        assert!(
+            relaxed.modularity > 0.9 * per_bucket.modularity,
+            "relaxed {} vs per-bucket {}",
+            relaxed.modularity,
+            per_bucket.modularity
+        );
+    }
+
+    #[test]
+    fn node_centric_matches_quality() {
+        let g = cd_graph::gen::planted_partition(4, 25, 0.5, 0.02, 9).graph;
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.assignment = ThreadAssignment::NodeCentric;
+        let out = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        let q_host = host_modularity(&g, &Partition::from_vec(out.comm.clone()));
+        assert!((out.modularity - q_host).abs() < 1e-9);
+        assert!(out.modularity > 0.4);
+    }
+
+    #[test]
+    fn force_global_same_result_as_shared() {
+        let g = cliques(3, 8, true);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let a = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.hash_placement = HashPlacement::ForceGlobal;
+        let b = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        assert_eq!(a.comm, b.comm, "hash placement must not change results");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dg = DeviceGraph::from_csr(&cd_graph::Csr::empty(3));
+        let out = modularity_optimization(&dev(), &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        assert_eq!(out.comm, vec![0, 1, 2]);
+        assert_eq!(out.modularity, 0.0);
+    }
+
+    #[test]
+    fn pruning_preserves_quality_and_reduces_work() {
+        let g = cd_graph::gen::planted_partition(6, 40, 0.4, 0.01, 21).graph;
+        let dg = DeviceGraph::from_csr(&g);
+
+        let d_full = dev();
+        let full = modularity_optimization(&d_full, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let full_tasks: u64 = d_full
+            .metrics()
+            .kernels()
+            .iter()
+            .filter(|(n, _)| n.starts_with("compute_move"))
+            .map(|(_, k)| k.counters.tasks)
+            .sum();
+
+        let d_pruned = dev();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.pruning = true;
+        let pruned = modularity_optimization(&d_pruned, &dg, &cfg, 1e-6);
+        let pruned_tasks: u64 = d_pruned
+            .metrics()
+            .kernels()
+            .iter()
+            .filter(|(n, _)| n.starts_with("compute_move"))
+            .map(|(_, k)| k.counters.tasks)
+            .sum();
+
+        assert!(
+            pruned.modularity > 0.98 * full.modularity,
+            "pruned Q {:.4} vs full {:.4}",
+            pruned.modularity,
+            full.modularity
+        );
+        assert!(
+            pruned_tasks < full_tasks,
+            "pruning should evaluate fewer vertices ({pruned_tasks} vs {full_tasks})"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Coarse-grained multi-device Louvain — the paper's Section 6 outlook:
+//! "our algorithm can also be used as a building block in a distributed
+//! memory implementation of the Louvain method using multi-GPUs."
+//!
+//! The scheme follows the hybrid of Cheong et al. (the multi-GPU Louvain the
+//! paper's related-work section describes):
+//!
+//! 1. partition the vertices into `d` blocks, one per device;
+//! 2. each device runs the single-GPU algorithm on its *induced* subgraph
+//!    (inter-partition edges are invisible during this phase — the source of
+//!    the up-to-9 % modularity loss that work reports);
+//! 3. the full graph is contracted by the union of the local clusterings
+//!    (cut edges re-enter here), and one device refines the contracted graph
+//!    with the single-GPU algorithm;
+//! 4. the final partition is the composition of both levels.
+//!
+//! Each simulated device is independent; blocks of all devices share the
+//! host's worker pool, which models devices working concurrently.
+
+use crate::config::GpuLouvainConfig;
+use crate::louvain::{louvain_gpu, GpuLouvainError, GpuLouvainResult};
+use cd_gpusim::{Device, DeviceConfig};
+use cd_graph::{block_ranges, contract, induced_subgraph, modularity, Csr, Partition, VertexId};
+use std::time::{Duration, Instant};
+
+/// Configuration of a multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuConfig {
+    /// Number of simulated devices.
+    pub num_devices: usize,
+    /// Per-device algorithm configuration.
+    pub gpu: GpuLouvainConfig,
+    /// Device model used for every device.
+    pub device: DeviceConfig,
+}
+
+impl MultiGpuConfig {
+    /// `d` K40m-like devices with the paper-default algorithm settings.
+    pub fn k40m(num_devices: usize) -> Self {
+        Self {
+            num_devices,
+            gpu: GpuLouvainConfig::paper_default(),
+            device: DeviceConfig::tesla_k40m(),
+        }
+    }
+}
+
+/// Result of a multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuResult {
+    /// Final communities of the original vertices.
+    pub partition: Partition,
+    /// Modularity of the final partition on the input graph.
+    pub modularity: f64,
+    /// Per-device local results (over the induced subgraphs).
+    pub local_modularities: Vec<f64>,
+    /// Total edge weight cut by the initial partitioning (invisible to the
+    /// local phases).
+    pub cut_weight: f64,
+    /// Vertices of the merged (contracted) graph handed to the refinement
+    /// device.
+    pub merged_vertices: usize,
+    /// Wall time of the slowest local phase (devices run concurrently).
+    pub local_time: Duration,
+    /// Wall time of the merge + refinement phase.
+    pub merge_time: Duration,
+}
+
+/// Runs coarse-grained multi-device Louvain on `graph`.
+pub fn louvain_multi_gpu(graph: &Csr, cfg: &MultiGpuConfig) -> Result<MultiGpuResult, GpuLouvainError> {
+    assert!(cfg.num_devices >= 1);
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Ok(MultiGpuResult {
+            partition: Partition::from_vec(Vec::new()),
+            modularity: 0.0,
+            local_modularities: Vec::new(),
+            cut_weight: 0.0,
+            merged_vertices: 0,
+            local_time: Duration::ZERO,
+            merge_time: Duration::ZERO,
+        });
+    }
+
+    // ---- phase 1: local clustering per device -----------------------------
+    let local_start = Instant::now();
+    let blocks = block_ranges(n, cfg.num_devices.min(n));
+    let mut local_results: Vec<(Vec<VertexId>, GpuLouvainResult)> = Vec::new();
+    let mut cut_weight = 0.0;
+    let mut local_modularities = Vec::new();
+    for members in &blocks {
+        if members.is_empty() {
+            continue;
+        }
+        let sub = induced_subgraph(graph, members);
+        // Each device is its own simulated GPU.
+        let dev = Device::new(cfg.device.clone());
+        let res = louvain_gpu(&dev, &sub.graph, &cfg.gpu)?;
+        cut_weight += sub.cut_weight;
+        local_modularities.push(res.modularity);
+        local_results.push((sub.members, res));
+    }
+    let local_time = local_start.elapsed();
+
+    // ---- phase 2: merge local clusterings into a global labeling ----------
+    // Local community ids are disjoint across devices after offsetting.
+    let merge_start = Instant::now();
+    let mut global = vec![0 as VertexId; n];
+    let mut offset: VertexId = 0;
+    for (members, res) in &local_results {
+        let mut max_label = 0;
+        for (local, &orig) in members.iter().enumerate() {
+            let label = res.partition.community_of(local as VertexId);
+            max_label = max_label.max(label);
+            global[orig as usize] = offset + label;
+        }
+        offset += max_label + 1;
+    }
+    let global = Partition::from_vec(global);
+
+    // ---- phase 3: contract the full graph and refine on one device --------
+    let (merged, merged_map) = contract(graph, &global);
+    let refine_dev = Device::new(cfg.device.clone());
+    let refined = louvain_gpu(&refine_dev, &merged, &cfg.gpu)?;
+    let merge_time = merge_start.elapsed();
+
+    // ---- compose the final partition ---------------------------------------
+    let partition = merged_map.compose(&refined.partition);
+    let q = modularity(graph, &partition);
+
+    Ok(MultiGpuResult {
+        partition,
+        modularity: q,
+        local_modularities,
+        cut_weight,
+        merged_vertices: merged.num_vertices(),
+        local_time,
+        merge_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_graph::gen::{cliques, planted_partition};
+
+    #[test]
+    fn single_device_matches_plain_gpu_quality() {
+        let pg = planted_partition(6, 30, 0.4, 0.02, 5);
+        let single = louvain_gpu(
+            &Device::k40m(),
+            &pg.graph,
+            &GpuLouvainConfig::paper_default(),
+        )
+        .unwrap();
+        let multi = louvain_multi_gpu(&pg.graph, &MultiGpuConfig::k40m(1)).unwrap();
+        // One device sees the whole graph; the extra refinement pass can only
+        // help.
+        assert!(
+            multi.modularity >= single.modularity - 1e-9,
+            "multi(1) {:.4} vs single {:.4}",
+            multi.modularity,
+            single.modularity
+        );
+        assert_eq!(multi.cut_weight, 0.0);
+    }
+
+    #[test]
+    fn quality_degrades_gracefully_with_devices() {
+        // The coarse-grained scheme loses a bounded amount of modularity as
+        // the partition cuts more edges (Cheong et al. report up to 9%).
+        let pg = planted_partition(8, 32, 0.4, 0.01, 9);
+        let single = louvain_multi_gpu(&pg.graph, &MultiGpuConfig::k40m(1)).unwrap();
+        for d in [2usize, 4] {
+            let multi = louvain_multi_gpu(&pg.graph, &MultiGpuConfig::k40m(d)).unwrap();
+            assert!(
+                multi.modularity > 0.85 * single.modularity,
+                "{d} devices: Q {:.4} vs single-device {:.4}",
+                multi.modularity,
+                single.modularity
+            );
+            assert!(multi.cut_weight > 0.0, "{d}-way block partition must cut edges");
+            assert_eq!(multi.local_modularities.len(), d);
+        }
+    }
+
+    #[test]
+    fn cliques_survive_aligned_partitioning() {
+        // Clique boundaries align with block boundaries: no quality loss.
+        let g = cliques(4, 8, true);
+        let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(4)).unwrap();
+        for c in 0..4u32 {
+            let base = c * 8;
+            for v in 1..8u32 {
+                assert_eq!(
+                    multi.partition.community_of(base),
+                    multi.partition.community_of(base + v)
+                );
+            }
+        }
+        assert!(multi.modularity > 0.6);
+    }
+
+    #[test]
+    fn more_devices_than_vertices() {
+        let g = cliques(1, 4, false);
+        let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(16)).unwrap();
+        assert_eq!(multi.partition.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        let r = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(2)).unwrap();
+        assert_eq!(r.modularity, 0.0);
+    }
+}

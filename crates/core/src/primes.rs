@@ -1,0 +1,161 @@
+//! The precomputed prime ladder used to size hash tables.
+//!
+//! The paper draws each table size "from a list of precomputed prime numbers
+//! as the smallest value larger than 1.5 times the degree". A prime size
+//! makes the double-hashing probe sequence `h1 + it * h2 (mod size)` a full
+//! cycle for every non-zero `h2`, so the search always terminates at an empty
+//! slot when one exists.
+
+use std::sync::OnceLock;
+
+/// Returns the hash-table size for a task with `work` edges (a vertex degree
+/// in `computeMove`, a community degree-sum in `mergeCommunity`): the
+/// smallest ladder prime strictly greater than `1.5 * work`.
+pub fn table_size_for(work: usize) -> usize {
+    let need = (work + (work + 1) / 2) + 1; // ceil(1.5 * work) + 1 > 1.5 * work
+    let ladder = prime_ladder();
+    match ladder.binary_search(&need) {
+        Ok(i) => ladder[i],
+        Err(i) => *ladder
+            .get(i)
+            .unwrap_or_else(|| panic!("degree {work} exceeds the prime ladder")),
+    }
+}
+
+/// The precomputed ladder: primes spaced ~1.3x apart, covering table sizes up
+/// to beyond 4 billion entries (far past what device memory can hold).
+pub fn prime_ladder() -> &'static [usize] {
+    static LADDER: OnceLock<Vec<usize>> = OnceLock::new();
+    LADDER.get_or_init(|| {
+        let mut ladder = Vec::with_capacity(96);
+        let mut x = 3usize;
+        while x < 5_000_000_000 {
+            let p = next_prime_at_least(x);
+            ladder.push(p);
+            // Tight spacing at the bottom (subwarp buckets care), ~1.3x after.
+            x = if p < 64 { p + 2 } else { p + p / 3 };
+        }
+        ladder
+    })
+}
+
+/// Smallest prime `>= x`.
+pub fn next_prime_at_least(mut x: usize) -> usize {
+    if x <= 2 {
+        return 2;
+    }
+    if x % 2 == 0 {
+        x += 1;
+    }
+    while !is_prime(x as u64) {
+        x += 2;
+    }
+    x
+}
+
+/// Deterministic Miller-Rabin for u64 (bases valid for the full 64-bit
+/// range).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(7919));
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(!is_prime(7917));
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(!is_prime(2_147_483_649));
+    }
+
+    #[test]
+    fn next_prime() {
+        assert_eq!(next_prime_at_least(0), 2);
+        assert_eq!(next_prime_at_least(8), 11);
+        assert_eq!(next_prime_at_least(11), 11);
+        assert_eq!(next_prime_at_least(90), 97);
+    }
+
+    #[test]
+    fn ladder_is_sorted_primes() {
+        let ladder = prime_ladder();
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert!(ladder.iter().all(|&p| is_prime(p as u64)));
+        assert!(*ladder.last().unwrap() >= 4_000_000_000);
+    }
+
+    #[test]
+    fn table_size_strictly_exceeds_1_5x() {
+        for work in [1usize, 2, 4, 5, 8, 16, 32, 84, 319, 320, 1000, 123_456] {
+            let s = table_size_for(work);
+            assert!(
+                s as f64 > 1.5 * work as f64,
+                "size {s} not > 1.5 * {work}"
+            );
+            assert!(is_prime(s as u64));
+        }
+    }
+
+    #[test]
+    fn table_size_not_wastefully_large() {
+        // Ladder spacing caps the overshoot at ~1.4x the requirement.
+        for work in [10usize, 100, 1000, 100_000] {
+            let s = table_size_for(work);
+            assert!((s as f64) < 1.5 * 1.5 * work as f64 + 16.0, "size {s} for work {work}");
+        }
+    }
+}

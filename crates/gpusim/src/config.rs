@@ -1,0 +1,184 @@
+//! Device description and first-order cost model.
+//!
+//! The defaults model the Tesla K40m the paper evaluated on: 15 SMX units,
+//! 745 MHz, 4 warp schedulers per SM, 48 KiB of shared memory per block,
+//! 12 GiB of global memory. The cost constants are throughput costs (cycles
+//! per operation once latency is hidden), which is the regime a well-occupied
+//! GPU kernel runs in; they produce a *first-order* cycle estimate used to
+//! compare kernels and configurations, not to predict absolute wall time.
+
+/// Static description of the simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Human-readable device name (reports only).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Warp schedulers per SM (issue slots per cycle).
+    pub schedulers_per_sm: usize,
+    /// Threads per warp. Fixed at 32 on every real device; kept configurable
+    /// for tests.
+    pub warp_size: usize,
+    /// Warps per thread block. The paper uses 4 (128-thread blocks)
+    /// throughout.
+    pub warps_per_block: usize,
+    /// Shared memory available to one block, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Shared memory per SM, shared among its resident blocks (bounds
+    /// occupancy).
+    pub shared_mem_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Global memory, in bytes. Allocation beyond this is a launch error,
+    /// mirroring the paper's note that device memory bounds solvable sizes.
+    pub global_mem_bytes: usize,
+    /// Core clock in MHz (used to convert model cycles to model time).
+    pub clock_mhz: f64,
+    /// Cost model: cycles per warp-wide instruction issue.
+    pub cycles_per_warp_step: f64,
+    /// Cost model: cycles per 128-byte global-memory transaction.
+    pub cycles_per_global_transaction: f64,
+    /// Cost model: cycles per shared-memory access (per warp, conflict-free).
+    pub cycles_per_shared_access: f64,
+    /// Cost model: cycles per global atomic (add or CAS).
+    pub cycles_per_atomic: f64,
+    /// Fixed kernel launch overhead, in cycles.
+    pub launch_overhead_cycles: f64,
+}
+
+impl DeviceConfig {
+    /// A Tesla-K40m-like configuration (the paper's device).
+    pub fn tesla_k40m() -> Self {
+        Self {
+            name: "sim-K40m".to_string(),
+            num_sms: 15,
+            schedulers_per_sm: 4,
+            warp_size: 32,
+            warps_per_block: 4,
+            shared_mem_per_block: 48 * 1024,
+            shared_mem_per_sm: 48 * 1024,
+            max_blocks_per_sm: 16,
+            max_warps_per_sm: 64,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            clock_mhz: 745.0,
+            cycles_per_warp_step: 1.0,
+            cycles_per_global_transaction: 8.0,
+            cycles_per_shared_access: 1.0,
+            cycles_per_atomic: 16.0,
+            launch_overhead_cycles: 4000.0,
+        }
+    }
+
+    /// A tiny configuration for unit tests (2 SMs, 1 KiB shared memory) so
+    /// resource-limit paths are easy to exercise.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "sim-tiny".to_string(),
+            num_sms: 2,
+            schedulers_per_sm: 1,
+            warp_size: 32,
+            warps_per_block: 4,
+            shared_mem_per_block: 1024,
+            shared_mem_per_sm: 2048,
+            max_blocks_per_sm: 4,
+            max_warps_per_sm: 16,
+            global_mem_bytes: 16 * 1024 * 1024,
+            clock_mhz: 100.0,
+            cycles_per_warp_step: 1.0,
+            cycles_per_global_transaction: 8.0,
+            cycles_per_shared_access: 1.0,
+            cycles_per_atomic: 16.0,
+            launch_overhead_cycles: 100.0,
+        }
+    }
+
+    /// Threads per block (`warp_size * warps_per_block`; 128 in the paper).
+    pub fn block_threads(&self) -> usize {
+        self.warp_size * self.warps_per_block
+    }
+
+    /// Converts model cycles to model seconds using the clock and the
+    /// device-wide issue width.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz * 1e6)
+    }
+
+    /// Total issue slots per cycle across the device — the denominator the
+    /// cost model divides per-warp work by.
+    pub fn device_issue_width(&self) -> f64 {
+        (self.num_sms * self.schedulers_per_sm) as f64
+    }
+
+    /// Static occupancy of a kernel whose blocks use
+    /// `shared_bytes_per_block` bytes of shared memory: resident warps per
+    /// SM divided by the maximum (the standard CUDA occupancy-calculator
+    /// quantity, shared-memory- and block-slot-limited; registers are not
+    /// modeled).
+    pub fn occupancy(&self, shared_bytes_per_block: usize) -> f64 {
+        let resident = self.resident_warps_per_sm(shared_bytes_per_block);
+        resident as f64 / self.max_warps_per_sm as f64
+    }
+
+    /// Resident warps per SM for a kernel with the given per-block
+    /// shared-memory footprint.
+    pub fn resident_warps_per_sm(&self, shared_bytes_per_block: usize) -> usize {
+        let by_shared = if shared_bytes_per_block == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.shared_mem_per_sm / shared_bytes_per_block
+        };
+        let by_warps = self.max_warps_per_sm / self.warps_per_block;
+        let blocks = self.max_blocks_per_sm.min(by_shared).min(by_warps).max(0);
+        blocks * self.warps_per_block
+    }
+
+    /// Eligible warps per scheduler per cycle, as an occupancy-based upper
+    /// bound — the quantity the paper's profiling quotes ("on average 3.4
+    /// eligible warps ... to choose from").
+    pub fn eligible_warps_per_scheduler(&self, shared_bytes_per_block: usize) -> f64 {
+        self.resident_warps_per_sm(shared_bytes_per_block) as f64 / self.schedulers_per_sm as f64
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::tesla_k40m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40m_shape() {
+        let c = DeviceConfig::tesla_k40m();
+        assert_eq!(c.block_threads(), 128);
+        assert_eq!(c.device_issue_width(), 60.0);
+    }
+
+    #[test]
+    fn occupancy_model() {
+        let c = DeviceConfig::tesla_k40m();
+        // No shared memory: block-slot limited (16 blocks x 4 warps = 64).
+        assert_eq!(c.resident_warps_per_sm(0), 64);
+        assert_eq!(c.occupancy(0), 1.0);
+        // 6 KiB per block: 48 KiB / 6 KiB = 8 blocks = 32 warps.
+        assert_eq!(c.resident_warps_per_sm(6 * 1024), 32);
+        assert_eq!(c.occupancy(6 * 1024), 0.5);
+        // Huge footprint: one block resident.
+        assert_eq!(c.resident_warps_per_sm(40 * 1024), 4);
+        assert!(c.eligible_warps_per_scheduler(40 * 1024) - 1.0 < 1e-12);
+        // Full occupancy: 64 warps / 4 schedulers = 16 eligible.
+        assert_eq!(c.eligible_warps_per_scheduler(0), 16.0);
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let c = DeviceConfig::test_tiny();
+        let s = c.cycles_to_seconds(1e8);
+        assert!((s - 1.0).abs() < 1e-9); // 100 MHz
+    }
+}

@@ -1,0 +1,325 @@
+//! Lockstep thread groups — the simulator's unit of SIMT execution.
+//!
+//! The paper assigns each task (a vertex in `computeMove`, a community in
+//! `mergeCommunity`) to a *thread group*: a fraction of a warp (4/8/16/32
+//! lanes) or a whole 128-thread block. A group's lanes execute in lockstep;
+//! the simulator runs them on one CPU thread (which is exactly what SIMD
+//! lanes are) while distinct groups run concurrently across cores.
+//!
+//! [`GroupCtx`] carries the group's identity, its divergence/memory counters,
+//! and counted wrappers for the atomic operations kernels perform on global
+//! memory. Warp collectives (reduction, scan, ballot) are provided with the
+//! `log2(width)` step costs they have on the device.
+
+use crate::memory::{GlobalF64, GlobalU32, GlobalU64};
+use crate::metrics::BlockCounters;
+
+/// Valid thread-group widths: subwarp slices, one warp, or one block.
+pub const VALID_GROUP_LANES: [usize; 5] = [4, 8, 16, 32, 128];
+
+/// Execution context handed to kernel bodies, scoped to one thread group.
+pub struct GroupCtx<'a> {
+    /// Index of the block this group belongs to.
+    pub block_id: usize,
+    /// Lanes in this group (4, 8, 16, 32, or 128).
+    lanes: usize,
+    counters: &'a mut BlockCounters,
+}
+
+impl<'a> GroupCtx<'a> {
+    /// Creates a standalone context over caller-provided counters. Kernel
+    /// launches construct contexts internally; this is public for unit tests
+    /// and custom harnesses that exercise group-level code directly.
+    pub fn new(block_id: usize, lanes: usize, counters: &'a mut BlockCounters) -> Self {
+        debug_assert!(VALID_GROUP_LANES.contains(&lanes), "invalid group width {lanes}");
+        Self { block_id, lanes, counters }
+    }
+
+    /// Number of lanes in this group.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    // ----- SIMT step / divergence accounting -------------------------------
+
+    /// Records one lockstep step in which `active` of the group's lanes were
+    /// enabled. This is what the active-lane-fraction profiling metric is
+    /// computed from.
+    #[inline]
+    pub fn step(&mut self, active: usize) {
+        debug_assert!(active <= self.lanes);
+        self.counters.lane_slots += self.lanes as u64;
+        self.counters.active_lanes += active as u64;
+    }
+
+    /// Records `steps` identical lockstep steps with `total_active` active
+    /// lane-slots in total (bulk version of [`Self::step`]).
+    #[inline]
+    pub fn steps(&mut self, steps: u64, total_active: u64) {
+        debug_assert!(total_active <= steps * self.lanes as u64);
+        self.counters.lane_slots += steps * self.lanes as u64;
+        self.counters.active_lanes += total_active;
+    }
+
+    /// Records the steps needed to process `items` items strided across the
+    /// group (the paper's interleaved edge distribution): `ceil(items/lanes)`
+    /// steps, with only `items mod lanes` lanes active in the last one.
+    #[inline]
+    pub fn strided_steps(&mut self, items: usize) {
+        if items == 0 {
+            return;
+        }
+        let steps = items.div_ceil(self.lanes) as u64;
+        self.steps(steps, items as u64);
+    }
+
+    /// Block-wide barrier (`__syncthreads`). Semantically a no-op under
+    /// lockstep execution; counted for the cost model.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.counters.barriers += 1;
+    }
+
+    /// Marks one task as processed.
+    #[inline]
+    pub fn finish_task(&mut self) {
+        self.counters.tasks += 1;
+    }
+
+    // ----- memory traffic accounting ---------------------------------------
+
+    /// Records a coalesced global read of `words` consecutive 8-byte words
+    /// (e.g. scanning a neighbor list): `ceil(words / 16)` 128-byte
+    /// transactions.
+    #[inline]
+    pub fn global_read_coalesced(&mut self, words: usize) {
+        self.counters.global_reads += words as u64;
+        self.counters.global_transactions += words.div_ceil(16) as u64;
+    }
+
+    /// Records a scattered global read of `words` words (e.g. hash probes):
+    /// one transaction each.
+    #[inline]
+    pub fn global_read_scattered(&mut self, words: usize) {
+        self.counters.global_reads += words as u64;
+        self.counters.global_transactions += words as u64;
+    }
+
+    /// Records a coalesced global write of `words` consecutive words.
+    #[inline]
+    pub fn global_write_coalesced(&mut self, words: usize) {
+        self.counters.global_writes += words as u64;
+        self.counters.global_transactions += words.div_ceil(16) as u64;
+    }
+
+    /// Records a scattered global write.
+    #[inline]
+    pub fn global_write_scattered(&mut self, words: usize) {
+        self.counters.global_writes += words as u64;
+        self.counters.global_transactions += words as u64;
+    }
+
+    /// Records `words` shared-memory accesses (assumed conflict-free; the
+    /// paper's hash tables use double hashing to spread banks).
+    #[inline]
+    pub fn shared_access(&mut self, words: usize) {
+        self.counters.shared_accesses += words as u64;
+    }
+
+    // ----- counted atomics on global memory --------------------------------
+
+    /// `atomicAdd` on a global f64 cell (CAS-loop emulation, as on the K40m).
+    /// Retries are counted as CAS failures.
+    #[inline]
+    pub fn atomic_add_f64(&mut self, buf: &GlobalF64, idx: usize, v: f64) {
+        let attempts = buf.atomic_add(idx, v);
+        self.counters.atomic_adds += 1;
+        self.counters.cas_ops += attempts as u64;
+        self.counters.cas_failures += (attempts - 1) as u64;
+    }
+
+    /// `atomicAdd` on a global u32 cell; returns the previous value.
+    #[inline]
+    pub fn atomic_add_u32(&mut self, buf: &GlobalU32, idx: usize, v: u32) -> u32 {
+        self.counters.atomic_adds += 1;
+        buf.atomic_add(idx, v)
+    }
+
+    /// `atomicAdd` on a global u64 cell; returns the previous value.
+    #[inline]
+    pub fn atomic_add_u64(&mut self, buf: &GlobalU64, idx: usize, v: u64) -> u64 {
+        self.counters.atomic_adds += 1;
+        buf.atomic_add(idx, v)
+    }
+
+    /// `atomicCAS` on a global u32 cell. `Ok(prev)` when the swap succeeded.
+    #[inline]
+    pub fn cas_u32(&mut self, buf: &GlobalU32, idx: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.counters.cas_ops += 1;
+        let r = buf.cas(idx, current, new);
+        if r.is_err() {
+            self.counters.cas_failures += 1;
+        }
+        r
+    }
+
+    /// Accounts atomic adds performed on block-private storage (e.g. a hash
+    /// table that lives in global memory but is only touched by this block,
+    /// so the simulator backs it with plain memory). Semantically the adds
+    /// are already serialized by lockstep execution; this records their cost.
+    #[inline]
+    pub fn note_atomic_adds(&mut self, n: u64) {
+        self.counters.atomic_adds += n;
+    }
+
+    /// Accounts CAS operations performed on block-private storage (see
+    /// [`Self::note_atomic_adds`]).
+    #[inline]
+    pub fn note_cas(&mut self, ops: u64, failures: u64) {
+        debug_assert!(failures <= ops);
+        self.counters.cas_ops += ops;
+        self.counters.cas_failures += failures;
+    }
+
+    // ----- warp/block collectives ------------------------------------------
+
+    /// Records the cost of a `log2(lanes)`-step shuffle collective.
+    #[inline]
+    fn collective_cost(&mut self) {
+        let steps = self.lanes.trailing_zeros() as u64;
+        self.steps(steps, steps * self.lanes as u64);
+    }
+
+    /// Tournament argmax over per-lane `(score, key)` pairs — the reduction
+    /// `computeMove` uses to pick the best destination community (Alg. 2
+    /// line 14). Ties in score resolve to the **lowest key**, implementing
+    /// the paper's "move to the community with the lowest index among
+    /// candidates of maximal gain" rule. Returns `None` for an empty slice.
+    pub fn reduce_best(&mut self, lane_vals: &[(f64, u32)]) -> Option<(f64, u32)> {
+        debug_assert!(lane_vals.len() <= self.lanes);
+        self.collective_cost();
+        lane_vals
+            .iter()
+            .copied()
+            .reduce(|a, b| {
+                if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                    b
+                } else {
+                    a
+                }
+            })
+    }
+
+    /// Sum reduction over per-lane values.
+    pub fn reduce_sum_f64(&mut self, lane_vals: &[f64]) -> f64 {
+        debug_assert!(lane_vals.len() <= self.lanes);
+        self.collective_cost();
+        lane_vals.iter().sum()
+    }
+
+    /// Exclusive prefix sum across lanes; returns the total. Used when
+    /// threads claim output slots (the edge-compaction step of
+    /// `mergeCommunity`).
+    pub fn exclusive_scan_usize(&mut self, lane_vals: &mut [usize]) -> usize {
+        debug_assert!(lane_vals.len() <= self.lanes);
+        self.collective_cost();
+        let mut acc = 0usize;
+        for v in lane_vals.iter_mut() {
+            let cur = *v;
+            *v = acc;
+            acc += cur;
+        }
+        acc
+    }
+
+    /// Warp ballot: bitmask of lanes whose predicate is true (lane 0 = LSB).
+    pub fn ballot(&mut self, lane_preds: &[bool]) -> u128 {
+        debug_assert!(lane_preds.len() <= self.lanes);
+        self.step(lane_preds.len());
+        lane_preds
+            .iter()
+            .enumerate()
+            .fold(0u128, |m, (i, &p)| if p { m | (1u128 << i) } else { m })
+    }
+
+    /// Read-only view of the counters accumulated so far by this group's
+    /// block (tests and instrumentation).
+    pub fn counters(&self) -> &BlockCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(counters: &mut BlockCounters) -> GroupCtx<'_> {
+        GroupCtx::new(0, 32, counters)
+    }
+
+    #[test]
+    fn step_accounting() {
+        let mut c = BlockCounters::default();
+        let mut g = ctx(&mut c);
+        g.step(20);
+        g.strided_steps(70); // ceil(70/32) = 3 steps, 70 active
+        assert_eq!(c.lane_slots, 32 + 96);
+        assert_eq!(c.active_lanes, 20 + 70);
+    }
+
+    #[test]
+    fn reduce_best_prefers_low_key_on_tie() {
+        let mut c = BlockCounters::default();
+        let mut g = ctx(&mut c);
+        let best = g.reduce_best(&[(1.0, 9), (2.0, 5), (2.0, 3), (0.5, 1)]).unwrap();
+        assert_eq!(best, (2.0, 3));
+        assert!(g.reduce_best(&[]).is_none());
+    }
+
+    #[test]
+    fn exclusive_scan() {
+        let mut c = BlockCounters::default();
+        let mut g = ctx(&mut c);
+        let mut v = [3usize, 0, 2, 5];
+        let total = g.exclusive_scan_usize(&mut v);
+        assert_eq!(v, [0, 3, 3, 5]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn ballot_mask() {
+        let mut c = BlockCounters::default();
+        let mut g = ctx(&mut c);
+        assert_eq!(g.ballot(&[true, false, true, true]), 0b1101);
+    }
+
+    #[test]
+    fn atomic_wrappers_count() {
+        let mut c = BlockCounters::default();
+        let f = GlobalF64::zeroed(1);
+        let u = GlobalU32::zeroed(1);
+        {
+            let mut g = GroupCtx::new(0, 4, &mut c);
+            g.atomic_add_f64(&f, 0, 2.0);
+            assert_eq!(g.atomic_add_u32(&u, 0, 3), 0);
+            assert!(g.cas_u32(&u, 0, 3, 7).is_ok());
+            assert!(g.cas_u32(&u, 0, 3, 9).is_err());
+        }
+        assert_eq!(f.load(0), 2.0);
+        assert_eq!(u.load(0), 7);
+        assert_eq!(c.atomic_adds, 2);
+        assert_eq!(c.cas_ops, 3); // 1 from f64 add + 2 explicit
+        assert_eq!(c.cas_failures, 1);
+    }
+
+    #[test]
+    fn transaction_model() {
+        let mut c = BlockCounters::default();
+        let mut g = ctx(&mut c);
+        g.global_read_coalesced(32); // 2 transactions
+        g.global_read_scattered(5); // 5 transactions
+        assert_eq!(c.global_transactions, 7);
+        assert_eq!(c.global_reads, 37);
+    }
+}

@@ -1,0 +1,316 @@
+//! The device and its kernel launchers.
+//!
+//! Launches mirror the paper's three assignment shapes (Section 4.1):
+//!
+//! * [`Device::launch_tasks`] — one task per thread group of a chosen width
+//!   (subwarp groups for low-degree vertices, one warp for mid-degree, one
+//!   block for high-degree). Consecutive tasks pack into 128-thread blocks.
+//! * [`Device::launch_blocks`] — explicit block-level control, for kernels
+//!   that assign *multiple* tasks to one block and reuse its (global) hash
+//!   table storage sequentially — the paper's bucket-7 path.
+//! * [`Device::launch_threads`] — plain elementwise kernels (initialization,
+//!   community-label updates), executed as warps with full occupancy.
+//!
+//! Blocks execute concurrently on the rayon pool; each block owns private
+//! [`BlockCounters`] merged into the device metrics when the launch
+//! completes, so the hot path takes no locks.
+
+use crate::config::DeviceConfig;
+use crate::group::{GroupCtx, VALID_GROUP_LANES};
+use crate::metrics::{BlockCounters, MetricsReport, MetricsStore};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A simulated GPU.
+#[derive(Debug)]
+pub struct Device {
+    cfg: DeviceConfig,
+    metrics: Mutex<MetricsStore>,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self { cfg, metrics: Mutex::new(MetricsStore::default()) }
+    }
+
+    /// A device with the paper's K40m-like defaults.
+    pub fn k40m() -> Self {
+        Self::new(DeviceConfig::tesla_k40m())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of all kernel metrics recorded so far.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.lock().snapshot()
+    }
+
+    /// Clears all recorded metrics.
+    pub fn reset_metrics(&self) {
+        self.metrics.lock().reset();
+    }
+
+    pub(crate) fn record(&self, name: &str, blocks: u64, counters: BlockCounters, wall: std::time::Duration) {
+        self.metrics.lock().record_launch(name, blocks, counters, wall, 0);
+    }
+
+    pub(crate) fn record_with_shared(
+        &self,
+        name: &str,
+        blocks: u64,
+        counters: BlockCounters,
+        wall: std::time::Duration,
+        shared_bytes_per_block: usize,
+    ) {
+        self.metrics.lock().record_launch(name, blocks, counters, wall, shared_bytes_per_block);
+    }
+
+    /// Launches `n_tasks` tasks, one per thread group of `lanes` lanes.
+    ///
+    /// `lanes` must be one of 4, 8, 16, 32, or 128 (the widths of the paper's
+    /// buckets). `shared_bytes_per_task` declares the shared-memory footprint
+    /// of one task's scratch (hash tables); the launch panics if a full
+    /// block's worth of tasks exceeds the per-block shared-memory budget —
+    /// the caller must route such tasks to a global-memory kernel instead,
+    /// exactly as the paper does for its largest buckets.
+    ///
+    /// `block_state` builds per-block reusable scratch (allocated once per
+    /// block, not per task) and `kernel` runs once per task.
+    pub fn launch_tasks<S, I, F>(
+        &self,
+        name: &str,
+        n_tasks: usize,
+        lanes: usize,
+        shared_bytes_per_task: usize,
+        block_state: I,
+        kernel: F,
+    ) where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut GroupCtx, &mut S, usize) + Sync,
+    {
+        assert!(
+            VALID_GROUP_LANES.contains(&lanes),
+            "group width {lanes} is not one of {VALID_GROUP_LANES:?}"
+        );
+        let block_threads = self.cfg.block_threads();
+        assert!(
+            lanes <= block_threads,
+            "group width {lanes} exceeds block size {block_threads}"
+        );
+        let tasks_per_block = block_threads / lanes;
+        assert!(
+            shared_bytes_per_task * tasks_per_block <= self.cfg.shared_mem_per_block,
+            "kernel '{name}': {tasks_per_block} tasks x {shared_bytes_per_task} B exceeds the \
+             {} B shared-memory budget; use a global-memory kernel for this bucket",
+            self.cfg.shared_mem_per_block
+        );
+        let shared_per_block = shared_bytes_per_task * tasks_per_block;
+        if n_tasks == 0 {
+            self.record_with_shared(name, 0, BlockCounters::default(), std::time::Duration::ZERO, shared_per_block);
+            return;
+        }
+
+        let start = Instant::now();
+        let n_blocks = n_tasks.div_ceil(tasks_per_block);
+        let totals = (0..n_blocks)
+            .into_par_iter()
+            .map(|block| {
+                let mut counters = BlockCounters::default();
+                let mut state = block_state();
+                let lo = block * tasks_per_block;
+                let hi = (lo + tasks_per_block).min(n_tasks);
+                for task in lo..hi {
+                    let mut ctx = GroupCtx::new(block, lanes, &mut counters);
+                    kernel(&mut ctx, &mut state, task);
+                    ctx.finish_task();
+                }
+                counters
+            })
+            .reduce(BlockCounters::default, |mut a, b| {
+                a.merge(&b);
+                a
+            });
+        self.record_with_shared(name, n_blocks as u64, totals, start.elapsed(), shared_per_block);
+    }
+
+    /// Launches `n_blocks` blocks; the kernel body receives a block-wide
+    /// (128-lane) [`GroupCtx`] and the block id, and is responsible for its
+    /// own task iteration. Used for the paper's interleaved multi-task-per-
+    /// block assignment with reused global-memory hash tables.
+    pub fn launch_blocks<S, I, F>(&self, name: &str, n_blocks: usize, block_state: I, kernel: F)
+    where
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut GroupCtx, &mut S) + Sync,
+    {
+        if n_blocks == 0 {
+            self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
+            return;
+        }
+        let start = Instant::now();
+        let block_threads = self.cfg.block_threads();
+        let totals = (0..n_blocks)
+            .into_par_iter()
+            .map(|block| {
+                let mut counters = BlockCounters::default();
+                let mut state = block_state(block);
+                let mut ctx = GroupCtx::new(block, block_threads, &mut counters);
+                kernel(&mut ctx, &mut state);
+                counters
+            })
+            .reduce(BlockCounters::default, |mut a, b| {
+                a.merge(&b);
+                a
+            });
+        self.record(name, n_blocks as u64, totals, start.elapsed());
+    }
+
+    /// Elementwise kernel over `n_threads` virtual threads, scheduled as full
+    /// warps. The kernel receives the thread index; the context is warp-wide.
+    pub fn launch_threads<F>(&self, name: &str, n_threads: usize, kernel: F)
+    where
+        F: Fn(&mut GroupCtx, usize) + Sync,
+    {
+        if n_threads == 0 {
+            self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
+            return;
+        }
+        let start = Instant::now();
+        let block_threads = self.cfg.block_threads();
+        let warp = self.cfg.warp_size;
+        let n_blocks = n_threads.div_ceil(block_threads);
+        let totals = (0..n_blocks)
+            .into_par_iter()
+            .map(|block| {
+                let mut counters = BlockCounters::default();
+                let lo = block * block_threads;
+                let hi = (lo + block_threads).min(n_threads);
+                let mut t = lo;
+                while t < hi {
+                    let warp_hi = (t + warp).min(hi);
+                    let mut ctx = GroupCtx::new(block, warp, &mut counters);
+                    ctx.step(warp_hi - t);
+                    for thread in t..warp_hi {
+                        kernel(&mut ctx, thread);
+                    }
+                    t = warp_hi;
+                }
+                counters
+            })
+            .reduce(BlockCounters::default, |mut a, b| {
+                a.merge(&b);
+                a
+            });
+        self.record(name, n_blocks as u64, totals, start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{GlobalF64, GlobalU32};
+
+    fn tiny() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn launch_tasks_visits_every_task_once() {
+        let dev = tiny();
+        let hits = GlobalU32::zeroed(1000);
+        dev.launch_tasks("visit", 1000, 8, 0, || (), |ctx, _, task| {
+            ctx.atomic_add_u32(&hits, task, 1);
+        });
+        assert!(hits.to_vec().iter().all(|&h| h == 1));
+        let m = dev.metrics();
+        let k = m.kernel("visit").unwrap();
+        assert_eq!(k.counters.tasks, 1000);
+        // 128-thread blocks, 16 tasks of width 8 each => 63 blocks.
+        assert_eq!(k.blocks, 1000usize.div_ceil(16) as u64);
+    }
+
+    #[test]
+    fn launch_tasks_block_state_reused_within_block() {
+        let dev = tiny();
+        // Count state constructions: must equal the number of blocks, not tasks.
+        let constructions = GlobalU32::zeroed(1);
+        dev.launch_tasks(
+            "state",
+            256,
+            32,
+            0,
+            || {
+                constructions.atomic_add(0, 1);
+            },
+            |_, _, _| {},
+        );
+        // 4 tasks of width 32 per 128-thread block => 64 blocks.
+        assert_eq!(constructions.load(0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-memory budget")]
+    fn shared_memory_budget_enforced() {
+        let dev = tiny(); // 1 KiB per block
+        dev.launch_tasks("too-big", 10, 4, 512, || (), |_, _, _| {});
+    }
+
+    #[test]
+    fn launch_threads_full_coverage_and_occupancy() {
+        let dev = tiny();
+        let out = GlobalF64::zeroed(300);
+        dev.launch_threads("triple", 300, |ctx, t| {
+            out.store(t, t as f64 * 3.0);
+            ctx.global_write_coalesced(1);
+        });
+        let v = out.to_vec();
+        assert!((0..300).all(|t| v[t] == t as f64 * 3.0));
+        let m = dev.metrics();
+        let k = m.kernel("triple").unwrap();
+        // 300 threads in warps of 32: 9 full warps + one 12-active warp.
+        assert_eq!(k.counters.lane_slots, 10 * 32);
+        assert_eq!(k.counters.active_lanes, 300);
+        assert!(k.active_lane_fraction() < 1.0);
+    }
+
+    #[test]
+    fn launch_blocks_runs_each_block() {
+        let dev = tiny();
+        let sum = GlobalU32::zeroed(1);
+        dev.launch_blocks("blocks", 7, |b| b as u32, |ctx, state| {
+            ctx.atomic_add_u32(&sum, 0, *state);
+        });
+        assert_eq!(sum.load(0), (0..7).sum::<u32>());
+        assert_eq!(dev.metrics().kernel("blocks").unwrap().blocks, 7);
+    }
+
+    #[test]
+    fn zero_task_launch_is_recorded() {
+        let dev = tiny();
+        dev.launch_tasks("empty", 0, 4, 0, || (), |_, _, _: usize| {});
+        let m = dev.metrics();
+        assert_eq!(m.kernel("empty").unwrap().launches, 1);
+        assert_eq!(m.kernel("empty").unwrap().blocks, 0);
+    }
+
+    #[test]
+    fn metrics_reset() {
+        let dev = tiny();
+        dev.launch_threads("k", 10, |_, _| {});
+        assert!(dev.metrics().kernel("k").is_some());
+        dev.reset_metrics();
+        assert!(dev.metrics().kernel("k").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of")]
+    fn rejects_bad_group_width() {
+        tiny().launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+    }
+}

@@ -1,0 +1,290 @@
+//! Global device memory: shared, atomically-updatable buffers.
+//!
+//! Real kernels race on global memory across blocks; the simulator backs
+//! global buffers with atomic cells so those races have the same semantics
+//! (lock-free, last-write-wins for plain stores, sequenced read-modify-write
+//! for `atomicAdd`/CAS). Everything uses relaxed ordering — kernel launch
+//! boundaries are the only synchronization points, exactly as on the device,
+//! and the launch machinery provides the necessary happens-before edges when
+//! it joins its worker tasks.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A global buffer of `u32` (vertex ids, community ids, counters).
+#[derive(Debug, Default)]
+pub struct GlobalU32 {
+    cells: Vec<AtomicU32>,
+}
+
+impl GlobalU32 {
+    /// A zero-filled buffer of `len` cells.
+    pub fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| AtomicU32::new(0)).collect() }
+    }
+
+    /// A buffer initialized from a slice.
+    pub fn from_slice(data: &[u32]) -> Self {
+        Self { cells: data.iter().map(|&v| AtomicU32::new(v)).collect() }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Plain load.
+    #[inline]
+    pub fn load(&self, idx: usize) -> u32 {
+        self.cells[idx].load(Ordering::Relaxed)
+    }
+
+    /// Plain store.
+    #[inline]
+    pub fn store(&self, idx: usize, v: u32) {
+        self.cells[idx].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd`: returns the previous value.
+    #[inline]
+    pub fn atomic_add(&self, idx: usize, v: u32) -> u32 {
+        self.cells[idx].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Compare-and-swap: returns `Ok(current)` on success, `Err(actual)` when
+    /// another thread got there first — matching CUDA `atomicCAS` usage.
+    #[inline]
+    pub fn cas(&self, idx: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.cells[idx].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// `atomicMin` emulation (CAS loop); returns the previous value.
+    pub fn atomic_min(&self, idx: usize, v: u32) -> u32 {
+        self.cells[idx].fetch_min(v, Ordering::Relaxed)
+    }
+
+    /// Copies the buffer out to a host vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Overwrites every cell from a slice of the same length.
+    pub fn copy_from_slice(&self, data: &[u32]) {
+        assert_eq!(data.len(), self.len());
+        for (c, &v) in self.cells.iter().zip(data) {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Fills the buffer with a value.
+    pub fn fill(&self, v: u32) {
+        for c in &self.cells {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A global buffer of `u64` (sizes, offsets, degree sums).
+#[derive(Debug, Default)]
+pub struct GlobalU64 {
+    cells: Vec<AtomicU64>,
+}
+
+impl GlobalU64 {
+    /// A zero-filled buffer of `len` cells.
+    pub fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// A buffer initialized from a slice.
+    pub fn from_slice(data: &[u64]) -> Self {
+        Self { cells: data.iter().map(|&v| AtomicU64::new(v)).collect() }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Plain load.
+    #[inline]
+    pub fn load(&self, idx: usize) -> u64 {
+        self.cells[idx].load(Ordering::Relaxed)
+    }
+
+    /// Plain store.
+    #[inline]
+    pub fn store(&self, idx: usize, v: u64) {
+        self.cells[idx].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd`: returns the previous value.
+    #[inline]
+    pub fn atomic_add(&self, idx: usize, v: u64) -> u64 {
+        self.cells[idx].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Copies the buffer out to a host vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// A global buffer of `f64` with `atomicAdd` emulated by a CAS loop — the
+/// exact technique CUDA devices below compute capability 6.0 (including the
+/// paper's K40m) use for double-precision atomic adds.
+#[derive(Debug, Default)]
+pub struct GlobalF64 {
+    cells: Vec<AtomicU64>,
+}
+
+impl GlobalF64 {
+    /// A zero-filled buffer of `len` cells.
+    pub fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+    }
+
+    /// A buffer initialized from a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Self { cells: data.iter().map(|&v| AtomicU64::new(v.to_bits())).collect() }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Plain load.
+    #[inline]
+    pub fn load(&self, idx: usize) -> f64 {
+        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    /// Plain store.
+    #[inline]
+    pub fn store(&self, idx: usize, v: f64) {
+        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `atomicAdd` via CAS loop; returns the number of CAS attempts it took
+    /// (1 = no contention), which the metrics layer records.
+    #[inline]
+    pub fn atomic_add(&self, idx: usize, v: f64) -> u32 {
+        let cell = &self.cells[idx];
+        let mut attempts = 1;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return attempts,
+                Err(actual) => {
+                    attempts += 1;
+                    cur = actual;
+                }
+            }
+        }
+    }
+
+    /// Copies the buffer out to a host vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Fills the buffer with a value.
+    pub fn fill(&self, v: f64) {
+        for c in &self.cells {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn u32_basics() {
+        let b = GlobalU32::from_slice(&[1, 2, 3]);
+        assert_eq!(b.load(1), 2);
+        b.store(1, 9);
+        assert_eq!(b.atomic_add(1, 5), 9);
+        assert_eq!(b.load(1), 14);
+        assert_eq!(b.to_vec(), vec![1, 14, 3]);
+    }
+
+    #[test]
+    fn u32_cas_semantics() {
+        let b = GlobalU32::zeroed(1);
+        assert_eq!(b.cas(0, 0, 7), Ok(0));
+        assert_eq!(b.cas(0, 0, 9), Err(7));
+        assert_eq!(b.load(0), 7);
+    }
+
+    #[test]
+    fn f64_atomic_add_concurrent_sum() {
+        let b = GlobalF64::zeroed(4);
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            b.atomic_add(i % 4, 0.5);
+        });
+        let v = b.to_vec();
+        for x in v {
+            assert!((x - 1250.0).abs() < 1e-9, "lost updates: {x}");
+        }
+    }
+
+    #[test]
+    fn u32_atomic_add_concurrent() {
+        let b = GlobalU32::zeroed(1);
+        (0..100_000u32).into_par_iter().for_each(|_| {
+            b.atomic_add(0, 1);
+        });
+        assert_eq!(b.load(0), 100_000);
+    }
+
+    #[test]
+    fn cas_claims_are_exclusive() {
+        // Many threads race to claim slot 0 with distinct ids; exactly one
+        // must win — the invariant the paper's hash-table insertion relies on.
+        let b = GlobalU32::zeroed(1);
+        let winners: Vec<u32> = (1..=1000u32)
+            .into_par_iter()
+            .filter_map(|id| b.cas(0, 0, id).ok().map(|_| id))
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(b.load(0), winners[0]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let b = GlobalU64::from_slice(&[10, 20]);
+        b.atomic_add(0, 5);
+        assert_eq!(b.to_vec(), vec![15, 20]);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let b = GlobalU32::zeroed(3);
+        b.fill(7);
+        assert_eq!(b.to_vec(), vec![7, 7, 7]);
+        b.copy_from_slice(&[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        let f = GlobalF64::zeroed(2);
+        f.fill(1.5);
+        assert_eq!(f.to_vec(), vec![1.5, 1.5]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Device-wide collective primitives — the simulator's stand-in for the
+//! Thrust routines the paper calls (`partition`, prefix sums, sort,
+//! reductions).
+//!
+//! All primitives are deterministic: parallel reductions use fixed chunk
+//! boundaries so floating-point results do not depend on scheduling. Each
+//! call is recorded in the device metrics as a kernel launch named
+//! `thrust::<op>`.
+
+use crate::launch::Device;
+use crate::metrics::BlockCounters;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Chunk size for blocked scans/reductions. Fixed so results are
+/// deterministic regardless of worker count.
+const CHUNK: usize = 4096;
+
+fn record_elems(dev: &Device, name: &str, elems: usize, start: Instant) {
+    let counters = BlockCounters {
+        lane_slots: elems as u64,
+        active_lanes: elems as u64,
+        global_reads: elems as u64,
+        global_writes: elems as u64,
+        global_transactions: (2 * elems).div_ceil(16) as u64,
+        ..Default::default()
+    };
+    dev.record(name, elems.div_ceil(CHUNK) as u64, counters, start.elapsed());
+}
+
+impl Device {
+    /// Exclusive prefix sum in place; returns the grand total.
+    /// (`thrust::exclusive_scan`.)
+    pub fn exclusive_scan_usize(&self, data: &mut [usize]) -> usize {
+        let start = Instant::now();
+        let total = blocked_scan(data, false);
+        record_elems(self, "thrust::exclusive_scan", data.len(), start);
+        total
+    }
+
+    /// Inclusive prefix sum in place; returns the grand total.
+    /// (`thrust::inclusive_scan`.)
+    pub fn inclusive_scan_usize(&self, data: &mut [usize]) -> usize {
+        let start = Instant::now();
+        let total = blocked_scan(data, true);
+        record_elems(self, "thrust::inclusive_scan", data.len(), start);
+        total
+    }
+
+    /// Stable partition of `items` by a predicate: all selected items (in
+    /// order) followed by the rest (in order), plus the selected count.
+    /// This is the `thrust::partition` call of Alg. 1 line 5 / Alg. 3
+    /// line 21 that extracts each degree bucket.
+    pub fn partition<T, F>(&self, items: &[T], pred: F) -> (Vec<T>, usize)
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let start = Instant::now();
+        let selected: Vec<T> = items.par_iter().copied().filter(|x| pred(x)).collect();
+        let count = selected.len();
+        let mut out = selected;
+        out.par_extend(items.par_iter().copied().filter(|x| !pred(x)));
+        record_elems(self, "thrust::partition", items.len(), start);
+        (out, count)
+    }
+
+    /// Selects the items satisfying the predicate, preserving order
+    /// (`thrust::copy_if`).
+    pub fn copy_if<T, F>(&self, items: &[T], pred: F) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let start = Instant::now();
+        let out: Vec<T> = items.par_iter().copied().filter(|x| pred(x)).collect();
+        record_elems(self, "thrust::copy_if", items.len(), start);
+        out
+    }
+
+    /// Stable sort by key (`thrust::stable_sort_by_key`).
+    pub fn sort_by_key<T, K, F>(&self, items: &mut [T], key: F)
+    where
+        T: Send,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        let start = Instant::now();
+        items.par_sort_by_key(key);
+        record_elems(self, "thrust::sort_by_key", items.len(), start);
+    }
+
+    /// Deterministic sum reduction over f64 (`thrust::reduce`). Fixed chunk
+    /// boundaries make the result independent of thread count.
+    pub fn reduce_sum_f64(&self, data: &[f64]) -> f64 {
+        let start = Instant::now();
+        let partials: Vec<f64> = data
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().sum::<f64>())
+            .collect();
+        let total = partials.iter().sum();
+        record_elems(self, "thrust::reduce", data.len(), start);
+        total
+    }
+
+    /// Sum reduction over usize.
+    pub fn reduce_sum_usize(&self, data: &[usize]) -> usize {
+        let start = Instant::now();
+        let total = data.par_iter().sum();
+        record_elems(self, "thrust::reduce", data.len(), start);
+        total
+    }
+
+    /// Maximum element, or `None` when empty (`thrust::max_element`).
+    pub fn max_usize(&self, data: &[usize]) -> Option<usize> {
+        let start = Instant::now();
+        let m = data.par_iter().copied().max();
+        record_elems(self, "thrust::max_element", data.len(), start);
+        m
+    }
+
+    /// Counts items satisfying the predicate (`thrust::count_if`).
+    pub fn count_if<T, F>(&self, data: &[T], pred: F) -> usize
+    where
+        T: Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let start = Instant::now();
+        let c = data.par_iter().filter(|x| pred(x)).count();
+        record_elems(self, "thrust::count_if", data.len(), start);
+        c
+    }
+}
+
+/// Blocked parallel scan: per-chunk sums, sequential scan over chunk sums,
+/// then a parallel rewrite pass. Deterministic for integer element types.
+fn blocked_scan(data: &mut [usize], inclusive: bool) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    let mut chunk_sums: Vec<usize> = data.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    let mut acc = 0usize;
+    for s in chunk_sums.iter_mut() {
+        let cur = *s;
+        *s = acc;
+        acc += cur;
+    }
+    data.par_chunks_mut(CHUNK).zip(chunk_sums.par_iter()).for_each(|(chunk, &base)| {
+        let mut run = base;
+        for v in chunk.iter_mut() {
+            let cur = *v;
+            if inclusive {
+                run += cur;
+                *v = run;
+            } else {
+                *v = run;
+                run += cur;
+            }
+        }
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn exclusive_scan_matches_reference() {
+        let dev = dev();
+        let mut v: Vec<usize> = (0..10_000).map(|i| (i * 7 + 3) % 11).collect();
+        let reference: Vec<usize> = {
+            let mut out = Vec::with_capacity(v.len());
+            let mut acc = 0;
+            for &x in &v {
+                out.push(acc);
+                acc += x;
+            }
+            out
+        };
+        let expected_total: usize = v.iter().sum();
+        let total = dev.exclusive_scan_usize(&mut v);
+        assert_eq!(v, reference);
+        assert_eq!(total, expected_total);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_reference() {
+        let dev = dev();
+        let mut v: Vec<usize> = (0..9_999).map(|i| i % 5).collect();
+        let mut reference = v.clone();
+        for i in 1..reference.len() {
+            reference[i] += reference[i - 1];
+        }
+        let total = dev.inclusive_scan_usize(&mut v);
+        assert_eq!(v, reference);
+        assert_eq!(total, *reference.last().unwrap());
+    }
+
+    #[test]
+    fn scan_empty_and_single() {
+        let dev = dev();
+        let mut empty: Vec<usize> = vec![];
+        assert_eq!(dev.exclusive_scan_usize(&mut empty), 0);
+        let mut one = vec![42usize];
+        assert_eq!(dev.exclusive_scan_usize(&mut one), 42);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let dev = dev();
+        let items: Vec<u32> = (0..1000).collect();
+        let (parted, count) = dev.partition(&items, |&x| x % 3 == 0);
+        assert_eq!(count, 334);
+        assert!(parted[..count].windows(2).all(|w| w[0] < w[1]));
+        assert!(parted[count..].windows(2).all(|w| w[0] < w[1]));
+        assert!(parted[..count].iter().all(|&x| x % 3 == 0));
+        assert!(parted[count..].iter().all(|&x| x % 3 != 0));
+    }
+
+    #[test]
+    fn reduce_sum_deterministic() {
+        let dev = dev();
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+        let a = dev.reduce_sum_f64(&data);
+        let b = dev.reduce_sum_f64(&data);
+        assert_eq!(a.to_bits(), b.to_bits(), "reduction must be bitwise deterministic");
+    }
+
+    #[test]
+    fn sort_and_max_and_count() {
+        let dev = dev();
+        let mut items: Vec<(u32, u32)> = (0..500).map(|i| ((997 - i) % 100, i)).collect();
+        dev.sort_by_key(&mut items, |&(k, _)| k);
+        assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(dev.max_usize(&[3, 9, 1]), Some(9));
+        assert_eq!(dev.max_usize(&[]), None);
+        assert_eq!(dev.count_if(&[1, 2, 3, 4], |&x| x % 2 == 0), 2);
+    }
+
+    #[test]
+    fn thrust_calls_appear_in_metrics() {
+        let dev = dev();
+        let mut v = vec![1usize, 2, 3];
+        dev.exclusive_scan_usize(&mut v);
+        let m = dev.metrics();
+        assert_eq!(m.kernel("thrust::exclusive_scan").unwrap().launches, 1);
+    }
+}

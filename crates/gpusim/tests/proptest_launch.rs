@@ -1,0 +1,94 @@
+//! Property tests of the launch machinery: every task runs exactly once
+//! under any (task count, group width) combination, counters balance, and
+//! the Thrust collectives match their sequential specifications on
+//! arbitrary input.
+
+use cd_gpusim::{Device, DeviceConfig, GlobalU32, VALID_GROUP_LANES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_task_runs_exactly_once(
+        n_tasks in 0usize..700,
+        lane_idx in 0usize..VALID_GROUP_LANES.len(),
+    ) {
+        let lanes = VALID_GROUP_LANES[lane_idx];
+        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let hits = GlobalU32::zeroed(n_tasks.max(1));
+        dev.launch_tasks("visit", n_tasks, lanes, 0, || (), |ctx, _, task| {
+            ctx.atomic_add_u32(&hits, task, 1);
+        });
+        let v = hits.to_vec();
+        for t in 0..n_tasks {
+            prop_assert_eq!(v[t], 1, "task {} ran {} times (lanes {})", t, v[t], lanes);
+        }
+        let m = dev.metrics();
+        prop_assert_eq!(m.kernel("visit").unwrap().counters.tasks, n_tasks as u64);
+    }
+
+    #[test]
+    fn launch_threads_covers_range(n in 0usize..2000) {
+        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let out = GlobalU32::zeroed(n.max(1));
+        dev.launch_threads("mark", n, |_, t| {
+            out.store(t, t as u32 + 1);
+        });
+        let v = out.to_vec();
+        for t in 0..n {
+            prop_assert_eq!(v[t], t as u32 + 1);
+        }
+        // Active lanes equal the thread count exactly.
+        if n > 0 {
+            let k = dev.metrics();
+            let k = k.kernel("mark").unwrap();
+            prop_assert_eq!(k.counters.active_lanes, n as u64);
+            prop_assert!(k.counters.lane_slots >= n as u64);
+        }
+    }
+
+    #[test]
+    fn concurrent_atomic_sums_are_exact(
+        n_tasks in 1usize..400,
+        cells in 1usize..8,
+    ) {
+        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let acc = cd_gpusim::GlobalF64::zeroed(cells);
+        dev.launch_tasks("sum", n_tasks, 4, 0, || (), |ctx, _, task| {
+            ctx.atomic_add_f64(&acc, task % cells, 1.0);
+        });
+        let v = acc.to_vec();
+        let total: f64 = v.iter().sum();
+        prop_assert_eq!(total, n_tasks as f64);
+    }
+
+    #[test]
+    fn sort_by_key_is_a_sorted_permutation(mut items in proptest::collection::vec(0u32..1000, 0..400)) {
+        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let mut reference = items.clone();
+        reference.sort_unstable();
+        dev.sort_by_key(&mut items, |&x| x);
+        prop_assert_eq!(items, reference);
+    }
+
+    #[test]
+    fn copy_if_matches_filter(items in proptest::collection::vec(0u32..100, 0..400)) {
+        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let selected = dev.copy_if(&items, |&x| x % 7 == 0);
+        let reference: Vec<u32> = items.iter().copied().filter(|x| x % 7 == 0).collect();
+        prop_assert_eq!(selected, reference);
+    }
+
+    #[test]
+    fn group_scan_and_reduce_consistent(vals in proptest::collection::vec(0usize..50, 1..32)) {
+        let mut counters = cd_gpusim::BlockCounters::default();
+        let mut ctx = cd_gpusim::GroupCtx::new(0, 32, &mut counters);
+        let mut scanned = vals.clone();
+        let total = ctx.exclusive_scan_usize(&mut scanned);
+        prop_assert_eq!(total, vals.iter().sum::<usize>());
+        for (i, &v) in scanned.iter().enumerate() {
+            prop_assert_eq!(v, vals[..i].iter().sum::<usize>());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Order-insensitive construction of [`Csr`] graphs from edge soups.
+//!
+//! The builder accepts each undirected edge once (in either orientation),
+//! tolerates duplicates (parallel edges are merged by summing weights, as the
+//! Louvain aggregation phase requires), and produces a sorted, symmetric CSR.
+
+use crate::csr::{Csr, VertexId, Weight};
+
+/// Accumulates undirected edges and finalizes them into a [`Csr`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// Each undirected edge stored once as `(min, max, w)`; self-loops as
+    /// `(v, v, w)`.
+    edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { num_vertices: n, edges: Vec::new() }
+    }
+
+    /// A builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self { num_vertices: n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices the resulting graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far (before duplicate merging).
+    pub fn num_added_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`. `u == v` adds a
+    /// self-loop. Duplicate edges are merged (weights summed) at
+    /// [`Self::build`] time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the weight is not finite
+    /// and positive.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.num_vertices, "u out of range");
+        assert!((v as usize) < self.num_vertices, "v out of range");
+        assert!(w.is_finite() && w > 0.0, "edge weight must be finite and positive");
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Adds the undirected unit-weight edge `{u, v}`.
+    pub fn add_unit_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v, 1.0);
+    }
+
+    /// Grows the vertex set to at least `n` vertices.
+    pub fn grow_to(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Finalizes into a CSR: merges duplicates, mirrors non-loop edges, sorts
+    /// adjacency lists.
+    pub fn build(mut self) -> Csr {
+        let n = self.num_vertices;
+        // Merge duplicates on the canonical (min, max) representation.
+        self.edges
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut merged: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+
+        // Counting pass: each non-loop edge contributes to both endpoints.
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &merged {
+            deg[u as usize] += 1;
+            if u != v {
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Fill pass.
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; acc];
+        let mut weights = vec![0.0 as Weight; acc];
+        for &(u, v, w) in &merged {
+            let cu = &mut cursor[u as usize];
+            targets[*cu] = v;
+            weights[*cu] = w;
+            *cu += 1;
+            if u != v {
+                let cv = &mut cursor[v as usize];
+                targets[*cv] = u;
+                weights[*cv] = w;
+                *cv += 1;
+            }
+        }
+
+        // Sort each adjacency list by target id (weights follow).
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let mut idx: Vec<usize> = (lo..hi).collect();
+            idx.sort_unstable_by_key(|&i| targets[i]);
+            let st: Vec<VertexId> = idx.iter().map(|&i| targets[i]).collect();
+            let sw: Vec<Weight> = idx.iter().map(|&i| weights[i]).collect();
+            targets[lo..hi].copy_from_slice(&st);
+            weights[lo..hi].copy_from_slice(&sw);
+        }
+
+        Csr::from_parts(offsets, targets, weights)
+    }
+}
+
+/// Builds a CSR from a slice of undirected `(u, v, w)` triples.
+pub fn csr_from_edges(n: usize, edges: &[(VertexId, VertexId, Weight)]) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// Builds a unit-weight CSR from undirected `(u, v)` pairs.
+pub fn csr_from_unit_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for &(u, v) in edges {
+        b.add_unit_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_parallel_edges() {
+        let g = csr_from_edges(2, &[(0, 1, 1.0), (1, 0, 2.5), (0, 1, 0.5)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weights(0), &[4.0]);
+        assert_eq!(g.edge_weights(1), &[4.0]);
+    }
+
+    #[test]
+    fn merges_parallel_self_loops() {
+        let g = csr_from_edges(1, &[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.self_loop(0), 3.0);
+        assert_eq!(g.total_weight_2m(), 3.0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = csr_from_unit_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = csr_from_unit_edges(10, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weight() {
+        csr_from_edges(2, &[(0, 1, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        csr_from_unit_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn grow_to_extends_vertex_set() {
+        let mut b = GraphBuilder::new(2);
+        b.add_unit_edge(0, 1);
+        b.grow_to(7);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! Distance-1 graph coloring — the device the coloring-based parallel
+//! Louvain of Lu et al. uses to partition vertices into independent sets
+//! (the paper describes this variant in Section 3, and cites Deveci et al.
+//! for speculative parallel coloring on manycore hardware).
+
+use crate::csr::{Csr, VertexId};
+use rayon::prelude::*;
+
+/// A proper vertex coloring: `colors[v]` with no edge monochromatic
+/// (self-loops exempt).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+    num_colors: u32,
+}
+
+impl Coloring {
+    /// Color of vertex `v`.
+    pub fn color_of(&self, v: VertexId) -> u32 {
+        self.colors[v as usize]
+    }
+
+    /// Number of colors used.
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// The raw color array.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Vertices of each color class, in ascending vertex order.
+    pub fn classes(&self) -> Vec<Vec<VertexId>> {
+        let mut classes = vec![Vec::new(); self.num_colors as usize];
+        for (v, &c) in self.colors.iter().enumerate() {
+            classes[c as usize].push(v as VertexId);
+        }
+        classes
+    }
+
+    /// Verifies properness on `g`.
+    pub fn is_proper(&self, g: &Csr) -> bool {
+        (0..g.num_vertices() as VertexId).all(|v| {
+            g.neighbors(v)
+                .iter()
+                .all(|&u| u == v || self.colors[u as usize] != self.colors[v as usize])
+        })
+    }
+}
+
+/// Sequential greedy coloring in vertex order (smallest available color).
+/// Uses at most `max_degree + 1` colors.
+pub fn greedy_coloring(g: &Csr) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors = vec![u32::MAX; n];
+    let mut forbidden = vec![u32::MAX; g.max_degree() + 2]; // stamp array
+    let mut num_colors = 0u32;
+    for v in 0..n as VertexId {
+        for &u in g.neighbors(v) {
+            let cu = colors[u as usize];
+            if cu != u32::MAX && (cu as usize) < forbidden.len() {
+                forbidden[cu as usize] = v;
+            }
+        }
+        let mut c = 0u32;
+        while forbidden[c as usize] == v {
+            c += 1;
+        }
+        colors[v as usize] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+/// Speculative parallel coloring (Gebremedhin–Manne / Deveci et al. style):
+/// rounds of (a) color every uncolored vertex in parallel with the smallest
+/// color not used by its currently-colored neighbors, then (b) detect
+/// conflicts in parallel and uncolor the lower-id endpoint. Deterministic.
+pub fn parallel_coloring(g: &Csr) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors: Vec<u32> = vec![u32::MAX; n];
+    let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
+
+    while !worklist.is_empty() {
+        // Speculative assignment from a snapshot of `colors`.
+        let proposals: Vec<(VertexId, u32)> = {
+            let colors_ref = &colors;
+            worklist
+                .par_iter()
+                .map(|&v| {
+                    let mut used: Vec<u32> = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| u != v)
+                        .map(|&u| colors_ref[u as usize])
+                        .filter(|&c| c != u32::MAX)
+                        .collect();
+                    used.sort_unstable();
+                    used.dedup();
+                    let mut c = 0u32;
+                    for &u in &used {
+                        if u == c {
+                            c += 1;
+                        } else if u > c {
+                            break;
+                        }
+                    }
+                    (v, c)
+                })
+                .collect()
+        };
+        for &(v, c) in &proposals {
+            colors[v as usize] = c;
+        }
+
+        // Conflict detection: both endpoints same color -> lower id retries.
+        let colors_ref = &colors;
+        worklist = worklist
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| u != v && colors_ref[u as usize] == colors_ref[v as usize] && v < u)
+            })
+            .collect();
+        for &v in &worklist {
+            colors[v as usize] = u32::MAX;
+        }
+    }
+
+    let num_colors = colors.iter().copied().max().map_or(0, |c| c + 1);
+    Coloring { colors, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{add_random_edges, complete, cycle, path, star};
+
+    #[test]
+    fn greedy_is_proper_and_tight_on_structures() {
+        for (g, max_colors) in [
+            (path(20), 2),
+            (cycle(21), 3), // odd cycle needs 3
+            (star(30), 2),
+            (complete(6), 6),
+        ] {
+            let c = greedy_coloring(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.num_colors() <= max_colors, "used {} colors", c.num_colors());
+        }
+    }
+
+    #[test]
+    fn parallel_is_proper_on_random_graphs() {
+        for seed in 0..4 {
+            let g = add_random_edges(&cycle(300), 900, seed);
+            let c = parallel_coloring(&g);
+            assert!(c.is_proper(&g), "seed {seed}");
+            assert!(c.num_colors() as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_deterministic() {
+        let g = add_random_edges(&cycle(200), 400, 9);
+        assert_eq!(parallel_coloring(&g), parallel_coloring(&g));
+    }
+
+    #[test]
+    fn classes_partition_the_vertices() {
+        let g = add_random_edges(&path(100), 150, 2);
+        let c = parallel_coloring(&g);
+        let classes = c.classes();
+        let total: usize = classes.iter().map(|cl| cl.len()).sum();
+        assert_eq!(total, 100);
+        // Each class is an independent set.
+        for class in &classes {
+            for &v in class {
+                for &u in g.neighbors(v) {
+                    if u != v {
+                        assert_ne!(c.color_of(u), c.color_of(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_do_not_break_coloring() {
+        let g = crate::builder::csr_from_edges(3, &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)]);
+        assert!(greedy_coloring(&g).is_proper(&g));
+        assert!(parallel_coloring(&g).is_proper(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        let c = parallel_coloring(&g);
+        assert_eq!(c.num_colors(), 1);
+        assert!(c.is_proper(&g));
+    }
+}

@@ -1,0 +1,149 @@
+//! Partition-comparison metrics: normalized mutual information and the
+//! adjusted Rand index — the standard ways to score a detected clustering
+//! against ground truth (used for the `com-*` and LFR workloads whose
+//! generators plant communities).
+
+use crate::csr::VertexId;
+use crate::partition::Partition;
+use std::collections::HashMap;
+
+/// Joint contingency counts of two partitions over the same vertex set.
+struct Contingency {
+    joint: HashMap<(VertexId, VertexId), f64>,
+    a_sizes: HashMap<VertexId, f64>,
+    b_sizes: HashMap<VertexId, f64>,
+    n: f64,
+}
+
+fn contingency(a: &Partition, b: &Partition) -> Contingency {
+    assert_eq!(a.len(), b.len(), "partitions cover different vertex sets");
+    let mut joint: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+    let mut a_sizes: HashMap<VertexId, f64> = HashMap::new();
+    let mut b_sizes: HashMap<VertexId, f64> = HashMap::new();
+    for v in 0..a.len() as VertexId {
+        let (ca, cb) = (a.community_of(v), b.community_of(v));
+        *joint.entry((ca, cb)).or_insert(0.0) += 1.0;
+        *a_sizes.entry(ca).or_insert(0.0) += 1.0;
+        *b_sizes.entry(cb).or_insert(0.0) += 1.0;
+    }
+    Contingency { joint, a_sizes, b_sizes, n: a.len() as f64 }
+}
+
+/// Normalized mutual information between two partitions, in `[0, 1]`
+/// (1 = identical up to relabeling). Uses the arithmetic-mean normalization
+/// `NMI = 2 I(A;B) / (H(A) + H(B))`; two single-community partitions define
+/// `NMI = 1` by convention.
+pub fn nmi(a: &Partition, b: &Partition) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let c = contingency(a, b);
+    let n = c.n;
+    let mut mutual = 0.0;
+    for (&(ca, cb), &nij) in &c.joint {
+        let pa = c.a_sizes[&ca] / n;
+        let pb = c.b_sizes[&cb] / n;
+        let pij = nij / n;
+        mutual += pij * (pij / (pa * pb)).ln();
+    }
+    let entropy = |sizes: &HashMap<VertexId, f64>| -> f64 {
+        sizes
+            .values()
+            .map(|&s| {
+                let p = s / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (entropy(&c.a_sizes), entropy(&c.b_sizes));
+    if ha + hb == 0.0 {
+        return 1.0; // both partitions are trivial (one community each)
+    }
+    (2.0 * mutual / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index between two partitions: 1 = identical, ~0 = random
+/// agreement (can be slightly negative for anti-correlated clusterings).
+pub fn adjusted_rand_index(a: &Partition, b: &Partition) -> f64 {
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let c = contingency(a, b);
+    let choose2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = c.joint.values().map(|&nij| choose2(nij)).sum();
+    let sum_a: f64 = c.a_sizes.values().map(|&s| choose2(s)).sum();
+    let sum_b: f64 = c.b_sizes.values().map(|&s| choose2(s)).sum();
+    let total = choose2(c.n);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Partition {
+        Partition::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = p(&[0, 0, 1, 1, 2, 2]);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_does_not_matter() {
+        let a = p(&[0, 0, 1, 1, 2, 2]);
+        let b = p(&[7, 7, 3, 3, 9, 9]);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        // a splits by half, b alternates: statistically independent.
+        let a = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let b = p(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(nmi(&a, &b) < 0.05);
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let truth = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let close = p(&[0, 0, 0, 1, 1, 1, 1, 1]); // one vertex misplaced
+        let score = nmi(&truth, &close);
+        assert!(score > 0.5 && score < 1.0, "NMI = {score}");
+        let ari = adjusted_rand_index(&truth, &close);
+        assert!(ari > 0.4 && ari < 1.0, "ARI = {ari}");
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let one = p(&[0, 0, 0]);
+        assert_eq!(nmi(&one, &one), 1.0);
+        assert_eq!(adjusted_rand_index(&one, &one), 1.0);
+        let empty = Partition::from_vec(vec![]);
+        assert_eq!(nmi(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn merging_communities_lowers_nmi_gracefully() {
+        let fine = p(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let merged = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let score = nmi(&fine, &merged);
+        assert!(score > 0.5 && score < 1.0, "NMI = {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different vertex sets")]
+    fn mismatched_lengths_panic() {
+        nmi(&p(&[0, 1]), &p(&[0]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Connected components (union-find), used to validate workloads (the
+//! paper's collections are dominated by one giant component; generators
+//! should match) and as a general graph utility.
+
+use crate::csr::{Csr, VertexId};
+
+/// Union-find over vertex ids with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<VertexId>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as VertexId).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `v`'s set.
+    pub fn find(&mut self, mut v: VertexId) -> VertexId {
+        while self.parent[v as usize] != v {
+            let grandparent = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grandparent;
+            v = grandparent;
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: VertexId, b: VertexId) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `v`'s set.
+    pub fn component_size(&mut self, v: VertexId) -> usize {
+        let r = self.find(v);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Summary of a graph's connected components.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentStats {
+    /// Number of components (isolated vertices count).
+    pub num_components: usize,
+    /// Vertices in the largest component.
+    pub giant_size: usize,
+}
+
+/// Computes component statistics.
+pub fn component_stats(g: &Csr) -> ComponentStats {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n as VertexId {
+        for &u in g.neighbors(v) {
+            if u > v {
+                uf.union(v, u);
+            }
+        }
+    }
+    let giant = (0..n as VertexId).map(|v| uf.component_size(v)).max().unwrap_or(0);
+    ComponentStats { num_components: uf.num_components(), giant_size: giant }
+}
+
+/// Component label of every vertex (labels are representative vertex ids).
+pub fn component_labels(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n as VertexId {
+        for &u in g.neighbors(v) {
+            if u > v {
+                uf.union(v, u);
+            }
+        }
+    }
+    (0..n as VertexId).map(|v| uf.find(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_unit_edges;
+    use crate::gen::{cliques, cycle, path};
+
+    #[test]
+    fn path_is_one_component() {
+        let s = component_stats(&path(10));
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.giant_size, 10);
+    }
+
+    #[test]
+    fn disjoint_cliques() {
+        let s = component_stats(&cliques(3, 5, false));
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.giant_size, 5);
+        let s2 = component_stats(&cliques(3, 5, true));
+        assert_eq!(s2.num_components, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_count() {
+        let g = csr_from_unit_edges(5, &[(0, 1)]);
+        let s = component_stats(&g);
+        assert_eq!(s.num_components, 4); // {0,1} + three isolated
+        assert_eq!(s.giant_size, 2);
+    }
+
+    #[test]
+    fn labels_agree_within_components() {
+        let g = cliques(2, 4, false);
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[4], labels[7]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn union_find_mechanics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.component_size(1), 2);
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.component_size(0), 4);
+    }
+
+    #[test]
+    fn cycle_single_component() {
+        assert_eq!(component_stats(&cycle(50)).num_components, 1);
+    }
+}

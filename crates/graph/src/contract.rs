@@ -1,0 +1,145 @@
+//! Sequential reference graph aggregation (the second phase of each Louvain
+//! stage): merge every community into a single vertex.
+//!
+//! The GPU aggregation kernel (`cd-core::aggregate`) is tested for exact
+//! agreement with this implementation.
+
+use crate::csr::{Csr, VertexId, Weight};
+use crate::partition::Partition;
+use std::collections::HashMap;
+
+/// Contracts `g` according to `p`: each community becomes one vertex, parallel
+/// edges between communities merge (weights summed) and intra-community edges
+/// (plus pre-existing self-loops) merge into a self-loop.
+///
+/// Returns the contracted graph and the renumbered partition that maps each
+/// original vertex to its new vertex id (`0..k` in order of first appearance,
+/// matching [`Partition::renumbered`]).
+///
+/// Under the storage conventions of [`Csr`], the new self-loop weight of a
+/// community `c` is `in_c` (internal ordered pairs + old self-loops), which
+/// makes modularity invariant: `Q(contract(g, p), singleton) == Q(g, p)`.
+pub fn contract(g: &Csr, p: &Partition) -> (Csr, Partition) {
+    assert_eq!(g.num_vertices(), p.len(), "partition/vertex count mismatch");
+    let (renum, k) = p.renumbered();
+
+    // Accumulate merged weights community-by-community. `acc[d]` collects the
+    // total weight from the community under construction to community `d`;
+    // the self-loop bucket naturally receives internal edges twice (once from
+    // each endpoint's adjacency) and old self-loops once.
+    let mut per_comm: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); k];
+    for u in 0..g.num_vertices() as VertexId {
+        let cu = renum.community_of(u);
+        let acc = &mut per_comm[cu as usize];
+        for (v, w) in g.edges(u) {
+            *acc.entry(renum.community_of(v)).or_insert(0.0) += w;
+        }
+    }
+
+    let mut offsets = Vec::with_capacity(k + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for acc in per_comm {
+        // The self-loop bucket already holds `in_c`: each internal edge was
+        // visited from both endpoints (2w) and each old self-loop once.
+        let mut entries: Vec<(VertexId, Weight)> = acc.into_iter().collect();
+        entries.sort_unstable_by_key(|&(d, _)| d);
+        for (d, w) in entries {
+            targets.push(d);
+            weights.push(w);
+        }
+        offsets.push(targets.len());
+    }
+
+    (Csr::from_parts(offsets, targets, weights), renum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{csr_from_edges, csr_from_unit_edges};
+    use crate::modularity::modularity;
+
+    fn two_triangles() -> Csr {
+        csr_from_unit_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn contract_two_triangles() {
+        let g = two_triangles();
+        let p = Partition::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let (cg, renum) = contract(&g, &p);
+        assert_eq!(cg.num_vertices(), 2);
+        assert_eq!(renum.as_slice(), &[0, 0, 0, 1, 1, 1]);
+        // Each triangle: 3 internal unit edges -> self-loop weight 6.
+        assert_eq!(cg.self_loop(0), 6.0);
+        assert_eq!(cg.self_loop(1), 6.0);
+        // The bridge 2-3 becomes a unit edge between the two new vertices.
+        assert_eq!(cg.neighbors(0), &[0, 1]);
+        assert_eq!(cg.edge_weights(0)[1], 1.0);
+    }
+
+    #[test]
+    fn total_weight_preserved() {
+        let g = two_triangles();
+        let p = Partition::from_vec(vec![0, 1, 0, 1, 0, 1]);
+        let (cg, _) = contract(&g, &p);
+        assert!((cg.total_weight_2m() - g.total_weight_2m()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_invariant_under_contraction() {
+        let g = csr_from_edges(
+            7,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 0, 0.5),
+                (3, 4, 1.0),
+                (4, 5, 4.0),
+                (5, 6, 1.0),
+                (2, 3, 1.0),
+                (6, 0, 0.25),
+                (1, 1, 3.0),
+            ],
+        );
+        let p = Partition::from_vec(vec![0, 0, 0, 1, 1, 1, 2]);
+        let q_before = modularity(&g, &p);
+        let (cg, renum) = contract(&g, &p);
+        let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
+        assert!(
+            (q_before - q_after).abs() < 1e-12,
+            "Q before {q_before} != Q after {q_after}"
+        );
+        assert_eq!(renum.num_communities(), cg.num_vertices());
+    }
+
+    #[test]
+    fn identity_partition_contracts_to_same_graph() {
+        let g = two_triangles();
+        let (cg, _) = contract(&g, &Partition::singleton(6));
+        assert_eq!(cg, g);
+    }
+
+    #[test]
+    fn contract_to_single_vertex() {
+        let g = two_triangles();
+        let (cg, _) = contract(&g, &Partition::from_vec(vec![4; 6]));
+        assert_eq!(cg.num_vertices(), 1);
+        assert_eq!(cg.self_loop(0), g.total_weight_2m());
+    }
+
+    #[test]
+    fn skips_empty_community_ids() {
+        // Community ids 10 and 20: holes must disappear after renumbering.
+        let g = csr_from_unit_edges(3, &[(0, 1), (1, 2)]);
+        let p = Partition::from_vec(vec![10, 10, 20]);
+        let (cg, renum) = contract(&g, &p);
+        assert_eq!(cg.num_vertices(), 2);
+        assert_eq!(renum.as_slice(), &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Barabási–Albert preferential attachment — a second heavy-tailed family
+//! (collaboration networks: `hollywood-2009`, `out.actor-collaboration`,
+//! `coPapersDBLP`-like).
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique and attaches
+/// each new vertex to `attach` existing vertices chosen proportionally to
+/// their current degree (implemented with the standard repeated-endpoint
+/// urn trick, which is O(1) per draw).
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Csr {
+    assert!(attach >= 1, "each vertex must attach at least one edge");
+    assert!(n > attach, "need more vertices than attachments");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * attach);
+
+    // The urn holds one entry per edge endpoint, so uniform sampling from it
+    // is degree-proportional sampling.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * n * attach);
+
+    // Seed clique on the first `attach + 1` vertices.
+    let seed_n = attach + 1;
+    for u in 0..seed_n as VertexId {
+        for v in (u + 1)..seed_n as VertexId {
+            b.add_unit_edge(u, v);
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+
+    for v in seed_n..n {
+        let v = v as VertexId;
+        // `attach` is small, so linear-scan dedup keeps the draw order (and
+        // therefore the whole generator) deterministic.
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(attach);
+        while chosen.len() < attach {
+            let t = urn[r.gen_range(0..urn.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_unit_edge(v, t);
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_and_min_degree() {
+        let g = barabasi_albert(500, 3, 1);
+        assert_eq!(g.num_vertices(), 500);
+        // Seed clique C(4,2)=6 edges + 496 * 3 attachments.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+        assert!((0..500).all(|v| g.degree(v) >= 3));
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(2000, 4, 2);
+        let avg = g.num_arcs() as f64 / 2000.0;
+        assert!(g.max_degree() as f64 > 5.0 * avg);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+}

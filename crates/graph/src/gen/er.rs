@@ -1,0 +1,69 @@
+//! Erdős–Rényi random graphs in the `G(n, m)` formulation.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Samples a uniform random graph with `n` vertices and (approximately, after
+/// duplicate merging) `m` distinct unit-weight edges. Self-loops are never
+/// generated.
+///
+/// Duplicate samples are re-drawn, so the result has exactly `m` edges as long
+/// as `m` is at most the number of vertex pairs.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "more edges requested than pairs available");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+
+    // For sparse graphs rejection sampling on a hash set is near-optimal; the
+    // dense regime (> half the pairs) is out of scope for these workloads.
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = r.gen_range(0..n) as VertexId;
+        let v = r.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_unit_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 200, 2);
+        for v in 0..50u32 {
+            assert_eq!(g.self_loop(v), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(64, 128, 42), erdos_renyi(64, 128, 42));
+        assert_ne!(erdos_renyi(64, 128, 42), erdos_renyi(64, 128, 43));
+    }
+
+    #[test]
+    fn can_fill_all_pairs() {
+        let g = erdos_renyi(8, 28, 5);
+        assert_eq!(g.num_edges(), 28);
+        assert!((0..8).all(|v| g.degree(v) == 7));
+    }
+}

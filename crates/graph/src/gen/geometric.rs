@@ -1,0 +1,129 @@
+//! Random geometric graphs — stand-in for the `rgg_n_2_*_s0` rows of
+//! Table 1: points in the unit square, connected when within distance `r`.
+//! Locally dense, globally flat degree distribution, strong latent community
+//! structure.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Generates a random geometric graph: `n` uniform points in the unit square,
+/// edge `{u, v}` iff `dist(u, v) <= radius`. Unit weights.
+///
+/// Uses a uniform grid of cell width `radius`, so expected work is
+/// O(n + edges).
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
+    assert!(n >= 1);
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut r = rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        cy * cells + cx
+    };
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        buckets[cell_of(p)].push(i as VertexId);
+    }
+
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for cy in 0..cells {
+        for cx in 0..cells {
+            let here = &buckets[cy * cells + cx];
+            // Within-cell pairs.
+            for (ai, &u) in here.iter().enumerate() {
+                for &v in &here[ai + 1..] {
+                    if dist2(pts[u as usize], pts[v as usize]) <= r2 {
+                        b.add_unit_edge(u, v);
+                    }
+                }
+            }
+            // Forward half of the 8-neighborhood so each cell pair is scanned
+            // once.
+            for (dy, dx) in [(0isize, 1isize), (1, -1), (1, 0), (1, 1)] {
+                let (ny, nx) = (cy as isize + dy, cx as isize + dx);
+                if ny < 0 || nx < 0 || ny as usize >= cells || nx as usize >= cells {
+                    continue;
+                }
+                let there = &buckets[ny as usize * cells + nx as usize];
+                for &u in here {
+                    for &v in there {
+                        if dist2(pts[u as usize], pts[v as usize]) <= r2 {
+                            b.add_unit_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference for cross-checking the grid-bucketed
+    /// implementation.
+    fn brute_force(n: usize, radius: f64, seed: u64) -> Csr {
+        let mut r = rng(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if dist2(pts[u], pts[v]) <= radius * radius {
+                    b.add_unit_edge(u as VertexId, v as VertexId);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..4 {
+            let fast = random_geometric(300, 0.09, seed);
+            let slow = brute_force(300, 0.09, seed);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn expected_density() {
+        // E[deg] ~ n * pi * r^2 away from the border.
+        let n = 4000;
+        let radius = 0.03;
+        let g = random_geometric(n, radius, 5);
+        let avg = g.num_arcs() as f64 / n as f64;
+        let expected = n as f64 * std::f64::consts::PI * radius * radius;
+        assert!(
+            avg > 0.6 * expected && avg < 1.1 * expected,
+            "avg degree {avg} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_geometric(200, 0.1, 8), random_geometric(200, 0.1, 8));
+    }
+
+    #[test]
+    fn large_radius_single_cell_path() {
+        let g = random_geometric(40, 1.0, 2);
+        // Radius 1 in the unit square does not connect all pairs (diagonal is
+        // sqrt(2)), but the graph must be near-complete.
+        assert!(g.num_edges() as f64 > 0.9 * (40.0 * 39.0 / 2.0));
+    }
+}

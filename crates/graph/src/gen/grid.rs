@@ -1,0 +1,173 @@
+//! Regular grid graphs: stand-ins for the FEM/structural meshes
+//! (`audikw_1`, `bone*`, `Flan_1565`, ... — 3-D grids with wide stencils) and
+//! the `nlpkkt*` KKT-system rows (3-D grids with a narrow stencil) of
+//! Table 1. Their defining properties for the paper's algorithm are uniform
+//! mid-sized degrees (one bin dominates) and slow community collapse.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Neighborhood stencil for grid generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridStencil {
+    /// Axis neighbors only: degree 4 (2-D) / 6 (3-D). `nlpkkt`-like.
+    VonNeumann,
+    /// Full surrounding cube: degree 8 (2-D) / 26 (3-D). FEM-mesh-like.
+    Moore,
+}
+
+/// A 2-D grid with a fraction `keep` of its edges retained — the irregular
+/// near-planar meshes (`delaunay_*`, `hugetrace`, `hugebubbles`) of Table 1.
+///
+/// Perfectly regular lattices are *pathological* for every synchronous
+/// parallel Louvain (all interior vertices share one degree bucket, move
+/// simultaneously by identical tie-breaks, and form label chains); real
+/// meshes never have that exact symmetry, and neither does this generator
+/// for `keep < 1`.
+pub fn perturbed_grid_2d(nx: usize, ny: usize, stencil: GridStencil, keep: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&keep));
+    let full = grid_2d(nx, ny, stencil);
+    if keep >= 1.0 {
+        return full;
+    }
+    let mut r = super::rng(seed);
+    let mut b = GraphBuilder::with_capacity(full.num_vertices(), full.num_arcs() / 2);
+    for u in 0..full.num_vertices() as VertexId {
+        for (v, w) in full.edges(u) {
+            if v >= u && rand::Rng::gen::<f64>(&mut r) < keep {
+                b.add_edge(u, v, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// An `nx × ny` 2-D grid with the given stencil, unit weights.
+pub fn grid_2d(nx: usize, ny: usize, stencil: GridStencil) -> Csr {
+    assert!(nx >= 1 && ny >= 1);
+    let n = nx * ny;
+    let id = |x: usize, y: usize| (y * nx + x) as VertexId;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_unit_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < ny {
+                b.add_unit_edge(id(x, y), id(x, y + 1));
+            }
+            if stencil == GridStencil::Moore && x + 1 < nx && y + 1 < ny {
+                b.add_unit_edge(id(x, y), id(x + 1, y + 1));
+                b.add_unit_edge(id(x + 1, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// An `nx × ny × nz` 3-D grid with the given stencil, unit weights.
+pub fn grid_3d(nx: usize, ny: usize, nz: usize, stencil: GridStencil) -> Csr {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    let n = nx * ny * nz;
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as VertexId;
+    let mut b = GraphBuilder::with_capacity(n, 13 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                match stencil {
+                    GridStencil::VonNeumann => {
+                        if x + 1 < nx {
+                            b.add_unit_edge(id(x, y, z), id(x + 1, y, z));
+                        }
+                        if y + 1 < ny {
+                            b.add_unit_edge(id(x, y, z), id(x, y + 1, z));
+                        }
+                        if z + 1 < nz {
+                            b.add_unit_edge(id(x, y, z), id(x, y, z + 1));
+                        }
+                    }
+                    GridStencil::Moore => {
+                        // Connect to every lexicographically-later cell of the
+                        // surrounding 3x3x3 cube so each undirected pair is
+                        // added exactly once.
+                        for dz in 0..=1isize {
+                            for dy in -1..=1isize {
+                                for dx in -1..=1isize {
+                                    if (dz, dy, dx) <= (0, 0, 0) {
+                                        continue;
+                                    }
+                                    let (px, py, pz) =
+                                        (x as isize + dx, y as isize + dy, z as isize + dz);
+                                    if px >= 0
+                                        && (px as usize) < nx
+                                        && py >= 0
+                                        && (py as usize) < ny
+                                        && (pz as usize) < nz
+                                    {
+                                        b.add_unit_edge(
+                                            id(x, y, z),
+                                            id(px as usize, py as usize, pz as usize),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_von_neumann_counts() {
+        let g = grid_2d(4, 3, GridStencil::VonNeumann);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 * 3, vertical: 4 * 2.
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn grid2d_moore_interior_degree() {
+        let g = grid_2d(5, 5, GridStencil::Moore);
+        assert_eq!(g.degree(12), 8); // center cell
+        assert_eq!(g.degree(0), 3); // corner
+    }
+
+    #[test]
+    fn grid3d_von_neumann_interior_degree() {
+        let g = grid_3d(3, 3, 3, GridStencil::VonNeumann);
+        assert_eq!(g.num_vertices(), 27);
+        assert_eq!(g.degree(13), 6); // center of the cube
+    }
+
+    #[test]
+    fn grid3d_moore_interior_degree() {
+        let g = grid_3d(3, 3, 3, GridStencil::Moore);
+        assert_eq!(g.degree(13), 26);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn perturbed_grid_loses_edges_deterministically() {
+        let full = grid_2d(40, 40, GridStencil::VonNeumann);
+        let p = perturbed_grid_2d(40, 40, GridStencil::VonNeumann, 0.9, 7);
+        assert!(p.num_edges() < full.num_edges());
+        assert!(p.num_edges() as f64 > 0.85 * full.num_edges() as f64);
+        assert_eq!(p, perturbed_grid_2d(40, 40, GridStencil::VonNeumann, 0.9, 7));
+        assert_eq!(perturbed_grid_2d(5, 5, GridStencil::Moore, 1.0, 0), grid_2d(5, 5, GridStencil::Moore));
+    }
+
+    #[test]
+    fn degenerate_line() {
+        let g = grid_3d(5, 1, 1, GridStencil::VonNeumann);
+        assert_eq!(g.num_edges(), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! LFR-style benchmark graphs (Lancichinetti–Fortunato–Radicchi, simplified):
+//! power-law degree distribution, power-law community sizes, and a mixing
+//! parameter `mu` giving the fraction of each vertex's edges that leave its
+//! community.
+//!
+//! This is the generator for the paper's social-network and web-crawl rows:
+//! real such graphs combine a heavy degree tail *with* strong community
+//! structure (the paper selected graphs "which gave a relative high
+//! modularity"), which neither R-MAT (no communities) nor plain planted
+//! partition (no tail) reproduces alone.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use crate::partition::Partition;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters for [`lfr`].
+#[derive(Clone, Copy, Debug)]
+pub struct LfrParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Average degree (power-law with exponent `gamma` between `deg_min` and
+    /// `deg_max`, rescaled to this mean).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Degree power-law exponent (typically 2-3).
+    pub gamma: f64,
+    /// Community sizes: power-law with exponent `beta` in
+    /// `[min_community, max_community]`.
+    pub min_community: usize,
+    /// Largest community size.
+    pub max_community: usize,
+    /// Community-size exponent (typically 1-2).
+    pub beta: f64,
+    /// Fraction of each vertex's edges leaving its community (0 = perfectly
+    /// separated, 0.5 = boundary of detectability).
+    pub mu: f64,
+}
+
+impl LfrParams {
+    /// A social-network-like default: gamma 2.5, communities 20-200, mu 0.2.
+    pub fn social(n: usize) -> Self {
+        Self {
+            n,
+            avg_degree: 15.0,
+            max_degree: (n / 20).clamp(64, 3000),
+            gamma: 2.5,
+            min_community: 20,
+            max_community: (n / 10).max(40),
+            beta: 1.5,
+            mu: 0.2,
+        }
+    }
+
+    /// A web-crawl-like default: stronger tail, tighter communities.
+    pub fn web(n: usize) -> Self {
+        Self {
+            n,
+            avg_degree: 12.0,
+            max_degree: (n / 10).clamp(64, 10_000),
+            gamma: 2.2,
+            min_community: 10,
+            max_community: (n / 20).max(30),
+            beta: 1.3,
+            mu: 0.08,
+        }
+    }
+}
+
+/// Samples from a bounded power-law `x^-alpha` over `[lo, hi]` by inverse
+/// transform.
+fn power_law(r: &mut SmallRng, lo: f64, hi: f64, alpha: f64) -> f64 {
+    let u: f64 = r.gen();
+    if (alpha - 1.0).abs() < 1e-9 {
+        return lo * (hi / lo).powf(u);
+    }
+    let a = 1.0 - alpha;
+    (lo.powf(a) + u * (hi.powf(a) - lo.powf(a))).powf(1.0 / a)
+}
+
+/// Generates an LFR-style graph; returns it with its planted communities.
+pub fn lfr(params: &LfrParams, seed: u64) -> (Csr, Partition) {
+    assert!(params.n >= 4);
+    assert!((0.0..=1.0).contains(&params.mu));
+    assert!(params.min_community >= 2 && params.min_community <= params.max_community);
+    let mut r = rng(seed);
+    let n = params.n;
+
+    // Degrees: bounded power law rescaled to the requested mean.
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| power_law(&mut r, 2.0, params.max_degree as f64, params.gamma).round() as usize)
+        .collect();
+    let mean: f64 = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let scale = params.avg_degree / mean;
+    for d in degrees.iter_mut() {
+        *d = ((*d as f64 * scale).round() as usize).clamp(2, params.max_degree);
+    }
+
+    // Community sizes: power law until all vertices are covered.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let s = power_law(
+            &mut r,
+            params.min_community as f64,
+            params.max_community as f64,
+            params.beta,
+        )
+        .round() as usize;
+        let s = s.clamp(params.min_community, params.max_community).min(n - covered);
+        // Avoid a dangling under-sized final community.
+        let s = if n - covered - s < params.min_community && n - covered - s > 0 {
+            n - covered
+        } else {
+            s
+        };
+        sizes.push(s.max(1));
+        covered += sizes.last().unwrap();
+    }
+
+    // Assign vertices to communities contiguously, then shuffle the id
+    // mapping so community membership is not correlated with vertex id.
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, r.gen_range(0..=i));
+    }
+    let mut community: Vec<VertexId> = vec![0; n];
+    let mut members: Vec<Vec<VertexId>> = Vec::with_capacity(sizes.len());
+    {
+        let mut next = 0usize;
+        for (c, &s) in sizes.iter().enumerate() {
+            let mut ms = Vec::with_capacity(s);
+            for _ in 0..s {
+                let v = perm[next];
+                community[v as usize] = c as VertexId;
+                ms.push(v);
+                next += 1;
+            }
+            members.push(ms);
+        }
+    }
+
+    // Edge construction: each vertex draws `(1-mu) * d` internal partners
+    // (uniform within its community) and `mu * d` external partners (uniform
+    // global, rejecting the home community). Duplicates merge in the
+    // builder; both endpoints draw, halving target degrees to keep the mean.
+    let mut b = GraphBuilder::with_capacity(n, n * params.avg_degree as usize / 2 + n);
+    for v in 0..n {
+        let d = degrees[v];
+        let internal = ((1.0 - params.mu) * d as f64 * 0.5).round() as usize;
+        let external = (params.mu * d as f64 * 0.5).ceil() as usize;
+        let c = community[v] as usize;
+        let home = &members[c];
+        if home.len() > 1 {
+            for _ in 0..internal {
+                let mut u = home[r.gen_range(0..home.len())];
+                let mut tries = 0;
+                while u as usize == v && tries < 8 {
+                    u = home[r.gen_range(0..home.len())];
+                    tries += 1;
+                }
+                if u as usize != v {
+                    b.add_unit_edge(v as VertexId, u);
+                }
+            }
+        }
+        for _ in 0..external {
+            let mut u = r.gen_range(0..n);
+            let mut tries = 0;
+            while (u == v || community[u] as usize == c) && tries < 16 {
+                u = r.gen_range(0..n);
+                tries += 1;
+            }
+            if u != v && community[u] as usize != c {
+                b.add_unit_edge(v as VertexId, u as VertexId);
+            }
+        }
+    }
+
+    (b.build(), Partition::from_vec(community))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn planted_communities_have_high_modularity() {
+        let (g, truth) = lfr(&LfrParams::social(4000), 1);
+        let q = modularity(&g, &truth);
+        assert!(q > 0.6, "LFR social ground truth Q = {q}");
+        let (g2, truth2) = lfr(&LfrParams::web(4000), 2);
+        let q2 = modularity(&g2, &truth2);
+        assert!(q2 > 0.75, "LFR web ground truth Q = {q2}");
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let (g, _) = lfr(&LfrParams::social(6000), 3);
+        let s = degree_stats(&g);
+        assert!(
+            s.max_degree as f64 > 6.0 * s.avg_degree,
+            "expected a degree tail: max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let p = LfrParams::social(5000);
+        let (g, _) = lfr(&p, 4);
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!(
+            avg > 0.5 * p.avg_degree && avg < 1.5 * p.avg_degree,
+            "avg degree {avg} vs target {}",
+            p.avg_degree
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = LfrParams::web(1000);
+        let (a, pa) = lfr(&p, 9);
+        let (b, pb) = lfr(&p, 9);
+        assert_eq!(a, b);
+        assert_eq!(pa.as_slice(), pb.as_slice());
+    }
+
+    #[test]
+    fn mu_controls_separation() {
+        let mut strong = LfrParams::social(3000);
+        strong.mu = 0.05;
+        let mut weak = LfrParams::social(3000);
+        weak.mu = 0.45;
+        let (gs, ts) = lfr(&strong, 5);
+        let (gw, tw) = lfr(&weak, 5);
+        assert!(modularity(&gs, &ts) > modularity(&gw, &tw) + 0.15);
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic synthetic graph generators.
+//!
+//! Each generator family stands in for one class of graph in the paper's
+//! Table 1 (see `DESIGN.md`): heavy-tailed social/web graphs (R-MAT,
+//! Barabási–Albert), meshes and KKT systems (grids), geometric graphs,
+//! road networks (sparse lattices), and graphs with planted community
+//! structure (ground truth available).
+//!
+//! All generators are seeded and produce identical graphs for identical
+//! arguments across runs and platforms.
+
+mod ba;
+mod er;
+mod geometric;
+mod grid;
+mod lfr;
+mod planted;
+mod rmat;
+mod road;
+
+pub use ba::barabasi_albert;
+pub use er::erdos_renyi;
+pub use geometric::random_geometric;
+pub use grid::{grid_2d, grid_3d, perturbed_grid_2d, GridStencil};
+pub use lfr::{lfr, LfrParams};
+pub use planted::{planted_partition, PlantedGraph};
+pub use rmat::{rmat, RmatParams};
+pub use road::road_network;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG seeded from a `u64`, shared by all generators.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A path graph `0 - 1 - ... - n-1` (unit weights). Degenerate but handy in
+/// tests.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_unit_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// A cycle graph on `n >= 3` vertices (unit weights).
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as VertexId {
+        b.add_unit_edge(v - 1, v);
+    }
+    b.add_unit_edge(n as VertexId - 1, 0);
+    b.build()
+}
+
+/// A complete graph on `n` vertices (unit weights).
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_unit_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A star: vertex 0 connected to all others. The worst case for node-centric
+/// load balancing, used by the binning ablation.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n as VertexId {
+        b.add_unit_edge(0, v);
+    }
+    b.build()
+}
+
+/// `k` disjoint cliques of `size` vertices each, optionally chained together
+/// by single bridge edges. With bridges this is the textbook graph whose
+/// optimal partition is one community per clique.
+pub fn cliques(k: usize, size: usize, bridged: bool) -> Csr {
+    assert!(size >= 1 && k >= 1);
+    let n = k * size;
+    let mut b = GraphBuilder::with_capacity(n, k * size * size / 2 + k);
+    for c in 0..k {
+        let base = (c * size) as VertexId;
+        for i in 0..size as VertexId {
+            for j in (i + 1)..size as VertexId {
+                b.add_unit_edge(base + i, base + j);
+            }
+        }
+        if bridged && c + 1 < k {
+            b.add_unit_edge(base + size as VertexId - 1, base + size as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Random perturbation helper: adds `extra` random unit edges to a graph.
+/// Used by generators and failure-injection tests.
+pub fn add_random_edges(g: &Csr, extra: usize, seed: u64) -> Csr {
+    let n = g.num_vertices();
+    assert!(n >= 2);
+    let mut r = rng(seed);
+    let mut b = g.to_builder();
+    for _ in 0..extra {
+        let u = r.gen_range(0..n) as VertexId;
+        let mut v = r.gen_range(0..n) as VertexId;
+        while v == u {
+            v = r.gen_range(0..n) as VertexId;
+        }
+        b.add_unit_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_degrees() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        assert!((0..5).all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..6).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(100);
+        assert_eq!(g.degree(0), 99);
+        assert!((1..100).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn bridged_cliques() {
+        let g = cliques(3, 4, true);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 6 + 2);
+        let g2 = cliques(3, 4, false);
+        assert_eq!(g2.num_edges(), 18);
+    }
+
+    #[test]
+    fn add_random_edges_deterministic() {
+        let g = path(50);
+        let a = add_random_edges(&g, 20, 7);
+        let b = add_random_edges(&g, 20, 7);
+        assert_eq!(a, b);
+        assert!(a.num_edges() > g.num_edges());
+    }
+}

@@ -1,0 +1,182 @@
+//! Planted-partition graphs: random graphs with ground-truth communities.
+//!
+//! Stand-in for the clustered rows of Table 1 (`com-dblp`, `com-amazon`,
+//! `com-youtube`) and the primary correctness workload: a community-detection
+//! algorithm must recover the planted structure when `p_in >> p_out`.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use crate::partition::Partition;
+use rand::Rng;
+
+/// A planted-partition graph together with its ground truth.
+#[derive(Clone, Debug)]
+pub struct PlantedGraph {
+    /// The generated graph.
+    pub graph: Csr,
+    /// The planted (ground-truth) community of every vertex.
+    pub truth: Partition,
+}
+
+/// Generates `k` communities of `size` vertices. Each intra-community pair is
+/// an edge with probability `p_in`, each inter-community pair with probability
+/// `p_out`.
+///
+/// Sparse pairs are sampled with geometric skipping, so generation is
+/// O(edges) and scales to millions of vertices at small probabilities.
+pub fn planted_partition(k: usize, size: usize, p_in: f64, p_out: f64, seed: u64) -> PlantedGraph {
+    assert!(k >= 1 && size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = k * size;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+
+    // Intra-community edges: iterate pairs within each block with skipping.
+    for c in 0..k {
+        let base = (c * size) as u64;
+        sample_pairs_within(size as u64, p_in, &mut r, |i, j| {
+            b.add_unit_edge((base + i) as VertexId, (base + j) as VertexId);
+        });
+    }
+    // Inter-community edges between each ordered block pair (c1 < c2).
+    for c1 in 0..k {
+        for c2 in (c1 + 1)..k {
+            let base1 = (c1 * size) as u64;
+            let base2 = (c2 * size) as u64;
+            sample_pairs_between(size as u64, size as u64, p_out, &mut r, |i, j| {
+                b.add_unit_edge((base1 + i) as VertexId, (base2 + j) as VertexId);
+            });
+        }
+    }
+
+    let truth = Partition::from_vec((0..n).map(|v| (v / size) as VertexId).collect());
+    PlantedGraph { graph: b.build(), truth }
+}
+
+/// Visits each unordered pair `{i, j}`, `i < j < n`, independently with
+/// probability `p`, using geometric jumps over the linearized pair index.
+fn sample_pairs_within(n: u64, p: f64, r: &mut rand::rngs::SmallRng, mut visit: impl FnMut(u64, u64)) {
+    let total = n * n.saturating_sub(1) / 2;
+    sample_indices(total, p, r, |idx| {
+        let (i, j) = unrank_pair(idx);
+        visit(i, j);
+    });
+}
+
+/// Visits each pair `(i, j)`, `i < n1`, `j < n2`, independently with
+/// probability `p`.
+fn sample_pairs_between(
+    n1: u64,
+    n2: u64,
+    p: f64,
+    r: &mut rand::rngs::SmallRng,
+    mut visit: impl FnMut(u64, u64),
+) {
+    sample_indices(n1 * n2, p, r, |idx| visit(idx / n2, idx % n2));
+}
+
+/// Visits each index in `0..total` independently with probability `p` via
+/// geometric skipping: the gap to the next success is
+/// `floor(ln(U) / ln(1 - p))`.
+fn sample_indices(total: u64, p: f64, r: &mut rand::rngs::SmallRng, mut visit: impl FnMut(u64)) {
+    if p <= 0.0 || total == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for idx in 0..total {
+            visit(idx);
+        }
+        return;
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1mp).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) if i < total => i,
+            _ => return,
+        };
+        visit(idx);
+        idx += 1;
+        if idx >= total {
+            return;
+        }
+    }
+}
+
+/// Inverse of the row-major linearization of pairs `{i, j}`, `i < j`:
+/// pair index `idx = j(j-1)/2 + i` (column-wise by the larger endpoint).
+fn unrank_pair(idx: u64) -> (u64, u64) {
+    // Solve j(j-1)/2 <= idx < j(j+1)/2 for j.
+    let j = ((((8 * idx + 1) as f64).sqrt() - 1.0) / 2.0).floor() as u64 + 1;
+    // Guard against floating point boundary error.
+    let j = if j * (j - 1) / 2 > idx { j - 1 } else if (j + 1) * j / 2 <= idx { j + 1 } else { j };
+    let i = idx - j * (j - 1) / 2;
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+
+    #[test]
+    fn unrank_pair_roundtrip() {
+        let mut idx = 0u64;
+        for j in 1..80u64 {
+            for i in 0..j {
+                assert_eq!(unrank_pair(idx), (i, j), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let pg = planted_partition(4, 100, 0.3, 0.01, 7);
+        let n_in = 4.0 * (100.0 * 99.0 / 2.0) * 0.3;
+        let n_out = 6.0 * (100.0 * 100.0) * 0.01;
+        let m = pg.graph.num_edges() as f64;
+        let expected = n_in + n_out;
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "edges {m} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_has_high_modularity() {
+        let pg = planted_partition(8, 64, 0.4, 0.005, 11);
+        let q = modularity(&pg.graph, &pg.truth);
+        assert!(q > 0.6, "planted structure should be strong, Q = {q}");
+    }
+
+    #[test]
+    fn truth_shape() {
+        let pg = planted_partition(3, 10, 1.0, 0.0, 1);
+        assert_eq!(pg.truth.num_communities(), 3);
+        assert_eq!(pg.truth.community_of(0), pg.truth.community_of(9));
+        assert_ne!(pg.truth.community_of(9), pg.truth.community_of(10));
+        // p_in = 1, p_out = 0: exactly three 10-cliques.
+        assert_eq!(pg.graph.num_edges(), 3 * 45);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(3, 50, 0.2, 0.02, 99);
+        let b = planted_partition(3, 50, 0.2, 0.02, 99);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn zero_p_out_disconnects_blocks() {
+        let pg = planted_partition(2, 20, 0.5, 0.0, 3);
+        for u in 0..20u32 {
+            for &v in pg.graph.neighbors(u) {
+                assert!(v < 20);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! R-MAT (recursive matrix) graphs — the standard heavy-tailed generator used
+//! to model social networks and web crawls (Graph500 uses the same model).
+//!
+//! These stand in for the paper's social/web rows of Table 1
+//! (`com-orkut`, `soc-LiveJournal1`, `uk-2002`, `hollywood-2009`, ...), whose
+//! behaviour under the paper's algorithm is driven by their skewed degree
+//! distribution: most vertices land in the small subwarp bins, a few hubs land
+//! in the block-sized bins, and node-centric load balancing collapses.
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// R-MAT quadrant probabilities. Must be positive and sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (self-similarity strength).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameterization (a = 0.57): strongly skewed, hub-heavy.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// A milder skew producing web-crawl-like tails.
+    pub const WEB: RmatParams = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 };
+
+    /// Uniform quadrants: degenerates to Erdős–Rényi.
+    pub const UNIFORM: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!((s - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {s}");
+        assert!(
+            self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
+            "R-MAT probabilities must be positive"
+        );
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and about
+/// `edge_factor * 2^scale` undirected unit edges (duplicates and self-loops
+/// are dropped, so the exact count is slightly lower — matching standard
+/// Graph500 practice).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    assert!(scale >= 1 && scale <= 30, "scale out of supported range");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+
+    for _ in 0..m {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        // Descend `scale` levels of the recursive quadrant matrix, with the
+        // usual per-level parameter noise to avoid exact self-similarity.
+        for _ in 0..scale {
+            let noise = |p: f64, r: &mut rand::rngs::SmallRng| p * (0.95 + 0.1 * r.gen::<f64>());
+            let (a, bb, c, d) = (
+                noise(params.a, &mut r),
+                noise(params.b, &mut r),
+                noise(params.c, &mut r),
+                noise(params.d, &mut r),
+            );
+            let total = a + bb + c + d;
+            let x = r.gen::<f64>() * total;
+            let (right, down) = if x < a {
+                (false, false)
+            } else if x < a + bb {
+                (true, false)
+            } else if x < a + bb + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        let (u, v) = (lo_u as VertexId, lo_v as VertexId);
+        if u != v {
+            b.add_unit_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_roughly_match() {
+        let g = rmat(10, 8, RmatParams::GRAPH500, 3);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates get merged; still expect the bulk of the edges distinct.
+        assert!(g.num_edges() > 4 * 1024, "too few distinct edges: {}", g.num_edges());
+        assert!(g.num_edges() <= 8 * 1024);
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let g = rmat(12, 8, RmatParams::GRAPH500, 9);
+        let n = g.num_vertices();
+        let avg = g.num_arcs() as f64 / n as f64;
+        let max = g.max_degree() as f64;
+        assert!(
+            max > 10.0 * avg,
+            "expected a hub-dominated degree distribution: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 4, RmatParams::WEB, 11);
+        let b = rmat(8, 4, RmatParams::WEB, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(4, 2, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Road-network-like graphs — stand-in for `road_usa`, `*_osm`,
+//! `hugetrace`/`hugebubbles` and `delaunay` rows of Table 1: near-planar,
+//! bounded degree (≈ 2-3 average), enormous diameter. On these graphs the
+//! paper's algorithm goes through many cheap stages (Fig. 5's long tail).
+
+use super::rng;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::Rng;
+
+/// Generates a road-like network on a jittered `nx × ny` lattice: every
+/// lattice edge is kept with probability `keep`, and a few random "highway"
+/// shortcuts between nearby cells are added. Degrees stay ≤ 4 + shortcuts;
+/// the giant component dominates for `keep >= 0.7`.
+pub fn road_network(nx: usize, ny: usize, keep: f64, seed: u64) -> Csr {
+    assert!(nx >= 2 && ny >= 2);
+    assert!((0.0..=1.0).contains(&keep));
+    let n = nx * ny;
+    let id = |x: usize, y: usize| (y * nx + x) as VertexId;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx && r.gen::<f64>() < keep {
+                b.add_unit_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < ny && r.gen::<f64>() < keep {
+                b.add_unit_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+
+    // Sparse local shortcuts (ramps/diagonals): ~2% of vertices.
+    let shortcuts = n / 50;
+    for _ in 0..shortcuts {
+        let x = r.gen_range(0..nx.saturating_sub(2));
+        let y = r.gen_range(0..ny.saturating_sub(2));
+        b.add_unit_edge(id(x, y), id(x + 1, y + 1));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_and_bounded_degree() {
+        let g = road_network(64, 64, 0.85, 3);
+        let n = g.num_vertices();
+        assert_eq!(n, 4096);
+        let avg = g.num_arcs() as f64 / n as f64;
+        assert!(avg > 2.0 && avg < 4.0, "avg degree {avg}");
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn keep_one_gives_full_lattice() {
+        let g = road_network(10, 10, 1.0, 1);
+        // 9*10 horizontal + 10*9 vertical + 2 shortcuts (100/50).
+        assert!(g.num_edges() >= 180);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_network(30, 30, 0.8, 9), road_network(30, 30, 0.8, 9));
+    }
+}

@@ -1,0 +1,116 @@
+//! Whitespace-separated edge lists: `u v [w]` per line, `#`/`%` comments.
+//! The format of the SNAP and KONECT collections.
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use std::io::{BufRead, Write};
+
+/// Reads an undirected edge list. Vertex ids are 0-based; the vertex count is
+/// `max id + 1` (isolated trailing vertices cannot be represented, as in the
+/// source formats). Missing weights default to 1. Duplicate edges merge.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u64 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad source vertex: {e}")))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target vertex"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad target vertex: {e}")))?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            None => 1.0,
+        };
+        if it.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens"));
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(parse_err(lineno, format!("weight must be positive, got {w}")));
+        }
+        if u > VertexId::MAX as u64 || v > VertexId::MAX as u64 {
+            return Err(parse_err(lineno, "vertex id exceeds u32"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph as an edge list, each undirected edge once (`u <= v`),
+/// with weights.
+pub fn write_edge_list<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
+    for u in 0..g.num_vertices() as VertexId {
+        for (v, w) in g.edges(u) {
+            if v >= u {
+                writeln!(writer, "{u} {v} {w}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+
+    #[test]
+    fn parse_simple() {
+        let text = "# comment\n0 1\n1 2 2.5\n\n% other comment\n0 2 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let pos = g.neighbors(1).binary_search(&2).unwrap();
+        assert_eq!(g.edge_weights(1)[pos], 2.5);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = csr_from_edges(4, &[(0, 1, 1.5), (1, 2, 2.0), (3, 3, 4.0), (0, 3, 1.0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0 x".as_bytes()).is_err());
+        assert!(read_edge_list("0".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 2 3".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 -2".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = read_edge_list("0 1 1\n1 0 2\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weights(0), &[3.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! MatrixMarket coordinate format — the format of the Florida (SuiteSparse)
+//! collection the paper draws 44 of its graphs from.
+//!
+//! Supports `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+//! A general matrix is symmetrized (the graph of `A + Aᵀ`); entry magnitudes
+//! are used as weights (zero/negative entries are dropped, the usual
+//! graph-from-matrix convention).
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use std::io::{BufRead, Write};
+
+/// Reads a MatrixMarket coordinate file as an undirected weighted graph.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))
+        .and_then(|(i, l)| Ok((i, l?)))?;
+    let head: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(parse_err(1, "not a MatrixMarket matrix header"));
+    }
+    if head[2] != "coordinate" {
+        return Err(parse_err(1, format!("unsupported storage '{}'", head[2])));
+    }
+    let pattern = match head[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(1, format!("unsupported field '{other}'"))),
+    };
+    let symmetric = match head[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(1, format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Size line (first non-comment).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut b: Option<GraphBuilder> = None;
+    let mut remaining = 0usize;
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match size {
+            None => {
+                if toks.len() != 3 {
+                    return Err(parse_err(lineno, "size line must have 3 fields"));
+                }
+                let rows: usize = toks[0].parse().map_err(|e| parse_err(lineno, format!("{e}")))?;
+                let cols: usize = toks[1].parse().map_err(|e| parse_err(lineno, format!("{e}")))?;
+                let nnz: usize = toks[2].parse().map_err(|e| parse_err(lineno, format!("{e}")))?;
+                if rows != cols {
+                    return Err(parse_err(lineno, "adjacency matrix must be square"));
+                }
+                size = Some((rows, cols, nnz));
+                remaining = nnz;
+                b = Some(GraphBuilder::with_capacity(rows, nnz));
+            }
+            Some(_) => {
+                if remaining == 0 {
+                    return Err(parse_err(lineno, "more entries than declared"));
+                }
+                let want = if pattern { 2 } else { 3 };
+                if toks.len() < want {
+                    return Err(parse_err(lineno, "entry line too short"));
+                }
+                let i: usize = toks[0].parse().map_err(|e| parse_err(lineno, format!("{e}")))?;
+                let j: usize = toks[1].parse().map_err(|e| parse_err(lineno, format!("{e}")))?;
+                let w: f64 = if pattern {
+                    1.0
+                } else {
+                    toks[2].parse().map_err(|e| parse_err(lineno, format!("{e}")))?
+                };
+                let n = size.unwrap().0;
+                if i == 0 || j == 0 || i > n || j > n {
+                    return Err(parse_err(lineno, "index out of range (MatrixMarket is 1-based)"));
+                }
+                let w = w.abs();
+                if w > 0.0 {
+                    // In a general matrix both (i,j) and (j,i) may appear;
+                    // the builder merges them, which matches A + Aᵀ weights.
+                    b.as_mut().unwrap().add_edge((i - 1) as VertexId, (j - 1) as VertexId, w);
+                }
+                remaining -= 1;
+                let _ = symmetric; // symmetric files list the lower triangle once — already handled.
+            }
+        }
+    }
+    if size.is_none() {
+        return Err(parse_err(1, "missing size line"));
+    }
+    if remaining != 0 {
+        return Err(parse_err(0, format!("{remaining} entries missing")));
+    }
+    Ok(b.unwrap().build())
+}
+
+/// Writes the graph as `matrix coordinate real symmetric` with the lower
+/// triangle (including the diagonal for self-loops).
+pub fn write_matrix_market<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(writer, "% written by cd-graph")?;
+    let n = g.num_vertices();
+    writeln!(writer, "{n} {n} {}", g.num_edges())?;
+    for u in 0..n as VertexId {
+        for (v, w) in g.edges(u) {
+            if v <= u {
+                writeln!(writer, "{} {} {w}", u + 1, v + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+
+    #[test]
+    fn parse_symmetric_real() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    2 1 1.5\n\
+                    3 2 2.0\n\
+                    3 3 4.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.self_loop(2), 4.0);
+        assert_eq!(g.weighted_degree(1), 3.5);
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weights(0), &[1.0]);
+    }
+
+    #[test]
+    fn general_matrix_symmetrizes() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n2 1 3.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weights(0), &[4.0]); // 1 + 3 merged
+    }
+
+    #[test]
+    fn zero_entries_dropped() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 0.0\n2 1 1.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.self_loop(0), 0.0);
+    }
+
+    #[test]
+    fn negative_entries_use_magnitude() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -2.5\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_weights(0), &[2.5]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = csr_from_edges(4, &[(0, 1, 1.0), (2, 3, 0.5), (1, 1, 2.0), (0, 3, 3.0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 2 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 2 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # cd-graph — graph substrate for the GPU Louvain reproduction
+//!
+//! Weighted undirected graphs in CSR form, deterministic synthetic
+//! generators for every graph family in the paper's evaluation, graph I/O
+//! (edge lists and MatrixMarket), and sequential reference implementations of
+//! modularity (Eq. 1), modularity gain (Eq. 2), and graph aggregation — the
+//! ground truth every parallel kernel in this workspace is validated against.
+//!
+//! See the conventions on [`Csr`] for how self-loops and `2m` are accounted;
+//! they match the original sequential Louvain implementation.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coloring;
+pub mod compare;
+pub mod components;
+pub mod contract;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod modularity;
+pub mod partition;
+pub mod stats;
+pub mod subgraph;
+
+pub use builder::{csr_from_edges, csr_from_unit_edges, GraphBuilder};
+pub use coloring::{greedy_coloring, parallel_coloring, Coloring};
+pub use compare::{adjusted_rand_index, nmi};
+pub use components::{component_labels, component_stats, ComponentStats, UnionFind};
+pub use contract::contract;
+pub use csr::{Csr, VertexId, Weight};
+pub use modularity::{community_aggregates, modularity, modularity_gain};
+pub use partition::{Dendrogram, Partition};
+pub use stats::{bucket_of_degree, degree_stats, DegreeStats, PAPER_DEGREE_BUCKETS};
+pub use subgraph::{block_ranges, induced_subgraph, InducedSubgraph};

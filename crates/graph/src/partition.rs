@@ -1,0 +1,265 @@
+//! Community assignments (partitions of the vertex set).
+
+use crate::csr::{Csr, VertexId};
+use std::collections::HashMap;
+
+/// A partition of the vertices of a graph into communities: `partition[v]` is
+/// the community id of vertex `v`. Community ids need not be contiguous;
+/// [`Partition::renumbered`] compacts them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    comm: Vec<VertexId>,
+}
+
+impl Partition {
+    /// The singleton partition: every vertex its own community (the starting
+    /// state of every Louvain modularity-optimization phase).
+    pub fn singleton(n: usize) -> Self {
+        Self { comm: (0..n as VertexId).collect() }
+    }
+
+    /// Wraps an explicit assignment vector.
+    pub fn from_vec(comm: Vec<VertexId>) -> Self {
+        Self { comm }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.comm.len()
+    }
+
+    /// True when the partition covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.comm.is_empty()
+    }
+
+    /// Community of vertex `v`.
+    #[inline]
+    pub fn community_of(&self, v: VertexId) -> VertexId {
+        self.comm[v as usize]
+    }
+
+    /// Reassigns vertex `v` to community `c`.
+    #[inline]
+    pub fn assign(&mut self, v: VertexId, c: VertexId) {
+        self.comm[v as usize] = c;
+    }
+
+    /// The raw assignment slice.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.comm
+    }
+
+    /// Consumes into the raw assignment vector.
+    pub fn into_vec(self) -> Vec<VertexId> {
+        self.comm
+    }
+
+    /// Number of distinct communities.
+    pub fn num_communities(&self) -> usize {
+        let mut seen = vec![false; self.comm.len()];
+        let mut count = 0;
+        for &c in &self.comm {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Returns a copy with communities renumbered to `0..k` in order of first
+    /// appearance, together with `k`. This is the sequential counterpart of
+    /// the paper's `newID` prefix-sum renumbering (Alg. 3, lines 7-12).
+    pub fn renumbered(&self) -> (Partition, usize) {
+        let mut next: VertexId = 0;
+        // Community ids are arbitrary (not bounded by the vertex count), so
+        // map through a hash table.
+        let mut map: HashMap<VertexId, VertexId> = HashMap::with_capacity(self.comm.len());
+        let mut out = Vec::with_capacity(self.comm.len());
+        for &c in &self.comm {
+            let id = *map.entry(c).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            out.push(id);
+        }
+        (Partition::from_vec(out), next as usize)
+    }
+
+    /// Sizes of each community, keyed by community id.
+    pub fn community_sizes(&self) -> HashMap<VertexId, usize> {
+        let mut sizes = HashMap::new();
+        for &c in &self.comm {
+            *sizes.entry(c).or_insert(0) += 1;
+        }
+        sizes
+    }
+
+    /// Members of each community (renumbered ids `0..k`), as a vector of
+    /// member lists. The counterpart of the paper's `com` ordering array.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let (renum, k) = self.renumbered();
+        let mut members = vec![Vec::new(); k];
+        for (v, &c) in renum.comm.iter().enumerate() {
+            members[c as usize].push(v as VertexId);
+        }
+        members
+    }
+
+    /// Composes a coarse partition over the contracted graph back onto the
+    /// original vertices: `self` maps vertices to coarse ids `0..k` and
+    /// `coarse` maps coarse ids to final communities.
+    ///
+    /// Used to flatten a Louvain dendrogram into a partition of the input
+    /// graph.
+    pub fn compose(&self, coarse: &Partition) -> Partition {
+        let comm = self
+            .comm
+            .iter()
+            .map(|&c| coarse.community_of(c))
+            .collect();
+        Partition::from_vec(comm)
+    }
+}
+
+/// A full Louvain clustering hierarchy: `levels[s]` maps the vertices of the
+/// stage-`s` graph onto the vertices of the stage-`s+1` graph.
+#[derive(Clone, Debug, Default)]
+pub struct Dendrogram {
+    levels: Vec<Partition>,
+}
+
+impl Dendrogram {
+    /// An empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one level (the renumbered partition computed at one stage).
+    pub fn push_level(&mut self, level: Partition) {
+        self.levels.push(level);
+    }
+
+    /// Number of stages recorded.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The recorded levels, finest first.
+    pub fn levels(&self) -> &[Partition] {
+        &self.levels
+    }
+
+    /// Flattens the hierarchy into a partition of the original (finest)
+    /// vertex set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is empty.
+    pub fn flatten(&self) -> Partition {
+        let mut acc = self.levels[0].clone();
+        for coarse in &self.levels[1..] {
+            acc = acc.compose(coarse);
+        }
+        acc
+    }
+
+    /// The partition of the original vertices at a given prefix depth
+    /// (`depth = 1` is just the first level).
+    pub fn flatten_to(&self, depth: usize) -> Partition {
+        assert!(depth >= 1 && depth <= self.levels.len());
+        let mut acc = self.levels[0].clone();
+        for coarse in &self.levels[1..depth] {
+            acc = acc.compose(coarse);
+        }
+        acc
+    }
+}
+
+/// Counts intra-community edges under `p` — a cheap structural quality probe
+/// used by tests.
+pub fn intra_community_edge_fraction(g: &Csr, p: &Partition) -> f64 {
+    let mut intra = 0.0;
+    let mut total = 0.0;
+    for u in 0..g.num_vertices() as VertexId {
+        for (v, w) in g.edges(u) {
+            total += w;
+            if p.community_of(u) == p.community_of(v) {
+                intra += w;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        intra / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_unit_edges;
+
+    #[test]
+    fn singleton_partition() {
+        let p = Partition::singleton(4);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(p.num_communities(), 4);
+    }
+
+    #[test]
+    fn renumber_compacts_in_first_appearance_order() {
+        let p = Partition::from_vec(vec![5, 5, 2, 7, 2]);
+        let (r, k) = p.renumbered();
+        assert_eq!(k, 3);
+        assert_eq!(r.as_slice(), &[0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn members_grouping() {
+        let p = Partition::from_vec(vec![1, 0, 1, 0]);
+        let groups = p.members();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 2]); // community "1" appears first
+        assert_eq!(groups[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn compose_maps_through() {
+        let fine = Partition::from_vec(vec![0, 0, 1, 1, 2]);
+        let coarse = Partition::from_vec(vec![9, 9, 4]);
+        let flat = fine.compose(&coarse);
+        assert_eq!(flat.as_slice(), &[9, 9, 9, 9, 4]);
+    }
+
+    #[test]
+    fn dendrogram_flatten() {
+        let mut d = Dendrogram::new();
+        d.push_level(Partition::from_vec(vec![0, 0, 1, 1]));
+        d.push_level(Partition::from_vec(vec![0, 0]));
+        let flat = d.flatten();
+        assert_eq!(flat.as_slice(), &[0, 0, 0, 0]);
+        assert_eq!(d.flatten_to(1).as_slice(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn intra_fraction_bounds() {
+        let g = csr_from_unit_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let all_one = Partition::from_vec(vec![0, 0, 0, 0]);
+        assert_eq!(intra_community_edge_fraction(&g, &all_one), 1.0);
+        let split = Partition::from_vec(vec![0, 0, 1, 1]);
+        let f = intra_community_edge_fraction(&g, &split);
+        assert!((f - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn community_sizes() {
+        let p = Partition::from_vec(vec![3, 3, 1]);
+        let sizes = p.community_sizes();
+        assert_eq!(sizes[&3], 2);
+        assert_eq!(sizes[&1], 1);
+    }
+}

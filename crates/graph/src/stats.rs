@@ -1,0 +1,121 @@
+//! Degree statistics, including the paper's degree-bucket census — the
+//! quantity that drives thread-group assignment in the modularity
+//! optimization phase (Section 4.1).
+
+use crate::csr::{Csr, VertexId};
+
+/// Upper bounds (inclusive) of the paper's seven modularity-optimization
+/// degree buckets: `[1,4], [5,8], [9,16], [17,32], [33,84], [85,319], 320+`.
+pub const PAPER_DEGREE_BUCKETS: [usize; 6] = [4, 8, 16, 32, 84, 319];
+
+/// Summary degree statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Undirected edge count.
+    pub num_edges: usize,
+    /// Smallest degree.
+    pub min_degree: usize,
+    /// Largest degree.
+    pub max_degree: usize,
+    /// Mean degree (adjacency entries per vertex).
+    pub avg_degree: f64,
+    /// Count of vertices per paper bucket (7 entries; index 6 is 320+;
+    /// degree-0 vertices are excluded, as the paper's `partition()` never
+    /// selects them).
+    pub bucket_counts: [usize; 7],
+    /// Count of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+/// Index of the paper bucket a degree falls into (degree >= 1).
+pub fn bucket_of_degree(degree: usize) -> usize {
+    assert!(degree >= 1, "bucket undefined for isolated vertices");
+    PAPER_DEGREE_BUCKETS
+        .iter()
+        .position(|&hi| degree <= hi)
+        .unwrap_or(PAPER_DEGREE_BUCKETS.len())
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut bucket_counts = [0usize; 7];
+    let mut isolated = 0usize;
+    let mut min_degree = usize::MAX;
+    let mut max_degree = 0usize;
+    for v in 0..n as VertexId {
+        let d = g.degree(v);
+        min_degree = min_degree.min(d);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        } else {
+            bucket_counts[bucket_of_degree(d)] += 1;
+        }
+    }
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        min_degree: if n == 0 { 0 } else { min_degree },
+        max_degree,
+        avg_degree: if n == 0 { 0.0 } else { g.num_arcs() as f64 / n as f64 },
+        bucket_counts,
+        isolated,
+    }
+}
+
+/// Degree histogram up to `max_degree` (index = degree, value = count).
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() as VertexId {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{star, cycle};
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of_degree(1), 0);
+        assert_eq!(bucket_of_degree(4), 0);
+        assert_eq!(bucket_of_degree(5), 1);
+        assert_eq!(bucket_of_degree(8), 1);
+        assert_eq!(bucket_of_degree(9), 2);
+        assert_eq!(bucket_of_degree(16), 2);
+        assert_eq!(bucket_of_degree(17), 3);
+        assert_eq!(bucket_of_degree(32), 3);
+        assert_eq!(bucket_of_degree(33), 4);
+        assert_eq!(bucket_of_degree(84), 4);
+        assert_eq!(bucket_of_degree(85), 5);
+        assert_eq!(bucket_of_degree(319), 5);
+        assert_eq!(bucket_of_degree(320), 6);
+        assert_eq!(bucket_of_degree(1_000_000), 6);
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star(400);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 399);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.bucket_counts[0], 399); // leaves
+        assert_eq!(s.bucket_counts[6], 1); // hub
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn cycle_histogram() {
+        let g = cycle(10);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 0, 10]);
+        let s = degree_stats(&g);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.bucket_counts[0], 10);
+    }
+}

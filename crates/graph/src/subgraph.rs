@@ -1,0 +1,135 @@
+//! Induced subgraph extraction — the partitioning primitive coarse-grained
+//! multi-device Louvain schemes (Cheong et al.) are built on: each device
+//! receives the subgraph induced by its vertex set, and inter-partition
+//! edges are handled at merge time.
+
+use crate::csr::{Csr, VertexId, Weight};
+
+/// The subgraph induced by a vertex subset, with the id mappings needed to
+/// translate results back.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph over the local id space `0..members.len()`.
+    pub graph: Csr,
+    /// `members[local]` = original id.
+    pub members: Vec<VertexId>,
+    /// Total weight of edges cut by the partition boundary (each cut edge
+    /// counted once from this side).
+    pub cut_weight: Weight,
+}
+
+/// Extracts the subgraph induced by `members` (must be duplicate-free).
+/// Edges with exactly one endpoint inside are dropped and accounted in
+/// `cut_weight`; self-loops and internal edges are kept.
+pub fn induced_subgraph(g: &Csr, members: &[VertexId]) -> InducedSubgraph {
+    let mut local_of = vec![VertexId::MAX; g.num_vertices()];
+    for (local, &v) in members.iter().enumerate() {
+        assert!(
+            local_of[v as usize] == VertexId::MAX,
+            "duplicate member vertex {v}"
+        );
+        local_of[v as usize] = local as VertexId;
+    }
+
+    let mut offsets = Vec::with_capacity(members.len() + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut cut_weight = 0.0;
+    for &v in members {
+        for (u, w) in g.edges(v) {
+            let lu = local_of[u as usize];
+            if lu == VertexId::MAX {
+                cut_weight += w;
+            } else {
+                targets.push(lu);
+                weights.push(w);
+            }
+        }
+        offsets.push(targets.len());
+    }
+    // Adjacency order follows the (sorted) original adjacency, but local ids
+    // permute it; re-sort each list.
+    let n = members.len();
+    for v in 0..n {
+        let (lo, hi) = (offsets[v], offsets[v + 1]);
+        let mut idx: Vec<usize> = (lo..hi).collect();
+        idx.sort_unstable_by_key(|&i| targets[i]);
+        let st: Vec<VertexId> = idx.iter().map(|&i| targets[i]).collect();
+        let sw: Vec<Weight> = idx.iter().map(|&i| weights[i]).collect();
+        targets[lo..hi].copy_from_slice(&st);
+        weights[lo..hi].copy_from_slice(&sw);
+    }
+
+    InducedSubgraph { graph: Csr::from_parts(offsets, targets, weights), members: members.to_vec(), cut_weight }
+}
+
+/// Splits `0..n` into `parts` contiguous ranges of near-equal size (the
+/// block partitioning coarse-grained schemes default to).
+pub fn block_ranges(n: usize, parts: usize) -> Vec<Vec<VertexId>> {
+    assert!(parts >= 1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start..start + len).map(|v| v as VertexId).collect());
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+    use crate::gen::cliques;
+
+    #[test]
+    fn induces_internal_edges_only() {
+        let g = cliques(2, 4, true); // bridge between vertices 3 and 4
+        let sub = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(sub.graph.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 6); // the clique
+        assert_eq!(sub.cut_weight, 1.0); // the bridge
+        assert!(sub.graph.is_symmetric());
+    }
+
+    #[test]
+    fn local_ids_map_back() {
+        let g = cliques(2, 3, true);
+        let members = vec![4u32, 1, 5];
+        let sub = induced_subgraph(&g, &members);
+        assert_eq!(sub.members, members);
+        // Edge 4-5 exists in the original, so local 0-2 must exist.
+        assert!(sub.graph.neighbors(0).contains(&2));
+        // Vertex 1's clique-mates (0, 2) are outside: local vertex 1 isolated.
+        assert_eq!(sub.graph.degree(1), 0);
+    }
+
+    #[test]
+    fn self_loops_kept() {
+        let g = csr_from_edges(3, &[(0, 0, 2.0), (0, 1, 1.0), (1, 2, 1.0)]);
+        let sub = induced_subgraph(&g, &[0, 1]);
+        assert_eq!(sub.graph.self_loop(0), 2.0);
+        assert_eq!(sub.cut_weight, 1.0);
+    }
+
+    #[test]
+    fn block_ranges_cover_everything() {
+        let ranges = block_ranges(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0].len(), 4);
+        assert_eq!(ranges[1].len(), 3);
+        assert_eq!(ranges[2].len(), 3);
+        let all: Vec<u32> = ranges.concat();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        induced_subgraph(&cliques(1, 3, false), &[0, 0]);
+    }
+}

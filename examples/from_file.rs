@@ -1,0 +1,73 @@
+//! Running on your own data: reads a graph from an edge-list or MatrixMarket
+//! file, detects communities, and writes the assignment next to the input.
+//!
+//! ```text
+//! cargo run --release --example from_file -- path/to/graph.txt
+//! ```
+//!
+//! Without an argument, a demo edge list is generated into a temp directory
+//! first, so the example is self-contained.
+
+use community_gpu::graph::io::{read_edge_list, read_matrix_market, write_edge_list};
+use community_gpu::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path: PathBuf = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            // Self-contained demo: write an LFR graph as an edge list.
+            let dir = std::env::temp_dir().join("community-gpu-demo");
+            std::fs::create_dir_all(&dir)?;
+            let path = dir.join("demo_graph.txt");
+            let (g, _) = community_gpu::graph::gen::lfr(
+                &community_gpu::graph::gen::LfrParams::social(5000),
+                1,
+            );
+            write_edge_list(&g, BufWriter::new(File::create(&path)?))?;
+            println!("no input given — wrote a demo graph to {}", path.display());
+            path
+        }
+    };
+
+    // Pick the parser by extension (.mtx = MatrixMarket, else edge list).
+    let reader = BufReader::new(File::open(&path)?);
+    let graph = if path.extension().is_some_and(|e| e == "mtx") {
+        read_matrix_market(reader)?
+    } else {
+        read_edge_list(reader)?
+    };
+    println!(
+        "read {}: {} vertices, {} edges",
+        path.display(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let stats = community_gpu::graph::component_stats(&graph);
+    println!(
+        "{} connected components, giant component: {} vertices",
+        stats.num_components, stats.giant_size
+    );
+
+    let device = Device::k40m();
+    let result = louvain_gpu(&device, &graph, &GpuLouvainConfig::paper_default())?;
+    println!(
+        "found {} communities, modularity {:.4}, {} stages",
+        result.partition.num_communities(),
+        result.modularity,
+        result.stages.len()
+    );
+
+    // Write `vertex community` pairs next to the input.
+    let out_path = path.with_extension("communities.txt");
+    let mut out = BufWriter::new(File::create(&out_path)?);
+    for v in 0..graph.num_vertices() as u32 {
+        writeln!(out, "{v} {}", result.partition.community_of(v))?;
+    }
+    out.flush()?;
+    println!("wrote assignment to {}", out_path.display());
+    Ok(())
+}

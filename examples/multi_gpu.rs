@@ -1,0 +1,48 @@
+//! The paper's Section 6 outlook, realized: the single-GPU algorithm as a
+//! building block for coarse-grained multi-device Louvain (in the style of
+//! Cheong et al.). Shows how quality degrades with the number of devices as
+//! the block partition cuts more edges.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu
+//! ```
+
+use community_gpu::core::{louvain_multi_gpu, MultiGpuConfig};
+use community_gpu::prelude::*;
+
+fn main() {
+    // Planted communities laid out contiguously: the friendly case for block
+    // partitioning (real graph collections also tend to number vertices with
+    // locality).
+    let planted = community_gpu::graph::gen::planted_partition(32, 64, 0.25, 0.002, 3);
+    let graph = planted.graph;
+    println!(
+        "graph: {} vertices, {} edges, planted Q = {:.4}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        modularity(&graph, &planted.truth)
+    );
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "devices", "Q", "vs 1 device", "cut-edge %", "merged |V|"
+    );
+    let mut base = 0.0;
+    for d in [1usize, 2, 4, 8, 16] {
+        let res = louvain_multi_gpu(&graph, &MultiGpuConfig::k40m(d)).unwrap();
+        if d == 1 {
+            base = res.modularity;
+        }
+        println!(
+            "{d:>8} {:>10.4} {:>11.1}% {:>11.2}% {:>12}",
+            res.modularity,
+            100.0 * res.modularity / base,
+            100.0 * (res.cut_weight * 0.5) / graph.total_weight_m(),
+            res.merged_vertices,
+        );
+    }
+    println!("\nEach device clusters only its induced subgraph; the merge phase");
+    println!("contracts the full graph by the union of local clusterings and one");
+    println!("device refines the result — Cheong et al. report up to 9% modularity");
+    println!("loss for this scheme, concentrated where the partition cuts many edges.");
+}

@@ -1,0 +1,60 @@
+//! # community-gpu — GPU Louvain community detection, reproduced in Rust
+//!
+//! A full reproduction of **"Community Detection on the GPU"** (Md. Naim,
+//! Fredrik Manne, Mahantesh Halappanavar, Antonino Tumeo; IPDPS 2017): the
+//! first Louvain implementation that parallelizes access to *individual
+//! edges*, load-balancing vertices across thread groups sized by degree.
+//!
+//! Since no CUDA device is assumed, the kernels run on a faithful SIMT
+//! execution-model simulator ([`gpusim`]) that provides lockstep thread
+//! groups, shared/global memory with atomics and CAS, Thrust-style
+//! collectives, and `nvprof`-style hardware counters with a first-order cost
+//! model.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | weighted CSR graphs, generators, I/O, modularity reference |
+//! | [`gpusim`] | the SIMT simulator (device, thread groups, memory, metrics) |
+//! | [`core`] | the paper's algorithm: binned `computeMove`, parallel aggregation, driver |
+//! | [`baselines`] | sequential Louvain, CPU-parallel Louvain, PLM |
+//! | [`workloads`] | the synthetic Table 1 stand-in suite |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use community_gpu::prelude::*;
+//!
+//! // Four 8-cliques chained by bridges: the textbook community structure.
+//! let graph = community_gpu::graph::gen::cliques(4, 8, true);
+//! let device = Device::k40m();
+//! let result = louvain_gpu(&device, &graph, &GpuLouvainConfig::paper_default()).unwrap();
+//!
+//! assert_eq!(result.partition.num_communities(), 4);
+//! assert!(result.modularity > 0.6);
+//! ```
+//!
+//! See `examples/` for realistic scenarios and the `repro` binary
+//! (`cargo run --release -p cd-bench --bin repro`) for regenerating every
+//! table and figure of the paper.
+
+pub use cd_baselines as baselines;
+pub use cd_core as core;
+pub use cd_gpusim as gpusim;
+pub use cd_graph as graph;
+pub use cd_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use cd_baselines::{
+        louvain_colored, louvain_parallel_cpu, louvain_plm, louvain_sequential,
+    };
+    pub use cd_baselines::{ColoredConfig, ParallelCpuConfig, PlmConfig, SequentialConfig};
+    pub use cd_core::{
+        louvain_gpu, louvain_multi_gpu, GpuLouvainConfig, GpuLouvainResult, MultiGpuConfig,
+    };
+    pub use cd_gpusim::{Device, DeviceConfig};
+    pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
+    pub use cd_workloads::{by_name as workload_by_name, Scale, SUITE as WORKLOAD_SUITE};
+}

@@ -1,0 +1,75 @@
+//! Exhaustive configuration matrix: every combination of update strategy,
+//! hash placement, and thread assignment must produce a valid result of
+//! reasonable quality — configuration knobs change costs, never correctness.
+
+use community_gpu::core::{HashPlacement, ThreadAssignment, UpdateStrategy};
+use community_gpu::prelude::*;
+
+#[test]
+fn every_configuration_is_sound() {
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let q_singleton = modularity(g, &Partition::singleton(g.num_vertices()));
+    let seq_q = louvain_sequential(g, &SequentialConfig::original()).modularity;
+
+    for strategy in [UpdateStrategy::PerBucket, UpdateStrategy::Relaxed] {
+        for placement in [HashPlacement::Auto, HashPlacement::ForceGlobal] {
+            for assignment in [ThreadAssignment::DegreeBinned, ThreadAssignment::NodeCentric] {
+                let mut cfg = GpuLouvainConfig::paper_default();
+                cfg.update_strategy = strategy;
+                cfg.hash_placement = placement;
+                cfg.assignment = assignment;
+                let res = louvain_gpu(&Device::k40m(), g, &cfg).unwrap();
+                let label = format!("{strategy:?}/{placement:?}/{assignment:?}");
+
+                // Structural soundness.
+                assert_eq!(res.partition.len(), g.num_vertices(), "{label}");
+                let q = modularity(g, &res.partition);
+                assert!((q - res.modularity).abs() < 1e-9, "{label}: Q mismatch");
+                // Quality floor: all configurations improve on singletons and
+                // land within 15% of sequential on this well-structured graph.
+                assert!(res.modularity > q_singleton, "{label}");
+                assert!(
+                    res.modularity > 0.85 * seq_q,
+                    "{label}: Q {:.4} vs sequential {seq_q:.4}",
+                    res.modularity
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hash_placement_never_changes_results() {
+    // Placement is a performance knob: bit-identical outcomes.
+    for name in ["com-amazon", "road-usa", "uk2002"] {
+        let built = workload_by_name(name).unwrap().build(Scale::Tiny);
+        let auto = louvain_gpu(&Device::k40m(), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.hash_placement = HashPlacement::ForceGlobal;
+        let forced = louvain_gpu(&Device::k40m(), &built.graph, &cfg).unwrap();
+        assert_eq!(
+            auto.partition.as_slice(),
+            forced.partition.as_slice(),
+            "{name}: hash placement changed the partition"
+        );
+    }
+}
+
+#[test]
+fn threshold_schedule_generalizes_two_level() {
+    use community_gpu::core::{louvain_gpu_with_schedule, ThresholdSchedule};
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let cfg = GpuLouvainConfig::paper_default();
+    let plain = louvain_gpu(&Device::k40m(), &built.graph, &cfg).unwrap();
+    let sched =
+        ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, cfg.size_limit);
+    let via_schedule =
+        louvain_gpu_with_schedule(&Device::k40m(), &built.graph, &cfg, &sched).unwrap();
+    assert_eq!(plain.partition.as_slice(), via_schedule.partition.as_slice());
+
+    // A multi-level schedule still produces a sound result.
+    let multi = ThresholdSchedule::geometric(1e-2, 1e-6, 2000, 3);
+    let res = louvain_gpu_with_schedule(&Device::k40m(), &built.graph, &cfg, &multi).unwrap();
+    assert!(res.modularity > 0.85 * plain.modularity);
+}

@@ -1,0 +1,61 @@
+//! Determinism integration tests.
+//!
+//! On unit-weight graphs every accumulated quantity is a small-integer sum in
+//! f64, so the atomic-add ordering differences between runs cannot change any
+//! value and the GPU algorithm is exactly reproducible. (On arbitrary real
+//! weights, community volumes can differ in the last ulp between runs; the
+//! paper's own device has the same property.)
+
+use community_gpu::prelude::*;
+
+#[test]
+fn generators_are_deterministic() {
+    for spec in WORKLOAD_SUITE.iter().take(6) {
+        let a = spec.build(Scale::Tiny);
+        let b = spec.build(Scale::Tiny);
+        assert_eq!(a.graph, b.graph, "{}", spec.name);
+    }
+}
+
+#[test]
+fn gpu_runs_are_reproducible_on_unit_weights() {
+    for name in ["com-dblp", "road-usa", "uk2002"] {
+        let built = workload_by_name(name).unwrap().build(Scale::Tiny);
+        let device = Device::k40m();
+        let a = louvain_gpu(&device, &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+        let b = louvain_gpu(&device, &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+        assert_eq!(
+            a.partition.as_slice(),
+            b.partition.as_slice(),
+            "{name}: partitions differ between runs"
+        );
+        assert_eq!(a.modularity.to_bits(), b.modularity.to_bits(), "{name}: modularity differs");
+        assert_eq!(a.stages.len(), b.stages.len());
+    }
+}
+
+#[test]
+fn sequential_and_cpu_parallel_are_reproducible() {
+    let built = workload_by_name("com-amazon").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let s1 = louvain_sequential(g, &SequentialConfig::original());
+    let s2 = louvain_sequential(g, &SequentialConfig::original());
+    assert_eq!(s1.partition.as_slice(), s2.partition.as_slice());
+
+    let p1 = louvain_parallel_cpu(g, &ParallelCpuConfig::default());
+    let p2 = louvain_parallel_cpu(g, &ParallelCpuConfig::default());
+    assert_eq!(p1.partition.as_slice(), p2.partition.as_slice());
+}
+
+#[test]
+fn device_config_does_not_change_results() {
+    // The cost model prices the work; it must never steer the algorithm.
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let a = louvain_gpu(&Device::k40m(), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+    let mut cfg = DeviceConfig::tesla_k40m();
+    cfg.num_sms = 4;
+    cfg.clock_mhz = 2000.0;
+    cfg.cycles_per_atomic = 99.0;
+    let b = louvain_gpu(&Device::new(cfg), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+    assert_eq!(a.partition.as_slice(), b.partition.as_slice());
+}

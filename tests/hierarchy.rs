@@ -1,0 +1,77 @@
+//! Dendrogram / multilevel-hierarchy integration tests: the clustering
+//! hierarchy the method computes must be internally consistent at every
+//! level.
+
+use community_gpu::prelude::*;
+
+#[test]
+fn hierarchy_levels_refine_monotonically() {
+    let built = workload_by_name("road-usa").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let res = louvain_gpu(&Device::k40m(), g, &GpuLouvainConfig::paper_default()).unwrap();
+    assert!(res.dendrogram.num_levels() >= 2, "road networks need several stages");
+
+    let mut last_k = usize::MAX;
+    let mut last_q = f64::NEG_INFINITY;
+    for depth in 1..=res.dendrogram.num_levels() {
+        let p = res.dendrogram.flatten_to(depth);
+        let k = p.num_communities();
+        let q = modularity(g, &p);
+        assert!(k <= last_k, "level {depth}: communities must coarsen ({k} > {last_k})");
+        assert!(
+            q >= last_q - 1e-9,
+            "level {depth}: modularity decreased ({q:.4} < {last_q:.4})"
+        );
+        last_k = k;
+        last_q = q;
+    }
+    assert!((last_q - res.modularity).abs() < 1e-9);
+}
+
+#[test]
+fn each_level_is_a_coarsening_of_the_previous() {
+    let built = workload_by_name("rgg-sparse").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let res = louvain_gpu(&Device::k40m(), g, &GpuLouvainConfig::paper_default()).unwrap();
+    for depth in 2..=res.dendrogram.num_levels() {
+        let fine = res.dendrogram.flatten_to(depth - 1);
+        let coarse = res.dendrogram.flatten_to(depth);
+        // Two vertices together at the fine level stay together at the
+        // coarse level.
+        for v in 0..g.num_vertices() as u32 {
+            for &u in g.neighbors(v) {
+                if fine.community_of(v) == fine.community_of(u) {
+                    assert_eq!(
+                        coarse.community_of(v),
+                        coarse.community_of(u),
+                        "coarsening split a community at depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_hierarchy_has_same_properties() {
+    let built = workload_by_name("com-amazon").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let res = louvain_sequential(g, &SequentialConfig::original());
+    let flat = res.dendrogram.flatten();
+    assert_eq!(flat.as_slice(), res.partition.as_slice());
+    assert!((modularity(g, &flat) - res.modularity).abs() < 1e-9);
+}
+
+#[test]
+fn stage_stats_are_consistent_with_hierarchy() {
+    let built = workload_by_name("europe-osm").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let res = louvain_gpu(&Device::k40m(), g, &GpuLouvainConfig::paper_default()).unwrap();
+    assert_eq!(res.stages.len(), res.dendrogram.num_levels());
+    // Stage s+1's vertex count equals the number of communities of level s.
+    for s in 1..res.stages.len() {
+        let prev_level_comms = res.dendrogram.levels()[s - 1].num_communities();
+        assert_eq!(res.stages[s].num_vertices, prev_level_comms, "stage {s}");
+    }
+    assert_eq!(res.stages[0].num_vertices, g.num_vertices());
+}

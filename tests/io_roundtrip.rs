@@ -1,0 +1,50 @@
+//! End-to-end I/O integration: serialize a workload, read it back through
+//! both supported formats, and verify the algorithms see the same graph.
+
+use community_gpu::graph::io::{
+    read_edge_list, read_matrix_market, write_edge_list, write_matrix_market,
+};
+use community_gpu::prelude::*;
+
+#[test]
+fn edge_list_roundtrip_preserves_results() {
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).unwrap();
+    let g2 = read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g, &g2);
+
+    let q1 = louvain_sequential(g, &SequentialConfig::original()).modularity;
+    let q2 = louvain_sequential(&g2, &SequentialConfig::original()).modularity;
+    assert_eq!(q1.to_bits(), q2.to_bits());
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_results() {
+    let built = workload_by_name("audikw").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+
+    let mut buf = Vec::new();
+    write_matrix_market(g, &mut buf).unwrap();
+    let g2 = read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(g, &g2);
+
+    let r1 = louvain_gpu(&Device::k40m(), g, &GpuLouvainConfig::paper_default()).unwrap();
+    let r2 = louvain_gpu(&Device::k40m(), &g2, &GpuLouvainConfig::paper_default()).unwrap();
+    assert_eq!(r1.partition.as_slice(), r2.partition.as_slice());
+}
+
+#[test]
+fn formats_cross_agree() {
+    let built = workload_by_name("cnr2000").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let mut el = Vec::new();
+    write_edge_list(g, &mut el).unwrap();
+    let mut mm = Vec::new();
+    write_matrix_market(g, &mut mm).unwrap();
+    let from_el = read_edge_list(&el[..]).unwrap();
+    let from_mm = read_matrix_market(&mm[..]).unwrap();
+    assert_eq!(from_el, from_mm);
+}

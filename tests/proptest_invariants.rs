@@ -1,0 +1,154 @@
+//! Property-based tests of the core invariants, on arbitrary small graphs:
+//! modularity bounds, gain-vs-recompute agreement, contraction invariance,
+//! GPU-vs-reference aggregation, and device collective correctness.
+
+use community_gpu::core::{aggregate_graph, DeviceGraph, GpuLouvainConfig};
+use community_gpu::gpusim::Device;
+use community_gpu::graph::{contract, csr_from_edges, modularity, modularity_gain, Csr, Partition};
+use proptest::prelude::*;
+
+/// An arbitrary small weighted graph: up to `max_n` vertices, arbitrary
+/// (possibly duplicate, possibly self-loop) weighted edges.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..100),
+            1..max_m,
+        )
+        .prop_map(move |edges| {
+            let weighted: Vec<(u32, u32, f64)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, w as f64 / 8.0))
+                .collect();
+            csr_from_edges(n, &weighted)
+        })
+    })
+}
+
+/// A graph together with an arbitrary community assignment (ids may exceed
+/// the compact range and leave holes).
+fn arb_graph_and_partition(max_n: usize, max_m: usize) -> impl Strategy<Value = (Csr, Partition)> {
+    arb_graph(max_n, max_m).prop_flat_map(|g| {
+        let n = g.num_vertices();
+        proptest::collection::vec(0..(2 * n as u32), n)
+            .prop_map(move |comm| (g.clone(), Partition::from_vec(comm)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn modularity_is_bounded((g, p) in arb_graph_and_partition(20, 60)) {
+        let q = modularity(&g, &p);
+        prop_assert!((-1.0..=1.0).contains(&q), "Q = {q}");
+    }
+
+    #[test]
+    fn gain_matches_exact_recompute((g, p) in arb_graph_and_partition(14, 40)) {
+        let n = g.num_vertices() as u32;
+        for i in 0..n.min(6) {
+            for dst in [0u32, 1, n - 1] {
+                if dst == p.community_of(i) {
+                    continue;
+                }
+                let gain = modularity_gain(&g, &p, i, dst);
+                let before = modularity(&g, &p);
+                let mut moved = p.clone();
+                moved.assign(i, dst);
+                let exact = modularity(&g, &moved) - before;
+                prop_assert!(
+                    (gain - exact).abs() < 1e-9,
+                    "vertex {i} -> {dst}: Eq.2 gain {gain} vs recomputed {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_modularity_and_weight((g, p) in arb_graph_and_partition(20, 60)) {
+        let q_before = modularity(&g, &p);
+        let (cg, _) = contract(&g, &p);
+        let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
+        prop_assert!((q_before - q_after).abs() < 1e-9, "{q_before} vs {q_after}");
+        prop_assert!((g.total_weight_2m() - cg.total_weight_2m()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_contraction_matches_sequential((g, p) in arb_graph_and_partition(20, 60)) {
+        let (seq, map_seq) = contract(&g, &p);
+        let (par, map_par) = community_gpu::baselines::contract_parallel(&g, &p);
+        prop_assert_eq!(map_seq.as_slice(), map_par.as_slice());
+        prop_assert_eq!(seq.num_vertices(), par.num_vertices());
+        prop_assert_eq!(seq.num_arcs(), par.num_arcs());
+        for v in 0..seq.num_vertices() as u32 {
+            prop_assert_eq!(seq.neighbors(v), par.neighbors(v));
+            for (a, b) in seq.edge_weights(v).iter().zip(par.edge_weights(v)) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_aggregation_preserves_modularity((g, p) in arb_graph_and_partition(18, 50)) {
+        let dev = Device::k40m();
+        // The kernel requires vertex-id community labels (its arrays are
+        // |V|-sized, as in Alg. 3); renumbering provides that.
+        let (p, _) = p.renumbered();
+        let comm: Vec<u32> = p.as_slice().to_vec();
+        let out = aggregate_graph(&dev, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default());
+        let cg = out.graph.to_csr();
+        let q_before = modularity(&g, &p);
+        let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
+        prop_assert!((q_before - q_after).abs() < 1e-9, "{q_before} vs {q_after}");
+        // Weight conservation through the kernel pipeline.
+        prop_assert!((g.total_weight_2m() - cg.total_weight_2m()).abs() < 1e-9);
+        // The vertex map covers the new vertex range.
+        for v in 0..g.num_vertices() {
+            prop_assert!((out.vertex_map[v] as usize) < cg.num_vertices());
+        }
+    }
+
+    #[test]
+    fn gpu_full_run_invariants(g in arb_graph(16, 40)) {
+        let dev = Device::k40m();
+        let res = louvain(&dev, &g);
+        // Reported modularity equals from-scratch modularity and is at least
+        // the singleton baseline.
+        let q = modularity(&g, &res.partition);
+        prop_assert!((q - res.modularity).abs() < 1e-9);
+        let q0 = modularity(&g, &Partition::singleton(g.num_vertices()));
+        prop_assert!(res.modularity >= q0 - 1e-9, "Q {} below singleton {}", res.modularity, q0);
+    }
+
+    #[test]
+    fn device_scan_matches_reference(v in proptest::collection::vec(0usize..1000, 0..500)) {
+        let dev = Device::k40m();
+        let mut scanned = v.clone();
+        let total = dev.exclusive_scan_usize(&mut scanned);
+        let mut acc = 0usize;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(scanned[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn device_partition_is_stable_split(v in proptest::collection::vec(0u32..100, 0..300)) {
+        let dev = Device::k40m();
+        let (parted, count) = dev.partition(&v, |&x| x % 2 == 0);
+        let evens: Vec<u32> = v.iter().copied().filter(|x| x % 2 == 0).collect();
+        let odds: Vec<u32> = v.iter().copied().filter(|x| x % 2 == 1).collect();
+        prop_assert_eq!(count, evens.len());
+        prop_assert_eq!(&parted[..count], &evens[..]);
+        prop_assert_eq!(&parted[count..], &odds[..]);
+    }
+}
+
+fn louvain(
+    dev: &Device,
+    g: &Csr,
+) -> community_gpu::core::GpuLouvainResult {
+    community_gpu::core::louvain_gpu(dev, g, &GpuLouvainConfig::paper_default()).unwrap()
+}

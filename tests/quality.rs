@@ -1,0 +1,134 @@
+//! Cross-crate quality integration tests: the GPU algorithm must match the
+//! sequential reference within the tolerances the paper reports, across the
+//! workload families of Table 1.
+
+use community_gpu::prelude::*;
+
+fn gpu_q(graph: &Csr) -> f64 {
+    let device = Device::k40m();
+    louvain_gpu(&device, graph, &GpuLouvainConfig::paper_default())
+        .unwrap()
+        .modularity
+}
+
+#[test]
+fn gpu_within_tolerance_of_sequential_across_families() {
+    // One representative per family; the paper reports never more than 2%
+    // below sequential *on average* at the default thresholds; individual
+    // synchronous-update-hostile graphs (KKT grids) may dip further, exactly
+    // as its Fig. 6 anomaly describes.
+    let names = ["orkut", "uk2002", "copapers", "audikw", "rgg-sparse", "road-usa", "com-dblp"];
+    let mut ratios = Vec::new();
+    for name in names {
+        let built = workload_by_name(name).unwrap().build(Scale::Tiny);
+        let seq = louvain_sequential(&built.graph, &SequentialConfig::original());
+        let q = gpu_q(&built.graph);
+        let ratio = q / seq.modularity;
+        assert!(
+            ratio > 0.93,
+            "{name}: GPU Q {q:.4} vs sequential {:.4} (ratio {ratio:.3})",
+            seq.modularity
+        );
+        ratios.push(ratio);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg > 0.97, "average quality ratio {avg:.4} must be within ~2-3% of sequential");
+}
+
+#[test]
+fn all_algorithms_agree_on_strong_structure() {
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let truth_q = modularity(g, built.truth.as_ref().unwrap());
+
+    let seq = louvain_sequential(g, &SequentialConfig::original()).modularity;
+    let cpu = louvain_parallel_cpu(g, &ParallelCpuConfig::default()).modularity;
+    let plm = louvain_plm(g, &PlmConfig::default()).modularity;
+    let gpu = gpu_q(g);
+
+    for (name, q) in [("seq", seq), ("cpu-par", cpu), ("plm", plm), ("gpu", gpu)] {
+        assert!(
+            q > 0.92 * truth_q,
+            "{name}: Q {q:.4} too far below planted Q {truth_q:.4}"
+        );
+    }
+}
+
+#[test]
+fn gpu_partition_is_valid_and_consistent() {
+    let built = workload_by_name("rgg-sparse").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let device = Device::k40m();
+    let res = louvain_gpu(&device, g, &GpuLouvainConfig::paper_default()).unwrap();
+
+    // Partition covers every vertex, and the reported modularity is the
+    // from-scratch modularity of that partition.
+    assert_eq!(res.partition.len(), g.num_vertices());
+    let q = modularity(g, &res.partition);
+    assert!((q - res.modularity).abs() < 1e-9);
+
+    // The dendrogram flattens to the same partition.
+    let flat = res.dendrogram.flatten();
+    assert_eq!(flat.as_slice(), res.partition.as_slice());
+}
+
+#[test]
+fn gpu_beats_singletons_on_every_workload() {
+    for spec in WORKLOAD_SUITE {
+        let built = spec.build(Scale::Tiny);
+        let g = &built.graph;
+        let q0 = modularity(g, &Partition::singleton(g.num_vertices()));
+        let q = gpu_q(g);
+        assert!(q > q0, "{}: GPU Q {q:.4} did not improve on singletons {q0:.4}", spec.name);
+        assert!(q > 0.3, "{}: GPU Q {q:.4} suspiciously low", spec.name);
+    }
+}
+
+#[test]
+fn detected_communities_align_with_ground_truth() {
+    use community_gpu::graph::{adjusted_rand_index, nmi};
+    let built = workload_by_name("com-amazon").unwrap().build(Scale::Tiny);
+    let truth = built.truth.as_ref().unwrap();
+    let device = Device::k40m();
+    let res = louvain_gpu(&device, &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+    let nmi_score = nmi(&res.partition, truth);
+    let ari_score = adjusted_rand_index(&res.partition, truth);
+    // Louvain's resolution limit merges some planted communities, so
+    // agreement is high but not perfect.
+    assert!(nmi_score > 0.7, "NMI vs planted truth = {nmi_score:.3}");
+    assert!(ari_score > 0.4, "ARI vs planted truth = {ari_score:.3}");
+    // And trivially: the result agrees with itself.
+    assert!((nmi(&res.partition, &res.partition) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn gpu_and_sequential_find_similar_structures() {
+    use community_gpu::graph::nmi;
+    let built = workload_by_name("com-dblp").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let seq = louvain_sequential(g, &SequentialConfig::original());
+    let gpu = louvain_gpu(&Device::k40m(), g, &GpuLouvainConfig::paper_default()).unwrap();
+    let agreement = nmi(&gpu.partition, &seq.partition);
+    assert!(
+        agreement > 0.75,
+        "GPU and sequential partitions should describe the same structure (NMI {agreement:.3})"
+    );
+}
+
+#[test]
+fn relaxed_and_bucketed_strategies_close() {
+    let built = workload_by_name("livejournal").unwrap().build(Scale::Tiny);
+    let g = &built.graph;
+    let device = Device::k40m();
+    let bucketed = louvain_gpu(&device, g, &GpuLouvainConfig::paper_default()).unwrap();
+    let mut cfg = GpuLouvainConfig::paper_default();
+    cfg.update_strategy = community_gpu::core::UpdateStrategy::Relaxed;
+    let relaxed = louvain_gpu(&device, g, &cfg).unwrap();
+    let ratio = relaxed.modularity / bucketed.modularity;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "relaxed {:.4} vs bucketed {:.4}",
+        relaxed.modularity,
+        bucketed.modularity
+    );
+}
