@@ -182,16 +182,20 @@ fn decide(
 fn phase_modularity(g: &Csr, comm: &[VertexId], tot: &[Weight], two_m: f64) -> f64 {
     let inside: f64 = (0..g.num_vertices())
         .into_par_iter()
-        .fold_chunks(4096, || 0.0f64, |acc, i| {
-            let ci = comm[i];
-            let mut s = acc;
-            for (j, w) in g.edges(i as VertexId) {
-                if comm[j as usize] == ci {
-                    s += w;
+        .fold_chunks(
+            4096,
+            || 0.0f64,
+            |acc, i| {
+                let ci = comm[i];
+                let mut s = acc;
+                for (j, w) in g.edges(i as VertexId) {
+                    if comm[j as usize] == ci {
+                        s += w;
+                    }
                 }
-            }
-            s
-        })
+                s
+            },
+        )
         .collect::<Vec<f64>>()
         .iter()
         .sum();

@@ -50,14 +50,10 @@ pub fn contract_parallel(g: &Csr, p: &Partition) -> (Csr, Partition) {
         acc += adj.len();
         offsets.push(acc);
     }
-    let targets: Vec<VertexId> = merged
-        .par_iter()
-        .flat_map_iter(|adj| adj.iter().map(|&(t, _)| t))
-        .collect();
-    let weights: Vec<Weight> = merged
-        .par_iter()
-        .flat_map_iter(|adj| adj.iter().map(|&(_, w)| w))
-        .collect();
+    let targets: Vec<VertexId> =
+        merged.par_iter().flat_map_iter(|adj| adj.iter().map(|&(t, _)| t)).collect();
+    let weights: Vec<Weight> =
+        merged.par_iter().flat_map_iter(|adj| adj.iter().map(|&(_, w)| w)).collect();
 
     (Csr::from_parts(offsets, targets, weights), renum)
 }

@@ -223,16 +223,20 @@ fn current_modularity(g: &Csr, comm: &[VertexId], tot: &[Weight], two_m: f64) ->
     // Fixed-chunk parallel sum keeps the result deterministic.
     let inside: f64 = (0..n)
         .into_par_iter()
-        .fold_chunks(4096, || 0.0f64, |acc, i| {
-            let ci = comm[i];
-            let mut s = acc;
-            for (j, w) in g.edges(i as VertexId) {
-                if comm[j as usize] == ci {
-                    s += w;
+        .fold_chunks(
+            4096,
+            || 0.0f64,
+            |acc, i| {
+                let ci = comm[i];
+                let mut s = acc;
+                for (j, w) in g.edges(i as VertexId) {
+                    if comm[j as usize] == ci {
+                        s += w;
+                    }
                 }
-            }
-            s
-        })
+                s
+            },
+        )
         .collect::<Vec<f64>>()
         .iter()
         .sum();
@@ -252,10 +256,7 @@ mod tests {
         for c in 0..5u32 {
             let base = c * 6;
             for v in 1..6u32 {
-                assert_eq!(
-                    res.partition.community_of(base),
-                    res.partition.community_of(base + v)
-                );
+                assert_eq!(res.partition.community_of(base), res.partition.community_of(base + v));
             }
         }
         assert!(res.modularity > 0.6);

@@ -132,7 +132,8 @@ fn one_phase(g: &Csr, cfg: &PlmConfig) -> (Partition, usize) {
                     scratch.add(comm[j as usize].load(Ordering::Relaxed), w);
                 }
                 let ki = k[i];
-                let stay = scratch.get(ci) / m - ki * (tot[ci as usize].load() - ki) / (2.0 * m * m);
+                let stay =
+                    scratch.get(ci) / m - ki * (tot[ci as usize].load() - ki) / (2.0 * m * m);
                 let mut best_c = ci;
                 let mut best_gain = f64::NEG_INFINITY;
                 for (c, e) in scratch.iter() {
@@ -178,10 +179,7 @@ mod tests {
         for c in 0..4u32 {
             let base = c * 8;
             for v in 1..8u32 {
-                assert_eq!(
-                    res.partition.community_of(base),
-                    res.partition.community_of(base + v)
-                );
+                assert_eq!(res.partition.community_of(base), res.partition.community_of(base + v));
             }
         }
         assert!(res.modularity > 0.6);

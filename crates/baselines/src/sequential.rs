@@ -90,7 +90,8 @@ pub fn louvain_sequential(graph: &Csr, cfg: &SequentialConfig) -> LouvainResult 
         });
         dendrogram.push_level(renumbered);
 
-        if q_new - q_prev <= cfg.stage_threshold || contracted.num_vertices() == current.num_vertices()
+        if q_new - q_prev <= cfg.stage_threshold
+            || contracted.num_vertices() == current.num_vertices()
         {
             break;
         }
@@ -184,9 +185,7 @@ pub fn one_level(g: &Csr, pass_threshold: f64) -> (Partition, f64, usize) {
                     continue;
                 }
                 let gain = neigh_weight[c as usize] / m - ki * tot[c as usize] / (2.0 * m * m);
-                if gain > best_gain + 1e-15
-                    || ((gain - best_gain).abs() <= 1e-15 && c < best_c)
-                {
+                if gain > best_gain + 1e-15 || ((gain - best_gain).abs() <= 1e-15 && c < best_c) {
                     best_gain = gain;
                     best_c = c;
                 }

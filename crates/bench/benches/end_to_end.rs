@@ -20,7 +20,9 @@ fn bench_end_to_end(c: &mut Criterion) {
 
         group.bench_function(BenchmarkId::new("gpu", name), |b| {
             let dev = Device::k40m();
-            b.iter(|| black_box(louvain_gpu(&dev, &g, &GpuLouvainConfig::paper_default()).unwrap()));
+            b.iter(|| {
+                black_box(louvain_gpu(&dev, &g, &GpuLouvainConfig::paper_default()).unwrap())
+            });
         });
         group.bench_function(BenchmarkId::new("seq-original", name), |b| {
             b.iter(|| black_box(louvain_sequential(&g, &SequentialConfig::original())));

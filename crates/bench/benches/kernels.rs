@@ -11,10 +11,11 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 fn bench_hash_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_insert");
     for &deg in &[8usize, 84, 1024] {
-        let slots = table_size_for(deg);
+        let slots = table_size_for(deg).unwrap();
         // Pseudo-random community keys with ~50% duplicates, like a
         // half-converged neighborhood.
-        let keys: Vec<u32> = (0..deg as u32).map(|i| (i * 2654435761) % (deg as u32 / 2 + 1)).collect();
+        let keys: Vec<u32> =
+            (0..deg as u32).map(|i| (i * 2654435761) % (deg as u32 / 2 + 1)).collect();
         for space in [TableSpace::Shared, TableSpace::Global] {
             let label = format!("{space:?}/deg{deg}");
             group.bench_function(BenchmarkId::from_parameter(label), |b| {

@@ -32,7 +32,7 @@ fn bench_aggregate_phase(c: &mut Criterion) {
         let dev = Device::k40m();
         let cfg = GpuLouvainConfig::paper_default();
         // A realistic mid-run labeling: the outcome of one phase.
-        let labeling = modularity_optimization(&dev, &dg, &cfg, 1e-2).comm;
+        let labeling = modularity_optimization(&dev, &dg, &cfg, 1e-2).unwrap().comm;
         group.bench_function(BenchmarkId::new("gpu", name), |b| {
             b.iter(|| black_box(aggregate_graph(&dev, &dg, &labeling, &cfg)));
         });

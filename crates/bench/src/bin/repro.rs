@@ -19,6 +19,7 @@
 //!   buckets   degree-bucket census of the workloads (Section 4.1)
 //!   multigpu  coarse-grained multi-device extension (Section 6)
 //!   schedule  multi-level threshold schedules (Section 6)
+//!   faults    fault-injection sweep and multi-device failover
 //!   all       everything above
 //! ```
 
@@ -41,7 +42,8 @@ fn main() {
             "--scale" => {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
-                scale = Scale::parse(v).unwrap_or_else(|| die("scale must be tiny|small|medium|large"));
+                scale =
+                    Scale::parse(v).unwrap_or_else(|| die("scale must be tiny|small|medium|large"));
             }
             "--out" => {
                 i += 1;
@@ -68,6 +70,7 @@ fn main() {
         "buckets" => experiments::buckets(scale, &out),
         "multigpu" => experiments::multigpu(scale, &out),
         "schedule" => experiments::schedule(scale, &out),
+        "faults" => experiments::faults(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -82,6 +85,7 @@ fn main() {
             experiments::buckets(scale, &out);
             experiments::multigpu(scale, &out);
             experiments::schedule(scale, &out);
+            experiments::faults(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -92,7 +96,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, all\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)"
     );
 }

@@ -39,7 +39,18 @@ fn gpu_cfg(scale: Scale) -> GpuLouvainConfig {
 pub fn table1(scale: Scale, out: &Path) {
     let mut t = Table::new(
         format!("Table 1 — graphs and running times (scale: {scale:?})"),
-        &["graph", "family", "|V|", "|E|", "seq[s]", "gpu-model[s]", "gpu-host[s]", "Q-seq", "Q-gpu", "speedup(model)"],
+        &[
+            "graph",
+            "family",
+            "|V|",
+            "|E|",
+            "seq[s]",
+            "gpu-model[s]",
+            "gpu-host[s]",
+            "Q-seq",
+            "Q-gpu",
+            "speedup(model)",
+        ],
     );
     let mut speedups = Vec::new();
     let mut rel_q = Vec::new();
@@ -81,6 +92,7 @@ pub fn table1(scale: Scale, out: &Path) {
 }
 
 /// Figs. 1 & 2: modularity and speedup over the (th_bin, th_final) grid.
+#[allow(clippy::needless_range_loop)] // triple grid indexed by (bin, final, graph)
 pub fn fig1_2(scale: Scale, out: &Path) {
     let th_bins = [1e-1, 1e-2, 1e-3, 1e-4];
     let th_finals = [1e-3, 1e-4, 1e-5, 1e-6, 1e-7];
@@ -117,10 +129,9 @@ pub fn fig1_2(scale: Scale, out: &Path) {
     for (bi, &tb) in th_bins.iter().enumerate() {
         let mut row = vec![format!("{tb:.0e}")];
         for fi in 0..th_finals.len() {
-            let avg: f64 = (0..builds.len())
-                .map(|gi| q_grid[bi][fi][gi] / seq_q[gi].max(1e-12))
-                .sum::<f64>()
-                / builds.len() as f64;
+            let avg: f64 =
+                (0..builds.len()).map(|gi| q_grid[bi][fi][gi] / seq_q[gi].max(1e-12)).sum::<f64>()
+                    / builds.len() as f64;
             row.push(format!("{:.2}", 100.0 * avg));
         }
         t1.row(row);
@@ -149,9 +160,7 @@ pub fn fig1_2(scale: Scale, out: &Path) {
     for (bi, &tb) in th_bins.iter().enumerate() {
         let mut row = vec![format!("{tb:.0e}")];
         for fi in 0..th_finals.len() {
-            let avg: f64 = (0..builds.len())
-                .map(|gi| best_t[gi] / t_grid[bi][fi][gi])
-                .sum::<f64>()
+            let avg: f64 = (0..builds.len()).map(|gi| best_t[gi] / t_grid[bi][fi][gi]).sum::<f64>()
                 / builds.len() as f64;
             row.push(format!("{:.1}", 100.0 * avg));
         }
@@ -167,9 +176,20 @@ pub fn fig1_2(scale: Scale, out: &Path) {
 pub fn fig3_4(scale: Scale, out: &Path) {
     let mut t = Table::new(
         format!("Figs. 3 & 4 — GPU speedup vs sequential variants (scale: {scale:?})"),
-        &["graph", "seq-orig[s]", "seq-adapt[s]", "gpu-model[s]", "fig3: vs orig", "fig4: vs adapt", "Q-orig", "Q-adapt", "Q-gpu"],
+        &[
+            "graph",
+            "seq-orig[s]",
+            "seq-adapt[s]",
+            "gpu-model[s]",
+            "fig3: vs orig",
+            "fig4: vs adapt",
+            "Q-orig",
+            "Q-adapt",
+            "Q-gpu",
+        ],
     );
-    let (mut s3, mut s4, mut adapt_speed, mut q_drop) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut s3, mut s4, mut adapt_speed, mut q_drop) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for spec in SUITE {
         let built = build(spec, scale);
         let g = &built.graph;
@@ -266,11 +286,12 @@ pub fn fig7(scale: Scale, out: &Path) {
         speeds.push(sp);
         // First-iteration hashing rate: both algorithms hash all 2|E| edges
         // once in their first sweep.
-        let cpu_first = cpu.stages.first().map(|s| s.opt_time.as_secs_f64() / s.iterations.max(1) as f64);
-        let gpu_first = gpu.result.stages.first().and_then(|s| s.iter_times.first()).map(|d| d.as_secs_f64());
-        let gpu_first_model = gpu_first.map(|h| {
-            h / gpu.host_time.as_secs_f64().max(1e-12) * gpu.model_seconds
-        });
+        let cpu_first =
+            cpu.stages.first().map(|s| s.opt_time.as_secs_f64() / s.iterations.max(1) as f64);
+        let gpu_first =
+            gpu.result.stages.first().and_then(|s| s.iter_times.first()).map(|d| d.as_secs_f64());
+        let gpu_first_model =
+            gpu_first.map(|h| h / gpu.host_time.as_secs_f64().max(1e-12) * gpu.model_seconds);
         let hr = match (cpu_first, gpu_first_model) {
             (Some(c), Some(gm)) if gm > 0.0 => c / gm,
             _ => f64::NAN,
@@ -302,7 +323,16 @@ pub fn relaxed(scale: Scale, out: &Path) {
     let subset = comparison_subset();
     let mut t = Table::new(
         format!("Relaxed vs per-bucket updates (scale: {scale:?})"),
-        &["graph", "Q-bucket", "Q-relaxed", "Q ratio", "t-bucket(model)", "t-relaxed(model)", "slowdown", "stages b/r"],
+        &[
+            "graph",
+            "Q-bucket",
+            "Q-relaxed",
+            "Q ratio",
+            "t-bucket(model)",
+            "t-relaxed(model)",
+            "slowdown",
+            "stages b/r",
+        ],
     );
     let mut ratios = Vec::new();
     for spec in subset {
@@ -406,7 +436,16 @@ pub fn profile(scale: Scale, out: &Path) {
     let gpu = run_gpu(&built.graph, &gpu_cfg(scale));
     let mut t = Table::new(
         format!("Profile — kernel utilization on uk2002 analogue (scale: {scale:?})"),
-        &["kernel", "launches", "blocks", "active-lane %", "occupancy %", "eligible warps", "atomics", "global txns"],
+        &[
+            "kernel",
+            "launches",
+            "blocks",
+            "active-lane %",
+            "occupancy %",
+            "eligible warps",
+            "atomics",
+            "global txns",
+        ],
     );
     let dev_cfg = &gpu.device_config;
     for (name, k) in gpu.metrics.kernels() {
@@ -455,7 +494,18 @@ pub fn ablation(scale: Scale, out: &Path) {
     let names = ["orkut", "uk2002", "hollywood", "road-usa"];
     let mut t = Table::new(
         format!("Ablation — thread assignment, hash placement, pruning (scale: {scale:?})"),
-        &["graph", "binned[s]", "node-centric[s]", "nc slowdown", "nc active %", "global-hash[s]", "gh slowdown", "pruned[s]", "pruning speedup", "pruned Q ratio"],
+        &[
+            "graph",
+            "binned[s]",
+            "node-centric[s]",
+            "nc slowdown",
+            "nc active %",
+            "global-hash[s]",
+            "gh slowdown",
+            "pruned[s]",
+            "pruning speedup",
+            "pruned Q ratio",
+        ],
     );
     for name in names {
         let spec = by_name(name).unwrap();
@@ -505,7 +555,17 @@ pub fn buckets(scale: Scale, out: &Path) {
     use cd_graph::bucket_of_degree;
     let mut t = Table::new(
         format!("Degree-bucket census (scale: {scale:?})"),
-        &["graph", "b1[1-4]", "b2[5-8]", "b3[9-16]", "b4[17-32]", "b5[33-84]", "b6[85-319]", "b7[320+]", "edge share b5-7 %"],
+        &[
+            "graph",
+            "b1[1-4]",
+            "b2[5-8]",
+            "b3[9-16]",
+            "b4[17-32]",
+            "b5[33-84]",
+            "b6[85-319]",
+            "b7[320+]",
+            "edge share b5-7 %",
+        ],
     );
     for spec in SUITE {
         let built = build(spec, scale);
@@ -600,12 +660,8 @@ pub fn schedule(scale: Scale, out: &Path) {
             (res.modularity, model)
         };
         let two = run(&ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, limit));
-        let four = run(&ThresholdSchedule::geometric(
-            cfg.threshold_bin,
-            cfg.threshold_final,
-            limit,
-            3,
-        ));
+        let four =
+            run(&ThresholdSchedule::geometric(cfg.threshold_bin, cfg.threshold_final, limit, 3));
         t.row(vec![
             spec.name.to_string(),
             f4(two.0),
@@ -618,6 +674,133 @@ pub fn schedule(scale: Scale, out: &Path) {
     t.print();
     println!("paper: suggests graded thresholds as future work; expected shape — similar quality, smoother time/quality trade.");
     let _ = t.save_csv(out, "schedule");
+}
+
+/// Extension (robustness): deterministic fault injection. Sweeps per-launch
+/// abort / stuck-block / bit-flip rates on single-device runs under the
+/// driver's stage-retry recovery, then exercises multi-device failover down
+/// to the sequential baseline.
+pub fn faults(scale: Scale, out: &Path) {
+    use cd_core::{louvain_gpu, louvain_multi_gpu, MultiGpuConfig, RecoveryAction};
+    use cd_gpusim::{Device, DeviceConfig, FaultPlan};
+
+    let names = ["com-dblp", "road-usa", "rgg-sparse"];
+    // (abort, stuck, bit-flip) per-launch rates. A stage retries as a unit,
+    // so even sub-percent rates translate into frequent stage-level retries.
+    // Bit-flip rates are per *word*, and label/weight buffers hold one word
+    // per vertex — keep them an order of magnitude below the launch rates or
+    // every retry of a large stage redraws a corrupted buffer.
+    let tiers: [(f64, f64, f64); 4] = [
+        (0.0, 0.0, 0.0),
+        (0.0005, 0.00025, 0.00001),
+        (0.002, 0.001, 0.00005),
+        (0.005, 0.0025, 0.0001),
+    ];
+    let mut t = Table::new(
+        format!("Fault injection — recovery under per-launch faults (scale: {scale:?})"),
+        &[
+            "graph",
+            "abort",
+            "stuck",
+            "flip",
+            "injected",
+            "detected",
+            "recovered",
+            "status",
+            "Q/Q-clean",
+            "model-t/t-clean",
+        ],
+    );
+    for name in names {
+        let built = build(by_name(name).unwrap(), scale);
+        let g = &built.graph;
+        let mut cfg = gpu_cfg(scale);
+        cfg.retry.max_attempts = 10;
+        let mut clean = (1.0f64, 1.0f64); // (Q, model seconds) of the fault-free tier
+        for (ti, &(abort, stuck, flip)) in tiers.iter().enumerate() {
+            let plan = FaultPlan::seeded(2017)
+                .with_abort_rate(abort)
+                .with_stuck_rate(stuck)
+                .with_bitflip_rate(flip);
+            let dev_cfg = DeviceConfig::tesla_k40m().with_fault_plan(plan);
+            let dev = Device::new(dev_cfg.clone());
+            let res = louvain_gpu(&dev, g, &cfg);
+            let stats = dev.fault_stats();
+            let model = dev_cfg.cycles_to_seconds(dev.metrics().total_model_cycles(&dev_cfg));
+            let (status, q) = match &res {
+                Ok(r) => ("ok".to_string(), r.modularity),
+                Err(e) => (format!("failed: {e}"), f64::NAN),
+            };
+            if ti == 0 {
+                clean = (q, model.max(1e-12));
+            }
+            t.row(vec![
+                name.to_string(),
+                format!("{abort:.1e}"),
+                format!("{stuck:.1e}"),
+                format!("{flip:.1e}"),
+                stats.injected().to_string(),
+                stats.detected.to_string(),
+                stats.recovered.to_string(),
+                status,
+                if q.is_finite() { format!("{:.4}", q / clean.0.max(1e-12)) } else { "-".into() },
+                format!("{:.3}", model / clean.1),
+            ]);
+        }
+    }
+    t.print();
+    println!("expected: recovered runs stay within a few % of fault-free modularity; model-time overhead grows with the stage-retry count.");
+    let _ = t.save_csv(out, "faults_single");
+
+    let mut t2 = Table::new(
+        format!("Fault injection — multi-device failover (scale: {scale:?})"),
+        &["graph", "devices", "plan", "status", "Q", "local-retries", "failovers", "seq-fallbacks"],
+    );
+    let built = build(by_name("com-dblp").unwrap(), scale);
+    let g = &built.graph;
+    let plans = [
+        ("clean", FaultPlan::seeded(7), 10usize),
+        ("transient", FaultPlan::seeded(7).with_abort_rate(0.002).with_stuck_rate(0.001), 10),
+        // Every launch aborts: all devices fail and the run must degrade to
+        // the sequential baseline. A small retry budget keeps this fast.
+        ("hopeless", FaultPlan::seeded(7).with_abort_rate(1.0), 2),
+    ];
+    for (label, plan, attempts) in plans {
+        let mut cfg = MultiGpuConfig::k40m(4);
+        cfg.gpu = gpu_cfg(scale);
+        cfg.gpu.retry.max_attempts = attempts;
+        cfg.device = cfg.device.with_fault_plan(plan);
+        match louvain_multi_gpu(g, &cfg) {
+            Ok(res) => {
+                let count = |f: fn(&RecoveryAction) -> bool| {
+                    res.recovery.iter().filter(|a| f(a)).count().to_string()
+                };
+                t2.row(vec![
+                    "com-dblp".into(),
+                    "4".into(),
+                    label.into(),
+                    "ok".into(),
+                    f4(res.modularity),
+                    count(|a| matches!(a, RecoveryAction::LocalRetry { .. })),
+                    count(|a| matches!(a, RecoveryAction::Failover { .. })),
+                    count(|a| matches!(a, RecoveryAction::SequentialFallback { .. })),
+                ]);
+            }
+            Err(e) => t2.row(vec![
+                "com-dblp".into(),
+                "4".into(),
+                label.into(),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t2.print();
+    println!("expected: transient faults heal via retry/failover; a hopeless fleet still completes through the sequential fallback.");
+    let _ = t2.save_csv(out, "faults_multi");
 }
 
 fn geometric_mean(xs: &[f64]) -> f64 {

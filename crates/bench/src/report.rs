@@ -59,8 +59,9 @@ impl Table {
                 }
                 first = false;
                 // Right-align numeric-looking cells, left-align the rest.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
-                    && cell.chars().all(|c| !c.is_ascii_alphabetic() || c == 'e' || c == 'x');
+                let numeric =
+                    cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                        && cell.chars().all(|c| !c.is_ascii_alphabetic() || c == 'e' || c == 'x');
                 if numeric {
                     let _ = write!(out, "{cell:>w$}", w = widths[i]);
                 } else {
@@ -93,7 +94,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -167,7 +169,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.50");
         assert_eq!(f4(0.123456), "0.1235");
-        assert_eq!(ratio(3.14), "3.1x");
+        assert_eq!(ratio(3.12), "3.1x");
         assert_eq!(ratio(250.0), "250x");
     }
 }

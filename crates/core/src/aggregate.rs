@@ -14,8 +14,9 @@
 
 use crate::config::{GpuLouvainConfig, HashPlacement, AGG_BUCKETS};
 use crate::dev_graph::DeviceGraph;
-use crate::hashtable::{TableSpace, TableStorage};
-use crate::primes::table_size_for;
+use crate::hashtable::{TableOverflow, TableSpace, TableStorage};
+use crate::louvain::GpuLouvainError;
+use crate::primes::{next_prime_at_least, table_size_for};
 use cd_gpusim::{Device, GlobalF64, GlobalU32, GlobalU64};
 
 /// Output of the aggregation phase.
@@ -29,37 +30,44 @@ pub struct AggregateOutcome {
 }
 
 /// Contracts `g` under the community labeling `comm`.
+///
+/// Alg. 3 sizes `comSize`/`comDegree`/`newID` by the vertex count: community
+/// ids are vertex ids (every phase starts from the singleton partition), so
+/// they must be `< n` — a violation (a corrupted label) is reported as
+/// [`GpuLouvainError::InvalidLabels`] instead of indexing out of bounds.
 pub fn aggregate(
     dev: &Device,
     g: &DeviceGraph,
     comm: &[u32],
     cfg: &GpuLouvainConfig,
-) -> AggregateOutcome {
+) -> Result<AggregateOutcome, GpuLouvainError> {
     let n = g.num_vertices();
-    assert_eq!(comm.len(), n);
-    // Alg. 3 sizes comSize/comDegree/newID by the vertex count: community
-    // ids are vertex ids (every phase starts from the singleton partition),
-    // so they are always < n.
-    assert!(
-        comm.iter().all(|&c| (c as usize) < n),
-        "community ids must be < |V| (Louvain labels communities by vertex id)"
-    );
+    if comm.len() != n {
+        return Err(GpuLouvainError::InvariantViolation {
+            stage: "aggregate",
+            detail: format!("labeling has {} entries for {n} vertices", comm.len()),
+        });
+    }
+    if let Some((index, &label)) = comm.iter().enumerate().find(|&(_, &c)| (c as usize) >= n) {
+        return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: n });
+    }
     if n == 0 {
-        return AggregateOutcome {
+        return Ok(AggregateOutcome {
             graph: DeviceGraph::from_parts(vec![0], Vec::new(), Vec::new()),
             vertex_map: Vec::new(),
-        };
+        });
     }
 
     // ---- (i) community sizes and degree sums (Alg. 3 lines 2-6) ----------
     let com_size = GlobalU32::zeroed(n);
     let com_degree = GlobalU64::zeroed(n);
-    dev.launch_threads("aggregate_sizes", n, |ctx, i| {
+    dev.try_launch_threads("aggregate_sizes", n, |ctx, i| {
         let c = comm[i] as usize;
         ctx.global_read_coalesced(2);
         ctx.atomic_add_u32(&com_size, c, 1);
         ctx.atomic_add_u64(&com_degree, c, g.degree(i) as u64);
-    });
+    })
+    .map_err(GpuLouvainError::Launch)?;
     let com_size = com_size.to_vec();
     let com_degree = com_degree.to_vec();
 
@@ -77,12 +85,13 @@ pub fn aggregate(
     dev.exclusive_scan_usize(&mut vertex_start);
     let cursor = GlobalU64::from_slice(&vertex_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
     let com = GlobalU32::zeroed(n);
-    dev.launch_threads("aggregate_order_vertices", n, |ctx, i| {
+    dev.try_launch_threads("aggregate_order_vertices", n, |ctx, i| {
         let c = comm[i] as usize;
         let slot = ctx.atomic_add_u64(&cursor, c, 1) as usize;
         com.store(slot, i as u32);
         ctx.global_write_scattered(1);
-    });
+    })
+    .map_err(GpuLouvainError::Launch)?;
     let com = com.to_vec();
 
     // ---- (iv) merge communities, bucketed by expected work ----------------
@@ -91,8 +100,7 @@ pub fn aggregate(
     let scratch_weights = GlobalF64::zeroed(scratch_len);
     let new_deg = GlobalU64::zeroed(new_n);
 
-    let community_ids: Vec<u32> =
-        (0..n as u32).filter(|&c| com_size[c as usize] > 0).collect();
+    let community_ids: Vec<u32> = (0..n as u32).filter(|&c| com_size[c as usize] > 0).collect();
 
     let merge_ctx = MergeContext {
         g,
@@ -119,9 +127,9 @@ pub fn aggregate(
             continue;
         }
         if bucket_idx == AGG_BUCKETS.len() - 1 {
-            merge_global_bucket(dev, &merge_ctx, cfg, &ids);
+            merge_global_bucket(dev, &merge_ctx, cfg, &ids)?;
         } else {
-            merge_shared_bucket(dev, &merge_ctx, cfg, &ids, hi, lanes, bucket_idx);
+            merge_shared_bucket(dev, &merge_ctx, cfg, &ids, hi, lanes, bucket_idx)?;
         }
     }
 
@@ -137,34 +145,43 @@ pub fn aggregate(
     {
         let offsets = &offsets;
         let new_deg = &new_deg;
-        dev.launch_tasks("aggregate_compact", community_ids.len(), 32, 0, || (), |ctx, _, t| {
-            let c = community_ids[t] as usize;
-            let nid = new_id[c];
-            let count = new_deg[nid] as usize;
-            let src = edge_pos[c];
-            let dst = offsets[nid];
-            ctx.strided_steps(count.max(1));
-            ctx.global_read_coalesced(2 * count);
-            ctx.global_write_coalesced(2 * count);
-            for e in 0..count {
-                final_targets.store(dst + e, scratch_targets.load(src + e));
-                final_weights.store(dst + e, scratch_weights.load(src + e));
-            }
-        });
+        dev.try_launch_tasks(
+            "aggregate_compact",
+            community_ids.len(),
+            32,
+            0,
+            || (),
+            |ctx, _, t| {
+                let c = community_ids[t] as usize;
+                let nid = new_id[c];
+                let count = new_deg[nid] as usize;
+                let src = edge_pos[c];
+                let dst = offsets[nid];
+                ctx.strided_steps(count.max(1));
+                ctx.global_read_coalesced(2 * count);
+                ctx.global_write_coalesced(2 * count);
+                for e in 0..count {
+                    final_targets.store(dst + e, scratch_targets.load(src + e));
+                    final_weights.store(dst + e, scratch_weights.load(src + e));
+                }
+            },
+        )
+        .map_err(GpuLouvainError::Launch)?;
     }
 
     // ---- per-vertex dendrogram level --------------------------------------
     let vertex_map_dev = GlobalU32::zeroed(n);
-    dev.launch_threads("aggregate_vertex_map", n, |ctx, i| {
+    dev.try_launch_threads("aggregate_vertex_map", n, |ctx, i| {
         vertex_map_dev.store(i, new_id[comm[i] as usize] as u32);
         ctx.global_read_scattered(1);
         ctx.global_write_coalesced(1);
-    });
+    })
+    .map_err(GpuLouvainError::Launch)?;
 
-    AggregateOutcome {
+    Ok(AggregateOutcome {
         graph: DeviceGraph::from_parts(offsets, final_targets.to_vec(), final_weights.to_vec()),
         vertex_map: vertex_map_dev.to_vec(),
-    }
+    })
 }
 
 /// Read-only context shared by the merge kernels.
@@ -182,17 +199,44 @@ struct MergeContext<'a> {
     new_deg: &'a GlobalU64,
 }
 
-/// `mergeCommunity` for one community: hash every member's neighbor
-/// communities, then write the (new-id-relabeled, sorted) adjacency into the
-/// community's scratch range.
+/// `mergeCommunity` for one community, with the same capacity-fault recovery
+/// as `computeMove`: an overflowing hash table (possible only under corrupted
+/// state) retries against the next-prime-sized table, falling back from
+/// shared to global memory.
 fn merge_one(
+    ctx: &mut cd_gpusim::GroupCtx,
+    mc: &MergeContext<'_>,
+    table: &mut TableStorage,
+    mut space: TableSpace,
+    mut slots: usize,
+    c: usize,
+) {
+    loop {
+        match merge_attempt(ctx, mc, table, space, slots, c) {
+            Ok(()) => return,
+            Err(TableOverflow { .. }) => {
+                if space == TableSpace::Shared {
+                    space = TableSpace::Global;
+                    ctx.note_table_fallback();
+                }
+                slots = next_prime_at_least(slots.saturating_mul(2) | 1);
+            }
+        }
+    }
+}
+
+/// `mergeCommunity` body for one community: hash every member's neighbor
+/// communities, then write the (new-id-relabeled, sorted) adjacency into the
+/// community's scratch range. A full hash table aborts with [`TableOverflow`]
+/// before anything is written; [`merge_one`] retries with a larger table.
+fn merge_attempt(
     ctx: &mut cd_gpusim::GroupCtx,
     mc: &MergeContext<'_>,
     table: &mut TableStorage,
     space: TableSpace,
     slots: usize,
     c: usize,
-) {
+) -> Result<(), TableOverflow> {
     let mut t = table.table(slots, space);
     t.reset(ctx);
 
@@ -211,7 +255,7 @@ fn merge_one(
         ctx.global_read_scattered(deg);
         for (&j, &w) in mc.g.neighbors(v).iter().zip(mc.g.edge_weights(v)) {
             let cj = mc.comm[j as usize];
-            t.insert_add(ctx, cj, w);
+            t.try_insert_add(ctx, cj, w)?;
         }
     }
 
@@ -219,10 +263,8 @@ fn merge_one(
     // to the community's scratch range. On the device this is the
     // marked-entry prefix-sum compaction described in the paper; the sort is
     // the simulator's way of fixing a canonical edge order.
-    let mut entries: Vec<(u32, f64)> = t
-        .iter_filled()
-        .map(|(cj, w)| (mc.new_id[cj as usize] as u32, w))
-        .collect();
+    let mut entries: Vec<(u32, f64)> =
+        t.iter_filled().map(|(cj, w)| (mc.new_id[cj as usize] as u32, w)).collect();
     entries.sort_unstable_by_key(|&(t, _)| t);
     ctx.strided_steps(entries.len());
 
@@ -234,6 +276,7 @@ fn merge_one(
     ctx.global_write_coalesced(2 * entries.len());
     mc.new_deg.store(mc.new_id[c], entries.len() as u64);
     ctx.global_write_scattered(1);
+    Ok(())
 }
 
 /// Shared-memory community buckets (degree sums up to 479).
@@ -245,14 +288,14 @@ fn merge_shared_bucket(
     max_degree_sum: usize,
     lanes: usize,
     bucket_idx: usize,
-) {
-    let slots = table_size_for(max_degree_sum);
+) -> Result<(), GpuLouvainError> {
+    let slots = table_size_for(max_degree_sum)?;
     let (space, shared_bytes) = match cfg.hash_placement {
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
     let name = format!("merge_community_b{}", bucket_idx + 1);
-    dev.launch_tasks(
+    dev.try_launch_tasks(
         &name,
         ids.len(),
         lanes,
@@ -261,35 +304,45 @@ fn merge_shared_bucket(
         |ctx, table, task| {
             merge_one(ctx, mc, table, space, slots, ids[task] as usize);
         },
-    );
+    )
+    .map_err(GpuLouvainError::Launch)
 }
 
 /// The open-ended community bucket: global tables, communities sorted by
 /// degree sum and dealt to a bounded number of blocks.
-fn merge_global_bucket(dev: &Device, mc: &MergeContext<'_>, cfg: &GpuLouvainConfig, ids: &[u32]) {
+fn merge_global_bucket(
+    dev: &Device,
+    mc: &MergeContext<'_>,
+    cfg: &GpuLouvainConfig,
+    ids: &[u32],
+) -> Result<(), GpuLouvainError> {
     let mut sorted = ids.to_vec();
     dev.sort_by_key(&mut sorted, |&c| std::cmp::Reverse(mc.com_degree[c as usize]));
+    // Table sizes are resolved host-side before launch so an out-of-ladder
+    // degree sum is a typed error, not an in-kernel panic.
+    let slots_sorted: Vec<usize> = sorted
+        .iter()
+        .map(|&c| table_size_for(mc.com_degree[c as usize] as usize))
+        .collect::<Result<_, _>>()?;
     let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
     let sorted_ref = &sorted;
-    dev.launch_blocks(
+    let slots_ref = &slots_sorted;
+    dev.try_launch_blocks(
         "merge_community_b3",
         n_blocks,
-        |block| {
-            let first = sorted_ref[block] as usize;
-            TableStorage::with_capacity(table_size_for(mc.com_degree[first] as usize))
-        },
+        |block| TableStorage::with_capacity(slots_ref[block]),
         |ctx, table| {
             let block = ctx.block_id;
             let mut idx = block;
             while idx < sorted_ref.len() {
                 let c = sorted_ref[idx] as usize;
-                let slots = table_size_for(mc.com_degree[c] as usize);
-                merge_one(ctx, mc, table, TableSpace::Global, slots, c);
+                merge_one(ctx, mc, table, TableSpace::Global, slots_ref[idx], c);
                 ctx.finish_task();
                 idx += n_blocks;
             }
         },
-    );
+    )
+    .map_err(GpuLouvainError::Launch)
 }
 
 #[cfg(test)]
@@ -308,7 +361,7 @@ mod tests {
     fn assert_matches_reference(g: &Csr, comm: &[u32]) {
         let d = dev();
         let dg = DeviceGraph::from_csr(g);
-        let out = aggregate(&d, &dg, comm, &GpuLouvainConfig::paper_default());
+        let out = aggregate(&d, &dg, comm, &GpuLouvainConfig::paper_default()).unwrap();
         let gpu_graph = out.graph.to_csr();
 
         let p = Partition::from_vec(comm.to_vec());
@@ -328,10 +381,8 @@ mod tests {
         // Compare adjacency of each new vertex through the permutation.
         for r in 0..k as u32 {
             let q = perm[r as usize];
-            let mut ref_adj: Vec<(u32, f64)> = ref_graph
-                .edges(r)
-                .map(|(t, w)| (perm[t as usize], w))
-                .collect();
+            let mut ref_adj: Vec<(u32, f64)> =
+                ref_graph.edges(r).map(|(t, w)| (perm[t as usize], w)).collect();
             ref_adj.sort_unstable_by_key(|&(t, _)| t);
             let gpu_adj: Vec<(u32, f64)> = gpu_graph.edges(q).collect();
             assert_eq!(ref_adj.len(), gpu_adj.len(), "vertex {r}/{q} degree");
@@ -381,7 +432,9 @@ mod tests {
         let g = add_random_edges(&cycle(120), 200, 3);
         let comm: Vec<u32> = (0..120u32).map(|v| v % 9).collect();
         let d = dev();
-        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default());
+        let out =
+            aggregate(&d, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default())
+                .unwrap();
         let q_before = modularity(&g, &Partition::from_vec(comm));
         let cg = out.graph.to_csr();
         let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
@@ -394,7 +447,13 @@ mod tests {
         b.add_unit_edge(0, 1);
         let g = b.build(); // vertices 2, 3 isolated
         let d = dev();
-        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &[0, 0, 2, 3], &GpuLouvainConfig::paper_default());
+        let out = aggregate(
+            &d,
+            &DeviceGraph::from_csr(&g),
+            &[0, 0, 2, 3],
+            &GpuLouvainConfig::paper_default(),
+        )
+        .unwrap();
         assert_eq!(out.graph.num_vertices(), 3);
         assert_eq!(out.graph.num_arcs(), 1); // one merged self-loop edge
         let cg = out.graph.to_csr();
@@ -405,7 +464,9 @@ mod tests {
     fn single_community_collapse() {
         let g = cliques(1, 6, false);
         let d = dev();
-        let out = aggregate(&d, &DeviceGraph::from_csr(&g), &[0; 6], &GpuLouvainConfig::paper_default());
+        let out =
+            aggregate(&d, &DeviceGraph::from_csr(&g), &[0; 6], &GpuLouvainConfig::paper_default())
+                .unwrap();
         assert_eq!(out.graph.num_vertices(), 1);
         let cg = out.graph.to_csr();
         assert_eq!(cg.self_loop(0), g.total_weight_2m());

@@ -2,6 +2,47 @@
 //! threshold pair and bucket boundaries, plus the ablation switches the
 //! benchmark harness exercises.
 
+use std::time::Duration;
+
+/// Retry policy for transient stage failures (injected kernel faults,
+/// invariant violations caused by memory corruption). Each stage of the
+/// driver is a checkpoint: its inputs are host-resident, so a failed stage is
+/// re-run from scratch after an exponential backoff. Permanent errors
+/// (out-of-memory, oversized degrees) are never retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per stage, including the first (1 = fail on first error).
+    pub max_attempts: usize,
+    /// Sleep before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// Default policy: 3 attempts, 500 µs initial backoff, doubling.
+    pub fn default_policy() -> Self {
+        Self { max_attempts: 3, backoff_base: Duration::from_micros(500), backoff_multiplier: 2 }
+    }
+
+    /// A policy that never retries (fail on first transient error).
+    pub fn none() -> Self {
+        Self { max_attempts: 1, ..Self::default_policy() }
+    }
+
+    /// Backoff to sleep after failed attempt number `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: usize) -> Duration {
+        let factor = self.backoff_multiplier.saturating_pow(attempt.saturating_sub(1) as u32);
+        self.backoff_base.saturating_mul(factor)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
 /// When community labels are published during the modularity optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UpdateStrategy {
@@ -40,15 +81,8 @@ pub enum ThreadAssignment {
 /// Degree-bucket table for the modularity optimization (paper Section 4.1):
 /// `(max_degree_inclusive, group_lanes)` per bucket; the last bucket is
 /// open-ended and uses global-memory hash tables.
-pub const MODOPT_BUCKETS: [(usize, usize); 7] = [
-    (4, 4),
-    (8, 8),
-    (16, 16),
-    (32, 32),
-    (84, 32),
-    (319, 128),
-    (usize::MAX, 128),
-];
+pub const MODOPT_BUCKETS: [(usize, usize); 7] =
+    [(4, 4), (8, 8), (16, 16), (32, 32), (84, 32), (319, 128), (usize::MAX, 128)];
 
 /// Community buckets for the aggregation phase: `(max_degree_sum_inclusive,
 /// group_lanes)`; the last bucket is open-ended with global tables.
@@ -91,6 +125,8 @@ pub struct GpuLouvainConfig {
     /// quality cost (a vertex can in principle be re-attracted purely by a
     /// remote volume change, which pruning does not see).
     pub pruning: bool,
+    /// Retry policy for transient stage failures (fault-injecting devices).
+    pub retry: RetryPolicy,
 }
 
 impl GpuLouvainConfig {
@@ -109,6 +145,7 @@ impl GpuLouvainConfig {
             max_stages: 500,
             global_bucket_blocks: 120,
             pruning: false,
+            retry: RetryPolicy::default_policy(),
         }
     }
 

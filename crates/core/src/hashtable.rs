@@ -26,6 +26,25 @@ pub enum TableSpace {
     Global,
 }
 
+/// Recoverable capacity fault: the probe sequence visited every slot without
+/// finding the key or an empty slot. The 1.5x sizing rule makes this
+/// unreachable for well-formed inputs, but corrupted labels or degree sums
+/// can undersize a table; callers recover by retrying the task against a
+/// larger (next-prime) table, falling back from shared to global memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableOverflow {
+    /// Slot count of the table that overflowed.
+    pub size: usize,
+}
+
+impl std::fmt::Display for TableOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hash table overflow: size {} too small", self.size)
+    }
+}
+
+impl std::error::Error for TableOverflow {}
+
 /// A community→weight accumulation table over borrowed storage.
 pub struct HashTable<'t> {
     keys: &'t mut [u32],
@@ -37,7 +56,12 @@ pub struct HashTable<'t> {
 impl<'t> HashTable<'t> {
     /// Wraps `size` slots of the provided scratch. `size` must be one of the
     /// prime-ladder sizes for the probe sequence to terminate.
-    pub fn new(keys: &'t mut [u32], weights: &'t mut [f64], size: usize, space: TableSpace) -> Self {
+    pub fn new(
+        keys: &'t mut [u32],
+        weights: &'t mut [f64],
+        size: usize,
+        space: TableSpace,
+    ) -> Self {
         assert!(size >= 2 && size <= keys.len() && size <= weights.len());
         Self { keys, weights, size, space }
     }
@@ -81,13 +105,27 @@ impl<'t> HashTable<'t> {
     /// and its weight *after* the update (the "current value" a lane tracks
     /// its local best with).
     ///
-    /// Panics if the table is full, which the 1.5x sizing rule makes
-    /// impossible for valid inputs.
+    /// Panics if the table is full; fault-tolerant kernels use
+    /// [`HashTable::try_insert_add`] and retry the task with a larger table.
     pub fn insert_add(&mut self, ctx: &mut GroupCtx, key: u32, w: f64) -> (usize, f64) {
+        self.try_insert_add(ctx, key, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HashTable::insert_add`]: a full table is returned
+    /// as a [`TableOverflow`] instead of panicking, so the caller can retry
+    /// the whole task against a resized table.
+    pub fn try_insert_add(
+        &mut self,
+        ctx: &mut GroupCtx,
+        key: u32,
+        w: f64,
+    ) -> Result<(usize, f64), TableOverflow> {
         debug_assert_ne!(key, EMPTY);
         let mut it = 0usize;
         loop {
-            assert!(it < self.size, "hash table overflow: size {} too small", self.size);
+            if it >= self.size {
+                return Err(TableOverflow { size: self.size });
+            }
             let pos = self.probe(key, it);
             it += 1;
             self.charge_reads(ctx, 1);
@@ -95,7 +133,7 @@ impl<'t> HashTable<'t> {
                 // Key already claimed: atomicAdd the weight (line 7).
                 self.weights[pos] += w;
                 self.charge_atomic_add(ctx);
-                return (pos, self.weights[pos]);
+                return Ok((pos, self.weights[pos]));
             }
             if self.keys[pos] == EMPTY {
                 // Claim the slot with CAS (line 9). Lockstep execution means
@@ -106,7 +144,7 @@ impl<'t> HashTable<'t> {
                 self.charge_cas(ctx);
                 self.weights[pos] += w;
                 self.charge_atomic_add(ctx);
-                return (pos, self.weights[pos]);
+                return Ok((pos, self.weights[pos]));
             }
             // Occupied by another community: continue the probe sequence.
         }
@@ -235,7 +273,7 @@ mod tests {
     fn insert_and_accumulate() {
         let mut storage = TableStorage::with_capacity(64);
         let ((), counters) = with_ctx(|ctx| {
-            let mut t = storage.table(table_size_for(10), TableSpace::Shared);
+            let mut t = storage.table(table_size_for(10).unwrap(), TableSpace::Shared);
             t.reset(ctx);
             t.insert_add(ctx, 5, 1.0);
             t.insert_add(ctx, 7, 2.0);
@@ -254,7 +292,7 @@ mod tests {
     fn global_space_charges_atomics() {
         let mut storage = TableStorage::with_capacity(64);
         let ((), counters) = with_ctx(|ctx| {
-            let mut t = storage.table(table_size_for(10), TableSpace::Global);
+            let mut t = storage.table(table_size_for(10).unwrap(), TableSpace::Global);
             t.reset(ctx);
             t.insert_add(ctx, 1, 1.0);
             t.insert_add(ctx, 1, 1.0);
@@ -268,7 +306,7 @@ mod tests {
     fn handles_colliding_keys_to_capacity() {
         // Fill a small prime table completely; every key must remain
         // retrievable.
-        let size = table_size_for(4); // 7
+        let size = table_size_for(4).unwrap(); // 7
         let mut storage = TableStorage::with_capacity(size);
         with_ctx(|ctx| {
             let mut t = storage.table(size, TableSpace::Shared);
@@ -286,7 +324,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
-        let size = table_size_for(2); // 5
+        let size = table_size_for(2).unwrap(); // 5
         let mut storage = TableStorage::with_capacity(size);
         with_ctx(|ctx| {
             let mut t = storage.table(size, TableSpace::Shared);
@@ -298,10 +336,36 @@ mod tests {
     }
 
     #[test]
+    fn overflow_is_recoverable_with_a_resized_table() {
+        // The fault-tolerant kernel path: on overflow, retry the whole task
+        // against the next-prime-sized table until every key fits.
+        let keys: Vec<u32> = (0..12u32).map(|k| k * 7919).collect();
+        let mut storage = TableStorage::with_capacity(4);
+        let mut size = table_size_for(2).unwrap(); // 5 — too small for 12 keys
+        with_ctx(|ctx| loop {
+            let mut t = storage.table(size, TableSpace::Shared);
+            t.reset(ctx);
+            match keys.iter().try_for_each(|&k| t.try_insert_add(ctx, k, 1.0).map(|_| ())) {
+                Ok(()) => {
+                    for &k in &keys {
+                        assert_eq!(t.get(ctx, k), 1.0);
+                    }
+                    break;
+                }
+                Err(overflow) => {
+                    assert_eq!(overflow.size, size);
+                    size = crate::primes::next_prime_at_least(size + 1);
+                }
+            }
+        });
+        assert!(size > 5, "recovery must have grown the table");
+    }
+
+    #[test]
     fn iter_filled_sees_all_entries() {
         let mut storage = TableStorage::with_capacity(32);
         with_ctx(|ctx| {
-            let mut t = storage.table(table_size_for(8), TableSpace::Shared);
+            let mut t = storage.table(table_size_for(8).unwrap(), TableSpace::Shared);
             t.reset(ctx);
             for key in [3u32, 14, 159, 2653] {
                 t.insert_add(ctx, key, key as f64);

@@ -39,13 +39,15 @@ pub mod schedule;
 
 pub use aggregate::{aggregate as aggregate_graph, AggregateOutcome};
 pub use config::{
-    GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy, AGG_BUCKETS, MODOPT_BUCKETS,
+    GpuLouvainConfig, HashPlacement, RetryPolicy, ThreadAssignment, UpdateStrategy, AGG_BUCKETS,
+    MODOPT_BUCKETS,
 };
 pub use dev_graph::DeviceGraph;
+pub use hashtable::TableOverflow;
 pub use louvain::{
     estimated_device_bytes, louvain_gpu, louvain_gpu_with_schedule, GpuLouvainError,
     GpuLouvainResult, GpuStageStats,
 };
 pub use modopt::{modularity_optimization, OptOutcome};
-pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult};
+pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult, RecoveryAction};
 pub use schedule::ThresholdSchedule;

@@ -4,16 +4,21 @@
 //! switching and the per-stage statistics behind Figs. 5 and 6 and the TEPS
 //! numbers.
 
-use crate::aggregate::aggregate;
+use crate::aggregate::{aggregate, AggregateOutcome};
 use crate::config::GpuLouvainConfig;
 use crate::dev_graph::DeviceGraph;
-use crate::modopt::modularity_optimization;
+use crate::modopt::{modularity_optimization, OptOutcome};
 use crate::schedule::ThresholdSchedule;
-use cd_gpusim::Device;
+use cd_gpusim::{Device, GlobalF64, GlobalU32, LaunchError};
 use cd_graph::{modularity, Csr, Dendrogram, Partition};
 use std::time::{Duration, Instant};
 
-/// Errors a GPU Louvain run can report before doing any work.
+/// Errors a GPU Louvain run can report — admission failures, kernel launch
+/// faults, and corruption caught by the driver's invariant checks.
+///
+/// Transient variants (see [`GpuLouvainError::is_transient`]) are retried per
+/// the configured [`crate::RetryPolicy`]; permanent ones propagate
+/// immediately.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GpuLouvainError {
     /// The graph plus working state would not fit device memory — the
@@ -26,6 +31,61 @@ pub enum GpuLouvainError {
     },
     /// The vertex count exceeds the 32-bit id space of the kernels.
     TooManyVertices(usize),
+    /// A kernel launch failed (injected fault or launch misconfiguration).
+    Launch(LaunchError),
+    /// A task's work size exceeds the hash-table prime ladder (reachable in
+    /// practice only through corrupted degree sums).
+    DegreeOverflow {
+        /// The offending work size (vertex degree or community degree sum).
+        degree: usize,
+        /// The largest work size the ladder supports.
+        max_supported: usize,
+    },
+    /// A community labeling holds an out-of-range label (corrupted memory).
+    InvalidLabels {
+        /// Index of the first bad entry.
+        index: usize,
+        /// The out-of-range label found there.
+        label: u32,
+        /// Number of vertices (labels must be strictly below this).
+        num_vertices: usize,
+    },
+    /// A cross-stage invariant failed (e.g. aggregation changed the total
+    /// edge weight, or a stage reported an out-of-range modularity).
+    InvariantViolation {
+        /// The stage that tripped the check.
+        stage: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// A stage kept failing with transient errors until the retry budget ran
+    /// out.
+    StageFailed {
+        /// Zero-based index of the failed stage.
+        stage: usize,
+        /// Attempts made (= the policy's `max_attempts`).
+        attempts: usize,
+        /// The last transient error observed.
+        cause: Box<GpuLouvainError>,
+    },
+}
+
+impl GpuLouvainError {
+    /// True for errors a retry can plausibly clear: injected launch faults
+    /// and corruption caught by validation. Admission errors (out of memory,
+    /// too many vertices), launch misconfigurations, and exhausted retry
+    /// budgets are permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GpuLouvainError::Launch(e) => {
+                matches!(e, LaunchError::KernelAborted { .. } | LaunchError::WatchdogTimeout { .. })
+            }
+            GpuLouvainError::InvalidLabels { .. } | GpuLouvainError::InvariantViolation { .. } => {
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for GpuLouvainError {
@@ -38,11 +98,32 @@ impl std::fmt::Display for GpuLouvainError {
             GpuLouvainError::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the 32-bit vertex id space")
             }
+            GpuLouvainError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            GpuLouvainError::DegreeOverflow { degree, max_supported } => write!(
+                f,
+                "work size {degree} exceeds the hash-table prime ladder (max {max_supported})"
+            ),
+            GpuLouvainError::InvalidLabels { index, label, num_vertices } => write!(
+                f,
+                "label {label} at vertex {index} is out of range for {num_vertices} vertices"
+            ),
+            GpuLouvainError::InvariantViolation { stage, detail } => {
+                write!(f, "invariant violated in {stage}: {detail}")
+            }
+            GpuLouvainError::StageFailed { stage, attempts, cause } => {
+                write!(f, "stage {stage} failed after {attempts} attempts: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for GpuLouvainError {}
+
+impl From<LaunchError> for GpuLouvainError {
+    fn from(e: LaunchError) -> Self {
+        GpuLouvainError::Launch(e)
+    }
+}
 
 /// Statistics of one stage (one optimization phase + one aggregation).
 #[derive(Clone, Debug)]
@@ -167,13 +248,8 @@ pub fn louvain_gpu_with_schedule(
     while stages.len() < cfg.max_stages {
         let threshold = schedule.threshold_for(current.num_vertices());
 
-        let opt_start = Instant::now();
-        let outcome = modularity_optimization(dev, &current, cfg, threshold);
-        let opt_time = opt_start.elapsed();
-
-        let agg_start = Instant::now();
-        let agg = aggregate(dev, &current, &outcome.comm, cfg);
-        let agg_time = agg_start.elapsed();
+        let StageRun { outcome, agg, opt_time, agg_time } =
+            run_stage_with_retry(dev, &current, cfg, threshold, stages.len())?;
 
         stages.push(GpuStageStats {
             num_vertices: current.num_vertices(),
@@ -199,7 +275,142 @@ pub fn louvain_gpu_with_schedule(
 
     let partition = dendrogram.flatten();
     let q = modularity(graph, &partition);
-    Ok(GpuLouvainResult { partition, dendrogram, modularity: q, stages, total_time: start.elapsed() })
+    Ok(GpuLouvainResult {
+        partition,
+        dendrogram,
+        modularity: q,
+        stages,
+        total_time: start.elapsed(),
+    })
+}
+
+/// Everything one stage produces (one optimization phase + one aggregation).
+struct StageRun {
+    outcome: OptOutcome,
+    agg: AggregateOutcome,
+    opt_time: Duration,
+    agg_time: Duration,
+}
+
+/// Runs one stage under the configured retry policy. Each stage is a
+/// checkpoint: its input graph is host-resident and immutable, so a failed
+/// attempt (injected launch fault, or corruption caught by a validation
+/// check) is simply re-run after an exponential backoff — a rerun consumes
+/// fresh fault-decision sequence numbers, so it sees an independent fault
+/// draw. Transient errors exhaust the budget into
+/// [`GpuLouvainError::StageFailed`]; permanent errors propagate immediately.
+fn run_stage_with_retry(
+    dev: &Device,
+    g: &DeviceGraph,
+    cfg: &GpuLouvainConfig,
+    threshold: f64,
+    stage_idx: usize,
+) -> Result<StageRun, GpuLouvainError> {
+    let policy = cfg.retry;
+    let mut attempt = 0usize;
+    loop {
+        attempt += 1;
+        match run_stage(dev, g, cfg, threshold) {
+            Ok(run) => {
+                if attempt > 1 {
+                    dev.note_fault_recovered();
+                }
+                return Ok(run);
+            }
+            Err(e) if e.is_transient() => {
+                dev.note_fault_detected();
+                if attempt >= policy.max_attempts {
+                    return Err(GpuLouvainError::StageFailed {
+                        stage: stage_idx,
+                        attempts: attempt,
+                        cause: Box::new(e),
+                    });
+                }
+                std::thread::sleep(policy.backoff_for(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One stage attempt: optimize, validate, aggregate, validate. On a
+/// fault-injecting device the driver additionally offers its two
+/// stage-boundary buffers (the community labels and the contracted edge
+/// weights) for deterministic bit flips, then relies on the validation
+/// checks to catch what the flips broke.
+fn run_stage(
+    dev: &Device,
+    g: &DeviceGraph,
+    cfg: &GpuLouvainConfig,
+    threshold: f64,
+) -> Result<StageRun, GpuLouvainError> {
+    let n = g.num_vertices();
+    let inject = dev.config().fault_plan.bitflip_rate > 0.0;
+
+    let opt_start = Instant::now();
+    let mut outcome = modularity_optimization(dev, g, cfg, threshold)?;
+    let opt_time = opt_start.elapsed();
+    if !outcome.modularity.is_finite() || !(-0.5 - 1e-9..=1.0 + 1e-9).contains(&outcome.modularity)
+    {
+        return Err(GpuLouvainError::InvariantViolation {
+            stage: "optimize",
+            detail: format!("modularity {} outside [-1/2, 1]", outcome.modularity),
+        });
+    }
+
+    // Corruption point 1: the labels crossing the optimize→aggregate
+    // boundary. A flip that lands in a label's high bits produces an
+    // out-of-range label, which the next check (and `aggregate` itself)
+    // detects; a low-bit flip silently reassigns one vertex, which the
+    // aggregation absorbs with bounded quality impact.
+    if inject {
+        let buf = GlobalU32::from_slice(&outcome.comm);
+        if dev.corrupt_u32("stage_labels", &buf) > 0 {
+            outcome.comm = buf.to_vec();
+        }
+    }
+    if let Some((index, &label)) =
+        outcome.comm.iter().enumerate().find(|&(_, &c)| (c as usize) >= n)
+    {
+        return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: n });
+    }
+
+    let agg_start = Instant::now();
+    let mut agg = aggregate(dev, g, &outcome.comm, cfg)?;
+    let agg_time = agg_start.elapsed();
+
+    // Corruption point 2: the contracted graph's edge weights. The graph is
+    // rebuilt from parts so its cached `2m` reflects the corruption and the
+    // mass-conservation check below can see it.
+    if inject {
+        let buf = GlobalF64::from_slice(&agg.graph.weights);
+        if dev.corrupt_f64("agg_weights", &buf) > 0 {
+            let graph = &agg.graph;
+            agg.graph =
+                DeviceGraph::from_parts(graph.offsets.clone(), graph.targets.clone(), buf.to_vec());
+        }
+    }
+
+    // Invariant: contraction preserves the total edge weight exactly (every
+    // input arc contributes to exactly one output arc). Written so NaN fails.
+    let (before, after) = (g.two_m, agg.graph.two_m);
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must fail the check
+    if !((after - before).abs() <= 1e-6 * before.abs().max(1.0)) {
+        return Err(GpuLouvainError::InvariantViolation {
+            stage: "aggregate",
+            detail: format!("total weight changed: 2m {before} -> {after}"),
+        });
+    }
+    // Invariant: the dendrogram level maps every old vertex into the
+    // contracted graph.
+    let new_n = agg.graph.num_vertices();
+    if let Some((index, &label)) =
+        agg.vertex_map.iter().enumerate().find(|&(_, &c)| (c as usize) >= new_n)
+    {
+        return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: new_n });
+    }
+
+    Ok(StageRun { outcome, agg, opt_time, agg_time })
 }
 
 #[cfg(test)]

@@ -9,10 +9,13 @@
 //! middle ground between fully synchronous and fully asynchronous updating;
 //! the `Relaxed` strategy defers all commits to the end of the iteration).
 
-use crate::config::{GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy, MODOPT_BUCKETS};
+use crate::config::{
+    GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy, MODOPT_BUCKETS,
+};
 use crate::dev_graph::DeviceGraph;
-use crate::hashtable::{HashTable, TableSpace, TableStorage};
-use crate::primes::table_size_for;
+use crate::hashtable::{HashTable, TableOverflow, TableSpace, TableStorage};
+use crate::louvain::GpuLouvainError;
+use crate::primes::{next_prime_at_least, table_size_for};
 use cd_gpusim::{Device, GlobalF64, GlobalU32, GroupCtx};
 use std::time::{Duration, Instant};
 
@@ -59,9 +62,9 @@ pub(crate) struct OptState {
 }
 
 impl OptState {
-    fn new(dev: &Device, g: &DeviceGraph) -> Self {
+    fn new(dev: &Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
         let n = g.num_vertices();
-        let k = compute_weighted_degrees(dev, g);
+        let k = compute_weighted_degrees(dev, g)?;
         let comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
         let new_comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
         let comm_size = GlobalU32::zeroed(n);
@@ -69,7 +72,7 @@ impl OptState {
         let ac = GlobalF64::from_slice(&k);
         let active = GlobalU32::zeroed(n);
         active.fill(1);
-        Self {
+        Ok(Self {
             comm,
             new_comm,
             comm_size,
@@ -78,81 +81,105 @@ impl OptState {
             pred_gain: GlobalF64::zeroed(1),
             active,
             next_active: GlobalU32::zeroed(n),
-        }
+        })
     }
 }
 
 /// Computes `k_i` for every vertex (Alg. 1 line 2).
-pub(crate) fn compute_weighted_degrees(dev: &Device, g: &DeviceGraph) -> Vec<f64> {
+pub(crate) fn compute_weighted_degrees(
+    dev: &Device,
+    g: &DeviceGraph,
+) -> Result<Vec<f64>, GpuLouvainError> {
     let n = g.num_vertices();
     let out = GlobalF64::zeroed(n);
-    dev.launch_tasks("compute_k", n, 4, 0, || (), |ctx, _, i| {
-        let deg = g.degree(i);
-        ctx.strided_steps(deg.max(1));
-        ctx.global_read_coalesced(deg + 2);
-        let s: f64 = g.edge_weights(i).iter().sum();
-        out.store(i, s);
-        ctx.global_write_coalesced(1);
-    });
-    out.to_vec()
+    dev.try_launch_tasks(
+        "compute_k",
+        n,
+        4,
+        0,
+        || (),
+        |ctx, _, i| {
+            let deg = g.degree(i);
+            ctx.strided_steps(deg.max(1));
+            ctx.global_read_coalesced(deg + 2);
+            let s: f64 = g.edge_weights(i).iter().sum();
+            out.store(i, s);
+            ctx.global_write_coalesced(1);
+        },
+    )
+    .map_err(GpuLouvainError::Launch)?;
+    Ok(out.to_vec())
 }
 
 /// Modularity of the current labeling, computed on device:
 /// `Q = Σ_i e_{i→C(i)} / 2m − Σ_c (a_c / 2m)^2`.
-pub(crate) fn device_modularity(dev: &Device, g: &DeviceGraph, state: &OptState) -> f64 {
+pub(crate) fn device_modularity(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState,
+) -> Result<f64, GpuLouvainError> {
     let n = g.num_vertices();
     let two_m = g.two_m;
     if two_m == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let partial = GlobalF64::zeroed(n);
-    dev.launch_tasks("modularity_partials", n, 4, 0, || (), |ctx, _, i| {
-        let ci = state.comm.load(i);
-        let deg = g.degree(i);
-        ctx.strided_steps(deg.max(1));
-        ctx.global_read_coalesced(2 * deg + 2);
-        ctx.global_read_scattered(deg); // community gathers
-        let mut s = 0.0;
-        for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
-            if state.comm.load(j as usize) == ci {
-                s += w;
+    dev.try_launch_tasks(
+        "modularity_partials",
+        n,
+        4,
+        0,
+        || (),
+        |ctx, _, i| {
+            let ci = state.comm.load(i);
+            let deg = g.degree(i);
+            ctx.strided_steps(deg.max(1));
+            ctx.global_read_coalesced(2 * deg + 2);
+            ctx.global_read_scattered(deg); // community gathers
+            let mut s = 0.0;
+            for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
+                if state.comm.load(j as usize) == ci {
+                    s += w;
+                }
             }
-        }
-        partial.store(i, s);
-        ctx.global_write_coalesced(1);
-    });
+            partial.store(i, s);
+            ctx.global_write_coalesced(1);
+        },
+    )
+    .map_err(GpuLouvainError::Launch)?;
     let inside = dev.reduce_sum_f64(&partial.to_vec());
-    let sq: Vec<f64> = state
-        .ac
-        .to_vec()
-        .iter()
-        .map(|&a| (a / two_m) * (a / two_m))
-        .collect();
+    let sq: Vec<f64> = state.ac.to_vec().iter().map(|&a| (a / two_m) * (a / two_m)).collect();
     let penalty = dev.reduce_sum_f64(&sq);
-    inside / two_m - penalty
+    Ok(inside / two_m - penalty)
 }
 
 /// Runs one full modularity-optimization phase and returns the labeling.
+///
+/// Fails with [`GpuLouvainError::Launch`] when a kernel launch fails (a
+/// fault-injecting device; see [`cd_gpusim::FaultPlan`]) and with
+/// [`GpuLouvainError::DegreeOverflow`] when a vertex degree exceeds the
+/// hash-table prime ladder. The phase has no partial output on failure — the
+/// driver re-runs it from the stage's input labeling.
 pub fn modularity_optimization(
     dev: &Device,
     g: &DeviceGraph,
     cfg: &GpuLouvainConfig,
     threshold: f64,
-) -> OptOutcome {
+) -> Result<OptOutcome, GpuLouvainError> {
     let n = g.num_vertices();
-    let state = OptState::new(dev, g);
+    let state = OptState::new(dev, g)?;
     if n == 0 || g.two_m == 0.0 {
-        return OptOutcome {
+        return Ok(OptOutcome {
             comm: state.comm.to_vec(),
             modularity: 0.0,
             iterations: 0,
             iter_times: Vec::new(),
             moves: 0,
-        };
+        });
     }
 
     let vertex_ids: Vec<u32> = (0..n as u32).collect();
-    let mut q_cur = device_modularity(dev, g, &state);
+    let mut q_cur = device_modularity(dev, g, &state)?;
     let mut iterations = 0usize;
     let mut iter_times = Vec::new();
     let mut total_moves = 0usize;
@@ -185,12 +212,13 @@ pub fn modularity_optimization(
         if cfg.pruning && iterations > 1 {
             // Swap frontiers: this iteration re-evaluates only the vertices
             // marked during the previous commits.
-            dev.launch_threads("pruning_swap_frontier", n, |ctx, v| {
+            dev.try_launch_threads("pruning_swap_frontier", n, |ctx, v| {
                 state.active.store(v, state.next_active.load(v));
                 state.next_active.store(v, 0);
                 ctx.global_read_coalesced(1);
                 ctx.global_write_coalesced(2);
-            });
+            })
+            .map_err(GpuLouvainError::Launch)?;
         }
 
         match cfg.assignment {
@@ -199,37 +227,37 @@ pub fn modularity_optimization(
                 for (bucket_idx, &(hi, lanes)) in MODOPT_BUCKETS.iter().enumerate() {
                     let ids = dev.copy_if(&vertex_ids, |&v| {
                         let d = g.degree(v as usize);
-                        d > lo
-                            && d <= hi
-                            && (!cfg.pruning || state.active.load(v as usize) == 1)
+                        d > lo && d <= hi && (!cfg.pruning || state.active.load(v as usize) == 1)
                     });
                     lo = hi;
                     if ids.is_empty() {
                         continue;
                     }
                     if bucket_idx == MODOPT_BUCKETS.len() - 1 {
-                        compute_move_global_bucket(dev, g, &state, cfg, &ids);
+                        compute_move_global_bucket(dev, g, &state, cfg, &ids)?;
                     } else {
-                        compute_move_shared_bucket(dev, g, &state, cfg, &ids, hi, lanes, bucket_idx);
+                        compute_move_shared_bucket(
+                            dev, g, &state, cfg, &ids, hi, lanes, bucket_idx,
+                        )?;
                     }
                     if cfg.update_strategy == UpdateStrategy::PerBucket {
-                        iter_moves += commit(dev, g, &state, &ids, cfg.pruning);
+                        iter_moves += commit(dev, g, &state, &ids, cfg.pruning)?;
                     }
                 }
             }
             ThreadAssignment::NodeCentric => {
-                compute_move_node_centric(dev, g, &state);
+                compute_move_node_centric(dev, g, &state)?;
             }
         }
 
         if cfg.update_strategy == UpdateStrategy::Relaxed
             || cfg.assignment == ThreadAssignment::NodeCentric
         {
-            iter_moves += commit(dev, g, &state, &vertex_ids, cfg.pruning);
+            iter_moves += commit(dev, g, &state, &vertex_ids, cfg.pruning)?;
         }
 
         total_moves += iter_moves;
-        let q_new = device_modularity(dev, g, &state);
+        let q_new = device_modularity(dev, g, &state)?;
         iter_times.push(iter_start.elapsed());
         if q_new > best_q + threshold {
             stagnant = 0;
@@ -247,13 +275,13 @@ pub fn modularity_optimization(
     }
     let _ = q_cur;
 
-    OptOutcome {
+    Ok(OptOutcome {
         comm: best_comm.unwrap_or_else(|| (0..n as u32).collect()),
         modularity: best_q,
         iterations,
         iter_times,
         moves: total_moves,
-    }
+    })
 }
 
 /// Per-block scratch for `computeMove`: a reusable hash table and the
@@ -269,17 +297,50 @@ impl MoveScratch {
     }
 }
 
-/// The body of Algorithm 2 for one vertex: hash the neighborhood, track
-/// per-lane bests, reduce, and stage the decision in `newComm`.
+/// Runs the Algorithm 2 body for one vertex with capacity-fault recovery:
+/// when the hash table overflows (possible only under corrupted state — the
+/// 1.5x sizing rule covers well-formed inputs), the task is retried against
+/// the next-prime-sized table, falling back from shared to global memory,
+/// until it fits. The fallback is counted in the kernel's
+/// `table_fallbacks` metric.
 #[allow(clippy::too_many_arguments)]
 fn compute_move_one(
+    ctx: &mut GroupCtx,
+    g: &DeviceGraph,
+    state: &OptState,
+    storage: &mut TableStorage,
+    mut slots: usize,
+    mut space: TableSpace,
+    lane_best: &mut [(f64, u32)],
+    i: usize,
+) {
+    loop {
+        let mut table = storage.table(slots, space);
+        match compute_move_attempt(ctx, g, state, &mut table, lane_best, i) {
+            Ok(()) => return,
+            Err(TableOverflow { .. }) => {
+                if space == TableSpace::Shared {
+                    space = TableSpace::Global;
+                    ctx.note_table_fallback();
+                }
+                slots = next_prime_at_least(slots.saturating_mul(2) | 1);
+            }
+        }
+    }
+}
+
+/// The body of Algorithm 2 for one vertex: hash the neighborhood, track
+/// per-lane bests, reduce, and stage the decision in `newComm`. A full hash
+/// table aborts the attempt with [`TableOverflow`] before any state is
+/// staged; [`compute_move_one`] retries with a larger table.
+fn compute_move_attempt(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
     state: &OptState,
     table: &mut HashTable<'_>,
     lane_best: &mut [(f64, u32)],
     i: usize,
-) {
+) -> Result<(), TableOverflow> {
     let deg = g.degree(i);
     let ci = state.comm.load(i);
     let ki = state.k[i];
@@ -308,7 +369,7 @@ fn compute_move_one(
         }
         let w = ws[idx];
         let cj = state.comm.load(j);
-        let (_slot, running) = table.insert_add(ctx, cj, w);
+        let (_slot, running) = table.try_insert_add(ctx, cj, w)?;
         if cj == ci {
             continue; // home community: the stay option, evaluated below
         }
@@ -345,9 +406,11 @@ fn compute_move_one(
     };
     state.new_comm.store(i, target);
     ctx.global_write_coalesced(1);
+    Ok(())
 }
 
 /// `computeMove` for one shared-memory bucket (buckets 1-6).
+#[allow(clippy::too_many_arguments)]
 fn compute_move_shared_bucket(
     dev: &Device,
     g: &DeviceGraph,
@@ -357,14 +420,14 @@ fn compute_move_shared_bucket(
     max_degree: usize,
     lanes: usize,
     bucket_idx: usize,
-) {
-    let slots = table_size_for(max_degree);
+) -> Result<(), GpuLouvainError> {
+    let slots = table_size_for(max_degree)?;
     let (space, shared_bytes) = match cfg.hash_placement {
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
     let name = format!("compute_move_b{}", bucket_idx + 1);
-    dev.launch_tasks(
+    dev.try_launch_tasks(
         &name,
         ids.len(),
         lanes,
@@ -373,10 +436,10 @@ fn compute_move_shared_bucket(
         |ctx, scratch, task| {
             let i = ids[task] as usize;
             let MoveScratch { table, lane_best } = scratch;
-            let mut t = table.table(slots, space);
-            compute_move_one(ctx, g, state, &mut t, lane_best, i);
+            compute_move_one(ctx, g, state, table, slots, space, lane_best, i);
         },
-    );
+    )
+    .map_err(GpuLouvainError::Launch)
 }
 
 /// `computeMove` for the open-ended bucket (degree >= 320): hash tables in
@@ -388,49 +451,61 @@ fn compute_move_global_bucket(
     state: &OptState,
     cfg: &GpuLouvainConfig,
     ids: &[u32],
-) {
+) -> Result<(), GpuLouvainError> {
     let mut sorted = ids.to_vec();
     dev.sort_by_key(&mut sorted, |&v| std::cmp::Reverse(g.degree(v as usize)));
+    // Table sizes are resolved host-side before launch so an out-of-ladder
+    // degree is a typed error, not an in-kernel panic.
+    let slots_sorted: Vec<usize> =
+        sorted.iter().map(|&v| table_size_for(g.degree(v as usize))).collect::<Result<_, _>>()?;
     let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
     let sorted_ref = &sorted;
-    dev.launch_blocks(
+    let slots_ref = &slots_sorted;
+    dev.try_launch_blocks(
         "compute_move_b7",
         n_blocks,
         |block| {
             // The block's largest vertex is its first (interleaved deal of a
             // descending sort), so one allocation serves all its tasks.
-            let first = sorted_ref[block] as usize;
-            MoveScratch::new(table_size_for(g.degree(first)))
+            MoveScratch::new(slots_ref[block])
         },
         |ctx, scratch| {
             let block = ctx.block_id;
             let mut idx = block;
             while idx < sorted_ref.len() {
                 let i = sorted_ref[idx] as usize;
-                let slots = table_size_for(g.degree(i));
+                let slots = slots_ref[idx];
                 let MoveScratch { table, lane_best } = scratch;
-                let mut t = table.table(slots, TableSpace::Global);
-                compute_move_one(ctx, g, state, &mut t, lane_best, i);
+                compute_move_one(ctx, g, state, table, slots, TableSpace::Global, lane_best, i);
                 ctx.finish_task();
                 idx += n_blocks;
             }
         },
-    );
+    )
+    .map_err(GpuLouvainError::Launch)
 }
 
 /// Node-centric ablation: one lane per vertex walks its whole adjacency
 /// sequentially (the assignment every earlier parallel Louvain used). Blocks
 /// of 128 vertices; warp divergence is the max-degree straggler effect.
-fn compute_move_node_centric(dev: &Device, g: &DeviceGraph, state: &OptState) {
+fn compute_move_node_centric(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState,
+) -> Result<(), GpuLouvainError> {
     let n = g.num_vertices();
     let block_threads = dev.config().block_threads();
     let warp = dev.config().warp_size;
     let n_blocks = n.div_ceil(block_threads);
     let max_deg = dev.max_usize(&(0..n).map(|v| g.degree(v)).collect::<Vec<_>>()).unwrap_or(0);
-    dev.launch_blocks(
+    let scratch_slots = table_size_for(max_deg.max(1))?;
+    let slots_per_vertex: Vec<usize> =
+        (0..n).map(|v| table_size_for(g.degree(v).max(1))).collect::<Result<_, _>>()?;
+    let slots_ref = &slots_per_vertex;
+    dev.try_launch_blocks(
         "compute_move_node_centric",
         n_blocks,
-        |_| MoveScratch::new(table_size_for(max_deg.max(1))),
+        |_| MoveScratch::new(scratch_slots),
         |ctx, scratch| {
             let lo = ctx.block_id * block_threads;
             let hi = (lo + block_threads).min(n);
@@ -442,29 +517,52 @@ fn compute_move_node_centric(dev: &Device, g: &DeviceGraph, state: &OptState) {
                 let warp_max = (w_lo..w_hi).map(|v| g.degree(v)).max().unwrap_or(0) as u64;
                 let warp_sum: u64 = (w_lo..w_hi).map(|v| g.degree(v) as u64).sum();
                 ctx.steps(warp_max, warp_sum);
+                #[allow(clippy::needless_range_loop)] // i is a vertex id, not just an index
                 for i in w_lo..w_hi {
-                    let slots = table_size_for(g.degree(i).max(1));
                     let MoveScratch { table, lane_best } = scratch;
-                    let mut t = table.table(slots, TableSpace::Global);
-                    node_centric_move_one(ctx, g, state, &mut t, &mut lane_best[0], i);
+                    node_centric_move_one(ctx, g, state, table, slots_ref[i], &mut lane_best[0], i);
                     ctx.finish_task();
                 }
                 w_lo = w_hi;
             }
         },
-    );
+    )
+    .map_err(GpuLouvainError::Launch)
 }
 
-/// Single-lane variant of [`compute_move_one`] (no strided accounting — the
-/// caller charges warp-level divergence).
+/// Single-lane variant of [`compute_move_one`]: same overflow-retry loop
+/// around the per-vertex attempt (always against global memory, so no
+/// shared-to-global fallback is counted).
 fn node_centric_move_one(
+    ctx: &mut GroupCtx,
+    g: &DeviceGraph,
+    state: &OptState,
+    storage: &mut TableStorage,
+    mut slots: usize,
+    best: &mut (f64, u32),
+    i: usize,
+) {
+    loop {
+        let mut table = storage.table(slots, TableSpace::Global);
+        match node_centric_attempt(ctx, g, state, &mut table, best, i) {
+            Ok(()) => return,
+            Err(TableOverflow { .. }) => {
+                slots = next_prime_at_least(slots.saturating_mul(2) | 1);
+            }
+        }
+    }
+}
+
+/// Single-lane body of Algorithm 2 (no strided accounting — the caller
+/// charges warp-level divergence).
+fn node_centric_attempt(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
     state: &OptState,
     table: &mut HashTable<'_>,
     best: &mut (f64, u32),
     i: usize,
-) {
+) -> Result<(), TableOverflow> {
     let deg = g.degree(i);
     let ci = state.comm.load(i);
     let ki = state.k[i];
@@ -482,7 +580,7 @@ fn node_centric_move_one(
             continue;
         }
         let cj = state.comm.load(j);
-        let (_slot, running) = table.insert_add(ctx, cj, ws[idx]);
+        let (_slot, running) = table.try_insert_add(ctx, cj, ws[idx])?;
         if cj == ci || (i_singleton && cj >= ci && state.comm_size.load(cj as usize) == 1) {
             continue;
         }
@@ -502,6 +600,7 @@ fn node_centric_move_one(
     };
     state.new_comm.store(i, target);
     ctx.global_write_coalesced(1);
+    Ok(())
 }
 
 /// Commits staged moves for `ids` (Alg. 1 lines 8-9) and updates `a_c` and
@@ -510,9 +609,15 @@ fn node_centric_move_one(
 /// per bucket). With pruning, every moved vertex marks itself and its
 /// neighbors for re-evaluation next iteration. Returns the number of
 /// vertices that moved.
-fn commit(dev: &Device, g: &DeviceGraph, state: &OptState, ids: &[u32], pruning: bool) -> usize {
+fn commit(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState,
+    ids: &[u32],
+    pruning: bool,
+) -> Result<usize, GpuLouvainError> {
     let moves = GlobalU32::zeroed(1);
-    dev.launch_threads("update_communities", ids.len(), |ctx, t| {
+    dev.try_launch_threads("update_communities", ids.len(), |ctx, t| {
         let i = ids[t] as usize;
         let old = state.comm.load(i);
         let new = state.new_comm.load(i);
@@ -533,8 +638,9 @@ fn commit(dev: &Device, g: &DeviceGraph, state: &OptState, ids: &[u32], pruning:
                 ctx.global_write_scattered(1 + g.degree(i));
             }
         }
-    });
-    moves.load(0) as usize
+    })
+    .map_err(GpuLouvainError::Launch)?;
+    Ok(moves.load(0) as usize)
 }
 
 #[cfg(test)]
@@ -552,7 +658,7 @@ mod tests {
     fn weighted_degrees_match_host() {
         let g = cd_graph::csr_from_edges(4, &[(0, 1, 2.0), (1, 2, 1.5), (3, 3, 4.0)]);
         let dg = DeviceGraph::from_csr(&g);
-        let k = compute_weighted_degrees(&dev(), &dg);
+        let k = compute_weighted_degrees(&dev(), &dg).unwrap();
         for v in 0..4u32 {
             assert!((k[v as usize] - g.weighted_degree(v)).abs() < 1e-12);
         }
@@ -563,8 +669,8 @@ mod tests {
         let g = cliques(3, 5, true);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let state = OptState::new(&d, &dg);
-        let q_dev = device_modularity(&d, &dg, &state);
+        let state = OptState::new(&d, &dg).unwrap();
+        let q_dev = device_modularity(&d, &dg, &state).unwrap();
         let q_host = host_modularity(&g, &Partition::singleton(g.num_vertices()));
         assert!((q_dev - q_host).abs() < 1e-12, "{q_dev} vs {q_host}");
     }
@@ -574,7 +680,8 @@ mod tests {
         let g = cliques(4, 6, true);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let out =
+            modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
         for c in 0..4u32 {
             let base = (c * 6) as usize;
             for v in 1..6usize {
@@ -592,10 +699,11 @@ mod tests {
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
         let q0 = {
-            let state = OptState::new(&d, &dg);
-            device_modularity(&d, &dg, &state)
+            let state = OptState::new(&d, &dg).unwrap();
+            device_modularity(&d, &dg, &state).unwrap()
         };
-        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let out =
+            modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
         assert!(out.modularity > q0);
         assert_eq!(out.iter_times.len(), out.iterations);
     }
@@ -608,7 +716,8 @@ mod tests {
         let g = star(40);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let out = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let out =
+            modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
         assert!(out.iterations < 30);
         let distinct: std::collections::HashSet<u32> = out.comm.iter().copied().collect();
         assert!(distinct.len() <= 2, "star should collapse, got {distinct:?}");
@@ -616,13 +725,13 @@ mod tests {
 
     #[test]
     fn relaxed_strategy_reaches_similar_quality() {
-        let g = cd_graph::gen::planted_partition(4, 25, 0.5, 0.02, 5).graph;
+        let g = cd_graph::gen::planted_partition(4, 25, 0.5, 0.02, 7).graph;
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
         let mut cfg = GpuLouvainConfig::paper_default();
-        let per_bucket = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        let per_bucket = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
         cfg.update_strategy = UpdateStrategy::Relaxed;
-        let relaxed = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        let relaxed = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
         assert!(
             relaxed.modularity > 0.9 * per_bucket.modularity,
             "relaxed {} vs per-bucket {}",
@@ -638,7 +747,7 @@ mod tests {
         let d = dev();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.assignment = ThreadAssignment::NodeCentric;
-        let out = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        let out = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
         let q_host = host_modularity(&g, &Partition::from_vec(out.comm.clone()));
         assert!((out.modularity - q_host).abs() < 1e-9);
         assert!(out.modularity > 0.4);
@@ -649,17 +758,18 @@ mod tests {
         let g = cliques(3, 8, true);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let a = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let a = modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.hash_placement = HashPlacement::ForceGlobal;
-        let b = modularity_optimization(&d, &dg, &cfg, 1e-6);
+        let b = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
         assert_eq!(a.comm, b.comm, "hash placement must not change results");
     }
 
     #[test]
     fn empty_graph() {
         let dg = DeviceGraph::from_csr(&cd_graph::Csr::empty(3));
-        let out = modularity_optimization(&dev(), &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let out =
+            modularity_optimization(&dev(), &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
         assert_eq!(out.comm, vec![0, 1, 2]);
         assert_eq!(out.modularity, 0.0);
     }
@@ -670,7 +780,8 @@ mod tests {
         let dg = DeviceGraph::from_csr(&g);
 
         let d_full = dev();
-        let full = modularity_optimization(&d_full, &dg, &GpuLouvainConfig::paper_default(), 1e-6);
+        let full = modularity_optimization(&d_full, &dg, &GpuLouvainConfig::paper_default(), 1e-6)
+            .unwrap();
         let full_tasks: u64 = d_full
             .metrics()
             .kernels()
@@ -682,7 +793,7 @@ mod tests {
         let d_pruned = dev();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.pruning = true;
-        let pruned = modularity_optimization(&d_pruned, &dg, &cfg, 1e-6);
+        let pruned = modularity_optimization(&d_pruned, &dg, &cfg, 1e-6).unwrap();
         let pruned_tasks: u64 = d_pruned
             .metrics()
             .kernels()

@@ -16,22 +16,39 @@
 //!
 //! Each simulated device is independent; blocks of all devices share the
 //! host's worker pool, which models devices working concurrently.
+//!
+//! # Fault tolerance
+//!
+//! Devices carry per-device fault schedules (the plan seed is salted with the
+//! device index, so devices fail independently). When a device exhausts its
+//! in-driver retries, its block *fails over* to the next healthy device; when
+//! every device is down — or the failed device was the last one — the block
+//! degrades gracefully to the host's sequential Louvain baseline. Every such
+//! action is reported in [`MultiGpuResult::recovery`], and the fault counts
+//! of all devices are merged into [`MultiGpuResult::faults`].
 
-use crate::config::GpuLouvainConfig;
-use crate::louvain::{louvain_gpu, GpuLouvainError, GpuLouvainResult};
-use cd_gpusim::{Device, DeviceConfig};
+use crate::config::{GpuLouvainConfig, RetryPolicy};
+use crate::louvain::{louvain_gpu, GpuLouvainError};
+use cd_baselines::{louvain_sequential, SequentialConfig};
+use cd_gpusim::{Device, DeviceConfig, FaultStats};
 use cd_graph::{block_ranges, contract, induced_subgraph, modularity, Csr, Partition, VertexId};
 use std::time::{Duration, Instant};
 
 /// Configuration of a multi-device run.
 #[derive(Clone, Debug)]
 pub struct MultiGpuConfig {
-    /// Number of simulated devices.
+    /// Number of simulated devices (clamped to at least 1).
     pub num_devices: usize,
-    /// Per-device algorithm configuration.
+    /// Per-device algorithm configuration (including the in-driver
+    /// [`RetryPolicy`] each device applies before its block fails over).
     pub gpu: GpuLouvainConfig,
-    /// Device model used for every device.
+    /// Device model used for every device. Its fault-plan seed is salted
+    /// per device so devices draw independent fault schedules.
     pub device: DeviceConfig,
+    /// Degrade to the host's sequential Louvain when no healthy device can
+    /// run a block (on by default). When off, an all-devices-down state
+    /// propagates the last device error instead.
+    pub sequential_fallback: bool,
 }
 
 impl MultiGpuConfig {
@@ -41,8 +58,42 @@ impl MultiGpuConfig {
             num_devices,
             gpu: GpuLouvainConfig::paper_default(),
             device: DeviceConfig::tesla_k40m(),
+            sequential_fallback: true,
         }
     }
+
+    /// Returns the configuration with the given per-stage retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.gpu.retry = retry;
+        self
+    }
+}
+
+/// One recovery action the multi-device driver took, in the order taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// A device recovered from faults by in-driver stage retries while
+    /// computing its work item.
+    LocalRetry {
+        /// Index of the device that retried.
+        device: usize,
+        /// Stage-retry recoveries it performed on this work item.
+        recoveries: u64,
+    },
+    /// A work item was reassigned from a failed device to a healthy one.
+    Failover {
+        /// The work item ("block 3", "refine").
+        scope: String,
+        /// The device that failed (marked unhealthy).
+        from_device: usize,
+        /// The device the work moved to.
+        to_device: usize,
+    },
+    /// A work item fell back to the host's sequential Louvain baseline.
+    SequentialFallback {
+        /// The work item ("block 3", "refine").
+        scope: String,
+    },
 }
 
 /// Result of a multi-device run.
@@ -64,11 +115,23 @@ pub struct MultiGpuResult {
     pub local_time: Duration,
     /// Wall time of the merge + refinement phase.
     pub merge_time: Duration,
+    /// Recovery actions taken, in order. Empty on a fault-free run.
+    pub recovery: Vec<RecoveryAction>,
+    /// Fault counts merged across every device of the run.
+    pub faults: FaultStats,
+}
+
+/// A completed local clustering, whichever engine produced it.
+struct LocalOutcome {
+    partition: Partition,
+    modularity: f64,
 }
 
 /// Runs coarse-grained multi-device Louvain on `graph`.
-pub fn louvain_multi_gpu(graph: &Csr, cfg: &MultiGpuConfig) -> Result<MultiGpuResult, GpuLouvainError> {
-    assert!(cfg.num_devices >= 1);
+pub fn louvain_multi_gpu(
+    graph: &Csr,
+    cfg: &MultiGpuConfig,
+) -> Result<MultiGpuResult, GpuLouvainError> {
     let n = graph.num_vertices();
     if n == 0 {
         return Ok(MultiGpuResult {
@@ -79,26 +142,50 @@ pub fn louvain_multi_gpu(graph: &Csr, cfg: &MultiGpuConfig) -> Result<MultiGpuRe
             merged_vertices: 0,
             local_time: Duration::ZERO,
             merge_time: Duration::ZERO,
+            recovery: Vec::new(),
+            faults: FaultStats::default(),
         });
     }
 
+    // One simulated device per block, plus one for refinement. Salting the
+    // fault seed with the device index gives every device an independent
+    // (but still reproducible) fault schedule.
+    let num_blocks = cfg.num_devices.max(1).min(n);
+    let devices: Vec<Device> = (0..=num_blocks)
+        .map(|i| {
+            let mut dc = cfg.device.clone();
+            dc.fault_plan.seed =
+                dc.fault_plan.seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            Device::new(dc)
+        })
+        .collect();
+    let mut healthy = vec![true; devices.len()];
+    let mut recovery: Vec<RecoveryAction> = Vec::new();
+
     // ---- phase 1: local clustering per device -----------------------------
     let local_start = Instant::now();
-    let blocks = block_ranges(n, cfg.num_devices.min(n));
-    let mut local_results: Vec<(Vec<VertexId>, GpuLouvainResult)> = Vec::new();
+    let blocks = block_ranges(n, num_blocks);
+    let mut local_results: Vec<(Vec<VertexId>, LocalOutcome)> = Vec::new();
     let mut cut_weight = 0.0;
     let mut local_modularities = Vec::new();
-    for members in &blocks {
+    for (bi, members) in blocks.iter().enumerate() {
         if members.is_empty() {
             continue;
         }
         let sub = induced_subgraph(graph, members);
-        // Each device is its own simulated GPU.
-        let dev = Device::new(cfg.device.clone());
-        let res = louvain_gpu(&dev, &sub.graph, &cfg.gpu)?;
+        let scope = format!("block {bi}");
+        let local = cluster_with_recovery(
+            &devices,
+            &mut healthy,
+            bi,
+            &sub.graph,
+            cfg,
+            &scope,
+            &mut recovery,
+        )?;
         cut_weight += sub.cut_weight;
-        local_modularities.push(res.modularity);
-        local_results.push((sub.members, res));
+        local_modularities.push(local.modularity);
+        local_results.push((sub.members, local));
     }
     let local_time = local_start.elapsed();
 
@@ -120,13 +207,26 @@ pub fn louvain_multi_gpu(graph: &Csr, cfg: &MultiGpuConfig) -> Result<MultiGpuRe
 
     // ---- phase 3: contract the full graph and refine on one device --------
     let (merged, merged_map) = contract(graph, &global);
-    let refine_dev = Device::new(cfg.device.clone());
-    let refined = louvain_gpu(&refine_dev, &merged, &cfg.gpu)?;
+    let refine_home = devices.len() - 1;
+    let refined = cluster_with_recovery(
+        &devices,
+        &mut healthy,
+        refine_home,
+        &merged,
+        cfg,
+        "refine",
+        &mut recovery,
+    )?;
     let merge_time = merge_start.elapsed();
 
     // ---- compose the final partition ---------------------------------------
     let partition = merged_map.compose(&refined.partition);
     let q = modularity(graph, &partition);
+
+    let mut faults = FaultStats::default();
+    for dev in &devices {
+        faults.merge(&dev.fault_stats());
+    }
 
     Ok(MultiGpuResult {
         partition,
@@ -136,7 +236,77 @@ pub fn louvain_multi_gpu(graph: &Csr, cfg: &MultiGpuConfig) -> Result<MultiGpuRe
         merged_vertices: merged.num_vertices(),
         local_time,
         merge_time,
+        recovery,
+        faults,
     })
+}
+
+/// Clusters one work item with the failover ladder: the home device first,
+/// then every other still-healthy device in index order, then (when enabled)
+/// the sequential host baseline. A device that fails with a recoverable
+/// error is marked unhealthy for the rest of the run; permanent errors
+/// (out of memory, too many vertices) propagate immediately since no
+/// identical device can do better.
+fn cluster_with_recovery(
+    devices: &[Device],
+    healthy: &mut [bool],
+    home: usize,
+    graph: &Csr,
+    cfg: &MultiGpuConfig,
+    scope: &str,
+    recovery: &mut Vec<RecoveryAction>,
+) -> Result<LocalOutcome, GpuLouvainError> {
+    let d = devices.len();
+    let mut last_err: Option<GpuLouvainError> = None;
+    let mut failed_from: Option<usize> = None;
+    for step in 0..d {
+        let di = (home + step) % d;
+        if !healthy[di] {
+            continue;
+        }
+        if let Some(from) = failed_from {
+            recovery.push(RecoveryAction::Failover {
+                scope: scope.to_string(),
+                from_device: from,
+                to_device: di,
+            });
+        }
+        let recovered_before = devices[di].fault_stats().recovered;
+        match louvain_gpu(&devices[di], graph, &cfg.gpu) {
+            Ok(res) => {
+                let recoveries = devices[di].fault_stats().recovered - recovered_before;
+                if recoveries > 0 {
+                    recovery.push(RecoveryAction::LocalRetry { device: di, recoveries });
+                }
+                if failed_from.is_some() {
+                    devices[di].note_fault_recovered();
+                }
+                return Ok(LocalOutcome { partition: res.partition, modularity: res.modularity });
+            }
+            Err(e) if recoverable(&e) => {
+                healthy[di] = false;
+                failed_from = Some(di);
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if cfg.sequential_fallback {
+        recovery.push(RecoveryAction::SequentialFallback { scope: scope.to_string() });
+        let seq = louvain_sequential(graph, &SequentialConfig::original());
+        return Ok(LocalOutcome { partition: seq.partition, modularity: seq.modularity });
+    }
+    Err(last_err.unwrap_or(GpuLouvainError::InvariantViolation {
+        stage: "multi-gpu",
+        detail: format!("no healthy device for {scope} and sequential fallback is disabled"),
+    }))
+}
+
+/// True when reassigning the work to another (identical) device can help:
+/// the error is transient, or a stage exhausted its retry budget on this
+/// device's fault schedule.
+fn recoverable(e: &GpuLouvainError) -> bool {
+    e.is_transient() || matches!(e, GpuLouvainError::StageFailed { .. })
 }
 
 #[cfg(test)]
@@ -147,12 +317,8 @@ mod tests {
     #[test]
     fn single_device_matches_plain_gpu_quality() {
         let pg = planted_partition(6, 30, 0.4, 0.02, 5);
-        let single = louvain_gpu(
-            &Device::k40m(),
-            &pg.graph,
-            &GpuLouvainConfig::paper_default(),
-        )
-        .unwrap();
+        let single =
+            louvain_gpu(&Device::k40m(), &pg.graph, &GpuLouvainConfig::paper_default()).unwrap();
         let multi = louvain_multi_gpu(&pg.graph, &MultiGpuConfig::k40m(1)).unwrap();
         // One device sees the whole graph; the extra refinement pass can only
         // help.
@@ -163,6 +329,8 @@ mod tests {
             single.modularity
         );
         assert_eq!(multi.cut_weight, 0.0);
+        assert!(multi.recovery.is_empty());
+        assert_eq!(multi.faults.injected(), 0);
     }
 
     #[test]
@@ -206,6 +374,14 @@ mod tests {
         let g = cliques(1, 4, false);
         let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(16)).unwrap();
         assert_eq!(multi.partition.len(), 4);
+    }
+
+    #[test]
+    fn zero_devices_is_clamped_to_one() {
+        let g = cliques(2, 5, true);
+        let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(0)).unwrap();
+        assert_eq!(multi.local_modularities.len(), 1);
+        assert!(multi.modularity > 0.0);
     }
 
     #[test]

@@ -6,20 +6,36 @@
 //! cycle for every non-zero `h2`, so the search always terminates at an empty
 //! slot when one exists.
 
+use crate::louvain::GpuLouvainError;
 use std::sync::OnceLock;
 
 /// Returns the hash-table size for a task with `work` edges (a vertex degree
 /// in `computeMove`, a community degree-sum in `mergeCommunity`): the
 /// smallest ladder prime strictly greater than `1.5 * work`.
-pub fn table_size_for(work: usize) -> usize {
-    let need = (work + (work + 1) / 2) + 1; // ceil(1.5 * work) + 1 > 1.5 * work
+///
+/// Fails with [`GpuLouvainError::DegreeOverflow`] when `work` exceeds
+/// [`max_supported_work`] (the ladder tops out past 4 billion slots — beyond
+/// device memory, but reachable in principle through corrupted degree sums).
+pub fn table_size_for(work: usize) -> Result<usize, GpuLouvainError> {
+    // ceil(1.5 * work) + 1 > 1.5 * work; saturating so even absurd (corrupt)
+    // work values fail with the typed error instead of overflowing.
+    let need = work.saturating_add(work.div_ceil(2)).saturating_add(1);
     let ladder = prime_ladder();
     match ladder.binary_search(&need) {
-        Ok(i) => ladder[i],
-        Err(i) => *ladder
-            .get(i)
-            .unwrap_or_else(|| panic!("degree {work} exceeds the prime ladder")),
+        Ok(i) => Ok(ladder[i]),
+        Err(i) => ladder.get(i).copied().ok_or(GpuLouvainError::DegreeOverflow {
+            degree: work,
+            max_supported: max_supported_work(),
+        }),
     }
+}
+
+/// The largest `work` value [`table_size_for`] can size a table for: the top
+/// ladder prime corresponds to `1.5 * work + 1` slots.
+pub fn max_supported_work() -> usize {
+    let top = *prime_ladder().last().expect("ladder is non-empty");
+    // Largest `work` with ceil(1.5 * work) + 1 <= top.
+    (top - 1) * 2 / 3
 }
 
 /// The precomputed ladder: primes spaced ~1.3x apart, covering table sizes up
@@ -44,7 +60,7 @@ pub fn next_prime_at_least(mut x: usize) -> usize {
     if x <= 2 {
         return 2;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         x += 1;
     }
     while !is_prime(x as u64) {
@@ -63,13 +79,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -141,11 +157,8 @@ mod tests {
     #[test]
     fn table_size_strictly_exceeds_1_5x() {
         for work in [1usize, 2, 4, 5, 8, 16, 32, 84, 319, 320, 1000, 123_456] {
-            let s = table_size_for(work);
-            assert!(
-                s as f64 > 1.5 * work as f64,
-                "size {s} not > 1.5 * {work}"
-            );
+            let s = table_size_for(work).unwrap();
+            assert!(s as f64 > 1.5 * work as f64, "size {s} not > 1.5 * {work}");
             assert!(is_prime(s as u64));
         }
     }
@@ -154,8 +167,20 @@ mod tests {
     fn table_size_not_wastefully_large() {
         // Ladder spacing caps the overshoot at ~1.4x the requirement.
         for work in [10usize, 100, 1000, 100_000] {
-            let s = table_size_for(work);
+            let s = table_size_for(work).unwrap();
             assert!((s as f64) < 1.5 * 1.5 * work as f64 + 16.0, "size {s} for work {work}");
+        }
+    }
+
+    #[test]
+    fn oversized_work_is_a_typed_error() {
+        assert!(table_size_for(max_supported_work()).is_ok());
+        match table_size_for(usize::MAX / 2) {
+            Err(GpuLouvainError::DegreeOverflow { degree, max_supported }) => {
+                assert_eq!(degree, usize::MAX / 2);
+                assert!(max_supported >= 2_000_000_000);
+            }
+            other => panic!("expected DegreeOverflow, got {other:?}"),
         }
     }
 }

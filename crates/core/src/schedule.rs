@@ -36,11 +36,8 @@ impl ThresholdSchedule {
     pub fn multi_level(mut levels: Vec<(usize, f64)>, final_threshold: f64) -> Self {
         assert!(final_threshold > 0.0, "thresholds must be positive");
         assert!(levels.iter().all(|&(_, t)| t > 0.0), "thresholds must be positive");
-        levels.sort_unstable_by(|a, b| b.0.cmp(&a.0));
-        assert!(
-            levels.windows(2).all(|w| w[0].0 != w[1].0),
-            "duplicate vertex limits in schedule"
-        );
+        levels.sort_unstable_by_key(|&(limit, _)| std::cmp::Reverse(limit));
+        assert!(levels.windows(2).all(|w| w[0].0 != w[1].0), "duplicate vertex limits in schedule");
         Self { levels, final_threshold }
     }
 

@@ -46,6 +46,8 @@ pub struct DeviceConfig {
     pub cycles_per_atomic: f64,
     /// Fixed kernel launch overhead, in cycles.
     pub launch_overhead_cycles: f64,
+    /// Deterministic fault-injection plan (disabled by default).
+    pub fault_plan: crate::fault::FaultPlan,
 }
 
 impl DeviceConfig {
@@ -68,6 +70,7 @@ impl DeviceConfig {
             cycles_per_shared_access: 1.0,
             cycles_per_atomic: 16.0,
             launch_overhead_cycles: 4000.0,
+            fault_plan: crate::fault::FaultPlan::disabled(),
         }
     }
 
@@ -91,7 +94,14 @@ impl DeviceConfig {
             cycles_per_shared_access: 1.0,
             cycles_per_atomic: 16.0,
             launch_overhead_cycles: 100.0,
+            fault_plan: crate::fault::FaultPlan::disabled(),
         }
+    }
+
+    /// Returns the configuration with the given fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Threads per block (`warp_size * warps_per_block`; 128 in the paper).
@@ -124,13 +134,12 @@ impl DeviceConfig {
     /// Resident warps per SM for a kernel with the given per-block
     /// shared-memory footprint.
     pub fn resident_warps_per_sm(&self, shared_bytes_per_block: usize) -> usize {
-        let by_shared = if shared_bytes_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.shared_mem_per_sm / shared_bytes_per_block
-        };
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
         let by_warps = self.max_warps_per_sm / self.warps_per_block;
-        let blocks = self.max_blocks_per_sm.min(by_shared).min(by_warps).max(0);
+        let blocks = self.max_blocks_per_sm.min(by_shared).min(by_warps);
         blocks * self.warps_per_block
     }
 

@@ -1,0 +1,315 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real multi-GPU deployments see kernels abort (ECC errors, Xid faults),
+//! blocks hang (watchdog timeouts), and memory corrupt (transient bit flips).
+//! A [`FaultPlan`] attached to [`crate::DeviceConfig`] makes the simulator
+//! reproduce those failure modes *deterministically*: every decision is a pure
+//! hash of the plan seed and a per-device decision sequence number, so the
+//! same seed replays the identical fault schedule regardless of worker-thread
+//! scheduling. Rerunning a launch consumes a fresh sequence number, which is
+//! what lets retry loops eventually succeed.
+//!
+//! Three fault classes are modeled:
+//!
+//! * **Kernel abort** — the launch executes a deterministic prefix of its
+//!   blocks (partial side effects persist, as on a real device) and returns
+//!   [`LaunchError::KernelAborted`].
+//! * **Stuck block** — one hash-chosen block never executes (its side effects
+//!   are lost) and the launch returns [`LaunchError::WatchdogTimeout`] after
+//!   the configured cycle budget.
+//! * **Bit flips** — [`crate::Device::corrupt_u32`] / `corrupt_f64` flip
+//!   hash-chosen bits in a buffer at the configured per-cell rate; drivers
+//!   invoke them at stage boundaries so corruption lands deterministically.
+//!
+//! Injected, detected, and recovered fault counts surface in
+//! [`crate::MetricsReport::faults`].
+
+use std::fmt;
+
+/// Configuration of the deterministic fault injector. All rates are
+/// probabilities in `[0, 1]`; the default ([`FaultPlan::disabled`]) injects
+/// nothing and adds no per-launch overhead beyond one branch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed from which every fault decision is derived.
+    pub seed: u64,
+    /// Probability that a kernel launch aborts mid-execution.
+    pub abort_rate: f64,
+    /// Probability that a launch hangs on one stuck block and trips the
+    /// watchdog.
+    pub stuck_rate: f64,
+    /// Per-cell probability of a bit flip each time a driver offers a buffer
+    /// for corruption via `corrupt_u32`/`corrupt_f64`.
+    pub bitflip_rate: f64,
+    /// Model cycles a watchdog timeout costs before the hang is declared.
+    pub watchdog_cycle_budget: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults (the default).
+    pub fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            abort_rate: 0.0,
+            stuck_rate: 0.0,
+            bitflip_rate: 0.0,
+            watchdog_cycle_budget: 1_000_000,
+        }
+    }
+
+    /// A disabled plan carrying `seed`; enable fault classes with the
+    /// builder methods.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::disabled() }
+    }
+
+    /// Sets the kernel-abort probability per launch.
+    pub fn with_abort_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "abort rate {rate} outside [0, 1]");
+        self.abort_rate = rate;
+        self
+    }
+
+    /// Sets the stuck-block (watchdog timeout) probability per launch.
+    pub fn with_stuck_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "stuck rate {rate} outside [0, 1]");
+        self.stuck_rate = rate;
+        self
+    }
+
+    /// Sets the per-cell bit-flip probability per corruption point.
+    pub fn with_bitflip_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "bit-flip rate {rate} outside [0, 1]");
+        self.bitflip_rate = rate;
+        self
+    }
+
+    /// Sets the cycle budget charged when the watchdog fires.
+    pub fn with_watchdog_cycle_budget(mut self, cycles: u64) -> Self {
+        self.watchdog_cycle_budget = cycles;
+        self
+    }
+
+    /// True when any fault class has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        self.abort_rate > 0.0 || self.stuck_rate > 0.0 || self.bitflip_rate > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Why a kernel launch failed. Configuration errors (`InvalidGroupWidth`,
+/// `SharedMemoryExceeded`) are caller bugs; the other variants are injected
+/// runtime faults a driver is expected to recover from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launch aborted after executing a prefix of its blocks.
+    KernelAborted {
+        /// Kernel name passed to the launch.
+        kernel: String,
+        /// Blocks that completed before the abort (their effects persist).
+        completed_blocks: u64,
+        /// Total blocks the launch would have run.
+        total_blocks: u64,
+    },
+    /// One block never finished; the watchdog fired after its cycle budget.
+    WatchdogTimeout {
+        /// Kernel name passed to the launch.
+        kernel: String,
+        /// The block that hung (its effects are lost).
+        stuck_block: u64,
+        /// Model cycles consumed waiting before the hang was declared.
+        cycle_budget: u64,
+    },
+    /// The requested group width is not a valid SIMT width.
+    InvalidGroupWidth {
+        /// The rejected width.
+        lanes: usize,
+    },
+    /// The kernel's shared-memory footprint exceeds the per-block budget.
+    SharedMemoryExceeded {
+        /// Kernel name passed to the launch.
+        kernel: String,
+        /// Bytes the launch would need per block.
+        required: usize,
+        /// Bytes available per block.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::KernelAborted { kernel, completed_blocks, total_blocks } => write!(
+                f,
+                "kernel '{kernel}' aborted after {completed_blocks}/{total_blocks} blocks"
+            ),
+            LaunchError::WatchdogTimeout { kernel, stuck_block, cycle_budget } => write!(
+                f,
+                "kernel '{kernel}' watchdog timeout: block {stuck_block} stuck after \
+                 {cycle_budget} cycles"
+            ),
+            LaunchError::InvalidGroupWidth { lanes } => {
+                write!(f, "group width {lanes} is not one of {:?}", crate::group::VALID_GROUP_LANES)
+            }
+            LaunchError::SharedMemoryExceeded { kernel, required, available } => write!(
+                f,
+                "kernel '{kernel}': {required} B per block exceeds the {available} B \
+                 shared-memory budget; use a global-memory kernel for this bucket"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Counts of faults injected by the device and of detections/recoveries
+/// reported back by the driver, surfaced in [`crate::MetricsReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Kernel aborts injected.
+    pub aborts_injected: u64,
+    /// Watchdog timeouts injected.
+    pub timeouts_injected: u64,
+    /// Individual bit flips injected.
+    pub bitflips_injected: u64,
+    /// Faults the driver reported detecting (via
+    /// [`crate::Device::note_fault_detected`]).
+    pub detected: u64,
+    /// Faults the driver reported recovering from (via
+    /// [`crate::Device::note_fault_recovered`]).
+    pub recovered: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn injected(&self) -> u64 {
+        self.aborts_injected + self.timeouts_injected + self.bitflips_injected
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.aborts_injected += other.aborts_injected;
+        self.timeouts_injected += other.timeouts_injected;
+        self.bitflips_injected += other.bitflips_injected;
+        self.detected += other.detected;
+        self.recovered += other.recovered;
+    }
+}
+
+/// The fault decision for one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LaunchFault {
+    /// Execute normally.
+    None,
+    /// Execute `prefix` of the launch's blocks, then abort.
+    Abort {
+        /// Raw selector; the launcher maps it onto `0..n_blocks`.
+        selector: u64,
+    },
+    /// Skip one hash-chosen block, then report a watchdog timeout.
+    Stuck {
+        /// Raw selector; the launcher maps it onto `0..n_blocks`.
+        selector: u64,
+    },
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 random bits onto a unit-interval f64.
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// Decides the fault (if any) for decision sequence number `seq`.
+    /// Pure function of `(self.seed, seq)`, so the schedule replays exactly.
+    pub(crate) fn launch_decision(&self, seq: u64) -> LaunchFault {
+        if !self.is_active() {
+            return LaunchFault::None;
+        }
+        let base = mix64(self.seed ^ mix64(seq));
+        if self.abort_rate > 0.0 && unit_f64(mix64(base ^ 0x41)) < self.abort_rate {
+            return LaunchFault::Abort { selector: mix64(base ^ 0xA5) };
+        }
+        if self.stuck_rate > 0.0 && unit_f64(mix64(base ^ 0x57)) < self.stuck_rate {
+            return LaunchFault::Stuck { selector: mix64(base ^ 0x5C) };
+        }
+        LaunchFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_active());
+        for seq in 0..1000 {
+            assert_eq!(plan.launch_decision(seq), LaunchFault::None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(42).with_abort_rate(0.3).with_stuck_rate(0.2);
+        let a: Vec<LaunchFault> = (0..500).map(|s| plan.launch_decision(s)).collect();
+        let b: Vec<LaunchFault> = (0..500).map(|s| plan.launch_decision(s)).collect();
+        assert_eq!(a, b);
+        let other = FaultPlan::seeded(43).with_abort_rate(0.3).with_stuck_rate(0.2);
+        let c: Vec<LaunchFault> = (0..500).map(|s| other.launch_decision(s)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::seeded(7).with_abort_rate(0.25);
+        let aborts = (0..4000)
+            .filter(|&s| matches!(plan.launch_decision(s), LaunchFault::Abort { .. }))
+            .count();
+        let frac = aborts as f64 / 4000.0;
+        assert!((0.18..0.32).contains(&frac), "abort fraction {frac}");
+    }
+
+    #[test]
+    fn stats_merge_and_total() {
+        let mut a = FaultStats { aborts_injected: 1, bitflips_injected: 3, ..Default::default() };
+        let b =
+            FaultStats { timeouts_injected: 2, detected: 4, recovered: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.injected(), 6);
+        assert_eq!(a.detected, 4);
+    }
+
+    #[test]
+    fn error_messages_name_the_fault() {
+        let e =
+            LaunchError::KernelAborted { kernel: "k".into(), completed_blocks: 3, total_blocks: 9 };
+        assert!(e.to_string().contains("aborted after 3/9"));
+        let w =
+            LaunchError::WatchdogTimeout { kernel: "k".into(), stuck_block: 5, cycle_budget: 100 };
+        assert!(w.to_string().contains("watchdog timeout"));
+        let g = LaunchError::InvalidGroupWidth { lanes: 5 };
+        assert!(g.to_string().contains("not one of"));
+        let s = LaunchError::SharedMemoryExceeded {
+            kernel: "k".into(),
+            required: 4096,
+            available: 1024,
+        };
+        assert!(s.to_string().contains("shared-memory budget"));
+    }
+}

@@ -155,7 +155,13 @@ impl<'a> GroupCtx<'a> {
 
     /// `atomicCAS` on a global u32 cell. `Ok(prev)` when the swap succeeded.
     #[inline]
-    pub fn cas_u32(&mut self, buf: &GlobalU32, idx: usize, current: u32, new: u32) -> Result<u32, u32> {
+    pub fn cas_u32(
+        &mut self,
+        buf: &GlobalU32,
+        idx: usize,
+        current: u32,
+        new: u32,
+    ) -> Result<u32, u32> {
         self.counters.cas_ops += 1;
         let r = buf.cas(idx, current, new);
         if r.is_err() {
@@ -182,6 +188,13 @@ impl<'a> GroupCtx<'a> {
         self.counters.cas_failures += failures;
     }
 
+    /// Records one shared→global hash-table fallback (a shared-memory table
+    /// overflowed and the task was retried against global memory).
+    #[inline]
+    pub fn note_table_fallback(&mut self) {
+        self.counters.table_fallbacks += 1;
+    }
+
     // ----- warp/block collectives ------------------------------------------
 
     /// Records the cost of a `log2(lanes)`-step shuffle collective.
@@ -199,16 +212,15 @@ impl<'a> GroupCtx<'a> {
     pub fn reduce_best(&mut self, lane_vals: &[(f64, u32)]) -> Option<(f64, u32)> {
         debug_assert!(lane_vals.len() <= self.lanes);
         self.collective_cost();
-        lane_vals
-            .iter()
-            .copied()
-            .reduce(|a, b| {
+        lane_vals.iter().copied().reduce(
+            |a, b| {
                 if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
                     b
                 } else {
                     a
                 }
-            })
+            },
+        )
     }
 
     /// Sum reduction over per-lane values.
@@ -237,10 +249,7 @@ impl<'a> GroupCtx<'a> {
     pub fn ballot(&mut self, lane_preds: &[bool]) -> u128 {
         debug_assert!(lane_preds.len() <= self.lanes);
         self.step(lane_preds.len());
-        lane_preds
-            .iter()
-            .enumerate()
-            .fold(0u128, |m, (i, &p)| if p { m | (1u128 << i) } else { m })
+        lane_preds.iter().enumerate().fold(0u128, |m, (i, &p)| if p { m | (1u128 << i) } else { m })
     }
 
     /// Read-only view of the counters accumulated so far by this group's

@@ -14,12 +14,22 @@
 //! Blocks execute concurrently on the rayon pool; each block owns private
 //! [`BlockCounters`] merged into the device metrics when the launch
 //! completes, so the hot path takes no locks.
+//!
+//! Every launcher has a fallible `try_*` form returning
+//! [`Result`]`<(), `[`LaunchError`]`>`. Configuration errors (bad group
+//! width, shared-memory overflow) and injected faults (kernel abort, stuck
+//! block — see [`crate::fault`]) surface there; the infallible wrappers
+//! panic on any error, preserving the original fail-fast behaviour for
+//! callers that opt out of fault handling.
 
 use crate::config::DeviceConfig;
+use crate::fault::{mix64, unit_f64, FaultStats, LaunchError, LaunchFault};
 use crate::group::{GroupCtx, VALID_GROUP_LANES};
+use crate::memory::{GlobalF64, GlobalU32};
 use crate::metrics::{BlockCounters, MetricsReport, MetricsStore};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A simulated GPU.
@@ -27,12 +37,22 @@ use std::time::Instant;
 pub struct Device {
     cfg: DeviceConfig,
     metrics: Mutex<MetricsStore>,
+    /// Per-device decision sequence for launch faults; advancing it is what
+    /// makes a retried launch draw a fresh fault decision.
+    launch_seq: AtomicU64,
+    /// Separate sequence for memory-corruption points.
+    corrupt_seq: AtomicU64,
 }
 
 impl Device {
     /// Creates a device with the given configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Self { cfg, metrics: Mutex::new(MetricsStore::default()) }
+        Self {
+            cfg,
+            metrics: Mutex::new(MetricsStore::default()),
+            launch_seq: AtomicU64::new(0),
+            corrupt_seq: AtomicU64::new(0),
+        }
     }
 
     /// A device with the paper's K40m-like defaults.
@@ -50,12 +70,35 @@ impl Device {
         self.metrics.lock().snapshot()
     }
 
-    /// Clears all recorded metrics.
+    /// Clears all recorded metrics (including fault counters).
     pub fn reset_metrics(&self) {
         self.metrics.lock().reset();
     }
 
-    pub(crate) fn record(&self, name: &str, blocks: u64, counters: BlockCounters, wall: std::time::Duration) {
+    /// Fault counters recorded so far (injected / detected / recovered).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.metrics.lock().faults
+    }
+
+    /// Records that the driver detected a fault (launch error observed or an
+    /// invariant check caught corruption).
+    pub fn note_fault_detected(&self) {
+        self.metrics.lock().faults.detected += 1;
+    }
+
+    /// Records that the driver recovered from a detected fault (retry or
+    /// failover succeeded).
+    pub fn note_fault_recovered(&self) {
+        self.metrics.lock().faults.recovered += 1;
+    }
+
+    pub(crate) fn record(
+        &self,
+        name: &str,
+        blocks: u64,
+        counters: BlockCounters,
+        wall: std::time::Duration,
+    ) {
         self.metrics.lock().record_launch(name, blocks, counters, wall, 0);
     }
 
@@ -70,6 +113,59 @@ impl Device {
         self.metrics.lock().record_launch(name, blocks, counters, wall, shared_bytes_per_block);
     }
 
+    /// Draws the fault decision for the next launch. Sequence numbers advance
+    /// per launch attempt, so the schedule is deterministic for a seed but a
+    /// retry is a fresh draw.
+    fn next_launch_fault(&self) -> LaunchFault {
+        if !self.cfg.fault_plan.is_active() {
+            return LaunchFault::None;
+        }
+        let seq = self.launch_seq.fetch_add(1, Ordering::Relaxed);
+        self.cfg.fault_plan.launch_decision(seq)
+    }
+
+    /// Resolves a fault decision against the launch's block count, counts the
+    /// injection, and returns `(first_skipped_block, stuck_block)`:
+    /// blocks `>= first_skipped_block` do not run (abort), and the single
+    /// `stuck_block` (if any) does not run (hang).
+    fn apply_fault(&self, fault: LaunchFault, n_blocks: usize) -> (usize, Option<usize>) {
+        match fault {
+            LaunchFault::None => (n_blocks, None),
+            LaunchFault::Abort { selector } => {
+                self.metrics.lock().faults.aborts_injected += 1;
+                ((selector % n_blocks as u64) as usize, None)
+            }
+            LaunchFault::Stuck { selector } => {
+                self.metrics.lock().faults.timeouts_injected += 1;
+                (n_blocks, Some((selector % n_blocks as u64) as usize))
+            }
+        }
+    }
+
+    /// Builds the launch result for a resolved fault decision.
+    fn fault_outcome(
+        &self,
+        fault: LaunchFault,
+        name: &str,
+        run_limit: usize,
+        stuck: Option<usize>,
+        n_blocks: usize,
+    ) -> Result<(), LaunchError> {
+        match fault {
+            LaunchFault::None => Ok(()),
+            LaunchFault::Abort { .. } => Err(LaunchError::KernelAborted {
+                kernel: name.to_string(),
+                completed_blocks: run_limit as u64,
+                total_blocks: n_blocks as u64,
+            }),
+            LaunchFault::Stuck { .. } => Err(LaunchError::WatchdogTimeout {
+                kernel: name.to_string(),
+                stuck_block: stuck.unwrap_or(0) as u64,
+                cycle_budget: self.cfg.fault_plan.watchdog_cycle_budget,
+            }),
+        }
+    }
+
     /// Launches `n_tasks` tasks, one per thread group of `lanes` lanes.
     ///
     /// `lanes` must be one of 4, 8, 16, 32, or 128 (the widths of the paper's
@@ -81,6 +177,9 @@ impl Device {
     ///
     /// `block_state` builds per-block reusable scratch (allocated once per
     /// block, not per task) and `kernel` runs once per task.
+    ///
+    /// Panics on configuration errors *and* on injected faults; fault-aware
+    /// drivers use [`Device::try_launch_tasks`].
     pub fn launch_tasks<S, I, F>(
         &self,
         name: &str,
@@ -94,34 +193,63 @@ impl Device {
         I: Fn() -> S + Sync,
         F: Fn(&mut GroupCtx, &mut S, usize) + Sync,
     {
-        assert!(
-            VALID_GROUP_LANES.contains(&lanes),
-            "group width {lanes} is not one of {VALID_GROUP_LANES:?}"
-        );
+        self.try_launch_tasks(name, n_tasks, lanes, shared_bytes_per_task, block_state, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Device::launch_tasks`]: configuration errors and
+    /// injected faults are returned instead of panicking. An aborted launch
+    /// has executed a prefix of its blocks (partial effects persist); a
+    /// watchdog timeout has executed all blocks but one.
+    pub fn try_launch_tasks<S, I, F>(
+        &self,
+        name: &str,
+        n_tasks: usize,
+        lanes: usize,
+        shared_bytes_per_task: usize,
+        block_state: I,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut GroupCtx, &mut S, usize) + Sync,
+    {
         let block_threads = self.cfg.block_threads();
-        assert!(
-            lanes <= block_threads,
-            "group width {lanes} exceeds block size {block_threads}"
-        );
+        if !VALID_GROUP_LANES.contains(&lanes) || lanes > block_threads {
+            return Err(LaunchError::InvalidGroupWidth { lanes });
+        }
         let tasks_per_block = block_threads / lanes;
-        assert!(
-            shared_bytes_per_task * tasks_per_block <= self.cfg.shared_mem_per_block,
-            "kernel '{name}': {tasks_per_block} tasks x {shared_bytes_per_task} B exceeds the \
-             {} B shared-memory budget; use a global-memory kernel for this bucket",
-            self.cfg.shared_mem_per_block
-        );
         let shared_per_block = shared_bytes_per_task * tasks_per_block;
+        if shared_per_block > self.cfg.shared_mem_per_block {
+            return Err(LaunchError::SharedMemoryExceeded {
+                kernel: name.to_string(),
+                required: shared_per_block,
+                available: self.cfg.shared_mem_per_block,
+            });
+        }
         if n_tasks == 0 {
-            self.record_with_shared(name, 0, BlockCounters::default(), std::time::Duration::ZERO, shared_per_block);
-            return;
+            self.record_with_shared(
+                name,
+                0,
+                BlockCounters::default(),
+                std::time::Duration::ZERO,
+                shared_per_block,
+            );
+            return Ok(());
         }
 
         let start = Instant::now();
         let n_blocks = n_tasks.div_ceil(tasks_per_block);
+        let fault = self.next_launch_fault();
+        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
         let totals = (0..n_blocks)
             .into_par_iter()
             .map(|block| {
                 let mut counters = BlockCounters::default();
+                if block >= run_limit || Some(block) == stuck {
+                    return counters;
+                }
                 let mut state = block_state();
                 let lo = block * tasks_per_block;
                 let hi = (lo + tasks_per_block).min(n_tasks);
@@ -136,14 +264,36 @@ impl Device {
                 a.merge(&b);
                 a
             });
-        self.record_with_shared(name, n_blocks as u64, totals, start.elapsed(), shared_per_block);
+        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+        self.record_with_shared(name, executed as u64, totals, start.elapsed(), shared_per_block);
+        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
     }
 
     /// Launches `n_blocks` blocks; the kernel body receives a block-wide
     /// (128-lane) [`GroupCtx`] and the block id, and is responsible for its
     /// own task iteration. Used for the paper's interleaved multi-task-per-
     /// block assignment with reused global-memory hash tables.
+    ///
+    /// Panics on injected faults; fault-aware drivers use
+    /// [`Device::try_launch_blocks`].
     pub fn launch_blocks<S, I, F>(&self, name: &str, n_blocks: usize, block_state: I, kernel: F)
+    where
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut GroupCtx, &mut S) + Sync,
+    {
+        self.try_launch_blocks(name, n_blocks, block_state, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Device::launch_blocks`].
+    pub fn try_launch_blocks<S, I, F>(
+        &self,
+        name: &str,
+        n_blocks: usize,
+        block_state: I,
+        kernel: F,
+    ) -> Result<(), LaunchError>
     where
         S: Send,
         I: Fn(usize) -> S + Sync,
@@ -151,14 +301,19 @@ impl Device {
     {
         if n_blocks == 0 {
             self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
-            return;
+            return Ok(());
         }
         let start = Instant::now();
         let block_threads = self.cfg.block_threads();
+        let fault = self.next_launch_fault();
+        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
         let totals = (0..n_blocks)
             .into_par_iter()
             .map(|block| {
                 let mut counters = BlockCounters::default();
+                if block >= run_limit || Some(block) == stuck {
+                    return counters;
+                }
                 let mut state = block_state(block);
                 let mut ctx = GroupCtx::new(block, block_threads, &mut counters);
                 kernel(&mut ctx, &mut state);
@@ -168,27 +323,50 @@ impl Device {
                 a.merge(&b);
                 a
             });
-        self.record(name, n_blocks as u64, totals, start.elapsed());
+        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+        self.record(name, executed as u64, totals, start.elapsed());
+        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
     }
 
     /// Elementwise kernel over `n_threads` virtual threads, scheduled as full
     /// warps. The kernel receives the thread index; the context is warp-wide.
+    ///
+    /// Panics on injected faults; fault-aware drivers use
+    /// [`Device::try_launch_threads`].
     pub fn launch_threads<F>(&self, name: &str, n_threads: usize, kernel: F)
+    where
+        F: Fn(&mut GroupCtx, usize) + Sync,
+    {
+        self.try_launch_threads(name, n_threads, kernel).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Device::launch_threads`].
+    pub fn try_launch_threads<F>(
+        &self,
+        name: &str,
+        n_threads: usize,
+        kernel: F,
+    ) -> Result<(), LaunchError>
     where
         F: Fn(&mut GroupCtx, usize) + Sync,
     {
         if n_threads == 0 {
             self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
-            return;
+            return Ok(());
         }
         let start = Instant::now();
         let block_threads = self.cfg.block_threads();
         let warp = self.cfg.warp_size;
         let n_blocks = n_threads.div_ceil(block_threads);
+        let fault = self.next_launch_fault();
+        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
         let totals = (0..n_blocks)
             .into_par_iter()
             .map(|block| {
                 let mut counters = BlockCounters::default();
+                if block >= run_limit || Some(block) == stuck {
+                    return counters;
+                }
                 let lo = block * block_threads;
                 let hi = (lo + block_threads).min(n_threads);
                 let mut t = lo;
@@ -207,26 +385,93 @@ impl Device {
                 a.merge(&b);
                 a
             });
-        self.record(name, n_blocks as u64, totals, start.elapsed());
+        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+        self.record(name, executed as u64, totals, start.elapsed());
+        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+    }
+
+    /// Offers a `u32` buffer for transient corruption: flips hash-chosen bits
+    /// at the plan's `bitflip_rate` per cell. Drivers call this at stage
+    /// boundaries (a deterministic point in program order), which keeps the
+    /// corruption schedule independent of worker-thread timing. Returns the
+    /// number of bits flipped. No-op (and free) when bit flips are disabled.
+    pub fn corrupt_u32(&self, tag: &str, buf: &GlobalU32) -> u64 {
+        self.corrupt_cells(tag, buf.len(), 32, |idx, bit| buf.flip_bit(idx, bit))
+    }
+
+    /// Offers an `f64` buffer for transient corruption; see
+    /// [`Device::corrupt_u32`].
+    pub fn corrupt_f64(&self, tag: &str, buf: &GlobalF64) -> u64 {
+        self.corrupt_cells(tag, buf.len(), 64, |idx, bit| buf.flip_bit(idx, bit))
+    }
+
+    fn corrupt_cells(
+        &self,
+        tag: &str,
+        len: usize,
+        bits_per_cell: u64,
+        flip: impl Fn(usize, u32),
+    ) -> u64 {
+        let plan = &self.cfg.fault_plan;
+        if plan.bitflip_rate <= 0.0 || len == 0 {
+            return 0;
+        }
+        let seq = self.corrupt_seq.fetch_add(1, Ordering::Relaxed);
+        let mut tag_hash: u64 = 0xcbf29ce484222325;
+        for b in tag.bytes() {
+            tag_hash = (tag_hash ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let base = mix64(plan.seed ^ mix64(seq ^ 0x00C0_44C5_D00D_F1E5) ^ tag_hash);
+        // Deterministic draw of the flip count: floor(expected) plus one more
+        // with probability equal to the fractional part.
+        let expected = len as f64 * plan.bitflip_rate;
+        let mut count = expected.floor() as u64;
+        if unit_f64(mix64(base ^ 0x11)) < expected.fract() {
+            count += 1;
+        }
+        for i in 0..count {
+            let h = mix64(base ^ (0x1000 + i));
+            let idx = (h % len as u64) as usize;
+            let bit = (mix64(h ^ 0x22) % bits_per_cell) as u32;
+            flip(idx, bit);
+        }
+        if count > 0 {
+            self.metrics.lock().faults.bitflips_injected += count;
+        }
+        count
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::memory::{GlobalF64, GlobalU32};
 
     fn tiny() -> Device {
         Device::new(DeviceConfig::test_tiny())
     }
 
+    fn faulty(plan: FaultPlan) -> Device {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.fault_plan = plan;
+        Device::new(cfg)
+    }
+
     #[test]
     fn launch_tasks_visits_every_task_once() {
         let dev = tiny();
         let hits = GlobalU32::zeroed(1000);
-        dev.launch_tasks("visit", 1000, 8, 0, || (), |ctx, _, task| {
-            ctx.atomic_add_u32(&hits, task, 1);
-        });
+        dev.launch_tasks(
+            "visit",
+            1000,
+            8,
+            0,
+            || (),
+            |ctx, _, task| {
+                ctx.atomic_add_u32(&hits, task, 1);
+            },
+        );
         assert!(hits.to_vec().iter().all(|&h| h == 1));
         let m = dev.metrics();
         let k = m.kernel("visit").unwrap();
@@ -262,6 +507,15 @@ mod tests {
     }
 
     #[test]
+    fn try_launch_reports_config_errors() {
+        let dev = tiny();
+        let e = dev.try_launch_tasks("too-big", 10, 4, 512, || (), |_, _, _: usize| {});
+        assert!(matches!(e, Err(LaunchError::SharedMemoryExceeded { .. })));
+        let e = dev.try_launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+        assert_eq!(e, Err(LaunchError::InvalidGroupWidth { lanes: 5 }));
+    }
+
+    #[test]
     fn launch_threads_full_coverage_and_occupancy() {
         let dev = tiny();
         let out = GlobalF64::zeroed(300);
@@ -283,9 +537,14 @@ mod tests {
     fn launch_blocks_runs_each_block() {
         let dev = tiny();
         let sum = GlobalU32::zeroed(1);
-        dev.launch_blocks("blocks", 7, |b| b as u32, |ctx, state| {
-            ctx.atomic_add_u32(&sum, 0, *state);
-        });
+        dev.launch_blocks(
+            "blocks",
+            7,
+            |b| b as u32,
+            |ctx, state| {
+                ctx.atomic_add_u32(&sum, 0, *state);
+            },
+        );
         assert_eq!(sum.load(0), (0..7).sum::<u32>());
         assert_eq!(dev.metrics().kernel("blocks").unwrap().blocks, 7);
     }
@@ -312,5 +571,122 @@ mod tests {
     #[should_panic(expected = "not one of")]
     fn rejects_bad_group_width() {
         tiny().launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+    }
+
+    #[test]
+    fn injected_abort_runs_a_prefix_and_errors() {
+        // Abort every launch: the error must carry a completed-block prefix
+        // and exactly that many tasks' side effects must have landed.
+        let dev = faulty(FaultPlan::seeded(9).with_abort_rate(1.0));
+        let hits = GlobalU32::zeroed(1000);
+        let r = dev.try_launch_tasks(
+            "visit",
+            1000,
+            8,
+            0,
+            || (),
+            |ctx, _, task| {
+                ctx.atomic_add_u32(&hits, task, 1);
+            },
+        );
+        let Err(LaunchError::KernelAborted { completed_blocks, total_blocks, .. }) = r else {
+            panic!("expected KernelAborted, got {r:?}");
+        };
+        assert_eq!(total_blocks, 63);
+        assert!(completed_blocks < total_blocks);
+        let done = hits.to_vec().iter().filter(|&&h| h == 1).count();
+        // 16 tasks per block, last block partial.
+        assert_eq!(done as u64, (completed_blocks * 16).min(1000));
+        assert_eq!(dev.fault_stats().aborts_injected, 1);
+    }
+
+    #[test]
+    fn injected_stuck_block_loses_its_work() {
+        let dev =
+            faulty(FaultPlan::seeded(3).with_stuck_rate(1.0).with_watchdog_cycle_budget(5000));
+        let hits = GlobalU32::zeroed(640);
+        let r = dev.try_launch_tasks(
+            "visit",
+            640,
+            8,
+            0,
+            || (),
+            |ctx, _, task| {
+                ctx.atomic_add_u32(&hits, task, 1);
+            },
+        );
+        let Err(LaunchError::WatchdogTimeout { stuck_block, cycle_budget, .. }) = r else {
+            panic!("expected WatchdogTimeout, got {r:?}");
+        };
+        assert_eq!(cycle_budget, 5000);
+        let v = hits.to_vec();
+        let missed: Vec<usize> = (0..640).filter(|&t| v[t] == 0).collect();
+        // Exactly one block's 16 tasks are lost.
+        assert_eq!(missed.len(), 16);
+        assert!(missed.iter().all(|&t| t / 16 == stuck_block as usize));
+        assert_eq!(dev.fault_stats().timeouts_injected, 1);
+    }
+
+    #[test]
+    fn fault_schedule_replays_for_a_seed() {
+        let plan = FaultPlan::seeded(1234).with_abort_rate(0.3).with_stuck_rate(0.1);
+        let run = || {
+            let dev = faulty(plan.clone());
+            (0..40)
+                .map(|i| {
+                    dev.try_launch_threads("k", 256 + i, |_, _| {})
+                        .map_err(|e| match e {
+                            LaunchError::KernelAborted { completed_blocks, .. } => {
+                                (0u8, completed_blocks)
+                            }
+                            LaunchError::WatchdogTimeout { stuck_block, .. } => (1u8, stuck_block),
+                            other => panic!("unexpected {other}"),
+                        })
+                        .err()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|f| f.is_some()), "no faults at 40% combined rate");
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically() {
+        let flips = |seed: u64| {
+            let dev = faulty(FaultPlan::seeded(seed).with_bitflip_rate(0.05));
+            let buf = GlobalU32::zeroed(400);
+            let n = dev.corrupt_u32("labels", &buf);
+            (n, buf.to_vec(), dev.fault_stats().bitflips_injected)
+        };
+        let (n1, v1, s1) = flips(77);
+        let (n2, v2, _) = flips(77);
+        assert_eq!(n1, n2);
+        assert_eq!(v1, v2);
+        assert_eq!(s1, n1);
+        assert!(n1 > 0, "expected ~20 flips in 400 cells at 5%");
+        let changed = v1.iter().filter(|&&x| x != 0).count() as u64;
+        assert!(changed <= n1 && changed > 0);
+    }
+
+    #[test]
+    fn corruption_disabled_is_free_and_silent() {
+        let dev = tiny();
+        let buf = GlobalF64::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(dev.corrupt_f64("weights", &buf), 0);
+        assert_eq!(buf.to_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(dev.fault_stats().injected(), 0);
+    }
+
+    #[test]
+    fn detection_and_recovery_notes_are_counted() {
+        let dev = tiny();
+        dev.note_fault_detected();
+        dev.note_fault_detected();
+        dev.note_fault_recovered();
+        let s = dev.metrics().faults().to_owned();
+        assert_eq!(s.detected, 2);
+        assert_eq!(s.recovered, 1);
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod group;
 pub mod launch;
 pub mod memory;
@@ -37,6 +38,7 @@ pub mod metrics;
 pub mod thrust;
 
 pub use config::DeviceConfig;
+pub use fault::{FaultPlan, FaultStats, LaunchError};
 pub use group::{GroupCtx, VALID_GROUP_LANES};
 pub use launch::Device;
 pub use memory::{GlobalF64, GlobalU32, GlobalU64};

@@ -86,6 +86,13 @@ impl GlobalU32 {
             c.store(v, Ordering::Relaxed);
         }
     }
+
+    /// Flips one bit of a cell (fault injection: transient memory
+    /// corruption). `bit` must be below 32.
+    pub fn flip_bit(&self, idx: usize, bit: u32) {
+        debug_assert!(bit < 32);
+        self.cells[idx].fetch_xor(1u32 << bit, Ordering::Relaxed);
+    }
 }
 
 /// A global buffer of `u64` (sizes, offsets, degree sums).
@@ -202,6 +209,13 @@ impl GlobalF64 {
     /// Copies the buffer out to a host vector.
     pub fn to_vec(&self) -> Vec<f64> {
         self.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Flips one bit of a cell's IEEE-754 representation (fault injection:
+    /// transient memory corruption). `bit` must be below 64.
+    pub fn flip_bit(&self, idx: usize, bit: u32) {
+        debug_assert!(bit < 64);
+        self.cells[idx].fetch_xor(1u64 << bit, Ordering::Relaxed);
     }
 
     /// Fills the buffer with a value.

@@ -7,6 +7,7 @@
 //! atomic traffic — are all derived from these.
 
 use crate::config::DeviceConfig;
+use crate::fault::FaultStats;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -37,6 +38,9 @@ pub struct BlockCounters {
     pub barriers: u64,
     /// Tasks processed.
     pub tasks: u64,
+    /// Hash-table inserts that fell back from shared to global memory
+    /// because the shared table overflowed (recoverable capacity fault).
+    pub table_fallbacks: u64,
 }
 
 impl BlockCounters {
@@ -53,6 +57,7 @@ impl BlockCounters {
         self.cas_failures += other.cas_failures;
         self.barriers += other.barriers;
         self.tasks += other.tasks;
+        self.table_fallbacks += other.table_fallbacks;
     }
 }
 
@@ -119,11 +124,18 @@ impl KernelMetrics {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsReport {
     entries: Vec<(String, KernelMetrics)>,
+    faults: FaultStats,
 }
 
 impl MetricsReport {
-    pub(crate) fn new(entries: Vec<(String, KernelMetrics)>) -> Self {
-        Self { entries }
+    pub(crate) fn new(entries: Vec<(String, KernelMetrics)>, faults: FaultStats) -> Self {
+        Self { entries, faults }
+    }
+
+    /// Fault-injection counters: injected by the device, detected/recovered
+    /// as reported by the driver.
+    pub fn faults(&self) -> &FaultStats {
+        &self.faults
     }
 
     /// Per-kernel entries in first-launch order.
@@ -159,6 +171,7 @@ impl MetricsReport {
 pub(crate) struct MetricsStore {
     order: Vec<String>,
     map: HashMap<String, KernelMetrics>,
+    pub(crate) faults: FaultStats,
 }
 
 impl MetricsStore {
@@ -183,16 +196,15 @@ impl MetricsStore {
 
     pub(crate) fn snapshot(&self) -> MetricsReport {
         MetricsReport::new(
-            self.order
-                .iter()
-                .map(|name| (name.clone(), self.map[name].clone()))
-                .collect(),
+            self.order.iter().map(|name| (name.clone(), self.map[name].clone())).collect(),
+            self.faults,
         )
     }
 
     pub(crate) fn reset(&mut self) {
         self.order.clear();
         self.map.clear();
+        self.faults = FaultStats::default();
     }
 }
 
@@ -203,7 +215,8 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = BlockCounters { lane_slots: 10, active_lanes: 5, ..Default::default() };
-        let b = BlockCounters { lane_slots: 6, active_lanes: 6, atomic_adds: 2, ..Default::default() };
+        let b =
+            BlockCounters { lane_slots: 6, active_lanes: 6, atomic_adds: 2, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.lane_slots, 16);
         assert_eq!(a.active_lanes, 11);

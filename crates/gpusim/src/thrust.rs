@@ -94,10 +94,7 @@ impl Device {
     /// boundaries make the result independent of thread count.
     pub fn reduce_sum_f64(&self, data: &[f64]) -> f64 {
         let start = Instant::now();
-        let partials: Vec<f64> = data
-            .par_chunks(CHUNK)
-            .map(|c| c.iter().sum::<f64>())
-            .collect();
+        let partials: Vec<f64> = data.par_chunks(CHUNK).map(|c| c.iter().sum::<f64>()).collect();
         let total = partials.iter().sum();
         record_elems(self, "thrust::reduce", data.len(), start);
         total

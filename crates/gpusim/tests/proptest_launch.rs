@@ -21,8 +21,8 @@ proptest! {
             ctx.atomic_add_u32(&hits, task, 1);
         });
         let v = hits.to_vec();
-        for t in 0..n_tasks {
-            prop_assert_eq!(v[t], 1, "task {} ran {} times (lanes {})", t, v[t], lanes);
+        for (t, &h) in v.iter().enumerate().take(n_tasks) {
+            prop_assert_eq!(h, 1, "task {} ran {} times (lanes {})", t, h, lanes);
         }
         let m = dev.metrics();
         prop_assert_eq!(m.kernel("visit").unwrap().counters.tasks, n_tasks as u64);
@@ -36,8 +36,8 @@ proptest! {
             out.store(t, t as u32 + 1);
         });
         let v = out.to_vec();
-        for t in 0..n {
-            prop_assert_eq!(v[t], t as u32 + 1);
+        for (t, &x) in v.iter().enumerate().take(n) {
+            prop_assert_eq!(x, t as u32 + 1);
         }
         // Active lanes equal the thread count exactly.
         if n > 0 {

@@ -67,8 +67,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Csr {
         let n = self.num_vertices;
         // Merge duplicates on the canonical (min, max) representation.
-        self.edges
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
         let mut merged: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges {
             match merged.last_mut() {

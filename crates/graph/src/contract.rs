@@ -62,10 +62,7 @@ mod tests {
     use crate::modularity::modularity;
 
     fn two_triangles() -> Csr {
-        csr_from_unit_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        csr_from_unit_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -111,10 +108,7 @@ mod tests {
         let q_before = modularity(&g, &p);
         let (cg, renum) = contract(&g, &p);
         let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
-        assert!(
-            (q_before - q_after).abs() < 1e-12,
-            "Q before {q_before} != Q after {q_after}"
-        );
+        assert!((q_before - q_after).abs() < 1e-12, "Q before {q_before} != Q after {q_after}");
         assert_eq!(renum.num_communities(), cg.num_vertices());
     }
 

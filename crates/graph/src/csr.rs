@@ -58,21 +58,20 @@ impl Csr {
         );
         assert_eq!(targets.len(), weights.len(), "targets/weights length mismatch");
         let n = offsets.len() - 1;
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be monotone"
-        );
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n),
-            "target out of range"
-        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        assert!(targets.iter().all(|&t| (t as usize) < n), "target out of range");
         let total_weight_2m = weights.iter().sum();
         Self { offsets, targets, weights, total_weight_2m }
     }
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], targets: Vec::new(), weights: Vec::new(), total_weight_2m: 0.0 }
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+            total_weight_2m: 0.0,
+        }
     }
 
     /// Number of vertices.

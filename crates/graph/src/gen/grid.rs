@@ -162,7 +162,10 @@ mod tests {
         assert!(p.num_edges() < full.num_edges());
         assert!(p.num_edges() as f64 > 0.85 * full.num_edges() as f64);
         assert_eq!(p, perturbed_grid_2d(40, 40, GridStencil::VonNeumann, 0.9, 7));
-        assert_eq!(perturbed_grid_2d(5, 5, GridStencil::Moore, 1.0, 0), grid_2d(5, 5, GridStencil::Moore));
+        assert_eq!(
+            perturbed_grid_2d(5, 5, GridStencil::Moore, 1.0, 0),
+            grid_2d(5, 5, GridStencil::Moore)
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ pub fn planted_partition(k: usize, size: usize, p_in: f64, p_out: f64, seed: u64
 
 /// Visits each unordered pair `{i, j}`, `i < j < n`, independently with
 /// probability `p`, using geometric jumps over the linearized pair index.
-fn sample_pairs_within(n: u64, p: f64, r: &mut rand::rngs::SmallRng, mut visit: impl FnMut(u64, u64)) {
+fn sample_pairs_within(
+    n: u64,
+    p: f64,
+    r: &mut rand::rngs::SmallRng,
+    mut visit: impl FnMut(u64, u64),
+) {
     let total = n * n.saturating_sub(1) / 2;
     sample_indices(total, p, r, |idx| {
         let (i, j) = unrank_pair(idx);
@@ -112,7 +117,13 @@ fn unrank_pair(idx: u64) -> (u64, u64) {
     // Solve j(j-1)/2 <= idx < j(j+1)/2 for j.
     let j = ((((8 * idx + 1) as f64).sqrt() - 1.0) / 2.0).floor() as u64 + 1;
     // Guard against floating point boundary error.
-    let j = if j * (j - 1) / 2 > idx { j - 1 } else if (j + 1) * j / 2 <= idx { j + 1 } else { j };
+    let j = if j * (j - 1) / 2 > idx {
+        j - 1
+    } else if (j + 1) * j / 2 <= idx {
+        j + 1
+    } else {
+        j
+    };
     let i = idx - j * (j - 1) / 2;
     (i, j)
 }

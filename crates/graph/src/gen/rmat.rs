@@ -51,7 +51,7 @@ impl RmatParams {
 /// Graph500 practice).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
     params.validate();
-    assert!(scale >= 1 && scale <= 30, "scale out of supported range");
+    assert!((1..=30).contains(&scale), "scale out of supported range");
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut r = rng(seed);

@@ -31,9 +31,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, IoError> {
             .parse()
             .map_err(|e| parse_err(lineno, format!("bad target vertex: {e}")))?;
         let w: f64 = match it.next() {
-            Some(tok) => tok
-                .parse()
-                .map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
+            Some(tok) => tok.parse().map_err(|e| parse_err(lineno, format!("bad weight: {e}")))?,
             None => 1.0,
         };
         if it.next().is_some() {

@@ -16,10 +16,8 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
     let mut lines = reader.lines().enumerate();
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))
-        .and_then(|(i, l)| Ok((i, l?)))?;
+    let (_, header) =
+        lines.next().ok_or_else(|| parse_err(1, "empty file")).and_then(|(i, l)| Ok((i, l?)))?;
     let head: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
     if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
         return Err(parse_err(1, "not a MatrixMarket matrix header"));
@@ -184,7 +182,9 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1.0\n".as_bytes()
         )

@@ -121,10 +121,7 @@ mod tests {
     /// Two triangles joined by a single bridge edge: the classic two-community
     /// graph.
     fn two_triangles() -> Csr {
-        csr_from_unit_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        csr_from_unit_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -169,16 +166,10 @@ mod tests {
         let p = Partition::from_vec(vec![0, 0, 0, 1, 1, 1]);
         for i in 0..6u32 {
             for dst in [0u32, 1] {
-                let gain = if dst == p.community_of(i) {
-                    0.0
-                } else {
-                    modularity_gain(&g, &p, i, dst)
-                };
-                let exact = if dst == p.community_of(i) {
-                    0.0
-                } else {
-                    exact_move_delta(&g, &p, i, dst)
-                };
+                let gain =
+                    if dst == p.community_of(i) { 0.0 } else { modularity_gain(&g, &p, i, dst) };
+                let exact =
+                    if dst == p.community_of(i) { 0.0 } else { exact_move_delta(&g, &p, i, dst) };
                 assert!(
                     (gain - exact).abs() < 1e-12,
                     "vertex {i} -> {dst}: gain {gain} vs exact {exact}"
@@ -189,10 +180,8 @@ mod tests {
 
     #[test]
     fn gain_with_self_loops_matches_exact_delta() {
-        let g = csr_from_edges(
-            4,
-            &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (0, 0, 5.0), (2, 2, 1.5)],
-        );
+        let g =
+            csr_from_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (0, 0, 5.0), (2, 2, 1.5)]);
         let p = Partition::from_vec(vec![0, 0, 1, 1]);
         for i in 0..4u32 {
             for dst in [0u32, 1] {

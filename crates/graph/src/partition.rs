@@ -115,11 +115,7 @@ impl Partition {
     /// Used to flatten a Louvain dendrogram into a partition of the input
     /// graph.
     pub fn compose(&self, coarse: &Partition) -> Partition {
-        let comm = self
-            .comm
-            .iter()
-            .map(|&c| coarse.community_of(c))
-            .collect();
+        let comm = self.comm.iter().map(|&c| coarse.community_of(c)).collect();
         Partition::from_vec(comm)
     }
 }

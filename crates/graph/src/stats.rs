@@ -32,10 +32,7 @@ pub struct DegreeStats {
 /// Index of the paper bucket a degree falls into (degree >= 1).
 pub fn bucket_of_degree(degree: usize) -> usize {
     assert!(degree >= 1, "bucket undefined for isolated vertices");
-    PAPER_DEGREE_BUCKETS
-        .iter()
-        .position(|&hi| degree <= hi)
-        .unwrap_or(PAPER_DEGREE_BUCKETS.len())
+    PAPER_DEGREE_BUCKETS.iter().position(|&hi| degree <= hi).unwrap_or(PAPER_DEGREE_BUCKETS.len())
 }
 
 /// Computes [`DegreeStats`] for a graph.
@@ -78,7 +75,7 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{star, cycle};
+    use crate::gen::{cycle, star};
 
     #[test]
     fn bucket_boundaries() {

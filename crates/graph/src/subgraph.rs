@@ -24,10 +24,7 @@ pub struct InducedSubgraph {
 pub fn induced_subgraph(g: &Csr, members: &[VertexId]) -> InducedSubgraph {
     let mut local_of = vec![VertexId::MAX; g.num_vertices()];
     for (local, &v) in members.iter().enumerate() {
-        assert!(
-            local_of[v as usize] == VertexId::MAX,
-            "duplicate member vertex {v}"
-        );
+        assert!(local_of[v as usize] == VertexId::MAX, "duplicate member vertex {v}");
         local_of[v as usize] = local as VertexId;
     }
 
@@ -61,7 +58,11 @@ pub fn induced_subgraph(g: &Csr, members: &[VertexId]) -> InducedSubgraph {
         weights[lo..hi].copy_from_slice(&sw);
     }
 
-    InducedSubgraph { graph: Csr::from_parts(offsets, targets, weights), members: members.to_vec(), cut_weight }
+    InducedSubgraph {
+        graph: Csr::from_parts(offsets, targets, weights),
+        members: members.to_vec(),
+        cut_weight,
+    }
 }
 
 /// Splits `0..n` into `parts` contiguous ranges of near-equal size (the

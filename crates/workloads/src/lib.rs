@@ -308,29 +308,144 @@ fn w_com_youtube(s: Scale) -> BuiltWorkload {
 
 /// The full suite, in roughly Table 1's decreasing-average-degree order.
 pub const SUITE: &[WorkloadSpec] = &[
-    WorkloadSpec { name: "actor-collab", paper_analogue: "out.actor-collaboration", family: Family::Collaboration, build: w_actor },
-    WorkloadSpec { name: "hollywood", paper_analogue: "hollywood-2009", family: Family::Collaboration, build: w_hollywood },
-    WorkloadSpec { name: "audikw", paper_analogue: "audikw_1, dielFilterV3real, F1", family: Family::Mesh, build: w_audikw },
-    WorkloadSpec { name: "orkut", paper_analogue: "com-orkut", family: Family::Social, build: w_orkut },
-    WorkloadSpec { name: "flan", paper_analogue: "Flan_1565, Long_Coup_dt6, Cube_Coup_dt0", family: Family::Mesh, build: w_flan },
-    WorkloadSpec { name: "bone", paper_analogue: "bone010, boneS10, Emilia_923", family: Family::Mesh, build: w_bone },
-    WorkloadSpec { name: "copapers", paper_analogue: "coPapersDBLP", family: Family::Collaboration, build: w_copapers },
-    WorkloadSpec { name: "pokec", paper_analogue: "soc-pokec-relationships", family: Family::Social, build: w_pokec },
-    WorkloadSpec { name: "uk2002", paper_analogue: "uk-2002", family: Family::Web, build: w_uk2002 },
-    WorkloadSpec { name: "livejournal", paper_analogue: "soc-LiveJournal1, com-lj", family: Family::Social, build: w_livejournal },
-    WorkloadSpec { name: "nlpkkt", paper_analogue: "nlpkkt120/160/200", family: Family::Kkt, build: w_nlpkkt },
-    WorkloadSpec { name: "cnr2000", paper_analogue: "cnr-2000", family: Family::Web, build: w_cnr2000 },
-    WorkloadSpec { name: "flickr", paper_analogue: "out.flickr-links, out.flixster", family: Family::Social, build: w_flickr },
-    WorkloadSpec { name: "channel", paper_analogue: "channel-500x100x100-b050", family: Family::Kkt, build: w_channel },
-    WorkloadSpec { name: "rgg-dense", paper_analogue: "rgg_n_2_24_s0", family: Family::Geometric, build: w_rgg_dense },
-    WorkloadSpec { name: "rgg-sparse", paper_analogue: "rgg_n_2_22_s0", family: Family::Geometric, build: w_rgg_sparse },
-    WorkloadSpec { name: "com-youtube", paper_analogue: "com-youtube", family: Family::Clustered, build: w_com_youtube },
-    WorkloadSpec { name: "com-dblp", paper_analogue: "com-dblp", family: Family::Clustered, build: w_com_dblp },
-    WorkloadSpec { name: "com-amazon", paper_analogue: "com-amazon", family: Family::Clustered, build: w_com_amazon },
-    WorkloadSpec { name: "delaunay", paper_analogue: "delaunay_n24", family: Family::Road, build: w_delaunay },
-    WorkloadSpec { name: "hugetrace", paper_analogue: "hugetrace-00020, hugebubbles-*", family: Family::Road, build: w_hugetrace },
-    WorkloadSpec { name: "road-usa", paper_analogue: "road_usa, germany_osm", family: Family::Road, build: w_road_usa },
-    WorkloadSpec { name: "europe-osm", paper_analogue: "europe_osm, asia_osm, italy_osm", family: Family::Road, build: w_europe_osm },
+    WorkloadSpec {
+        name: "actor-collab",
+        paper_analogue: "out.actor-collaboration",
+        family: Family::Collaboration,
+        build: w_actor,
+    },
+    WorkloadSpec {
+        name: "hollywood",
+        paper_analogue: "hollywood-2009",
+        family: Family::Collaboration,
+        build: w_hollywood,
+    },
+    WorkloadSpec {
+        name: "audikw",
+        paper_analogue: "audikw_1, dielFilterV3real, F1",
+        family: Family::Mesh,
+        build: w_audikw,
+    },
+    WorkloadSpec {
+        name: "orkut",
+        paper_analogue: "com-orkut",
+        family: Family::Social,
+        build: w_orkut,
+    },
+    WorkloadSpec {
+        name: "flan",
+        paper_analogue: "Flan_1565, Long_Coup_dt6, Cube_Coup_dt0",
+        family: Family::Mesh,
+        build: w_flan,
+    },
+    WorkloadSpec {
+        name: "bone",
+        paper_analogue: "bone010, boneS10, Emilia_923",
+        family: Family::Mesh,
+        build: w_bone,
+    },
+    WorkloadSpec {
+        name: "copapers",
+        paper_analogue: "coPapersDBLP",
+        family: Family::Collaboration,
+        build: w_copapers,
+    },
+    WorkloadSpec {
+        name: "pokec",
+        paper_analogue: "soc-pokec-relationships",
+        family: Family::Social,
+        build: w_pokec,
+    },
+    WorkloadSpec {
+        name: "uk2002",
+        paper_analogue: "uk-2002",
+        family: Family::Web,
+        build: w_uk2002,
+    },
+    WorkloadSpec {
+        name: "livejournal",
+        paper_analogue: "soc-LiveJournal1, com-lj",
+        family: Family::Social,
+        build: w_livejournal,
+    },
+    WorkloadSpec {
+        name: "nlpkkt",
+        paper_analogue: "nlpkkt120/160/200",
+        family: Family::Kkt,
+        build: w_nlpkkt,
+    },
+    WorkloadSpec {
+        name: "cnr2000",
+        paper_analogue: "cnr-2000",
+        family: Family::Web,
+        build: w_cnr2000,
+    },
+    WorkloadSpec {
+        name: "flickr",
+        paper_analogue: "out.flickr-links, out.flixster",
+        family: Family::Social,
+        build: w_flickr,
+    },
+    WorkloadSpec {
+        name: "channel",
+        paper_analogue: "channel-500x100x100-b050",
+        family: Family::Kkt,
+        build: w_channel,
+    },
+    WorkloadSpec {
+        name: "rgg-dense",
+        paper_analogue: "rgg_n_2_24_s0",
+        family: Family::Geometric,
+        build: w_rgg_dense,
+    },
+    WorkloadSpec {
+        name: "rgg-sparse",
+        paper_analogue: "rgg_n_2_22_s0",
+        family: Family::Geometric,
+        build: w_rgg_sparse,
+    },
+    WorkloadSpec {
+        name: "com-youtube",
+        paper_analogue: "com-youtube",
+        family: Family::Clustered,
+        build: w_com_youtube,
+    },
+    WorkloadSpec {
+        name: "com-dblp",
+        paper_analogue: "com-dblp",
+        family: Family::Clustered,
+        build: w_com_dblp,
+    },
+    WorkloadSpec {
+        name: "com-amazon",
+        paper_analogue: "com-amazon",
+        family: Family::Clustered,
+        build: w_com_amazon,
+    },
+    WorkloadSpec {
+        name: "delaunay",
+        paper_analogue: "delaunay_n24",
+        family: Family::Road,
+        build: w_delaunay,
+    },
+    WorkloadSpec {
+        name: "hugetrace",
+        paper_analogue: "hugetrace-00020, hugebubbles-*",
+        family: Family::Road,
+        build: w_hugetrace,
+    },
+    WorkloadSpec {
+        name: "road-usa",
+        paper_analogue: "road_usa, germany_osm",
+        family: Family::Road,
+        build: w_road_usa,
+    },
+    WorkloadSpec {
+        name: "europe-osm",
+        paper_analogue: "europe_osm, asia_osm, italy_osm",
+        family: Family::Road,
+        build: w_europe_osm,
+    },
 ];
 
 /// Looks a workload up by name.
@@ -363,11 +478,7 @@ mod tests {
             let m = built.graph.num_edges();
             assert!(n >= 500, "{}: too few vertices ({n})", spec.name);
             assert!(m >= n / 2, "{}: too few edges ({m})", spec.name);
-            assert!(
-                n <= 40_000,
-                "{}: tiny scale too large for unit tests ({n})",
-                spec.name
-            );
+            assert!(n <= 40_000, "{}: tiny scale too large for unit tests ({n})", spec.name);
         }
     }
 

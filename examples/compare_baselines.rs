@@ -38,26 +38,56 @@ fn main() {
 
     let t = Instant::now();
     let seq = louvain_sequential(g, &SequentialConfig::original());
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "sequential (Blondel)", t.elapsed(), seq.modularity, seq.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "sequential (Blondel)",
+        t.elapsed(),
+        seq.modularity,
+        seq.stages.len()
+    );
 
     let t = Instant::now();
     let adapt = louvain_sequential(g, &SequentialConfig::adaptive());
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "sequential adaptive", t.elapsed(), adapt.modularity, adapt.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "sequential adaptive",
+        t.elapsed(),
+        adapt.modularity,
+        adapt.stages.len()
+    );
 
     let t = Instant::now();
     let cpu = louvain_parallel_cpu(g, &ParallelCpuConfig::default());
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "CPU parallel (Lu etal)", t.elapsed(), cpu.modularity, cpu.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "CPU parallel (Lu etal)",
+        t.elapsed(),
+        cpu.modularity,
+        cpu.stages.len()
+    );
 
     let t = Instant::now();
     let plm = louvain_plm(g, &PlmConfig::default());
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "PLM (Staudt-Meyerh.)", t.elapsed(), plm.modularity, plm.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "PLM (Staudt-Meyerh.)",
+        t.elapsed(),
+        plm.modularity,
+        plm.stages.len()
+    );
 
     let t = Instant::now();
     let colored = community_gpu::baselines::louvain_colored(
         g,
         &community_gpu::baselines::ColoredConfig::default(),
     );
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "colored (Lu etal)", t.elapsed(), colored.modularity, colored.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "colored (Lu etal)",
+        t.elapsed(),
+        colored.modularity,
+        colored.stages.len()
+    );
 
     let device = Device::k40m();
     let t = Instant::now();
@@ -65,7 +95,13 @@ fn main() {
     let host = t.elapsed();
     let metrics = device.metrics();
     let model = device.config().cycles_to_seconds(metrics.total_model_cycles(device.config()));
-    println!("{:<22} {:>10.2?} {:>10.4} {:>8}", "GPU (this paper)", host, gpu.modularity, gpu.stages.len());
+    println!(
+        "{:<22} {:>10.2?} {:>10.4} {:>8}",
+        "GPU (this paper)",
+        host,
+        gpu.modularity,
+        gpu.stages.len()
+    );
     println!(
         "\nGPU cost-model time on a K40m: {model:.4}s  ->  {:.1}x vs sequential",
         seq.total_time.as_secs_f64() / model

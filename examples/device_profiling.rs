@@ -29,9 +29,7 @@ fn main() {
         let device = Device::new(cfg);
         let result = louvain_gpu(&device, &graph, &GpuLouvainConfig::paper_default()).unwrap();
         let metrics = device.metrics();
-        let model = device
-            .config()
-            .cycles_to_seconds(metrics.total_model_cycles(device.config()));
+        let model = device.config().cycles_to_seconds(metrics.total_model_cycles(device.config()));
 
         println!("\n=== {label} ===");
         println!("modularity {:.4}, model time {model:.4}s", result.modularity);

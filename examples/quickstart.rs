@@ -12,11 +12,7 @@ fn main() {
     // sparse between — so we know what the right answer looks like.
     let planted = community_gpu::graph::gen::planted_partition(8, 64, 0.3, 0.005, 42);
     let graph = planted.graph;
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
 
     // Run the GPU Louvain algorithm on a simulated K40m (the paper's device).
     let device = Device::k40m();

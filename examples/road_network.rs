@@ -26,10 +26,7 @@ fn main() {
     for depth in 1..=result.dendrogram.num_levels() {
         let partition = result.dendrogram.flatten_to(depth);
         let q = modularity(&graph, &partition);
-        println!(
-            "  level {depth}: {:>6} regions, Q = {q:.4}",
-            partition.num_communities()
-        );
+        println!("  level {depth}: {:>6} regions, Q = {q:.4}", partition.num_communities());
     }
     println!("final modularity: {:.4}", result.modularity);
 

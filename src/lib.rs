@@ -52,9 +52,10 @@ pub mod prelude {
     };
     pub use cd_baselines::{ColoredConfig, ParallelCpuConfig, PlmConfig, SequentialConfig};
     pub use cd_core::{
-        louvain_gpu, louvain_multi_gpu, GpuLouvainConfig, GpuLouvainResult, MultiGpuConfig,
+        louvain_gpu, louvain_multi_gpu, GpuLouvainConfig, GpuLouvainError, GpuLouvainResult,
+        MultiGpuConfig, MultiGpuResult, RecoveryAction, RetryPolicy,
     };
-    pub use cd_gpusim::{Device, DeviceConfig};
+    pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError};
     pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
     pub use cd_workloads::{by_name as workload_by_name, Scale, SUITE as WORKLOAD_SUITE};
 }

@@ -44,7 +44,8 @@ fn hash_placement_never_changes_results() {
     // Placement is a performance knob: bit-identical outcomes.
     for name in ["com-amazon", "road-usa", "uk2002"] {
         let built = workload_by_name(name).unwrap().build(Scale::Tiny);
-        let auto = louvain_gpu(&Device::k40m(), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+        let auto =
+            louvain_gpu(&Device::k40m(), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.hash_placement = HashPlacement::ForceGlobal;
         let forced = louvain_gpu(&Device::k40m(), &built.graph, &cfg).unwrap();

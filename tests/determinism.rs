@@ -56,6 +56,7 @@ fn device_config_does_not_change_results() {
     cfg.num_sms = 4;
     cfg.clock_mhz = 2000.0;
     cfg.cycles_per_atomic = 99.0;
-    let b = louvain_gpu(&Device::new(cfg), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
+    let b =
+        louvain_gpu(&Device::new(cfg), &built.graph, &GpuLouvainConfig::paper_default()).unwrap();
     assert_eq!(a.partition.as_slice(), b.partition.as_slice());
 }

@@ -1,0 +1,232 @@
+//! Fault-injection integration tests: the acceptance criteria of the
+//! fault-tolerance work.
+//!
+//! With a seeded [`FaultPlan`] on the device, runs must (1) replay the
+//! identical fault schedule and produce the identical result for the same
+//! seed, (2) complete despite injected kernel aborts, watchdog timeouts, and
+//! bit flips, with modularity close to the fault-free run, and (3) leave
+//! fault-free behavior bitwise unchanged. Degenerate inputs must flow through
+//! both public entry points without panicking.
+
+use community_gpu::gpusim::FaultPlan;
+use community_gpu::prelude::*;
+
+fn plan(seed: u64) -> FaultPlan {
+    // Per-launch rates: a stage makes on the order of a hundred launches, so
+    // even sub-percent rates fail most stage attempts at least once per run.
+    FaultPlan::seeded(seed).with_abort_rate(0.01).with_stuck_rate(0.005).with_bitflip_rate(0.001)
+}
+
+/// Paper-default algorithm config with a roomier retry budget — the injected
+/// rates above make a single stage attempt fail more often than not.
+fn cfg() -> GpuLouvainConfig {
+    let mut cfg = GpuLouvainConfig::paper_default();
+    cfg.retry.max_attempts = 10;
+    cfg
+}
+
+fn faulty_device(seed: u64) -> Device {
+    Device::new(DeviceConfig::tesla_k40m().with_fault_plan(plan(seed)))
+}
+
+fn test_graph() -> Csr {
+    community_gpu::graph::gen::planted_partition(6, 30, 0.4, 0.02, 5).graph
+}
+
+#[test]
+fn same_seed_same_fault_schedule_same_result() {
+    let g = test_graph();
+    let cfg = cfg();
+    let (da, db) = (faulty_device(42), faulty_device(42));
+    let a = louvain_gpu(&da, &g, &cfg).expect("run a");
+    let b = louvain_gpu(&db, &g, &cfg).expect("run b");
+    assert_eq!(a.partition.as_slice(), b.partition.as_slice(), "partitions diverge");
+    assert_eq!(a.modularity, b.modularity);
+    let (fa, fb) = (da.fault_stats(), db.fault_stats());
+    assert_eq!(fa, fb, "fault schedules diverge: {fa:?} vs {fb:?}");
+    assert!(fa.injected() > 0, "the plan should actually inject faults");
+}
+
+#[test]
+fn different_seeds_draw_different_schedules() {
+    let g = test_graph();
+    let cfg = cfg();
+    let (da, db) = (faulty_device(1), faulty_device(2));
+    louvain_gpu(&da, &g, &cfg).expect("seed 1");
+    louvain_gpu(&db, &g, &cfg).expect("seed 2");
+    assert_ne!(da.fault_stats(), db.fault_stats());
+}
+
+#[test]
+fn completes_under_faults_with_modularity_within_5_percent() {
+    let g = test_graph();
+    let cfg = cfg();
+    let clean = louvain_gpu(&Device::k40m(), &g, &cfg).expect("fault-free run");
+    // Not every seed draws a fault on a run this short; scan a range and
+    // require that a healthy number of schedules actually injected.
+    let mut injected_runs = 0;
+    for seed in 1u64..=12 {
+        let dev = faulty_device(seed);
+        let res = louvain_gpu(&dev, &g, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed} failed to recover: {e}"));
+        if dev.fault_stats().injected() > 0 {
+            injected_runs += 1;
+        }
+        assert!(
+            res.modularity >= 0.95 * clean.modularity,
+            "seed {seed}: faulty Q {:.4} below 95% of clean Q {:.4}",
+            res.modularity,
+            clean.modularity
+        );
+    }
+    assert!(injected_runs >= 3, "only {injected_runs}/12 seeds injected faults");
+}
+
+#[test]
+fn recoveries_are_counted() {
+    // Launch faults only (no bit flips): every transient failure must be
+    // detected, and the run only succeeds if each one was later recovered.
+    let g = test_graph();
+    let cfg = cfg();
+    let p = FaultPlan::seeded(7).with_abort_rate(0.01).with_stuck_rate(0.005);
+    let dev = Device::new(DeviceConfig::tesla_k40m().with_fault_plan(p));
+    louvain_gpu(&dev, &g, &cfg).expect("should recover");
+    let stats = dev.fault_stats();
+    assert!(stats.injected() > 0);
+    assert!(stats.detected > 0, "injected faults should be detected: {stats:?}");
+    assert!(stats.recovered > 0, "a successful run must have recovered: {stats:?}");
+}
+
+#[test]
+fn fault_off_device_reports_zero_faults() {
+    let g = test_graph();
+    let dev = Device::k40m();
+    let res = louvain_gpu(&dev, &g, &GpuLouvainConfig::paper_default()).unwrap();
+    let stats = dev.fault_stats();
+    assert_eq!(stats.injected(), 0);
+    assert_eq!(stats.detected, 0);
+    assert_eq!(stats.recovered, 0);
+    assert!(res.modularity > 0.0);
+}
+
+#[test]
+fn multi_gpu_completes_under_faults_and_reports_recovery() {
+    let g = community_gpu::graph::gen::planted_partition(8, 32, 0.4, 0.01, 9).graph;
+    let clean = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(4)).expect("clean run");
+    let mut cfg = MultiGpuConfig::k40m(4);
+    cfg.gpu.retry.max_attempts = 10;
+    cfg.device = cfg.device.with_fault_plan(plan(11));
+    let res = louvain_multi_gpu(&g, &cfg).expect("faulty run should complete");
+    assert!(res.faults.injected() > 0, "devices should inject faults");
+    assert!(
+        res.modularity >= 0.95 * clean.modularity,
+        "faulty multi-GPU Q {:.4} below 95% of clean Q {:.4}",
+        res.modularity,
+        clean.modularity
+    );
+    assert!(clean.recovery.is_empty());
+}
+
+#[test]
+fn multi_gpu_fault_schedule_is_reproducible() {
+    let g = test_graph();
+    let mut cfg = MultiGpuConfig::k40m(3);
+    cfg.gpu.retry.max_attempts = 10;
+    cfg.device = cfg.device.with_fault_plan(plan(23));
+    let a = louvain_multi_gpu(&g, &cfg).expect("run a");
+    let b = louvain_multi_gpu(&g, &cfg).expect("run b");
+    assert_eq!(a.partition.as_slice(), b.partition.as_slice());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.recovery, b.recovery);
+}
+
+#[test]
+fn multi_gpu_survives_a_hopeless_device_via_fallback() {
+    // Abort every launch: no device can ever finish, so every block and the
+    // refinement must degrade to the sequential baseline — and still return
+    // a sound clustering.
+    let g = test_graph();
+    let mut cfg = MultiGpuConfig::k40m(2);
+    cfg.device = cfg.device.with_fault_plan(FaultPlan::seeded(5).with_abort_rate(1.0));
+    let res = louvain_multi_gpu(&g, &cfg).expect("sequential fallback should save the run");
+    assert!(res.modularity > 0.0);
+    assert!(
+        res.recovery.iter().any(|a| matches!(a, RecoveryAction::SequentialFallback { .. })),
+        "expected sequential fallbacks, got {:?}",
+        res.recovery
+    );
+    // With fallback disabled the same run must fail loudly, not hang or
+    // panic.
+    cfg.sequential_fallback = false;
+    let err = louvain_multi_gpu(&g, &cfg).expect_err("no fallback, no result");
+    assert!(matches!(err, GpuLouvainError::StageFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn exhausted_retries_surface_as_stage_failed() {
+    let g = test_graph();
+    let dev = Device::new(
+        DeviceConfig::tesla_k40m().with_fault_plan(FaultPlan::seeded(1).with_abort_rate(1.0)),
+    );
+    let err =
+        louvain_gpu(&dev, &g, &GpuLouvainConfig::paper_default()).expect_err("every launch aborts");
+    match err {
+        GpuLouvainError::StageFailed { stage, attempts, cause } => {
+            assert_eq!(stage, 0);
+            assert_eq!(attempts, GpuLouvainConfig::paper_default().retry.max_attempts);
+            assert!(matches!(*cause, GpuLouvainError::Launch(_)), "cause {cause:?}");
+        }
+        other => panic!("expected StageFailed, got {other:?}"),
+    }
+    let stats = dev.fault_stats();
+    assert!(stats.detected >= stats.recovered);
+}
+
+// ---- degenerate inputs through both public entry points -------------------
+
+fn degenerate_graphs() -> Vec<(&'static str, Csr)> {
+    let mut isolated = GraphBuilder::new(5);
+    isolated.add_unit_edge(0, 1); // vertices 2..5 isolated
+    let mut self_loops = GraphBuilder::new(3);
+    self_loops.add_edge(0, 0, 2.0);
+    self_loops.add_edge(1, 1, 1.0);
+    self_loops.add_edge(2, 2, 3.5);
+    // GraphBuilder rejects non-positive weights, so a zero-weight graph is
+    // assembled from raw parts (total weight 2m = 0 exercises the division
+    // guards).
+    let zero_weight =
+        Csr::from_parts(vec![0, 1, 2, 3, 4], vec![1, 0, 3, 2], vec![0.0, 0.0, 0.0, 0.0]);
+    vec![
+        ("empty", Csr::empty(0)),
+        ("single vertex", Csr::empty(1)),
+        ("edgeless", Csr::empty(6)),
+        ("isolated vertices", isolated.build()),
+        ("self-loops only", self_loops.build()),
+        ("zero-weight edges", zero_weight),
+    ]
+}
+
+#[test]
+fn degenerate_inputs_never_panic_single_gpu() {
+    for (name, g) in degenerate_graphs() {
+        for seed in [0u64, 9] {
+            let dev = if seed == 0 { Device::k40m() } else { faulty_device(seed) };
+            let res = louvain_gpu(&dev, &g, &cfg())
+                .unwrap_or_else(|e| panic!("{name} (seed {seed}): {e}"));
+            assert_eq!(res.partition.len(), g.num_vertices(), "{name}");
+            assert!(res.modularity.is_finite(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_never_panic_multi_gpu() {
+    for (name, g) in degenerate_graphs() {
+        for devices in [1usize, 3] {
+            let res = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(devices))
+                .unwrap_or_else(|e| panic!("{name} ({devices} devices): {e}"));
+            assert_eq!(res.partition.len(), g.num_vertices(), "{name}");
+            assert!(res.modularity.is_finite(), "{name}");
+        }
+    }
+}

@@ -18,10 +18,7 @@ fn hierarchy_levels_refine_monotonically() {
         let k = p.num_communities();
         let q = modularity(g, &p);
         assert!(k <= last_k, "level {depth}: communities must coarsen ({k} > {last_k})");
-        assert!(
-            q >= last_q - 1e-9,
-            "level {depth}: modularity decreased ({q:.4} < {last_q:.4})"
-        );
+        assert!(q >= last_q - 1e-9, "level {depth}: modularity decreased ({q:.4} < {last_q:.4})");
         last_k = k;
         last_q = q;
     }

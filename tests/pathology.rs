@@ -26,7 +26,8 @@ fn perfect_lattice_is_contained_and_perturbation_restores_quality() {
 
     // A few percent of irregularity restores normal behaviour.
     let perturbed = perturbed_grid_2d(40, 40, GridStencil::VonNeumann, 0.93, 5);
-    let res_p = louvain_gpu(&Device::k40m(), &perturbed, &GpuLouvainConfig::paper_default()).unwrap();
+    let res_p =
+        louvain_gpu(&Device::k40m(), &perturbed, &GpuLouvainConfig::paper_default()).unwrap();
     let seq_p = louvain_sequential(&perturbed, &SequentialConfig::original());
     assert!(
         res_p.modularity > 0.9 * seq_p.modularity,
@@ -81,14 +82,7 @@ fn degenerate_inputs() {
 fn extreme_weight_ratios() {
     let g = community_gpu::graph::csr_from_edges(
         6,
-        &[
-            (0, 1, 1e-6),
-            (1, 2, 1e6),
-            (2, 3, 1.0),
-            (3, 4, 1e-6),
-            (4, 5, 1e6),
-            (5, 0, 1.0),
-        ],
+        &[(0, 1, 1e-6), (1, 2, 1e6), (2, 3, 1.0), (3, 4, 1e-6), (4, 5, 1e6), (5, 0, 1.0)],
     );
     let res = louvain_gpu(&Device::k40m(), &g, &GpuLouvainConfig::paper_default()).unwrap();
     // The two heavy edges dominate: their endpoints must pair up.

@@ -11,17 +11,13 @@ use proptest::prelude::*;
 /// (possibly duplicate, possibly self-loop) weighted edges.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u32..100),
-            1..max_m,
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 1..max_m).prop_map(
+            move |edges| {
+                let weighted: Vec<(u32, u32, f64)> =
+                    edges.into_iter().map(|(u, v, w)| (u, v, w as f64 / 8.0)).collect();
+                csr_from_edges(n, &weighted)
+            },
         )
-        .prop_map(move |edges| {
-            let weighted: Vec<(u32, u32, f64)> = edges
-                .into_iter()
-                .map(|(u, v, w)| (u, v, w as f64 / 8.0))
-                .collect();
-            csr_from_edges(n, &weighted)
-        })
     })
 }
 
@@ -96,7 +92,7 @@ proptest! {
         // |V|-sized, as in Alg. 3); renumbering provides that.
         let (p, _) = p.renumbered();
         let comm: Vec<u32> = p.as_slice().to_vec();
-        let out = aggregate_graph(&dev, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default());
+        let out = aggregate_graph(&dev, &DeviceGraph::from_csr(&g), &comm, &GpuLouvainConfig::paper_default()).unwrap();
         let cg = out.graph.to_csr();
         let q_before = modularity(&g, &p);
         let q_after = modularity(&cg, &Partition::singleton(cg.num_vertices()));
@@ -146,9 +142,6 @@ proptest! {
     }
 }
 
-fn louvain(
-    dev: &Device,
-    g: &Csr,
-) -> community_gpu::core::GpuLouvainResult {
+fn louvain(dev: &Device, g: &Csr) -> community_gpu::core::GpuLouvainResult {
     community_gpu::core::louvain_gpu(dev, g, &GpuLouvainConfig::paper_default()).unwrap()
 }

@@ -6,9 +6,7 @@ use community_gpu::prelude::*;
 
 fn gpu_q(graph: &Csr) -> f64 {
     let device = Device::k40m();
-    louvain_gpu(&device, graph, &GpuLouvainConfig::paper_default())
-        .unwrap()
-        .modularity
+    louvain_gpu(&device, graph, &GpuLouvainConfig::paper_default()).unwrap().modularity
 }
 
 #[test]
@@ -47,10 +45,7 @@ fn all_algorithms_agree_on_strong_structure() {
     let gpu = gpu_q(g);
 
     for (name, q) in [("seq", seq), ("cpu-par", cpu), ("plm", plm), ("gpu", gpu)] {
-        assert!(
-            q > 0.92 * truth_q,
-            "{name}: Q {q:.4} too far below planted Q {truth_q:.4}"
-        );
+        assert!(q > 0.92 * truth_q, "{name}: Q {q:.4} too far below planted Q {truth_q:.4}");
     }
 }
 

@@ -1,0 +1,93 @@
+//! Offline stand-in for [parking_lot](https://crates.io/crates/parking_lot):
+//! the build environment has no crates.io access, so this crate wraps
+//! `std::sync` primitives behind parking_lot's poison-free API (the subset
+//! the workspace uses).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock with parking_lot's panic-tolerant `lock()`.
+#[derive(Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Self(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning (parking_lot has no
+    /// poisoning; a panicked holder leaves the data as-is).
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Mutably borrows the inner value (no locking needed with `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &*guard).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-tolerant accessors.
+#[derive(Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Self(StdRwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

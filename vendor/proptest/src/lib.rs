@@ -1,0 +1,398 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest): the
+//! build environment has no crates.io access, so this crate re-implements the
+//! subset the workspace uses — the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, `collection::vec`,
+//! `ProptestConfig`, and the `prop_assert*` macros.
+//!
+//! Failing cases are reported with their seed but are **not shrunk**; each
+//! case is reproducible because the per-case RNG seed is derived
+//! deterministically from the case index.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies when sampling a case.
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds from
+        /// it (dependent generation).
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S> VecStrategy<S> {
+        pub(crate) fn new(element: S, min: usize, max_exclusive: usize) -> Self {
+            VecStrategy {
+                element,
+                min,
+                max_exclusive,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min + 1 >= self.max_exclusive {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max_exclusive)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Sizes accepted by [`crate::collection::vec`]: an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Returns `(min, max_exclusive)`.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// A reference to a strategy samples like the strategy itself.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{IntoSizeRange, Strategy, VecStrategy};
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// is drawn from `size` (an exact `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        VecStrategy::new(element, min, max_exclusive)
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` matters to this stand-in.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+        /// Accepted for API compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Executes test closures over `config.cases` deterministic RNG streams.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case, panicking on the first
+        /// failure with the case index (the seed) for reproduction.
+        pub fn run<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), String>,
+        {
+            // Stable per-test stream: hash the test name into the seed so
+            // different tests explore different inputs.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            for i in 0..self.config.cases {
+                let seed = h ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rng = TestRng::seed_from_u64(seed);
+                if let Err(msg) = case(&mut rng) {
+                    panic!("proptest `{name}` failed at case {i} (seed {seed:#x}): {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// The items most tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} != {:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are sampled from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(::core::stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg_pat =
+                            $crate::strategy::Strategy::sample(&($arg_strat), __proptest_rng);
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b, c) in (0usize..10, 5u32..6, 1i32..100)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5, "b was {}", b);
+            prop_assert!((1..100).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0usize..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn flat_map_dependent((n, v) in (2usize..8).prop_flat_map(|n|
+            (Just(n), crate::collection::vec(0usize..n, n)))) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}

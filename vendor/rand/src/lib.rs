@@ -1,0 +1,235 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand): the build
+//! environment has no crates.io access, so this crate provides the subset the
+//! workspace uses — `rngs::SmallRng` (xoshiro256++ seeded via splitmix64,
+//! matching rand 0.8's SmallRng on 64-bit targets), `SeedableRng::seed_from_u64`,
+//! and the `Rng` extension methods `gen`/`gen_range`.
+//!
+//! Streams are deterministic for a given seed but are NOT guaranteed to match
+//! upstream rand bit-for-bit; all workspace determinism tests compare runs of
+//! this implementation against itself.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform random words.
+pub trait RngCore {
+    /// Returns the next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a small integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1), as in rand's Standard for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Unbiased via rejection on the top multiple of `span`.
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return start.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring rand's `Rng`.
+pub trait Rng: RngCore {
+    /// Draws one uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ seeded with
+    /// splitmix64, as rand 0.8's `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let f = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(va, vb);
+    }
+}

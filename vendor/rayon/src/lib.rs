@@ -1,0 +1,421 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of rayon's data-parallel iterator API that the workspace
+//! actually uses, implemented on `std::thread::scope`. Parallel iterators are
+//! *eager*: each adapter materializes its output by splitting the input into
+//! contiguous chunks and processing the chunks on scoped threads, preserving
+//! input order. Chunk boundaries depend only on the input length and the
+//! thread count, so results are deterministic on a given machine — the
+//! property `cd-gpusim`'s Thrust collectives rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelExtend, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `items` into contiguous chunks of at least `min_len` elements and
+/// runs `f` over each chunk on its own scoped thread, returning the per-chunk
+/// outputs concatenated in input order.
+fn run_chunked<T, U, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> Vec<U> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count();
+    let chunk = n.div_ceil(workers).max(min_len).max(1);
+    if chunk >= n {
+        return f(items);
+    }
+    let mut pending: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while items.len() > chunk {
+        let rest = items.split_off(chunk);
+        pending.push(items);
+        items = rest;
+    }
+    pending.push(items);
+    let f = &f;
+    let outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .into_iter()
+            .map(|part| scope.spawn(move || f(part)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in outputs {
+        out.extend(part);
+    }
+    out
+}
+
+/// An eager parallel iterator: a materialized item list plus a chunking hint.
+pub struct Par<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> Par<T> {
+    fn new(items: Vec<T>) -> Self {
+        Self { items, min_len: 1 }
+    }
+
+    /// Lower bound on the chunk size handed to one worker thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Parallel map, preserving order.
+    pub fn map<U, F>(self, f: F) -> Par<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let min_len = self.min_len;
+        Par { items: run_chunked(self.items, min_len, |part| part.into_iter().map(&f).collect()), min_len }
+    }
+
+    /// Parallel map with a per-worker scratch value built by `init`.
+    pub fn map_init<S, U, I, F>(self, init: I, f: F) -> Par<U>
+    where
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        let min_len = self.min_len;
+        let items = run_chunked(self.items, min_len, |part| {
+            let mut scratch = init();
+            part.into_iter().map(|x| f(&mut scratch, x)).collect()
+        });
+        Par { items, min_len }
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter<F>(self, pred: F) -> Par<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let min_len = self.min_len;
+        Par { items: run_chunked(self.items, min_len, |part| part.into_iter().filter(|x| pred(x)).collect()), min_len }
+    }
+
+    /// Parallel filter-map, preserving order.
+    pub fn filter_map<U, F>(self, f: F) -> Par<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        let min_len = self.min_len;
+        Par { items: run_chunked(self.items, min_len, |part| part.into_iter().filter_map(&f).collect()), min_len }
+    }
+
+    /// Parallel flat-map over a sequential per-item iterator.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> Par<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let min_len = self.min_len;
+        Par { items: run_chunked(self.items, min_len, |part| part.into_iter().flat_map(&f).collect()), min_len }
+    }
+
+    /// Pairs this iterator with another of the same length.
+    pub fn zip<U: Send, Z: IntoParallelIterator<Item = U>>(self, other: Z) -> Par<(T, U)> {
+        let other = other.into_par_iter();
+        Par {
+            items: self.items.into_iter().zip(other.items).collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Folds fixed-size chunks of the input into one accumulator each —
+    /// rayon's `fold_chunks`: the output is a parallel iterator over the
+    /// per-chunk accumulators, with chunk boundaries fixed by `chunk_size`
+    /// (deterministic regardless of thread count).
+    pub fn fold_chunks<A, I, F>(self, chunk_size: usize, init: I, fold: F) -> Par<A>
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let mut groups: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while items.len() > chunk_size {
+            let rest = items.split_off(chunk_size);
+            groups.push(items);
+            items = rest;
+        }
+        if !items.is_empty() {
+            groups.push(items);
+        }
+        let items = run_chunked(groups, 1, |part| {
+            part.into_iter()
+                .map(|group| group.into_iter().fold(init(), &fold))
+                .collect()
+        });
+        Par { items, min_len: 1 }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, self.min_len, |part| {
+            part.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Parallel for-each with a per-worker scratch value.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) + Sync,
+    {
+        run_chunked(self.items, self.min_len, |part| {
+            let mut scratch = init();
+            part.into_iter().for_each(|x| f(&mut scratch, x));
+            Vec::<()>::new()
+        });
+    }
+
+    /// Parallel reduction with an identity constructor, like rayon's
+    /// `reduce`. `op` must be associative.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let partials = run_chunked(self.items, self.min_len, |part| {
+            vec![part.into_iter().fold(identity(), &op)]
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Parallel sum (per-chunk partial sums combined in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        run_chunked(self.items, self.min_len, |part| vec![part.into_iter().sum::<S>()])
+            .into_iter()
+            .sum()
+    }
+
+    /// Maximum element.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        run_chunked(self.items, self.min_len, |part| part.into_iter().max().into_iter().collect())
+            .into_iter()
+            .max()
+    }
+
+    /// Number of elements satisfying the upstream pipeline.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into a container (only `Vec` is supported).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<T>,
+    {
+        C::from_par(self)
+    }
+}
+
+impl<T: Copy + Send + Sync> Par<&T> {
+    /// Copies borrowed items, like `Iterator::copied`.
+    pub fn copied(self) -> Par<T> {
+        Par { items: self.items.into_iter().copied().collect(), min_len: self.min_len }
+    }
+}
+
+/// Conversion into a [`Par`] iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par::new(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Par<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> Par<&'a T> {
+        Par::new(self.iter().collect())
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> Par<$t> {
+                Par::new(self.collect())
+            }
+        }
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> Par<$t> {
+                Par::new(self.collect())
+            }
+        }
+    )*};
+}
+impl_range_par!(usize, u32, u64, i32, i64);
+
+/// Slice-side entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> Par<&T>;
+    /// Parallel iterator over contiguous sub-slices of length `size`.
+    fn par_chunks(&self, size: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par::new(self.iter().collect())
+    }
+    fn par_chunks(&self, size: usize) -> Par<&[T]> {
+        Par::new(self.chunks(size.max(1)).collect())
+    }
+}
+
+/// Mutable slice-side entry points (`par_chunks_mut`, `par_sort_by_key`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable sub-slices of length `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]>;
+    /// Stable parallel sort by key (sequential fallback: std stable sort).
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]> {
+        Par::new(self.chunks_mut(size.max(1)).collect())
+    }
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+}
+
+/// `Vec::par_extend` (`rayon::iter::ParallelExtend`).
+pub trait ParallelExtend<T: Send> {
+    /// Extends the container with the items of a parallel iterator.
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par: I);
+}
+
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par: I) {
+        self.extend(par.into_par_iter().items);
+    }
+}
+
+/// Collection from a parallel iterator (`rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the container from the iterator's items.
+    fn from_par(par: Par<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par(par: Par<T>) -> Self {
+        par.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = (0..1000usize).into_par_iter().filter(|&x| x % 3 == 0).count();
+        assert_eq!(n, 334);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        let hits = AtomicUsize::new(0);
+        (0..5000usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (1..=100usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn fold_chunks_boundaries_are_fixed() {
+        let acc: Vec<usize> =
+            (0..10usize).into_par_iter().fold_chunks(4, || 0, |a, x| a + x).collect();
+        assert_eq!(acc, vec![0 + 1 + 2 + 3, 4 + 5 + 6 + 7, 8 + 9]);
+    }
+
+    #[test]
+    fn chunks_mut_and_zip() {
+        let mut data = vec![0usize; 100];
+        let bases: Vec<usize> = (0..10).map(|i| i * 1000).collect();
+        data.par_chunks_mut(10).zip(bases.par_iter()).for_each(|(chunk, &base)| {
+            for v in chunk.iter_mut() {
+                *v = base;
+            }
+        });
+        assert_eq!(data[5], 0);
+        assert_eq!(data[95], 9000);
+    }
+
+    #[test]
+    fn slice_entry_points() {
+        let v = vec![3usize, 1, 4, 1, 5];
+        let s: usize = v.par_iter().sum();
+        assert_eq!(s, 14);
+        assert_eq!(v.par_iter().copied().max(), Some(5));
+        let mut out = vec![0usize];
+        out.par_extend(v.par_iter().copied().filter(|&x| x > 2));
+        assert_eq!(out, vec![0, 3, 4, 5]);
+    }
+}
