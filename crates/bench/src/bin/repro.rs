@@ -20,6 +20,7 @@
 //!   multigpu  coarse-grained multi-device extension (Section 6)
 //!   schedule  multi-level threshold schedules (Section 6)
 //!   faults    fault-injection sweep and multi-device failover
+//!   opt-bench perf snapshot of the optimization hot loop (BENCH_opt.json)
 //!   all       everything above
 //! ```
 
@@ -71,6 +72,7 @@ fn main() {
         "multigpu" => experiments::multigpu(scale, &out),
         "schedule" => experiments::schedule(scale, &out),
         "faults" => experiments::faults(scale, &out),
+        "opt-bench" => experiments::opt_snapshot(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -86,6 +88,7 @@ fn main() {
             experiments::multigpu(scale, &out);
             experiments::schedule(scale, &out);
             experiments::faults(scale, &out);
+            experiments::opt_snapshot(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -96,7 +99,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, all\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)"
     );
 }

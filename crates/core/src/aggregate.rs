@@ -19,6 +19,10 @@ use crate::louvain::GpuLouvainError;
 use crate::primes::{next_prime_at_least, table_size_for};
 use cd_gpusim::{Device, GlobalF64, GlobalU32, GlobalU64};
 
+/// Kernel names per community bucket, hoisted so no per-phase `format!`
+/// allocation happens on the merge path.
+const MERGE_KERNELS: [&str; 3] = ["merge_community_b1", "merge_community_b2", "merge_community_b3"];
+
 /// Output of the aggregation phase.
 #[derive(Clone, Debug)]
 pub struct AggregateOutcome {
@@ -59,8 +63,10 @@ pub fn aggregate(
     }
 
     // ---- (i) community sizes and degree sums (Alg. 3 lines 2-6) ----------
-    let com_size = GlobalU32::zeroed(n);
-    let com_degree = GlobalU64::zeroed(n);
+    // All scratch buffers of this phase come from the device buffer pool and
+    // are recycled across phases.
+    let com_size = dev.pool_u32(n);
+    let com_degree = dev.pool_u64(n);
     dev.try_launch_threads("aggregate_sizes", n, |ctx, i| {
         let c = comm[i] as usize;
         ctx.global_read_coalesced(2);
@@ -83,8 +89,9 @@ pub fn aggregate(
     // vertexStart: where each community's member list begins.
     let mut vertex_start: Vec<usize> = com_size.iter().map(|&s| s as usize).collect();
     dev.exclusive_scan_usize(&mut vertex_start);
-    let cursor = GlobalU64::from_slice(&vertex_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
-    let com = GlobalU32::zeroed(n);
+    let cursor = dev.pool_u64(n);
+    cursor.copy_from_slice(&vertex_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let com = dev.pool_u32(n);
     dev.try_launch_threads("aggregate_order_vertices", n, |ctx, i| {
         let c = comm[i] as usize;
         let slot = ctx.atomic_add_u64(&cursor, c, 1) as usize;
@@ -96,9 +103,9 @@ pub fn aggregate(
 
     // ---- (iv) merge communities, bucketed by expected work ----------------
     // Scratch edge store (upper-bound layout), then per-new-vertex counts.
-    let scratch_targets = GlobalU32::zeroed(scratch_len);
-    let scratch_weights = GlobalF64::zeroed(scratch_len);
-    let new_deg = GlobalU64::zeroed(new_n);
+    let scratch_targets = dev.pool_u32(scratch_len);
+    let scratch_weights = dev.pool_f64(scratch_len);
+    let new_deg = dev.pool_u64(new_n);
 
     let community_ids: Vec<u32> = (0..n as u32).filter(|&c| com_size[c as usize] > 0).collect();
 
@@ -140,8 +147,8 @@ pub fn aggregate(
     let total_arcs = dev.exclusive_scan_usize(&mut offsets[..new_n]);
     offsets[new_n] = total_arcs;
 
-    let final_targets = GlobalU32::zeroed(total_arcs);
-    let final_weights = GlobalF64::zeroed(total_arcs);
+    let final_targets = dev.pool_u32(total_arcs);
+    let final_weights = dev.pool_f64(total_arcs);
     {
         let offsets = &offsets;
         let new_deg = &new_deg;
@@ -170,7 +177,7 @@ pub fn aggregate(
     }
 
     // ---- per-vertex dendrogram level --------------------------------------
-    let vertex_map_dev = GlobalU32::zeroed(n);
+    let vertex_map_dev = dev.pool_u32(n);
     dev.try_launch_threads("aggregate_vertex_map", n, |ctx, i| {
         vertex_map_dev.store(i, new_id[comm[i] as usize] as u32);
         ctx.global_read_scattered(1);
@@ -294,9 +301,8 @@ fn merge_shared_bucket(
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
-    let name = format!("merge_community_b{}", bucket_idx + 1);
     dev.try_launch_tasks(
-        &name,
+        MERGE_KERNELS[bucket_idx],
         ids.len(),
         lanes,
         shared_bytes,
@@ -328,7 +334,7 @@ fn merge_global_bucket(
     let sorted_ref = &sorted;
     let slots_ref = &slots_sorted;
     dev.try_launch_blocks(
-        "merge_community_b3",
+        MERGE_KERNELS[2],
         n_blocks,
         |block| TableStorage::with_capacity(slots_ref[block]),
         |ctx, table| {

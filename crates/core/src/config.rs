@@ -125,6 +125,12 @@ pub struct GpuLouvainConfig {
     /// quality cost (a vertex can in principle be re-attracted purely by a
     /// remote volume change, which pruning does not see).
     pub pruning: bool,
+    /// How often (in iterations) the incrementally-tracked modularity is
+    /// checked against a full device recompute. The incremental value is exact
+    /// on integer-weighted graphs up to f64 rounding of the atomics, so the
+    /// resync both bounds float drift and doubles as a memory-corruption
+    /// tripwire under fault injection. The end of every phase always resyncs.
+    pub resync_interval: usize,
     /// Retry policy for transient stage failures (fault-injecting devices).
     pub retry: RetryPolicy,
 }
@@ -145,6 +151,7 @@ impl GpuLouvainConfig {
             max_stages: 500,
             global_bucket_blocks: 120,
             pruning: false,
+            resync_interval: 16,
             retry: RetryPolicy::default_policy(),
         }
     }

@@ -121,21 +121,27 @@ impl<'t> HashTable<'t> {
         w: f64,
     ) -> Result<(usize, f64), TableOverflow> {
         debug_assert_ne!(key, EMPTY);
+        // Walk the probe sequence (h1 + it*h2) mod size incrementally: the
+        // stride is already reduced mod size, so each step is an add plus a
+        // conditional subtract — no division inside the loop. The visited
+        // slots are exactly those of [`HashTable::probe`].
+        let mut pos = self.h1(key);
+        let stride = self.h2(key);
         let mut it = 0usize;
         loop {
             if it >= self.size {
                 return Err(TableOverflow { size: self.size });
             }
-            let pos = self.probe(key, it);
             it += 1;
             self.charge_reads(ctx, 1);
-            if self.keys[pos] == key {
+            let k = self.keys[pos];
+            if k == key {
                 // Key already claimed: atomicAdd the weight (line 7).
                 self.weights[pos] += w;
                 self.charge_atomic_add(ctx);
                 return Ok((pos, self.weights[pos]));
             }
-            if self.keys[pos] == EMPTY {
+            if k == EMPTY {
                 // Claim the slot with CAS (line 9). Lockstep execution means
                 // the claim always succeeds here; the paper's lines 11-13
                 // handle the lost-race case, which cannot arise within a
@@ -147,24 +153,34 @@ impl<'t> HashTable<'t> {
                 return Ok((pos, self.weights[pos]));
             }
             // Occupied by another community: continue the probe sequence.
+            pos += stride;
+            if pos >= self.size {
+                pos -= self.size;
+            }
         }
     }
 
     /// Looks up the accumulated weight for `key` (0 when absent).
     pub fn get(&self, ctx: &mut GroupCtx, key: u32) -> f64 {
+        let mut pos = self.h1(key);
+        let stride = self.h2(key);
         let mut it = 0usize;
         loop {
             if it >= self.size {
                 return 0.0;
             }
-            let pos = self.probe(key, it);
             it += 1;
             self.charge_reads_const(ctx, 1);
-            if self.keys[pos] == key {
+            let k = self.keys[pos];
+            if k == key {
                 return self.weights[pos];
             }
-            if self.keys[pos] == EMPTY {
+            if k == EMPTY {
                 return 0.0;
+            }
+            pos += stride;
+            if pos >= self.size {
+                pos -= self.size;
             }
         }
     }

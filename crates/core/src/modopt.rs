@@ -1,13 +1,22 @@
 //! The modularity-optimization phase — Algorithms 1 and 2 of the paper.
 //!
-//! Each iteration partitions the vertices into seven degree buckets
-//! ([`crate::config::MODOPT_BUCKETS`]) and launches one `computeMove` kernel
-//! per bucket, with thread-group width scaled to the bucket's degrees and
-//! hash tables in shared memory for all but the open-ended bucket. After each
-//! bucket the new community labels are committed and the community volumes
-//! `a_c` updated, so later buckets see earlier buckets' moves (the paper's
-//! middle ground between fully synchronous and fully asynchronous updating;
-//! the `Relaxed` strategy defers all commits to the end of the iteration).
+//! Each iteration launches one `computeMove` kernel per degree bucket
+//! ([`crate::config::MODOPT_BUCKETS`]), with thread-group width scaled to the
+//! bucket's degrees and hash tables in shared memory for all but the
+//! open-ended bucket. After each bucket the new community labels are
+//! committed and the community volumes `a_c` updated, so later buckets see
+//! earlier buckets' moves (the paper's middle ground between fully
+//! synchronous and fully asynchronous updating; the `Relaxed` strategy defers
+//! all commits to the end of the iteration).
+//!
+//! The hot loop is frontier-proportional: bucket membership is fixed within a
+//! phase (degrees do not change between aggregations), so the full bins are
+//! built by one `bin_vertices` pass per phase, and pruned iterations rebin
+//! only the active frontier (`bin_frontier`, one pass over the vertices
+//! marked by the previous iteration's commits) instead of re-scanning all
+//! vertices once per bucket. Modularity is tracked incrementally from
+//! committed-move deltas and verified against a full device recompute every
+//! [`GpuLouvainConfig::resync_interval`] iterations (see [`commit`]).
 
 use crate::config::{
     GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy, MODOPT_BUCKETS,
@@ -16,11 +25,39 @@ use crate::dev_graph::DeviceGraph;
 use crate::hashtable::{HashTable, TableOverflow, TableSpace, TableStorage};
 use crate::louvain::GpuLouvainError;
 use crate::primes::{next_prime_at_least, table_size_for};
-use cd_gpusim::{Device, GlobalF64, GlobalU32, GroupCtx};
+use cd_gpusim::{Device, GlobalU32, GroupCtx, PooledF64, PooledU32};
 use std::time::{Duration, Instant};
 
 /// Tie tolerance on modularity-gain comparisons.
 const GAIN_EPS: f64 = 1e-15;
+
+/// Shard count for the logically-single-cell commit accumulators (`moves`,
+/// `q_delta`). Hardware coalesces same-address atomics in the L2 atomic
+/// units; the simulator's host threads do not, so every mover hammering one
+/// cache line serializes the whole launch. Spreading the updates across
+/// shards keeps the counted cost identical (same number of atomics, just to
+/// different cells) while removing the contention artifact. Folds read the
+/// shards in fixed index order, so results are deterministic — and exact on
+/// integer-weighted graphs, where every partial sum is an integer below 2⁵³.
+const ACC_SHARDS: usize = 64;
+
+/// Tolerance of the incremental-modularity resync check. The incremental
+/// value is exact up to f64 atomic rounding on integer-weighted graphs, so a
+/// larger discrepancy means drift on adversarial weights or corrupted device
+/// state — both handled by failing the stage (transient, retried).
+const RESYNC_EPS: f64 = 1e-9;
+
+/// Kernel names per degree bucket, hoisted so the hot loop does not allocate
+/// a fresh `format!` string per bucket per iteration.
+const COMPUTE_MOVE_KERNELS: [&str; 7] = [
+    "compute_move_b1",
+    "compute_move_b2",
+    "compute_move_b3",
+    "compute_move_b4",
+    "compute_move_b5",
+    "compute_move_b6",
+    "compute_move_b7",
+];
 
 /// Result of one modularity-optimization phase.
 #[derive(Clone, Debug)]
@@ -38,50 +75,69 @@ pub struct OptOutcome {
     pub moves: usize,
 }
 
-/// Device-resident optimization state.
-pub(crate) struct OptState {
+/// Device-resident optimization state. All buffers come from the device
+/// buffer pool and return to it when the phase ends.
+pub(crate) struct OptState<'d> {
     /// `C` — current community of each vertex.
-    pub comm: GlobalU32,
-    /// `newComm` — staged destination of each vertex.
-    pub new_comm: GlobalU32,
+    pub comm: PooledU32<'d>,
+    /// `newComm` — staged destination of each vertex. Invariant: outside a
+    /// compute→commit window, `new_comm[v] == comm[v]` for every vertex —
+    /// which is what lets [`commit`] identify the movers of its own commit
+    /// set by inequality.
+    pub new_comm: PooledU32<'d>,
+    /// Best labeling observed so far (device-side snapshot, copied to the
+    /// host once at phase end instead of `to_vec()` per improvement).
+    pub best_comm: PooledU32<'d>,
     /// Number of vertices in each community (drives the singleton rule).
-    pub comm_size: GlobalU32,
+    pub comm_size: PooledU32<'d>,
     /// `a_c` — community volumes.
-    pub ac: GlobalF64,
+    pub ac: PooledF64<'d>,
     /// `k_i` — weighted degrees (constant within a phase).
     pub k: Vec<f64>,
-    /// Single-cell accumulator of the *predicted* Eq. 2 gains of accepted
-    /// moves — Alg. 1's "accumulated change in modularity during the
-    /// iteration", which drives loop termination. (The realized synchronous
-    /// Q delta can be negative while vertices still have profitable moves.)
-    pub pred_gain: GlobalF64,
-    /// Pruning frontier for the *current* iteration (1 = re-evaluate).
-    pub active: GlobalU32,
-    /// Pruning frontier under construction for the next iteration.
-    pub next_active: GlobalU32,
+    /// Incremental-modularity accumulators, sharded to [`ACC_SHARDS`]:
+    /// cells `[0, ACC_SHARDS)` collect Δ(Σ inside-arc weight), cells
+    /// `[ACC_SHARDS, 2·ACC_SHARDS)` collect Δ(Σ a_c²), both written by
+    /// [`commit`] and folded (in fixed index order) once per iteration.
+    pub q_delta: PooledF64<'d>,
+    /// Move counter for the current commit, sharded to [`ACC_SHARDS`].
+    pub moves: PooledU32<'d>,
+    /// Frontier membership flags (CAS 0→1 dedups concurrent marks).
+    pub marked: PooledU32<'d>,
+    /// Compacted list of marked vertices, appended by [`commit`] and consumed
+    /// by [`Bins::bin_frontier`] at the start of the next iteration.
+    pub frontier: PooledU32<'d>,
+    /// Single-cell length of `frontier`.
+    pub frontier_len: PooledU32<'d>,
 }
 
-impl OptState {
-    fn new(dev: &Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
+impl<'d> OptState<'d> {
+    fn new(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
         let n = g.num_vertices();
         let k = compute_weighted_degrees(dev, g)?;
-        let comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
-        let new_comm = GlobalU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
-        let comm_size = GlobalU32::zeroed(n);
-        comm_size.fill(1);
-        let ac = GlobalF64::from_slice(&k);
-        let active = GlobalU32::zeroed(n);
-        active.fill(1);
-        Ok(Self {
-            comm,
-            new_comm,
-            comm_size,
-            ac,
+        let s = Self {
+            comm: dev.pool_u32(n),
+            new_comm: dev.pool_u32(n),
+            best_comm: dev.pool_u32(n),
+            comm_size: dev.pool_u32(n),
+            ac: dev.pool_f64(n),
             k,
-            pred_gain: GlobalF64::zeroed(1),
-            active,
-            next_active: GlobalU32::zeroed(n),
+            q_delta: dev.pool_f64(2 * ACC_SHARDS),
+            moves: dev.pool_u32(ACC_SHARDS),
+            marked: dev.pool_u32(n),
+            frontier: dev.pool_u32(n),
+            frontier_len: dev.pool_u32(1),
+        };
+        let k_ref = &s.k;
+        dev.try_launch_threads("init_opt_state", n, |ctx, v| {
+            s.comm.store(v, v as u32);
+            s.new_comm.store(v, v as u32);
+            s.best_comm.store(v, v as u32);
+            s.comm_size.store(v, 1);
+            s.ac.store(v, k_ref[v]);
+            ctx.global_write_coalesced(5);
         })
+        .map_err(GpuLouvainError::Launch)?;
+        Ok(s)
     }
 }
 
@@ -91,7 +147,7 @@ pub(crate) fn compute_weighted_degrees(
     g: &DeviceGraph,
 ) -> Result<Vec<f64>, GpuLouvainError> {
     let n = g.num_vertices();
-    let out = GlobalF64::zeroed(n);
+    let out = dev.pool_f64(n);
     dev.try_launch_tasks(
         "compute_k",
         n,
@@ -111,19 +167,20 @@ pub(crate) fn compute_weighted_degrees(
     Ok(out.to_vec())
 }
 
-/// Modularity of the current labeling, computed on device:
-/// `Q = Σ_i e_{i→C(i)} / 2m − Σ_c (a_c / 2m)^2`.
-pub(crate) fn device_modularity(
+/// The two device-reduced parts of the modularity:
+/// `inside = Σ_i e_{i→C(i)}` (directed-arc weight inside communities) and
+/// `Σ_c a_c²`, so `Q = inside / 2m − Σa² / (2m)²`. Both reductions read
+/// device buffers directly — no host staging copy.
+pub(crate) fn device_modularity_parts(
     dev: &Device,
     g: &DeviceGraph,
-    state: &OptState,
-) -> Result<f64, GpuLouvainError> {
+    state: &OptState<'_>,
+) -> Result<(f64, f64), GpuLouvainError> {
     let n = g.num_vertices();
-    let two_m = g.two_m;
-    if two_m == 0.0 {
-        return Ok(0.0);
+    if g.two_m == 0.0 {
+        return Ok((0.0, 0.0));
     }
-    let partial = GlobalF64::zeroed(n);
+    let partial = dev.pool_f64(n);
     dev.try_launch_tasks(
         "modularity_partials",
         n,
@@ -147,19 +204,158 @@ pub(crate) fn device_modularity(
         },
     )
     .map_err(GpuLouvainError::Launch)?;
-    let inside = dev.reduce_sum_f64(&partial.to_vec());
-    let sq: Vec<f64> = state.ac.to_vec().iter().map(|&a| (a / two_m) * (a / two_m)).collect();
-    let penalty = dev.reduce_sum_f64(&sq);
-    Ok(inside / two_m - penalty)
+    let inside = dev.reduce_sum_f64_global(&partial);
+    let sum_asq = dev.transform_reduce_f64_global(&state.ac, |a| a * a);
+    Ok((inside, sum_asq))
+}
+
+/// Modularity of the current labeling, fully recomputed on device.
+#[cfg(test)]
+pub(crate) fn device_modularity(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &OptState<'_>,
+) -> Result<f64, GpuLouvainError> {
+    let two_m = g.two_m;
+    if two_m == 0.0 {
+        return Ok(0.0);
+    }
+    let (inside, sum_asq) = device_modularity_parts(dev, g, state)?;
+    Ok(inside / two_m - sum_asq / (two_m * two_m))
+}
+
+/// Returns the degree bucket of a vertex with degree `d >= 1`.
+fn bucket_index(d: usize) -> usize {
+    MODOPT_BUCKETS.iter().position(|&(hi, _)| d <= hi).expect("last bucket is open-ended")
+}
+
+/// Per-bucket vertex-id bins, device-resident. Bucket membership is a pure
+/// function of degree, so within a phase the full bins are built once
+/// (`bin_vertices`); pruned iterations overwrite the arrays with the active
+/// frontier in a single `bin_frontier` pass whose cost is O(frontier).
+struct Bins<'d> {
+    /// Per-bucket id arrays, each sized to the bucket's full membership (a
+    /// pruned frontier is always a subset).
+    ids: Vec<PooledU32<'d>>,
+    /// Seven scatter cursors for the binning kernels.
+    cursors: PooledU32<'d>,
+    /// Current number of valid ids per bucket.
+    counts: [usize; 7],
+    /// Full (unpruned) membership count per bucket.
+    full_counts: [usize; 7],
+    /// Bucket-7 ids in the launch order: degree-descending, ties by vertex
+    /// id. Sorted once per phase; pruned subsets reuse it via `b7_rank`.
+    b7_sorted: Vec<u32>,
+    /// Hash-table slots per entry of `b7_sorted`, resolved once per phase.
+    b7_slots: Vec<usize>,
+    /// Position of each vertex in `b7_sorted` (`u32::MAX` off-bucket), so a
+    /// pruned subset is ordered by rank instead of re-sorted by degree.
+    b7_rank: Vec<u32>,
+}
+
+impl<'d> Bins<'d> {
+    fn new(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
+        let n = g.num_vertices();
+        let mut full_counts = [0usize; 7];
+        for v in 0..n {
+            let d = g.degree(v);
+            if d > 0 {
+                full_counts[bucket_index(d)] += 1;
+            }
+        }
+        let ids: Vec<PooledU32<'d>> = full_counts.iter().map(|&c| dev.pool_u32(c.max(1))).collect();
+        let cursors = dev.pool_u32(MODOPT_BUCKETS.len());
+        {
+            let ids_ref: Vec<&GlobalU32> = ids.iter().map(|p| &**p).collect();
+            let cursors_ref: &GlobalU32 = &cursors;
+            dev.try_launch_threads("bin_vertices", n, |ctx, v| {
+                let d = g.degree(v);
+                ctx.global_read_coalesced(2);
+                if d == 0 {
+                    return;
+                }
+                let b = bucket_index(d);
+                let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
+                ids_ref[b].store(pos as usize, v as u32);
+                ctx.global_write_scattered(1);
+            })
+            .map_err(GpuLouvainError::Launch)?;
+        }
+        cursors.fill(0);
+        let mut b7_sorted: Vec<u32> = (0..full_counts[6]).map(|t| ids[6].load(t)).collect();
+        dev.sort_by_key(&mut b7_sorted, |&v| (std::cmp::Reverse(g.degree(v as usize)), v));
+        let b7_slots: Vec<usize> = b7_sorted
+            .iter()
+            .map(|&v| table_size_for(g.degree(v as usize)))
+            .collect::<Result<_, _>>()?;
+        let mut b7_rank = vec![u32::MAX; n];
+        for (r, &v) in b7_sorted.iter().enumerate() {
+            b7_rank[v as usize] = r as u32;
+        }
+        Ok(Self { ids, cursors, counts: full_counts, full_counts, b7_sorted, b7_slots, b7_rank })
+    }
+
+    /// Consumes the frontier built by the previous iteration's commits and
+    /// scatters it into the per-bucket id arrays — one pass over the frontier
+    /// replacing the seven full-vertex `copy_if` scans. Clears the membership
+    /// flags in the same pass.
+    fn bin_frontier(
+        &mut self,
+        dev: &Device,
+        g: &DeviceGraph,
+        state: &OptState<'_>,
+    ) -> Result<(), GpuLouvainError> {
+        let f_len = state.frontier_len.load(0) as usize;
+        if f_len > 0 {
+            // The frontier arrives in commit order (append order of the
+            // marking CAS winners). Sort it ascending so the per-bucket id
+            // arrays keep the same vertex order as the full `bin_vertices`
+            // pass — computeMove then walks CSR rows in id order, which is
+            // what the coalescing (and the host caches) are laid out for.
+            let mut sorted: Vec<u32> = (0..f_len).map(|t| state.frontier.load(t)).collect();
+            dev.sort_by_key(&mut sorted, |&v| v);
+            for (t, &v) in sorted.iter().enumerate() {
+                state.frontier.store(t, v);
+            }
+            let ids_ref: Vec<&GlobalU32> = self.ids.iter().map(|p| &**p).collect();
+            let cursors_ref: &GlobalU32 = &self.cursors;
+            dev.try_launch_threads("bin_frontier", f_len, |ctx, t| {
+                let v = state.frontier.load(t) as usize;
+                ctx.global_read_coalesced(1);
+                state.marked.store(v, 0);
+                let d = g.degree(v);
+                ctx.global_read_scattered(1);
+                ctx.global_write_scattered(1);
+                if d == 0 {
+                    return;
+                }
+                let b = bucket_index(d);
+                let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
+                ids_ref[b].store(pos as usize, v as u32);
+                ctx.global_write_scattered(1);
+            })
+            .map_err(GpuLouvainError::Launch)?;
+        }
+        state.frontier_len.store(0, 0);
+        for b in 0..MODOPT_BUCKETS.len() {
+            self.counts[b] = self.cursors.load(b) as usize;
+            debug_assert!(self.counts[b] <= self.full_counts[b]);
+        }
+        self.cursors.fill(0);
+        Ok(())
+    }
 }
 
 /// Runs one full modularity-optimization phase and returns the labeling.
 ///
 /// Fails with [`GpuLouvainError::Launch`] when a kernel launch fails (a
-/// fault-injecting device; see [`cd_gpusim::FaultPlan`]) and with
+/// fault-injecting device; see [`cd_gpusim::FaultPlan`]), with
 /// [`GpuLouvainError::DegreeOverflow`] when a vertex degree exceeds the
-/// hash-table prime ladder. The phase has no partial output on failure — the
-/// driver re-runs it from the stage's input labeling.
+/// hash-table prime ladder, and with [`GpuLouvainError::InvariantViolation`]
+/// when the incrementally-tracked modularity disagrees with a full device
+/// recompute at a resync point (float drift or corrupted device state). The
+/// phase has no partial output on failure — the driver re-runs it from the
+/// stage's input labeling.
 pub fn modularity_optimization(
     dev: &Device,
     g: &DeviceGraph,
@@ -178,8 +374,14 @@ pub fn modularity_optimization(
         });
     }
 
-    let vertex_ids: Vec<u32> = (0..n as u32).collect();
-    let mut q_cur = device_modularity(dev, g, &state)?;
+    let two_m = g.two_m;
+    let q_of = |inside: f64, sum_asq: f64| inside / two_m - sum_asq / (two_m * two_m);
+    // Incrementally-tracked modularity parts; seeded by one full recompute.
+    let (mut inside, mut sum_asq) = device_modularity_parts(dev, g, &state)?;
+    let mut bins = match cfg.assignment {
+        ThreadAssignment::DegreeBinned => Some(Bins::new(dev, g)?),
+        ThreadAssignment::NodeCentric => None,
+    };
     let mut iterations = 0usize;
     let mut iter_times = Vec::new();
     let mut total_moves = 0usize;
@@ -188,9 +390,13 @@ pub fn modularity_optimization(
     // on the paper's gain-below-threshold rule, but the phase returns the
     // best labeling observed so the result is never worse than its starting
     // point.
-    let mut best_q = q_cur;
-    let mut best_comm: Option<Vec<u32>> = None;
+    let mut best_q = q_of(inside, sum_asq);
     let mut stagnant = 0usize;
+    // True when commits happened since the last full recompute — while false,
+    // the tracked parts are bit-identical to the seeding recompute, so a
+    // resync could not observe drift and is skipped. Matters because the
+    // driver probes converged levels with one-iteration zero-move calls.
+    let mut dirty = false;
     // Termination: the phase ends once the realized modularity has failed to
     // improve by more than the threshold for `patience` consecutive
     // iterations. Per-bucket updates behave like the sequential algorithm
@@ -203,49 +409,78 @@ pub fn modularity_optimization(
         UpdateStrategy::PerBucket => 1,
         UpdateStrategy::Relaxed => 12,
     };
+    // Movers committed by the previous iteration — the density signal for
+    // the adaptive modularity tracking below. Initialized to n: the first
+    // iteration of a phase moves a large fraction of the vertices, where a
+    // single full recompute is cheaper than walking every mover's arcs.
+    let mut last_moves = n;
 
     while iterations < cfg.max_iterations {
         iterations += 1;
         let iter_start = Instant::now();
         let mut iter_moves = 0usize;
-        state.pred_gain.store(0, 0.0);
-        if cfg.pruning && iterations > 1 {
-            // Swap frontiers: this iteration re-evaluates only the vertices
-            // marked during the previous commits.
-            dev.try_launch_threads("pruning_swap_frontier", n, |ctx, v| {
-                state.active.store(v, state.next_active.load(v));
-                state.next_active.store(v, 0);
-                ctx.global_read_coalesced(1);
-                ctx.global_write_coalesced(2);
-            })
-            .map_err(GpuLouvainError::Launch)?;
-        }
+        // Incremental tracking pays ~two gathers per mover arc; a full
+        // recompute pays one pass over all n + m. Break-even sits near half
+        // the vertices moving, so track deltas unless the previous
+        // iteration's commit was that dense (deterministic input, so the
+        // trajectory stays reproducible).
+        let track_deltas = last_moves * 2 < n;
 
-        match cfg.assignment {
-            ThreadAssignment::DegreeBinned => {
-                let mut lo = 0usize;
+        match (cfg.assignment, bins.as_mut()) {
+            (ThreadAssignment::DegreeBinned, Some(bins)) => {
+                if cfg.pruning && iterations > 1 {
+                    // Rebin only the vertices marked by the previous
+                    // iteration's commits — O(frontier), not O(7n).
+                    bins.bin_frontier(dev, g, &state)?;
+                }
                 for (bucket_idx, &(hi, lanes)) in MODOPT_BUCKETS.iter().enumerate() {
-                    let ids = dev.copy_if(&vertex_ids, |&v| {
-                        let d = g.degree(v as usize);
-                        d > lo && d <= hi && (!cfg.pruning || state.active.load(v as usize) == 1)
-                    });
-                    lo = hi;
-                    if ids.is_empty() {
+                    let count = bins.counts[bucket_idx];
+                    if count == 0 {
                         continue;
                     }
                     if bucket_idx == MODOPT_BUCKETS.len() - 1 {
-                        compute_move_global_bucket(dev, g, &state, cfg, &ids)?;
+                        let pruned = count < bins.full_counts[6];
+                        let (sub_ids, sub_slots);
+                        let (b7_ids, b7_slots): (&[u32], &[usize]) = if pruned {
+                            let mut sub: Vec<u32> =
+                                (0..count).map(|t| bins.ids[6].load(t)).collect();
+                            dev.sort_by_key(&mut sub, |&v| bins.b7_rank[v as usize]);
+                            sub_slots = sub
+                                .iter()
+                                .map(|&v| bins.b7_slots[bins.b7_rank[v as usize] as usize])
+                                .collect::<Vec<_>>();
+                            sub_ids = sub;
+                            (&sub_ids, &sub_slots)
+                        } else {
+                            (&bins.b7_sorted, &bins.b7_slots)
+                        };
+                        compute_move_global_bucket(dev, g, &state, cfg, b7_ids, b7_slots)?;
                     } else {
                         compute_move_shared_bucket(
-                            dev, g, &state, cfg, &ids, hi, lanes, bucket_idx,
+                            dev,
+                            g,
+                            &state,
+                            cfg,
+                            &bins.ids[bucket_idx],
+                            count,
+                            hi,
+                            lanes,
+                            bucket_idx,
                         )?;
                     }
                     if cfg.update_strategy == UpdateStrategy::PerBucket {
-                        iter_moves += commit(dev, g, &state, &ids, cfg.pruning)?;
+                        iter_moves += commit(
+                            dev,
+                            g,
+                            &state,
+                            Some((&bins.ids[bucket_idx], count)),
+                            cfg.pruning,
+                            track_deltas,
+                        )?;
                     }
                 }
             }
-            ThreadAssignment::NodeCentric => {
+            _ => {
                 compute_move_node_centric(dev, g, &state)?;
             }
         }
@@ -253,11 +488,40 @@ pub fn modularity_optimization(
         if cfg.update_strategy == UpdateStrategy::Relaxed
             || cfg.assignment == ThreadAssignment::NodeCentric
         {
-            iter_moves += commit(dev, g, &state, &vertex_ids, cfg.pruning)?;
+            // One commit over all vertices: the deltas pass must read a
+            // consistent pre-commit labeling for every neighbor, which
+            // per-bucket sequential commits would destroy here.
+            iter_moves += commit(dev, g, &state, None, cfg.pruning, track_deltas)?;
         }
 
         total_moves += iter_moves;
-        let q_new = device_modularity(dev, g, &state)?;
+        if track_deltas {
+            // Fold this iteration's committed deltas into the tracked parts
+            // (fixed shard order keeps the fold deterministic).
+            for s in 0..ACC_SHARDS {
+                inside += state.q_delta.load(s);
+                sum_asq += state.q_delta.load(ACC_SHARDS + s);
+                state.q_delta.store(s, 0.0);
+                state.q_delta.store(ACC_SHARDS + s, 0.0);
+            }
+            dirty |= iter_moves > 0;
+            if dirty && cfg.resync_interval > 0 && iterations.is_multiple_of(cfg.resync_interval) {
+                let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+                resync_check(q_of(inside, sum_asq), q_of(full_inside, full_sum_asq), iterations)?;
+                inside = full_inside;
+                sum_asq = full_sum_asq;
+                dirty = false;
+            }
+        } else {
+            // Dense iteration: the commit kernels skipped delta accounting;
+            // the recompute is both the q source and a fresh drift anchor.
+            let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+            inside = full_inside;
+            sum_asq = full_sum_asq;
+            dirty = false;
+        }
+        last_moves = iter_moves;
+        let q_new = q_of(inside, sum_asq);
         iter_times.push(iter_start.elapsed());
         if q_new > best_q + threshold {
             stagnant = 0;
@@ -266,22 +530,48 @@ pub fn modularity_optimization(
         }
         if q_new > best_q {
             best_q = q_new;
-            best_comm = Some(state.comm.to_vec());
+            dev.try_launch_threads("snapshot_best", n, |ctx, v| {
+                state.best_comm.store(v, state.comm.load(v));
+                ctx.global_read_coalesced(1);
+                ctx.global_write_coalesced(1);
+            })
+            .map_err(GpuLouvainError::Launch)?;
         }
-        q_cur = q_new;
         if iter_moves == 0 || stagnant >= patience {
             break;
         }
     }
-    let _ = q_cur;
+
+    // End-of-phase resync: bound drift before the value leaves the phase.
+    // Skipped when nothing was committed since the last full recompute — the
+    // tracked parts still ARE that recompute's values.
+    if dirty {
+        let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+        resync_check(q_of(inside, sum_asq), q_of(full_inside, full_sum_asq), iterations)?;
+    }
 
     Ok(OptOutcome {
-        comm: best_comm.unwrap_or_else(|| (0..n as u32).collect()),
+        comm: state.best_comm.to_vec(),
         modularity: best_q,
         iterations,
         iter_times,
         moves: total_moves,
     })
+}
+
+/// Fails the stage when the incremental modularity drifted away from the
+/// full recompute (or device state was corrupted under fault injection).
+fn resync_check(q_inc: f64, q_full: f64, iteration: usize) -> Result<(), GpuLouvainError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must fail the check
+    if !((q_inc - q_full).abs() <= RESYNC_EPS) {
+        return Err(GpuLouvainError::InvariantViolation {
+            stage: "optimize",
+            detail: format!(
+                "incremental modularity {q_inc} != recomputed {q_full} at iteration {iteration}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Per-block scratch for `computeMove`: a reusable hash table and the
@@ -307,7 +597,7 @@ impl MoveScratch {
 fn compute_move_one(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     storage: &mut TableStorage,
     mut slots: usize,
     mut space: TableSpace,
@@ -336,7 +626,7 @@ fn compute_move_one(
 fn compute_move_attempt(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     table: &mut HashTable<'_>,
     lane_best: &mut [(f64, u32)],
     i: usize,
@@ -362,7 +652,14 @@ fn compute_move_attempt(
     ctx.global_read_coalesced(2 * deg); // edges + weights
     ctx.global_read_scattered(deg); // C[j] gathers
 
+    // Lane of arc `idx` is `idx % lanes`, tracked incrementally so the hot
+    // loop carries no division.
+    let mut lane = lanes - 1;
     for idx in 0..deg {
+        lane += 1;
+        if lane == lanes {
+            lane = 0;
+        }
         let j = nbrs[idx] as usize;
         if j == i {
             continue; // self-loop: excluded from e terms (C(i)\{i})
@@ -387,7 +684,6 @@ fn compute_move_attempt(
         // final update of a slot observes the full e_{i→cj} — the maximum
         // over all partial observations is exact.
         let gain = running / m - ki * a_cj / (2.0 * m * m);
-        let lane = idx % lanes;
         let lb = &mut lane_best[lane];
         if gain > lb.0 + GAIN_EPS || ((gain - lb.0).abs() <= GAIN_EPS && cj < lb.1) {
             *lb = (gain, cj);
@@ -398,10 +694,7 @@ fn compute_move_attempt(
     let e_home = table.get(ctx, ci);
     let stay = e_home / m - ki * (state.ac.load(ci as usize) - ki) / (2.0 * m * m);
     let target = match best {
-        Some((gain, c)) if c != u32::MAX && gain > stay + GAIN_EPS => {
-            ctx.atomic_add_f64(&state.pred_gain, 0, gain - stay);
-            c
-        }
+        Some((gain, c)) if c != u32::MAX && gain > stay + GAIN_EPS => c,
         _ => ci,
     };
     state.new_comm.store(i, target);
@@ -409,14 +702,16 @@ fn compute_move_attempt(
     Ok(())
 }
 
-/// `computeMove` for one shared-memory bucket (buckets 1-6).
+/// `computeMove` for one shared-memory bucket (buckets 1-6). `ids` is the
+/// bucket's device-resident id array with `count` valid entries.
 #[allow(clippy::too_many_arguments)]
 fn compute_move_shared_bucket(
     dev: &Device,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     cfg: &GpuLouvainConfig,
-    ids: &[u32],
+    ids: &GlobalU32,
+    count: usize,
     max_degree: usize,
     lanes: usize,
     bucket_idx: usize,
@@ -426,15 +721,15 @@ fn compute_move_shared_bucket(
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
-    let name = format!("compute_move_b{}", bucket_idx + 1);
     dev.try_launch_tasks(
-        &name,
-        ids.len(),
+        COMPUTE_MOVE_KERNELS[bucket_idx],
+        count,
         lanes,
         shared_bytes,
         || MoveScratch::new(slots),
         |ctx, scratch, task| {
-            let i = ids[task] as usize;
+            ctx.global_read_coalesced(1);
+            let i = ids.load(task) as usize;
             let MoveScratch { table, lane_best } = scratch;
             compute_move_one(ctx, g, state, table, slots, space, lane_best, i);
         },
@@ -443,38 +738,35 @@ fn compute_move_shared_bucket(
 }
 
 /// `computeMove` for the open-ended bucket (degree >= 320): hash tables in
-/// global memory, vertices sorted by degree and dealt to a bounded number of
-/// blocks in an interleaved fashion so block loads balance (Section 4.1).
+/// global memory, vertices dealt to a bounded number of blocks in an
+/// interleaved fashion so block loads balance (Section 4.1). `sorted` must be
+/// degree-descending with `slots_sorted` the per-entry table sizes — both
+/// resolved once per phase by [`Bins::new`] (host-side, so an out-of-ladder
+/// degree is a typed error, not an in-kernel panic).
 fn compute_move_global_bucket(
     dev: &Device,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     cfg: &GpuLouvainConfig,
-    ids: &[u32],
+    sorted: &[u32],
+    slots_sorted: &[usize],
 ) -> Result<(), GpuLouvainError> {
-    let mut sorted = ids.to_vec();
-    dev.sort_by_key(&mut sorted, |&v| std::cmp::Reverse(g.degree(v as usize)));
-    // Table sizes are resolved host-side before launch so an out-of-ladder
-    // degree is a typed error, not an in-kernel panic.
-    let slots_sorted: Vec<usize> =
-        sorted.iter().map(|&v| table_size_for(g.degree(v as usize))).collect::<Result<_, _>>()?;
+    debug_assert_eq!(sorted.len(), slots_sorted.len());
     let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
-    let sorted_ref = &sorted;
-    let slots_ref = &slots_sorted;
     dev.try_launch_blocks(
-        "compute_move_b7",
+        COMPUTE_MOVE_KERNELS[6],
         n_blocks,
         |block| {
             // The block's largest vertex is its first (interleaved deal of a
             // descending sort), so one allocation serves all its tasks.
-            MoveScratch::new(slots_ref[block])
+            MoveScratch::new(slots_sorted[block])
         },
         |ctx, scratch| {
             let block = ctx.block_id;
             let mut idx = block;
-            while idx < sorted_ref.len() {
-                let i = sorted_ref[idx] as usize;
-                let slots = slots_ref[idx];
+            while idx < sorted.len() {
+                let i = sorted[idx] as usize;
+                let slots = slots_sorted[idx];
                 let MoveScratch { table, lane_best } = scratch;
                 compute_move_one(ctx, g, state, table, slots, TableSpace::Global, lane_best, i);
                 ctx.finish_task();
@@ -491,7 +783,7 @@ fn compute_move_global_bucket(
 fn compute_move_node_centric(
     dev: &Device,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
 ) -> Result<(), GpuLouvainError> {
     let n = g.num_vertices();
     let block_threads = dev.config().block_threads();
@@ -536,7 +828,7 @@ fn compute_move_node_centric(
 fn node_centric_move_one(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     storage: &mut TableStorage,
     mut slots: usize,
     best: &mut (f64, u32),
@@ -558,7 +850,7 @@ fn node_centric_move_one(
 fn node_centric_attempt(
     ctx: &mut GroupCtx,
     g: &DeviceGraph,
-    state: &OptState,
+    state: &OptState<'_>,
     table: &mut HashTable<'_>,
     best: &mut (f64, u32),
     i: usize,
@@ -592,55 +884,194 @@ fn node_centric_attempt(
     }
     let e_home = table.get(ctx, ci);
     let stay = e_home / m - ki * (state.ac.load(ci as usize) - ki) / (2.0 * m * m);
-    let target = if best.1 != u32::MAX && best.0 > stay + GAIN_EPS {
-        ctx.atomic_add_f64(&state.pred_gain, 0, best.0 - stay);
-        best.1
-    } else {
-        ci
-    };
+    let target = if best.1 != u32::MAX && best.0 > stay + GAIN_EPS { best.1 } else { ci };
     state.new_comm.store(i, target);
     ctx.global_write_coalesced(1);
     Ok(())
 }
 
-/// Commits staged moves for `ids` (Alg. 1 lines 8-9) and updates `a_c` and
-/// the community sizes incrementally (lines 10-11 — the incremental form is
-/// numerically identical up to f64 rounding and avoids a full O(n) rebuild
-/// per bucket). With pruning, every moved vertex marks itself and its
-/// neighbors for re-evaluation next iteration. Returns the number of
-/// vertices that moved.
+/// Commits staged moves for a commit set (Alg. 1 lines 8-9) and updates
+/// `a_c` and the community sizes incrementally (lines 10-11). `ids` is a
+/// device id array with a count, or `None` for all vertices.
+///
+/// Two kernels: `commit_deltas` reads the still-consistent pre-commit
+/// labeling to account this commit's modularity change, then
+/// `update_communities` publishes `newComm`. For every moved vertex the
+/// deltas pass walks its arcs and accumulates
+/// `Δinside += f·w·([new(i)=c'(j)] − [old(i)=c(j)])` with `f = 1` when `j`
+/// moves in the same commit (it accounts its own arc) and `f = 2` otherwise
+/// (i accounts both directions); a neighbor moves in this commit iff
+/// `newComm[j] != C[j]` (the [`OptState::new_comm`] invariant). The `Σ a_c²`
+/// change telescopes from the previous-value-returning volume atomics:
+/// each `a ← a + δ` contributes `2aδ + δ²` regardless of interleaving.
+///
+/// `track_deltas = false` (a dense commit, where the caller recomputes the
+/// modularity parts wholesale afterwards) runs a single fused
+/// `commit_publish` kernel instead: with no deltas to stage against the
+/// pre-commit labeling, nothing reads another vertex's label, so volumes,
+/// sizes, frontier marks (the arcs are walked only to mark) and the label
+/// publish happen in one pass.
+///
+/// With pruning, every moved vertex marks itself and its neighbors into the
+/// frontier consumed by the next iteration's [`Bins::bin_frontier`]. Returns
+/// the number of vertices that moved.
 fn commit(
     dev: &Device,
     g: &DeviceGraph,
-    state: &OptState,
-    ids: &[u32],
+    state: &OptState<'_>,
+    ids: Option<(&GlobalU32, usize)>,
     pruning: bool,
+    track_deltas: bool,
 ) -> Result<usize, GpuLouvainError> {
-    let moves = GlobalU32::zeroed(1);
-    dev.try_launch_threads("update_communities", ids.len(), |ctx, t| {
-        let i = ids[t] as usize;
+    let count = ids.map_or(g.num_vertices(), |(_, c)| c);
+    if count == 0 {
+        return Ok(0);
+    }
+    for s in 0..ACC_SHARDS {
+        state.moves.store(s, 0);
+    }
+    let ids = ids.map(|(a, _)| a);
+    if !track_deltas {
+        // Dense commit: with no delta accounting to stage against the
+        // pre-commit labeling, nothing here reads another vertex's label —
+        // volumes, sizes, frontier marks, and the label publish fuse into
+        // one kernel, halving the launches and id-array scans of the
+        // two-pass form.
+        dev.try_launch_threads("commit_publish", count, |ctx, t| {
+            let i = match ids {
+                Some(a) => {
+                    ctx.global_read_coalesced(1);
+                    a.load(t) as usize
+                }
+                None => t,
+            };
+            let old = state.comm.load(i);
+            let new = state.new_comm.load(i);
+            ctx.global_read_scattered(2);
+            if old == new {
+                return;
+            }
+            let shard = t & (ACC_SHARDS - 1);
+            ctx.atomic_add_u32(&state.moves, shard, 1);
+            let ki = state.k[i];
+            ctx.atomic_add_f64(&state.ac, old as usize, -ki);
+            ctx.atomic_add_f64(&state.ac, new as usize, ki);
+            ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1
+            ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
+            if pruning {
+                let deg = g.degree(i);
+                ctx.strided_steps(deg.max(1));
+                ctx.global_read_coalesced(deg + 2);
+                for &j in g.neighbors(i) {
+                    let j = j as usize;
+                    if j != i {
+                        mark_frontier(ctx, state, j);
+                    }
+                }
+                mark_frontier(ctx, state, i);
+                ctx.global_write_scattered(1 + deg);
+            }
+            state.comm.store(i, new);
+            ctx.global_write_scattered(1);
+        })
+        .map_err(GpuLouvainError::Launch)?;
+        return Ok((0..ACC_SHARDS).map(|s| state.moves.load(s) as usize).sum());
+    }
+    dev.try_launch_threads("commit_deltas", count, |ctx, t| {
+        let i = match ids {
+            Some(a) => {
+                ctx.global_read_coalesced(1);
+                a.load(t) as usize
+            }
+            None => t,
+        };
         let old = state.comm.load(i);
         let new = state.new_comm.load(i);
         ctx.global_read_scattered(2);
-        if old != new {
-            state.comm.store(i, new);
-            ctx.global_write_scattered(1);
-            ctx.atomic_add_f64(&state.ac, old as usize, -state.k[i]);
-            ctx.atomic_add_f64(&state.ac, new as usize, state.k[i]);
-            ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1 (wrapping)
-            ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
-            ctx.atomic_add_u32(&moves, 0, 1);
-            if pruning {
-                state.next_active.store(i, 1);
-                for &j in g.neighbors(i) {
-                    state.next_active.store(j as usize, 1);
-                }
-                ctx.global_write_scattered(1 + g.degree(i));
+        if old == new {
+            return;
+        }
+        let shard = t & (ACC_SHARDS - 1);
+        ctx.atomic_add_u32(&state.moves, shard, 1);
+        let ki = state.k[i];
+        let prev_old = ctx.atomic_add_f64_prev(&state.ac, old as usize, -ki);
+        let prev_new = ctx.atomic_add_f64_prev(&state.ac, new as usize, ki);
+        // (a−k)² − a² = −2ak + k²;  (a+k)² − a² = 2ak + k².
+        let d_asq = (ki - 2.0 * prev_old) * ki + (ki + 2.0 * prev_new) * ki;
+        ctx.atomic_add_f64(&state.q_delta, ACC_SHARDS + shard, d_asq);
+        ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1 (wrapping)
+        ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
+        let deg = g.degree(i);
+        ctx.strided_steps(deg.max(1));
+        ctx.global_read_coalesced(2 * deg + 2);
+        ctx.global_read_scattered(2 * deg); // C[j] + newComm[j] gathers
+        let mut d_inside = 0.0;
+        for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
+            let j = j as usize;
+            if j == i {
+                continue; // self-loop arcs never change sides (and `i` is
+                          // marked below regardless)
             }
+            let cj_old = state.comm.load(j);
+            let cj_new = state.new_comm.load(j);
+            // Arcs that stay on the same side contribute an exact +0.0, so
+            // skipping them leaves the accumulated sum bit-identical.
+            if (new == cj_new) != (old == cj_old) {
+                let factor = if cj_new != cj_old { 1.0 } else { 2.0 };
+                let after = (new == cj_new) as u32 as f64;
+                let before = (old == cj_old) as u32 as f64;
+                d_inside += factor * w * (after - before);
+            }
+            if pruning {
+                mark_frontier(ctx, state, j);
+            }
+        }
+        if d_inside != 0.0 {
+            ctx.atomic_add_f64(&state.q_delta, shard, d_inside);
+        }
+        if pruning {
+            mark_frontier(ctx, state, i);
+            ctx.global_write_scattered(1 + deg);
         }
     })
     .map_err(GpuLouvainError::Launch)?;
-    Ok(moves.load(0) as usize)
+    dev.try_launch_threads("update_communities", count, |ctx, t| {
+        let i = match ids {
+            Some(a) => {
+                ctx.global_read_coalesced(1);
+                a.load(t) as usize
+            }
+            None => t,
+        };
+        let new = state.new_comm.load(i);
+        ctx.global_read_scattered(2);
+        if state.comm.load(i) != new {
+            state.comm.store(i, new);
+            ctx.global_write_scattered(1);
+        }
+    })
+    .map_err(GpuLouvainError::Launch)?;
+    Ok((0..ACC_SHARDS).map(|s| state.moves.load(s) as usize).sum())
+}
+
+/// Adds `v` to the frontier exactly once (CAS on the membership flag; the
+/// winner appends to the compacted list).
+///
+/// Test-and-test-and-set: the hardware CAS fetches the line regardless, so
+/// the plain pre-read models the same single `atomicCAS` — but host-side it
+/// skips the locked RMW for already-marked vertices, which dominate once the
+/// frontier densifies. Counter parity with a bare CAS is kept explicitly:
+/// one CAS op per call, a failure whenever the vertex was already claimed.
+fn mark_frontier(ctx: &mut GroupCtx, state: &OptState<'_>, v: usize) {
+    if state.marked.load(v) != 0 {
+        ctx.note_cas(1, 1);
+        return;
+    }
+    if ctx.cas_u32(&state.marked, v, 0, 1).is_ok() {
+        let pos = ctx.atomic_add_u32(&state.frontier_len, 0, 1);
+        state.frontier.store(pos as usize, v as u32);
+        ctx.global_write_scattered(1);
+    }
 }
 
 #[cfg(test)]
@@ -812,5 +1243,103 @@ mod tests {
             pruned_tasks < full_tasks,
             "pruning should evaluate fewer vertices ({pruned_tasks} vs {full_tasks})"
         );
+    }
+
+    #[test]
+    fn binning_is_frontier_proportional() {
+        let g = cd_graph::gen::planted_partition(6, 40, 0.4, 0.01, 21).graph;
+        let dg = DeviceGraph::from_csr(&g);
+        let n = dg.num_vertices() as u64;
+        let d = dev();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.pruning = true;
+        let out = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
+        assert!(out.iterations >= 2, "need at least one pruned iteration");
+        let m = d.metrics();
+        // The seven per-bucket full-vertex scans are gone entirely.
+        assert!(m.kernel("thrust::copy_if").is_none(), "no copy_if in the opt hot loop");
+        // The O(n) pass runs once per phase, not once per iteration.
+        let bv = m.kernel("bin_vertices").unwrap();
+        assert_eq!(bv.launches, 1);
+        assert!(bv.counters.lane_slots >= n);
+        // Pruned rebinning touches only the frontier: strictly less work than
+        // rescanning all vertices each pruned iteration, in lane slots and
+        // global reads.
+        let bf = m.kernel("bin_frontier").unwrap();
+        let pruned_iters = (out.iterations - 1) as u64;
+        assert!(bf.counters.lane_slots < bv.counters.lane_slots * pruned_iters);
+        assert!(bf.counters.global_reads < bv.counters.global_reads * pruned_iters);
+    }
+
+    #[test]
+    fn incremental_modularity_matches_full_recompute() {
+        // resync_interval = 1 makes every iteration assert
+        // |Q_inc − Q_full| ≤ 1e-9 inside the phase, under both update
+        // strategies and both pruning settings.
+        for strategy in [UpdateStrategy::PerBucket, UpdateStrategy::Relaxed] {
+            for pruning in [false, true] {
+                let g = cd_graph::gen::planted_partition(5, 30, 0.4, 0.02, 11).graph;
+                let dg = DeviceGraph::from_csr(&g);
+                let d = dev();
+                let mut cfg = GpuLouvainConfig::paper_default();
+                cfg.update_strategy = strategy;
+                cfg.pruning = pruning;
+                cfg.resync_interval = 1;
+                let out = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
+                let q_host = host_modularity(&g, &Partition::from_vec(out.comm.clone()));
+                assert!(
+                    (out.modularity - q_host).abs() < 1e-9,
+                    "{strategy:?} pruning={pruning}: {} vs host {q_host}",
+                    out.modularity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_modularity_matches_under_node_centric() {
+        let g = cd_graph::gen::planted_partition(4, 25, 0.5, 0.02, 9).graph;
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let mut cfg = GpuLouvainConfig::paper_default();
+        cfg.assignment = ThreadAssignment::NodeCentric;
+        cfg.resync_interval = 1;
+        let out = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
+        let q_host = host_modularity(&g, &Partition::from_vec(out.comm.clone()));
+        assert!((out.modularity - q_host).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resync_detects_corrupted_state() {
+        // Corrupt a community volume between phases of the public API's
+        // machinery: run one compute step, poison `ac`, and check the resync
+        // trips with a transient (retryable) error.
+        let g = cliques(3, 6, true);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        let state = OptState::new(&d, &dg).unwrap();
+        let (inside, sum_asq) = device_modularity_parts(&d, &dg, &state).unwrap();
+        state.ac.store(0, state.ac.load(0) + 1000.0);
+        let (inside2, sum_asq2) = device_modularity_parts(&d, &dg, &state).unwrap();
+        let two_m = dg.two_m;
+        let q = |i: f64, s: f64| i / two_m - s / (two_m * two_m);
+        let err = resync_check(q(inside, sum_asq), q(inside2, sum_asq2), 1).unwrap_err();
+        assert!(err.is_transient(), "resync mismatch must be retryable");
+        assert!(matches!(err, GpuLouvainError::InvariantViolation { stage: "optimize", .. }));
+    }
+
+    #[test]
+    fn opt_state_buffers_come_from_the_pool() {
+        let g = cliques(3, 6, true);
+        let dg = DeviceGraph::from_csr(&g);
+        let d = dev();
+        modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
+        let first = *d.metrics().pool();
+        assert!(first.misses > 0, "phase allocates through the pool");
+        // A second phase on the same device reuses the released buffers.
+        modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
+        let second = *d.metrics().pool();
+        assert!(second.hits > first.hits, "second phase must recycle: {second:?}");
+        assert!(second.bytes_recycled > 0);
     }
 }

@@ -113,6 +113,32 @@ mod tests {
     }
 
     #[test]
+    fn geometric_truncates_when_limit_bottoms_out() {
+        // top_limit = 16 divides to 4, then 1, then 0: the ladder stops after
+        // three levels even though six steps were requested. The break happens
+        // *after* pushing the level whose division produced 0, so limits
+        // 16, 4 and 1 are all present.
+        let s = ThresholdSchedule::geometric(1e-1, 1e-6, 16, 6);
+        assert_eq!(s.num_levels(), 4); // three ladder levels + final threshold
+        assert_eq!(s.threshold_for(17), 1e-1);
+        // Level thresholds follow the ratio computed for the *requested* six
+        // steps, so the second level is coarse * (fine/coarse)^(1/6).
+        let ratio = (1e-6f64 / 1e-1).powf(1.0 / 6.0);
+        assert!((s.threshold_for(10) - 1e-1 * ratio).abs() < 1e-15);
+        assert!((s.threshold_for(2) - 1e-1 * ratio * ratio).abs() < 1e-15);
+        // n == 1 is at or below every limit: the final threshold applies.
+        assert_eq!(s.threshold_for(1), 1e-6);
+    }
+
+    #[test]
+    fn geometric_single_step_is_two_level() {
+        let s = ThresholdSchedule::geometric(1e-2, 1e-6, 100_000, 1);
+        assert_eq!(s.num_levels(), 2);
+        assert_eq!(s.threshold_for(100_001), 1e-2);
+        assert_eq!(s.threshold_for(100_000), 1e-6);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate")]
     fn rejects_duplicate_limits() {
         ThresholdSchedule::multi_level(vec![(10, 1e-2), (10, 1e-3)], 1e-6);

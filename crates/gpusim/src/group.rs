@@ -133,10 +133,19 @@ impl<'a> GroupCtx<'a> {
     /// Retries are counted as CAS failures.
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &GlobalF64, idx: usize, v: f64) {
-        let attempts = buf.atomic_add(idx, v);
+        self.atomic_add_f64_prev(buf, idx, v);
+    }
+
+    /// `atomicAdd` on a global f64 cell returning the previous value — what
+    /// the hardware `atomicAdd` gives back, needed by callers that derive
+    /// incremental quantities (e.g. Σa² updates) from the pre-add value.
+    #[inline]
+    pub fn atomic_add_f64_prev(&mut self, buf: &GlobalF64, idx: usize, v: f64) -> f64 {
+        let (prev, attempts) = buf.atomic_add_prev(idx, v);
         self.counters.atomic_adds += 1;
         self.counters.cas_ops += attempts as u64;
         self.counters.cas_failures += (attempts - 1) as u64;
+        prev
     }
 
     /// `atomicAdd` on a global u32 cell; returns the previous value.

@@ -27,6 +27,7 @@ use crate::fault::{mix64, unit_f64, FaultStats, LaunchError, LaunchFault};
 use crate::group::{GroupCtx, VALID_GROUP_LANES};
 use crate::memory::{GlobalF64, GlobalU32};
 use crate::metrics::{BlockCounters, MetricsReport, MetricsStore};
+use crate::pool::PoolStore;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +38,7 @@ use std::time::Instant;
 pub struct Device {
     cfg: DeviceConfig,
     metrics: Mutex<MetricsStore>,
+    pool: Mutex<PoolStore>,
     /// Per-device decision sequence for launch faults; advancing it is what
     /// makes a retried launch draw a fresh fault decision.
     launch_seq: AtomicU64,
@@ -50,6 +52,7 @@ impl Device {
         Self {
             cfg,
             metrics: Mutex::new(MetricsStore::default()),
+            pool: Mutex::new(PoolStore::default()),
             launch_seq: AtomicU64::new(0),
             corrupt_seq: AtomicU64::new(0),
         }
@@ -67,12 +70,19 @@ impl Device {
 
     /// Snapshot of all kernel metrics recorded so far.
     pub fn metrics(&self) -> MetricsReport {
-        self.metrics.lock().snapshot()
+        self.metrics.lock().snapshot(self.pool.lock().stats)
     }
 
-    /// Clears all recorded metrics (including fault counters).
+    /// Clears all recorded metrics (including fault and pool counters).
+    /// Pooled allocations themselves survive the reset.
     pub fn reset_metrics(&self) {
         self.metrics.lock().reset();
+        self.pool.lock().reset_stats();
+    }
+
+    /// The buffer-pool free lists (see [`crate::pool`]).
+    pub(crate) fn pool_store(&self) -> std::sync::MutexGuard<'_, PoolStore> {
+        self.pool.lock()
     }
 
     /// Fault counters recorded so far (injected / detected / recovered).

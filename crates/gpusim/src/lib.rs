@@ -35,6 +35,7 @@ pub mod group;
 pub mod launch;
 pub mod memory;
 pub mod metrics;
+pub mod pool;
 pub mod thrust;
 
 pub use config::DeviceConfig;
@@ -43,3 +44,4 @@ pub use group::{GroupCtx, VALID_GROUP_LANES};
 pub use launch::Device;
 pub use memory::{GlobalF64, GlobalU32, GlobalU64};
 pub use metrics::{BlockCounters, KernelMetrics, MetricsReport};
+pub use pool::{PoolStats, PooledF64, PooledU32, PooledU64};

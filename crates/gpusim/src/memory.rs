@@ -11,35 +11,55 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A global buffer of `u32` (vertex ids, community ids, counters).
+///
+/// A buffer has a logical length (what `len`, `to_vec`, `fill` operate on)
+/// that may be smaller than its backing allocation: the device's
+/// [`crate::pool`] recycles allocations by power-of-two size class, so a
+/// pooled buffer of logical length 100 may sit on a 128-cell allocation.
 #[derive(Debug, Default)]
 pub struct GlobalU32 {
     cells: Vec<AtomicU32>,
+    len: usize,
 }
 
 impl GlobalU32 {
     /// A zero-filled buffer of `len` cells.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU32::new(0)).collect() }
+        Self { cells: (0..len).map(|_| AtomicU32::new(0)).collect(), len }
     }
 
     /// A buffer initialized from a slice.
     pub fn from_slice(data: &[u32]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU32::new(v)).collect() }
+        Self { cells: data.iter().map(|&v| AtomicU32::new(v)).collect(), len: data.len() }
     }
 
-    /// Number of cells.
+    /// Wraps a pooled allocation with a logical length (`len <=
+    /// cells.len()`).
+    pub(crate) fn from_pooled(cells: Vec<AtomicU32>, len: usize) -> Self {
+        debug_assert!(len <= cells.len());
+        Self { cells, len }
+    }
+
+    /// Releases the backing allocation (full size-class capacity) back to the
+    /// pool.
+    pub(crate) fn into_pooled(self) -> Vec<AtomicU32> {
+        self.cells
+    }
+
+    /// Logical number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// True when the buffer has no cells.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
     /// Plain load.
     #[inline]
     pub fn load(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.len);
         self.cells[idx].load(Ordering::Relaxed)
     }
 
@@ -62,27 +82,28 @@ impl GlobalU32 {
         self.cells[idx].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
-    /// `atomicMin` emulation (CAS loop); returns the previous value.
+    /// `atomicMin` via a single hardware `fetch_min`; returns the previous
+    /// value.
     pub fn atomic_min(&self, idx: usize, v: u32) -> u32 {
         self.cells[idx].fetch_min(v, Ordering::Relaxed)
     }
 
     /// Copies the buffer out to a host vector.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells[..self.len].iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
     /// Overwrites every cell from a slice of the same length.
     pub fn copy_from_slice(&self, data: &[u32]) {
         assert_eq!(data.len(), self.len());
-        for (c, &v) in self.cells.iter().zip(data) {
+        for (c, &v) in self.cells[..self.len].iter().zip(data) {
             c.store(v, Ordering::Relaxed);
         }
     }
 
     /// Fills the buffer with a value.
     pub fn fill(&self, v: u32) {
-        for c in &self.cells {
+        for c in &self.cells[..self.len] {
             c.store(v, Ordering::Relaxed);
         }
     }
@@ -95,36 +116,50 @@ impl GlobalU32 {
     }
 }
 
-/// A global buffer of `u64` (sizes, offsets, degree sums).
+/// A global buffer of `u64` (sizes, offsets, degree sums). Has the same
+/// logical-length / backing-capacity split as [`GlobalU32`].
 #[derive(Debug, Default)]
 pub struct GlobalU64 {
     cells: Vec<AtomicU64>,
+    len: usize,
 }
 
 impl GlobalU64 {
     /// A zero-filled buffer of `len` cells.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0)).collect() }
+        Self { cells: (0..len).map(|_| AtomicU64::new(0)).collect(), len }
     }
 
     /// A buffer initialized from a slice.
     pub fn from_slice(data: &[u64]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU64::new(v)).collect() }
+        Self { cells: data.iter().map(|&v| AtomicU64::new(v)).collect(), len: data.len() }
     }
 
-    /// Number of cells.
+    /// Wraps a pooled allocation with a logical length.
+    pub(crate) fn from_pooled(cells: Vec<AtomicU64>, len: usize) -> Self {
+        debug_assert!(len <= cells.len());
+        Self { cells, len }
+    }
+
+    /// Releases the backing allocation back to the pool.
+    pub(crate) fn into_pooled(self) -> Vec<AtomicU64> {
+        self.cells
+    }
+
+    /// Logical number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// True when the buffer has no cells.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
     /// Plain load.
     #[inline]
     pub fn load(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.len);
         self.cells[idx].load(Ordering::Relaxed)
     }
 
@@ -142,7 +177,15 @@ impl GlobalU64 {
 
     /// Copies the buffer out to a host vector.
     pub fn to_vec(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells[..self.len].iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Host-to-device copy (`cudaMemcpy` H2D). Lengths must match.
+    pub fn copy_from_slice(&self, data: &[u64]) {
+        assert_eq!(data.len(), self.len);
+        for (cell, &v) in self.cells.iter().zip(data) {
+            cell.store(v, Ordering::Relaxed);
+        }
     }
 }
 
@@ -152,32 +195,46 @@ impl GlobalU64 {
 #[derive(Debug, Default)]
 pub struct GlobalF64 {
     cells: Vec<AtomicU64>,
+    len: usize,
 }
 
 impl GlobalF64 {
     /// A zero-filled buffer of `len` cells.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect(), len }
     }
 
     /// A buffer initialized from a slice.
     pub fn from_slice(data: &[f64]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU64::new(v.to_bits())).collect() }
+        Self { cells: data.iter().map(|&v| AtomicU64::new(v.to_bits())).collect(), len: data.len() }
     }
 
-    /// Number of cells.
+    /// Wraps a pooled allocation with a logical length. The 64-bit word pool
+    /// is shared with [`GlobalU64`]; an all-zero word is `0.0`.
+    pub(crate) fn from_pooled(cells: Vec<AtomicU64>, len: usize) -> Self {
+        debug_assert!(len <= cells.len());
+        Self { cells, len }
+    }
+
+    /// Releases the backing allocation back to the pool.
+    pub(crate) fn into_pooled(self) -> Vec<AtomicU64> {
+        self.cells
+    }
+
+    /// Logical number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// True when the buffer has no cells.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
     }
 
     /// Plain load.
     #[inline]
     pub fn load(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.len);
         f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
     }
 
@@ -187,17 +244,33 @@ impl GlobalF64 {
         self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Host-to-device copy (`cudaMemcpy` H2D). Lengths must match.
+    pub fn copy_from_slice(&self, data: &[f64]) {
+        assert_eq!(data.len(), self.len);
+        for (cell, &v) in self.cells.iter().zip(data) {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
     /// `atomicAdd` via CAS loop; returns the number of CAS attempts it took
     /// (1 = no contention), which the metrics layer records.
     #[inline]
     pub fn atomic_add(&self, idx: usize, v: f64) -> u32 {
+        self.atomic_add_prev(idx, v).1
+    }
+
+    /// `atomicAdd` via CAS loop, returning `(previous value, CAS attempts)`.
+    /// The previous value is what CUDA's `atomicAdd` returns; incremental
+    /// bookkeeping (e.g. tracking `Σ a_c²` across volume updates) needs it.
+    #[inline]
+    pub fn atomic_add_prev(&self, idx: usize, v: f64) -> (f64, u32) {
         let cell = &self.cells[idx];
         let mut attempts = 1;
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
             match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return attempts,
+                Ok(prev) => return (f64::from_bits(prev), attempts),
                 Err(actual) => {
                     attempts += 1;
                     cur = actual;
@@ -208,7 +281,7 @@ impl GlobalF64 {
 
     /// Copies the buffer out to a host vector.
     pub fn to_vec(&self) -> Vec<f64> {
-        self.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
+        self.cells[..self.len].iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
     }
 
     /// Flips one bit of a cell's IEEE-754 representation (fault injection:
@@ -220,7 +293,7 @@ impl GlobalF64 {
 
     /// Fills the buffer with a value.
     pub fn fill(&self, v: f64) {
-        for c in &self.cells {
+        for c in &self.cells[..self.len] {
             c.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -259,6 +332,25 @@ mod tests {
         for x in v {
             assert!((x - 1250.0).abs() < 1e-9, "lost updates: {x}");
         }
+    }
+
+    #[test]
+    fn f64_atomic_add_prev_returns_previous() {
+        let b = GlobalF64::from_slice(&[2.5]);
+        let (prev, attempts) = b.atomic_add_prev(0, 1.5);
+        assert_eq!(prev, 2.5);
+        assert_eq!(attempts, 1);
+        assert_eq!(b.load(0), 4.0);
+        // Concurrent prev-returning adds telescope: sum of (new² - prev²)
+        // deltas equals final² - initial² regardless of interleaving.
+        let c = GlobalF64::zeroed(1);
+        let d_sq = GlobalF64::zeroed(1);
+        (0..1000u32).into_par_iter().for_each(|_| {
+            let (prev, _) = c.atomic_add_prev(0, 1.0);
+            d_sq.atomic_add(0, 2.0 * prev + 1.0);
+        });
+        assert_eq!(c.load(0), 1000.0);
+        assert_eq!(d_sq.load(0), 1000.0 * 1000.0);
     }
 
     #[test]

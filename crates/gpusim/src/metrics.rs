@@ -8,6 +8,7 @@
 
 use crate::config::DeviceConfig;
 use crate::fault::FaultStats;
+use crate::pool::PoolStats;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -125,17 +126,27 @@ impl KernelMetrics {
 pub struct MetricsReport {
     entries: Vec<(String, KernelMetrics)>,
     faults: FaultStats,
+    pool: PoolStats,
 }
 
 impl MetricsReport {
-    pub(crate) fn new(entries: Vec<(String, KernelMetrics)>, faults: FaultStats) -> Self {
-        Self { entries, faults }
+    pub(crate) fn new(
+        entries: Vec<(String, KernelMetrics)>,
+        faults: FaultStats,
+        pool: PoolStats,
+    ) -> Self {
+        Self { entries, faults, pool }
     }
 
     /// Fault-injection counters: injected by the device, detected/recovered
     /// as reported by the driver.
     pub fn faults(&self) -> &FaultStats {
         &self.faults
+    }
+
+    /// Buffer-pool counters (hits, misses, bytes recycled/allocated).
+    pub fn pool(&self) -> &PoolStats {
+        &self.pool
     }
 
     /// Per-kernel entries in first-launch order.
@@ -194,10 +205,11 @@ impl MetricsStore {
         entry.shared_bytes_per_block = entry.shared_bytes_per_block.max(shared_bytes_per_block);
     }
 
-    pub(crate) fn snapshot(&self) -> MetricsReport {
+    pub(crate) fn snapshot(&self, pool: PoolStats) -> MetricsReport {
         MetricsReport::new(
             self.order.iter().map(|name| (name.clone(), self.map[name].clone())).collect(),
             self.faults,
+            pool,
         )
     }
 
@@ -241,7 +253,7 @@ mod tests {
         s.record_launch("b", 1, BlockCounters::default(), Duration::ZERO, 64);
         s.record_launch("a", 1, BlockCounters::default(), Duration::ZERO, 0);
         s.record_launch("b", 2, BlockCounters::default(), Duration::ZERO, 32);
-        let r = s.snapshot();
+        let r = s.snapshot(PoolStats::default());
         assert_eq!(r.kernels()[0].0, "b");
         assert_eq!(r.kernels()[1].0, "a");
         assert_eq!(r.kernel("b").unwrap().launches, 2);

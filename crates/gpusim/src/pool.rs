@@ -1,0 +1,270 @@
+//! Device buffer pool — recycled global-memory allocations.
+//!
+//! Real GPU drivers amortize `cudaMalloc`/`cudaFree` with suballocators
+//! because allocation synchronizes the device; the simulator's equivalent
+//! cost is host heap traffic on every optimization iteration. The pool keeps
+//! retired buffer allocations on the device, keyed by power-of-two size
+//! class, and hands them back zeroed. `u64` and `f64` buffers share one
+//! 64-bit word pool (an all-zero word is `0.0`).
+//!
+//! Acquisition goes through [`Device::pool_u32`] / [`Device::pool_u64`] /
+//! [`Device::pool_f64`], which return RAII guards ([`PooledU32`] etc.) that
+//! deref to the plain global-buffer types and return their allocation to the
+//! pool on drop. Hit/miss and byte counters surface in
+//! [`crate::MetricsReport::pool`].
+
+use crate::launch::Device;
+use crate::memory::{GlobalF64, GlobalU32, GlobalU64};
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+
+/// Counters of pool activity since the last metrics reset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from a recycled allocation.
+    pub hits: u64,
+    /// Acquisitions that had to allocate fresh memory.
+    pub misses: u64,
+    /// Bytes served from recycled allocations (full size-class capacity).
+    pub bytes_recycled: u64,
+    /// Bytes freshly allocated on misses.
+    pub bytes_allocated: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquisitions served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Free lists behind the device mutex. Allocations are stored at exactly
+/// their size-class capacity, so the class of a returned allocation is its
+/// vector length.
+#[derive(Debug, Default)]
+pub(crate) struct PoolStore {
+    words32: HashMap<usize, Vec<Vec<AtomicU32>>>,
+    words64: HashMap<usize, Vec<Vec<AtomicU64>>>,
+    pub(crate) stats: PoolStats,
+}
+
+/// Size class of a logical length: the next power of two (minimum 1).
+fn size_class(len: usize) -> usize {
+    len.max(1).next_power_of_two()
+}
+
+impl PoolStore {
+    fn acquire_u32(&mut self, len: usize) -> Vec<AtomicU32> {
+        let class = size_class(len);
+        match self.words32.get_mut(&class).and_then(Vec::pop) {
+            Some(cells) => {
+                self.stats.hits += 1;
+                self.stats.bytes_recycled += 4 * class as u64;
+                for c in &cells[..len] {
+                    c.store(0, std::sync::atomic::Ordering::Relaxed);
+                }
+                cells
+            }
+            None => {
+                self.stats.misses += 1;
+                self.stats.bytes_allocated += 4 * class as u64;
+                (0..class).map(|_| AtomicU32::new(0)).collect()
+            }
+        }
+    }
+
+    fn acquire_u64(&mut self, len: usize) -> Vec<AtomicU64> {
+        let class = size_class(len);
+        match self.words64.get_mut(&class).and_then(Vec::pop) {
+            Some(cells) => {
+                self.stats.hits += 1;
+                self.stats.bytes_recycled += 8 * class as u64;
+                for c in &cells[..len] {
+                    c.store(0, std::sync::atomic::Ordering::Relaxed);
+                }
+                cells
+            }
+            None => {
+                self.stats.misses += 1;
+                self.stats.bytes_allocated += 8 * class as u64;
+                (0..class).map(|_| AtomicU64::new(0)).collect()
+            }
+        }
+    }
+
+    fn release_u32(&mut self, cells: Vec<AtomicU32>) {
+        debug_assert!(cells.len().is_power_of_two());
+        self.words32.entry(cells.len()).or_default().push(cells);
+    }
+
+    fn release_u64(&mut self, cells: Vec<AtomicU64>) {
+        debug_assert!(cells.len().is_power_of_two());
+        self.words64.entry(cells.len()).or_default().push(cells);
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+}
+
+impl Device {
+    /// Acquires a zero-filled `u32` buffer of logical length `len` from the
+    /// pool (allocating on miss). The guard returns the allocation on drop.
+    pub fn pool_u32(&self, len: usize) -> PooledU32<'_> {
+        let cells = self.pool_store().acquire_u32(len);
+        PooledU32 { dev: self, buf: Some(GlobalU32::from_pooled(cells, len)) }
+    }
+
+    /// Acquires a zero-filled `u64` buffer of logical length `len` from the
+    /// pool.
+    pub fn pool_u64(&self, len: usize) -> PooledU64<'_> {
+        let cells = self.pool_store().acquire_u64(len);
+        PooledU64 { dev: self, buf: Some(GlobalU64::from_pooled(cells, len)) }
+    }
+
+    /// Acquires a zero-filled `f64` buffer of logical length `len` from the
+    /// pool (shares the 64-bit word pool with [`Device::pool_u64`]).
+    pub fn pool_f64(&self, len: usize) -> PooledF64<'_> {
+        let cells = self.pool_store().acquire_u64(len);
+        PooledF64 { dev: self, buf: Some(GlobalF64::from_pooled(cells, len)) }
+    }
+
+    /// Pool counters since the last metrics reset.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_store().stats
+    }
+}
+
+macro_rules! pooled_guard {
+    ($guard:ident, $target:ident, $release:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $guard<'d> {
+            dev: &'d Device,
+            buf: Option<$target>,
+        }
+
+        impl Deref for $guard<'_> {
+            type Target = $target;
+            fn deref(&self) -> &$target {
+                self.buf.as_ref().expect("pooled buffer taken")
+            }
+        }
+
+        impl Drop for $guard<'_> {
+            fn drop(&mut self) {
+                if let Some(buf) = self.buf.take() {
+                    self.dev.pool_store().$release(buf.into_pooled());
+                }
+            }
+        }
+    };
+}
+
+pooled_guard!(
+    PooledU32,
+    GlobalU32,
+    release_u32,
+    "RAII guard over a pooled [`GlobalU32`]; derefs to it and returns the \
+     allocation to the device pool on drop."
+);
+pooled_guard!(
+    PooledU64,
+    GlobalU64,
+    release_u64,
+    "RAII guard over a pooled [`GlobalU64`]; derefs to it and returns the \
+     allocation to the device pool on drop."
+);
+pooled_guard!(
+    PooledF64,
+    GlobalF64,
+    release_u64,
+    "RAII guard over a pooled [`GlobalF64`]; derefs to it and returns the \
+     allocation to the device pool on drop."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn acquire_is_zeroed_and_logical_length() {
+        let d = dev();
+        let b = d.pool_u32(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.to_vec(), vec![0u32; 100]);
+        b.store(99, 7);
+        drop(b);
+        // Same size class (128) — the dirtied allocation comes back zeroed.
+        let b2 = d.pool_u32(120);
+        assert_eq!(b2.len(), 120);
+        assert!(b2.to_vec().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn recycling_by_size_class_and_stats() {
+        let d = dev();
+        {
+            let _a = d.pool_u32(100); // class 128: miss
+            let _b = d.pool_u32(100); // class 128: miss (first still live)
+        }
+        let _c = d.pool_u32(65); // class 128: hit
+        let _d = d.pool_u32(200); // class 256: miss
+        let s = d.pool_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.bytes_recycled, 4 * 128);
+        assert_eq!(s.bytes_allocated, 4 * (128 + 128 + 256));
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u64_and_f64_share_the_word_pool() {
+        let d = dev();
+        {
+            let u = d.pool_u64(50);
+            u.store(3, u64::MAX);
+        }
+        let f = d.pool_f64(50); // class 64: hit from the u64 release
+        assert_eq!(d.pool_stats().hits, 1);
+        assert_eq!(f.to_vec(), vec![0.0; 50]);
+    }
+
+    #[test]
+    fn stats_reach_metrics_report_and_reset() {
+        let d = dev();
+        {
+            let _a = d.pool_f64(10);
+        }
+        let _b = d.pool_f64(10);
+        let report = d.metrics();
+        assert_eq!(report.pool().hits, 1);
+        assert_eq!(report.pool().misses, 1);
+        d.reset_metrics();
+        assert_eq!(d.pool_stats(), PoolStats::default());
+        // Buffers survive the stats reset: next acquisition still hits.
+        drop(_b);
+        let _c = d.pool_f64(10);
+        assert_eq!(d.pool_stats().hits, 1);
+    }
+
+    #[test]
+    fn pooled_buffers_work_in_kernels() {
+        let d = dev();
+        let counts = d.pool_u32(4);
+        d.launch_threads("histogram", 100, |ctx, t| {
+            ctx.atomic_add_u32(&counts, t % 4, 1);
+        });
+        assert_eq!(counts.to_vec(), vec![25, 25, 25, 25]);
+    }
+}

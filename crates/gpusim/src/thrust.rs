@@ -8,6 +8,7 @@
 //! `thrust::<op>`.
 
 use crate::launch::Device;
+use crate::memory::GlobalF64;
 use crate::metrics::BlockCounters;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -97,6 +98,42 @@ impl Device {
         let partials: Vec<f64> = data.par_chunks(CHUNK).map(|c| c.iter().sum::<f64>()).collect();
         let total = partials.iter().sum();
         record_elems(self, "thrust::reduce", data.len(), start);
+        total
+    }
+
+    /// Deterministic sum reduction reading a device buffer directly
+    /// (`thrust::reduce` over a device pointer) — no `to_vec()` staging copy.
+    pub fn reduce_sum_f64_global(&self, data: &GlobalF64) -> f64 {
+        self.reduce_sum_map_f64_global(data, "thrust::reduce", |x| x)
+    }
+
+    /// Deterministic transform-reduce over a device buffer
+    /// (`thrust::transform_reduce`): sums `f(x)` over all elements with fixed
+    /// chunk boundaries.
+    pub fn transform_reduce_f64_global<F>(&self, data: &GlobalF64, f: F) -> f64
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        self.reduce_sum_map_f64_global(data, "thrust::transform_reduce", f)
+    }
+
+    fn reduce_sum_map_f64_global<F>(&self, data: &GlobalF64, name: &str, f: F) -> f64
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        let start = Instant::now();
+        let n = data.len();
+        let n_chunks = n.div_ceil(CHUNK);
+        let partials: Vec<f64> = (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * CHUNK;
+                let hi = (lo + CHUNK).min(n);
+                (lo..hi).map(|i| f(data.load(i))).sum::<f64>()
+            })
+            .collect();
+        let total = partials.iter().sum();
+        record_elems(self, name, n, start);
         total
     }
 
@@ -239,6 +276,23 @@ mod tests {
         assert_eq!(dev.max_usize(&[3, 9, 1]), Some(9));
         assert_eq!(dev.max_usize(&[]), None);
         assert_eq!(dev.count_if(&[1, 2, 3, 4], |&x| x % 2 == 0), 2);
+    }
+
+    #[test]
+    fn global_reduce_matches_host_reduce() {
+        let dev = dev();
+        let host: Vec<f64> = (0..50_000).map(|i| (i as f64).cos()).collect();
+        let buf = GlobalF64::zeroed(host.len());
+        buf.copy_from_slice(&host);
+        let a = dev.reduce_sum_f64(&host);
+        let b = dev.reduce_sum_f64_global(&buf);
+        assert_eq!(a.to_bits(), b.to_bits(), "same chunking ⇒ bitwise equal");
+        let sq = dev.transform_reduce_f64_global(&buf, |x| x * x);
+        let sq_host = dev.reduce_sum_f64(&host.iter().map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(sq.to_bits(), sq_host.to_bits());
+        let m = dev.metrics();
+        assert_eq!(m.kernel("thrust::reduce").unwrap().launches, 3);
+        assert_eq!(m.kernel("thrust::transform_reduce").unwrap().launches, 1);
     }
 
     #[test]

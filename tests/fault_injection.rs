@@ -8,6 +8,7 @@
 //! fault-free behavior bitwise unchanged. Degenerate inputs must flow through
 //! both public entry points without panicking.
 
+use community_gpu::core::UpdateStrategy;
 use community_gpu::gpusim::FaultPlan;
 use community_gpu::prelude::*;
 
@@ -45,6 +46,28 @@ fn same_seed_same_fault_schedule_same_result() {
     let (fa, fb) = (da.fault_stats(), db.fault_stats());
     assert_eq!(fa, fb, "fault schedules diverge: {fa:?} vs {fb:?}");
     assert!(fa.injected() > 0, "the plan should actually inject faults");
+}
+
+#[test]
+fn incremental_modularity_resyncs_under_faults() {
+    // resync_interval = 1 checks the incrementally-tracked Q against a full
+    // device recompute every iteration (within 1e-9, else the stage fails
+    // and retries) — here with faults injected, under both update
+    // strategies and both pruning settings. Completion means every resync
+    // on the surviving attempts agreed.
+    let g = test_graph();
+    for strategy in [UpdateStrategy::PerBucket, UpdateStrategy::Relaxed] {
+        for pruning in [false, true] {
+            let mut cfg = cfg();
+            cfg.update_strategy = strategy;
+            cfg.pruning = pruning;
+            cfg.resync_interval = 1;
+            let dev = faulty_device(17);
+            let out = louvain_gpu(&dev, &g, &cfg)
+                .unwrap_or_else(|e| panic!("{strategy:?} pruning={pruning}: {e}"));
+            assert!(out.modularity > 0.0, "{strategy:?} pruning={pruning}");
+        }
+    }
 }
 
 #[test]
