@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|large] [--out DIR]
+//!                    [--profile instrumented|fast]
 //!
 //! experiments:
 //!   table1    graphs, sequential vs GPU times and modularity
@@ -21,12 +22,25 @@
 //!   schedule  multi-level threshold schedules (Section 6)
 //!   faults    fault-injection sweep and multi-device failover
 //!   opt-bench perf snapshot of the optimization hot loop (BENCH_opt.json)
+//!   backend   Fast vs Instrumented execution profiles (BENCH_backend.json)
 //!   all       everything above
 //! ```
+//!
+//! `--profile` selects the execution profile for the GPU runs (default:
+//! `CD_GPUSIM_PROFILE`, instrumented if unset). Experiments whose
+//! measurement *is* the instrumented cost model reject `--profile fast`
+//! rather than report zero model times; `backend` always runs both.
 
 use cd_bench::experiments;
+use cd_gpusim::Profile;
 use cd_workloads::Scale;
 use std::path::PathBuf;
+
+/// Experiments that stay meaningful under the `Fast` profile — they either
+/// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
+/// their profiles themselves. Everything else quotes the instrumented cost
+/// model and would report zeros.
+const FAST_SAFE: [&str; 3] = ["backend", "buckets", "multigpu"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +51,7 @@ fn main() {
     let experiment = args[0].as_str();
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("results");
+    let mut profile = Profile::from_env();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,12 +65,32 @@ fn main() {
                 i += 1;
                 out = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a value")));
             }
+            "--profile" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--profile needs a value"));
+                profile =
+                    Profile::parse(v).unwrap_or_else(|| die("profile must be instrumented|fast"));
+            }
             other => die(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
+    if !profile.is_instrumented() && !FAST_SAFE.contains(&experiment) {
+        die(&format!(
+            "experiment '{experiment}' quotes the instrumented cost model and cannot run under \
+             the fast profile; fast supports: {}",
+            FAST_SAFE.join(", ")
+        ));
+    }
+    // Thread the selection through the device default: the stock
+    // `DeviceConfig` constructors read this variable (experiments that
+    // *require* a specific profile still pin it explicitly).
+    std::env::set_var("CD_GPUSIM_PROFILE", profile.to_string());
 
-    println!("# repro: experiment={experiment} scale={scale:?} out={}", out.display());
+    println!(
+        "# repro: experiment={experiment} scale={scale:?} out={} profile={profile}",
+        out.display()
+    );
     let t0 = std::time::Instant::now();
     match experiment {
         "table1" => experiments::table1(scale, &out),
@@ -73,6 +108,7 @@ fn main() {
         "schedule" => experiments::schedule(scale, &out),
         "faults" => experiments::faults(scale, &out),
         "opt-bench" => experiments::opt_snapshot(scale, &out),
+        "backend" => experiments::backend_snapshot(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -89,6 +125,7 @@ fn main() {
             experiments::schedule(scale, &out);
             experiments::faults(scale, &out);
             experiments::opt_snapshot(scale, &out);
+            experiments::backend_snapshot(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -98,9 +135,10 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, all\n\
-         default scale: small; outputs CSVs under DIR (default ./results)"
+         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast]\n\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, all\n\
+         default scale: small; outputs CSVs under DIR (default ./results)\n\
+         default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented"
     );
 }
 

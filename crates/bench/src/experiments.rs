@@ -2,8 +2,11 @@
 //! Each prints the rows/series the paper reports and saves them as CSV.
 
 use crate::report::{f4, ratio, secs, Table};
-use crate::runner::{run_cpu_parallel, run_gpu, run_plm, run_seq, run_seq_adaptive};
+use crate::runner::{
+    run_cpu_parallel, run_gpu, run_gpu_profiled, run_plm, run_seq, run_seq_adaptive,
+};
 use cd_core::{GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy};
+use cd_gpusim::Profile;
 use cd_workloads::{by_name, BuiltWorkload, Scale, WorkloadSpec, SUITE};
 use std::path::Path;
 
@@ -722,7 +725,11 @@ pub fn faults(scale: Scale, out: &Path) {
                 .with_abort_rate(abort)
                 .with_stuck_rate(stuck)
                 .with_bitflip_rate(flip);
-            let dev_cfg = DeviceConfig::tesla_k40m().with_fault_plan(plan);
+            // Fault injection lives in the instrumented launch path; pin the
+            // profile so the sweep works regardless of the env default.
+            let dev_cfg = DeviceConfig::tesla_k40m()
+                .with_profile(Profile::Instrumented)
+                .with_fault_plan(plan);
             let dev = Device::new(dev_cfg.clone());
             let res = louvain_gpu(&dev, g, &cfg);
             let stats = dev.fault_stats();
@@ -769,7 +776,7 @@ pub fn faults(scale: Scale, out: &Path) {
         let mut cfg = MultiGpuConfig::k40m(4);
         cfg.gpu = gpu_cfg(scale);
         cfg.gpu.retry.max_attempts = attempts;
-        cfg.device = cfg.device.with_fault_plan(plan);
+        cfg.device = cfg.device.with_profile(Profile::Instrumented).with_fault_plan(plan);
         match louvain_multi_gpu(g, &cfg) {
             Ok(res) => {
                 let count = |f: fn(&RecoveryAction) -> bool| {
@@ -850,8 +857,12 @@ pub fn opt_snapshot(scale: Scale, out: &Path) {
             cfg.pruning = pruning;
             // Best of three: the recorded seed baseline is also the fastest
             // of its runs, so the speedup compares like statistics (single
-            // samples on a shared host are ±30% noise).
-            let run = (0..3).map(|_| run_gpu(g, &cfg)).min_by_key(|r| r.result.opt_time()).unwrap();
+            // samples on a shared host are ±30% noise). Pinned instrumented:
+            // the launch/transaction/pool columns are instrumentation.
+            let run = (0..3)
+                .map(|_| run_gpu_profiled(g, &cfg, Profile::Instrumented))
+                .min_by_key(|r| r.result.opt_time())
+                .unwrap();
             let opt_s = run.result.opt_time().as_secs_f64();
             let iters: usize = run.result.stages.iter().map(|s| s.iterations).sum();
             let iter_ms: Vec<f64> = run
@@ -938,10 +949,111 @@ pub fn opt_snapshot(scale: Scale, out: &Path) {
     };
     let json = format!(
         "{{\n  \"experiment\": \"opt_snapshot\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"device\": \"tesla_k40m\",\n  \"workloads\": [{entries}\n  ]{summary}\n}}\n"
+         \"device\": \"tesla_k40m\",\n  \"profile\": \"{}\",\n  \"workloads\": [{entries}\n  ]{summary}\n}}\n",
+        Profile::Instrumented
     );
     std::fs::create_dir_all(out).ok();
     let path = out.join("BENCH_opt.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Execution-backend comparison: the same workloads under the `Fast` and
+/// `Instrumented` profiles. The two must agree bit-for-bit on labels and
+/// modularity (the profiles differ only in what they *record*); the payoff
+/// is opt-phase wall time, written as `BENCH_backend.json` (committed
+/// baseline at `Scale::Medium`, regenerated as a CI artifact).
+pub fn backend_snapshot(scale: Scale, out: &Path) {
+    let names = ["road-usa", "com-dblp", "uk2002"];
+    let mut t = Table::new(
+        format!("Execution backends — Fast vs Instrumented opt wall time (scale: {scale:?})"),
+        &["graph", "pruning", "instr opt[s]", "fast opt[s]", "fast speedup", "Q", "|dQ|", "labels"],
+    );
+    let mut entries = String::new();
+    let mut speedups = Vec::new();
+    let mut max_drift = 0.0f64;
+    let mut all_identical = true;
+    for name in names {
+        let built = build(by_name(name).unwrap(), scale);
+        let g = &built.graph;
+        for pruning in [true, false] {
+            let mut cfg = gpu_cfg(scale);
+            cfg.pruning = pruning;
+            // Best of three per profile, with the repetitions interleaved
+            // (I,F, I,F, I,F) so slow ambient drift on the host lands on both
+            // profiles equally instead of biasing whichever ran second.
+            let mut instr: Option<crate::runner::GpuRun> = None;
+            let mut fast: Option<crate::runner::GpuRun> = None;
+            for _ in 0..3 {
+                for (profile, best) in
+                    [(Profile::Instrumented, &mut instr), (Profile::Fast, &mut fast)]
+                {
+                    let run = run_gpu_profiled(g, &cfg, profile);
+                    if best.as_ref().is_none_or(|b| run.opt_wall() < b.opt_wall()) {
+                        *best = Some(run);
+                    }
+                }
+            }
+            let (instr, fast) = (instr.unwrap(), fast.unwrap());
+            let instr_s = instr.opt_wall().as_secs_f64();
+            let fast_s = fast.opt_wall().as_secs_f64();
+            let speedup = instr_s / fast_s.max(1e-12);
+            speedups.push(speedup);
+            let drift = (instr.result.modularity - fast.result.modularity).abs();
+            max_drift = max_drift.max(drift);
+            let labels_identical =
+                instr.result.partition.as_slice() == fast.result.partition.as_slice();
+            all_identical &= labels_identical && drift == 0.0;
+            t.row(vec![
+                name.to_string(),
+                pruning.to_string(),
+                format!("{instr_s:.4}"),
+                format!("{fast_s:.4}"),
+                ratio(speedup),
+                format!("{:.12}", instr.result.modularity),
+                format!("{drift:.1e}"),
+                if labels_identical { "identical".into() } else { "DIVERGED".into() },
+            ]);
+            if !entries.is_empty() {
+                entries.push(',');
+            }
+            entries.push_str(&format!(
+                "\n    {{\n      \"graph\": \"{name}\",\n      \"pruning\": {pruning},\n      \
+                 \"vertices\": {nv},\n      \"arcs\": {na},\n      \
+                 \"instrumented_opt_seconds\": {instr_s:.6},\n      \
+                 \"fast_opt_seconds\": {fast_s:.6},\n      \"fast_opt_speedup\": {speedup:.4},\n      \
+                 \"modularity\": {q:.15},\n      \"modularity_drift\": {drift:.3e},\n      \
+                 \"labels_identical\": {labels_identical}\n    }}",
+                nv = g.num_vertices(),
+                na = g.num_arcs(),
+                q = instr.result.modularity,
+            ));
+        }
+    }
+    t.print();
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "fast-profile opt speedup: min {} / geo-mean {}; max |dQ| = {max_drift:.1e}; labels {} (gate: >=1.3x, |dQ| = 0, labels identical)",
+        ratio(min),
+        ratio(geometric_mean(&speedups)),
+        if all_identical { "identical on every workload" } else { "DIVERGED — backends disagree" },
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"backend_snapshot\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"device\": \"tesla_k40m\",\n  \"profiles\": [\"{}\", \"{}\"],\n  \
+         \"workloads\": [{entries}\n  ],\n  \"summary\": {{\n    \
+         \"min_fast_opt_speedup\": {min:.4},\n    \
+         \"geo_mean_fast_opt_speedup\": {gm:.4},\n    \
+         \"max_modularity_drift\": {max_drift:.3e},\n    \
+         \"all_labels_identical\": {all_identical}\n  }}\n}}\n",
+        Profile::Instrumented,
+        Profile::Fast,
+        gm = geometric_mean(&speedups),
+    );
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("BENCH_backend.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -15,13 +15,22 @@
 //! Speedup figures quote the model time as the GPU time, which mirrors the
 //! paper's measurement (device wall clock) as closely as a simulator can;
 //! host time is printed alongside for transparency.
+//!
+//! **Execution profiles.** The cost model and kernel metrics only exist under
+//! the [`Profile::Instrumented`] execution profile; under [`Profile::Fast`]
+//! the simulator compiles accounting out and `model_seconds` is zero. The
+//! stock [`run_gpu`] honours the device default (the `CD_GPUSIM_PROFILE`
+//! environment variable / `repro --profile`); experiments whose measurement
+//! *is* the cost model must run instrumented, which the `repro` CLI enforces.
+//! [`run_gpu_profiled`] pins a profile explicitly — the backend-comparison
+//! experiment uses it to run the same workload under both.
 
 use cd_baselines::{
     louvain_parallel_cpu, louvain_plm, louvain_sequential, ParallelCpuConfig, PlmConfig,
     SequentialConfig,
 };
 use cd_core::{louvain_gpu, GpuLouvainConfig, GpuLouvainResult};
-use cd_gpusim::{Device, DeviceConfig, MetricsReport};
+use cd_gpusim::{Device, DeviceConfig, MetricsReport, Profile};
 use cd_graph::Csr;
 use std::time::{Duration, Instant};
 
@@ -40,6 +49,17 @@ pub struct GpuRun {
 }
 
 impl GpuRun {
+    /// The execution profile that produced this run's numbers.
+    pub fn profile(&self) -> Profile {
+        self.device_config.profile
+    }
+
+    /// Wall time of the modularity-optimization phase (the quantity the
+    /// backend comparison reports — meaningful under either profile).
+    pub fn opt_wall(&self) -> Duration {
+        self.result.opt_time()
+    }
+
     /// Model-time TEPS of the first optimization iteration (the paper's TEPS
     /// metric): arcs hashed once, divided by the model time of the fraction
     /// of the run the first iteration represents.
@@ -64,9 +84,16 @@ impl GpuRun {
     }
 }
 
-/// Runs the GPU algorithm on a fresh simulated device.
+/// Runs the GPU algorithm on a fresh simulated device with the default
+/// execution profile (`CD_GPUSIM_PROFILE`, instrumented unless overridden).
 pub fn run_gpu(graph: &Csr, cfg: &GpuLouvainConfig) -> GpuRun {
     run_gpu_on(graph, cfg, DeviceConfig::tesla_k40m())
+}
+
+/// Runs the GPU algorithm under an explicitly pinned execution profile,
+/// ignoring the environment default.
+pub fn run_gpu_profiled(graph: &Csr, cfg: &GpuLouvainConfig, profile: Profile) -> GpuRun {
+    run_gpu_on(graph, cfg, DeviceConfig::tesla_k40m().with_profile(profile))
 }
 
 /// Runs the GPU algorithm on a fresh device with an explicit configuration.
@@ -110,12 +137,29 @@ mod tests {
 
     #[test]
     fn gpu_run_collects_metrics_and_model_time() {
+        // Metrics and the cost model are instrumented-profile products, so
+        // the profile is pinned (the env default may be `Fast`).
         let g = cliques(3, 6, true);
-        let run = run_gpu(&g, &GpuLouvainConfig::paper_default());
+        let run = run_gpu_profiled(&g, &GpuLouvainConfig::paper_default(), Profile::Instrumented);
+        assert_eq!(run.profile(), Profile::Instrumented);
         assert!(run.result.modularity > 0.5);
         assert!(run.model_seconds > 0.0);
         assert!(!run.metrics.kernels().is_empty());
         assert!(run.model_teps() >= 0.0);
+    }
+
+    #[test]
+    fn fast_profile_run_skips_the_cost_model_but_not_the_answer() {
+        let g = cliques(3, 6, true);
+        let cfg = GpuLouvainConfig::paper_default();
+        let fast = run_gpu_profiled(&g, &cfg, Profile::Fast);
+        let slow = run_gpu_profiled(&g, &cfg, Profile::Instrumented);
+        assert_eq!(fast.profile(), Profile::Fast);
+        assert_eq!(fast.model_seconds, 0.0);
+        assert!(fast.metrics.kernels().is_empty());
+        assert_eq!(fast.metrics.profile(), Profile::Fast);
+        assert_eq!(fast.result.modularity.to_bits(), slow.result.modularity.to_bits());
+        assert_eq!(fast.result.partition.as_slice(), slow.result.partition.as_slice());
     }
 
     #[test]

@@ -17,11 +17,19 @@ use crate::dev_graph::DeviceGraph;
 use crate::hashtable::{TableOverflow, TableSpace, TableStorage};
 use crate::louvain::GpuLouvainError;
 use crate::primes::{next_prime_at_least, table_size_for};
-use cd_gpusim::{Device, GlobalF64, GlobalU32, GlobalU64};
+use crate::schedule::WidthSchedule;
+use cd_gpusim::{
+    Device, ExecutionProfile, Fast, GlobalF64, GlobalU32, GlobalU64, GroupCtx, Instrumented,
+    Profile,
+};
 
 /// Kernel names per community bucket, hoisted so no per-phase `format!`
 /// allocation happens on the merge path.
 const MERGE_KERNELS: [&str; 3] = ["merge_community_b1", "merge_community_b2", "merge_community_b3"];
+
+/// Work-to-width mapping of the merge kernels; const evaluation validates
+/// the bucket-table shape at build time.
+const AGG_WIDTHS: WidthSchedule = WidthSchedule::new(&AGG_BUCKETS);
 
 /// Output of the aggregation phase.
 #[derive(Clone, Debug)]
@@ -40,6 +48,21 @@ pub struct AggregateOutcome {
 /// they must be `< n` — a violation (a corrupted label) is reported as
 /// [`GpuLouvainError::InvalidLabels`] instead of indexing out of bounds.
 pub fn aggregate(
+    dev: &Device,
+    g: &DeviceGraph,
+    comm: &[u32],
+    cfg: &GpuLouvainConfig,
+) -> Result<AggregateOutcome, GpuLouvainError> {
+    // One runtime dispatch per phase; the kernels below are monomorphized
+    // for the selected profile.
+    match dev.profile() {
+        Profile::Instrumented => aggregate_typed::<Instrumented>(dev, g, comm, cfg),
+        Profile::Fast => aggregate_typed::<Fast>(dev, g, comm, cfg),
+    }
+}
+
+/// [`aggregate`] monomorphized for one execution profile.
+fn aggregate_typed<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     comm: &[u32],
@@ -67,13 +90,14 @@ pub fn aggregate(
     // are recycled across phases.
     let com_size = dev.pool_u32(n);
     let com_degree = dev.pool_u64(n);
-    dev.try_launch_threads("aggregate_sizes", n, |ctx, i| {
-        let c = comm[i] as usize;
-        ctx.global_read_coalesced(2);
-        ctx.atomic_add_u32(&com_size, c, 1);
-        ctx.atomic_add_u64(&com_degree, c, g.degree(i) as u64);
-    })
-    .map_err(GpuLouvainError::Launch)?;
+    dev.exec::<P>()
+        .try_launch_threads("aggregate_sizes", n, |ctx, i| {
+            let c = comm[i] as usize;
+            ctx.global_read_coalesced(2);
+            ctx.atomic_add_u32(&com_size, c, 1);
+            ctx.atomic_add_u64(&com_degree, c, g.degree(i) as u64);
+        })
+        .map_err(GpuLouvainError::Launch)?;
     let com_size = com_size.to_vec();
     let com_degree = com_degree.to_vec();
 
@@ -92,13 +116,14 @@ pub fn aggregate(
     let cursor = dev.pool_u64(n);
     cursor.copy_from_slice(&vertex_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
     let com = dev.pool_u32(n);
-    dev.try_launch_threads("aggregate_order_vertices", n, |ctx, i| {
-        let c = comm[i] as usize;
-        let slot = ctx.atomic_add_u64(&cursor, c, 1) as usize;
-        com.store(slot, i as u32);
-        ctx.global_write_scattered(1);
-    })
-    .map_err(GpuLouvainError::Launch)?;
+    dev.exec::<P>()
+        .try_launch_threads("aggregate_order_vertices", n, |ctx, i| {
+            let c = comm[i] as usize;
+            let slot = ctx.atomic_add_u64(&cursor, c, 1) as usize;
+            com.store(slot, i as u32);
+            ctx.global_write_scattered(1);
+        })
+        .map_err(GpuLouvainError::Launch)?;
     let com = com.to_vec();
 
     // ---- (iv) merge communities, bucketed by expected work ----------------
@@ -124,7 +149,8 @@ pub fn aggregate(
     };
 
     let mut lo = 0usize;
-    for (bucket_idx, &(hi, lanes)) in AGG_BUCKETS.iter().enumerate() {
+    for (bucket_idx, spec) in AGG_WIDTHS.buckets().iter().enumerate() {
+        let hi = spec.max_work;
         let ids = dev.copy_if(&community_ids, |&c| {
             let d = com_degree[c as usize] as usize;
             d > lo && d <= hi
@@ -133,10 +159,10 @@ pub fn aggregate(
         if ids.is_empty() {
             continue;
         }
-        if bucket_idx == AGG_BUCKETS.len() - 1 {
-            merge_global_bucket(dev, &merge_ctx, cfg, &ids)?;
+        if spec.is_open_ended() {
+            merge_global_bucket::<P>(dev, &merge_ctx, cfg, &ids)?;
         } else {
-            merge_shared_bucket(dev, &merge_ctx, cfg, &ids, hi, lanes, bucket_idx)?;
+            merge_shared_bucket::<P>(dev, &merge_ctx, cfg, &ids, hi, spec.lanes, bucket_idx)?;
         }
     }
 
@@ -152,38 +178,40 @@ pub fn aggregate(
     {
         let offsets = &offsets;
         let new_deg = &new_deg;
-        dev.try_launch_tasks(
-            "aggregate_compact",
-            community_ids.len(),
-            32,
-            0,
-            || (),
-            |ctx, _, t| {
-                let c = community_ids[t] as usize;
-                let nid = new_id[c];
-                let count = new_deg[nid] as usize;
-                let src = edge_pos[c];
-                let dst = offsets[nid];
-                ctx.strided_steps(count.max(1));
-                ctx.global_read_coalesced(2 * count);
-                ctx.global_write_coalesced(2 * count);
-                for e in 0..count {
-                    final_targets.store(dst + e, scratch_targets.load(src + e));
-                    final_weights.store(dst + e, scratch_weights.load(src + e));
-                }
-            },
-        )
-        .map_err(GpuLouvainError::Launch)?;
+        dev.exec::<P>()
+            .try_launch_tasks(
+                "aggregate_compact",
+                community_ids.len(),
+                32,
+                0,
+                || (),
+                |ctx, _, t| {
+                    let c = community_ids[t] as usize;
+                    let nid = new_id[c];
+                    let count = new_deg[nid] as usize;
+                    let src = edge_pos[c];
+                    let dst = offsets[nid];
+                    ctx.strided_steps(count.max(1));
+                    ctx.global_read_coalesced(2 * count);
+                    ctx.global_write_coalesced(2 * count);
+                    for e in 0..count {
+                        final_targets.store(dst + e, scratch_targets.load(src + e));
+                        final_weights.store(dst + e, scratch_weights.load(src + e));
+                    }
+                },
+            )
+            .map_err(GpuLouvainError::Launch)?;
     }
 
     // ---- per-vertex dendrogram level --------------------------------------
     let vertex_map_dev = dev.pool_u32(n);
-    dev.try_launch_threads("aggregate_vertex_map", n, |ctx, i| {
-        vertex_map_dev.store(i, new_id[comm[i] as usize] as u32);
-        ctx.global_read_scattered(1);
-        ctx.global_write_coalesced(1);
-    })
-    .map_err(GpuLouvainError::Launch)?;
+    dev.exec::<P>()
+        .try_launch_threads("aggregate_vertex_map", n, |ctx, i| {
+            vertex_map_dev.store(i, new_id[comm[i] as usize] as u32);
+            ctx.global_read_scattered(1);
+            ctx.global_write_coalesced(1);
+        })
+        .map_err(GpuLouvainError::Launch)?;
 
     Ok(AggregateOutcome {
         graph: DeviceGraph::from_parts(offsets, final_targets.to_vec(), final_weights.to_vec()),
@@ -210,8 +238,8 @@ struct MergeContext<'a> {
 /// as `computeMove`: an overflowing hash table (possible only under corrupted
 /// state) retries against the next-prime-sized table, falling back from
 /// shared to global memory.
-fn merge_one(
-    ctx: &mut cd_gpusim::GroupCtx,
+fn merge_one<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     mc: &MergeContext<'_>,
     table: &mut TableStorage,
     mut space: TableSpace,
@@ -236,8 +264,8 @@ fn merge_one(
 /// communities, then write the (new-id-relabeled, sorted) adjacency into the
 /// community's scratch range. A full hash table aborts with [`TableOverflow`]
 /// before anything is written; [`merge_one`] retries with a larger table.
-fn merge_attempt(
-    ctx: &mut cd_gpusim::GroupCtx,
+fn merge_attempt<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     mc: &MergeContext<'_>,
     table: &mut TableStorage,
     space: TableSpace,
@@ -287,7 +315,7 @@ fn merge_attempt(
 }
 
 /// Shared-memory community buckets (degree sums up to 479).
-fn merge_shared_bucket(
+fn merge_shared_bucket<P: ExecutionProfile>(
     dev: &Device,
     mc: &MergeContext<'_>,
     cfg: &GpuLouvainConfig,
@@ -301,22 +329,23 @@ fn merge_shared_bucket(
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
-    dev.try_launch_tasks(
-        MERGE_KERNELS[bucket_idx],
-        ids.len(),
-        lanes,
-        shared_bytes,
-        || TableStorage::with_capacity(slots),
-        |ctx, table, task| {
-            merge_one(ctx, mc, table, space, slots, ids[task] as usize);
-        },
-    )
-    .map_err(GpuLouvainError::Launch)
+    dev.exec::<P>()
+        .try_launch_tasks(
+            MERGE_KERNELS[bucket_idx],
+            ids.len(),
+            lanes,
+            shared_bytes,
+            || TableStorage::with_capacity(slots),
+            |ctx, table, task| {
+                merge_one(ctx, mc, table, space, slots, ids[task] as usize);
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
 }
 
 /// The open-ended community bucket: global tables, communities sorted by
 /// degree sum and dealt to a bounded number of blocks.
-fn merge_global_bucket(
+fn merge_global_bucket<P: ExecutionProfile>(
     dev: &Device,
     mc: &MergeContext<'_>,
     cfg: &GpuLouvainConfig,
@@ -333,22 +362,23 @@ fn merge_global_bucket(
     let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
     let sorted_ref = &sorted;
     let slots_ref = &slots_sorted;
-    dev.try_launch_blocks(
-        MERGE_KERNELS[2],
-        n_blocks,
-        |block| TableStorage::with_capacity(slots_ref[block]),
-        |ctx, table| {
-            let block = ctx.block_id;
-            let mut idx = block;
-            while idx < sorted_ref.len() {
-                let c = sorted_ref[idx] as usize;
-                merge_one(ctx, mc, table, TableSpace::Global, slots_ref[idx], c);
-                ctx.finish_task();
-                idx += n_blocks;
-            }
-        },
-    )
-    .map_err(GpuLouvainError::Launch)
+    dev.exec::<P>()
+        .try_launch_blocks(
+            MERGE_KERNELS[2],
+            n_blocks,
+            |block| TableStorage::with_capacity(slots_ref[block]),
+            |ctx, table| {
+                let block = ctx.block_id;
+                let mut idx = block;
+                while idx < sorted_ref.len() {
+                    let c = sorted_ref[idx] as usize;
+                    merge_one(ctx, mc, table, TableSpace::Global, slots_ref[idx], c);
+                    ctx.finish_task();
+                    idx += n_blocks;
+                }
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
 }
 
 #[cfg(test)]

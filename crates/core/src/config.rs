@@ -78,15 +78,71 @@ pub enum ThreadAssignment {
     NodeCentric,
 }
 
-/// Degree-bucket table for the modularity optimization (paper Section 4.1):
-/// `(max_degree_inclusive, group_lanes)` per bucket; the last bucket is
-/// open-ended and uses global-memory hash tables.
-pub const MODOPT_BUCKETS: [(usize, usize); 7] =
-    [(4, 4), (8, 8), (16, 16), (32, 32), (84, 32), (319, 128), (usize::MAX, 128)];
+/// One rung of a work-bucketed kernel ladder: tasks whose work measure
+/// (vertex degree in the optimization phase, community degree sum in the
+/// aggregation phase) is at most [`BucketSpec::max_work`] run on thread
+/// groups of [`BucketSpec::lanes`] lanes.
+///
+/// Both kernel bucket tables ([`MODOPT_BUCKETS`], [`AGG_BUCKETS`]) are
+/// arrays of this type; [`crate::schedule::WidthSchedule`] wraps such a
+/// table as the piecewise-constant work-to-width mapping, the group-width
+/// twin of [`crate::schedule::ThresholdSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketSpec {
+    /// Inclusive upper bound on the bucket's work measure; `usize::MAX`
+    /// marks the open-ended last bucket.
+    pub max_work: usize,
+    /// Width of the thread groups processing this bucket's tasks.
+    pub lanes: usize,
+}
 
-/// Community buckets for the aggregation phase: `(max_degree_sum_inclusive,
-/// group_lanes)`; the last bucket is open-ended with global tables.
-pub const AGG_BUCKETS: [(usize, usize); 3] = [(127, 32), (479, 128), (usize::MAX, 128)];
+impl BucketSpec {
+    /// A bucket admitting work up to `max_work` on `lanes`-wide groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time in const contexts) unless `max_work >= 1` and
+    /// `lanes` is a launchable group width
+    /// ([`cd_gpusim::VALID_GROUP_LANES`]).
+    pub const fn new(max_work: usize, lanes: usize) -> Self {
+        assert!(max_work >= 1, "a bucket must admit some work");
+        let mut valid = false;
+        let mut i = 0;
+        while i < cd_gpusim::VALID_GROUP_LANES.len() {
+            valid = valid || cd_gpusim::VALID_GROUP_LANES[i] == lanes;
+            i += 1;
+        }
+        assert!(valid, "bucket lanes must be a launchable group width");
+        Self { max_work, lanes }
+    }
+
+    /// The open-ended bucket terminating a table: admits any work size.
+    pub const fn open_ended(lanes: usize) -> Self {
+        Self::new(usize::MAX, lanes)
+    }
+
+    /// True for the table-terminating bucket that admits any work size.
+    pub const fn is_open_ended(self) -> bool {
+        self.max_work == usize::MAX
+    }
+}
+
+/// Degree-bucket table for the modularity optimization (paper Section 4.1);
+/// the last bucket is open-ended and uses global-memory hash tables.
+pub const MODOPT_BUCKETS: [BucketSpec; 7] = [
+    BucketSpec::new(4, 4),
+    BucketSpec::new(8, 8),
+    BucketSpec::new(16, 16),
+    BucketSpec::new(32, 32),
+    BucketSpec::new(84, 32),
+    BucketSpec::new(319, 128),
+    BucketSpec::open_ended(128),
+];
+
+/// Community buckets for the aggregation phase, keyed by degree sum; the
+/// last bucket is open-ended with global tables.
+pub const AGG_BUCKETS: [BucketSpec; 3] =
+    [BucketSpec::new(127, 32), BucketSpec::new(479, 128), BucketSpec::open_ended(128)];
 
 /// Full configuration of a GPU Louvain run.
 #[derive(Clone, Copy, Debug)]
@@ -176,12 +232,26 @@ mod tests {
     #[test]
     fn bucket_tables_match_paper() {
         // Groups 1..=4 use 2^(k+1) lanes; group 5 a warp; 6 and 7 a block.
-        assert_eq!(MODOPT_BUCKETS[0], (4, 4));
-        assert_eq!(MODOPT_BUCKETS[3], (32, 32));
-        assert_eq!(MODOPT_BUCKETS[4], (84, 32));
-        assert_eq!(MODOPT_BUCKETS[5], (319, 128));
-        assert_eq!(MODOPT_BUCKETS[6].1, 128);
-        assert_eq!(AGG_BUCKETS[0], (127, 32));
+        assert_eq!(MODOPT_BUCKETS[0], BucketSpec::new(4, 4));
+        assert_eq!(MODOPT_BUCKETS[3], BucketSpec::new(32, 32));
+        assert_eq!(MODOPT_BUCKETS[4], BucketSpec::new(84, 32));
+        assert_eq!(MODOPT_BUCKETS[5], BucketSpec::new(319, 128));
+        assert_eq!(MODOPT_BUCKETS[6].lanes, 128);
+        assert!(MODOPT_BUCKETS[6].is_open_ended());
+        assert_eq!(AGG_BUCKETS[0], BucketSpec::new(127, 32));
+        assert!(AGG_BUCKETS[2].is_open_ended());
+    }
+
+    #[test]
+    #[should_panic(expected = "launchable group width")]
+    fn bucket_spec_rejects_unlaunchable_widths() {
+        let _ = BucketSpec::new(10, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "admit some work")]
+    fn bucket_spec_rejects_empty_buckets() {
+        let _ = BucketSpec::new(0, 32);
     }
 
     #[test]

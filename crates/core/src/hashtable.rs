@@ -11,7 +11,7 @@
 //! so the simulated CAS always succeeds — the operation counts are what the
 //! cost model consumes.
 
-use cd_gpusim::GroupCtx;
+use cd_gpusim::{ExecutionProfile, GroupCtx};
 
 /// Sentinel for an unclaimed slot (the paper's `null`; community ids are
 /// 32-bit, so `u32::MAX` is never a valid id).
@@ -72,7 +72,7 @@ impl<'t> HashTable<'t> {
     }
 
     /// Clears all slots (done once per task; counted as writes).
-    pub fn reset(&mut self, ctx: &mut GroupCtx) {
+    pub fn reset<P: ExecutionProfile>(&mut self, ctx: &mut GroupCtx<P>) {
         self.keys[..self.size].fill(EMPTY);
         self.weights[..self.size].fill(0.0);
         self.charge_writes(ctx, self.size);
@@ -107,16 +107,21 @@ impl<'t> HashTable<'t> {
     ///
     /// Panics if the table is full; fault-tolerant kernels use
     /// [`HashTable::try_insert_add`] and retry the task with a larger table.
-    pub fn insert_add(&mut self, ctx: &mut GroupCtx, key: u32, w: f64) -> (usize, f64) {
+    pub fn insert_add<P: ExecutionProfile>(
+        &mut self,
+        ctx: &mut GroupCtx<P>,
+        key: u32,
+        w: f64,
+    ) -> (usize, f64) {
         self.try_insert_add(ctx, key, w).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible form of [`HashTable::insert_add`]: a full table is returned
     /// as a [`TableOverflow`] instead of panicking, so the caller can retry
     /// the whole task against a resized table.
-    pub fn try_insert_add(
+    pub fn try_insert_add<P: ExecutionProfile>(
         &mut self,
-        ctx: &mut GroupCtx,
+        ctx: &mut GroupCtx<P>,
         key: u32,
         w: f64,
     ) -> Result<(usize, f64), TableOverflow> {
@@ -161,7 +166,7 @@ impl<'t> HashTable<'t> {
     }
 
     /// Looks up the accumulated weight for `key` (0 when absent).
-    pub fn get(&self, ctx: &mut GroupCtx, key: u32) -> f64 {
+    pub fn get<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>, key: u32) -> f64 {
         let mut pos = self.h1(key);
         let stride = self.h2(key);
         let mut it = 0usize;
@@ -214,32 +219,32 @@ impl<'t> HashTable<'t> {
         self.len() == 0
     }
 
-    fn charge_reads(&self, ctx: &mut GroupCtx, n: usize) {
+    fn charge_reads<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>, n: usize) {
         match self.space {
             TableSpace::Shared => ctx.shared_access(n),
             TableSpace::Global => ctx.global_read_scattered(n),
         }
     }
 
-    fn charge_reads_const(&self, ctx: &mut GroupCtx, n: usize) {
+    fn charge_reads_const<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>, n: usize) {
         self.charge_reads(ctx, n);
     }
 
-    fn charge_writes(&self, ctx: &mut GroupCtx, n: usize) {
+    fn charge_writes<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>, n: usize) {
         match self.space {
             TableSpace::Shared => ctx.shared_access(n),
             TableSpace::Global => ctx.global_write_coalesced(n),
         }
     }
 
-    fn charge_atomic_add(&self, ctx: &mut GroupCtx) {
+    fn charge_atomic_add<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>) {
         match self.space {
             TableSpace::Shared => ctx.shared_access(2),
             TableSpace::Global => ctx.note_atomic_adds(1),
         }
     }
 
-    fn charge_cas(&self, ctx: &mut GroupCtx) {
+    fn charge_cas<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>) {
         match self.space {
             TableSpace::Shared => ctx.shared_access(2),
             TableSpace::Global => ctx.note_cas(1, 0),

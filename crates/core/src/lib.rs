@@ -39,8 +39,8 @@ pub mod schedule;
 
 pub use aggregate::{aggregate as aggregate_graph, AggregateOutcome};
 pub use config::{
-    GpuLouvainConfig, HashPlacement, RetryPolicy, ThreadAssignment, UpdateStrategy, AGG_BUCKETS,
-    MODOPT_BUCKETS,
+    BucketSpec, GpuLouvainConfig, HashPlacement, RetryPolicy, ThreadAssignment, UpdateStrategy,
+    AGG_BUCKETS, MODOPT_BUCKETS,
 };
 pub use dev_graph::DeviceGraph;
 pub use hashtable::TableOverflow;
@@ -50,4 +50,4 @@ pub use louvain::{
 };
 pub use modopt::{modularity_optimization, OptOutcome};
 pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult, RecoveryAction};
-pub use schedule::ThresholdSchedule;
+pub use schedule::{ThresholdSchedule, WidthSchedule};

@@ -31,6 +31,11 @@ pub enum GpuLouvainError {
     },
     /// The vertex count exceeds the 32-bit id space of the kernels.
     TooManyVertices(usize),
+    /// A device configuration was rejected at construction — e.g. fault
+    /// injection requested under the [`cd_gpusim::Profile::Fast`] execution
+    /// profile, which strips the instrumentation the fault machinery reports
+    /// through. Permanent: an identical configuration fails identically.
+    Config(cd_gpusim::ConfigError),
     /// A kernel launch failed (injected fault or launch misconfiguration).
     Launch(LaunchError),
     /// A task's work size exceeds the hash-table prime ladder (reachable in
@@ -98,6 +103,7 @@ impl std::fmt::Display for GpuLouvainError {
             GpuLouvainError::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the 32-bit vertex id space")
             }
+            GpuLouvainError::Config(e) => write!(f, "device configuration rejected: {e}"),
             GpuLouvainError::Launch(e) => write!(f, "kernel launch failed: {e}"),
             GpuLouvainError::DegreeOverflow { degree, max_supported } => write!(
                 f,
@@ -122,6 +128,12 @@ impl std::error::Error for GpuLouvainError {}
 impl From<LaunchError> for GpuLouvainError {
     fn from(e: LaunchError) -> Self {
         GpuLouvainError::Launch(e)
+    }
+}
+
+impl From<cd_gpusim::ConfigError> for GpuLouvainError {
+    fn from(e: cd_gpusim::ConfigError) -> Self {
+        GpuLouvainError::Config(e)
     }
 }
 

@@ -25,7 +25,11 @@ use crate::dev_graph::DeviceGraph;
 use crate::hashtable::{HashTable, TableOverflow, TableSpace, TableStorage};
 use crate::louvain::GpuLouvainError;
 use crate::primes::{next_prime_at_least, table_size_for};
-use cd_gpusim::{Device, GlobalU32, GroupCtx, PooledF64, PooledU32};
+use crate::schedule::WidthSchedule;
+use cd_gpusim::{
+    Device, ExecutionProfile, Fast, GlobalU32, GroupCtx, Instrumented, PooledF64, PooledU32,
+    Profile,
+};
 use std::time::{Duration, Instant};
 
 /// Tie tolerance on modularity-gain comparisons.
@@ -111,9 +115,9 @@ pub(crate) struct OptState<'d> {
 }
 
 impl<'d> OptState<'d> {
-    fn new(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
+    fn new<P: ExecutionProfile>(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
         let n = g.num_vertices();
-        let k = compute_weighted_degrees(dev, g)?;
+        let k = compute_weighted_degrees::<P>(dev, g)?;
         let s = Self {
             comm: dev.pool_u32(n),
             new_comm: dev.pool_u32(n),
@@ -128,42 +132,44 @@ impl<'d> OptState<'d> {
             frontier_len: dev.pool_u32(1),
         };
         let k_ref = &s.k;
-        dev.try_launch_threads("init_opt_state", n, |ctx, v| {
-            s.comm.store(v, v as u32);
-            s.new_comm.store(v, v as u32);
-            s.best_comm.store(v, v as u32);
-            s.comm_size.store(v, 1);
-            s.ac.store(v, k_ref[v]);
-            ctx.global_write_coalesced(5);
-        })
-        .map_err(GpuLouvainError::Launch)?;
+        dev.exec::<P>()
+            .try_launch_threads("init_opt_state", n, |ctx, v| {
+                s.comm.store(v, v as u32);
+                s.new_comm.store(v, v as u32);
+                s.best_comm.store(v, v as u32);
+                s.comm_size.store(v, 1);
+                s.ac.store(v, k_ref[v]);
+                ctx.global_write_coalesced(5);
+            })
+            .map_err(GpuLouvainError::Launch)?;
         Ok(s)
     }
 }
 
 /// Computes `k_i` for every vertex (Alg. 1 line 2).
-pub(crate) fn compute_weighted_degrees(
+pub(crate) fn compute_weighted_degrees<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
 ) -> Result<Vec<f64>, GpuLouvainError> {
     let n = g.num_vertices();
     let out = dev.pool_f64(n);
-    dev.try_launch_tasks(
-        "compute_k",
-        n,
-        4,
-        0,
-        || (),
-        |ctx, _, i| {
-            let deg = g.degree(i);
-            ctx.strided_steps(deg.max(1));
-            ctx.global_read_coalesced(deg + 2);
-            let s: f64 = g.edge_weights(i).iter().sum();
-            out.store(i, s);
-            ctx.global_write_coalesced(1);
-        },
-    )
-    .map_err(GpuLouvainError::Launch)?;
+    dev.exec::<P>()
+        .try_launch_tasks(
+            "compute_k",
+            n,
+            4,
+            0,
+            || (),
+            |ctx, _, i| {
+                let deg = g.degree(i);
+                ctx.strided_steps(deg.max(1));
+                ctx.global_read_coalesced(deg + 2);
+                let s: f64 = g.edge_weights(i).iter().sum();
+                out.store(i, s);
+                ctx.global_write_coalesced(1);
+            },
+        )
+        .map_err(GpuLouvainError::Launch)?;
     Ok(out.to_vec())
 }
 
@@ -171,7 +177,7 @@ pub(crate) fn compute_weighted_degrees(
 /// `inside = Σ_i e_{i→C(i)}` (directed-arc weight inside communities) and
 /// `Σ_c a_c²`, so `Q = inside / 2m − Σa² / (2m)²`. Both reductions read
 /// device buffers directly — no host staging copy.
-pub(crate) fn device_modularity_parts(
+pub(crate) fn device_modularity_parts<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -181,29 +187,30 @@ pub(crate) fn device_modularity_parts(
         return Ok((0.0, 0.0));
     }
     let partial = dev.pool_f64(n);
-    dev.try_launch_tasks(
-        "modularity_partials",
-        n,
-        4,
-        0,
-        || (),
-        |ctx, _, i| {
-            let ci = state.comm.load(i);
-            let deg = g.degree(i);
-            ctx.strided_steps(deg.max(1));
-            ctx.global_read_coalesced(2 * deg + 2);
-            ctx.global_read_scattered(deg); // community gathers
-            let mut s = 0.0;
-            for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
-                if state.comm.load(j as usize) == ci {
-                    s += w;
+    dev.exec::<P>()
+        .try_launch_tasks(
+            "modularity_partials",
+            n,
+            4,
+            0,
+            || (),
+            |ctx, _, i| {
+                let ci = state.comm.load(i);
+                let deg = g.degree(i);
+                ctx.strided_steps(deg.max(1));
+                ctx.global_read_coalesced(2 * deg + 2);
+                ctx.global_read_scattered(deg); // community gathers
+                let mut s = 0.0;
+                for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
+                    if state.comm.load(j as usize) == ci {
+                        s += w;
+                    }
                 }
-            }
-            partial.store(i, s);
-            ctx.global_write_coalesced(1);
-        },
-    )
-    .map_err(GpuLouvainError::Launch)?;
+                partial.store(i, s);
+                ctx.global_write_coalesced(1);
+            },
+        )
+        .map_err(GpuLouvainError::Launch)?;
     let inside = dev.reduce_sum_f64_global(&partial);
     let sum_asq = dev.transform_reduce_f64_global(&state.ac, |a| a * a);
     Ok((inside, sum_asq))
@@ -211,7 +218,7 @@ pub(crate) fn device_modularity_parts(
 
 /// Modularity of the current labeling, fully recomputed on device.
 #[cfg(test)]
-pub(crate) fn device_modularity(
+pub(crate) fn device_modularity<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -220,13 +227,17 @@ pub(crate) fn device_modularity(
     if two_m == 0.0 {
         return Ok(0.0);
     }
-    let (inside, sum_asq) = device_modularity_parts(dev, g, state)?;
+    let (inside, sum_asq) = device_modularity_parts::<P>(dev, g, state)?;
     Ok(inside / two_m - sum_asq / (two_m * two_m))
 }
 
+/// Work-to-width mapping of the optimization kernels; const evaluation
+/// validates the bucket-table shape at build time.
+const MODOPT_WIDTHS: WidthSchedule = WidthSchedule::new(&MODOPT_BUCKETS);
+
 /// Returns the degree bucket of a vertex with degree `d >= 1`.
 fn bucket_index(d: usize) -> usize {
-    MODOPT_BUCKETS.iter().position(|&(hi, _)| d <= hi).expect("last bucket is open-ended")
+    MODOPT_WIDTHS.bucket_for(d)
 }
 
 /// Per-bucket vertex-id bins, device-resident. Bucket membership is a pure
@@ -254,7 +265,7 @@ struct Bins<'d> {
 }
 
 impl<'d> Bins<'d> {
-    fn new(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
+    fn new<P: ExecutionProfile>(dev: &'d Device, g: &DeviceGraph) -> Result<Self, GpuLouvainError> {
         let n = g.num_vertices();
         let mut full_counts = [0usize; 7];
         for v in 0..n {
@@ -268,18 +279,19 @@ impl<'d> Bins<'d> {
         {
             let ids_ref: Vec<&GlobalU32> = ids.iter().map(|p| &**p).collect();
             let cursors_ref: &GlobalU32 = &cursors;
-            dev.try_launch_threads("bin_vertices", n, |ctx, v| {
-                let d = g.degree(v);
-                ctx.global_read_coalesced(2);
-                if d == 0 {
-                    return;
-                }
-                let b = bucket_index(d);
-                let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
-                ids_ref[b].store(pos as usize, v as u32);
-                ctx.global_write_scattered(1);
-            })
-            .map_err(GpuLouvainError::Launch)?;
+            dev.exec::<P>()
+                .try_launch_threads("bin_vertices", n, |ctx, v| {
+                    let d = g.degree(v);
+                    ctx.global_read_coalesced(2);
+                    if d == 0 {
+                        return;
+                    }
+                    let b = bucket_index(d);
+                    let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
+                    ids_ref[b].store(pos as usize, v as u32);
+                    ctx.global_write_scattered(1);
+                })
+                .map_err(GpuLouvainError::Launch)?;
         }
         cursors.fill(0);
         let mut b7_sorted: Vec<u32> = (0..full_counts[6]).map(|t| ids[6].load(t)).collect();
@@ -299,7 +311,7 @@ impl<'d> Bins<'d> {
     /// scatters it into the per-bucket id arrays — one pass over the frontier
     /// replacing the seven full-vertex `copy_if` scans. Clears the membership
     /// flags in the same pass.
-    fn bin_frontier(
+    fn bin_frontier<P: ExecutionProfile>(
         &mut self,
         dev: &Device,
         g: &DeviceGraph,
@@ -319,22 +331,23 @@ impl<'d> Bins<'d> {
             }
             let ids_ref: Vec<&GlobalU32> = self.ids.iter().map(|p| &**p).collect();
             let cursors_ref: &GlobalU32 = &self.cursors;
-            dev.try_launch_threads("bin_frontier", f_len, |ctx, t| {
-                let v = state.frontier.load(t) as usize;
-                ctx.global_read_coalesced(1);
-                state.marked.store(v, 0);
-                let d = g.degree(v);
-                ctx.global_read_scattered(1);
-                ctx.global_write_scattered(1);
-                if d == 0 {
-                    return;
-                }
-                let b = bucket_index(d);
-                let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
-                ids_ref[b].store(pos as usize, v as u32);
-                ctx.global_write_scattered(1);
-            })
-            .map_err(GpuLouvainError::Launch)?;
+            dev.exec::<P>()
+                .try_launch_threads("bin_frontier", f_len, |ctx, t| {
+                    let v = state.frontier.load(t) as usize;
+                    ctx.global_read_coalesced(1);
+                    state.marked.store(v, 0);
+                    let d = g.degree(v);
+                    ctx.global_read_scattered(1);
+                    ctx.global_write_scattered(1);
+                    if d == 0 {
+                        return;
+                    }
+                    let b = bucket_index(d);
+                    let pos = ctx.atomic_add_u32(cursors_ref, b, 1);
+                    ids_ref[b].store(pos as usize, v as u32);
+                    ctx.global_write_scattered(1);
+                })
+                .map_err(GpuLouvainError::Launch)?;
         }
         state.frontier_len.store(0, 0);
         for b in 0..MODOPT_BUCKETS.len() {
@@ -362,8 +375,26 @@ pub fn modularity_optimization(
     cfg: &GpuLouvainConfig,
     threshold: f64,
 ) -> Result<OptOutcome, GpuLouvainError> {
+    // One runtime dispatch per phase; every kernel below is monomorphized
+    // for the selected profile, so the Fast path carries no per-access
+    // accounting branches.
+    match dev.profile() {
+        Profile::Instrumented => {
+            modularity_optimization_typed::<Instrumented>(dev, g, cfg, threshold)
+        }
+        Profile::Fast => modularity_optimization_typed::<Fast>(dev, g, cfg, threshold),
+    }
+}
+
+/// [`modularity_optimization`] monomorphized for one execution profile.
+fn modularity_optimization_typed<P: ExecutionProfile>(
+    dev: &Device,
+    g: &DeviceGraph,
+    cfg: &GpuLouvainConfig,
+    threshold: f64,
+) -> Result<OptOutcome, GpuLouvainError> {
     let n = g.num_vertices();
-    let state = OptState::new(dev, g)?;
+    let state = OptState::new::<P>(dev, g)?;
     if n == 0 || g.two_m == 0.0 {
         return Ok(OptOutcome {
             comm: state.comm.to_vec(),
@@ -377,9 +408,9 @@ pub fn modularity_optimization(
     let two_m = g.two_m;
     let q_of = |inside: f64, sum_asq: f64| inside / two_m - sum_asq / (two_m * two_m);
     // Incrementally-tracked modularity parts; seeded by one full recompute.
-    let (mut inside, mut sum_asq) = device_modularity_parts(dev, g, &state)?;
+    let (mut inside, mut sum_asq) = device_modularity_parts::<P>(dev, g, &state)?;
     let mut bins = match cfg.assignment {
-        ThreadAssignment::DegreeBinned => Some(Bins::new(dev, g)?),
+        ThreadAssignment::DegreeBinned => Some(Bins::new::<P>(dev, g)?),
         ThreadAssignment::NodeCentric => None,
     };
     let mut iterations = 0usize;
@@ -431,9 +462,9 @@ pub fn modularity_optimization(
                 if cfg.pruning && iterations > 1 {
                     // Rebin only the vertices marked by the previous
                     // iteration's commits — O(frontier), not O(7n).
-                    bins.bin_frontier(dev, g, &state)?;
+                    bins.bin_frontier::<P>(dev, g, &state)?;
                 }
-                for (bucket_idx, &(hi, lanes)) in MODOPT_BUCKETS.iter().enumerate() {
+                for (bucket_idx, spec) in MODOPT_BUCKETS.iter().enumerate() {
                     let count = bins.counts[bucket_idx];
                     if count == 0 {
                         continue;
@@ -454,22 +485,22 @@ pub fn modularity_optimization(
                         } else {
                             (&bins.b7_sorted, &bins.b7_slots)
                         };
-                        compute_move_global_bucket(dev, g, &state, cfg, b7_ids, b7_slots)?;
+                        compute_move_global_bucket::<P>(dev, g, &state, cfg, b7_ids, b7_slots)?;
                     } else {
-                        compute_move_shared_bucket(
+                        compute_move_shared_bucket::<P>(
                             dev,
                             g,
                             &state,
                             cfg,
                             &bins.ids[bucket_idx],
                             count,
-                            hi,
-                            lanes,
+                            spec.max_work,
+                            spec.lanes,
                             bucket_idx,
                         )?;
                     }
                     if cfg.update_strategy == UpdateStrategy::PerBucket {
-                        iter_moves += commit(
+                        iter_moves += commit::<P>(
                             dev,
                             g,
                             &state,
@@ -481,7 +512,7 @@ pub fn modularity_optimization(
                 }
             }
             _ => {
-                compute_move_node_centric(dev, g, &state)?;
+                compute_move_node_centric::<P>(dev, g, &state)?;
             }
         }
 
@@ -491,7 +522,7 @@ pub fn modularity_optimization(
             // One commit over all vertices: the deltas pass must read a
             // consistent pre-commit labeling for every neighbor, which
             // per-bucket sequential commits would destroy here.
-            iter_moves += commit(dev, g, &state, None, cfg.pruning, track_deltas)?;
+            iter_moves += commit::<P>(dev, g, &state, None, cfg.pruning, track_deltas)?;
         }
 
         total_moves += iter_moves;
@@ -506,7 +537,7 @@ pub fn modularity_optimization(
             }
             dirty |= iter_moves > 0;
             if dirty && cfg.resync_interval > 0 && iterations.is_multiple_of(cfg.resync_interval) {
-                let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+                let (full_inside, full_sum_asq) = device_modularity_parts::<P>(dev, g, &state)?;
                 resync_check(q_of(inside, sum_asq), q_of(full_inside, full_sum_asq), iterations)?;
                 inside = full_inside;
                 sum_asq = full_sum_asq;
@@ -515,7 +546,7 @@ pub fn modularity_optimization(
         } else {
             // Dense iteration: the commit kernels skipped delta accounting;
             // the recompute is both the q source and a fresh drift anchor.
-            let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+            let (full_inside, full_sum_asq) = device_modularity_parts::<P>(dev, g, &state)?;
             inside = full_inside;
             sum_asq = full_sum_asq;
             dirty = false;
@@ -530,12 +561,13 @@ pub fn modularity_optimization(
         }
         if q_new > best_q {
             best_q = q_new;
-            dev.try_launch_threads("snapshot_best", n, |ctx, v| {
-                state.best_comm.store(v, state.comm.load(v));
-                ctx.global_read_coalesced(1);
-                ctx.global_write_coalesced(1);
-            })
-            .map_err(GpuLouvainError::Launch)?;
+            dev.exec::<P>()
+                .try_launch_threads("snapshot_best", n, |ctx, v| {
+                    state.best_comm.store(v, state.comm.load(v));
+                    ctx.global_read_coalesced(1);
+                    ctx.global_write_coalesced(1);
+                })
+                .map_err(GpuLouvainError::Launch)?;
         }
         if iter_moves == 0 || stagnant >= patience {
             break;
@@ -546,7 +578,7 @@ pub fn modularity_optimization(
     // Skipped when nothing was committed since the last full recompute — the
     // tracked parts still ARE that recompute's values.
     if dirty {
-        let (full_inside, full_sum_asq) = device_modularity_parts(dev, g, &state)?;
+        let (full_inside, full_sum_asq) = device_modularity_parts::<P>(dev, g, &state)?;
         resync_check(q_of(inside, sum_asq), q_of(full_inside, full_sum_asq), iterations)?;
     }
 
@@ -594,8 +626,8 @@ impl MoveScratch {
 /// until it fits. The fallback is counted in the kernel's
 /// `table_fallbacks` metric.
 #[allow(clippy::too_many_arguments)]
-fn compute_move_one(
-    ctx: &mut GroupCtx,
+fn compute_move_one<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     g: &DeviceGraph,
     state: &OptState<'_>,
     storage: &mut TableStorage,
@@ -623,8 +655,8 @@ fn compute_move_one(
 /// per-lane bests, reduce, and stage the decision in `newComm`. A full hash
 /// table aborts the attempt with [`TableOverflow`] before any state is
 /// staged; [`compute_move_one`] retries with a larger table.
-fn compute_move_attempt(
-    ctx: &mut GroupCtx,
+fn compute_move_attempt<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     g: &DeviceGraph,
     state: &OptState<'_>,
     table: &mut HashTable<'_>,
@@ -705,7 +737,7 @@ fn compute_move_attempt(
 /// `computeMove` for one shared-memory bucket (buckets 1-6). `ids` is the
 /// bucket's device-resident id array with `count` valid entries.
 #[allow(clippy::too_many_arguments)]
-fn compute_move_shared_bucket(
+fn compute_move_shared_bucket<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -721,20 +753,21 @@ fn compute_move_shared_bucket(
         HashPlacement::Auto => (TableSpace::Shared, slots * 12),
         HashPlacement::ForceGlobal => (TableSpace::Global, 0),
     };
-    dev.try_launch_tasks(
-        COMPUTE_MOVE_KERNELS[bucket_idx],
-        count,
-        lanes,
-        shared_bytes,
-        || MoveScratch::new(slots),
-        |ctx, scratch, task| {
-            ctx.global_read_coalesced(1);
-            let i = ids.load(task) as usize;
-            let MoveScratch { table, lane_best } = scratch;
-            compute_move_one(ctx, g, state, table, slots, space, lane_best, i);
-        },
-    )
-    .map_err(GpuLouvainError::Launch)
+    dev.exec::<P>()
+        .try_launch_tasks(
+            COMPUTE_MOVE_KERNELS[bucket_idx],
+            count,
+            lanes,
+            shared_bytes,
+            || MoveScratch::new(slots),
+            |ctx, scratch, task| {
+                ctx.global_read_coalesced(1);
+                let i = ids.load(task) as usize;
+                let MoveScratch { table, lane_best } = scratch;
+                compute_move_one(ctx, g, state, table, slots, space, lane_best, i);
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
 }
 
 /// `computeMove` for the open-ended bucket (degree >= 320): hash tables in
@@ -743,7 +776,7 @@ fn compute_move_shared_bucket(
 /// degree-descending with `slots_sorted` the per-entry table sizes — both
 /// resolved once per phase by [`Bins::new`] (host-side, so an out-of-ladder
 /// degree is a typed error, not an in-kernel panic).
-fn compute_move_global_bucket(
+fn compute_move_global_bucket<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -753,34 +786,35 @@ fn compute_move_global_bucket(
 ) -> Result<(), GpuLouvainError> {
     debug_assert_eq!(sorted.len(), slots_sorted.len());
     let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
-    dev.try_launch_blocks(
-        COMPUTE_MOVE_KERNELS[6],
-        n_blocks,
-        |block| {
-            // The block's largest vertex is its first (interleaved deal of a
-            // descending sort), so one allocation serves all its tasks.
-            MoveScratch::new(slots_sorted[block])
-        },
-        |ctx, scratch| {
-            let block = ctx.block_id;
-            let mut idx = block;
-            while idx < sorted.len() {
-                let i = sorted[idx] as usize;
-                let slots = slots_sorted[idx];
-                let MoveScratch { table, lane_best } = scratch;
-                compute_move_one(ctx, g, state, table, slots, TableSpace::Global, lane_best, i);
-                ctx.finish_task();
-                idx += n_blocks;
-            }
-        },
-    )
-    .map_err(GpuLouvainError::Launch)
+    dev.exec::<P>()
+        .try_launch_blocks(
+            COMPUTE_MOVE_KERNELS[6],
+            n_blocks,
+            |block| {
+                // The block's largest vertex is its first (interleaved deal of a
+                // descending sort), so one allocation serves all its tasks.
+                MoveScratch::new(slots_sorted[block])
+            },
+            |ctx, scratch| {
+                let block = ctx.block_id;
+                let mut idx = block;
+                while idx < sorted.len() {
+                    let i = sorted[idx] as usize;
+                    let slots = slots_sorted[idx];
+                    let MoveScratch { table, lane_best } = scratch;
+                    compute_move_one(ctx, g, state, table, slots, TableSpace::Global, lane_best, i);
+                    ctx.finish_task();
+                    idx += n_blocks;
+                }
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
 }
 
 /// Node-centric ablation: one lane per vertex walks its whole adjacency
 /// sequentially (the assignment every earlier parallel Louvain used). Blocks
 /// of 128 vertices; warp divergence is the max-degree straggler effect.
-fn compute_move_node_centric(
+fn compute_move_node_centric<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -794,39 +828,48 @@ fn compute_move_node_centric(
     let slots_per_vertex: Vec<usize> =
         (0..n).map(|v| table_size_for(g.degree(v).max(1))).collect::<Result<_, _>>()?;
     let slots_ref = &slots_per_vertex;
-    dev.try_launch_blocks(
-        "compute_move_node_centric",
-        n_blocks,
-        |_| MoveScratch::new(scratch_slots),
-        |ctx, scratch| {
-            let lo = ctx.block_id * block_threads;
-            let hi = (lo + block_threads).min(n);
-            let mut w_lo = lo;
-            while w_lo < hi {
-                let w_hi = (w_lo + warp).min(hi);
-                // The warp advances in lockstep until its slowest lane (the
-                // highest-degree vertex) finishes.
-                let warp_max = (w_lo..w_hi).map(|v| g.degree(v)).max().unwrap_or(0) as u64;
-                let warp_sum: u64 = (w_lo..w_hi).map(|v| g.degree(v) as u64).sum();
-                ctx.steps(warp_max, warp_sum);
-                #[allow(clippy::needless_range_loop)] // i is a vertex id, not just an index
-                for i in w_lo..w_hi {
-                    let MoveScratch { table, lane_best } = scratch;
-                    node_centric_move_one(ctx, g, state, table, slots_ref[i], &mut lane_best[0], i);
-                    ctx.finish_task();
+    dev.exec::<P>()
+        .try_launch_blocks(
+            "compute_move_node_centric",
+            n_blocks,
+            |_| MoveScratch::new(scratch_slots),
+            |ctx, scratch| {
+                let lo = ctx.block_id * block_threads;
+                let hi = (lo + block_threads).min(n);
+                let mut w_lo = lo;
+                while w_lo < hi {
+                    let w_hi = (w_lo + warp).min(hi);
+                    // The warp advances in lockstep until its slowest lane (the
+                    // highest-degree vertex) finishes.
+                    let warp_max = (w_lo..w_hi).map(|v| g.degree(v)).max().unwrap_or(0) as u64;
+                    let warp_sum: u64 = (w_lo..w_hi).map(|v| g.degree(v) as u64).sum();
+                    ctx.steps(warp_max, warp_sum);
+                    #[allow(clippy::needless_range_loop)] // i is a vertex id, not just an index
+                    for i in w_lo..w_hi {
+                        let MoveScratch { table, lane_best } = scratch;
+                        node_centric_move_one(
+                            ctx,
+                            g,
+                            state,
+                            table,
+                            slots_ref[i],
+                            &mut lane_best[0],
+                            i,
+                        );
+                        ctx.finish_task();
+                    }
+                    w_lo = w_hi;
                 }
-                w_lo = w_hi;
-            }
-        },
-    )
-    .map_err(GpuLouvainError::Launch)
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
 }
 
 /// Single-lane variant of [`compute_move_one`]: same overflow-retry loop
 /// around the per-vertex attempt (always against global memory, so no
 /// shared-to-global fallback is counted).
-fn node_centric_move_one(
-    ctx: &mut GroupCtx,
+fn node_centric_move_one<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     g: &DeviceGraph,
     state: &OptState<'_>,
     storage: &mut TableStorage,
@@ -847,8 +890,8 @@ fn node_centric_move_one(
 
 /// Single-lane body of Algorithm 2 (no strided accounting — the caller
 /// charges warp-level divergence).
-fn node_centric_attempt(
-    ctx: &mut GroupCtx,
+fn node_centric_attempt<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
     g: &DeviceGraph,
     state: &OptState<'_>,
     table: &mut HashTable<'_>,
@@ -915,7 +958,7 @@ fn node_centric_attempt(
 /// With pruning, every moved vertex marks itself and its neighbors into the
 /// frontier consumed by the next iteration's [`Bins::bin_frontier`]. Returns
 /// the number of vertices that moved.
-fn commit(
+fn commit<P: ExecutionProfile>(
     dev: &Device,
     g: &DeviceGraph,
     state: &OptState<'_>,
@@ -937,7 +980,49 @@ fn commit(
         // volumes, sizes, frontier marks, and the label publish fuse into
         // one kernel, halving the launches and id-array scans of the
         // two-pass form.
-        dev.try_launch_threads("commit_publish", count, |ctx, t| {
+        dev.exec::<P>()
+            .try_launch_threads("commit_publish", count, |ctx, t| {
+                let i = match ids {
+                    Some(a) => {
+                        ctx.global_read_coalesced(1);
+                        a.load(t) as usize
+                    }
+                    None => t,
+                };
+                let old = state.comm.load(i);
+                let new = state.new_comm.load(i);
+                ctx.global_read_scattered(2);
+                if old == new {
+                    return;
+                }
+                let shard = t & (ACC_SHARDS - 1);
+                ctx.atomic_add_u32(&state.moves, shard, 1);
+                let ki = state.k[i];
+                ctx.atomic_add_f64(&state.ac, old as usize, -ki);
+                ctx.atomic_add_f64(&state.ac, new as usize, ki);
+                ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1
+                ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
+                if pruning {
+                    let deg = g.degree(i);
+                    ctx.strided_steps(deg.max(1));
+                    ctx.global_read_coalesced(deg + 2);
+                    for &j in g.neighbors(i) {
+                        let j = j as usize;
+                        if j != i {
+                            mark_frontier(ctx, state, j);
+                        }
+                    }
+                    mark_frontier(ctx, state, i);
+                    ctx.global_write_scattered(1 + deg);
+                }
+                state.comm.store(i, new);
+                ctx.global_write_scattered(1);
+            })
+            .map_err(GpuLouvainError::Launch)?;
+        return Ok((0..ACC_SHARDS).map(|s| state.moves.load(s) as usize).sum());
+    }
+    dev.exec::<P>()
+        .try_launch_threads("commit_deltas", count, |ctx, t| {
             let i = match ids {
                 Some(a) => {
                     ctx.global_read_coalesced(1);
@@ -954,103 +1039,64 @@ fn commit(
             let shard = t & (ACC_SHARDS - 1);
             ctx.atomic_add_u32(&state.moves, shard, 1);
             let ki = state.k[i];
-            ctx.atomic_add_f64(&state.ac, old as usize, -ki);
-            ctx.atomic_add_f64(&state.ac, new as usize, ki);
-            ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1
+            let prev_old = ctx.atomic_add_f64_prev(&state.ac, old as usize, -ki);
+            let prev_new = ctx.atomic_add_f64_prev(&state.ac, new as usize, ki);
+            // (a−k)² − a² = −2ak + k²;  (a+k)² − a² = 2ak + k².
+            let d_asq = (ki - 2.0 * prev_old) * ki + (ki + 2.0 * prev_new) * ki;
+            ctx.atomic_add_f64(&state.q_delta, ACC_SHARDS + shard, d_asq);
+            ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1 (wrapping)
             ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
-            if pruning {
-                let deg = g.degree(i);
-                ctx.strided_steps(deg.max(1));
-                ctx.global_read_coalesced(deg + 2);
-                for &j in g.neighbors(i) {
-                    let j = j as usize;
-                    if j != i {
-                        mark_frontier(ctx, state, j);
-                    }
+            let deg = g.degree(i);
+            ctx.strided_steps(deg.max(1));
+            ctx.global_read_coalesced(2 * deg + 2);
+            ctx.global_read_scattered(2 * deg); // C[j] + newComm[j] gathers
+            let mut d_inside = 0.0;
+            for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
+                let j = j as usize;
+                if j == i {
+                    continue; // self-loop arcs never change sides (and `i` is
+                              // marked below regardless)
                 }
+                let cj_old = state.comm.load(j);
+                let cj_new = state.new_comm.load(j);
+                // Arcs that stay on the same side contribute an exact +0.0, so
+                // skipping them leaves the accumulated sum bit-identical.
+                if (new == cj_new) != (old == cj_old) {
+                    let factor = if cj_new != cj_old { 1.0 } else { 2.0 };
+                    let after = (new == cj_new) as u32 as f64;
+                    let before = (old == cj_old) as u32 as f64;
+                    d_inside += factor * w * (after - before);
+                }
+                if pruning {
+                    mark_frontier(ctx, state, j);
+                }
+            }
+            if d_inside != 0.0 {
+                ctx.atomic_add_f64(&state.q_delta, shard, d_inside);
+            }
+            if pruning {
                 mark_frontier(ctx, state, i);
                 ctx.global_write_scattered(1 + deg);
             }
-            state.comm.store(i, new);
-            ctx.global_write_scattered(1);
         })
         .map_err(GpuLouvainError::Launch)?;
-        return Ok((0..ACC_SHARDS).map(|s| state.moves.load(s) as usize).sum());
-    }
-    dev.try_launch_threads("commit_deltas", count, |ctx, t| {
-        let i = match ids {
-            Some(a) => {
-                ctx.global_read_coalesced(1);
-                a.load(t) as usize
+    dev.exec::<P>()
+        .try_launch_threads("update_communities", count, |ctx, t| {
+            let i = match ids {
+                Some(a) => {
+                    ctx.global_read_coalesced(1);
+                    a.load(t) as usize
+                }
+                None => t,
+            };
+            let new = state.new_comm.load(i);
+            ctx.global_read_scattered(2);
+            if state.comm.load(i) != new {
+                state.comm.store(i, new);
+                ctx.global_write_scattered(1);
             }
-            None => t,
-        };
-        let old = state.comm.load(i);
-        let new = state.new_comm.load(i);
-        ctx.global_read_scattered(2);
-        if old == new {
-            return;
-        }
-        let shard = t & (ACC_SHARDS - 1);
-        ctx.atomic_add_u32(&state.moves, shard, 1);
-        let ki = state.k[i];
-        let prev_old = ctx.atomic_add_f64_prev(&state.ac, old as usize, -ki);
-        let prev_new = ctx.atomic_add_f64_prev(&state.ac, new as usize, ki);
-        // (a−k)² − a² = −2ak + k²;  (a+k)² − a² = 2ak + k².
-        let d_asq = (ki - 2.0 * prev_old) * ki + (ki + 2.0 * prev_new) * ki;
-        ctx.atomic_add_f64(&state.q_delta, ACC_SHARDS + shard, d_asq);
-        ctx.atomic_add_u32(&state.comm_size, old as usize, u32::MAX); // -1 (wrapping)
-        ctx.atomic_add_u32(&state.comm_size, new as usize, 1);
-        let deg = g.degree(i);
-        ctx.strided_steps(deg.max(1));
-        ctx.global_read_coalesced(2 * deg + 2);
-        ctx.global_read_scattered(2 * deg); // C[j] + newComm[j] gathers
-        let mut d_inside = 0.0;
-        for (&j, &w) in g.neighbors(i).iter().zip(g.edge_weights(i)) {
-            let j = j as usize;
-            if j == i {
-                continue; // self-loop arcs never change sides (and `i` is
-                          // marked below regardless)
-            }
-            let cj_old = state.comm.load(j);
-            let cj_new = state.new_comm.load(j);
-            // Arcs that stay on the same side contribute an exact +0.0, so
-            // skipping them leaves the accumulated sum bit-identical.
-            if (new == cj_new) != (old == cj_old) {
-                let factor = if cj_new != cj_old { 1.0 } else { 2.0 };
-                let after = (new == cj_new) as u32 as f64;
-                let before = (old == cj_old) as u32 as f64;
-                d_inside += factor * w * (after - before);
-            }
-            if pruning {
-                mark_frontier(ctx, state, j);
-            }
-        }
-        if d_inside != 0.0 {
-            ctx.atomic_add_f64(&state.q_delta, shard, d_inside);
-        }
-        if pruning {
-            mark_frontier(ctx, state, i);
-            ctx.global_write_scattered(1 + deg);
-        }
-    })
-    .map_err(GpuLouvainError::Launch)?;
-    dev.try_launch_threads("update_communities", count, |ctx, t| {
-        let i = match ids {
-            Some(a) => {
-                ctx.global_read_coalesced(1);
-                a.load(t) as usize
-            }
-            None => t,
-        };
-        let new = state.new_comm.load(i);
-        ctx.global_read_scattered(2);
-        if state.comm.load(i) != new {
-            state.comm.store(i, new);
-            ctx.global_write_scattered(1);
-        }
-    })
-    .map_err(GpuLouvainError::Launch)?;
+        })
+        .map_err(GpuLouvainError::Launch)?;
     Ok((0..ACC_SHARDS).map(|s| state.moves.load(s) as usize).sum())
 }
 
@@ -1062,7 +1108,7 @@ fn commit(
 /// skips the locked RMW for already-marked vertices, which dominate once the
 /// frontier densifies. Counter parity with a bare CAS is kept explicitly:
 /// one CAS op per call, a failure whenever the vertex was already claimed.
-fn mark_frontier(ctx: &mut GroupCtx, state: &OptState<'_>, v: usize) {
+fn mark_frontier<P: ExecutionProfile>(ctx: &mut GroupCtx<P>, state: &OptState<'_>, v: usize) {
     if state.marked.load(v) != 0 {
         ctx.note_cas(1, 1);
         return;
@@ -1085,11 +1131,17 @@ mod tests {
         Device::new(DeviceConfig::tesla_k40m())
     }
 
+    /// Counter-asserting tests must hold regardless of the CD_GPUSIM_PROFILE
+    /// environment default, so they pin the instrumented profile.
+    fn instrumented_dev() -> Device {
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented))
+    }
+
     #[test]
     fn weighted_degrees_match_host() {
         let g = cd_graph::csr_from_edges(4, &[(0, 1, 2.0), (1, 2, 1.5), (3, 3, 4.0)]);
         let dg = DeviceGraph::from_csr(&g);
-        let k = compute_weighted_degrees(&dev(), &dg).unwrap();
+        let k = compute_weighted_degrees::<Instrumented>(&dev(), &dg).unwrap();
         for v in 0..4u32 {
             assert!((k[v as usize] - g.weighted_degree(v)).abs() < 1e-12);
         }
@@ -1100,8 +1152,8 @@ mod tests {
         let g = cliques(3, 5, true);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let state = OptState::new(&d, &dg).unwrap();
-        let q_dev = device_modularity(&d, &dg, &state).unwrap();
+        let state = OptState::new::<Instrumented>(&d, &dg).unwrap();
+        let q_dev = device_modularity::<Instrumented>(&d, &dg, &state).unwrap();
         let q_host = host_modularity(&g, &Partition::singleton(g.num_vertices()));
         assert!((q_dev - q_host).abs() < 1e-12, "{q_dev} vs {q_host}");
     }
@@ -1130,8 +1182,8 @@ mod tests {
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
         let q0 = {
-            let state = OptState::new(&d, &dg).unwrap();
-            device_modularity(&d, &dg, &state).unwrap()
+            let state = OptState::new::<Instrumented>(&d, &dg).unwrap();
+            device_modularity::<Instrumented>(&d, &dg, &state).unwrap()
         };
         let out =
             modularity_optimization(&d, &dg, &GpuLouvainConfig::paper_default(), 1e-6).unwrap();
@@ -1210,7 +1262,7 @@ mod tests {
         let g = cd_graph::gen::planted_partition(6, 40, 0.4, 0.01, 21).graph;
         let dg = DeviceGraph::from_csr(&g);
 
-        let d_full = dev();
+        let d_full = instrumented_dev();
         let full = modularity_optimization(&d_full, &dg, &GpuLouvainConfig::paper_default(), 1e-6)
             .unwrap();
         let full_tasks: u64 = d_full
@@ -1221,7 +1273,7 @@ mod tests {
             .map(|(_, k)| k.counters.tasks)
             .sum();
 
-        let d_pruned = dev();
+        let d_pruned = instrumented_dev();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.pruning = true;
         let pruned = modularity_optimization(&d_pruned, &dg, &cfg, 1e-6).unwrap();
@@ -1250,7 +1302,7 @@ mod tests {
         let g = cd_graph::gen::planted_partition(6, 40, 0.4, 0.01, 21).graph;
         let dg = DeviceGraph::from_csr(&g);
         let n = dg.num_vertices() as u64;
-        let d = dev();
+        let d = instrumented_dev();
         let mut cfg = GpuLouvainConfig::paper_default();
         cfg.pruning = true;
         let out = modularity_optimization(&d, &dg, &cfg, 1e-6).unwrap();
@@ -1317,10 +1369,10 @@ mod tests {
         let g = cliques(3, 6, true);
         let dg = DeviceGraph::from_csr(&g);
         let d = dev();
-        let state = OptState::new(&d, &dg).unwrap();
-        let (inside, sum_asq) = device_modularity_parts(&d, &dg, &state).unwrap();
+        let state = OptState::new::<Instrumented>(&d, &dg).unwrap();
+        let (inside, sum_asq) = device_modularity_parts::<Instrumented>(&d, &dg, &state).unwrap();
         state.ac.store(0, state.ac.load(0) + 1000.0);
-        let (inside2, sum_asq2) = device_modularity_parts(&d, &dg, &state).unwrap();
+        let (inside2, sum_asq2) = device_modularity_parts::<Instrumented>(&d, &dg, &state).unwrap();
         let two_m = dg.two_m;
         let q = |i: f64, s: f64| i / two_m - s / (two_m * two_m);
         let err = resync_check(q(inside, sum_asq), q(inside2, sum_asq2), 1).unwrap_err();

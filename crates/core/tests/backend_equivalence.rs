@@ -1,0 +1,138 @@
+//! Backend-equivalence tests at the algorithm level: the `Fast` and
+//! `Instrumented` execution profiles may differ only in what they *record*,
+//! never in what they *compute*. The hash-table proptests are the cd-core
+//! half of the primitive-level equivalence bar (the thrust half lives in
+//! cd-gpusim); the Louvain tests check the full pipeline end to end.
+
+use cd_core::hashtable::{TableSpace, TableStorage};
+use cd_core::{louvain_gpu, GpuLouvainConfig};
+use cd_gpusim::{BlockCounters, Device, DeviceConfig, Fast, GroupCtx, Instrumented, Profile};
+use cd_graph::gen::{cliques, planted_partition};
+use proptest::prelude::*;
+
+fn device_pair() -> (Device, Device) {
+    (
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented)),
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast)),
+    )
+}
+
+/// Everything observable from a table replay: per-insert `(slot, running)`
+/// results, per-key lookups, and the filled entries in slot order.
+type ReplayObservables = (Vec<(usize, f64)>, Vec<f64>, Vec<(u32, f64)>);
+
+/// Replays one op sequence against a fresh table.
+fn replay<P: cd_gpusim::ExecutionProfile>(
+    ops: &[(u32, f64)],
+    slots: usize,
+    space: TableSpace,
+) -> ReplayObservables {
+    let mut counters = BlockCounters::default();
+    let mut ctx = GroupCtx::<P>::typed(0, 32, &mut counters);
+    let mut storage = TableStorage::with_capacity(slots);
+    let mut table = storage.table(slots, space);
+    table.reset(&mut ctx);
+    let inserts: Vec<(usize, f64)> =
+        ops.iter().map(|&(k, w)| table.insert_add(&mut ctx, k, w)).collect();
+    let lookups: Vec<f64> = ops.iter().map(|&(k, _)| table.get(&mut ctx, k)).collect();
+    let filled: Vec<(u32, f64)> = table.iter_filled().collect();
+    (inserts, lookups, filled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hash_table_identical_across_profiles(
+        ops in proptest::collection::vec((0u32..40, -100.0f64..100.0), 0..60),
+        shared in 0u32..2,
+    ) {
+        // 97 slots comfortably hold <= 40 distinct keys, so no overflow path.
+        let space = if shared == 1 { TableSpace::Shared } else { TableSpace::Global };
+        let slow = replay::<Instrumented>(&ops, 97, space);
+        let fast = replay::<Fast>(&ops, 97, space);
+        // Same probe sequences, bit-identical accumulated weights.
+        prop_assert_eq!(slow.0.len(), fast.0.len());
+        for (a, b) in slow.0.iter().zip(&fast.0) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        for (a, b) in slow.1.iter().zip(&fast.1) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(slow.2, fast.2);
+    }
+
+    #[test]
+    fn fast_profile_hash_ops_record_nothing(
+        ops in proptest::collection::vec((0u32..20, 0.5f64..2.0), 1..30),
+    ) {
+        let mut counters = BlockCounters::default();
+        {
+            let mut ctx = GroupCtx::<Fast>::typed(0, 32, &mut counters);
+            let mut storage = TableStorage::with_capacity(53);
+            let mut table = storage.table(53, TableSpace::Shared);
+            table.reset(&mut ctx);
+            for &(k, w) in &ops {
+                table.insert_add(&mut ctx, k, w);
+                table.get(&mut ctx, k);
+            }
+        }
+        prop_assert_eq!(counters, BlockCounters::default());
+    }
+}
+
+#[test]
+fn louvain_identical_labels_and_modularity_across_profiles() {
+    let (slow, fast) = device_pair();
+    let graphs = [
+        cliques(4, 8, true),
+        planted_partition(6, 40, 0.4, 0.01, 3).graph,
+        planted_partition(5, 30, 0.4, 0.02, 11).graph,
+        cd_graph::gen::add_random_edges(&cd_graph::gen::cycle(200), 400, 7),
+    ];
+    for (gi, g) in graphs.iter().enumerate() {
+        for pruning in [false, true] {
+            let mut cfg = GpuLouvainConfig::paper_default();
+            cfg.pruning = pruning;
+            let a = louvain_gpu(&slow, g, &cfg).unwrap();
+            let b = louvain_gpu(&fast, g, &cfg).unwrap();
+            let n = g.num_vertices() as u32;
+            let labels = |r: &cd_core::louvain::GpuLouvainResult| {
+                (0..n).map(|v| r.partition.community_of(v)).collect::<Vec<_>>()
+            };
+            assert_eq!(labels(&a), labels(&b), "graph {gi} pruning={pruning}: labels diverge");
+            assert_eq!(
+                a.modularity.to_bits(),
+                b.modularity.to_bits(),
+                "graph {gi} pruning={pruning}: Q {} vs {}",
+                a.modularity,
+                b.modularity
+            );
+            assert_eq!(a.stages.len(), b.stages.len());
+        }
+    }
+    // The instrumented device recorded kernels; the fast one recorded none
+    // and says so.
+    assert!(!slow.metrics().kernels().is_empty());
+    let fm = fast.metrics();
+    assert!(fm.kernels().is_empty());
+    assert_eq!(fm.profile(), Profile::Fast);
+}
+
+#[test]
+fn aggregation_identical_across_profiles() {
+    let (slow, fast) = device_pair();
+    let g = cd_graph::gen::add_random_edges(&cd_graph::gen::cycle(150), 300, 5);
+    let dg = cd_core::DeviceGraph::from_csr(&g);
+    let comm: Vec<u32> = (0..150u32).map(|v| (v * 31 + 7) % 13).collect();
+    let cfg = GpuLouvainConfig::paper_default();
+    let a = cd_core::aggregate_graph(&slow, &dg, &comm, &cfg).unwrap();
+    let b = cd_core::aggregate_graph(&fast, &dg, &comm, &cfg).unwrap();
+    assert_eq!(a.vertex_map, b.vertex_map);
+    assert_eq!(a.graph.offsets, b.graph.offsets);
+    assert_eq!(a.graph.targets, b.graph.targets);
+    let wa: Vec<u64> = a.graph.weights.iter().map(|w| w.to_bits()).collect();
+    let wb: Vec<u64> = b.graph.weights.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(wa, wb);
+}

@@ -48,6 +48,11 @@ pub struct DeviceConfig {
     pub launch_overhead_cycles: f64,
     /// Deterministic fault-injection plan (disabled by default).
     pub fault_plan: crate::fault::FaultPlan,
+    /// Execution profile: [`crate::Profile::Instrumented`] keeps counters,
+    /// cycle model, and fault injection; [`crate::Profile::Fast`] compiles
+    /// accounting out. The stock constructors honour the `CD_GPUSIM_PROFILE`
+    /// environment variable (see [`crate::Profile::from_env`]).
+    pub profile: crate::profile::Profile,
 }
 
 impl DeviceConfig {
@@ -71,6 +76,7 @@ impl DeviceConfig {
             cycles_per_atomic: 16.0,
             launch_overhead_cycles: 4000.0,
             fault_plan: crate::fault::FaultPlan::disabled(),
+            profile: crate::profile::Profile::from_env(),
         }
     }
 
@@ -95,6 +101,7 @@ impl DeviceConfig {
             cycles_per_atomic: 16.0,
             launch_overhead_cycles: 100.0,
             fault_plan: crate::fault::FaultPlan::disabled(),
+            profile: crate::profile::Profile::from_env(),
         }
     }
 
@@ -102,6 +109,22 @@ impl DeviceConfig {
     pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Returns the configuration with the given execution profile.
+    pub fn with_profile(mut self, profile: crate::profile::Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Checks cross-field consistency. An active fault plan requires the
+    /// instrumented profile (fault draws live in the instrumented launch
+    /// path); see [`crate::ConfigError::FaultsRequireInstrumented`].
+    pub fn validate(&self) -> Result<(), crate::profile::ConfigError> {
+        if self.fault_plan.is_active() && !self.profile.is_instrumented() {
+            return Err(crate::profile::ConfigError::FaultsRequireInstrumented);
+        }
+        Ok(())
     }
 
     /// Threads per block (`warp_size * warps_per_block`; 128 in the paper).
@@ -189,5 +212,21 @@ mod tests {
         let c = DeviceConfig::test_tiny();
         let s = c.cycles_to_seconds(1e8);
         assert!((s - 1.0).abs() < 1e-9); // 100 MHz
+    }
+
+    #[test]
+    fn faults_are_rejected_on_the_fast_profile() {
+        use crate::profile::{ConfigError, Profile};
+        let plan = crate::fault::FaultPlan::seeded(7).with_abort_rate(0.1);
+        let c = DeviceConfig::test_tiny().with_fault_plan(plan.clone()).with_profile(Profile::Fast);
+        assert_eq!(c.validate(), Err(ConfigError::FaultsRequireInstrumented));
+        // Same plan is fine when instrumented, and an inactive plan is fine
+        // on Fast.
+        assert!(DeviceConfig::test_tiny()
+            .with_fault_plan(plan)
+            .with_profile(Profile::Instrumented)
+            .validate()
+            .is_ok());
+        assert!(DeviceConfig::test_tiny().with_profile(Profile::Fast).validate().is_ok());
     }
 }

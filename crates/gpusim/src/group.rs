@@ -10,29 +10,57 @@
 //! and counted wrappers for the atomic operations kernels perform on global
 //! memory. Warp collectives (reduction, scan, ballot) are provided with the
 //! `log2(width)` step costs they have on the device.
+//!
+//! The context is generic over an [`ExecutionProfile`]: under
+//! [`crate::Instrumented`] (the default) every wrapper updates the block's
+//! [`BlockCounters`]; under [`crate::Fast`] the accounting bodies are gated on
+//! the `const` [`ExecutionProfile::INSTRUMENTED`] flag and compile to no-ops,
+//! leaving only the memory semantics. Kernels written against `GroupCtx<P>`
+//! therefore monomorphize into an instrumented and a raced variant from one
+//! source.
+
+use std::marker::PhantomData;
 
 use crate::memory::{GlobalF64, GlobalU32, GlobalU64};
 use crate::metrics::BlockCounters;
+use crate::profile::{ExecutionProfile, Instrumented};
 
 /// Valid thread-group widths: subwarp slices, one warp, or one block.
 pub const VALID_GROUP_LANES: [usize; 5] = [4, 8, 16, 32, 128];
 
 /// Execution context handed to kernel bodies, scoped to one thread group.
-pub struct GroupCtx<'a> {
+///
+/// The profile parameter `P` selects at compile time whether the accounting
+/// wrappers record into [`BlockCounters`] ([`crate::Instrumented`], the
+/// default) or compile to no-ops ([`crate::Fast`]). Memory and collective
+/// *semantics* are identical under both.
+pub struct GroupCtx<'a, P: ExecutionProfile = Instrumented> {
     /// Index of the block this group belongs to.
     pub block_id: usize,
     /// Lanes in this group (4, 8, 16, 32, or 128).
     lanes: usize,
     counters: &'a mut BlockCounters,
+    _profile: PhantomData<P>,
 }
 
-impl<'a> GroupCtx<'a> {
-    /// Creates a standalone context over caller-provided counters. Kernel
-    /// launches construct contexts internally; this is public for unit tests
-    /// and custom harnesses that exercise group-level code directly.
+impl<'a> GroupCtx<'a, Instrumented> {
+    /// Creates a standalone *instrumented* context over caller-provided
+    /// counters. Kernel launches construct contexts internally; this is
+    /// public for unit tests and custom harnesses that exercise group-level
+    /// code directly. For a profile-generic context use [`GroupCtx::typed`].
     pub fn new(block_id: usize, lanes: usize, counters: &'a mut BlockCounters) -> Self {
+        Self::typed(block_id, lanes, counters)
+    }
+}
+
+impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
+    /// Creates a standalone context under profile `P` (the generic form of
+    /// [`GroupCtx::new`]). Under [`crate::Fast`] the counters reference is
+    /// still held — launches reuse one scratch `BlockCounters` per block —
+    /// but never written.
+    pub fn typed(block_id: usize, lanes: usize, counters: &'a mut BlockCounters) -> Self {
         debug_assert!(VALID_GROUP_LANES.contains(&lanes), "invalid group width {lanes}");
-        Self { block_id, lanes, counters }
+        Self { block_id, lanes, counters, _profile: PhantomData }
     }
 
     /// Number of lanes in this group.
@@ -48,18 +76,22 @@ impl<'a> GroupCtx<'a> {
     /// computed from.
     #[inline]
     pub fn step(&mut self, active: usize) {
-        debug_assert!(active <= self.lanes);
-        self.counters.lane_slots += self.lanes as u64;
-        self.counters.active_lanes += active as u64;
+        if P::INSTRUMENTED {
+            debug_assert!(active <= self.lanes);
+            self.counters.lane_slots += self.lanes as u64;
+            self.counters.active_lanes += active as u64;
+        }
     }
 
     /// Records `steps` identical lockstep steps with `total_active` active
     /// lane-slots in total (bulk version of [`Self::step`]).
     #[inline]
     pub fn steps(&mut self, steps: u64, total_active: u64) {
-        debug_assert!(total_active <= steps * self.lanes as u64);
-        self.counters.lane_slots += steps * self.lanes as u64;
-        self.counters.active_lanes += total_active;
+        if P::INSTRUMENTED {
+            debug_assert!(total_active <= steps * self.lanes as u64);
+            self.counters.lane_slots += steps * self.lanes as u64;
+            self.counters.active_lanes += total_active;
+        }
     }
 
     /// Records the steps needed to process `items` items strided across the
@@ -67,24 +99,30 @@ impl<'a> GroupCtx<'a> {
     /// steps, with only `items mod lanes` lanes active in the last one.
     #[inline]
     pub fn strided_steps(&mut self, items: usize) {
-        if items == 0 {
-            return;
+        if P::INSTRUMENTED {
+            if items == 0 {
+                return;
+            }
+            let steps = items.div_ceil(self.lanes) as u64;
+            self.steps(steps, items as u64);
         }
-        let steps = items.div_ceil(self.lanes) as u64;
-        self.steps(steps, items as u64);
     }
 
     /// Block-wide barrier (`__syncthreads`). Semantically a no-op under
     /// lockstep execution; counted for the cost model.
     #[inline]
     pub fn barrier(&mut self) {
-        self.counters.barriers += 1;
+        if P::INSTRUMENTED {
+            self.counters.barriers += 1;
+        }
     }
 
     /// Marks one task as processed.
     #[inline]
     pub fn finish_task(&mut self) {
-        self.counters.tasks += 1;
+        if P::INSTRUMENTED {
+            self.counters.tasks += 1;
+        }
     }
 
     // ----- memory traffic accounting ---------------------------------------
@@ -94,37 +132,47 @@ impl<'a> GroupCtx<'a> {
     /// transactions.
     #[inline]
     pub fn global_read_coalesced(&mut self, words: usize) {
-        self.counters.global_reads += words as u64;
-        self.counters.global_transactions += words.div_ceil(16) as u64;
+        if P::INSTRUMENTED {
+            self.counters.global_reads += words as u64;
+            self.counters.global_transactions += words.div_ceil(16) as u64;
+        }
     }
 
     /// Records a scattered global read of `words` words (e.g. hash probes):
     /// one transaction each.
     #[inline]
     pub fn global_read_scattered(&mut self, words: usize) {
-        self.counters.global_reads += words as u64;
-        self.counters.global_transactions += words as u64;
+        if P::INSTRUMENTED {
+            self.counters.global_reads += words as u64;
+            self.counters.global_transactions += words as u64;
+        }
     }
 
     /// Records a coalesced global write of `words` consecutive words.
     #[inline]
     pub fn global_write_coalesced(&mut self, words: usize) {
-        self.counters.global_writes += words as u64;
-        self.counters.global_transactions += words.div_ceil(16) as u64;
+        if P::INSTRUMENTED {
+            self.counters.global_writes += words as u64;
+            self.counters.global_transactions += words.div_ceil(16) as u64;
+        }
     }
 
     /// Records a scattered global write.
     #[inline]
     pub fn global_write_scattered(&mut self, words: usize) {
-        self.counters.global_writes += words as u64;
-        self.counters.global_transactions += words as u64;
+        if P::INSTRUMENTED {
+            self.counters.global_writes += words as u64;
+            self.counters.global_transactions += words as u64;
+        }
     }
 
     /// Records `words` shared-memory accesses (assumed conflict-free; the
     /// paper's hash tables use double hashing to spread banks).
     #[inline]
     pub fn shared_access(&mut self, words: usize) {
-        self.counters.shared_accesses += words as u64;
+        if P::INSTRUMENTED {
+            self.counters.shared_accesses += words as u64;
+        }
     }
 
     // ----- counted atomics on global memory --------------------------------
@@ -142,23 +190,29 @@ impl<'a> GroupCtx<'a> {
     #[inline]
     pub fn atomic_add_f64_prev(&mut self, buf: &GlobalF64, idx: usize, v: f64) -> f64 {
         let (prev, attempts) = buf.atomic_add_prev(idx, v);
-        self.counters.atomic_adds += 1;
-        self.counters.cas_ops += attempts as u64;
-        self.counters.cas_failures += (attempts - 1) as u64;
+        if P::INSTRUMENTED {
+            self.counters.atomic_adds += 1;
+            self.counters.cas_ops += attempts as u64;
+            self.counters.cas_failures += (attempts - 1) as u64;
+        }
         prev
     }
 
     /// `atomicAdd` on a global u32 cell; returns the previous value.
     #[inline]
     pub fn atomic_add_u32(&mut self, buf: &GlobalU32, idx: usize, v: u32) -> u32 {
-        self.counters.atomic_adds += 1;
+        if P::INSTRUMENTED {
+            self.counters.atomic_adds += 1;
+        }
         buf.atomic_add(idx, v)
     }
 
     /// `atomicAdd` on a global u64 cell; returns the previous value.
     #[inline]
     pub fn atomic_add_u64(&mut self, buf: &GlobalU64, idx: usize, v: u64) -> u64 {
-        self.counters.atomic_adds += 1;
+        if P::INSTRUMENTED {
+            self.counters.atomic_adds += 1;
+        }
         buf.atomic_add(idx, v)
     }
 
@@ -171,10 +225,12 @@ impl<'a> GroupCtx<'a> {
         current: u32,
         new: u32,
     ) -> Result<u32, u32> {
-        self.counters.cas_ops += 1;
         let r = buf.cas(idx, current, new);
-        if r.is_err() {
-            self.counters.cas_failures += 1;
+        if P::INSTRUMENTED {
+            self.counters.cas_ops += 1;
+            if r.is_err() {
+                self.counters.cas_failures += 1;
+            }
         }
         r
     }
@@ -185,23 +241,29 @@ impl<'a> GroupCtx<'a> {
     /// are already serialized by lockstep execution; this records their cost.
     #[inline]
     pub fn note_atomic_adds(&mut self, n: u64) {
-        self.counters.atomic_adds += n;
+        if P::INSTRUMENTED {
+            self.counters.atomic_adds += n;
+        }
     }
 
     /// Accounts CAS operations performed on block-private storage (see
     /// [`Self::note_atomic_adds`]).
     #[inline]
     pub fn note_cas(&mut self, ops: u64, failures: u64) {
-        debug_assert!(failures <= ops);
-        self.counters.cas_ops += ops;
-        self.counters.cas_failures += failures;
+        if P::INSTRUMENTED {
+            debug_assert!(failures <= ops);
+            self.counters.cas_ops += ops;
+            self.counters.cas_failures += failures;
+        }
     }
 
     /// Records one shared→global hash-table fallback (a shared-memory table
     /// overflowed and the task was retried against global memory).
     #[inline]
     pub fn note_table_fallback(&mut self) {
-        self.counters.table_fallbacks += 1;
+        if P::INSTRUMENTED {
+            self.counters.table_fallbacks += 1;
+        }
     }
 
     // ----- warp/block collectives ------------------------------------------
@@ -209,8 +271,10 @@ impl<'a> GroupCtx<'a> {
     /// Records the cost of a `log2(lanes)`-step shuffle collective.
     #[inline]
     fn collective_cost(&mut self) {
-        let steps = self.lanes.trailing_zeros() as u64;
-        self.steps(steps, steps * self.lanes as u64);
+        if P::INSTRUMENTED {
+            let steps = self.lanes.trailing_zeros() as u64;
+            self.steps(steps, steps * self.lanes as u64);
+        }
     }
 
     /// Tournament argmax over per-lane `(score, key)` pairs — the reduction
@@ -262,7 +326,7 @@ impl<'a> GroupCtx<'a> {
     }
 
     /// Read-only view of the counters accumulated so far by this group's
-    /// block (tests and instrumentation).
+    /// block (tests and instrumentation). All-zero under [`crate::Fast`].
     pub fn counters(&self) -> &BlockCounters {
         self.counters
     }
@@ -271,6 +335,7 @@ impl<'a> GroupCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::Fast;
 
     fn ctx(counters: &mut BlockCounters) -> GroupCtx<'_> {
         GroupCtx::new(0, 32, counters)
@@ -339,5 +404,36 @@ mod tests {
         g.global_read_scattered(5); // 5 transactions
         assert_eq!(c.global_transactions, 7);
         assert_eq!(c.global_reads, 37);
+    }
+
+    #[test]
+    fn fast_profile_same_semantics_zero_counters() {
+        let mut c = BlockCounters::default();
+        let f = GlobalF64::zeroed(1);
+        let u = GlobalU32::zeroed(1);
+        {
+            let mut g: GroupCtx<'_, Fast> = GroupCtx::typed(0, 32, &mut c);
+            g.step(20);
+            g.strided_steps(70);
+            g.barrier();
+            g.global_read_coalesced(32);
+            g.shared_access(4);
+            g.note_atomic_adds(5);
+            g.note_cas(3, 1);
+            g.note_table_fallback();
+            g.atomic_add_f64(&f, 0, 2.5);
+            assert_eq!(g.atomic_add_u32(&u, 0, 3), 0);
+            assert!(g.cas_u32(&u, 0, 3, 7).is_ok());
+            assert_eq!(g.reduce_best(&[(1.0, 9), (2.0, 3)]), Some((2.0, 3)));
+            let mut v = [3usize, 0, 2, 5];
+            assert_eq!(g.exclusive_scan_usize(&mut v), 10);
+            assert_eq!(g.ballot(&[true, false, true]), 0b101);
+            g.finish_task();
+        }
+        // Memory semantics applied...
+        assert_eq!(f.load(0), 2.5);
+        assert_eq!(u.load(0), 7);
+        // ...but no accounting recorded.
+        assert_eq!(c, BlockCounters::default());
     }
 }

@@ -21,6 +21,12 @@
 //! block — see [`crate::fault`]) surface there; the infallible wrappers
 //! panic on any error, preserving the original fail-fast behaviour for
 //! callers that opt out of fault handling.
+//!
+//! The methods on [`Device`] are the *instrumented* entry points (counters
+//! merged, launch recorded, faults drawn). Profile-generic drivers instead
+//! obtain a typed launcher with [`Device::exec`] and write their kernels
+//! against `GroupCtx<P>`; under [`crate::Fast`] the same launch shapes skip
+//! the counter merge, the metric record, and the fault draw entirely.
 
 use crate::config::DeviceConfig;
 use crate::fault::{mix64, unit_f64, FaultStats, LaunchError, LaunchFault};
@@ -28,10 +34,23 @@ use crate::group::{GroupCtx, VALID_GROUP_LANES};
 use crate::memory::{GlobalF64, GlobalU32};
 use crate::metrics::{BlockCounters, MetricsReport, MetricsStore};
 use crate::pool::PoolStore;
+use crate::profile::{ConfigError, ExecutionProfile, Instrumented};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// True when the host has a single execution unit: the block loop then runs
+/// inline, skipping the parallel-iterator machinery (whose per-launch setup
+/// is pure overhead without a second core). One block is always inline for
+/// the same reason. Results are identical either way — block execution is
+/// order-independent.
+fn serial_host() -> bool {
+    static SINGLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SINGLE
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(true))
+}
 
 /// A simulated GPU.
 #[derive(Debug)]
@@ -47,15 +66,24 @@ pub struct Device {
 }
 
 impl Device {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration. Panics when the
+    /// configuration is invalid (see [`Device::try_new`]).
     pub fn new(cfg: DeviceConfig) -> Self {
-        Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Device::new`]: rejects inconsistent configurations,
+    /// e.g. an active fault plan combined with [`crate::Profile::Fast`]
+    /// ([`ConfigError::FaultsRequireInstrumented`]).
+    pub fn try_new(cfg: DeviceConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             cfg,
             metrics: Mutex::new(MetricsStore::default()),
             pool: Mutex::new(PoolStore::default()),
             launch_seq: AtomicU64::new(0),
             corrupt_seq: AtomicU64::new(0),
-        }
+        })
     }
 
     /// A device with the paper's K40m-like defaults.
@@ -68,9 +96,43 @@ impl Device {
         &self.cfg
     }
 
-    /// Snapshot of all kernel metrics recorded so far.
+    /// The execution profile this device was configured with.
+    pub fn profile(&self) -> crate::profile::Profile {
+        self.cfg.profile
+    }
+
+    /// A profile-typed launcher. Drivers that are generic over
+    /// `P: ExecutionProfile` launch through this handle so their kernels
+    /// monomorphize against `GroupCtx<P>`:
+    ///
+    /// ```
+    /// use cd_gpusim::{Device, DeviceConfig, ExecutionProfile, GlobalU32, Profile};
+    ///
+    /// fn histogram<P: ExecutionProfile>(dev: &Device, counts: &GlobalU32) {
+    ///     dev.exec::<P>().launch_threads("histogram", 1000, |ctx, t| {
+    ///         ctx.atomic_add_u32(counts, t as usize % 4, 1);
+    ///     });
+    /// }
+    ///
+    /// let dev = Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast));
+    /// let counts = GlobalU32::zeroed(4);
+    /// match dev.profile() {
+    ///     Profile::Instrumented => histogram::<cd_gpusim::Instrumented>(&dev, &counts),
+    ///     Profile::Fast => histogram::<cd_gpusim::Fast>(&dev, &counts),
+    /// }
+    /// assert_eq!(counts.to_vec(), vec![250, 250, 250, 250]);
+    /// assert!(dev.metrics().kernels().is_empty()); // Fast records nothing
+    /// ```
+    pub fn exec<P: ExecutionProfile>(&self) -> Exec<'_, P> {
+        Exec { dev: self, _profile: PhantomData }
+    }
+
+    /// Snapshot of all kernel metrics recorded so far. The report states the
+    /// profile that produced it; under [`crate::Profile::Fast`] no kernel
+    /// entries exist (launches are not recorded) rather than entries full of
+    /// zeroed counters.
     pub fn metrics(&self) -> MetricsReport {
-        self.metrics.lock().snapshot(self.pool.lock().stats)
+        self.metrics.lock().snapshot(self.pool.lock().stats, self.cfg.profile)
     }
 
     /// Clears all recorded metrics (including fault and pool counters).
@@ -203,8 +265,14 @@ impl Device {
         I: Fn() -> S + Sync,
         F: Fn(&mut GroupCtx, &mut S, usize) + Sync,
     {
-        self.try_launch_tasks(name, n_tasks, lanes, shared_bytes_per_task, block_state, kernel)
-            .unwrap_or_else(|e| panic!("{e}"));
+        self.exec::<Instrumented>().launch_tasks(
+            name,
+            n_tasks,
+            lanes,
+            shared_bytes_per_task,
+            block_state,
+            kernel,
+        );
     }
 
     /// Fallible form of [`Device::launch_tasks`]: configuration errors and
@@ -225,58 +293,14 @@ impl Device {
         I: Fn() -> S + Sync,
         F: Fn(&mut GroupCtx, &mut S, usize) + Sync,
     {
-        let block_threads = self.cfg.block_threads();
-        if !VALID_GROUP_LANES.contains(&lanes) || lanes > block_threads {
-            return Err(LaunchError::InvalidGroupWidth { lanes });
-        }
-        let tasks_per_block = block_threads / lanes;
-        let shared_per_block = shared_bytes_per_task * tasks_per_block;
-        if shared_per_block > self.cfg.shared_mem_per_block {
-            return Err(LaunchError::SharedMemoryExceeded {
-                kernel: name.to_string(),
-                required: shared_per_block,
-                available: self.cfg.shared_mem_per_block,
-            });
-        }
-        if n_tasks == 0 {
-            self.record_with_shared(
-                name,
-                0,
-                BlockCounters::default(),
-                std::time::Duration::ZERO,
-                shared_per_block,
-            );
-            return Ok(());
-        }
-
-        let start = Instant::now();
-        let n_blocks = n_tasks.div_ceil(tasks_per_block);
-        let fault = self.next_launch_fault();
-        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
-        let totals = (0..n_blocks)
-            .into_par_iter()
-            .map(|block| {
-                let mut counters = BlockCounters::default();
-                if block >= run_limit || Some(block) == stuck {
-                    return counters;
-                }
-                let mut state = block_state();
-                let lo = block * tasks_per_block;
-                let hi = (lo + tasks_per_block).min(n_tasks);
-                for task in lo..hi {
-                    let mut ctx = GroupCtx::new(block, lanes, &mut counters);
-                    kernel(&mut ctx, &mut state, task);
-                    ctx.finish_task();
-                }
-                counters
-            })
-            .reduce(BlockCounters::default, |mut a, b| {
-                a.merge(&b);
-                a
-            });
-        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
-        self.record_with_shared(name, executed as u64, totals, start.elapsed(), shared_per_block);
-        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+        self.exec::<Instrumented>().try_launch_tasks(
+            name,
+            n_tasks,
+            lanes,
+            shared_bytes_per_task,
+            block_state,
+            kernel,
+        )
     }
 
     /// Launches `n_blocks` blocks; the kernel body receives a block-wide
@@ -292,8 +316,7 @@ impl Device {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut GroupCtx, &mut S) + Sync,
     {
-        self.try_launch_blocks(name, n_blocks, block_state, kernel)
-            .unwrap_or_else(|e| panic!("{e}"));
+        self.exec::<Instrumented>().launch_blocks(name, n_blocks, block_state, kernel);
     }
 
     /// Fallible form of [`Device::launch_blocks`].
@@ -309,33 +332,7 @@ impl Device {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut GroupCtx, &mut S) + Sync,
     {
-        if n_blocks == 0 {
-            self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
-            return Ok(());
-        }
-        let start = Instant::now();
-        let block_threads = self.cfg.block_threads();
-        let fault = self.next_launch_fault();
-        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
-        let totals = (0..n_blocks)
-            .into_par_iter()
-            .map(|block| {
-                let mut counters = BlockCounters::default();
-                if block >= run_limit || Some(block) == stuck {
-                    return counters;
-                }
-                let mut state = block_state(block);
-                let mut ctx = GroupCtx::new(block, block_threads, &mut counters);
-                kernel(&mut ctx, &mut state);
-                counters
-            })
-            .reduce(BlockCounters::default, |mut a, b| {
-                a.merge(&b);
-                a
-            });
-        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
-        self.record(name, executed as u64, totals, start.elapsed());
-        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+        self.exec::<Instrumented>().try_launch_blocks(name, n_blocks, block_state, kernel)
     }
 
     /// Elementwise kernel over `n_threads` virtual threads, scheduled as full
@@ -347,7 +344,7 @@ impl Device {
     where
         F: Fn(&mut GroupCtx, usize) + Sync,
     {
-        self.try_launch_threads(name, n_threads, kernel).unwrap_or_else(|e| panic!("{e}"));
+        self.exec::<Instrumented>().launch_threads(name, n_threads, kernel);
     }
 
     /// Fallible form of [`Device::launch_threads`].
@@ -360,44 +357,7 @@ impl Device {
     where
         F: Fn(&mut GroupCtx, usize) + Sync,
     {
-        if n_threads == 0 {
-            self.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
-            return Ok(());
-        }
-        let start = Instant::now();
-        let block_threads = self.cfg.block_threads();
-        let warp = self.cfg.warp_size;
-        let n_blocks = n_threads.div_ceil(block_threads);
-        let fault = self.next_launch_fault();
-        let (run_limit, stuck) = self.apply_fault(fault, n_blocks);
-        let totals = (0..n_blocks)
-            .into_par_iter()
-            .map(|block| {
-                let mut counters = BlockCounters::default();
-                if block >= run_limit || Some(block) == stuck {
-                    return counters;
-                }
-                let lo = block * block_threads;
-                let hi = (lo + block_threads).min(n_threads);
-                let mut t = lo;
-                while t < hi {
-                    let warp_hi = (t + warp).min(hi);
-                    let mut ctx = GroupCtx::new(block, warp, &mut counters);
-                    ctx.step(warp_hi - t);
-                    for thread in t..warp_hi {
-                        kernel(&mut ctx, thread);
-                    }
-                    t = warp_hi;
-                }
-                counters
-            })
-            .reduce(BlockCounters::default, |mut a, b| {
-                a.merge(&b);
-                a
-            });
-        let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
-        self.record(name, executed as u64, totals, start.elapsed());
-        self.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+        self.exec::<Instrumented>().try_launch_threads(name, n_threads, kernel)
     }
 
     /// Offers a `u32` buffer for transient corruption: flips hash-chosen bits
@@ -452,18 +412,333 @@ impl Device {
     }
 }
 
+/// Profile-typed launcher handle obtained from [`Device::exec`].
+///
+/// Carries the same three launch shapes as [`Device`], but generic over an
+/// [`ExecutionProfile`] `P`: kernels receive `GroupCtx<P>`, so one kernel
+/// source monomorphizes into an instrumented variant (counters, cycle model,
+/// fault draws, metric records — exactly [`Device`]'s own launch methods) and
+/// a [`crate::Fast`] variant whose accounting compiles to no-ops and whose
+/// launches skip the per-block counter merge, the metric record, and the
+/// fault draw. Execution *semantics* — task→group assignment, block
+/// concurrency, shared-memory budgets, group-width validation — are identical
+/// under both profiles.
+pub struct Exec<'d, P: ExecutionProfile = Instrumented> {
+    dev: &'d Device,
+    _profile: PhantomData<P>,
+}
+
+impl<P: ExecutionProfile> Clone for Exec<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: ExecutionProfile> Copy for Exec<'_, P> {}
+
+impl<'d, P: ExecutionProfile> Exec<'d, P> {
+    /// The device this launcher targets.
+    pub fn device(&self) -> &'d Device {
+        self.dev
+    }
+
+    /// Profile-generic [`Device::launch_tasks`]; panics on any error.
+    pub fn launch_tasks<S, I, F>(
+        &self,
+        name: &str,
+        n_tasks: usize,
+        lanes: usize,
+        shared_bytes_per_task: usize,
+        block_state: I,
+        kernel: F,
+    ) where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut GroupCtx<P>, &mut S, usize) + Sync,
+    {
+        self.try_launch_tasks(name, n_tasks, lanes, shared_bytes_per_task, block_state, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Profile-generic [`Device::try_launch_tasks`].
+    pub fn try_launch_tasks<S, I, F>(
+        &self,
+        name: &str,
+        n_tasks: usize,
+        lanes: usize,
+        shared_bytes_per_task: usize,
+        block_state: I,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut GroupCtx<P>, &mut S, usize) + Sync,
+    {
+        let dev = self.dev;
+        let block_threads = dev.cfg.block_threads();
+        if !VALID_GROUP_LANES.contains(&lanes) || lanes > block_threads {
+            return Err(LaunchError::InvalidGroupWidth { lanes });
+        }
+        let tasks_per_block = block_threads / lanes;
+        let shared_per_block = shared_bytes_per_task * tasks_per_block;
+        if shared_per_block > dev.cfg.shared_mem_per_block {
+            return Err(LaunchError::SharedMemoryExceeded {
+                kernel: name.to_string(),
+                required: shared_per_block,
+                available: dev.cfg.shared_mem_per_block,
+            });
+        }
+        if n_tasks == 0 {
+            if P::INSTRUMENTED {
+                dev.record_with_shared(
+                    name,
+                    0,
+                    BlockCounters::default(),
+                    std::time::Duration::ZERO,
+                    shared_per_block,
+                );
+            }
+            return Ok(());
+        }
+
+        let start = P::INSTRUMENTED.then(Instant::now);
+        let n_blocks = n_tasks.div_ceil(tasks_per_block);
+        let fault = dev.next_launch_fault();
+        let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let run_block = |block: usize| {
+            let mut counters = BlockCounters::default();
+            if block >= run_limit || Some(block) == stuck {
+                return counters;
+            }
+            let mut state = block_state();
+            let lo = block * tasks_per_block;
+            let hi = (lo + tasks_per_block).min(n_tasks);
+            for task in lo..hi {
+                let mut ctx = GroupCtx::<P>::typed(block, lanes, &mut counters);
+                kernel(&mut ctx, &mut state, task);
+                ctx.finish_task();
+            }
+            counters
+        };
+        let inline = n_blocks == 1 || serial_host();
+        if P::INSTRUMENTED {
+            // One block (or a single-core host) has no parallelism to
+            // exploit; run inline, skipping the parallel-iterator setup.
+            let totals = if inline {
+                (0..n_blocks).map(run_block).fold(BlockCounters::default(), |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+            } else {
+                (0..n_blocks).into_par_iter().map(run_block).reduce(
+                    BlockCounters::default,
+                    |mut a, b| {
+                        a.merge(&b);
+                        a
+                    },
+                )
+            };
+            let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+            dev.record_with_shared(
+                name,
+                executed as u64,
+                totals,
+                start.map_or(std::time::Duration::ZERO, |s| s.elapsed()),
+                shared_per_block,
+            );
+        } else if inline {
+            for block in 0..n_blocks {
+                run_block(block);
+            }
+        } else {
+            (0..n_blocks).into_par_iter().for_each(|block| {
+                run_block(block);
+            });
+        }
+        dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+    }
+
+    /// Profile-generic [`Device::launch_blocks`]; panics on any error.
+    pub fn launch_blocks<S, I, F>(&self, name: &str, n_blocks: usize, block_state: I, kernel: F)
+    where
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut GroupCtx<P>, &mut S) + Sync,
+    {
+        self.try_launch_blocks(name, n_blocks, block_state, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Profile-generic [`Device::try_launch_blocks`].
+    pub fn try_launch_blocks<S, I, F>(
+        &self,
+        name: &str,
+        n_blocks: usize,
+        block_state: I,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut GroupCtx<P>, &mut S) + Sync,
+    {
+        let dev = self.dev;
+        if n_blocks == 0 {
+            if P::INSTRUMENTED {
+                dev.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
+            }
+            return Ok(());
+        }
+        let start = P::INSTRUMENTED.then(Instant::now);
+        let block_threads = dev.cfg.block_threads();
+        let fault = dev.next_launch_fault();
+        let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let run_block = |block: usize| {
+            let mut counters = BlockCounters::default();
+            if block >= run_limit || Some(block) == stuck {
+                return counters;
+            }
+            let mut state = block_state(block);
+            let mut ctx = GroupCtx::<P>::typed(block, block_threads, &mut counters);
+            kernel(&mut ctx, &mut state);
+            counters
+        };
+        let inline = n_blocks == 1 || serial_host();
+        if P::INSTRUMENTED {
+            let totals = if inline {
+                (0..n_blocks).map(run_block).fold(BlockCounters::default(), |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+            } else {
+                (0..n_blocks).into_par_iter().map(run_block).reduce(
+                    BlockCounters::default,
+                    |mut a, b| {
+                        a.merge(&b);
+                        a
+                    },
+                )
+            };
+            let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+            dev.record(
+                name,
+                executed as u64,
+                totals,
+                start.map_or(std::time::Duration::ZERO, |s| s.elapsed()),
+            );
+        } else if inline {
+            for block in 0..n_blocks {
+                run_block(block);
+            }
+        } else {
+            (0..n_blocks).into_par_iter().for_each(|block| {
+                run_block(block);
+            });
+        }
+        dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+    }
+
+    /// Profile-generic [`Device::launch_threads`]; panics on any error.
+    pub fn launch_threads<F>(&self, name: &str, n_threads: usize, kernel: F)
+    where
+        F: Fn(&mut GroupCtx<P>, usize) + Sync,
+    {
+        self.try_launch_threads(name, n_threads, kernel).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Profile-generic [`Device::try_launch_threads`].
+    pub fn try_launch_threads<F>(
+        &self,
+        name: &str,
+        n_threads: usize,
+        kernel: F,
+    ) -> Result<(), LaunchError>
+    where
+        F: Fn(&mut GroupCtx<P>, usize) + Sync,
+    {
+        let dev = self.dev;
+        if n_threads == 0 {
+            if P::INSTRUMENTED {
+                dev.record(name, 0, BlockCounters::default(), std::time::Duration::ZERO);
+            }
+            return Ok(());
+        }
+        let start = P::INSTRUMENTED.then(Instant::now);
+        let block_threads = dev.cfg.block_threads();
+        let warp = dev.cfg.warp_size;
+        let n_blocks = n_threads.div_ceil(block_threads);
+        let fault = dev.next_launch_fault();
+        let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let run_block = |block: usize| {
+            let mut counters = BlockCounters::default();
+            if block >= run_limit || Some(block) == stuck {
+                return counters;
+            }
+            let lo = block * block_threads;
+            let hi = (lo + block_threads).min(n_threads);
+            let mut t = lo;
+            while t < hi {
+                let warp_hi = (t + warp).min(hi);
+                let mut ctx = GroupCtx::<P>::typed(block, warp, &mut counters);
+                ctx.step(warp_hi - t);
+                for thread in t..warp_hi {
+                    kernel(&mut ctx, thread);
+                }
+                t = warp_hi;
+            }
+            counters
+        };
+        let inline = n_blocks == 1 || serial_host();
+        if P::INSTRUMENTED {
+            let totals = if inline {
+                (0..n_blocks).map(run_block).fold(BlockCounters::default(), |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+            } else {
+                (0..n_blocks).into_par_iter().map(run_block).reduce(
+                    BlockCounters::default,
+                    |mut a, b| {
+                        a.merge(&b);
+                        a
+                    },
+                )
+            };
+            let executed = run_limit.min(n_blocks) - usize::from(stuck.is_some());
+            dev.record(
+                name,
+                executed as u64,
+                totals,
+                start.map_or(std::time::Duration::ZERO, |s| s.elapsed()),
+            );
+        } else if inline {
+            for block in 0..n_blocks {
+                run_block(block);
+            }
+        } else {
+            (0..n_blocks).into_par_iter().for_each(|block| {
+                run_block(block);
+            });
+        }
+        dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
     use crate::memory::{GlobalF64, GlobalU32};
+    use crate::profile::{Fast, Profile};
 
     fn tiny() -> Device {
-        Device::new(DeviceConfig::test_tiny())
+        // Counter-asserting tests must not be flipped by CD_GPUSIM_PROFILE.
+        Device::new(DeviceConfig::test_tiny().with_profile(Profile::Instrumented))
     }
 
     fn faulty(plan: FaultPlan) -> Device {
-        let mut cfg = DeviceConfig::test_tiny();
+        let mut cfg = DeviceConfig::test_tiny().with_profile(Profile::Instrumented);
         cfg.fault_plan = plan;
         Device::new(cfg)
     }
@@ -581,6 +856,73 @@ mod tests {
     #[should_panic(expected = "not one of")]
     fn rejects_bad_group_width() {
         tiny().launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+    }
+
+    #[test]
+    fn fast_launches_compute_the_same_and_record_nothing() {
+        let cfg = DeviceConfig::test_tiny();
+        let slow = Device::new(cfg.clone().with_profile(Profile::Instrumented));
+        let fast = Device::new(cfg.with_profile(Profile::Fast));
+        assert_eq!(fast.profile(), Profile::Fast);
+
+        let run = |dev: &Device, out: &GlobalU32| match dev.profile() {
+            Profile::Instrumented => run_typed::<Instrumented>(dev, out),
+            Profile::Fast => run_typed::<Fast>(dev, out),
+        };
+        fn run_typed<P: ExecutionProfile>(dev: &Device, out: &GlobalU32) {
+            let ex = dev.exec::<P>();
+            ex.launch_threads("init", 500, |ctx, t| {
+                ctx.atomic_add_u32(out, t % 10, 1);
+            });
+            ex.launch_tasks(
+                "tasks",
+                100,
+                8,
+                0,
+                || (),
+                |ctx, _, task| {
+                    ctx.atomic_add_u32(out, task % 10, 1);
+                },
+            );
+            ex.launch_blocks(
+                "blocks",
+                3,
+                |b| b as u32,
+                |ctx, b| {
+                    ctx.atomic_add_u32(out, *b as usize, 5);
+                },
+            );
+        }
+
+        let a = GlobalU32::zeroed(10);
+        let b = GlobalU32::zeroed(10);
+        run(&slow, &a);
+        run(&fast, &b);
+        // Identical semantics...
+        assert_eq!(a.to_vec(), b.to_vec());
+        // ...but Fast records no kernel entries, while Instrumented has all 3.
+        assert_eq!(slow.metrics().kernels().len(), 3);
+        let fm = fast.metrics();
+        assert!(fm.kernels().is_empty());
+        assert_eq!(fm.profile(), Profile::Fast);
+        assert_eq!(slow.metrics().profile(), Profile::Instrumented);
+    }
+
+    #[test]
+    fn fast_launches_still_validate_configuration() {
+        let dev = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Fast));
+        let e = dev.exec::<Fast>().try_launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+        assert_eq!(e, Err(LaunchError::InvalidGroupWidth { lanes: 5 }));
+        let e = dev.exec::<Fast>().try_launch_tasks("big", 10, 4, 512, || (), |_, _, _: usize| {});
+        assert!(matches!(e, Err(LaunchError::SharedMemoryExceeded { .. })));
+    }
+
+    #[test]
+    fn try_new_rejects_faults_on_fast() {
+        let cfg = DeviceConfig::test_tiny()
+            .with_fault_plan(FaultPlan::seeded(1).with_abort_rate(0.5))
+            .with_profile(Profile::Fast);
+        assert!(matches!(Device::try_new(cfg), Err(ConfigError::FaultsRequireInstrumented)));
     }
 
     #[test]

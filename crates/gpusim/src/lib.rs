@@ -16,9 +16,9 @@
 //! execution and lets the simulator account divergence.
 //!
 //! ```
-//! use cd_gpusim::{Device, DeviceConfig, GlobalU32};
+//! use cd_gpusim::{Device, DeviceConfig, GlobalU32, Profile};
 //!
-//! let dev = Device::new(DeviceConfig::tesla_k40m());
+//! let dev = Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented));
 //! let counts = GlobalU32::zeroed(4);
 //! dev.launch_threads("histogram", 1000, |ctx, t| {
 //!     ctx.atomic_add_u32(&counts, t % 4, 1);
@@ -26,6 +26,9 @@
 //! assert_eq!(counts.to_vec(), vec![250, 250, 250, 250]);
 //! assert!(dev.metrics().kernel("histogram").unwrap().counters.atomic_adds == 1000);
 //! ```
+//!
+//! Observability is pluggable: see [`profile`] for the `Instrumented`/`Fast`
+//! split between execution semantics and accounting.
 
 #![warn(missing_docs)]
 
@@ -36,12 +39,14 @@ pub mod launch;
 pub mod memory;
 pub mod metrics;
 pub mod pool;
+pub mod profile;
 pub mod thrust;
 
 pub use config::DeviceConfig;
 pub use fault::{FaultPlan, FaultStats, LaunchError};
 pub use group::{GroupCtx, VALID_GROUP_LANES};
-pub use launch::Device;
+pub use launch::{Device, Exec};
 pub use memory::{GlobalF64, GlobalU32, GlobalU64};
 pub use metrics::{BlockCounters, KernelMetrics, MetricsReport};
 pub use pool::{PoolStats, PooledF64, PooledU32, PooledU64};
+pub use profile::{ConfigError, ExecutionProfile, Fast, Instrumented, Profile};

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 /// Counters accumulated by one block while it executes. Cheap plain fields;
 /// merged into the device store once per block.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BlockCounters {
     /// SIMT steps executed, weighted by group width: one step of a `w`-lane
     /// group adds `w` lane-slots.
@@ -127,6 +127,7 @@ pub struct MetricsReport {
     entries: Vec<(String, KernelMetrics)>,
     faults: FaultStats,
     pool: PoolStats,
+    profile: crate::profile::Profile,
 }
 
 impl MetricsReport {
@@ -134,8 +135,16 @@ impl MetricsReport {
         entries: Vec<(String, KernelMetrics)>,
         faults: FaultStats,
         pool: PoolStats,
+        profile: crate::profile::Profile,
     ) -> Self {
-        Self { entries, faults, pool }
+        Self { entries, faults, pool, profile }
+    }
+
+    /// The execution profile of the device that produced this report. Under
+    /// [`crate::Profile::Fast`] no kernel entries are recorded — consumers
+    /// should report that explicitly rather than print zeroed counters.
+    pub fn profile(&self) -> crate::profile::Profile {
+        self.profile
     }
 
     /// Fault-injection counters: injected by the device, detected/recovered
@@ -205,11 +214,16 @@ impl MetricsStore {
         entry.shared_bytes_per_block = entry.shared_bytes_per_block.max(shared_bytes_per_block);
     }
 
-    pub(crate) fn snapshot(&self, pool: PoolStats) -> MetricsReport {
+    pub(crate) fn snapshot(
+        &self,
+        pool: PoolStats,
+        profile: crate::profile::Profile,
+    ) -> MetricsReport {
         MetricsReport::new(
             self.order.iter().map(|name| (name.clone(), self.map[name].clone())).collect(),
             self.faults,
             pool,
+            profile,
         )
     }
 
@@ -253,7 +267,7 @@ mod tests {
         s.record_launch("b", 1, BlockCounters::default(), Duration::ZERO, 64);
         s.record_launch("a", 1, BlockCounters::default(), Duration::ZERO, 0);
         s.record_launch("b", 2, BlockCounters::default(), Duration::ZERO, 32);
-        let r = s.snapshot(PoolStats::default());
+        let r = s.snapshot(PoolStats::default(), crate::profile::Profile::Instrumented);
         assert_eq!(r.kernels()[0].0, "b");
         assert_eq!(r.kernels()[1].0, "a");
         assert_eq!(r.kernel("b").unwrap().launches, 2);

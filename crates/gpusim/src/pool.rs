@@ -143,7 +143,11 @@ impl Device {
 macro_rules! pooled_guard {
     ($guard:ident, $target:ident, $release:ident, $doc:literal) => {
         #[doc = $doc]
+        ///
+        /// The drop path runs during unwinding too: a guard dropped while a
+        /// kernel panics still returns its allocation to the pool.
         #[derive(Debug)]
+        #[must_use = "dropping the guard immediately returns the buffer to the pool"]
         pub struct $guard<'d> {
             dev: &'d Device,
             buf: Option<$target>,
@@ -256,6 +260,26 @@ mod tests {
         drop(_b);
         let _c = d.pool_f64(10);
         assert_eq!(d.pool_stats().hits, 1);
+    }
+
+    #[test]
+    fn guard_dropped_during_unwind_returns_buffer_to_pool() {
+        let d = dev();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let b = d.pool_u32(100);
+            b.store(7, 42);
+            panic!("kernel failed mid-iteration");
+        }));
+        assert!(r.is_err());
+        assert_eq!(
+            d.pool_stats(),
+            PoolStats { misses: 1, bytes_allocated: 4 * 128, ..Default::default() }
+        );
+        // The unwound guard put its allocation back: the next same-class
+        // acquisition is a pool hit, and the buffer comes back zeroed.
+        let b2 = d.pool_u32(100);
+        assert_eq!(d.pool_stats().hits, 1);
+        assert!(b2.to_vec().iter().all(|&x| x == 0));
     }
 
     #[test]

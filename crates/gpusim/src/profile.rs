@@ -1,0 +1,174 @@
+//! Execution profiles: the boundary between SIMT *semantics* and
+//! *observability*.
+//!
+//! The simulator has two layers. The semantic core — lockstep groups,
+//! divergence, atomics/CAS, shared-vs-global placement, Thrust-style
+//! collectives — defines what a kernel computes. The observability machinery —
+//! hardware counters, the cycle model, fault injection, per-access accounting —
+//! defines what we can *measure* about it. An [`ExecutionProfile`] selects how
+//! much of the second layer is compiled into the first:
+//!
+//! * [`Instrumented`] (the default) keeps every counter, the cycle model, and
+//!   the fault injector: today's behaviour, bit for bit.
+//! * [`Fast`] compiles all accounting to no-ops and skips metric recording and
+//!   the cycle model. Kernels produce identical results (same labels, same
+//!   modularity) but [`crate::Device::metrics`] reports no kernel entries.
+//!
+//! Selection is **monomorphized**: kernel bodies are generic over
+//! `P: ExecutionProfile` and gate accounting on the associated constant
+//! [`ExecutionProfile::INSTRUMENTED`], which the compiler const-folds away per
+//! instantiation. There is no per-access runtime branch; the only runtime
+//! dispatch is one `match` on [`Profile`] at each driver entry point.
+//!
+//! Fault injection needs the instrumented launch path (fault draws and
+//! sequence numbers live there), so an active [`crate::FaultPlan`] combined
+//! with [`Profile::Fast`] is rejected at device construction with
+//! [`ConfigError::FaultsRequireInstrumented`].
+
+use std::fmt;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Instrumented {}
+    impl Sealed for super::Fast {}
+}
+
+/// Compile-time execution profile selector.
+///
+/// Implemented only by the two marker types [`Instrumented`] and [`Fast`]
+/// (the trait is sealed). Code that is generic over `P: ExecutionProfile`
+/// gates accounting work on [`ExecutionProfile::INSTRUMENTED`]; because the
+/// flag is an associated `const`, each instantiation monomorphizes to either
+/// the fully-instrumented body or a body with the accounting compiled out —
+/// no per-access branching survives in the `Fast` instantiation.
+pub trait ExecutionProfile: sealed::Sealed + Send + Sync + 'static {
+    /// Whether this profile records counters, runs the cycle model, and
+    /// participates in fault injection.
+    const INSTRUMENTED: bool;
+    /// The runtime selector value corresponding to this marker type.
+    const PROFILE: Profile;
+}
+
+/// Marker type for the fully-observable profile: hardware counters, cycle
+/// model, and fault injection all active. Preserves the simulator's historical
+/// behaviour bit for bit and is the default everywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Instrumented;
+
+/// Marker type for the raced profile: accounting is compiled to no-ops,
+/// launches skip counter merging, metric recording, and fault draws. Kernel
+/// *semantics* are untouched — results are bit-identical to [`Instrumented`] —
+/// but [`crate::Device::metrics`] reports no kernel entries and fault
+/// injection is unavailable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fast;
+
+impl ExecutionProfile for Instrumented {
+    const INSTRUMENTED: bool = true;
+    const PROFILE: Profile = Profile::Instrumented;
+}
+
+impl ExecutionProfile for Fast {
+    const INSTRUMENTED: bool = false;
+    const PROFILE: Profile = Profile::Fast;
+}
+
+/// Runtime profile selector carried by [`crate::DeviceConfig`]. Drivers
+/// dispatch on this once per phase entry, then stay monomorphized over the
+/// matching marker type for the duration of the phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Full observability (counters, cycle model, fault injection).
+    #[default]
+    Instrumented,
+    /// Accounting compiled out; semantics only.
+    Fast,
+}
+
+impl Profile {
+    /// True for [`Profile::Instrumented`].
+    pub fn is_instrumented(self) -> bool {
+        matches!(self, Profile::Instrumented)
+    }
+
+    /// Parses `"instrumented"` or `"fast"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "instrumented" => Some(Profile::Instrumented),
+            "fast" => Some(Profile::Fast),
+            _ => None,
+        }
+    }
+
+    /// Profile selected by the `CD_GPUSIM_PROFILE` environment variable
+    /// (`instrumented` | `fast`), defaulting to [`Profile::Instrumented`]
+    /// when unset or unparseable. [`crate::DeviceConfig`] constructors consult
+    /// this so a whole test suite can be re-run under `Fast` without code
+    /// changes (CI does exactly that).
+    pub fn from_env() -> Self {
+        std::env::var("CD_GPUSIM_PROFILE").ok().and_then(|v| Self::parse(&v)).unwrap_or_default()
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::Instrumented => write!(f, "instrumented"),
+            Profile::Fast => write!(f, "fast"),
+        }
+    }
+}
+
+/// Rejected [`crate::DeviceConfig`] combinations, detected by
+/// [`crate::Device::try_new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An active [`crate::FaultPlan`] was combined with [`Profile::Fast`].
+    /// Fault draws, launch sequence numbers, and detection counters all live
+    /// in the instrumented launch path, so faults require
+    /// [`Profile::Instrumented`].
+    FaultsRequireInstrumented,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::FaultsRequireInstrumented => write!(
+                f,
+                "fault injection requires the instrumented profile: \
+                 an active FaultPlan cannot be combined with Profile::Fast"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_profiles_case_insensitively() {
+        assert_eq!(Profile::parse("fast"), Some(Profile::Fast));
+        assert_eq!(Profile::parse("FAST"), Some(Profile::Fast));
+        assert_eq!(Profile::parse("Instrumented"), Some(Profile::Instrumented));
+        assert_eq!(Profile::parse("turbo"), None);
+    }
+
+    #[test]
+    fn marker_constants_match_runtime_selectors() {
+        const { assert!(Instrumented::INSTRUMENTED) };
+        const { assert!(!Fast::INSTRUMENTED) };
+        assert_eq!(Instrumented::PROFILE, Profile::Instrumented);
+        assert_eq!(Fast::PROFILE, Profile::Fast);
+        assert_eq!(Profile::default(), Profile::Instrumented);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for p in [Profile::Instrumented, Profile::Fast] {
+            assert_eq!(Profile::parse(&p.to_string()), Some(p));
+        }
+    }
+}

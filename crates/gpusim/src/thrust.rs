@@ -5,7 +5,10 @@
 //! All primitives are deterministic: parallel reductions use fixed chunk
 //! boundaries so floating-point results do not depend on scheduling. Each
 //! call is recorded in the device metrics as a kernel launch named
-//! `thrust::<op>`.
+//! `thrust::<op>` — unless the device runs the [`crate::Profile::Fast`]
+//! profile, in which case recording is skipped (one branch per *call*, never
+//! per element; the collective computations themselves are identical under
+//! both profiles).
 
 use crate::launch::Device;
 use crate::memory::GlobalF64;
@@ -17,7 +20,17 @@ use std::time::Instant;
 /// deterministic regardless of worker count.
 const CHUNK: usize = 4096;
 
-fn record_elems(dev: &Device, name: &str, elems: usize, start: Instant) {
+/// Timestamps the start of a primitive only when the device records metrics;
+/// under [`crate::Profile::Fast`] the clock read is skipped along with the
+/// rest of the accounting.
+fn maybe_start(dev: &Device) -> Option<Instant> {
+    dev.config().profile.is_instrumented().then(Instant::now)
+}
+
+fn record_elems(dev: &Device, name: &str, elems: usize, start: Option<Instant>) {
+    let Some(start) = start else {
+        return;
+    };
     let counters = BlockCounters {
         lane_slots: elems as u64,
         active_lanes: elems as u64,
@@ -33,7 +46,7 @@ impl Device {
     /// Exclusive prefix sum in place; returns the grand total.
     /// (`thrust::exclusive_scan`.)
     pub fn exclusive_scan_usize(&self, data: &mut [usize]) -> usize {
-        let start = Instant::now();
+        let start = maybe_start(self);
         let total = blocked_scan(data, false);
         record_elems(self, "thrust::exclusive_scan", data.len(), start);
         total
@@ -42,7 +55,7 @@ impl Device {
     /// Inclusive prefix sum in place; returns the grand total.
     /// (`thrust::inclusive_scan`.)
     pub fn inclusive_scan_usize(&self, data: &mut [usize]) -> usize {
-        let start = Instant::now();
+        let start = maybe_start(self);
         let total = blocked_scan(data, true);
         record_elems(self, "thrust::inclusive_scan", data.len(), start);
         total
@@ -57,11 +70,33 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(&T) -> bool + Sync,
     {
-        let start = Instant::now();
-        let selected: Vec<T> = items.par_iter().copied().filter(|x| pred(x)).collect();
-        let count = selected.len();
-        let mut out = selected;
-        out.par_extend(items.par_iter().copied().filter(|x| !pred(x)));
+        let start = maybe_start(self);
+        // Chunk-wise split, then selected chunks concatenated before
+        // rejected ones: stable, and chunked over sub-slices so no
+        // per-element intermediate is materialized.
+        let parts: Vec<(Vec<T>, Vec<T>)> = items
+            .par_chunks(CHUNK)
+            .map(|c| {
+                let mut sel = Vec::new();
+                let mut rej = Vec::new();
+                for &x in c {
+                    if pred(&x) {
+                        sel.push(x);
+                    } else {
+                        rej.push(x);
+                    }
+                }
+                (sel, rej)
+            })
+            .collect();
+        let count = parts.iter().map(|(s, _)| s.len()).sum();
+        let mut out = Vec::with_capacity(items.len());
+        for (sel, _) in &parts {
+            out.extend_from_slice(sel);
+        }
+        for (_, rej) in &parts {
+            out.extend_from_slice(rej);
+        }
         record_elems(self, "thrust::partition", items.len(), start);
         (out, count)
     }
@@ -73,8 +108,15 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(&T) -> bool + Sync,
     {
-        let start = Instant::now();
-        let out: Vec<T> = items.par_iter().copied().filter(|x| pred(x)).collect();
+        let start = maybe_start(self);
+        let parts: Vec<Vec<T>> = items
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().copied().filter(|x| pred(x)).collect())
+            .collect();
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in &parts {
+            out.extend_from_slice(part);
+        }
         record_elems(self, "thrust::copy_if", items.len(), start);
         out
     }
@@ -86,7 +128,7 @@ impl Device {
         K: Ord + Send,
         F: Fn(&T) -> K + Sync,
     {
-        let start = Instant::now();
+        let start = maybe_start(self);
         items.par_sort_by_key(key);
         record_elems(self, "thrust::sort_by_key", items.len(), start);
     }
@@ -94,7 +136,7 @@ impl Device {
     /// Deterministic sum reduction over f64 (`thrust::reduce`). Fixed chunk
     /// boundaries make the result independent of thread count.
     pub fn reduce_sum_f64(&self, data: &[f64]) -> f64 {
-        let start = Instant::now();
+        let start = maybe_start(self);
         let partials: Vec<f64> = data.par_chunks(CHUNK).map(|c| c.iter().sum::<f64>()).collect();
         let total = partials.iter().sum();
         record_elems(self, "thrust::reduce", data.len(), start);
@@ -121,7 +163,7 @@ impl Device {
     where
         F: Fn(f64) -> f64 + Sync,
     {
-        let start = Instant::now();
+        let start = maybe_start(self);
         let n = data.len();
         let n_chunks = n.div_ceil(CHUNK);
         let partials: Vec<f64> = (0..n_chunks)
@@ -139,16 +181,27 @@ impl Device {
 
     /// Sum reduction over usize.
     pub fn reduce_sum_usize(&self, data: &[usize]) -> usize {
-        let start = Instant::now();
-        let total = data.par_iter().sum();
+        let start = maybe_start(self);
+        let total = data
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().sum::<usize>())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         record_elems(self, "thrust::reduce", data.len(), start);
         total
     }
 
     /// Maximum element, or `None` when empty (`thrust::max_element`).
     pub fn max_usize(&self, data: &[usize]) -> Option<usize> {
-        let start = Instant::now();
-        let m = data.par_iter().copied().max();
+        let start = maybe_start(self);
+        let m = data
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().copied().max())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .max();
         record_elems(self, "thrust::max_element", data.len(), start);
         m
     }
@@ -159,8 +212,13 @@ impl Device {
         T: Sync,
         F: Fn(&T) -> bool + Sync,
     {
-        let start = Instant::now();
-        let c = data.par_iter().filter(|x| pred(x)).count();
+        let start = maybe_start(self);
+        let c = data
+            .par_chunks(CHUNK)
+            .map(|c| c.iter().filter(|x| pred(x)).count())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         record_elems(self, "thrust::count_if", data.len(), start);
         c
     }
@@ -199,9 +257,11 @@ fn blocked_scan(data: &mut [usize], inclusive: bool) -> usize {
 mod tests {
     use super::*;
     use crate::config::DeviceConfig;
+    use crate::profile::Profile;
 
     fn dev() -> Device {
-        Device::new(DeviceConfig::test_tiny())
+        // Metrics-asserting tests must not be flipped by CD_GPUSIM_PROFILE.
+        Device::new(DeviceConfig::test_tiny().with_profile(Profile::Instrumented))
     }
 
     #[test]
@@ -302,5 +362,23 @@ mod tests {
         dev.exclusive_scan_usize(&mut v);
         let m = dev.metrics();
         assert_eq!(m.kernel("thrust::exclusive_scan").unwrap().launches, 1);
+    }
+
+    #[test]
+    fn fast_profile_computes_identically_but_records_nothing() {
+        let fast = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Fast));
+        let slow = dev();
+        let mut a: Vec<usize> = (0..5000).map(|i| (i * 13 + 1) % 17).collect();
+        let mut b = a.clone();
+        assert_eq!(fast.exclusive_scan_usize(&mut a), slow.exclusive_scan_usize(&mut b));
+        assert_eq!(a, b);
+        let data: Vec<f64> = (0..20_000).map(|i| (i as f64).sin()).collect();
+        assert_eq!(
+            fast.reduce_sum_f64(&data).to_bits(),
+            slow.reduce_sum_f64(&data).to_bits(),
+            "chunked reduction must not depend on the profile"
+        );
+        assert!(fast.metrics().kernels().is_empty());
+        assert!(!slow.metrics().kernels().is_empty());
     }
 }

@@ -3,8 +3,14 @@
 //! the Thrust collectives match their sequential specifications on
 //! arbitrary input.
 
-use cd_gpusim::{Device, DeviceConfig, GlobalU32, VALID_GROUP_LANES};
+use cd_gpusim::{Device, DeviceConfig, GlobalU32, Profile, VALID_GROUP_LANES};
 use proptest::prelude::*;
+
+/// Counter-asserting properties must hold regardless of the CD_GPUSIM_PROFILE
+/// environment default, so they pin the instrumented profile explicitly.
+fn instrumented() -> Device {
+    Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
@@ -15,7 +21,7 @@ proptest! {
         lane_idx in 0usize..VALID_GROUP_LANES.len(),
     ) {
         let lanes = VALID_GROUP_LANES[lane_idx];
-        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let dev = instrumented();
         let hits = GlobalU32::zeroed(n_tasks.max(1));
         dev.launch_tasks("visit", n_tasks, lanes, 0, || (), |ctx, _, task| {
             ctx.atomic_add_u32(&hits, task, 1);
@@ -30,7 +36,7 @@ proptest! {
 
     #[test]
     fn launch_threads_covers_range(n in 0usize..2000) {
-        let dev = Device::new(DeviceConfig::tesla_k40m());
+        let dev = instrumented();
         let out = GlobalU32::zeroed(n.max(1));
         dev.launch_threads("mark", n, |_, t| {
             out.store(t, t as u32 + 1);

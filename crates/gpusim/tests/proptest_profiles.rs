@@ -1,0 +1,93 @@
+//! Backend-equivalence properties: every Thrust-style collective must produce
+//! bit-identical results under the `Fast` and `Instrumented` profiles on
+//! arbitrary input. The profiles may only differ in what they *record*, never
+//! in what they *compute* — these tests are the primitive-level half of the
+//! backend-equivalence acceptance bar (the hash-table half lives in cd-core).
+
+use cd_gpusim::{Device, DeviceConfig, GlobalF64, Profile};
+use proptest::prelude::*;
+
+fn pair() -> (Device, Device) {
+    (
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented)),
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn partition_identical_across_profiles(items in proptest::collection::vec(0u32..1000, 0..500)) {
+        let (slow, fast) = pair();
+        let (a, na) = slow.partition(&items, |&x| x % 3 == 0);
+        let (b, nb) = fast.partition(&items, |&x| x % 3 == 0);
+        prop_assert_eq!(na, nb);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn copy_if_identical_across_profiles(items in proptest::collection::vec(0u32..100, 0..500)) {
+        let (slow, fast) = pair();
+        prop_assert_eq!(
+            slow.copy_if(&items, |&x| x % 7 == 0),
+            fast.copy_if(&items, |&x| x % 7 == 0)
+        );
+    }
+
+    #[test]
+    fn scans_identical_across_profiles(vals in proptest::collection::vec(0usize..5000, 0..600)) {
+        let (slow, fast) = pair();
+        let mut a = vals.clone();
+        let mut b = vals.clone();
+        prop_assert_eq!(slow.exclusive_scan_usize(&mut a), fast.exclusive_scan_usize(&mut b));
+        prop_assert_eq!(&a, &b);
+        let mut a = vals.clone();
+        let mut b = vals;
+        prop_assert_eq!(slow.inclusive_scan_usize(&mut a), fast.inclusive_scan_usize(&mut b));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_by_key_identical_across_profiles(
+        items in proptest::collection::vec((0u32..50, 0u32..1000), 0..500),
+    ) {
+        let (slow, fast) = pair();
+        let mut a = items.clone();
+        let mut b = items;
+        slow.sort_by_key(&mut a, |&(k, _)| k);
+        fast.sort_by_key(&mut b, |&(k, _)| k);
+        // Stable sort: payload order within equal keys must also agree.
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reductions_bitwise_identical_across_profiles(
+        vals in proptest::collection::vec(-1e12f64..1e12, 0..600),
+    ) {
+        let (slow, fast) = pair();
+        prop_assert_eq!(
+            slow.reduce_sum_f64(&vals).to_bits(),
+            fast.reduce_sum_f64(&vals).to_bits()
+        );
+        if !vals.is_empty() {
+            let buf = GlobalF64::zeroed(vals.len());
+            buf.copy_from_slice(&vals);
+            prop_assert_eq!(
+                slow.reduce_sum_f64_global(&buf).to_bits(),
+                fast.reduce_sum_f64_global(&buf).to_bits()
+            );
+            prop_assert_eq!(
+                slow.transform_reduce_f64_global(&buf, |x| x * x).to_bits(),
+                fast.transform_reduce_f64_global(&buf, |x| x * x).to_bits()
+            );
+        }
+        let lens: Vec<usize> = vals.iter().map(|v| v.abs() as usize % 97).collect();
+        prop_assert_eq!(slow.reduce_sum_usize(&lens), fast.reduce_sum_usize(&lens));
+        prop_assert_eq!(slow.max_usize(&lens), fast.max_usize(&lens));
+        prop_assert_eq!(
+            slow.count_if(&lens, |&x| x % 2 == 0),
+            fast.count_if(&lens, |&x| x % 2 == 0)
+        );
+    }
+}

@@ -55,7 +55,7 @@ pub mod prelude {
         louvain_gpu, louvain_multi_gpu, GpuLouvainConfig, GpuLouvainError, GpuLouvainResult,
         MultiGpuConfig, MultiGpuResult, RecoveryAction, RetryPolicy,
     };
-    pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError};
+    pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError, Profile};
     pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
     pub use cd_workloads::{by_name as workload_by_name, Scale, SUITE as WORKLOAD_SUITE};
 }

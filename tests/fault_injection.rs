@@ -9,7 +9,7 @@
 //! both public entry points without panicking.
 
 use community_gpu::core::UpdateStrategy;
-use community_gpu::gpusim::FaultPlan;
+use community_gpu::gpusim::{FaultPlan, Profile};
 use community_gpu::prelude::*;
 
 fn plan(seed: u64) -> FaultPlan {
@@ -27,7 +27,12 @@ fn cfg() -> GpuLouvainConfig {
 }
 
 fn faulty_device(seed: u64) -> Device {
-    Device::new(DeviceConfig::tesla_k40m().with_fault_plan(plan(seed)))
+    // Fault injection lives in the instrumented launch path, so these tests
+    // pin the profile — the env-var default may be `Fast`, which rejects
+    // active fault plans.
+    Device::new(
+        DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented).with_fault_plan(plan(seed)),
+    )
 }
 
 fn test_graph() -> Csr {
@@ -112,7 +117,9 @@ fn recoveries_are_counted() {
     let g = test_graph();
     let cfg = cfg();
     let p = FaultPlan::seeded(7).with_abort_rate(0.01).with_stuck_rate(0.005);
-    let dev = Device::new(DeviceConfig::tesla_k40m().with_fault_plan(p));
+    let dev = Device::new(
+        DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented).with_fault_plan(p),
+    );
     louvain_gpu(&dev, &g, &cfg).expect("should recover");
     let stats = dev.fault_stats();
     assert!(stats.injected() > 0);
@@ -138,7 +145,7 @@ fn multi_gpu_completes_under_faults_and_reports_recovery() {
     let clean = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(4)).expect("clean run");
     let mut cfg = MultiGpuConfig::k40m(4);
     cfg.gpu.retry.max_attempts = 10;
-    cfg.device = cfg.device.with_fault_plan(plan(11));
+    cfg.device = cfg.device.with_profile(Profile::Instrumented).with_fault_plan(plan(11));
     let res = louvain_multi_gpu(&g, &cfg).expect("faulty run should complete");
     assert!(res.faults.injected() > 0, "devices should inject faults");
     assert!(
@@ -155,7 +162,7 @@ fn multi_gpu_fault_schedule_is_reproducible() {
     let g = test_graph();
     let mut cfg = MultiGpuConfig::k40m(3);
     cfg.gpu.retry.max_attempts = 10;
-    cfg.device = cfg.device.with_fault_plan(plan(23));
+    cfg.device = cfg.device.with_profile(Profile::Instrumented).with_fault_plan(plan(23));
     let a = louvain_multi_gpu(&g, &cfg).expect("run a");
     let b = louvain_multi_gpu(&g, &cfg).expect("run b");
     assert_eq!(a.partition.as_slice(), b.partition.as_slice());
@@ -170,7 +177,10 @@ fn multi_gpu_survives_a_hopeless_device_via_fallback() {
     // a sound clustering.
     let g = test_graph();
     let mut cfg = MultiGpuConfig::k40m(2);
-    cfg.device = cfg.device.with_fault_plan(FaultPlan::seeded(5).with_abort_rate(1.0));
+    cfg.device = cfg
+        .device
+        .with_profile(Profile::Instrumented)
+        .with_fault_plan(FaultPlan::seeded(5).with_abort_rate(1.0));
     let res = louvain_multi_gpu(&g, &cfg).expect("sequential fallback should save the run");
     assert!(res.modularity > 0.0);
     assert!(
@@ -189,7 +199,9 @@ fn multi_gpu_survives_a_hopeless_device_via_fallback() {
 fn exhausted_retries_surface_as_stage_failed() {
     let g = test_graph();
     let dev = Device::new(
-        DeviceConfig::tesla_k40m().with_fault_plan(FaultPlan::seeded(1).with_abort_rate(1.0)),
+        DeviceConfig::tesla_k40m()
+            .with_profile(Profile::Instrumented)
+            .with_fault_plan(FaultPlan::seeded(1).with_abort_rate(1.0)),
     );
     let err =
         louvain_gpu(&dev, &g, &GpuLouvainConfig::paper_default()).expect_err("every launch aborts");

@@ -2,12 +2,20 @@
 //!
 //! The build environment has no access to crates.io, so this crate provides
 //! the subset of rayon's data-parallel iterator API that the workspace
-//! actually uses, implemented on `std::thread::scope`. Parallel iterators are
-//! *eager*: each adapter materializes its output by splitting the input into
-//! contiguous chunks and processing the chunks on scoped threads, preserving
-//! input order. Chunk boundaries depend only on the input length and the
-//! thread count, so results are deterministic on a given machine — the
-//! property `cd-gpusim`'s Thrust collectives rely on.
+//! actually uses. Parallel iterators are *eager*: each adapter materializes
+//! its output by splitting the input into contiguous chunks and processing
+//! the chunks on a persistent worker pool, preserving input order. Chunk
+//! boundaries depend only on the input length and the thread count, so
+//! results are deterministic on a given machine — the property
+//! `cd-gpusim`'s Thrust collectives rely on.
+//!
+//! The pool is spawned once per process and reused by every parallel call:
+//! the simulator issues thousands of short kernel launches per run, and
+//! spawning OS threads for each (the previous `std::thread::scope`
+//! implementation) dominated their cost. A parallel call issued *from* a
+//! pool worker (nested parallelism) runs its chunks serially on that worker
+//! — same chunk boundaries, so results are unchanged — which also makes
+//! nesting deadlock-free.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -22,8 +30,119 @@ fn worker_count() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The persistent worker pool behind every parallel call.
+mod workers {
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    thread_local! {
+        static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// True on a pool worker thread: a nested parallel call must run inline
+    /// (every worker may already be busy with its caller's sibling chunks,
+    /// so queueing and blocking could deadlock).
+    pub(crate) fn on_worker_thread() -> bool {
+        IS_WORKER.with(|w| w.get())
+    }
+
+    fn sender() -> &'static mpsc::Sender<Job> {
+        static POOL: OnceLock<mpsc::Sender<Job>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            for i in 0..super::worker_count() {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("par-worker-{i}"))
+                    .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
+                        loop {
+                            let job = match rx.lock() {
+                                Ok(guard) => guard.recv(),
+                                Err(_) => break,
+                            };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker");
+            }
+            tx
+        })
+    }
+
+    /// Completion latch shared between one `run_scoped` call and its jobs.
+    struct Latch {
+        remaining: AtomicUsize,
+        lock: Mutex<()>,
+        done: Condvar,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    /// Runs every job on the pool and blocks until all have finished; the
+    /// first captured panic is re-raised on the caller.
+    pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        let latch = Arc::new(Latch {
+            remaining: AtomicUsize::new(jobs.len()),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let tx = sender();
+        for job in jobs {
+            // SAFETY: `run_scoped` does not return until `remaining` hits
+            // zero, i.e. until every job has run to completion (or panicked),
+            // so the non-'static borrows the jobs capture outlive their use.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+            };
+            let latch = Arc::clone(&latch);
+            tx.send(Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    if let Ok(mut slot) = latch.panic.lock() {
+                        slot.get_or_insert(payload);
+                    }
+                }
+                if latch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _guard = latch.lock.lock().expect("latch lock poisoned");
+                    latch.done.notify_all();
+                }
+            }))
+            .expect("worker pool hung up");
+        }
+        let mut guard = latch.lock.lock().expect("latch lock poisoned");
+        while latch.remaining.load(Ordering::Acquire) > 0 {
+            guard = latch.done.wait(guard).expect("latch lock poisoned");
+        }
+        drop(guard);
+        let payload = latch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Splits `items` into contiguous chunks of at least `min_len` elements.
+fn split_parts<T>(mut items: Vec<T>, chunk: usize) -> Vec<Vec<T>> {
+    let mut parts = Vec::with_capacity(items.len().div_ceil(chunk));
+    while items.len() > chunk {
+        let rest = items.split_off(chunk);
+        parts.push(items);
+        items = rest;
+    }
+    parts.push(items);
+    parts
+}
+
 /// Splits `items` into contiguous chunks of at least `min_len` elements and
-/// runs `f` over each chunk on its own scoped thread, returning the per-chunk
+/// runs `f` over each chunk on the worker pool, returning the per-chunk
 /// outputs concatenated in input order.
 fn run_chunked<T, U, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<U>
 where
@@ -40,25 +159,32 @@ where
     if chunk >= n {
         return f(items);
     }
-    let mut pending: Vec<Vec<T>> = Vec::new();
-    let mut items = items;
-    while items.len() > chunk {
-        let rest = items.split_off(chunk);
-        pending.push(items);
-        items = rest;
+    if workers::on_worker_thread() {
+        // Nested parallelism: same chunk boundaries, executed serially.
+        let mut out = Vec::with_capacity(n);
+        for part in split_parts(items, chunk) {
+            out.extend(f(part));
+        }
+        return out;
     }
-    pending.push(items);
-    let f = &f;
-    let outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pending
+    let parts = split_parts(items, chunk);
+    let mut outputs: Vec<Option<Vec<U>>> = parts.iter().map(|_| None).collect();
+    {
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = parts
             .into_iter()
-            .map(|part| scope.spawn(move || f(part)))
+            .zip(outputs.iter_mut())
+            .map(|(part, slot)| {
+                let job: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || *slot = Some(f(part)));
+                job
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
-    });
+        workers::run_scoped(jobs);
+    }
     let mut out = Vec::with_capacity(n);
     for part in outputs {
-        out.extend(part);
+        out.extend(part.expect("parallel worker panicked"));
     }
     out
 }
@@ -406,6 +532,34 @@ mod tests {
         });
         assert_eq!(data[5], 0);
         assert_eq!(data[95], 9000);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..100_000usize).into_par_iter().for_each(|x| {
+                assert!(x < 50_000, "boom");
+            });
+        });
+        assert!(caught.is_err(), "a panic in a chunk must reach the caller");
+        // The pool must survive the panic and keep serving calls.
+        let total: usize = (1..=100usize).into_par_iter().sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_and_match_serial() {
+        // An outer parallel call whose chunks issue parallel calls of their
+        // own: the inner ones run inline on the worker, with the same chunk
+        // boundaries, so the combined result matches the serial answer.
+        let sums: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| (0..10_000usize).into_par_iter().map(|x| x * i).sum())
+            .collect();
+        let expected: usize = (0..10_000usize).sum();
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, expected * i);
+        }
     }
 
     #[test]
