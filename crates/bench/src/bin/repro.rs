@@ -23,13 +23,16 @@
 //!   faults    fault-injection sweep and multi-device failover
 //!   opt-bench perf snapshot of the optimization hot loop (BENCH_opt.json)
 //!   backend   Fast vs Instrumented execution profiles (BENCH_backend.json)
+//!   racecheck full-pipeline hazard sweep under the race detector
+//!             (BENCH_racecheck.json; exits nonzero on any hazard)
 //!   all       everything above
 //! ```
 //!
 //! `--profile` selects the execution profile for the GPU runs (default:
 //! `CD_GPUSIM_PROFILE`, instrumented if unset). Experiments whose
 //! measurement *is* the instrumented cost model reject `--profile fast`
-//! rather than report zero model times; `backend` always runs both.
+//! rather than report zero model times; `backend` and `racecheck` pin their
+//! profiles themselves.
 
 use cd_bench::experiments;
 use cd_gpusim::Profile;
@@ -40,7 +43,7 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 3] = ["backend", "buckets", "multigpu"];
+const FAST_SAFE: [&str; 4] = ["backend", "buckets", "multigpu", "racecheck"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,8 +71,8 @@ fn main() {
             "--profile" => {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--profile needs a value"));
-                profile =
-                    Profile::parse(v).unwrap_or_else(|| die("profile must be instrumented|fast"));
+                profile = Profile::parse(v)
+                    .unwrap_or_else(|| die("profile must be instrumented|fast|racecheck"));
             }
             other => die(&format!("unknown argument '{other}'")),
         }
@@ -109,6 +112,7 @@ fn main() {
         "faults" => experiments::faults(scale, &out),
         "opt-bench" => experiments::opt_snapshot(scale, &out),
         "backend" => experiments::backend_snapshot(scale, &out),
+        "racecheck" => experiments::racecheck_sweep(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -126,6 +130,7 @@ fn main() {
             experiments::faults(scale, &out);
             experiments::opt_snapshot(scale, &out);
             experiments::backend_snapshot(scale, &out);
+            experiments::racecheck_sweep(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -135,8 +140,8 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, all\n\
+         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck]\n\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented"
     );

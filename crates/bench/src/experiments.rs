@@ -1060,6 +1060,110 @@ pub fn backend_snapshot(scale: Scale, out: &Path) {
     }
 }
 
+/// Racecheck sweep: the full workload suite through the whole Louvain
+/// pipeline under the [`Profile::Racecheck`] hazard detector, with both
+/// pruning settings. The gate is two-fold: the detector must report zero
+/// hazards everywhere (every kernel ordering its shared/global accesses by
+/// barriers, atomics, or launch boundaries), and labels/modularity must stay
+/// bit-identical to the `Instrumented` profile. Hazards, if any, are printed
+/// verbatim. Written as `BENCH_racecheck.json` (regenerated as a CI artifact
+/// alongside the backend snapshot).
+pub fn racecheck_sweep(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        format!("Racecheck — full-pipeline hazard sweep (scale: {scale:?})"),
+        &["graph", "pruning", "|V|", "arcs", "Q", "labels", "race events", "reports"],
+    );
+    let mut entries = String::new();
+    let mut total_events = 0u64;
+    let mut total_reports = 0usize;
+    let mut all_identical = true;
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        for pruning in [false, true] {
+            let mut cfg = gpu_cfg(scale);
+            cfg.pruning = pruning;
+            let rc = run_gpu_profiled(g, &cfg, Profile::Racecheck);
+            let instr = run_gpu_profiled(g, &cfg, Profile::Instrumented);
+            let labels_identical =
+                rc.result.partition.as_slice() == instr.result.partition.as_slice();
+            let drift = (rc.result.modularity - instr.result.modularity).abs();
+            all_identical &= labels_identical && drift == 0.0;
+            let events = rc.metrics.race_events();
+            let reports = rc.metrics.races();
+            total_events += events;
+            total_reports += reports.len();
+            for r in reports {
+                println!("HAZARD [{} pruning={pruning}] {r}", spec.name);
+            }
+            t.row(vec![
+                spec.name.to_string(),
+                pruning.to_string(),
+                g.num_vertices().to_string(),
+                g.num_arcs().to_string(),
+                format!("{:.12}", rc.result.modularity),
+                if labels_identical { "identical".into() } else { "DIVERGED".into() },
+                events.to_string(),
+                reports.len().to_string(),
+            ]);
+            if !entries.is_empty() {
+                entries.push(',');
+            }
+            entries.push_str(&format!(
+                "\n    {{\n      \"graph\": \"{name}\",\n      \"pruning\": {pruning},\n      \
+                 \"vertices\": {nv},\n      \"arcs\": {na},\n      \
+                 \"race_events\": {events},\n      \"race_reports\": [{reps}],\n      \
+                 \"labels_identical\": {labels_identical},\n      \
+                 \"modularity_drift\": {drift:.3e}\n    }}",
+                name = spec.name,
+                nv = g.num_vertices(),
+                na = g.num_arcs(),
+                reps = reports
+                    .iter()
+                    .map(|r| format!("\n        {:?}", r.to_string()))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+    }
+    t.print();
+    let clean = total_events == 0 && total_reports == 0;
+    println!(
+        "racecheck: {} race events / {} reports across the suite; labels {} \
+         (gate: zero hazards, bit-identical to instrumented)",
+        total_events,
+        total_reports,
+        if all_identical {
+            "identical on every workload"
+        } else {
+            "DIVERGED — backends disagree"
+        },
+    );
+    println!("RACECHECK VERDICT: {}", if clean && all_identical { "clean" } else { "HAZARDS" });
+    let json = format!(
+        "{{\n  \"experiment\": \"racecheck_sweep\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"device\": \"tesla_k40m\",\n  \"profiles\": [\"{}\", \"{}\"],\n  \
+         \"workloads\": [{entries}\n  ],\n  \"summary\": {{\n    \
+         \"total_race_events\": {total_events},\n    \
+         \"total_race_reports\": {total_reports},\n    \
+         \"all_labels_identical\": {all_identical},\n    \
+         \"clean\": {ok}\n  }}\n}}\n",
+        Profile::Racecheck,
+        Profile::Instrumented,
+        ok = clean && all_identical,
+    );
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("BENCH_racecheck.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    if !(clean && all_identical) {
+        eprintln!("error: racecheck sweep found hazards or divergent backends (see above)");
+        std::process::exit(1);
+    }
+}
+
 fn geometric_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;

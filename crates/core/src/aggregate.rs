@@ -58,6 +58,7 @@ pub fn aggregate(
     match dev.profile() {
         Profile::Instrumented => aggregate_typed::<Instrumented>(dev, g, comm, cfg),
         Profile::Fast => aggregate_typed::<Fast>(dev, g, comm, cfg),
+        Profile::Racecheck => aggregate_typed::<cd_gpusim::Racecheck>(dev, g, comm, cfg),
     }
 }
 
@@ -274,6 +275,12 @@ fn merge_attempt<P: ExecutionProfile>(
 ) -> Result<(), TableOverflow> {
     let mut t = table.table(slots, space);
     t.reset(ctx);
+    // Cooperative reset must complete on every warp before any warp starts
+    // inserting (racecheck: W-A hazard without it). Sub-warp groups are
+    // warp-synchronous and skip the barrier.
+    if ctx.lanes() > 32 {
+        ctx.barrier();
+    }
 
     let start = mc.vertex_start[c];
     let size = mc.com_size[c] as usize;
@@ -294,10 +301,16 @@ fn merge_attempt<P: ExecutionProfile>(
         }
     }
 
+    // All warps must finish inserting before the extraction scan reads the
+    // slots with plain loads (racecheck: A-R hazard without the barrier).
+    if ctx.lanes() > 32 {
+        ctx.barrier();
+    }
     // Extract, relabel to new vertex ids, sort for a canonical CSR, and write
     // to the community's scratch range. On the device this is the
     // marked-entry prefix-sum compaction described in the paper; the sort is
     // the simulator's way of fixing a canonical edge order.
+    t.note_scan(ctx);
     let mut entries: Vec<(u32, f64)> =
         t.iter_filled().map(|(cj, w)| (mc.new_id[cj as usize] as u32, w)).collect();
     entries.sort_unstable_by_key(|&(t, _)| t);
@@ -311,6 +324,11 @@ fn merge_attempt<P: ExecutionProfile>(
     ctx.global_write_coalesced(2 * entries.len());
     mc.new_deg.store(mc.new_id[c], entries.len() as u64);
     ctx.global_write_scattered(1);
+    // End-of-task barrier: the next community's reset must not overtake this
+    // community's extraction scan.
+    if ctx.lanes() > 32 {
+        ctx.barrier();
+    }
     Ok(())
 }
 

@@ -11,7 +11,9 @@
 //! so the simulated CAS always succeeds — the operation counts are what the
 //! cost model consumes.
 
+use cd_gpusim::racecheck::{self, AccessKind};
 use cd_gpusim::{ExecutionProfile, GroupCtx};
+use std::panic::Location;
 
 /// Sentinel for an unclaimed slot (the paper's `null`; community ids are
 /// 32-bit, so `u32::MAX` is never a valid id).
@@ -51,11 +53,27 @@ pub struct HashTable<'t> {
     weights: &'t mut [f64],
     size: usize,
     space: TableSpace,
+    /// Shadow identity of the backing arena for the race detector.
+    object: u64,
+    /// Allocation site of the backing arena (reported on violations).
+    origin: &'static Location<'static>,
+    /// Whether the table is *block-cooperative* — filled by all of a block's
+    /// warps concurrently. Only cooperative tables are visible to the race
+    /// detector; per-thread private tables (see
+    /// [`TableStorage::table_private`]) cannot race by construction.
+    coop: bool,
+    /// Per-borrow operation counter used to spread simulated insert lanes
+    /// across the group (lockstep execution erases which lane issued which
+    /// insert; on hardware consecutive arcs go to consecutive lanes).
+    ops: u32,
 }
 
 impl<'t> HashTable<'t> {
     /// Wraps `size` slots of the provided scratch. `size` must be one of the
-    /// prime-ladder sizes for the probe sequence to terminate.
+    /// prime-ladder sizes for the probe sequence to terminate. Tables built
+    /// this way are invisible to the race detector; cooperative kernels
+    /// borrow through [`TableStorage::table`] instead.
+    #[track_caller]
     pub fn new(
         keys: &'t mut [u32],
         weights: &'t mut [f64],
@@ -63,7 +81,25 @@ impl<'t> HashTable<'t> {
         space: TableSpace,
     ) -> Self {
         assert!(size >= 2 && size <= keys.len() && size <= weights.len());
-        Self { keys, weights, size, space }
+        Self {
+            keys,
+            weights,
+            size,
+            space,
+            object: 0,
+            origin: Location::caller(),
+            coop: false,
+            ops: 0,
+        }
+    }
+
+    /// True when accesses to this borrow should be routed to the race
+    /// detector: a cooperative table, under the `Racecheck` profile, in a
+    /// group wide enough to span multiple warps (sub-warp groups are
+    /// warp-lockstep on hardware and cannot race with themselves).
+    #[inline]
+    fn rc_active<P: ExecutionProfile>(&self, ctx: &GroupCtx<P>) -> bool {
+        P::RACECHECK && self.coop && ctx.lanes() > 32
     }
 
     /// Number of slots.
@@ -71,12 +107,29 @@ impl<'t> HashTable<'t> {
         self.size
     }
 
-    /// Clears all slots (done once per task; counted as writes).
+    /// Clears all slots (done once per task; counted as writes). Modeled as a
+    /// block-strided cooperative fill: slot `s` is written by lane
+    /// `s % lanes`, which is how the detector attributes the plain stores.
+    #[track_caller]
     pub fn reset<P: ExecutionProfile>(&mut self, ctx: &mut GroupCtx<P>) {
         self.keys[..self.size].fill(EMPTY);
         self.weights[..self.size].fill(0.0);
         self.charge_writes(ctx, self.size);
         ctx.strided_steps(self.size);
+        if self.rc_active(ctx) {
+            let site = Location::caller();
+            let lanes = ctx.lanes();
+            for slot in 0..self.size {
+                racecheck::record_shared(
+                    self.object,
+                    self.origin,
+                    slot,
+                    slot % lanes,
+                    AccessKind::Write,
+                    site,
+                );
+            }
+        }
     }
 
     #[inline]
@@ -107,6 +160,7 @@ impl<'t> HashTable<'t> {
     ///
     /// Panics if the table is full; fault-tolerant kernels use
     /// [`HashTable::try_insert_add`] and retry the task with a larger table.
+    #[track_caller]
     pub fn insert_add<P: ExecutionProfile>(
         &mut self,
         ctx: &mut GroupCtx<P>,
@@ -119,6 +173,14 @@ impl<'t> HashTable<'t> {
     /// Fallible form of [`HashTable::insert_add`]: a full table is returned
     /// as a [`TableOverflow`] instead of panicking, so the caller can retry
     /// the whole task against a resized table.
+    ///
+    /// Probe visits are recorded as *atomic* accesses for the race detector:
+    /// the key read is part of the CAS-validated lock-free claim protocol
+    /// (Alg. 2 lines 9-13), so concurrent inserts from different warps are
+    /// ordered by the hardware atomics — only pairings with the plain stores
+    /// of [`HashTable::reset`] or the plain loads of extraction constitute
+    /// hazards.
+    #[track_caller]
     pub fn try_insert_add<P: ExecutionProfile>(
         &mut self,
         ctx: &mut GroupCtx<P>,
@@ -126,6 +188,19 @@ impl<'t> HashTable<'t> {
         w: f64,
     ) -> Result<(usize, f64), TableOverflow> {
         debug_assert_ne!(key, EMPTY);
+        // `Location::caller()` must be taken directly in this #[track_caller]
+        // body (a closure would see its own definition site).
+        let site = Location::caller();
+        let rc = if self.rc_active(ctx) {
+            // Attribute this insert to a rotating lane: lockstep execution
+            // erases the issuing lane, but on hardware consecutive arcs are
+            // handled by consecutive lanes of the group.
+            let lane = self.ops as usize % ctx.lanes();
+            self.ops = self.ops.wrapping_add(1);
+            Some((lane, site))
+        } else {
+            None
+        };
         // Walk the probe sequence (h1 + it*h2) mod size incrementally: the
         // stride is already reduced mod size, so each step is an add plus a
         // conditional subtract — no division inside the loop. The visited
@@ -139,6 +214,16 @@ impl<'t> HashTable<'t> {
             }
             it += 1;
             self.charge_reads(ctx, 1);
+            if let Some((lane, site)) = rc {
+                racecheck::record_shared(
+                    self.object,
+                    self.origin,
+                    pos,
+                    lane,
+                    AccessKind::Atomic,
+                    site,
+                );
+            }
             let k = self.keys[pos];
             if k == key {
                 // Key already claimed: atomicAdd the weight (line 7).
@@ -165,8 +250,14 @@ impl<'t> HashTable<'t> {
         }
     }
 
-    /// Looks up the accumulated weight for `key` (0 when absent).
+    /// Looks up the accumulated weight for `key` (0 when absent). The lookup
+    /// is a *plain* load (extraction side): the detector flags it against any
+    /// unordered concurrent insert, which is exactly the fill→read
+    /// missing-barrier hazard.
+    #[track_caller]
     pub fn get<P: ExecutionProfile>(&self, ctx: &mut GroupCtx<P>, key: u32) -> f64 {
+        let site = Location::caller();
+        let rc = self.rc_active(ctx).then_some(site);
         let mut pos = self.h1(key);
         let stride = self.h2(key);
         let mut it = 0usize;
@@ -176,6 +267,9 @@ impl<'t> HashTable<'t> {
             }
             it += 1;
             self.charge_reads_const(ctx, 1);
+            if let Some(site) = rc {
+                racecheck::record_shared(self.object, self.origin, pos, 0, AccessKind::Read, site);
+            }
             let k = self.keys[pos];
             if k == key {
                 return self.weights[pos];
@@ -198,6 +292,30 @@ impl<'t> HashTable<'t> {
     /// Weight stored at a slot.
     pub fn weight_at(&self, pos: usize) -> f64 {
         self.weights[pos]
+    }
+
+    /// Tells the race detector the group is about to scan every slot with
+    /// plain loads (the extraction pass preceding [`HashTable::iter_filled`],
+    /// modeled as a block-strided read: slot `s` by lane `s % lanes`).
+    /// Cooperative kernels call this right before iterating so an unordered
+    /// concurrent insert from another warp is flagged. No-op outside the
+    /// `Racecheck` profile.
+    #[track_caller]
+    pub fn note_scan<P: ExecutionProfile>(&self, ctx: &GroupCtx<P>) {
+        if self.rc_active(ctx) {
+            let site = Location::caller();
+            let lanes = ctx.lanes();
+            for slot in 0..self.size {
+                racecheck::record_shared(
+                    self.object,
+                    self.origin,
+                    slot,
+                    slot % lanes,
+                    AccessKind::Read,
+                    site,
+                );
+            }
+        }
     }
 
     /// Iterates the filled `(key, weight)` slots in slot order.
@@ -252,26 +370,70 @@ impl<'t> HashTable<'t> {
     }
 }
 
-/// Reusable backing storage for one block's hash table.
-#[derive(Debug, Default)]
+/// Reusable backing storage for one block's hash table. Takes a shadow
+/// object id at construction so the race detector can tell arenas apart
+/// (and report the allocation site of the racy one).
+#[derive(Debug)]
 pub struct TableStorage {
     keys: Vec<u32>,
     weights: Vec<f64>,
+    object: u64,
+    origin: &'static Location<'static>,
+}
+
+impl Default for TableStorage {
+    #[track_caller]
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
 }
 
 impl TableStorage {
     /// Storage able to hold tables up to `capacity` slots.
+    #[track_caller]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { keys: vec![EMPTY; capacity], weights: vec![0.0; capacity] }
+        Self {
+            keys: vec![EMPTY; capacity],
+            weights: vec![0.0; capacity],
+            object: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
-    /// Borrows a table of `size` slots (growing the storage if needed).
+    /// Borrows a *block-cooperative* table of `size` slots (growing the
+    /// storage if needed): all warps of the block fill it concurrently, so
+    /// under the `Racecheck` profile its accesses are routed to the race
+    /// detector. Kernels whose table is private to one thread use
+    /// [`TableStorage::table_private`] instead.
     pub fn table(&mut self, size: usize, space: TableSpace) -> HashTable<'_> {
+        self.borrow_table(size, space, true)
+    }
+
+    /// Borrows a table that is *private to one simulated thread* (the
+    /// node-centric kernels give every vertex its own table). Private tables
+    /// cannot race by construction, so the detector does not track them —
+    /// recording them would misattribute sequential per-vertex reuse as
+    /// cross-warp hazards.
+    pub fn table_private(&mut self, size: usize, space: TableSpace) -> HashTable<'_> {
+        self.borrow_table(size, space, false)
+    }
+
+    fn borrow_table(&mut self, size: usize, space: TableSpace, coop: bool) -> HashTable<'_> {
         if self.keys.len() < size {
             self.keys.resize(size, EMPTY);
             self.weights.resize(size, 0.0);
         }
-        HashTable::new(&mut self.keys, &mut self.weights, size, space)
+        assert!(size >= 2);
+        HashTable {
+            keys: &mut self.keys,
+            weights: &mut self.weights,
+            size,
+            space,
+            object: self.object,
+            origin: self.origin,
+            coop,
+            ops: 0,
+        }
     }
 }
 

@@ -383,6 +383,9 @@ pub fn modularity_optimization(
             modularity_optimization_typed::<Instrumented>(dev, g, cfg, threshold)
         }
         Profile::Fast => modularity_optimization_typed::<Fast>(dev, g, cfg, threshold),
+        Profile::Racecheck => {
+            modularity_optimization_typed::<cd_gpusim::Racecheck>(dev, g, cfg, threshold)
+        }
     }
 }
 
@@ -673,6 +676,13 @@ fn compute_move_attempt<P: ExecutionProfile>(
     for lb in lane_best[..lanes].iter_mut() {
         *lb = (f64::NEG_INFINITY, u32::MAX);
     }
+    // The reset is a cooperative plain-store fill; when the group spans
+    // multiple warps they drift apart afterwards, so the inserts below need a
+    // barrier against the reset (racecheck: W-A hazard without it). Sub-warp
+    // groups are warp-synchronous and need none.
+    if lanes > 32 {
+        ctx.barrier();
+    }
 
     ctx.global_read_coalesced(2); // offsets
     ctx.global_read_scattered(2); // C[i], comm_size[C[i]]
@@ -722,6 +732,9 @@ fn compute_move_attempt<P: ExecutionProfile>(
         }
     }
 
+    // No explicit barrier before the reduction: `reduce_best` is itself a
+    // block-wide collective (built on __syncthreads when the group spans
+    // warps), so every lane's inserts happen-before the `get` below.
     let best = ctx.reduce_best(&lane_best[..lanes]);
     let e_home = table.get(ctx, ci);
     let stay = e_home / m - ki * (state.ac.load(ci as usize) - ki) / (2.0 * m * m);
@@ -731,6 +744,11 @@ fn compute_move_attempt<P: ExecutionProfile>(
     };
     state.new_comm.store(i, target);
     ctx.global_write_coalesced(1);
+    // End-of-task barrier: the next task's table reset must not overtake this
+    // task's home-community lookup (racecheck: R-W hazard without it).
+    if lanes > 32 {
+        ctx.barrier();
+    }
     Ok(())
 }
 
@@ -878,7 +896,10 @@ fn node_centric_move_one<P: ExecutionProfile>(
     i: usize,
 ) {
     loop {
-        let mut table = storage.table(slots, TableSpace::Global);
+        // Each lane owns this vertex's table exclusively: borrow it as
+        // private so the race detector doesn't misread the sequential
+        // per-vertex reuse as cross-warp sharing.
+        let mut table = storage.table_private(slots, TableSpace::Global);
         match node_centric_attempt(ctx, g, state, &mut table, best, i) {
             Ok(()) => return,
             Err(TableOverflow { .. }) => {

@@ -1,12 +1,15 @@
-//! Backend-equivalence tests at the algorithm level: the `Fast` and
-//! `Instrumented` execution profiles may differ only in what they *record*,
-//! never in what they *compute*. The hash-table proptests are the cd-core
-//! half of the primitive-level equivalence bar (the thrust half lives in
-//! cd-gpusim); the Louvain tests check the full pipeline end to end.
+//! Backend-equivalence tests at the algorithm level: the `Fast`,
+//! `Instrumented`, and `Racecheck` execution profiles may differ only in what
+//! they *record*, never in what they *compute*. The hash-table proptests are
+//! the cd-core half of the primitive-level equivalence bar (the thrust half
+//! lives in cd-gpusim); the Louvain tests check the full pipeline end to end
+//! across all three profiles.
 
 use cd_core::hashtable::{TableSpace, TableStorage};
 use cd_core::{louvain_gpu, GpuLouvainConfig};
-use cd_gpusim::{BlockCounters, Device, DeviceConfig, Fast, GroupCtx, Instrumented, Profile};
+use cd_gpusim::{
+    BlockCounters, Device, DeviceConfig, Fast, GroupCtx, Instrumented, Profile, Racecheck,
+};
 use cd_graph::gen::{cliques, planted_partition};
 use proptest::prelude::*;
 
@@ -15,6 +18,11 @@ fn device_pair() -> (Device, Device) {
         Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented)),
         Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast)),
     )
+}
+
+fn device_trio() -> (Device, Device, Device) {
+    let (slow, fast) = device_pair();
+    (slow, fast, Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Racecheck)))
 }
 
 /// Everything observable from a table replay: per-insert `(slot, running)`
@@ -51,16 +59,22 @@ proptest! {
         let space = if shared == 1 { TableSpace::Shared } else { TableSpace::Global };
         let slow = replay::<Instrumented>(&ops, 97, space);
         let fast = replay::<Fast>(&ops, 97, space);
+        let rc = replay::<Racecheck>(&ops, 97, space);
         // Same probe sequences, bit-identical accumulated weights.
         prop_assert_eq!(slow.0.len(), fast.0.len());
-        for (a, b) in slow.0.iter().zip(&fast.0) {
+        prop_assert_eq!(slow.0.len(), rc.0.len());
+        for ((a, b), c) in slow.0.iter().zip(&fast.0).zip(&rc.0) {
             prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.0, c.0);
             prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            prop_assert_eq!(a.1.to_bits(), c.1.to_bits());
         }
-        for (a, b) in slow.1.iter().zip(&fast.1) {
+        for ((a, b), c) in slow.1.iter().zip(&fast.1).zip(&rc.1) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+            prop_assert_eq!(a.to_bits(), c.to_bits());
         }
-        prop_assert_eq!(slow.2, fast.2);
+        prop_assert_eq!(&slow.2, &fast.2);
+        prop_assert_eq!(&slow.2, &rc.2);
     }
 
     #[test]
@@ -84,7 +98,7 @@ proptest! {
 
 #[test]
 fn louvain_identical_labels_and_modularity_across_profiles() {
-    let (slow, fast) = device_pair();
+    let (slow, fast, rc) = device_trio();
     let graphs = [
         cliques(4, 8, true),
         planted_partition(6, 40, 0.4, 0.01, 3).graph,
@@ -97,11 +111,17 @@ fn louvain_identical_labels_and_modularity_across_profiles() {
             cfg.pruning = pruning;
             let a = louvain_gpu(&slow, g, &cfg).unwrap();
             let b = louvain_gpu(&fast, g, &cfg).unwrap();
+            let c = louvain_gpu(&rc, g, &cfg).unwrap();
             let n = g.num_vertices() as u32;
             let labels = |r: &cd_core::louvain::GpuLouvainResult| {
                 (0..n).map(|v| r.partition.community_of(v)).collect::<Vec<_>>()
             };
             assert_eq!(labels(&a), labels(&b), "graph {gi} pruning={pruning}: labels diverge");
+            assert_eq!(
+                labels(&a),
+                labels(&c),
+                "graph {gi} pruning={pruning}: racecheck labels diverge"
+            );
             assert_eq!(
                 a.modularity.to_bits(),
                 b.modularity.to_bits(),
@@ -109,7 +129,15 @@ fn louvain_identical_labels_and_modularity_across_profiles() {
                 a.modularity,
                 b.modularity
             );
+            assert_eq!(
+                a.modularity.to_bits(),
+                c.modularity.to_bits(),
+                "graph {gi} pruning={pruning}: racecheck Q {} vs {}",
+                a.modularity,
+                c.modularity
+            );
             assert_eq!(a.stages.len(), b.stages.len());
+            assert_eq!(a.stages.len(), c.stages.len());
         }
     }
     // The instrumented device recorded kernels; the fast one recorded none
@@ -118,21 +146,38 @@ fn louvain_identical_labels_and_modularity_across_profiles() {
     let fm = fast.metrics();
     assert!(fm.kernels().is_empty());
     assert_eq!(fm.profile(), Profile::Fast);
+    // The racecheck device watched every access of every pipeline launch and
+    // found no hazards: the false-positive guard for the detector.
+    let reports = rc.race_reports();
+    assert!(
+        reports.is_empty(),
+        "racecheck flagged {} hazard(s) in a race-free pipeline: {}",
+        reports.len(),
+        reports.iter().map(|r| r.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert_eq!(rc.metrics().profile(), Profile::Racecheck);
 }
 
 #[test]
 fn aggregation_identical_across_profiles() {
-    let (slow, fast) = device_pair();
+    let (slow, fast, rc) = device_trio();
     let g = cd_graph::gen::add_random_edges(&cd_graph::gen::cycle(150), 300, 5);
     let dg = cd_core::DeviceGraph::from_csr(&g);
     let comm: Vec<u32> = (0..150u32).map(|v| (v * 31 + 7) % 13).collect();
     let cfg = GpuLouvainConfig::paper_default();
     let a = cd_core::aggregate_graph(&slow, &dg, &comm, &cfg).unwrap();
     let b = cd_core::aggregate_graph(&fast, &dg, &comm, &cfg).unwrap();
+    let c = cd_core::aggregate_graph(&rc, &dg, &comm, &cfg).unwrap();
     assert_eq!(a.vertex_map, b.vertex_map);
+    assert_eq!(a.vertex_map, c.vertex_map);
     assert_eq!(a.graph.offsets, b.graph.offsets);
+    assert_eq!(a.graph.offsets, c.graph.offsets);
     assert_eq!(a.graph.targets, b.graph.targets);
-    let wa: Vec<u64> = a.graph.weights.iter().map(|w| w.to_bits()).collect();
-    let wb: Vec<u64> = b.graph.weights.iter().map(|w| w.to_bits()).collect();
-    assert_eq!(wa, wb);
+    assert_eq!(a.graph.targets, c.graph.targets);
+    let bits = |x: &cd_core::AggregateOutcome| {
+        x.graph.weights.iter().map(|w| w.to_bits()).collect::<Vec<u64>>()
+    };
+    assert_eq!(bits(&a), bits(&b));
+    assert_eq!(bits(&a), bits(&c));
+    assert!(rc.race_reports().is_empty(), "racecheck flagged aggregation: {:?}", rc.race_reports());
 }

@@ -119,8 +119,14 @@ impl DeviceConfig {
 
     /// Checks cross-field consistency. An active fault plan requires the
     /// instrumented profile (fault draws live in the instrumented launch
-    /// path); see [`crate::ConfigError::FaultsRequireInstrumented`].
+    /// path) and is incompatible with race detection (injected flips are not
+    /// program accesses and would masquerade as races); see
+    /// [`crate::ConfigError::FaultsRequireInstrumented`] and
+    /// [`crate::ConfigError::FaultsIncompatibleWithRacecheck`].
     pub fn validate(&self) -> Result<(), crate::profile::ConfigError> {
+        if self.fault_plan.is_active() && self.profile.is_racecheck() {
+            return Err(crate::profile::ConfigError::FaultsIncompatibleWithRacecheck);
+        }
         if self.fault_plan.is_active() && !self.profile.is_instrumented() {
             return Err(crate::profile::ConfigError::FaultsRequireInstrumented);
         }
@@ -228,5 +234,15 @@ mod tests {
             .validate()
             .is_ok());
         assert!(DeviceConfig::test_tiny().with_profile(Profile::Fast).validate().is_ok());
+    }
+
+    #[test]
+    fn faults_are_rejected_on_the_racecheck_profile() {
+        use crate::profile::{ConfigError, Profile};
+        let plan = crate::fault::FaultPlan::seeded(7).with_bitflip_rate(0.01);
+        let c = DeviceConfig::test_tiny().with_fault_plan(plan).with_profile(Profile::Racecheck);
+        assert_eq!(c.validate(), Err(ConfigError::FaultsIncompatibleWithRacecheck));
+        // An inactive plan is fine under racecheck.
+        assert!(DeviceConfig::test_tiny().with_profile(Profile::Racecheck).validate().is_ok());
     }
 }

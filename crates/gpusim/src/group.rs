@@ -109,11 +109,17 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
     }
 
     /// Block-wide barrier (`__syncthreads`). Semantically a no-op under
-    /// lockstep execution; counted for the cost model.
+    /// lockstep execution; counted for the cost model. Under
+    /// [`crate::Racecheck`] it advances the block's barrier epoch, ordering
+    /// all of the block's earlier accesses before its later ones in the
+    /// happens-before detector.
     #[inline]
     pub fn barrier(&mut self) {
         if P::INSTRUMENTED {
             self.counters.barriers += 1;
+        }
+        if P::RACECHECK {
+            crate::racecheck::advance_epoch();
         }
     }
 
@@ -180,6 +186,7 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
     /// `atomicAdd` on a global f64 cell (CAS-loop emulation, as on the K40m).
     /// Retries are counted as CAS failures.
     #[inline]
+    #[track_caller]
     pub fn atomic_add_f64(&mut self, buf: &GlobalF64, idx: usize, v: f64) {
         self.atomic_add_f64_prev(buf, idx, v);
     }
@@ -188,6 +195,7 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
     /// the hardware `atomicAdd` gives back, needed by callers that derive
     /// incremental quantities (e.g. Σa² updates) from the pre-add value.
     #[inline]
+    #[track_caller]
     pub fn atomic_add_f64_prev(&mut self, buf: &GlobalF64, idx: usize, v: f64) -> f64 {
         let (prev, attempts) = buf.atomic_add_prev(idx, v);
         if P::INSTRUMENTED {
@@ -200,6 +208,7 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
 
     /// `atomicAdd` on a global u32 cell; returns the previous value.
     #[inline]
+    #[track_caller]
     pub fn atomic_add_u32(&mut self, buf: &GlobalU32, idx: usize, v: u32) -> u32 {
         if P::INSTRUMENTED {
             self.counters.atomic_adds += 1;
@@ -209,6 +218,7 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
 
     /// `atomicAdd` on a global u64 cell; returns the previous value.
     #[inline]
+    #[track_caller]
     pub fn atomic_add_u64(&mut self, buf: &GlobalU64, idx: usize, v: u64) -> u64 {
         if P::INSTRUMENTED {
             self.counters.atomic_adds += 1;
@@ -218,6 +228,7 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
 
     /// `atomicCAS` on a global u32 cell. `Ok(prev)` when the swap succeeded.
     #[inline]
+    #[track_caller]
     pub fn cas_u32(
         &mut self,
         buf: &GlobalU32,
@@ -268,12 +279,20 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
 
     // ----- warp/block collectives ------------------------------------------
 
-    /// Records the cost of a `log2(lanes)`-step shuffle collective.
+    /// Records the cost of a `log2(lanes)`-step shuffle collective. For
+    /// block-spanning groups the collective is a shared-memory reduction
+    /// with `__syncthreads` inside on hardware, so under
+    /// [`crate::Racecheck`] it also advances the barrier epoch — a kernel
+    /// that reduces and then reads data written before the reduction is
+    /// properly ordered, exactly as it would be on the device.
     #[inline]
     fn collective_cost(&mut self) {
         if P::INSTRUMENTED {
             let steps = self.lanes.trailing_zeros() as u64;
             self.steps(steps, steps * self.lanes as u64);
+        }
+        if P::RACECHECK && self.lanes > 32 {
+            crate::racecheck::advance_epoch();
         }
     }
 
@@ -319,9 +338,14 @@ impl<'a, P: ExecutionProfile> GroupCtx<'a, P> {
     }
 
     /// Warp ballot: bitmask of lanes whose predicate is true (lane 0 = LSB).
+    /// Block-spanning ballots are `__syncthreads`-based votes on hardware,
+    /// so they advance the racecheck barrier epoch like the reductions do.
     pub fn ballot(&mut self, lane_preds: &[bool]) -> u128 {
         debug_assert!(lane_preds.len() <= self.lanes);
         self.step(lane_preds.len());
+        if P::RACECHECK && self.lanes > 32 {
+            crate::racecheck::advance_epoch();
+        }
         lane_preds.iter().enumerate().fold(0u128, |m, (i, &p)| if p { m | (1u128 << i) } else { m })
     }
 

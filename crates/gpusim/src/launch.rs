@@ -35,10 +35,12 @@ use crate::memory::{GlobalF64, GlobalU32};
 use crate::metrics::{BlockCounters, MetricsReport, MetricsStore};
 use crate::pool::PoolStore;
 use crate::profile::{ConfigError, ExecutionProfile, Instrumented};
+use crate::racecheck::{BlockGuard, LaunchShadow};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// True when the host has a single execution unit: the block loop then runs
@@ -119,6 +121,7 @@ impl Device {
     /// match dev.profile() {
     ///     Profile::Instrumented => histogram::<cd_gpusim::Instrumented>(&dev, &counts),
     ///     Profile::Fast => histogram::<cd_gpusim::Fast>(&dev, &counts),
+    ///     Profile::Racecheck => histogram::<cd_gpusim::Racecheck>(&dev, &counts),
     /// }
     /// assert_eq!(counts.to_vec(), vec![250, 250, 250, 250]);
     /// assert!(dev.metrics().kernels().is_empty()); // Fast records nothing
@@ -183,6 +186,23 @@ impl Device {
         shared_bytes_per_block: usize,
     ) {
         self.metrics.lock().record_launch(name, blocks, counters, wall, shared_bytes_per_block);
+    }
+
+    /// Folds a completed launch's race shadow (if any) into the device race
+    /// log. Called once per `Racecheck` launch, after every block has run.
+    fn absorb_shadow(&self, shadow: Option<Arc<LaunchShadow>>) {
+        if let Some(shadow) = shadow {
+            let (reports, events) = shadow.drain();
+            if events > 0 {
+                self.metrics.lock().absorb_races(reports, events);
+            }
+        }
+    }
+
+    /// Race reports accumulated by [`crate::Racecheck`] launches since the
+    /// last [`Device::reset_metrics`]. Empty under the other profiles.
+    pub fn race_reports(&self) -> Vec<crate::racecheck::RaceReport> {
+        self.metrics.lock().races().to_vec()
     }
 
     /// Draws the fault decision for the next launch. Sequence numbers advance
@@ -506,15 +526,25 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
         let n_blocks = n_tasks.div_ceil(tasks_per_block);
         let fault = dev.next_launch_fault();
         let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let shadow = P::RACECHECK.then(|| Arc::new(LaunchShadow::new(name)));
         let run_block = |block: usize| {
             let mut counters = BlockCounters::default();
             if block >= run_limit || Some(block) == stuck {
                 return counters;
             }
+            let _rc = shadow.as_ref().map(|s| BlockGuard::install(s.clone(), block));
             let mut state = block_state();
             let lo = block * tasks_per_block;
             let hi = (lo + tasks_per_block).min(n_tasks);
             for task in lo..hi {
+                if P::RACECHECK {
+                    // Distinct groups within a block are concurrent hardware
+                    // warps — except when one task spans the whole block
+                    // (lanes == block_threads): then successive tasks are
+                    // sequential iterations of the *same* threads, so they
+                    // share one logical actor.
+                    crate::racecheck::set_group(if lanes == block_threads { 0 } else { task });
+                }
                 let mut ctx = GroupCtx::<P>::typed(block, lanes, &mut counters);
                 kernel(&mut ctx, &mut state, task);
                 ctx.finish_task();
@@ -556,6 +586,7 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
                 run_block(block);
             });
         }
+        dev.absorb_shadow(shadow);
         dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
     }
 
@@ -594,11 +625,15 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
         let block_threads = dev.cfg.block_threads();
         let fault = dev.next_launch_fault();
         let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let shadow = P::RACECHECK.then(|| Arc::new(LaunchShadow::new(name)));
         let run_block = |block: usize| {
             let mut counters = BlockCounters::default();
             if block >= run_limit || Some(block) == stuck {
                 return counters;
             }
+            // Block-wide kernels have one group per block; the logical actor
+            // stays 0 for the block's whole lifetime.
+            let _rc = shadow.as_ref().map(|s| BlockGuard::install(s.clone(), block));
             let mut state = block_state(block);
             let mut ctx = GroupCtx::<P>::typed(block, block_threads, &mut counters);
             kernel(&mut ctx, &mut state);
@@ -636,6 +671,7 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
                 run_block(block);
             });
         }
+        dev.absorb_shadow(shadow);
         dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
     }
 
@@ -670,11 +706,13 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
         let n_blocks = n_threads.div_ceil(block_threads);
         let fault = dev.next_launch_fault();
         let (run_limit, stuck) = dev.apply_fault(fault, n_blocks);
+        let shadow = P::RACECHECK.then(|| Arc::new(LaunchShadow::new(name)));
         let run_block = |block: usize| {
             let mut counters = BlockCounters::default();
             if block >= run_limit || Some(block) == stuck {
                 return counters;
             }
+            let _rc = shadow.as_ref().map(|s| BlockGuard::install(s.clone(), block));
             let lo = block * block_threads;
             let hi = (lo + block_threads).min(n_threads);
             let mut t = lo;
@@ -683,6 +721,12 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
                 let mut ctx = GroupCtx::<P>::typed(block, warp, &mut counters);
                 ctx.step(warp_hi - t);
                 for thread in t..warp_hi {
+                    if P::RACECHECK {
+                        // Elementwise kernels: every virtual thread is its own
+                        // logical actor (its warp siblings are distinct
+                        // hardware lanes, and warps interleave freely).
+                        crate::racecheck::set_group(thread);
+                    }
                     kernel(&mut ctx, thread);
                 }
                 t = warp_hi;
@@ -721,6 +765,7 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
                 run_block(block);
             });
         }
+        dev.absorb_shadow(shadow);
         dev.fault_outcome(fault, name, run_limit, stuck, n_blocks)
     }
 }
@@ -868,6 +913,7 @@ mod tests {
         let run = |dev: &Device, out: &GlobalU32| match dev.profile() {
             Profile::Instrumented => run_typed::<Instrumented>(dev, out),
             Profile::Fast => run_typed::<Fast>(dev, out),
+            Profile::Racecheck => run_typed::<crate::profile::Racecheck>(dev, out),
         };
         fn run_typed<P: ExecutionProfile>(dev: &Device, out: &GlobalU32) {
             let ex = dev.exec::<P>();
@@ -906,6 +952,34 @@ mod tests {
         assert!(fm.kernels().is_empty());
         assert_eq!(fm.profile(), Profile::Fast);
         assert_eq!(slow.metrics().profile(), Profile::Instrumented);
+    }
+
+    #[test]
+    fn racecheck_launches_flag_plain_write_sharing_but_not_atomics() {
+        use crate::profile::Racecheck;
+        let dev = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Racecheck));
+        let out = GlobalU32::zeroed(1);
+        dev.exec::<Racecheck>().launch_threads("atomic-histogram", 256, |ctx, _| {
+            ctx.atomic_add_u32(&out, 0, 1);
+        });
+        assert!(dev.race_reports().is_empty(), "atomic contention is not a race");
+        assert_eq!(out.load(0), 256);
+
+        dev.exec::<Racecheck>().launch_threads("plain-store", 256, |_, t| {
+            out.store(0, t as u32);
+        });
+        let reports = dev.race_reports();
+        // 256 threads in two 128-thread blocks: the same site pair races both
+        // within a block and across blocks, and dedup is per (pair, class).
+        assert_eq!(reports.len(), 2, "one deduplicated report per (site pair, class)");
+        let classes: Vec<_> = reports.iter().map(|r| r.class).collect();
+        assert!(classes.contains(&crate::racecheck::RaceClass::IntraBlock));
+        assert!(classes.contains(&crate::racecheck::RaceClass::InterBlock));
+        assert_eq!(reports[0].kernel, "plain-store");
+        let m = dev.metrics();
+        assert!(m.race_events() > 1, "raw event count keeps every conflict");
+        // The report names the racy buffer's allocation site in this file.
+        assert!(reports[0].to_string().contains("launch.rs"), "{}", reports[0]);
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //! assert!(dev.metrics().kernel("histogram").unwrap().counters.atomic_adds == 1000);
 //! ```
 //!
-//! Observability is pluggable: see [`profile`] for the `Instrumented`/`Fast`
-//! split between execution semantics and accounting.
+//! Observability is pluggable: see [`profile`] for the
+//! `Instrumented`/`Fast`/`Racecheck` split between execution semantics and
+//! accounting, and [`racecheck`] for the happens-before hazard detector the
+//! third profile turns on.
 
 #![warn(missing_docs)]
 
@@ -40,6 +42,7 @@ pub mod memory;
 pub mod metrics;
 pub mod pool;
 pub mod profile;
+pub mod racecheck;
 pub mod thrust;
 
 pub use config::DeviceConfig;
@@ -49,4 +52,5 @@ pub use launch::{Device, Exec};
 pub use memory::{GlobalF64, GlobalU32, GlobalU64};
 pub use metrics::{BlockCounters, KernelMetrics, MetricsReport};
 pub use pool::{PoolStats, PooledF64, PooledU32, PooledU64};
-pub use profile::{ConfigError, ExecutionProfile, Fast, Instrumented, Profile};
+pub use profile::{ConfigError, ExecutionProfile, Fast, Instrumented, Profile, Racecheck};
+pub use racecheck::{AccessKind, MemSpace, RaceClass, RaceReport};

@@ -7,7 +7,17 @@
 //! boundaries are the only synchronization points, exactly as on the device,
 //! and the launch machinery provides the necessary happens-before edges when
 //! it joins its worker tasks.
+//!
+//! Every buffer carries a process-unique shadow object id and its allocation
+//! site, and every device-side accessor reports itself to the
+//! [`crate::racecheck`] detector (a no-op outside a `Racecheck`-profile
+//! launch). Host-side bulk operations (`to_vec`, `fill`, `copy_from_slice`)
+//! and the fault injector's `flip_bit` are deliberately not routed through
+//! the detector: the former execute at launch boundaries, which order
+//! everything, and the latter is not a program access at all.
 
+use crate::racecheck::{self, AccessKind};
+use std::panic::Location;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A global buffer of `u32` (vertex ids, community ids, counters).
@@ -16,28 +26,51 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 /// that may be smaller than its backing allocation: the device's
 /// [`crate::pool`] recycles allocations by power-of-two size class, so a
 /// pooled buffer of logical length 100 may sit on a 128-cell allocation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GlobalU32 {
     cells: Vec<AtomicU32>,
     len: usize,
+    id: u64,
+    origin: &'static Location<'static>,
+}
+
+impl Default for GlobalU32 {
+    #[track_caller]
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
 }
 
 impl GlobalU32 {
     /// A zero-filled buffer of `len` cells.
+    #[track_caller]
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU32::new(0)).collect(), len }
+        Self {
+            cells: (0..len).map(|_| AtomicU32::new(0)).collect(),
+            len,
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// A buffer initialized from a slice.
+    #[track_caller]
     pub fn from_slice(data: &[u32]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU32::new(v)).collect(), len: data.len() }
+        Self {
+            cells: data.iter().map(|&v| AtomicU32::new(v)).collect(),
+            len: data.len(),
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// Wraps a pooled allocation with a logical length (`len <=
-    /// cells.len()`).
+    /// cells.len()`). The wrapper takes a fresh shadow object id, so a
+    /// recycled allocation never aliases its previous life in the detector.
+    #[track_caller]
     pub(crate) fn from_pooled(cells: Vec<AtomicU32>, len: usize) -> Self {
         debug_assert!(len <= cells.len());
-        Self { cells, len }
+        Self { cells, len, id: racecheck::next_object_id(), origin: Location::caller() }
     }
 
     /// Releases the backing allocation (full size-class capacity) back to the
@@ -58,33 +91,43 @@ impl GlobalU32 {
 
     /// Plain load.
     #[inline]
+    #[track_caller]
     pub fn load(&self, idx: usize) -> u32 {
         debug_assert!(idx < self.len);
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Read, Location::caller());
         self.cells[idx].load(Ordering::Relaxed)
     }
 
     /// Plain store.
     #[inline]
+    #[track_caller]
     pub fn store(&self, idx: usize, v: u32) {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Write, Location::caller());
         self.cells[idx].store(v, Ordering::Relaxed);
     }
 
     /// `atomicAdd`: returns the previous value.
     #[inline]
+    #[track_caller]
     pub fn atomic_add(&self, idx: usize, v: u32) -> u32 {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Atomic, Location::caller());
         self.cells[idx].fetch_add(v, Ordering::Relaxed)
     }
 
     /// Compare-and-swap: returns `Ok(current)` on success, `Err(actual)` when
     /// another thread got there first — matching CUDA `atomicCAS` usage.
     #[inline]
+    #[track_caller]
     pub fn cas(&self, idx: usize, current: u32, new: u32) -> Result<u32, u32> {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Atomic, Location::caller());
         self.cells[idx].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
     /// `atomicMin` via a single hardware `fetch_min`; returns the previous
     /// value.
+    #[track_caller]
     pub fn atomic_min(&self, idx: usize, v: u32) -> u32 {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Atomic, Location::caller());
         self.cells[idx].fetch_min(v, Ordering::Relaxed)
     }
 
@@ -109,7 +152,9 @@ impl GlobalU32 {
     }
 
     /// Flips one bit of a cell (fault injection: transient memory
-    /// corruption). `bit` must be below 32.
+    /// corruption). `bit` must be below 32. Deliberately invisible to the
+    /// race detector: a flip is not a program access (and the racecheck
+    /// profile rejects active fault plans up front anyway).
     pub fn flip_bit(&self, idx: usize, bit: u32) {
         debug_assert!(bit < 32);
         self.cells[idx].fetch_xor(1u32 << bit, Ordering::Relaxed);
@@ -118,27 +163,49 @@ impl GlobalU32 {
 
 /// A global buffer of `u64` (sizes, offsets, degree sums). Has the same
 /// logical-length / backing-capacity split as [`GlobalU32`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GlobalU64 {
     cells: Vec<AtomicU64>,
     len: usize,
+    id: u64,
+    origin: &'static Location<'static>,
+}
+
+impl Default for GlobalU64 {
+    #[track_caller]
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
 }
 
 impl GlobalU64 {
     /// A zero-filled buffer of `len` cells.
+    #[track_caller]
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0)).collect(), len }
+        Self {
+            cells: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            len,
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// A buffer initialized from a slice.
+    #[track_caller]
     pub fn from_slice(data: &[u64]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU64::new(v)).collect(), len: data.len() }
+        Self {
+            cells: data.iter().map(|&v| AtomicU64::new(v)).collect(),
+            len: data.len(),
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// Wraps a pooled allocation with a logical length.
+    #[track_caller]
     pub(crate) fn from_pooled(cells: Vec<AtomicU64>, len: usize) -> Self {
         debug_assert!(len <= cells.len());
-        Self { cells, len }
+        Self { cells, len, id: racecheck::next_object_id(), origin: Location::caller() }
     }
 
     /// Releases the backing allocation back to the pool.
@@ -158,20 +225,26 @@ impl GlobalU64 {
 
     /// Plain load.
     #[inline]
+    #[track_caller]
     pub fn load(&self, idx: usize) -> u64 {
         debug_assert!(idx < self.len);
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Read, Location::caller());
         self.cells[idx].load(Ordering::Relaxed)
     }
 
     /// Plain store.
     #[inline]
+    #[track_caller]
     pub fn store(&self, idx: usize, v: u64) {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Write, Location::caller());
         self.cells[idx].store(v, Ordering::Relaxed);
     }
 
     /// `atomicAdd`: returns the previous value.
     #[inline]
+    #[track_caller]
     pub fn atomic_add(&self, idx: usize, v: u64) -> u64 {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Atomic, Location::caller());
         self.cells[idx].fetch_add(v, Ordering::Relaxed)
     }
 
@@ -192,28 +265,50 @@ impl GlobalU64 {
 /// A global buffer of `f64` with `atomicAdd` emulated by a CAS loop — the
 /// exact technique CUDA devices below compute capability 6.0 (including the
 /// paper's K40m) use for double-precision atomic adds.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GlobalF64 {
     cells: Vec<AtomicU64>,
     len: usize,
+    id: u64,
+    origin: &'static Location<'static>,
+}
+
+impl Default for GlobalF64 {
+    #[track_caller]
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
 }
 
 impl GlobalF64 {
     /// A zero-filled buffer of `len` cells.
+    #[track_caller]
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect(), len }
+        Self {
+            cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            len,
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// A buffer initialized from a slice.
+    #[track_caller]
     pub fn from_slice(data: &[f64]) -> Self {
-        Self { cells: data.iter().map(|&v| AtomicU64::new(v.to_bits())).collect(), len: data.len() }
+        Self {
+            cells: data.iter().map(|&v| AtomicU64::new(v.to_bits())).collect(),
+            len: data.len(),
+            id: racecheck::next_object_id(),
+            origin: Location::caller(),
+        }
     }
 
     /// Wraps a pooled allocation with a logical length. The 64-bit word pool
     /// is shared with [`GlobalU64`]; an all-zero word is `0.0`.
+    #[track_caller]
     pub(crate) fn from_pooled(cells: Vec<AtomicU64>, len: usize) -> Self {
         debug_assert!(len <= cells.len());
-        Self { cells, len }
+        Self { cells, len, id: racecheck::next_object_id(), origin: Location::caller() }
     }
 
     /// Releases the backing allocation back to the pool.
@@ -233,14 +328,18 @@ impl GlobalF64 {
 
     /// Plain load.
     #[inline]
+    #[track_caller]
     pub fn load(&self, idx: usize) -> f64 {
         debug_assert!(idx < self.len);
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Read, Location::caller());
         f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
     }
 
     /// Plain store.
     #[inline]
+    #[track_caller]
     pub fn store(&self, idx: usize, v: f64) {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Write, Location::caller());
         self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -255,6 +354,7 @@ impl GlobalF64 {
     /// `atomicAdd` via CAS loop; returns the number of CAS attempts it took
     /// (1 = no contention), which the metrics layer records.
     #[inline]
+    #[track_caller]
     pub fn atomic_add(&self, idx: usize, v: f64) -> u32 {
         self.atomic_add_prev(idx, v).1
     }
@@ -263,7 +363,9 @@ impl GlobalF64 {
     /// The previous value is what CUDA's `atomicAdd` returns; incremental
     /// bookkeeping (e.g. tracking `Σ a_c²` across volume updates) needs it.
     #[inline]
+    #[track_caller]
     pub fn atomic_add_prev(&self, idx: usize, v: f64) -> (f64, u32) {
+        racecheck::record_global(self.id, self.origin, idx, AccessKind::Atomic, Location::caller());
         let cell = &self.cells[idx];
         let mut attempts = 1;
         let mut cur = cell.load(Ordering::Relaxed);
@@ -285,7 +387,8 @@ impl GlobalF64 {
     }
 
     /// Flips one bit of a cell's IEEE-754 representation (fault injection:
-    /// transient memory corruption). `bit` must be below 64.
+    /// transient memory corruption). `bit` must be below 64. Invisible to
+    /// the race detector, like [`GlobalU32::flip_bit`].
     pub fn flip_bit(&self, idx: usize, bit: u32) {
         debug_assert!(bit < 64);
         self.cells[idx].fetch_xor(1u64 << bit, Ordering::Relaxed);
@@ -392,5 +495,13 @@ mod tests {
         let f = GlobalF64::zeroed(2);
         f.fill(1.5);
         assert_eq!(f.to_vec(), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn buffers_take_distinct_shadow_ids() {
+        let a = GlobalU32::zeroed(1);
+        let b = GlobalU32::zeroed(1);
+        assert_ne!(a.id, b.id);
+        assert!(a.origin.file().ends_with("memory.rs"));
     }
 }

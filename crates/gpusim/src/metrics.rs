@@ -9,8 +9,15 @@
 use crate::config::DeviceConfig;
 use crate::fault::FaultStats;
 use crate::pool::PoolStats;
+use crate::racecheck::RaceReport;
 use std::collections::HashMap;
 use std::time::Duration;
+
+/// Cap on the deduplicated [`RaceReport`]s retained device-wide between
+/// metric resets. Past launches keep counting into
+/// [`MetricsReport::race_events`], but their reports are dropped — a sweep
+/// with hundreds of racy launches still yields a bounded report.
+const MAX_RACE_REPORTS: usize = 256;
 
 /// Counters accumulated by one block while it executes. Cheap plain fields;
 /// merged into the device store once per block.
@@ -128,6 +135,8 @@ pub struct MetricsReport {
     faults: FaultStats,
     pool: PoolStats,
     profile: crate::profile::Profile,
+    races: Vec<RaceReport>,
+    race_events: u64,
 }
 
 impl MetricsReport {
@@ -136,8 +145,23 @@ impl MetricsReport {
         faults: FaultStats,
         pool: PoolStats,
         profile: crate::profile::Profile,
+        races: Vec<RaceReport>,
+        race_events: u64,
     ) -> Self {
-        Self { entries, faults, pool, profile }
+        Self { entries, faults, pool, profile, races, race_events }
+    }
+
+    /// Deduplicated race reports from [`crate::Racecheck`] launches (one per
+    /// racy site pair, capped; see [`MetricsReport::race_events`] for the raw
+    /// conflict count). Always empty under the other profiles.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Total conflicting-access events observed by the race detector,
+    /// including those deduplicated away or past the report cap.
+    pub fn race_events(&self) -> u64 {
+        self.race_events
     }
 
     /// The execution profile of the device that produced this report. Under
@@ -192,6 +216,8 @@ pub(crate) struct MetricsStore {
     order: Vec<String>,
     map: HashMap<String, KernelMetrics>,
     pub(crate) faults: FaultStats,
+    races: Vec<RaceReport>,
+    race_events: u64,
 }
 
 impl MetricsStore {
@@ -214,6 +240,18 @@ impl MetricsStore {
         entry.shared_bytes_per_block = entry.shared_bytes_per_block.max(shared_bytes_per_block);
     }
 
+    /// Folds one launch's drained race shadow into the device-wide log.
+    pub(crate) fn absorb_races(&mut self, reports: Vec<RaceReport>, events: u64) {
+        self.race_events += events;
+        let room = MAX_RACE_REPORTS.saturating_sub(self.races.len());
+        self.races.extend(reports.into_iter().take(room));
+    }
+
+    /// Deduplicated race reports retained so far.
+    pub(crate) fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
     pub(crate) fn snapshot(
         &self,
         pool: PoolStats,
@@ -224,6 +262,8 @@ impl MetricsStore {
             self.faults,
             pool,
             profile,
+            self.races.clone(),
+            self.race_events,
         )
     }
 
@@ -231,6 +271,8 @@ impl MetricsStore {
         self.order.clear();
         self.map.clear();
         self.faults = FaultStats::default();
+        self.races.clear();
+        self.race_events = 0;
     }
 }
 

@@ -115,6 +115,7 @@ impl PoolStore {
 impl Device {
     /// Acquires a zero-filled `u32` buffer of logical length `len` from the
     /// pool (allocating on miss). The guard returns the allocation on drop.
+    #[track_caller]
     pub fn pool_u32(&self, len: usize) -> PooledU32<'_> {
         let cells = self.pool_store().acquire_u32(len);
         PooledU32 { dev: self, buf: Some(GlobalU32::from_pooled(cells, len)) }
@@ -122,6 +123,7 @@ impl Device {
 
     /// Acquires a zero-filled `u64` buffer of logical length `len` from the
     /// pool.
+    #[track_caller]
     pub fn pool_u64(&self, len: usize) -> PooledU64<'_> {
         let cells = self.pool_store().acquire_u64(len);
         PooledU64 { dev: self, buf: Some(GlobalU64::from_pooled(cells, len)) }
@@ -129,6 +131,7 @@ impl Device {
 
     /// Acquires a zero-filled `f64` buffer of logical length `len` from the
     /// pool (shares the 64-bit word pool with [`Device::pool_u64`]).
+    #[track_caller]
     pub fn pool_f64(&self, len: usize) -> PooledF64<'_> {
         let cells = self.pool_store().acquire_u64(len);
         PooledF64 { dev: self, buf: Some(GlobalF64::from_pooled(cells, len)) }

@@ -13,17 +13,26 @@
 //! * [`Fast`] compiles all accounting to no-ops and skips metric recording and
 //!   the cycle model. Kernels produce identical results (same labels, same
 //!   modularity) but [`crate::Device::metrics`] reports no kernel entries.
+//! * [`Racecheck`] keeps everything [`Instrumented`] does and additionally
+//!   routes memory accesses through the [`crate::racecheck`] happens-before
+//!   detector, surfacing data races the lockstep simulator would otherwise
+//!   mask as typed [`crate::RaceReport`]s on the metrics report.
 //!
 //! Selection is **monomorphized**: kernel bodies are generic over
-//! `P: ExecutionProfile` and gate accounting on the associated constant
-//! [`ExecutionProfile::INSTRUMENTED`], which the compiler const-folds away per
-//! instantiation. There is no per-access runtime branch; the only runtime
-//! dispatch is one `match` on [`Profile`] at each driver entry point.
+//! `P: ExecutionProfile` and gate accounting on the associated constants
+//! [`ExecutionProfile::INSTRUMENTED`] / [`ExecutionProfile::RACECHECK`],
+//! which the compiler const-folds away per instantiation. There is no
+//! per-access runtime branch; the only runtime dispatch is one `match` on
+//! [`Profile`] at each driver entry point.
 //!
 //! Fault injection needs the instrumented launch path (fault draws and
 //! sequence numbers live there), so an active [`crate::FaultPlan`] combined
 //! with [`Profile::Fast`] is rejected at device construction with
-//! [`ConfigError::FaultsRequireInstrumented`].
+//! [`ConfigError::FaultsRequireInstrumented`]. Combining faults with
+//! [`Profile::Racecheck`] is rejected too
+//! ([`ConfigError::FaultsIncompatibleWithRacecheck`]): an injected bit flip
+//! is not a program access, and letting the injector perturb cells mid-launch
+//! would make flips masquerade as data races.
 
 use std::fmt;
 
@@ -31,20 +40,26 @@ mod sealed {
     pub trait Sealed {}
     impl Sealed for super::Instrumented {}
     impl Sealed for super::Fast {}
+    impl Sealed for super::Racecheck {}
 }
 
 /// Compile-time execution profile selector.
 ///
-/// Implemented only by the two marker types [`Instrumented`] and [`Fast`]
-/// (the trait is sealed). Code that is generic over `P: ExecutionProfile`
-/// gates accounting work on [`ExecutionProfile::INSTRUMENTED`]; because the
-/// flag is an associated `const`, each instantiation monomorphizes to either
-/// the fully-instrumented body or a body with the accounting compiled out —
-/// no per-access branching survives in the `Fast` instantiation.
+/// Implemented only by the marker types [`Instrumented`], [`Fast`], and
+/// [`Racecheck`] (the trait is sealed). Code that is generic over
+/// `P: ExecutionProfile` gates accounting work on
+/// [`ExecutionProfile::INSTRUMENTED`] and hazard detection on
+/// [`ExecutionProfile::RACECHECK`]; because the flags are associated
+/// `const`s, each instantiation monomorphizes to a body with the unused
+/// machinery compiled out — no per-access branching survives in the `Fast`
+/// instantiation.
 pub trait ExecutionProfile: sealed::Sealed + Send + Sync + 'static {
     /// Whether this profile records counters, runs the cycle model, and
     /// participates in fault injection.
     const INSTRUMENTED: bool;
+    /// Whether this profile routes memory accesses through the
+    /// happens-before race detector ([`crate::racecheck`]).
+    const RACECHECK: bool = false;
     /// The runtime selector value corresponding to this marker type.
     const PROFILE: Profile;
 }
@@ -63,6 +78,17 @@ pub struct Instrumented;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Fast;
 
+/// Marker type for the hazard-detecting profile: everything [`Instrumented`]
+/// records stays on (counters, cycle model, thrust interception), and every
+/// global-buffer / shared-arena access is additionally checked against the
+/// per-launch shadow state of [`crate::racecheck`]. Kernel results remain
+/// bit-identical to [`Instrumented`]; detected races surface as
+/// [`crate::RaceReport`]s on [`crate::MetricsReport::races`]. Fault
+/// injection is unavailable (see
+/// [`ConfigError::FaultsIncompatibleWithRacecheck`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Racecheck;
+
 impl ExecutionProfile for Instrumented {
     const INSTRUMENTED: bool = true;
     const PROFILE: Profile = Profile::Instrumented;
@@ -71,6 +97,12 @@ impl ExecutionProfile for Instrumented {
 impl ExecutionProfile for Fast {
     const INSTRUMENTED: bool = false;
     const PROFILE: Profile = Profile::Fast;
+}
+
+impl ExecutionProfile for Racecheck {
+    const INSTRUMENTED: bool = true;
+    const RACECHECK: bool = true;
+    const PROFILE: Profile = Profile::Racecheck;
 }
 
 /// Runtime profile selector carried by [`crate::DeviceConfig`]. Drivers
@@ -83,28 +115,39 @@ pub enum Profile {
     Instrumented,
     /// Accounting compiled out; semantics only.
     Fast,
+    /// Full observability plus happens-before race detection.
+    Racecheck,
 }
 
 impl Profile {
-    /// True for [`Profile::Instrumented`].
+    /// True for the profiles that record counters and run the cycle model:
+    /// [`Profile::Instrumented`] and [`Profile::Racecheck`].
     pub fn is_instrumented(self) -> bool {
-        matches!(self, Profile::Instrumented)
+        matches!(self, Profile::Instrumented | Profile::Racecheck)
     }
 
-    /// Parses `"instrumented"` or `"fast"` (case-insensitive).
+    /// True for [`Profile::Racecheck`].
+    pub fn is_racecheck(self) -> bool {
+        matches!(self, Profile::Racecheck)
+    }
+
+    /// Parses `"instrumented"`, `"fast"`, or `"racecheck"`
+    /// (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "instrumented" => Some(Profile::Instrumented),
             "fast" => Some(Profile::Fast),
+            "racecheck" => Some(Profile::Racecheck),
             _ => None,
         }
     }
 
     /// Profile selected by the `CD_GPUSIM_PROFILE` environment variable
-    /// (`instrumented` | `fast`), defaulting to [`Profile::Instrumented`]
-    /// when unset or unparseable. [`crate::DeviceConfig`] constructors consult
-    /// this so a whole test suite can be re-run under `Fast` without code
-    /// changes (CI does exactly that).
+    /// (`instrumented` | `fast` | `racecheck`), defaulting to
+    /// [`Profile::Instrumented`] when unset or unparseable.
+    /// [`crate::DeviceConfig`] constructors consult this so a whole test
+    /// suite can be re-run under another profile without code changes (CI
+    /// does exactly that for all three).
     pub fn from_env() -> Self {
         std::env::var("CD_GPUSIM_PROFILE").ok().and_then(|v| Self::parse(&v)).unwrap_or_default()
     }
@@ -115,6 +158,7 @@ impl fmt::Display for Profile {
         match self {
             Profile::Instrumented => write!(f, "instrumented"),
             Profile::Fast => write!(f, "fast"),
+            Profile::Racecheck => write!(f, "racecheck"),
         }
     }
 }
@@ -128,6 +172,13 @@ pub enum ConfigError {
     /// in the instrumented launch path, so faults require
     /// [`Profile::Instrumented`].
     FaultsRequireInstrumented,
+    /// An active [`crate::FaultPlan`] was combined with
+    /// [`Profile::Racecheck`]. An injected bit flip is not a program access:
+    /// the injector's writes bypass the shadow state by construction, so a
+    /// flipped cell would diverge from its shadow history and any detection
+    /// scrub that re-reads it could misattribute the corruption as a data
+    /// race. The combination is rejected up front instead.
+    FaultsIncompatibleWithRacecheck,
 }
 
 impl fmt::Display for ConfigError {
@@ -137,6 +188,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "fault injection requires the instrumented profile: \
                  an active FaultPlan cannot be combined with Profile::Fast"
+            ),
+            ConfigError::FaultsIncompatibleWithRacecheck => write!(
+                f,
+                "fault injection is incompatible with the racecheck profile: \
+                 injected bit flips are not program accesses and would \
+                 masquerade as data races"
             ),
         }
     }
@@ -149,10 +206,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_accepts_both_profiles_case_insensitively() {
+    fn parse_accepts_all_profiles_case_insensitively() {
         assert_eq!(Profile::parse("fast"), Some(Profile::Fast));
         assert_eq!(Profile::parse("FAST"), Some(Profile::Fast));
         assert_eq!(Profile::parse("Instrumented"), Some(Profile::Instrumented));
+        assert_eq!(Profile::parse("racecheck"), Some(Profile::Racecheck));
+        assert_eq!(Profile::parse("RaceCheck"), Some(Profile::Racecheck));
         assert_eq!(Profile::parse("turbo"), None);
     }
 
@@ -160,14 +219,28 @@ mod tests {
     fn marker_constants_match_runtime_selectors() {
         const { assert!(Instrumented::INSTRUMENTED) };
         const { assert!(!Fast::INSTRUMENTED) };
+        const { assert!(Racecheck::INSTRUMENTED) };
+        const { assert!(Racecheck::RACECHECK) };
+        const { assert!(!Instrumented::RACECHECK) };
+        const { assert!(!Fast::RACECHECK) };
         assert_eq!(Instrumented::PROFILE, Profile::Instrumented);
         assert_eq!(Fast::PROFILE, Profile::Fast);
+        assert_eq!(Racecheck::PROFILE, Profile::Racecheck);
         assert_eq!(Profile::default(), Profile::Instrumented);
     }
 
     #[test]
+    fn racecheck_counts_as_instrumented_but_is_distinguishable() {
+        assert!(Profile::Racecheck.is_instrumented());
+        assert!(Profile::Racecheck.is_racecheck());
+        assert!(!Profile::Instrumented.is_racecheck());
+        assert!(!Profile::Fast.is_racecheck());
+        assert!(!Profile::Fast.is_instrumented());
+    }
+
+    #[test]
     fn display_round_trips_through_parse() {
-        for p in [Profile::Instrumented, Profile::Fast] {
+        for p in [Profile::Instrumented, Profile::Fast, Profile::Racecheck] {
             assert_eq!(Profile::parse(&p.to_string()), Some(p));
         }
     }

@@ -1,0 +1,650 @@
+//! Happens-before hazard detection for the [`crate::Racecheck`] profile.
+//!
+//! The simulator executes thread groups in lockstep and serializes the tasks
+//! of a block, so a kernel with a *missing* `barrier()` or an unsynchronized
+//! plain store still computes the right answer here while being racy on real
+//! hardware. This module is the simulator's analogue of
+//! `cuda-memcheck --tool racecheck`: under [`Profile::Racecheck`] every
+//! global-buffer access and every cooperative hash-table access is routed
+//! through a per-launch shadow state that records, per memory cell, who
+//! touched it last and at which barrier epoch, and flags conflicting pairs
+//! that no synchronization orders.
+//!
+//! # The happens-before model
+//!
+//! Each access carries an identity `(block, actor, epoch)`:
+//!
+//! * `block` is the physical block executing the access.
+//! * `actor` is the logical hardware thread the access is attributed to.
+//!   For global memory that is the group (one per task in grouped launches,
+//!   one per thread in thread launches, the whole block when a single group
+//!   spans it). For the shared table arena it is the *warp* of the simulated
+//!   lane, because Kepler-era warps execute in lockstep and the paper's
+//!   kernels rely on that implicit intra-warp ordering.
+//! * `epoch` is the block's barrier counter: [`advance_epoch`] is called by
+//!   `GroupCtx::barrier()` (and by block-wide collectives, which are
+//!   `__syncthreads`-based reductions on hardware).
+//!
+//! Two accesses to the same cell are **ordered** iff they come from the same
+//! `(block, actor)` (program order) or from the same block with the earlier
+//! access at a strictly lower epoch (a barrier intervened). Every other pair
+//! is concurrent on real hardware; concurrent pairs whose kinds conflict are
+//! reported. The conflict matrix differs by space:
+//!
+//! * **Global memory**: plain-write vs. anything, and atomic vs. plain-write,
+//!   conflict (violation classes *inter-block*, *intra-block*, *atomic-mix*).
+//!   Atomic-vs-plain-*read* is allowed: the simulator's plain loads are
+//!   word-sized relaxed atomic loads, matching how the paper's kernels read
+//!   `atomicAdd`-maintained counters after a launch-level sync.
+//! * **Shared arena** (the per-block hash tables): stricter, like
+//!   `racecheck` on shared memory — only read-read and atomic-atomic pairs
+//!   are allowed. In particular an atomic fill followed by a plain scan with
+//!   no intervening barrier is flagged: that is precisely the missing
+//!   `__syncthreads` between the fill and extraction phases of PAPER.md §4.
+//!
+//! Violations surface as typed [`RaceReport`]s on [`crate::MetricsReport`]
+//! (never a panic): each names the kernel, the buffer's allocation site, the
+//! cell index, and both access sites, deduplicated by site pair so a sweep
+//! over a large buffer yields one actionable report, with the raw event
+//! count kept alongside.
+//!
+//! [`Profile::Racecheck`]: crate::Profile::Racecheck
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lanes that execute in lockstep on the modelled hardware: conflicts within
+/// one warp of a cooperative group are ordered by the shared program counter.
+const WARP_LOCKSTEP: usize = 32;
+
+/// Shadow-map shards per launch (accesses hash to a shard by cell identity,
+/// so blocks mostly lock disjoint shards).
+const SHARDS: usize = 64;
+
+/// Distinct reports kept per launch; further events only bump the counter.
+const MAX_REPORTS_PER_LAUNCH: usize = 64;
+
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Returns a fresh process-unique shadow object id. Every trackable memory
+/// object (global buffer or hash-table arena) takes one at construction so
+/// shadow cells never alias across objects, including recycled pool
+/// allocations.
+pub fn next_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How an access touched a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Plain (non-atomic) load.
+    Read,
+    /// Plain (non-atomic) store.
+    Write,
+    /// Atomic read-modify-write (`atomicAdd`, `atomicCAS`, `atomicMin`).
+    Atomic,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Atomic => write!(f, "atomic"),
+        }
+    }
+}
+
+/// Which memory space a report concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// A `Global{U32,U64,F64}` device buffer.
+    Global,
+    /// A cooperative per-block hash-table arena (shared memory on hardware).
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => write!(f, "global"),
+            MemSpace::Shared => write!(f, "shared"),
+        }
+    }
+}
+
+/// The hazard class of a detected race, mirroring the three violation
+/// classes of the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceClass {
+    /// Conflicting plain accesses from different actors of one block with no
+    /// intervening barrier — a missing `__syncthreads` on hardware.
+    IntraBlock,
+    /// Conflicting plain accesses from different blocks within one kernel
+    /// launch — nothing short of a kernel boundary orders these.
+    InterBlock,
+    /// Mixed atomic / non-atomic access to the same cell — the plain access
+    /// tears or is torn by the RMW on hardware.
+    AtomicMix,
+}
+
+impl fmt::Display for RaceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceClass::IntraBlock => write!(f, "intra-block hazard (missing barrier)"),
+            RaceClass::InterBlock => write!(f, "inter-block hazard"),
+            RaceClass::AtomicMix => write!(f, "mixed atomic/plain access"),
+        }
+    }
+}
+
+/// One side of a conflicting pair: who accessed the cell, how, and where in
+/// the source.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessSite {
+    /// Physical block that performed the access.
+    pub block: usize,
+    /// Logical actor within the launch (group/thread for global memory, warp
+    /// for the shared arena).
+    pub actor: usize,
+    /// The block's barrier epoch at the time of the access.
+    pub epoch: u64,
+    /// Access kind.
+    pub kind: AccessKind,
+    /// Source location of the access.
+    pub site: &'static Location<'static>,
+}
+
+/// A detected data race: two accesses to the same cell that real hardware
+/// would not order, at least one of which is hazardous under the space's
+/// conflict matrix.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Kernel whose launch produced the conflict.
+    pub kernel: String,
+    /// Memory space of the cell.
+    pub space: MemSpace,
+    /// Shadow object id of the buffer/arena (see [`next_object_id`]).
+    pub object: u64,
+    /// Source location where the buffer/arena was allocated.
+    pub origin: &'static Location<'static>,
+    /// Cell index within the object (element index for buffers, slot index
+    /// for hash tables).
+    pub index: usize,
+    /// Hazard class.
+    pub class: RaceClass,
+    /// The earlier of the two conflicting accesses.
+    pub first: AccessSite,
+    /// The later of the two conflicting accesses.
+    pub second: AccessSite,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in kernel `{}` on {} object #{} (allocated at {}) index {}: \
+             {} by block {} actor {} (epoch {}) at {} is unordered against \
+             {} by block {} actor {} (epoch {}) at {}",
+            self.class,
+            self.kernel,
+            self.space,
+            self.object,
+            self.origin,
+            self.index,
+            self.first.kind,
+            self.first.block,
+            self.first.actor,
+            self.first.epoch,
+            self.first.site,
+            self.second.kind,
+            self.second.block,
+            self.second.actor,
+            self.second.epoch,
+            self.second.site,
+        )
+    }
+}
+
+/// Per-cell shadow: the most recent plain write, the most recent atomic, and
+/// the last two plain reads from distinct actors (two slots so one actor's
+/// own re-read cannot evict the read a later writer must be checked
+/// against — a documented approximation, not a full vector clock).
+#[derive(Clone, Copy, Debug, Default)]
+struct CellShadow {
+    last_write: Option<AccessSite>,
+    last_atomic: Option<AccessSite>,
+    reads: [Option<AccessSite>; 2],
+}
+
+/// True when nothing orders `prior` before `cur` on real hardware.
+fn unordered(prior: &AccessSite, cur: &AccessSite) -> bool {
+    if prior.block != cur.block {
+        return true; // only the launch boundary orders distinct blocks
+    }
+    if prior.actor == cur.actor {
+        return false; // program order on one hardware thread (or warp)
+    }
+    prior.epoch >= cur.epoch // no barrier between them
+}
+
+/// Whether an unordered pair of kinds is hazardous in `space`.
+fn kinds_conflict(space: MemSpace, a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    match space {
+        // Plain writes conflict with everything; atomics additionally
+        // conflict with plain writes. Atomic-vs-read is tolerated (plain
+        // loads are word-sized relaxed atomic loads in the simulator).
+        MemSpace::Global => matches!((a, b), (Write, _) | (_, Write)),
+        // Shared-arena rule is strict: only R-R and A-A are safe.
+        MemSpace::Shared => !matches!((a, b), (Read, Read) | (Atomic, Atomic)),
+    }
+}
+
+fn classify(prior: &AccessSite, cur: &AccessSite) -> RaceClass {
+    let mixed = (prior.kind == AccessKind::Atomic) != (cur.kind == AccessKind::Atomic);
+    if mixed {
+        RaceClass::AtomicMix
+    } else if prior.block != cur.block {
+        RaceClass::InterBlock
+    } else {
+        RaceClass::IntraBlock
+    }
+}
+
+#[derive(Default)]
+struct ReportSink {
+    /// Dedup key: (object, class, kinds, both sites). Cell indices are
+    /// deliberately excluded so a racy sweep over a large buffer produces
+    /// one report, not thousands.
+    seen: HashSet<(u64, RaceClass, AccessKind, AccessKind, usize, usize)>,
+    reports: Vec<RaceReport>,
+}
+
+/// Shadow state for one kernel launch. Created by the launch path when the
+/// device profile is `Racecheck`, shared by every block of the launch, and
+/// drained into the device-level race log afterwards.
+pub(crate) struct LaunchShadow {
+    kernel: String,
+    shards: Vec<Mutex<HashMap<(u64, u64), CellShadow>>>,
+    sink: Mutex<ReportSink>,
+    events: AtomicU64,
+}
+
+impl LaunchShadow {
+    pub(crate) fn new(kernel: &str) -> Self {
+        Self {
+            kernel: kernel.to_string(),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            sink: Mutex::new(ReportSink::default()),
+            events: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumes the launch's findings: deduplicated reports plus the raw
+    /// count of conflicting pairs observed.
+    pub(crate) fn drain(&self) -> (Vec<RaceReport>, u64) {
+        let reports = std::mem::take(&mut self.sink.lock().expect("racecheck sink").reports);
+        (reports, self.events.load(Ordering::Relaxed))
+    }
+
+    fn record(
+        &self,
+        space: MemSpace,
+        object: u64,
+        origin: &'static Location<'static>,
+        index: usize,
+        cur: AccessSite,
+    ) {
+        let key = (object, index as u64);
+        let shard = (object ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize % SHARDS;
+        let mut map = self.shards[shard].lock().expect("racecheck shard");
+        let cell = map.entry(key).or_default();
+
+        let check = |prior: &AccessSite| {
+            if unordered(prior, &cur) && kinds_conflict(space, prior.kind, cur.kind) {
+                self.report(space, object, origin, index, *prior, cur);
+            }
+        };
+        match cur.kind {
+            AccessKind::Read => {
+                if let Some(w) = &cell.last_write {
+                    check(w);
+                }
+                if space == MemSpace::Shared {
+                    if let Some(a) = &cell.last_atomic {
+                        check(a);
+                    }
+                }
+            }
+            AccessKind::Write => {
+                if let Some(w) = &cell.last_write {
+                    check(w);
+                }
+                if let Some(a) = &cell.last_atomic {
+                    check(a);
+                }
+                for r in cell.reads.iter().flatten() {
+                    check(r);
+                }
+            }
+            AccessKind::Atomic => {
+                if let Some(w) = &cell.last_write {
+                    check(w);
+                }
+                if space == MemSpace::Shared {
+                    for r in cell.reads.iter().flatten() {
+                        check(r);
+                    }
+                }
+            }
+        }
+
+        match cur.kind {
+            AccessKind::Read => {
+                // Keep reads from two distinct actors: overwrite our own
+                // earlier slot first, otherwise rotate.
+                let same = |s: &Option<AccessSite>| {
+                    s.is_some_and(|p| p.block == cur.block && p.actor == cur.actor)
+                };
+                if same(&cell.reads[0]) || cell.reads[0].is_none() {
+                    cell.reads[0] = Some(cur);
+                } else if same(&cell.reads[1]) || cell.reads[1].is_none() {
+                    cell.reads[1] = Some(cur);
+                } else {
+                    cell.reads[0] = cell.reads[1];
+                    cell.reads[1] = Some(cur);
+                }
+            }
+            AccessKind::Write => cell.last_write = Some(cur),
+            AccessKind::Atomic => cell.last_atomic = Some(cur),
+        }
+    }
+
+    fn report(
+        &self,
+        space: MemSpace,
+        object: u64,
+        origin: &'static Location<'static>,
+        index: usize,
+        first: AccessSite,
+        second: AccessSite,
+    ) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let class = classify(&first, &second);
+        let mut sink = self.sink.lock().expect("racecheck sink");
+        let key = (
+            object,
+            class,
+            first.kind,
+            second.kind,
+            first.site as *const _ as usize,
+            second.site as *const _ as usize,
+        );
+        if sink.reports.len() >= MAX_REPORTS_PER_LAUNCH || !sink.seen.insert(key) {
+            return;
+        }
+        sink.reports.push(RaceReport {
+            kernel: self.kernel.clone(),
+            space,
+            object,
+            origin,
+            index,
+            class,
+            first,
+            second,
+        });
+    }
+}
+
+/// Per-block detector context, installed in thread-local storage for the
+/// duration of one block's execution (the launch path serializes or
+/// parallelizes blocks, but each block runs entirely on one host thread).
+struct BlockCtx {
+    shadow: Arc<LaunchShadow>,
+    block: usize,
+    group: Cell<usize>,
+    epoch: Cell<u64>,
+}
+
+thread_local! {
+    static ACTIVE: Cell<*const BlockCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+/// RAII installation of a block's detector context. Restores the previous
+/// (null) context on drop, including during unwinding.
+pub(crate) struct BlockGuard {
+    // Boxed so the pointer published to TLS stays valid if the guard moves.
+    ctx: Box<BlockCtx>,
+    prev: *const BlockCtx,
+}
+
+impl BlockGuard {
+    pub(crate) fn install(shadow: Arc<LaunchShadow>, block: usize) -> Self {
+        let ctx = Box::new(BlockCtx { shadow, block, group: Cell::new(0), epoch: Cell::new(0) });
+        let prev = ACTIVE.with(|a| a.replace(&*ctx as *const BlockCtx));
+        Self { ctx, prev }
+    }
+}
+
+impl Drop for BlockGuard {
+    fn drop(&mut self) {
+        let _ = &self.ctx;
+        ACTIVE.with(|a| a.set(self.prev));
+    }
+}
+
+#[inline]
+fn with_ctx(f: impl FnOnce(&BlockCtx)) {
+    let p = ACTIVE.with(Cell::get);
+    if p.is_null() {
+        return;
+    }
+    // SAFETY: a non-null pointer was published by `BlockGuard::install` on
+    // this thread and stays valid until the guard drops (which nulls it);
+    // recording only happens from kernel code running under that guard.
+    f(unsafe { &*p })
+}
+
+/// Sets the current logical group (the global-memory actor) for subsequent
+/// accesses on this thread. No-op outside a racecheck launch.
+pub(crate) fn set_group(group: usize) {
+    with_ctx(|c| c.group.set(group));
+}
+
+/// Advances the executing block's barrier epoch, ordering all earlier
+/// accesses of the block before all later ones. No-op outside a racecheck
+/// launch.
+pub(crate) fn advance_epoch() {
+    with_ctx(|c| c.epoch.set(c.epoch.get() + 1));
+}
+
+/// Records an access to a global-buffer cell. No-op unless the executing
+/// thread is inside a `Racecheck`-profile launch.
+#[inline]
+pub(crate) fn record_global(
+    object: u64,
+    origin: &'static Location<'static>,
+    index: usize,
+    kind: AccessKind,
+    site: &'static Location<'static>,
+) {
+    with_ctx(|c| {
+        c.shadow.record(
+            MemSpace::Global,
+            object,
+            origin,
+            index,
+            AccessSite { block: c.block, actor: c.group.get(), epoch: c.epoch.get(), kind, site },
+        )
+    });
+}
+
+/// Records an access to a cooperative shared-arena cell (a hash-table slot),
+/// attributed to the warp of the simulated `lane`. Callers should only route
+/// accesses of block-cooperative tables here — per-thread private tables
+/// cannot race and must not be recorded. No-op unless the executing thread
+/// is inside a `Racecheck`-profile launch.
+#[inline]
+pub fn record_shared(
+    object: u64,
+    origin: &'static Location<'static>,
+    index: usize,
+    lane: usize,
+    kind: AccessKind,
+    site: &'static Location<'static>,
+) {
+    with_ctx(|c| {
+        c.shadow.record(
+            MemSpace::Shared,
+            object,
+            origin,
+            index,
+            AccessSite {
+                block: c.block,
+                actor: lane / WARP_LOCKSTEP,
+                epoch: c.epoch.get(),
+                kind,
+                site,
+            },
+        )
+    });
+}
+
+/// True when the executing thread currently has a detector context
+/// installed (i.e. it is running a block of a `Racecheck` launch).
+pub fn is_active() -> bool {
+    !ACTIVE.with(Cell::get).is_null()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    fn acc(block: usize, actor: usize, epoch: u64, kind: AccessKind) -> AccessSite {
+        AccessSite { block, actor, epoch, kind, site: site() }
+    }
+
+    #[test]
+    fn ordering_rules() {
+        use AccessKind::Write;
+        // Different blocks: never ordered.
+        assert!(unordered(&acc(0, 0, 5, Write), &acc(1, 0, 0, Write)));
+        // Same actor: program order.
+        assert!(!unordered(&acc(0, 3, 0, Write), &acc(0, 3, 0, Write)));
+        // Same block, barrier in between: ordered.
+        assert!(!unordered(&acc(0, 0, 0, Write), &acc(0, 1, 1, Write)));
+        // Same block, same epoch, different actors: concurrent.
+        assert!(unordered(&acc(0, 0, 2, Write), &acc(0, 1, 2, Write)));
+    }
+
+    #[test]
+    fn conflict_matrix_is_space_dependent() {
+        use AccessKind::*;
+        for space in [MemSpace::Global, MemSpace::Shared] {
+            assert!(kinds_conflict(space, Write, Write));
+            assert!(kinds_conflict(space, Write, Read));
+            assert!(kinds_conflict(space, Atomic, Write));
+            assert!(!kinds_conflict(space, Read, Read));
+            assert!(!kinds_conflict(space, Atomic, Atomic));
+        }
+        // The fill-then-scan hazard: atomic insert vs. plain extraction read
+        // is a race on shared memory but tolerated on global buffers.
+        assert!(kinds_conflict(MemSpace::Shared, Atomic, Read));
+        assert!(!kinds_conflict(MemSpace::Global, Atomic, Read));
+    }
+
+    #[test]
+    fn shadow_flags_and_dedups_conflicts() {
+        let shadow = LaunchShadow::new("unit");
+        let origin = site();
+        // 100 inter-block write-write pairs on distinct cells, all from the
+        // same pair of source sites: one report, 100 events.
+        for i in 0..100 {
+            shadow.record(MemSpace::Global, 7, origin, i, acc(0, 0, 0, AccessKind::Write));
+            shadow.record(MemSpace::Global, 7, origin, i, acc(1, 0, 0, AccessKind::Write));
+        }
+        let (reports, events) = shadow.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(events, 100);
+        assert_eq!(reports[0].class, RaceClass::InterBlock);
+        assert_eq!(reports[0].object, 7);
+        // The report is printable and names both sides.
+        let text = reports[0].to_string();
+        assert!(text.contains("inter-block"), "{text}");
+        assert!(text.contains("kernel `unit`"), "{text}");
+    }
+
+    #[test]
+    fn barrier_epochs_order_intra_block_phases() {
+        let shadow = LaunchShadow::new("unit");
+        let origin = site();
+        // Write at epoch 0, read by another warp at epoch 1: a barrier
+        // intervened, no race.
+        shadow.record(MemSpace::Shared, 1, origin, 0, acc(0, 0, 0, AccessKind::Write));
+        shadow.record(MemSpace::Shared, 1, origin, 0, acc(0, 1, 1, AccessKind::Read));
+        // Same shape without the barrier: flagged.
+        shadow.record(MemSpace::Shared, 2, origin, 0, acc(0, 0, 1, AccessKind::Write));
+        shadow.record(MemSpace::Shared, 2, origin, 0, acc(0, 1, 1, AccessKind::Read));
+        let (reports, events) = shadow.drain();
+        assert_eq!(events, 1);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].object, 2);
+        assert_eq!(reports[0].class, RaceClass::IntraBlock);
+    }
+
+    #[test]
+    fn atomic_mix_is_classified() {
+        let shadow = LaunchShadow::new("unit");
+        let origin = site();
+        shadow.record(MemSpace::Global, 3, origin, 4, acc(0, 0, 0, AccessKind::Write));
+        shadow.record(MemSpace::Global, 3, origin, 4, acc(0, 1, 0, AccessKind::Atomic));
+        let (reports, _) = shadow.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, RaceClass::AtomicMix);
+    }
+
+    #[test]
+    fn a_second_reader_is_not_evicted_by_the_first_rereading() {
+        let shadow = LaunchShadow::new("unit");
+        let origin = site();
+        // Actor 0 reads, actor 1 reads, actor 0 re-reads (must not evict
+        // actor 1's slot), then actor 0 writes: the write conflicts with
+        // actor 1's read.
+        shadow.record(MemSpace::Global, 9, origin, 0, acc(0, 0, 0, AccessKind::Read));
+        shadow.record(MemSpace::Global, 9, origin, 0, acc(0, 1, 0, AccessKind::Read));
+        shadow.record(MemSpace::Global, 9, origin, 0, acc(0, 0, 0, AccessKind::Read));
+        shadow.record(MemSpace::Global, 9, origin, 0, acc(0, 0, 0, AccessKind::Write));
+        let (reports, _) = shadow.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].first.actor, 1);
+        assert_eq!(reports[0].second.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn recording_without_an_installed_context_is_a_no_op() {
+        assert!(!is_active());
+        record_global(1, site(), 0, AccessKind::Write, site());
+        advance_epoch();
+        set_group(3);
+        // Nothing to observe — the point is that none of the above panics or
+        // leaks state into a later guard install.
+        let shadow = Arc::new(LaunchShadow::new("unit"));
+        {
+            let _g = BlockGuard::install(shadow.clone(), 0);
+            assert!(is_active());
+        }
+        assert!(!is_active());
+        let (reports, events) = shadow.drain();
+        assert!(reports.is_empty());
+        assert_eq!(events, 0);
+    }
+}

@@ -82,6 +82,20 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
                 if i == 0 || j == 0 || i > n || j > n {
                     return Err(parse_err(lineno, "index out of range (MatrixMarket is 1-based)"));
                 }
+                // The spec requires symmetric files to store only the lower
+                // triangle (row >= col). An upper-triangle entry is either a
+                // corrupt file or a general matrix mislabeled symmetric; if
+                // both (i,j) and (j,i) were present we would silently double
+                // every off-diagonal weight, so reject instead of guessing.
+                if symmetric && i < j {
+                    return Err(parse_err(
+                        lineno,
+                        format!(
+                            "entry ({i}, {j}) above the diagonal in a symmetric \
+                             matrix: symmetric files must store the lower triangle"
+                        ),
+                    ));
+                }
                 let w = w.abs();
                 if w > 0.0 {
                     // In a general matrix both (i,j) and (j,i) may appear;
@@ -89,7 +103,6 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, IoError> {
                     b.as_mut().unwrap().add_edge((i - 1) as VertexId, (j - 1) as VertexId, w);
                 }
                 remaining -= 1;
-                let _ = symmetric; // symmetric files list the lower triangle once — already handled.
             }
         }
     }
@@ -177,6 +190,59 @@ mod tests {
         write_matrix_market(&g, &mut buf).unwrap();
         let g2 = read_matrix_market(&buf[..]).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn symmetric_lower_triangle_matches_general_expansion() {
+        // The same matrix once as a symmetric lower triangle and once as a
+        // general matrix listing each undirected edge once (in the opposite
+        // orientation, which symmetric files would reject) must parse to the
+        // identical graph. Listing *both* triangles in a general file would
+        // instead double off-diagonal weights (A + Aᵀ) — exactly the
+        // corruption the symmetric lower-triangle check guards against.
+        let sym = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   4 4 5\n\
+                   2 1 1.5\n\
+                   3 1 0.25\n\
+                   4 2 2.0\n\
+                   3 3 4.0\n\
+                   4 3 0.5\n";
+        let gen = "%%MatrixMarket matrix coordinate real general\n\
+                   4 4 5\n\
+                   1 2 1.5\n\
+                   1 3 0.25\n\
+                   2 4 2.0\n\
+                   3 3 4.0\n\
+                   3 4 0.5\n";
+        let gs = read_matrix_market(sym.as_bytes()).unwrap();
+        let gg = read_matrix_market(gen.as_bytes()).unwrap();
+        assert_eq!(gs, gg);
+    }
+
+    #[test]
+    fn symmetric_rejects_upper_triangle_entries() {
+        // (1, 2) sits above the diagonal: illegal in a symmetric file, and
+        // accepting it would double off-diagonal weights whenever a file
+        // stores both triangles.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 2\n\
+                    1 2 1.0\n\
+                    3 1 2.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("lower triangle"), "unexpected error: {msg}");
+        assert!(msg.contains("(1, 2)"), "error should name the entry: {msg}");
+        // The same entries under `general` are fine.
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 2\n\
+                    1 2 1.0\n\
+                    3 1 2.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_ok());
+        // Diagonal entries remain legal in symmetric files.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 1\n\
+                    2 2 3.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_ok());
     }
 
     #[test]
