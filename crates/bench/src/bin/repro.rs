@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|large] [--out DIR]
-//!                    [--profile instrumented|fast]
+//!                    [--profile instrumented|fast] [--clients N]
 //!
 //! experiments:
 //!   table1    graphs, sequential vs GPU times and modularity
@@ -25,6 +25,10 @@
 //!   backend   Fast vs Instrumented execution profiles (BENCH_backend.json)
 //!   racecheck full-pipeline hazard sweep under the race detector
 //!             (BENCH_racecheck.json; exits nonzero on any hazard)
+//!   serve     closed-loop load test of the cd-serve service: seeded suite
+//!             trace at --clients concurrency, replayed twice
+//!             (BENCH_serve.json; exits nonzero on any lost/duplicated job,
+//!             failed run, or nondeterministic replay)
 //!   all       everything above
 //! ```
 //!
@@ -43,7 +47,7 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 4] = ["backend", "buckets", "multigpu", "racecheck"];
+const FAST_SAFE: [&str; 5] = ["backend", "buckets", "multigpu", "racecheck", "serve"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +59,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("results");
     let mut profile = Profile::from_env();
+    let mut clients = 4usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +78,15 @@ fn main() {
                 let v = args.get(i).unwrap_or_else(|| die("--profile needs a value"));
                 profile = Profile::parse(v)
                     .unwrap_or_else(|| die("profile must be instrumented|fast|racecheck"));
+            }
+            "--clients" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--clients needs a value"));
+                clients = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .unwrap_or_else(|| die("--clients must be a positive integer"));
             }
             other => die(&format!("unknown argument '{other}'")),
         }
@@ -113,6 +127,7 @@ fn main() {
         "opt-bench" => experiments::opt_snapshot(scale, &out),
         "backend" => experiments::backend_snapshot(scale, &out),
         "racecheck" => experiments::racecheck_sweep(scale, &out),
+        "serve" => experiments::serve_snapshot(scale, &out, clients),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -131,6 +146,7 @@ fn main() {
             experiments::opt_snapshot(scale, &out);
             experiments::backend_snapshot(scale, &out);
             experiments::racecheck_sweep(scale, &out);
+            experiments::serve_snapshot(scale, &out, clients);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -140,10 +156,11 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, all\n\
+         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck] [--clients N]\n\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
-         default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented"
+         default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\
+         --clients sets the serve load generator's concurrency (default 4)"
     );
 }
 

@@ -20,7 +20,10 @@ fn comparison_subset() -> Vec<&'static WorkloadSpec> {
 }
 
 fn build(spec: &WorkloadSpec, scale: Scale) -> BuiltWorkload {
-    spec.build(scale)
+    // Route through the shared loader (the same path `repro serve` and the
+    // service load generator use) so every consumer resolves names and
+    // builds graphs identically.
+    cd_workloads::load(spec.name, scale).expect("suite specs resolve by name")
 }
 
 /// The paper's adaptive switch sits at 100k vertices, *below every graph in
@@ -1160,6 +1163,205 @@ pub fn racecheck_sweep(scale: Scale, out: &Path) {
     }
     if !(clean && all_identical) {
         eprintln!("error: racecheck sweep found hazards or divergent backends (see above)");
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve` — the serving layer under closed-loop load. Replays the
+/// seeded suite trace twice against two fresh servers at the requested
+/// client concurrency, aggregates per-workload outcomes, and gates on the
+/// service invariants: no lost or duplicated jobs, bit-identical results
+/// per content key (cache/coalescing identity), and replay determinism
+/// (equal semantic digests across the two runs).
+pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
+    use cd_serve::{run_trace, LatencyStats, Server, ServerConfig, TraceConfig, TraceReport};
+    use std::collections::HashMap;
+
+    let clients = clients.max(1);
+    let mut trace = TraceConfig::suite(scale);
+    trace.clients = clients;
+    trace.base.config = gpu_cfg(scale);
+
+    let replay = || -> TraceReport {
+        let mut server = Server::new(ServerConfig {
+            queue_capacity: 64,
+            workers: clients,
+            ..ServerConfig::default()
+        });
+        let report = run_trace(&server, &trace).expect("suite workload names resolve");
+        server.shutdown();
+        report
+    };
+    println!(
+        "serve: {} clients × {} jobs ({} workloads × pruning × {} duplicates × {} passes), \
+         replay 1/2 …",
+        clients,
+        trace.workloads.len() * 2 * trace.duplicates * trace.passes,
+        trace.workloads.len(),
+        trace.duplicates,
+        trace.passes,
+    );
+    let a = replay();
+    println!("serve: replay 2/2 (determinism check) …");
+    let b = replay();
+
+    let deterministic = a.result_digest() == b.result_digest();
+    let consistent = a.results_consistent() && b.results_consistent();
+
+    // Aggregate replay 1 per content key (workload, pruning).
+    #[derive(Default)]
+    struct KeyAgg {
+        jobs: usize,
+        computed: usize,
+        cache_hits: usize,
+        coalesced: usize,
+        q_bits: Option<u64>,
+        labels: Option<u64>,
+        latency_ms: Vec<f64>,
+    }
+    let mut per_key: HashMap<(&str, bool), KeyAgg> = HashMap::new();
+    for r in &a.records {
+        let agg = per_key.entry((r.workload.as_str(), r.pruning)).or_default();
+        agg.jobs += 1;
+        match r.path {
+            "cache-hit" => agg.cache_hits += 1,
+            "coalesced" => agg.coalesced += 1,
+            "-" => {}
+            _ => agg.computed += 1,
+        }
+        agg.q_bits = agg.q_bits.or(r.modularity_bits);
+        agg.labels = agg.labels.or(r.labels_hash);
+        agg.latency_ms.push(r.latency.as_secs_f64() * 1e3);
+    }
+
+    let mut t = Table::new(
+        format!("repro serve — closed-loop suite trace (scale: {scale:?}, clients: {clients})"),
+        &[
+            "graph",
+            "pruning",
+            "jobs",
+            "computed",
+            "cache-hit",
+            "coalesced",
+            "Q",
+            "labels",
+            "mean-lat[ms]",
+        ],
+    );
+    for name in &trace.workloads {
+        for pruning in [false, true] {
+            let Some(agg) = per_key.get(&(name.as_str(), pruning)) else { continue };
+            let mean_ms = agg.latency_ms.iter().sum::<f64>() / agg.latency_ms.len().max(1) as f64;
+            t.row(vec![
+                name.clone(),
+                pruning.to_string(),
+                agg.jobs.to_string(),
+                agg.computed.to_string(),
+                agg.cache_hits.to_string(),
+                agg.coalesced.to_string(),
+                agg.q_bits.map_or("-".into(), |bits| format!("{:.6}", f64::from_bits(bits))),
+                agg.labels.map_or("-".into(), |h| format!("{h:016x}")),
+                format!("{mean_ms:.2}"),
+            ]);
+        }
+    }
+    t.print();
+    let _ = t.save_csv(out, "serve_trace");
+
+    let m = &a.metrics;
+    println!(
+        "serve: {} jobs in {:.2}s ({:.1} jobs/s); {} computed runs, {} cache hits, \
+         {} coalesced (reuse {:.0}%); lost {} / duplicated {}; {}",
+        a.records.len(),
+        a.wall.as_secs_f64(),
+        a.throughput(),
+        m.cache.misses,
+        m.cache.hits,
+        m.cache.coalesced,
+        m.cache.reuse_rate() * 100.0,
+        a.lost,
+        a.duplicated,
+        if deterministic { "replays bit-identical" } else { "REPLAYS DIVERGED" },
+    );
+
+    let lat_json = |l: &LatencyStats| {
+        format!(
+            "{{ \"count\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"max_ms\": {:.3} }}",
+            l.count, l.mean_ms, l.p50_ms, l.p90_ms, l.p99_ms, l.max_ms
+        )
+    };
+    let failed = m.failed + b.metrics.failed;
+    let ok = a.lost == 0
+        && b.lost == 0
+        && a.duplicated == 0
+        && b.duplicated == 0
+        && consistent
+        && deterministic
+        && failed == 0;
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_snapshot\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"device\": \"tesla_k40m\",\n  \"config\": {{\n    \"clients\": {clients},\n    \
+         \"workers\": {clients},\n    \"queue_capacity\": 64,\n    \"num_devices\": 4,\n    \
+         \"passes\": {passes},\n    \"duplicates\": {dups},\n    \"seed\": {seed}\n  }},\n  \
+         \"totals\": {{\n    \"jobs\": {jobs},\n    \"submitted\": {submitted},\n    \
+         \"completed\": {completed},\n    \"failed\": {failed},\n    \
+         \"cancelled\": {cancelled},\n    \"expired\": {expired},\n    \
+         \"queue_full_retries\": {retries},\n    \"pooled_jobs\": {pooled},\n    \
+         \"degraded_jobs\": {degraded},\n    \"lost\": {lost},\n    \
+         \"duplicated\": {duplicated}\n  }},\n  \
+         \"throughput_jobs_per_s\": {tput:.3},\n  \"wall_s\": {wall:.3},\n  \
+         \"latency\": {{\n    \"queue_wait\": {qw},\n    \"exec\": {ex},\n    \
+         \"total\": {tot}\n  }},\n  \"cache\": {{\n    \"hits\": {hits},\n    \
+         \"misses\": {misses},\n    \"coalesced\": {coal},\n    \
+         \"hit_rate\": {hit_rate:.4},\n    \"reuse_rate\": {reuse_rate:.4},\n    \
+         \"insertions\": {ins},\n    \"evictions\": {evi},\n    \
+         \"entries\": {entries},\n    \"bytes\": {bytes}\n  }},\n  \
+         \"max_queue_depth\": {mqd},\n  \"max_in_flight\": {mif},\n  \
+         \"results_consistent\": {consistent},\n  \"deterministic\": {deterministic},\n  \
+         \"ok\": {ok}\n}}\n",
+        passes = trace.passes,
+        dups = trace.duplicates,
+        seed = trace.seed,
+        jobs = a.records.len(),
+        submitted = m.submitted,
+        completed = m.completed,
+        cancelled = m.cancelled,
+        expired = m.expired,
+        retries = a.records.iter().map(|r| r.retries).sum::<u64>(),
+        pooled = m.pooled_jobs,
+        degraded = m.degraded_jobs,
+        lost = a.lost,
+        duplicated = a.duplicated,
+        tput = a.throughput(),
+        wall = a.wall.as_secs_f64(),
+        qw = lat_json(&m.queue_wait),
+        ex = lat_json(&m.exec),
+        tot = lat_json(&m.total),
+        hits = m.cache.hits,
+        misses = m.cache.misses,
+        coal = m.cache.coalesced,
+        hit_rate = m.cache.hit_rate(),
+        reuse_rate = m.cache.reuse_rate(),
+        ins = m.cache.insertions,
+        evi = m.cache.evictions,
+        entries = m.cache_entries,
+        bytes = m.cache_bytes,
+        mqd = m.max_queue_depth,
+        mif = m.max_in_flight,
+    );
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!("SERVE VERDICT: {}", if ok { "clean" } else { "VIOLATIONS" });
+    if !ok {
+        eprintln!(
+            "error: serve trace violated a service invariant \
+             (lost/duplicated jobs, failed runs, inconsistent or nondeterministic results)"
+        );
         std::process::exit(1);
     }
 }

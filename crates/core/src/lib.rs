@@ -45,8 +45,8 @@ pub use config::{
 pub use dev_graph::DeviceGraph;
 pub use hashtable::TableOverflow;
 pub use louvain::{
-    estimated_device_bytes, louvain_gpu, louvain_gpu_with_schedule, GpuLouvainError,
-    GpuLouvainResult, GpuStageStats,
+    estimated_device_bytes, louvain_gpu, louvain_gpu_gated, louvain_gpu_with_schedule,
+    GpuLouvainError, GpuLouvainResult, GpuStageStats, StageAbort, StageCheckpoint,
 };
 pub use modopt::{modularity_optimization, OptOutcome};
 pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult, RecoveryAction};

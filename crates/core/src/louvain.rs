@@ -73,6 +73,50 @@ pub enum GpuLouvainError {
         /// The last transient error observed.
         cause: Box<GpuLouvainError>,
     },
+    /// A stage-checkpoint gate aborted the run ([`louvain_gpu_gated`]) —
+    /// cooperative cancellation or a deadline expiring between stages.
+    /// Permanent by definition: the abort came from outside the device.
+    Aborted {
+        /// Index of the stage whose checkpoint tripped the gate (= stages
+        /// completed before the abort).
+        stage: usize,
+        /// Why the gate aborted.
+        reason: StageAbort,
+    },
+}
+
+/// Why a [`louvain_gpu_gated`] stage checkpoint aborted a run. The driver's
+/// stage boundaries are its natural cancellation points: every stage input is
+/// host-resident and immutable (the same property the retry machinery uses),
+/// so an abort between stages leaves nothing to unwind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageAbort {
+    /// The submitter asked for the run to stop.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for StageAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageAbort::Cancelled => write!(f, "cancelled by the submitter"),
+            StageAbort::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// What a stage gate sees at each checkpoint: which stage is about to run
+/// and how large its input graph is (contraction shrinks it every stage, so
+/// a gate can also estimate remaining work).
+#[derive(Debug, Clone, Copy)]
+pub struct StageCheckpoint {
+    /// Zero-based index of the stage about to run.
+    pub stage: usize,
+    /// Vertices of the stage's input graph.
+    pub num_vertices: usize,
+    /// Adjacency entries of the stage's input graph.
+    pub num_arcs: usize,
 }
 
 impl GpuLouvainError {
@@ -119,11 +163,27 @@ impl std::fmt::Display for GpuLouvainError {
             GpuLouvainError::StageFailed { stage, attempts, cause } => {
                 write!(f, "stage {stage} failed after {attempts} attempts: {cause}")
             }
+            GpuLouvainError::Aborted { stage, reason } => {
+                write!(f, "run aborted at the stage {stage} checkpoint: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for GpuLouvainError {}
+impl std::error::Error for GpuLouvainError {
+    /// The causal chain behind the error, so service-boundary logging (e.g.
+    /// `cd-serve`) can walk to the root cause: the rejected
+    /// [`cd_gpusim::ConfigError`], the failed launch, or the transient error
+    /// that exhausted a stage's retry budget.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuLouvainError::Config(e) => Some(e),
+            GpuLouvainError::Launch(e) => Some(e),
+            GpuLouvainError::StageFailed { cause, .. } => Some(&**cause),
+            _ => None,
+        }
+    }
+}
 
 impl From<LaunchError> for GpuLouvainError {
     fn from(e: LaunchError) -> Self {
@@ -238,6 +298,23 @@ pub fn louvain_gpu_with_schedule(
     cfg: &GpuLouvainConfig,
     schedule: &ThresholdSchedule,
 ) -> Result<GpuLouvainResult, GpuLouvainError> {
+    louvain_gpu_gated(dev, graph, cfg, schedule, &mut |_| Ok(()))
+}
+
+/// [`louvain_gpu_with_schedule`] with a *stage gate*: a callback invoked at
+/// every stage checkpoint (before the stage runs) that may abort the run.
+/// This is the hook a serving layer uses for cooperative cancellation and
+/// deadline expiry — the checkpoints are the same host-resident stage
+/// boundaries the retry machinery re-runs from, so an abort never leaves
+/// partial device state behind. An aborting gate surfaces as
+/// [`GpuLouvainError::Aborted`] carrying the checkpoint's stage index.
+pub fn louvain_gpu_gated(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    schedule: &ThresholdSchedule,
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
     if graph.num_vertices() >= u32::MAX as usize {
         return Err(GpuLouvainError::TooManyVertices(graph.num_vertices()));
     }
@@ -258,6 +335,14 @@ pub fn louvain_gpu_with_schedule(
     };
 
     while stages.len() < cfg.max_stages {
+        let checkpoint = StageCheckpoint {
+            stage: stages.len(),
+            num_vertices: current.num_vertices(),
+            num_arcs: current.num_arcs(),
+        };
+        if let Err(reason) = gate(&checkpoint) {
+            return Err(GpuLouvainError::Aborted { stage: checkpoint.stage, reason });
+        }
         let threshold = schedule.threshold_for(current.num_vertices());
 
         let StageRun { outcome, agg, opt_time, agg_time } =
@@ -496,6 +581,90 @@ mod tests {
         }
         // The same graph fits a K40m-sized device.
         assert!(estimated_device_bytes(&big) < DeviceConfig::tesla_k40m().global_mem_bytes);
+    }
+
+    #[test]
+    fn error_source_exposes_the_causal_chain() {
+        use std::error::Error as _;
+        let config = GpuLouvainError::Config(cd_gpusim::ConfigError::FaultsRequireInstrumented);
+        assert!(config.source().is_some_and(|s| s.is::<cd_gpusim::ConfigError>()));
+        let launch = GpuLouvainError::Launch(LaunchError::KernelAborted {
+            kernel: "compute_move".into(),
+            completed_blocks: 3,
+            total_blocks: 8,
+        });
+        assert!(launch.source().is_some_and(|s| s.is::<LaunchError>()));
+        // StageFailed chains twice: StageFailed -> Launch -> (leaf).
+        let staged =
+            GpuLouvainError::StageFailed { stage: 1, attempts: 3, cause: Box::new(launch.clone()) };
+        let mid = staged.source().expect("stage cause");
+        assert_eq!(mid.to_string(), launch.to_string());
+        assert!(mid.source().is_some_and(|s| s.is::<LaunchError>()));
+        // Leaf errors end the chain.
+        assert!(GpuLouvainError::TooManyVertices(5).source().is_none());
+        assert!(GpuLouvainError::Aborted { stage: 0, reason: StageAbort::Cancelled }
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn gate_abort_before_first_stage() {
+        let g = cliques(4, 8, true);
+        let schedule = ThresholdSchedule::two_level(1e-2, 1e-6, 100_000);
+        let err = louvain_gpu_gated(
+            &dev(),
+            &g,
+            &GpuLouvainConfig::paper_default(),
+            &schedule,
+            &mut |_| Err(StageAbort::Cancelled),
+        )
+        .unwrap_err();
+        assert_eq!(err, GpuLouvainError::Aborted { stage: 0, reason: StageAbort::Cancelled });
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn gate_abort_mid_run_reports_the_checkpoint_stage() {
+        // Abort at the second checkpoint: exactly one stage ran first, and
+        // the checkpoint saw the contracted (smaller) graph.
+        let pg = planted_partition(6, 40, 0.4, 0.01, 3);
+        let n = pg.graph.num_vertices();
+        let schedule = ThresholdSchedule::two_level(1e-2, 1e-6, 100_000);
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let err = louvain_gpu_gated(
+            &dev(),
+            &pg.graph,
+            &GpuLouvainConfig::paper_default(),
+            &schedule,
+            &mut |cp| {
+                seen.push((cp.stage, cp.num_vertices));
+                if cp.stage >= 1 {
+                    Err(StageAbort::DeadlineExceeded)
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GpuLouvainError::Aborted { stage: 1, reason: StageAbort::DeadlineExceeded }
+        );
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, n));
+        assert!(seen[1].1 < n, "second checkpoint must see the contracted graph");
+    }
+
+    #[test]
+    fn noop_gate_matches_ungated_run() {
+        let pg = planted_partition(4, 30, 0.5, 0.02, 7);
+        let cfg = GpuLouvainConfig::paper_default();
+        let schedule =
+            ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, 100_000);
+        let plain = louvain_gpu(&dev(), &pg.graph, &cfg).unwrap();
+        let gated = louvain_gpu_gated(&dev(), &pg.graph, &cfg, &schedule, &mut |_| Ok(())).unwrap();
+        assert_eq!(plain.modularity.to_bits(), gated.modularity.to_bits());
+        assert_eq!(plain.partition.as_slice(), gated.partition.as_slice());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The content-addressed result cache with LRU eviction.
+//!
+//! Completed results are stored under their [`CacheKey`]; a later submission
+//! of the same (graph, options) content is answered from the cache without
+//! touching the queue or a device. Eviction is least-recently-used by a
+//! logical access clock, bounded by a byte budget — the accounting mirrors
+//! the gpusim buffer pool's [`cd_gpusim::PoolStats`] shape (hits, misses,
+//! bytes in/out) so the two reuse layers report alike.
+
+use crate::hash::CacheKey;
+use crate::job::ServeResult;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters of cache behaviour since server start. Monotone; the
+/// point-in-time occupancy lives in [`ResultCache::entries`] /
+/// [`ResultCache::bytes`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Submissions answered from the cache.
+    pub hits: u64,
+    /// Submissions that found no entry (and went on to compute).
+    pub misses: u64,
+    /// Submissions attached to an identical in-flight job instead of
+    /// computing — the in-flight complement of a hit.
+    pub coalesced: u64,
+    /// Results inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes of inserted results.
+    pub bytes_inserted: u64,
+    /// Bytes reclaimed by eviction.
+    pub bytes_evicted: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over cache lookups (hits + misses); coalesced submissions
+    /// never reached the lookup, so they are excluded, like the pool's
+    /// definition.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of all submissions served without computing (hit or
+    /// coalesced).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    result: Arc<ServeResult>,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// Approximate retained size of a cached result: the label array dominates;
+/// the constant covers the modularity, stage count, and map overhead.
+fn result_bytes(result: &ServeResult) -> usize {
+    result.partition.as_slice().len() * 4 + 64
+}
+
+/// A bounded LRU map from content address to shared result.
+pub struct ResultCache {
+    entries: HashMap<CacheKey, Entry>,
+    capacity_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache bounded by `capacity_bytes`. A zero capacity disables
+    /// caching (every insert evicts immediately to an empty set, so lookups
+    /// always miss).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity_bytes,
+            bytes: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a key, counting a hit or miss and refreshing recency on hit.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<ServeResult>> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_use = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.result))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a submission that coalesced onto an in-flight job.
+    pub fn note_coalesced(&mut self) {
+        self.stats.coalesced += 1;
+    }
+
+    /// Inserts a freshly computed result, evicting least-recently-used
+    /// entries until the byte budget holds. Re-inserting an existing key
+    /// replaces the entry (the results are bit-identical anyway).
+    pub fn insert(&mut self, key: CacheKey, result: Arc<ServeResult>) {
+        let bytes = result_bytes(&result);
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        self.stats.insertions += 1;
+        self.stats.bytes_inserted += bytes as u64;
+        self.entries.insert(key, Entry { result, bytes, last_use: self.clock });
+        self.bytes += bytes;
+        while self.bytes > self.capacity_bytes && !self.entries.is_empty() {
+            // Full scan for the LRU victim: entry counts here are the number
+            // of distinct workloads, not the number of requests, so O(n)
+            // eviction is far from the service hot path.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache has an LRU entry");
+            let evicted = self.entries.remove(&victim).expect("victim came from the map");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += evicted.bytes as u64;
+        }
+    }
+
+    /// Number of cached results.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current retained bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_graph::Partition;
+
+    fn result(n: usize) -> Arc<ServeResult> {
+        Arc::new(ServeResult {
+            partition: Partition::from_vec(vec![0; n]),
+            modularity: 0.5,
+            stages: 1,
+        })
+    }
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey { graph: i, options: 0 }
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c = ResultCache::new(1 << 20);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), result(10));
+        let got = c.lookup(&key(1)).expect("inserted entry hits");
+        assert_eq!(got.partition.as_slice().len(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        // Each 100-label entry costs 464 bytes; budget fits two.
+        let mut c = ResultCache::new(1000);
+        c.insert(key(1), result(100));
+        c.insert(key(2), result(100));
+        assert!(c.lookup(&key(1)).is_some()); // refresh 1 → victim becomes 2
+        c.insert(key(3), result(100));
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(2)).is_none());
+        assert!(c.lookup(&key(3)).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes_evicted, 464);
+        assert!(c.bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1), result(10));
+        assert_eq!(c.entries(), 0);
+        assert!(c.lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = ResultCache::new(1 << 20);
+        c.insert(key(1), result(10));
+        let before = c.bytes();
+        c.insert(key(1), result(10));
+        assert_eq!(c.bytes(), before);
+        assert_eq!(c.entries(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Content addressing: structural hashes of graphs and job options.
+//!
+//! The result cache is keyed by *content*, not identity — two submissions of
+//! structurally equal graphs with semantically equal options share a key no
+//! matter where the `Csr` values came from. The hash is FNV-1a over the CSR
+//! arrays (offsets, targets, weight bit patterns) plus every
+//! result-affecting option field. Scheduling-only fields (priority,
+//! deadline) are deliberately left out: they change *when* a job runs, never
+//! *what* it computes.
+
+use crate::job::JobOptions;
+use cd_core::{HashPlacement, ThreadAssignment, UpdateStrategy};
+use cd_gpusim::Profile;
+use cd_graph::Csr;
+
+/// 64-bit FNV-1a, the same construction gpusim uses for fault-plan seeding:
+/// tiny, dependency-free, and stable across platforms.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to 64 bits (stable across word sizes).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern — exact, so two configs hash equal
+    /// iff their floats are bit-identical, matching the bit-identity the
+    /// cache promises.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Structural hash of a CSR graph: vertex count, offsets, targets, and
+/// weight bit patterns. Equal CSRs hash equal; the converse holds up to
+/// 64-bit collision odds, which is the usual content-addressing bargain.
+pub fn structural_hash(graph: &Csr) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(graph.num_vertices());
+    for &o in graph.offsets() {
+        h.write_usize(o);
+    }
+    for &t in graph.targets() {
+        h.write_u64(t as u64);
+    }
+    for &w in graph.weights() {
+        h.write_f64(w);
+    }
+    h.finish()
+}
+
+/// Hash of every result-affecting field of [`JobOptions`]: the full
+/// algorithm configuration plus the execution profile.
+///
+/// The profile is included even though backend equivalence says profiles
+/// agree on labels and Q — the cache promises *bit-identity with what a
+/// fresh run under the submitted options would produce*, and keeping
+/// profiles in separate cache lines makes that claim structural rather than
+/// dependent on the equivalence theorem holding forever.
+pub fn options_hash(options: &JobOptions) -> u64 {
+    let cfg = &options.config;
+    let mut h = Fnv1a::new();
+    h.write_f64(cfg.threshold_bin);
+    h.write_f64(cfg.threshold_final);
+    h.write_usize(cfg.size_limit);
+    h.write_f64(cfg.stage_threshold);
+    h.write_u64(match cfg.update_strategy {
+        UpdateStrategy::PerBucket => 0,
+        UpdateStrategy::Relaxed => 1,
+    });
+    h.write_u64(match cfg.hash_placement {
+        HashPlacement::Auto => 0,
+        HashPlacement::ForceGlobal => 1,
+    });
+    h.write_u64(match cfg.assignment {
+        ThreadAssignment::DegreeBinned => 0,
+        ThreadAssignment::NodeCentric => 1,
+    });
+    h.write_usize(cfg.max_iterations);
+    h.write_usize(cfg.max_stages);
+    h.write_usize(cfg.global_bucket_blocks);
+    h.write_u64(cfg.pruning as u64);
+    h.write_usize(cfg.resync_interval);
+    // Retry policy cannot change a fault-free run's result, but it is part
+    // of the configuration a degraded/faulty deployment observes; keep it.
+    h.write_usize(cfg.retry.max_attempts);
+    h.write_u64(cfg.retry.backoff_base.as_nanos() as u64);
+    h.write_u64(cfg.retry.backoff_multiplier as u64);
+    h.write_u64(match options.profile {
+        Profile::Instrumented => 0,
+        Profile::Fast => 1,
+        Profile::Racecheck => 2,
+    });
+    h.finish()
+}
+
+/// The content address of a (graph, options) pair — the key of the result
+/// cache and of in-flight coalescing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`structural_hash`] of the input graph.
+    pub graph: u64,
+    /// [`options_hash`] of the result-affecting options.
+    pub options: u64,
+}
+
+impl CacheKey {
+    /// Computes the key for a submission.
+    pub fn compute(graph: &Csr, options: &JobOptions) -> Self {
+        Self { graph: structural_hash(graph), options: options_hash(options) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use cd_graph::{Csr, GraphBuilder, VertexId};
+    use std::time::Duration;
+
+    fn ring(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            b.add_edge(v as VertexId, ((v + 1) % n) as VertexId, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn structural_hash_is_content_addressed() {
+        // Two independently built but structurally equal graphs share a hash.
+        assert_eq!(structural_hash(&ring(16)), structural_hash(&ring(16)));
+        assert_ne!(structural_hash(&ring(16)), structural_hash(&ring(17)));
+
+        // A weight change flips the hash even when topology is unchanged.
+        let mut b = GraphBuilder::new(16);
+        for v in 0..16u32 {
+            b.add_edge(v, (v + 1) % 16, if v == 3 { 2.0 } else { 1.0 });
+        }
+        assert_ne!(structural_hash(&ring(16)), structural_hash(&b.build()));
+    }
+
+    #[test]
+    fn options_hash_separates_semantic_from_scheduling() {
+        let base = JobOptions::default();
+
+        // Scheduling knobs do not move the key.
+        let scheduled = base.with_priority(Priority::High).with_deadline(Duration::from_millis(5));
+        assert_eq!(options_hash(&base), options_hash(&scheduled));
+
+        // Semantic knobs do.
+        assert_ne!(options_hash(&base), options_hash(&base.with_pruning(true)));
+        assert_ne!(options_hash(&base), options_hash(&base.with_profile(Profile::Racecheck)));
+    }
+
+    #[test]
+    fn cache_key_combines_both_axes() {
+        let g = ring(12);
+        let a = CacheKey::compute(&g, &JobOptions::default());
+        let b = CacheKey::compute(&g, &JobOptions::default().with_pruning(true));
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(a.options, b.options);
+        assert_ne!(a, b);
+    }
+}

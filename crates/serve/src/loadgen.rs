@@ -1,0 +1,329 @@
+//! Closed-loop load generation: a seeded arrival trace over the workload
+//! suite, replayed by N concurrent clients against a [`Server`].
+//!
+//! *Closed-loop* means each client submits, awaits the outcome, then
+//! submits its next job — offered load adapts to service rate, so the
+//! generator measures the service, not its own queueing. The trace (job
+//! order, option mix, priorities) is a pure function of
+//! [`TraceConfig::seed`]: replaying the same config against two fresh
+//! servers must produce identical results job-for-job, which is exactly
+//! what the `repro serve` determinism check does — it compares the
+//! [`TraceReport::result_digest`] of two replays.
+
+use crate::hash::Fnv1a;
+use crate::job::{JobOptions, JobOutcome, JobStatus, Priority, Rejected};
+use crate::metrics::ServeMetrics;
+use crate::server::Server;
+use cd_graph::Csr;
+use cd_workloads::{Scale, UnknownWorkload, SUITE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Parameters of a synthetic arrival trace.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Seed of everything random in the trace (order, priorities).
+    pub seed: u64,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Times the per-pass job list is replayed. With the default 2, the
+    /// second pass exercises the content-addressed cache end to end.
+    pub passes: usize,
+    /// Copies of each distinct job per pass. With the default 2, identical
+    /// jobs land close together and exercise in-flight coalescing.
+    pub duplicates: usize,
+    /// Scale every workload is built at.
+    pub scale: Scale,
+    /// Workload names (defaults to the whole suite).
+    pub workloads: Vec<String>,
+    /// Options every job starts from (profile, thresholds, …).
+    pub base: JobOptions,
+    /// Submit each workload both with and without pruning, doubling the
+    /// distinct-key count.
+    pub vary_pruning: bool,
+}
+
+impl TraceConfig {
+    /// The default trace at a given scale: the full suite, 4 clients,
+    /// 2 passes × 2 duplicates, pruning varied.
+    pub fn suite(scale: Scale) -> Self {
+        Self {
+            seed: 0x5eed_cafe,
+            clients: 4,
+            passes: 2,
+            duplicates: 2,
+            scale,
+            workloads: SUITE.iter().map(|w| w.name.to_string()).collect(),
+            base: JobOptions::default(),
+            vary_pruning: true,
+        }
+    }
+}
+
+/// One planned submission of the trace.
+#[derive(Clone, Debug)]
+struct PlannedJob {
+    workload: usize,
+    pruning: bool,
+    priority: Priority,
+}
+
+/// What one job of the trace did, recorded at its trace position.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Whether pruning was on.
+    pub pruning: bool,
+    /// Priority the trace assigned.
+    pub priority: Priority,
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Execution-path label (`"cache-hit"`, `"coalesced"`, `"single"`, …);
+    /// `"-"` for non-completed jobs.
+    pub path: &'static str,
+    /// Modularity bit pattern, when completed.
+    pub modularity_bits: Option<u64>,
+    /// FNV-1a over the result's community labels, when completed.
+    pub labels_hash: Option<u64>,
+    /// Submission → terminal latency.
+    pub latency: Duration,
+    /// `QueueFull` rejections absorbed before this job was admitted.
+    pub retries: u64,
+}
+
+/// Everything a trace replay produced.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Per-job records, in trace order (index = trace position).
+    pub records: Vec<JobRecord>,
+    /// Wall time of the replay.
+    pub wall: Duration,
+    /// Server metrics snapshot taken at the end of the replay.
+    pub metrics: ServeMetrics,
+    /// Trace positions that never produced a record (must be 0).
+    pub lost: usize,
+    /// Job ids appearing more than once across records (must be 0).
+    pub duplicated: usize,
+}
+
+impl TraceReport {
+    /// FNV-1a digest over the *semantic* outcome of every trace position:
+    /// workload, pruning, status, modularity bits, labels hash. Timing and
+    /// execution path are excluded — they legitimately vary run to run —
+    /// so two replays of the same seeded trace must produce equal digests.
+    pub fn result_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for r in &self.records {
+            h.write_bytes(r.workload.as_bytes());
+            h.write_u64(r.pruning as u64);
+            h.write_u64(r.status as u64);
+            h.write_u64(r.modularity_bits.unwrap_or(0));
+            h.write_u64(r.labels_hash.unwrap_or(0));
+        }
+        h.finish()
+    }
+
+    /// True when every record sharing a (workload, pruning) key reports
+    /// bit-identical modularity and labels — the cache/coalescing
+    /// bit-identity guarantee, checked across the whole replay.
+    pub fn results_consistent(&self) -> bool {
+        let mut seen: HashMap<(&str, bool), (u64, u64)> = HashMap::new();
+        for r in &self.records {
+            let (Some(m), Some(l)) = (r.modularity_bits, r.labels_hash) else { continue };
+            match seen.entry((r.workload.as_str(), r.pruning)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((m, l));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != (m, l) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Completed records.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.status == JobStatus::Completed).count()
+    }
+
+    /// Jobs per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.records.len() as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// FNV-1a over a partition's labels.
+pub fn labels_fnv(labels: &[u32]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &l in labels {
+        h.write_u64(l as u64);
+    }
+    h.finish()
+}
+
+/// Expands, seeds, and shuffles the trace into its submission order.
+/// Deterministic in `cfg` alone.
+fn plan(cfg: &TraceConfig) -> Vec<PlannedJob> {
+    let mut jobs = Vec::new();
+    for pass in 0..cfg.passes {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (pass as u64).wrapping_mul(0x9e37_79b9));
+        let mut pass_jobs = Vec::new();
+        for (wi, _) in cfg.workloads.iter().enumerate() {
+            let variants: &[bool] = if cfg.vary_pruning { &[false, true] } else { &[false] };
+            for &pruning in variants {
+                for _ in 0..cfg.duplicates.max(1) {
+                    pass_jobs.push(PlannedJob {
+                        workload: wi,
+                        pruning,
+                        priority: Priority::Normal,
+                    });
+                }
+            }
+        }
+        // Fisher–Yates (the vendored rand has no shuffle adaptor).
+        for i in (1..pass_jobs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pass_jobs.swap(i, j);
+        }
+        for job in &mut pass_jobs {
+            job.priority = Priority::ALL[rng.gen_range(0..Priority::ALL.len())];
+        }
+        jobs.extend(pass_jobs);
+    }
+    jobs
+}
+
+/// Builds every workload the trace references, once, shared across jobs.
+fn build_graphs(cfg: &TraceConfig) -> Result<Vec<Arc<Csr>>, UnknownWorkload> {
+    cfg.workloads
+        .iter()
+        .map(|name| cd_workloads::load(name, cfg.scale).map(|w| Arc::new(w.graph)))
+        .collect()
+}
+
+/// Replays the trace against `server` with `cfg.clients` concurrent
+/// closed-loop clients and collects the per-job records.
+///
+/// `QueueFull` rejections are retried (closed-loop clients back off and
+/// resubmit — the job is not lost, and the retry count is recorded);
+/// `ShuttingDown` and `TooManyVertices` terminate the client's job with no
+/// record, surfacing as `lost`.
+pub fn run_trace(server: &Server, cfg: &TraceConfig) -> Result<TraceReport, UnknownWorkload> {
+    let planned = plan(cfg);
+    let graphs = build_graphs(cfg)?;
+    let records: Mutex<Vec<Option<JobRecord>>> = Mutex::new(vec![None; planned.len()]);
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients.max(1) {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(job) = planned.get(idx) else { return };
+                let graph = Arc::clone(&graphs[job.workload]);
+                let options = cfg.base.with_pruning(job.pruning).with_priority(job.priority);
+                let submitted = Instant::now();
+                let mut retries = 0u64;
+                let id = loop {
+                    match server.submit(Arc::clone(&graph), options) {
+                        Ok(id) => break id,
+                        Err(Rejected::QueueFull { .. }) => {
+                            retries += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(_) => return,
+                    }
+                };
+                let outcome = server.await_result(id);
+                let (path, modularity_bits, labels_hash) = match &outcome {
+                    JobOutcome::Completed { result, path } => (
+                        path.label(),
+                        Some(result.modularity.to_bits()),
+                        Some(labels_fnv(result.partition.as_slice())),
+                    ),
+                    _ => ("-", None, None),
+                };
+                let record = JobRecord {
+                    workload: cfg.workloads[job.workload].clone(),
+                    pruning: job.pruning,
+                    priority: job.priority,
+                    job_id: id.as_u64(),
+                    status: outcome.status(),
+                    path,
+                    modularity_bits,
+                    labels_hash,
+                    latency: submitted.elapsed(),
+                    retries,
+                };
+                records.lock().unwrap_or_else(|p| p.into_inner())[idx] = Some(record);
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let slots = records.into_inner().unwrap_or_else(|p| p.into_inner());
+    let lost = slots.iter().filter(|r| r.is_none()).count();
+    let records: Vec<JobRecord> = slots.into_iter().flatten().collect();
+    let mut ids: Vec<u64> = records.iter().map(|r| r.job_id).collect();
+    ids.sort_unstable();
+    let unique = {
+        let mut v = ids.clone();
+        v.dedup();
+        v.len()
+    };
+    let duplicated = ids.len() - unique;
+    Ok(TraceReport { records, wall, metrics: server.metrics(), lost, duplicated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> TraceConfig {
+        TraceConfig {
+            workloads: vec!["road-usa".into(), "com-dblp".into()],
+            ..TraceConfig::suite(Scale::Tiny)
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_complete() {
+        let cfg = tiny_cfg();
+        let a = plan(&cfg);
+        let b = plan(&cfg);
+        // 2 workloads × 2 pruning × 2 duplicates × 2 passes.
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.workload, x.pruning, x.priority), (y.workload, y.pruning, y.priority));
+        }
+        // A different seed reorders.
+        let other = plan(&TraceConfig { seed: 99, ..cfg });
+        assert!(a
+            .iter()
+            .zip(&other)
+            .any(|(x, y)| (x.workload, x.pruning) != (y.workload, y.pruning)));
+    }
+
+    #[test]
+    fn unknown_workload_is_reported() {
+        let cfg = TraceConfig {
+            workloads: vec!["no-such-graph".into()],
+            ..TraceConfig::suite(Scale::Tiny)
+        };
+        assert!(build_graphs(&cfg).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Service observability: counters, latency distributions, and the
+//! [`ServeMetrics`] snapshot the load generator serialises into
+//! `BENCH_serve.json`.
+
+use crate::cache::CacheStats;
+use crate::scheduler::DeviceSlotStats;
+use std::time::Duration;
+
+/// Summary statistics of a latency sample set, in milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes the summary of `samples` (milliseconds). Percentiles use the
+    /// nearest-rank method on the sorted samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |q: f64| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        Self {
+            count: sorted.len(),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: rank(0.50),
+            p90_ms: rank(0.90),
+            p99_ms: rank(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Mutable counter state the server updates as jobs move through their
+/// lifecycle; snapshotted into [`ServeMetrics`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MetricsState {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub expired: u64,
+    pub pooled_jobs: u64,
+    pub degraded_jobs: u64,
+    pub in_flight: usize,
+    pub max_in_flight: usize,
+    /// Milliseconds each job spent queued (admission → placement).
+    pub queue_wait_ms: Vec<f64>,
+    /// Milliseconds each producing run spent executing.
+    pub exec_ms: Vec<f64>,
+    /// Milliseconds submission → terminal state, every job.
+    pub total_ms: Vec<f64>,
+}
+
+impl MetricsState {
+    pub(crate) fn record_queue_wait(&mut self, d: Duration) {
+        self.queue_wait_ms.push(d.as_secs_f64() * 1e3);
+    }
+
+    pub(crate) fn record_exec(&mut self, d: Duration) {
+        self.exec_ms.push(d.as_secs_f64() * 1e3);
+    }
+
+    pub(crate) fn record_total(&mut self, d: Duration) {
+        self.total_ms.push(d.as_secs_f64() * 1e3);
+    }
+}
+
+/// A point-in-time snapshot of everything the service counts, returned by
+/// [`crate::Server::metrics`].
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Jobs admitted (assigned an id), including coalesced and cache-hit
+    /// submissions.
+    pub submitted: u64,
+    /// Submissions refused at the door ([`crate::Rejected`]).
+    pub rejected: u64,
+    /// Jobs that reached [`crate::JobStatus::Completed`].
+    pub completed: u64,
+    /// Jobs that reached [`crate::JobStatus::Failed`].
+    pub failed: u64,
+    /// Jobs that reached [`crate::JobStatus::Cancelled`].
+    pub cancelled: u64,
+    /// Jobs that reached [`crate::JobStatus::Expired`].
+    pub expired: u64,
+    /// Jobs that ran the exclusive multi-device path.
+    pub pooled_jobs: u64,
+    /// Pooled jobs whose recovery log shows sequential degradation.
+    pub degraded_jobs: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Jobs currently executing on the pool.
+    pub in_flight: usize,
+    /// High-water mark of concurrent executions.
+    pub max_in_flight: usize,
+    /// Queue-wait latency (admission → placement) of placed jobs.
+    pub queue_wait: LatencyStats,
+    /// Execution latency of producing runs.
+    pub exec: LatencyStats,
+    /// End-to-end latency (submission → terminal state) of all jobs.
+    pub total: LatencyStats,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Live cache bytes.
+    pub cache_bytes: usize,
+    /// Per-device-slot accounting.
+    pub devices: Vec<DeviceSlotStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p90_ms, 90.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_handles_empty_and_single() {
+        assert_eq!(LatencyStats::from_samples(&[]).count, 0);
+        let one = LatencyStats::from_samples(&[7.0]);
+        assert_eq!((one.p50_ms, one.p99_ms, one.max_ms), (7.0, 7.0, 7.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! The bounded, priority-aware submission queue — the admission-control
+//! half of the server.
+//!
+//! The queue admits at most `capacity` jobs; a submit beyond that is the
+//! caller's explicit [`crate::Rejected::QueueFull`] backpressure signal.
+//! Dequeue order is strict priority, FIFO (by job id, i.e. submission
+//! order) within a class — deterministic for any fixed submission sequence.
+
+use crate::job::{JobId, Priority};
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct QueuedJob {
+    priority: Priority,
+    id: JobId,
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then the *lower* (earlier) id.
+        self.priority.cmp(&other.priority).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded priority queue of admitted job ids.
+pub struct SubmissionQueue {
+    heap: BinaryHeap<QueuedJob>,
+    capacity: usize,
+    max_depth: usize,
+}
+
+impl SubmissionQueue {
+    /// An empty queue admitting at most `capacity` jobs (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::new(), capacity: capacity.max(1), max_depth: 0 }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// True when another job can be admitted.
+    pub fn has_room(&self) -> bool {
+        self.heap.len() < self.capacity
+    }
+
+    /// Enqueues an admitted job. Returns `false` (and drops nothing — the
+    /// caller still owns the job) when the queue is full.
+    pub fn push(&mut self, id: JobId, priority: Priority) -> bool {
+        if !self.has_room() {
+            return false;
+        }
+        self.heap.push(QueuedJob { priority, id });
+        self.max_depth = self.max_depth.max(self.heap.len());
+        true
+    }
+
+    /// Re-enqueues a job the server already owns — a popped head whose
+    /// placement must wait, or a coalesced follower promoted to leader.
+    /// Exempt from the capacity bound: admission control applies to new
+    /// submissions, not to jobs admitted earlier. Because ordering within a
+    /// priority class is by id, a pushed-back job keeps its queue position.
+    pub fn push_promoted(&mut self, id: JobId, priority: Priority) {
+        self.heap.push(QueuedJob { priority, id });
+        self.max_depth = self.max_depth.max(self.heap.len());
+    }
+
+    /// Removes and returns the next job: highest priority, earliest
+    /// submission within the class.
+    pub fn pop(&mut self) -> Option<JobId> {
+        self.heap.pop().map(|q| q.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dequeues_by_priority_then_submission_order() {
+        let mut q = SubmissionQueue::new(8);
+        assert!(q.push(JobId(0), Priority::Low));
+        assert!(q.push(JobId(1), Priority::High));
+        assert!(q.push(JobId(2), Priority::Normal));
+        assert!(q.push(JobId(3), Priority::High));
+        assert!(q.push(JobId(4), Priority::Normal));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|id| id.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn bounded_admission() {
+        let mut q = SubmissionQueue::new(2);
+        assert!(q.push(JobId(0), Priority::Normal));
+        assert!(q.push(JobId(1), Priority::Normal));
+        assert!(!q.push(JobId(2), Priority::High), "full queue rejects even high priority");
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert!(q.push(JobId(2), Priority::High), "room after a dequeue");
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut q = SubmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(JobId(0), Priority::Normal));
+        assert!(!q.push(JobId(1), Priority::Normal));
+    }
+}

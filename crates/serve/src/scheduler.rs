@@ -1,0 +1,210 @@
+//! The device-pool scheduler: placement of jobs onto N simulated devices by
+//! estimated memory footprint.
+//!
+//! Each pool slot models one accelerator with `global_mem_bytes` of device
+//! memory. A job's footprint is [`cd_core::estimated_device_bytes`] — the
+//! same accounting the driver's out-of-memory check uses, so a placement the
+//! scheduler accepts is one the device will not immediately reject. Jobs
+//! that fit a single device are placed best-fit (most free bytes, lowest
+//! index on ties — deterministic). Jobs too large for any device take the
+//! pooled path: an exclusive reservation of the whole pool for a
+//! coarse-grained multi-device run ([`cd_core::louvain_multi_gpu`]), which
+//! brings its own failover/degradation ladder.
+
+use cd_gpusim::DeviceConfig;
+
+/// Where the scheduler decided a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// One device slot, identified by pool index.
+    Single(usize),
+    /// The whole pool, exclusively (multi-device path).
+    Pooled,
+}
+
+/// Per-slot accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceSlotStats {
+    /// Jobs completed on this slot (single-device placements only).
+    pub jobs_completed: u64,
+    /// Bytes currently reserved by in-flight placements.
+    pub bytes_in_use: usize,
+    /// In-flight single-device jobs on the slot.
+    pub in_flight: usize,
+}
+
+struct Slot {
+    capacity_bytes: usize,
+    bytes_in_use: usize,
+    in_flight: usize,
+    jobs_completed: u64,
+}
+
+/// A pool of N simulated device slots with footprint-based placement.
+///
+/// The pool tracks *reservations*, not `Device` objects: the server builds a
+/// fresh `Device` per placement (with the job's profile), so results are a
+/// pure function of (graph, options) rather than of scheduling history —
+/// the root of the service's determinism guarantee.
+pub struct DevicePool {
+    slots: Vec<Slot>,
+    device: DeviceConfig,
+    pooled_reserved: bool,
+    pooled_jobs: u64,
+}
+
+impl DevicePool {
+    /// A pool of `num_devices` slots (at least 1) of the given device model.
+    pub fn new(num_devices: usize, device: DeviceConfig) -> Self {
+        let n = num_devices.max(1);
+        let slots = (0..n)
+            .map(|_| Slot {
+                capacity_bytes: device.global_mem_bytes,
+                bytes_in_use: 0,
+                in_flight: 0,
+                jobs_completed: 0,
+            })
+            .collect();
+        Self { slots, device, pooled_reserved: false, pooled_jobs: 0 }
+    }
+
+    /// Number of device slots.
+    pub fn num_devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The device model shared by every slot.
+    pub fn device_config(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// True when `footprint` can never fit a single device of this pool.
+    pub fn needs_pool(&self, footprint: usize) -> bool {
+        footprint > self.device.global_mem_bytes
+    }
+
+    /// Attempts to reserve capacity for a job of `footprint` bytes.
+    ///
+    /// Returns `None` when nothing can be reserved *right now* (the caller
+    /// waits for a release); the pool never rejects a job permanently —
+    /// oversized jobs queue for the exclusive pooled path.
+    pub fn try_place(&mut self, footprint: usize) -> Option<Placement> {
+        if self.pooled_reserved {
+            // An exclusive multi-device run owns every slot.
+            return None;
+        }
+        if self.needs_pool(footprint) {
+            // Whole-pool reservation requires every slot idle.
+            if self.slots.iter().all(|s| s.in_flight == 0) {
+                self.pooled_reserved = true;
+                return Some(Placement::Pooled);
+            }
+            return None;
+        }
+        // Best fit: the slot with the most free bytes takes the job (spreads
+        // load); ties resolve to the lowest index (determinism).
+        let best = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.capacity_bytes - s.bytes_in_use >= footprint)
+            .max_by_key(|(i, s)| (s.capacity_bytes - s.bytes_in_use, usize::MAX - i))?
+            .0;
+        self.slots[best].bytes_in_use += footprint;
+        self.slots[best].in_flight += 1;
+        Some(Placement::Single(best))
+    }
+
+    /// Releases a reservation made by [`Self::try_place`].
+    pub fn release(&mut self, placement: Placement, footprint: usize) {
+        match placement {
+            Placement::Single(i) => {
+                let slot = &mut self.slots[i];
+                slot.bytes_in_use = slot.bytes_in_use.saturating_sub(footprint);
+                slot.in_flight = slot.in_flight.saturating_sub(1);
+                slot.jobs_completed += 1;
+            }
+            Placement::Pooled => {
+                self.pooled_reserved = false;
+                self.pooled_jobs += 1;
+            }
+        }
+    }
+
+    /// Jobs that took the exclusive pooled path.
+    pub fn pooled_jobs(&self) -> u64 {
+        self.pooled_jobs
+    }
+
+    /// Point-in-time per-slot stats.
+    pub fn slot_stats(&self) -> Vec<DeviceSlotStats> {
+        self.slots
+            .iter()
+            .map(|s| DeviceSlotStats {
+                jobs_completed: s.jobs_completed,
+                bytes_in_use: s.bytes_in_use,
+                in_flight: s.in_flight,
+            })
+            .collect()
+    }
+
+    /// Total in-flight placements (single + the pooled reservation).
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().map(|s| s.in_flight).sum::<usize>() + usize::from(self.pooled_reserved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize, mem: usize) -> DevicePool {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.global_mem_bytes = mem;
+        DevicePool::new(n, cfg)
+    }
+
+    #[test]
+    fn best_fit_spreads_and_ties_break_low() {
+        let mut p = pool(3, 100);
+        // All empty: tie → slot 0.
+        assert_eq!(p.try_place(40), Some(Placement::Single(0)));
+        // Slots 1 and 2 now have the most free bytes; tie → slot 1.
+        assert_eq!(p.try_place(40), Some(Placement::Single(1)));
+        assert_eq!(p.try_place(40), Some(Placement::Single(2)));
+        // Every slot has 60 free: lowest index again, stacking two jobs.
+        assert_eq!(p.try_place(40), Some(Placement::Single(0)));
+        assert_eq!(p.in_flight(), 4);
+        p.release(Placement::Single(0), 40);
+        assert_eq!(p.slot_stats()[0].jobs_completed, 1);
+    }
+
+    #[test]
+    fn full_slots_defer_rather_than_reject() {
+        let mut p = pool(1, 100);
+        assert_eq!(p.try_place(80), Some(Placement::Single(0)));
+        assert_eq!(p.try_place(80), None, "no room now, caller waits");
+        p.release(Placement::Single(0), 80);
+        assert_eq!(p.try_place(80), Some(Placement::Single(0)));
+    }
+
+    #[test]
+    fn oversized_jobs_take_the_pool_exclusively() {
+        let mut p = pool(2, 100);
+        assert!(p.needs_pool(150));
+        assert_eq!(p.try_place(150), Some(Placement::Pooled));
+        assert_eq!(p.try_place(10), None, "pooled run owns every slot");
+        p.release(Placement::Pooled, 150);
+        assert_eq!(p.pooled_jobs(), 1);
+        assert_eq!(p.try_place(10), Some(Placement::Single(0)));
+    }
+
+    #[test]
+    fn pooled_waits_for_idle_pool() {
+        let mut p = pool(2, 100);
+        assert_eq!(p.try_place(10), Some(Placement::Single(0)));
+        assert_eq!(p.try_place(150), None, "busy slot blocks the exclusive reservation");
+        p.release(Placement::Single(0), 10);
+        assert_eq!(p.try_place(150), Some(Placement::Pooled));
+    }
+}

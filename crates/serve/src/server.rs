@@ -1,0 +1,638 @@
+//! The service itself: submission, admission control, the worker loop, and
+//! job lifecycle management.
+//!
+//! ## Concurrency model
+//!
+//! One mutex guards all server state (queue, device pool, cache, job table);
+//! two condition variables signal "work may be runnable" (`work_cv`: new
+//! submission, placement capacity released) and "a job reached a terminal
+//! state" (`done_cv`). Kernel execution happens *outside* the lock — the
+//! lock scopes are bookkeeping only, so N workers genuinely overlap their
+//! simulated runs.
+//!
+//! ## Determinism
+//!
+//! A job's result is a pure function of its (graph, options) content:
+//! every placement builds a *fresh* `Device` with the job's profile, so no
+//! simulator state leaks between jobs, and the kernels themselves are
+//! deterministic. Scheduling order decides only *when* and *where* a job
+//! runs — never what it computes. Coalescing and the content-addressed
+//! cache then guarantee each distinct content key is computed at most once,
+//! with every requester handed the same `Arc` — reuse is bit-identical by
+//! construction.
+//!
+//! ## Cancellation and deadlines
+//!
+//! Both are cooperative, observed at checkpoints: the dequeue checkpoint
+//! (between queue and device) and every stage checkpoint of the gated
+//! driver ([`cd_core::louvain_gpu_gated`]). A run is never interrupted
+//! mid-stage — aborts land on the same host-resident stage boundaries the
+//! retry machinery uses, so no partial device state can escape. The pooled
+//! multi-device path has no stage gate; pooled jobs observe cancellation
+//! only at the dequeue checkpoint.
+
+use crate::cache::ResultCache;
+use crate::hash::CacheKey;
+use crate::job::{ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Rejected, ServeResult};
+use crate::metrics::{LatencyStats, MetricsState, ServeMetrics};
+use crate::queue::SubmissionQueue;
+use crate::scheduler::{DevicePool, Placement};
+use cd_core::{
+    estimated_device_bytes, louvain_gpu_gated, louvain_multi_gpu, GpuLouvainError, MultiGpuConfig,
+    RecoveryAction, StageAbort, ThresholdSchedule,
+};
+use cd_gpusim::{Device, DeviceConfig};
+use cd_graph::Csr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bound of the submission queue ([`Rejected::QueueFull`] beyond it).
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs. `0` selects *manual mode*: no threads
+    /// are spawned and the caller drives execution with
+    /// [`Server::process_one`] — the fully deterministic single-threaded
+    /// mode the lifecycle tests use.
+    pub workers: usize,
+    /// Device slots in the pool.
+    pub num_devices: usize,
+    /// Device model of every slot; each job's device is built fresh from
+    /// this with the job's own profile.
+    pub device: DeviceConfig,
+    /// Byte budget of the content-addressed result cache (0 disables it).
+    pub cache_bytes: usize,
+    /// Whether the pooled multi-device path may degrade to the sequential
+    /// host baseline when no healthy device can take a block.
+    pub sequential_fallback: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            workers: 4,
+            num_devices: 4,
+            device: DeviceConfig::tesla_k40m(),
+            cache_bytes: 64 << 20,
+            sequential_fallback: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A small deterministic configuration for tests: manual mode, two
+    /// K40m-model devices, a small queue. (The gpusim `test_tiny` model is
+    /// unusable here — its 1 KiB shared memory rejects the real kernels.)
+    pub fn test_manual() -> Self {
+        Self {
+            queue_capacity: 16,
+            workers: 0,
+            num_devices: 2,
+            device: DeviceConfig::tesla_k40m(),
+            cache_bytes: 1 << 20,
+            sequential_fallback: true,
+        }
+    }
+}
+
+struct JobState {
+    graph: Arc<Csr>,
+    options: JobOptions,
+    key: CacheKey,
+    footprint: usize,
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+    cancel: Arc<AtomicBool>,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// The coalescing record of one in-flight content key: the job that will
+/// compute it and everyone waiting to share the result.
+struct InFlight {
+    leader: JobId,
+    followers: Vec<JobId>,
+}
+
+struct Inner {
+    jobs: HashMap<JobId, JobState>,
+    queue: SubmissionQueue,
+    pool: DevicePool,
+    cache: ResultCache,
+    inflight: HashMap<CacheKey, InFlight>,
+    metrics: MetricsState,
+    next_id: u64,
+    shutting_down: bool,
+    sequential_fallback: bool,
+}
+
+impl Inner {
+    fn alloc_id(&mut self) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Moves a job to a terminal state and updates the lifecycle counters.
+    /// The caller notifies `done_cv`.
+    fn finalize(&mut self, id: JobId, outcome: JobOutcome) {
+        let job = self.jobs.get_mut(&id).expect("finalizing a known job");
+        debug_assert!(job.outcome.is_none(), "a job is finalized exactly once");
+        let status = outcome.status();
+        job.status = status;
+        job.outcome = Some(outcome);
+        let total = job.submitted_at.elapsed();
+        match status {
+            JobStatus::Completed => self.metrics.completed += 1,
+            JobStatus::Failed => self.metrics.failed += 1,
+            JobStatus::Cancelled => self.metrics.cancelled += 1,
+            JobStatus::Expired => self.metrics.expired += 1,
+            JobStatus::Queued | JobStatus::Running => unreachable!("terminal outcomes only"),
+        }
+        self.metrics.record_total(total);
+    }
+
+    /// After a leader terminated without a result, promotes the first live
+    /// follower of `key` to be the new leader and re-enqueues it. Removes
+    /// the in-flight entry when no live follower remains.
+    fn promote_follower(&mut self, key: CacheKey) {
+        let Some(mut inf) = self.inflight.remove(&key) else { return };
+        while !inf.followers.is_empty() {
+            let candidate = inf.followers.remove(0);
+            let Some(job) = self.jobs.get(&candidate) else { continue };
+            if job.outcome.is_some() {
+                continue;
+            }
+            let priority = job.options.priority;
+            inf.leader = candidate;
+            // Promotion bypasses admission: the follower was admitted at its
+            // own submit and has been waiting ever since.
+            self.queue.push_promoted(candidate, priority);
+            self.inflight.insert(key, inf);
+            return;
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<Inner>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What the dispatch step decided under the lock.
+enum Action {
+    /// Run this job on this reservation.
+    Run(JobId, Placement),
+    /// Nothing runnable right now (empty queue, or the head must wait for
+    /// placement capacity).
+    Wait,
+}
+
+/// Pops until a runnable job is found, applying the dequeue checkpoint
+/// (stale-entry skip, cancellation, deadline) to everything popped. On
+/// placement failure the head is pushed back — same id, so its position
+/// within its priority class is preserved — and the caller waits.
+fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
+    loop {
+        let Some(id) = inner.queue.pop() else { return Action::Wait };
+        let job = inner.jobs.get(&id).expect("queued job has state");
+        // Stale heap entry: the job was finalized while queued (cancel()).
+        if job.outcome.is_some() {
+            continue;
+        }
+        let key = job.key;
+        let is_leader = inner.inflight.get(&key).map(|i| i.leader) == Some(id);
+        if job.cancel.load(Ordering::SeqCst) {
+            inner.finalize(id, JobOutcome::Cancelled { stage: None });
+            if is_leader {
+                inner.promote_follower(key);
+            }
+            shared.done_cv.notify_all();
+            continue;
+        }
+        if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            inner.finalize(id, JobOutcome::Expired { stage: None });
+            if is_leader {
+                inner.promote_follower(key);
+            }
+            shared.done_cv.notify_all();
+            continue;
+        }
+        let footprint = job.footprint;
+        match inner.pool.try_place(footprint) {
+            Some(placement) => return Action::Run(id, placement),
+            None => {
+                let priority = job.options.priority;
+                inner.queue.push_promoted(id, priority);
+                return Action::Wait;
+            }
+        }
+    }
+}
+
+/// Runs a placed job to completion: releases the lock, executes, re-locks,
+/// and settles the leader plus every coalesced follower.
+fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placement: Placement) {
+    let (graph, options, key, footprint, cancel, deadline_at) = {
+        let job = inner.jobs.get_mut(&id).expect("placed job has state");
+        job.status = JobStatus::Running;
+        (
+            Arc::clone(&job.graph),
+            job.options,
+            job.key,
+            job.footprint,
+            Arc::clone(&job.cancel),
+            job.deadline_at,
+        )
+    };
+    let queue_wait = inner.jobs[&id].submitted_at.elapsed();
+    inner.metrics.record_queue_wait(queue_wait);
+    inner.metrics.in_flight += 1;
+    inner.metrics.max_in_flight = inner.metrics.max_in_flight.max(inner.metrics.in_flight);
+    let device_cfg = inner.pool.device_config().clone();
+    let num_devices = inner.pool.num_devices();
+    let sequential_fallback = inner.sequential_fallback;
+    drop(inner);
+
+    let exec_start = Instant::now();
+    let raw: Result<(Arc<ServeResult>, ExecPath), GpuLouvainError> = match placement {
+        Placement::Single(slot) => Device::try_new(device_cfg.with_profile(options.profile))
+            .map_err(GpuLouvainError::Config)
+            .and_then(|dev| {
+                let cfg = &options.config;
+                let schedule = ThresholdSchedule::two_level(
+                    cfg.threshold_bin,
+                    cfg.threshold_final,
+                    cfg.size_limit,
+                );
+                let mut gate = |_cp: &cd_core::StageCheckpoint| {
+                    if cancel.load(Ordering::SeqCst) {
+                        return Err(StageAbort::Cancelled);
+                    }
+                    if deadline_at.is_some_and(|d| Instant::now() >= d) {
+                        return Err(StageAbort::DeadlineExceeded);
+                    }
+                    Ok(())
+                };
+                louvain_gpu_gated(&dev, &graph, cfg, &schedule, &mut gate).map(|r| {
+                    let result = Arc::new(ServeResult {
+                        partition: r.partition,
+                        modularity: r.modularity,
+                        stages: r.stages.len(),
+                    });
+                    (result, ExecPath::SingleDevice { device: slot })
+                })
+            }),
+        Placement::Pooled => {
+            let cfg = MultiGpuConfig {
+                num_devices,
+                gpu: options.config,
+                device: device_cfg.with_profile(options.profile),
+                sequential_fallback,
+            };
+            louvain_multi_gpu(&graph, &cfg).map(|r| {
+                let degraded = r
+                    .recovery
+                    .iter()
+                    .any(|a| matches!(a, RecoveryAction::SequentialFallback { .. }));
+                let result = Arc::new(ServeResult {
+                    partition: r.partition,
+                    modularity: r.modularity,
+                    stages: 0,
+                });
+                (result, ExecPath::DevicePool { devices: num_devices, degraded })
+            })
+        }
+    };
+    let exec_time = exec_start.elapsed();
+
+    let mut inner = shared.lock();
+    inner.pool.release(placement, footprint);
+    inner.metrics.in_flight -= 1;
+    inner.metrics.record_exec(exec_time);
+    match raw {
+        Ok((result, path)) => {
+            if let ExecPath::DevicePool { degraded, .. } = path {
+                inner.metrics.pooled_jobs += 1;
+                if degraded {
+                    inner.metrics.degraded_jobs += 1;
+                }
+            }
+            inner.cache.insert(key, Arc::clone(&result));
+            inner.finalize(id, JobOutcome::Completed { result: Arc::clone(&result), path });
+            let followers = inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
+            for f in followers {
+                let Some(job) = inner.jobs.get(&f) else { continue };
+                if job.outcome.is_some() {
+                    continue;
+                }
+                let outcome = if job.cancel.load(Ordering::SeqCst) {
+                    JobOutcome::Cancelled { stage: None }
+                } else if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+                    JobOutcome::Expired { stage: None }
+                } else {
+                    JobOutcome::Completed { result: Arc::clone(&result), path: ExecPath::Coalesced }
+                };
+                inner.finalize(f, outcome);
+            }
+        }
+        Err(GpuLouvainError::Aborted { stage, reason }) => {
+            let outcome = match reason {
+                StageAbort::Cancelled => JobOutcome::Cancelled { stage: Some(stage) },
+                StageAbort::DeadlineExceeded => JobOutcome::Expired { stage: Some(stage) },
+            };
+            inner.finalize(id, outcome);
+            // Followers still want the result; hand leadership on.
+            inner.promote_follower(key);
+        }
+        Err(e) => {
+            // The run is a pure function of (graph, options): an identical
+            // re-run would fail identically, so followers share the error.
+            let err = Arc::new(e);
+            inner.finalize(id, JobOutcome::Failed(Arc::clone(&err)));
+            let followers = inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
+            for f in followers {
+                let live = inner.jobs.get(&f).is_some_and(|j| j.outcome.is_none());
+                if live {
+                    inner.finalize(f, JobOutcome::Failed(Arc::clone(&err)));
+                }
+            }
+        }
+    }
+    drop(inner);
+    shared.done_cv.notify_all();
+    shared.work_cv.notify_all();
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut inner = shared.lock();
+    loop {
+        if inner.shutting_down && inner.queue.is_empty() {
+            return;
+        }
+        match next_action(&shared, &mut inner) {
+            Action::Run(id, placement) => {
+                execute(&shared, inner, id, placement);
+                inner = shared.lock();
+            }
+            Action::Wait => {
+                if inner.shutting_down && inner.queue.is_empty() {
+                    return;
+                }
+                inner = shared.work_cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// The community-detection service. See the module docs for the concurrency
+/// and determinism model.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds a server (and spawns its worker threads, unless
+    /// `config.workers == 0`).
+    pub fn new(config: ServerConfig) -> Self {
+        let inner = Inner {
+            jobs: HashMap::new(),
+            queue: SubmissionQueue::new(config.queue_capacity),
+            pool: DevicePool::new(config.num_devices, config.device.clone()),
+            cache: ResultCache::new(config.cache_bytes),
+            inflight: HashMap::new(),
+            metrics: MetricsState::default(),
+            next_id: 0,
+            shutting_down: false,
+            sequential_fallback: config.sequential_fallback,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(inner),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits a job. On success the job is owned by the server until it
+    /// reaches a terminal state observable via [`Self::await_result`].
+    ///
+    /// The fast paths resolve synchronously: a content-identical cached
+    /// result completes the job immediately ([`ExecPath::CacheHit`]); an
+    /// identical in-flight job absorbs the submission as a follower
+    /// ([`ExecPath::Coalesced`] — exempt from the queue bound, since it
+    /// consumes no queue slot and no device time).
+    pub fn submit(&self, graph: Arc<Csr>, options: JobOptions) -> Result<JobId, Rejected> {
+        // Hash outside the lock: content addressing is O(graph) work.
+        let key = CacheKey::compute(&graph, &options);
+        let footprint = estimated_device_bytes(&graph);
+        let now = Instant::now();
+        let deadline_at = options.deadline.map(|d| now + d);
+
+        let mut inner = self.shared.lock();
+        if inner.shutting_down {
+            inner.metrics.rejected += 1;
+            return Err(Rejected::ShuttingDown);
+        }
+        if graph.num_vertices() >= u32::MAX as usize {
+            inner.metrics.rejected += 1;
+            return Err(Rejected::TooManyVertices(graph.num_vertices()));
+        }
+        let state = |status, outcome| JobState {
+            graph: Arc::clone(&graph),
+            options,
+            key,
+            footprint,
+            status,
+            outcome,
+            cancel: Arc::new(AtomicBool::new(false)),
+            submitted_at: now,
+            deadline_at,
+        };
+        // Coalesce onto an identical in-flight job.
+        if inner.inflight.contains_key(&key) {
+            let id = inner.alloc_id();
+            inner.jobs.insert(id, state(JobStatus::Queued, None));
+            inner.inflight.get_mut(&key).expect("checked above").followers.push(id);
+            inner.cache.note_coalesced();
+            inner.metrics.submitted += 1;
+            return Ok(id);
+        }
+        // Content-addressed cache hit: completed before it ever queued.
+        if let Some(result) = inner.cache.lookup(&key) {
+            let id = inner.alloc_id();
+            inner.jobs.insert(id, state(JobStatus::Queued, None));
+            inner.metrics.submitted += 1;
+            inner.finalize(id, JobOutcome::Completed { result, path: ExecPath::CacheHit });
+            drop(inner);
+            self.shared.done_cv.notify_all();
+            return Ok(id);
+        }
+        // Cold: admission control, then the queue.
+        if !inner.queue.has_room() {
+            inner.metrics.rejected += 1;
+            return Err(Rejected::QueueFull { capacity: inner.queue.capacity() });
+        }
+        let id = inner.alloc_id();
+        inner.jobs.insert(id, state(JobStatus::Queued, None));
+        let admitted = inner.queue.push(id, options.priority);
+        debug_assert!(admitted, "has_room was checked under the same lock");
+        inner.inflight.insert(key, InFlight { leader: id, followers: Vec::new() });
+        inner.metrics.submitted += 1;
+        drop(inner);
+        self.shared.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Current lifecycle state of a job, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.lock().jobs.get(&id).map(|j| j.status)
+    }
+
+    /// Requests cooperative cancellation. Returns `true` when the request
+    /// was registered before the job reached a terminal state — the job
+    /// will terminate as [`JobOutcome::Cancelled`] at its next checkpoint
+    /// (immediately, when still queued). A `true` return is a promise the
+    /// flag was seen in time only for queued and stage-gated work; a pooled
+    /// run past its dequeue checkpoint completes normally.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut inner = self.shared.lock();
+        let Some(job) = inner.jobs.get(&id) else { return false };
+        if job.outcome.is_some() {
+            return false;
+        }
+        job.cancel.store(true, Ordering::SeqCst);
+        let status = job.status;
+        let key = job.key;
+        if status == JobStatus::Queued {
+            // Finalize now rather than at the dequeue checkpoint so awaiters
+            // resolve without a worker in the loop. The queue may still hold
+            // the id; the dequeue checkpoint skips finalized entries.
+            let is_leader = inner.inflight.get(&key).map(|i| i.leader) == Some(id);
+            inner.finalize(id, JobOutcome::Cancelled { stage: None });
+            if is_leader {
+                inner.promote_follower(key);
+            } else if let Some(inf) = inner.inflight.get_mut(&key) {
+                inf.followers.retain(|f| *f != id);
+            }
+            drop(inner);
+            self.shared.done_cv.notify_all();
+            self.shared.work_cv.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// outcome. In manual mode ([`ServerConfig::workers`] = 0) drive
+    /// execution with [`Self::process_one`] first — awaiting an unprocessed
+    /// job would block forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown job id.
+    pub fn await_result(&self, id: JobId) -> JobOutcome {
+        let mut inner = self.shared.lock();
+        loop {
+            let job = inner.jobs.get(&id).expect("await_result of an unknown job id");
+            if let Some(outcome) = &job.outcome {
+                return outcome.clone();
+            }
+            inner = self.shared.done_cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking probe of a job's outcome.
+    pub fn try_result(&self, id: JobId) -> Option<JobOutcome> {
+        self.shared.lock().jobs.get(&id).and_then(|j| j.outcome.clone())
+    }
+
+    /// Manual-mode step: dispatches and synchronously runs the next
+    /// runnable job, applying the same dequeue checkpoints as the worker
+    /// loop. Returns `false` when nothing is runnable. Usable (but rarely
+    /// useful) alongside worker threads.
+    pub fn process_one(&self) -> bool {
+        let mut inner = self.shared.lock();
+        match next_action(&self.shared, &mut inner) {
+            Action::Run(id, placement) => {
+                execute(&self.shared, inner, id, placement);
+                true
+            }
+            Action::Wait => false,
+        }
+    }
+
+    /// Manual-mode convenience: process until the queue drains.
+    pub fn run_until_idle(&self) {
+        while self.process_one() {}
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        let inner = self.shared.lock();
+        ServeMetrics {
+            submitted: inner.metrics.submitted,
+            rejected: inner.metrics.rejected,
+            completed: inner.metrics.completed,
+            failed: inner.metrics.failed,
+            cancelled: inner.metrics.cancelled,
+            expired: inner.metrics.expired,
+            pooled_jobs: inner.metrics.pooled_jobs,
+            degraded_jobs: inner.metrics.degraded_jobs,
+            queue_depth: inner.queue.len(),
+            max_queue_depth: inner.queue.max_depth(),
+            in_flight: inner.metrics.in_flight,
+            max_in_flight: inner.metrics.max_in_flight,
+            queue_wait: LatencyStats::from_samples(&inner.metrics.queue_wait_ms),
+            exec: LatencyStats::from_samples(&inner.metrics.exec_ms),
+            total: LatencyStats::from_samples(&inner.metrics.total_ms),
+            cache: inner.cache.stats(),
+            cache_entries: inner.cache.entries(),
+            cache_bytes: inner.cache.bytes(),
+            devices: inner.pool.slot_stats(),
+        }
+    }
+
+    /// Stops accepting submissions, drains the queue, and joins the
+    /// workers. In manual mode the drain happens inline. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut inner = self.shared.lock();
+            inner.shutting_down = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Manual mode (or freshly-shut-down workers racing a late promote):
+        // drain whatever is still queued so awaiters resolve.
+        self.run_until_idle();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

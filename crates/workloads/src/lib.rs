@@ -80,10 +80,11 @@ impl Scale {
         }
     }
 
-    /// Parses `tiny|small|medium|large` (case-insensitive).
+    /// Parses `tiny|small|medium|large` (case-insensitive). `smoke` is an
+    /// alias for `tiny` — the name CI steps use for their fastest runs.
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
-            "tiny" => Some(Scale::Tiny),
+            "tiny" | "smoke" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "large" => Some(Scale::Large),
@@ -93,6 +94,7 @@ impl Scale {
 }
 
 /// A built workload: the graph plus ground truth when the generator has one.
+#[derive(Debug)]
 pub struct BuiltWorkload {
     /// The graph.
     pub graph: Csr,
@@ -453,6 +455,36 @@ pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
     SUITE.iter().find(|w| w.name == name)
 }
 
+/// The error [`load`] reports for a name outside the suite — carries the
+/// valid names so a CLI or service boundary can echo them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = SUITE.iter().map(|w| w.name).collect();
+        write!(f, "unknown workload '{}' (known: {})", self.name, names.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// The shared name→graph loader: resolves `name` against the suite and
+/// builds it at `scale`. Every consumer that accepts workload names — the
+/// bench harness's experiments and the `cd-serve` load generator — routes
+/// through this one entry point, so name resolution and its error message
+/// exist exactly once (`cd-serve` layers its content-addressed graph cache
+/// on top).
+pub fn load(name: &str, scale: Scale) -> Result<BuiltWorkload, UnknownWorkload> {
+    match by_name(name) {
+        Some(spec) => Ok(spec.build(scale)),
+        None => Err(UnknownWorkload { name: name.to_string() }),
+    }
+}
+
 /// The four workloads used for the per-stage breakdown and comparison
 /// figures (road-like for Fig. 5, KKT for Fig. 6, a web graph for profiling,
 /// a channel mesh for TEPS).
@@ -543,6 +575,16 @@ mod tests {
     fn scale_parse() {
         assert_eq!(Scale::parse("Medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("x"), None);
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Tiny));
         assert!(Scale::Large.factor() > Scale::Tiny.factor());
+    }
+
+    #[test]
+    fn shared_loader_resolves_and_reports_unknown_names() {
+        let built = load("com-dblp", Scale::Tiny).unwrap();
+        assert_eq!(built.graph, by_name("com-dblp").unwrap().build(Scale::Tiny).graph);
+        let err = load("nope", Scale::Tiny).unwrap_err();
+        assert_eq!(err.name, "nope");
+        assert!(err.to_string().contains("com-dblp"), "error should list the known names");
     }
 }

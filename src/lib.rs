@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's algorithm: binned `computeMove`, parallel aggregation, driver |
 //! | [`baselines`] | sequential Louvain, CPU-parallel Louvain, PLM |
 //! | [`workloads`] | the synthetic Table 1 stand-in suite |
+//! | [`serve`] | the batched service: job API, admission control, device pool, result cache |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@ pub use cd_baselines as baselines;
 pub use cd_core as core;
 pub use cd_gpusim as gpusim;
 pub use cd_graph as graph;
+pub use cd_serve as serve;
 pub use cd_workloads as workloads;
 
 /// The names most programs need.
@@ -57,5 +59,8 @@ pub mod prelude {
     };
     pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError, Profile};
     pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
+    pub use cd_serve::{
+        JobOptions, JobOutcome, JobStatus, Priority, Rejected, Server, ServerConfig,
+    };
     pub use cd_workloads::{by_name as workload_by_name, Scale, SUITE as WORKLOAD_SUITE};
 }
