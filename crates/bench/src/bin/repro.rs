@@ -26,9 +26,14 @@
 //!   racecheck full-pipeline hazard sweep under the race detector
 //!             (BENCH_racecheck.json; exits nonzero on any hazard)
 //!   serve     closed-loop load test of the cd-serve service: seeded suite
-//!             trace at --clients concurrency, replayed twice
+//!             trace at --clients concurrency, replayed twice plus a
+//!             warm-start replay from a cache snapshot
 //!             (BENCH_serve.json; exits nonzero on any lost/duplicated job,
-//!             failed run, or nondeterministic replay)
+//!             failed run, nondeterministic replay, or impure warm restart)
+//!   overload  open-loop Poisson-arrival load test: calibrates service
+//!             time, sweeps arrival rates to locate the saturation knee,
+//!             measures 1×/2×/5× knee (BENCH_overload.json; exits nonzero
+//!             on any lost/duplicated job or failed run)
 //!   all       everything above
 //! ```
 //!
@@ -47,7 +52,7 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 5] = ["backend", "buckets", "multigpu", "racecheck", "serve"];
+const FAST_SAFE: [&str; 6] = ["backend", "buckets", "multigpu", "racecheck", "serve", "overload"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +133,7 @@ fn main() {
         "backend" => experiments::backend_snapshot(scale, &out),
         "racecheck" => experiments::racecheck_sweep(scale, &out),
         "serve" => experiments::serve_snapshot(scale, &out, clients),
+        "overload" => experiments::overload(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -147,6 +153,7 @@ fn main() {
             experiments::backend_snapshot(scale, &out);
             experiments::racecheck_sweep(scale, &out);
             experiments::serve_snapshot(scale, &out, clients);
+            experiments::overload(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -157,7 +164,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck] [--clients N]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, all\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\
          --clients sets the serve load generator's concurrency (default 4)"

@@ -135,6 +135,18 @@ impl GpuLouvainError {
             _ => false,
         }
     }
+
+    /// True for errors that indict the *device* the run was placed on rather
+    /// than the job itself: transient launch faults and corruption, plus a
+    /// retry budget exhausted by such faults ([`GpuLouvainError::StageFailed`]).
+    /// Rerunning the same job on a different, healthy device can succeed.
+    /// Admission errors (out of memory, too many vertices), configuration
+    /// rejections, and cooperative aborts are the job's own — no device
+    /// change helps. The multi-device failover ladder and the serving
+    /// layer's circuit breakers both use this classification.
+    pub fn is_device_attributable(&self) -> bool {
+        self.is_transient() || matches!(self, GpuLouvainError::StageFailed { .. })
+    }
 }
 
 impl std::fmt::Display for GpuLouvainError {

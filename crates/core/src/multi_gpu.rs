@@ -308,7 +308,7 @@ fn cluster_with_recovery(
 /// the error is transient, or a stage exhausted its retry budget on this
 /// device's fault schedule.
 fn recoverable(e: &GpuLouvainError) -> bool {
-    e.is_transient() || matches!(e, GpuLouvainError::StageFailed { .. })
+    e.is_device_attributable()
 }
 
 #[cfg(test)]

@@ -224,7 +224,7 @@ mod tests {
     fn faults_are_rejected_on_the_fast_profile() {
         use crate::profile::{ConfigError, Profile};
         let plan = crate::fault::FaultPlan::seeded(7).with_abort_rate(0.1);
-        let c = DeviceConfig::test_tiny().with_fault_plan(plan.clone()).with_profile(Profile::Fast);
+        let c = DeviceConfig::test_tiny().with_fault_plan(plan).with_profile(Profile::Fast);
         assert_eq!(c.validate(), Err(ConfigError::FaultsRequireInstrumented));
         // Same plan is fine when instrumented, and an inactive plan is fine
         // on Fast.

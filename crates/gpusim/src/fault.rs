@@ -29,7 +29,7 @@ use std::fmt;
 /// Configuration of the deterministic fault injector. All rates are
 /// probabilities in `[0, 1]`; the default ([`FaultPlan::disabled`]) injects
 /// nothing and adds no per-launch overhead beyond one branch.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Seed from which every fault decision is derived.
     pub seed: u64,

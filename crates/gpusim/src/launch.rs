@@ -1057,7 +1057,7 @@ mod tests {
     fn fault_schedule_replays_for_a_seed() {
         let plan = FaultPlan::seeded(1234).with_abort_rate(0.3).with_stuck_rate(0.1);
         let run = || {
-            let dev = faulty(plan.clone());
+            let dev = faulty(plan);
             (0..40)
                 .map(|i| {
                     dev.try_launch_threads("k", 256 + i, |_, _| {})

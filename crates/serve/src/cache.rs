@@ -9,6 +9,8 @@
 
 use crate::hash::CacheKey;
 use crate::job::ServeResult;
+use crate::persist::{decode_snapshot, encode_snapshot, RestoreError, SnapshotEntry};
+use cd_graph::Partition;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,6 +34,10 @@ pub struct CacheStats {
     pub bytes_inserted: u64,
     /// Bytes reclaimed by eviction.
     pub bytes_evicted: u64,
+    /// Inserts refused up front because the single entry exceeded the whole
+    /// byte budget — admitting one would first evict everything and still
+    /// not fit.
+    pub rejected_oversized: u64,
 }
 
 impl CacheStats {
@@ -82,8 +88,8 @@ pub struct ResultCache {
 
 impl ResultCache {
     /// An empty cache bounded by `capacity_bytes`. A zero capacity disables
-    /// caching (every insert evicts immediately to an empty set, so lookups
-    /// always miss).
+    /// caching (every insert is rejected as oversized, so lookups always
+    /// miss).
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
             entries: HashMap::new(),
@@ -118,9 +124,18 @@ impl ResultCache {
     /// Inserts a freshly computed result, evicting least-recently-used
     /// entries until the byte budget holds. Re-inserting an existing key
     /// replaces the entry (the results are bit-identical anyway).
+    ///
+    /// An entry larger than the whole budget is rejected up front
+    /// ([`CacheStats::rejected_oversized`]) — it could never be retained,
+    /// and evicting the entire working set on its way to not fitting would
+    /// be pure loss.
     pub fn insert(&mut self, key: CacheKey, result: Arc<ServeResult>) {
         let bytes = result_bytes(&result);
         self.clock += 1;
+        if bytes > self.capacity_bytes {
+            self.stats.rejected_oversized += 1;
+            return;
+        }
         if let Some(old) = self.entries.remove(&key) {
             self.bytes -= old.bytes;
         }
@@ -163,6 +178,51 @@ impl ResultCache {
     /// Counters since construction.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Serialises every cached result into the versioned, checksummed
+    /// snapshot format ([`crate::persist`]), least-recently-used first so a
+    /// restore reproduces the recency order.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut order: Vec<(&CacheKey, &Entry)> = self.entries.iter().collect();
+        order.sort_by_key(|(_, e)| e.last_use);
+        let entries: Vec<SnapshotEntry> = order
+            .into_iter()
+            .map(|(key, e)| SnapshotEntry {
+                key: *key,
+                modularity: e.result.modularity,
+                stages: e.result.stages,
+                labels: e.result.partition.as_slice().to_vec(),
+            })
+            .collect();
+        encode_snapshot(&entries)
+    }
+
+    /// Restores a snapshot produced by [`Self::snapshot`], replaying its
+    /// entries through ordinary inserts (so the byte budget and the
+    /// oversized-entry rule of *this* cache apply — a snapshot from a
+    /// larger cache restores as much of its most-recent tail as fits).
+    /// Returns the number of entries admitted (an admitted entry may still
+    /// be evicted by a later, more-recent one when the budget is tight).
+    ///
+    /// A defective snapshot — truncated, bit-flipped, wrong version —
+    /// returns a typed [`RestoreError`] and leaves the cache exactly as it
+    /// was: corruption can cost the warm start, never the server.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<usize, RestoreError> {
+        let decoded = decode_snapshot(bytes)?;
+        let mut restored = 0;
+        for e in decoded {
+            let result = Arc::new(ServeResult {
+                partition: Partition::from_vec(e.labels),
+                modularity: e.modularity,
+                stages: e.stages,
+            });
+            self.insert(e.key, result);
+            if self.entries.contains_key(&e.key) {
+                restored += 1;
+            }
+        }
+        Ok(restored)
     }
 }
 
@@ -218,6 +278,64 @@ mod tests {
         c.insert(key(1), result(10));
         assert_eq!(c.entries(), 0);
         assert!(c.lookup(&key(1)).is_none());
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_without_evicting_the_cache() {
+        // Budget fits two 100-label entries (464 bytes each) but not one
+        // 1000-label entry (4064 bytes).
+        let mut c = ResultCache::new(1000);
+        c.insert(key(1), result(100));
+        c.insert(key(2), result(100));
+        c.insert(key(3), result(1000));
+        let s = c.stats();
+        assert_eq!(s.rejected_oversized, 1);
+        assert_eq!(s.evictions, 0, "the resident working set must survive");
+        assert_eq!(c.entries(), 2);
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(2)).is_some());
+        assert!(c.lookup(&key(3)).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_results_and_recency() {
+        let mut c = ResultCache::new(1 << 20);
+        c.insert(key(1), result(10));
+        c.insert(key(2), result(20));
+        assert!(c.lookup(&key(1)).is_some(), "refresh 1 so 2 is the LRU victim");
+        let bytes = c.snapshot();
+
+        let mut warm = ResultCache::new(1 << 20);
+        assert_eq!(warm.restore(&bytes).expect("clean snapshot restores"), 2);
+        assert_eq!(warm.entries(), 2);
+        let got = warm.lookup(&key(2)).expect("restored entry hits");
+        assert_eq!(got.partition.as_slice().len(), 20);
+        // Bit-identity of the payload across the round trip.
+        let orig = c.lookup(&key(2)).expect("still cached");
+        assert_eq!(orig.modularity.to_bits(), got.modularity.to_bits());
+        assert_eq!(orig.partition.as_slice(), got.partition.as_slice());
+        assert_eq!(orig.stages, got.stages);
+        // Recency carried over: the source refreshed key(1), so key(2) is
+        // its LRU entry — and must be the first evicted after a restore.
+        let mut tight = ResultCache::new(600);
+        tight.restore(&bytes).expect("restores into a tighter cache");
+        tight.insert(key(9), result(100)); // 464 bytes force one eviction
+        assert!(tight.lookup(&key(1)).is_some(), "the recent entry survived");
+        assert!(tight.lookup(&key(2)).is_none(), "the LRU entry was the victim");
+    }
+
+    #[test]
+    fn corrupted_snapshot_leaves_the_cache_untouched() {
+        let mut c = ResultCache::new(1 << 20);
+        c.insert(key(1), result(10));
+        let mut bytes = c.snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut warm = ResultCache::new(1 << 20);
+        warm.insert(key(7), result(5));
+        assert!(warm.restore(&bytes).is_err());
+        assert_eq!(warm.entries(), 1, "failed restore changes nothing");
+        assert!(warm.lookup(&key(7)).is_some());
     }
 
     #[test]

@@ -124,6 +124,21 @@ pub fn options_hash(options: &JobOptions) -> u64 {
         Profile::Fast => 1,
         Profile::Racecheck => 2,
     });
+    // A slot-targeted fault plan can change what a run produces (absorbed
+    // bit flips, degraded recovery), so faulty submissions must never share
+    // a cache line with fault-free ones — or with differently-faulty ones.
+    match &options.fault {
+        None => h.write_u64(0),
+        Some(f) => {
+            h.write_u64(1);
+            h.write_usize(f.device);
+            h.write_u64(f.plan.seed);
+            h.write_f64(f.plan.abort_rate);
+            h.write_f64(f.plan.stuck_rate);
+            h.write_f64(f.plan.bitflip_rate);
+            h.write_u64(f.plan.watchdog_cycle_budget);
+        }
+    }
     h.finish()
 }
 
@@ -184,6 +199,13 @@ mod tests {
         // Semantic knobs do.
         assert_ne!(options_hash(&base), options_hash(&base.with_pruning(true)));
         assert_ne!(options_hash(&base), options_hash(&base.with_profile(Profile::Racecheck)));
+
+        // A slot-targeted fault plan is semantic too: a faulty run may not
+        // produce what a fault-free run would, so it gets its own key.
+        let plan = cd_gpusim::FaultPlan::seeded(7).with_abort_rate(0.5);
+        let faulty = base.with_fault(0, plan);
+        assert_ne!(options_hash(&base), options_hash(&faulty));
+        assert_ne!(options_hash(&faulty), options_hash(&base.with_fault(1, plan)));
     }
 
     #[test]

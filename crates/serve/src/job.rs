@@ -8,7 +8,7 @@
 //! synchronously from [`crate::Server::submit`].
 
 use cd_core::{GpuLouvainConfig, GpuLouvainError};
-use cd_gpusim::Profile;
+use cd_gpusim::{FaultPlan, Profile};
 use cd_graph::Partition;
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,14 +49,32 @@ impl Priority {
     pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
 }
 
+/// Deterministic fault injection scoped to one device slot of the pool —
+/// the serving-layer hook into the PR 1 fault machinery, used to exercise
+/// the circuit breakers end to end.
+///
+/// When a job carrying a `DeviceFault` is placed on slot `device`, its
+/// fresh `Device` is built with `plan` attached; on any other slot the job
+/// runs fault-free. Because the fault decisions are a pure function of the
+/// plan seed, "device N is broken" replays identically run after run.
+/// Active plans require [`Profile::Instrumented`] (the fast and racecheck
+/// profiles reject fault injection at device construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceFault {
+    /// Pool slot index the plan applies to.
+    pub device: usize,
+    /// The fault schedule injected on that slot.
+    pub plan: FaultPlan,
+}
+
 /// Per-job options: the algorithm configuration, the execution profile, and
 /// the scheduling knobs.
 ///
-/// The algorithm configuration and profile are *semantic* — they select what
-/// result is computed and participate in the cache key. Priority and
-/// deadline are *scheduling* — they decide when (and whether) the job runs
-/// and are deliberately excluded from the key, so a high-priority
-/// resubmission of cached work is still a cache hit.
+/// The algorithm configuration, profile, and fault plan are *semantic* —
+/// they select what result is computed and participate in the cache key.
+/// Priority and deadline are *scheduling* — they decide when (and whether)
+/// the job runs and are deliberately excluded from the key, so a
+/// high-priority resubmission of cached work is still a cache hit.
 #[derive(Clone, Copy, Debug)]
 pub struct JobOptions {
     /// Algorithm configuration (thresholds, pruning, buckets, …).
@@ -68,10 +86,14 @@ pub struct JobOptions {
     pub profile: Profile,
     /// Scheduling priority.
     pub priority: Priority,
-    /// Deadline relative to submission. Checked at the queue-dequeue
-    /// checkpoint and at every stage checkpoint of the run; an expired job
-    /// terminates as [`JobOutcome::Expired`].
+    /// Deadline relative to submission. Checked at admission, by the
+    /// periodic queue sweep, at the queue-dequeue checkpoint, and at every
+    /// stage checkpoint of the run; an expired job terminates as
+    /// [`JobOutcome::Expired`].
     pub deadline: Option<Duration>,
+    /// Slot-targeted fault injection (tests and fault drills only). `None`
+    /// — the default — runs fault-free everywhere.
+    pub fault: Option<DeviceFault>,
 }
 
 impl Default for JobOptions {
@@ -81,6 +103,7 @@ impl Default for JobOptions {
             profile: Profile::Fast,
             priority: Priority::Normal,
             deadline: None,
+            fault: None,
         }
     }
 }
@@ -109,6 +132,12 @@ impl JobOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Returns the options with a slot-targeted fault plan.
+    pub fn with_fault(mut self, device: usize, plan: FaultPlan) -> Self {
+        self.fault = Some(DeviceFault { device, plan });
+        self
+    }
 }
 
 /// Why a submission was refused at the door. Rejections are synchronous: no
@@ -124,6 +153,17 @@ pub enum Rejected {
     /// The graph exceeds the 32-bit vertex id space of the kernels; no
     /// device or degradation path could ever run it.
     TooManyVertices(usize),
+    /// SLO-aware shedding: the server's execution-time estimate for this
+    /// job already exceeds the submitted deadline budget, so admitting it
+    /// would only burn queue and device time on a result nobody can use.
+    /// Only raised when a deadline is set and the estimator has observed
+    /// enough completed runs to extrapolate from.
+    WontMeetDeadline {
+        /// Estimated execution time of the job.
+        estimated: Duration,
+        /// The deadline budget the submission carried.
+        budget: Duration,
+    },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -137,6 +177,10 @@ impl std::fmt::Display for Rejected {
             Rejected::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the 32-bit vertex id space")
             }
+            Rejected::WontMeetDeadline { estimated, budget } => write!(
+                f,
+                "estimated execution time {estimated:?} exceeds the deadline budget {budget:?}"
+            ),
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -175,6 +219,16 @@ pub enum ExecPath {
         /// Pool slot index the job ran on.
         device: usize,
     },
+    /// Ran on a single device after one or more placements failed with a
+    /// device-attributable error — the circuit-breaker recovery path. The
+    /// result is bit-identical to a first-try run (placement never changes
+    /// what a job computes), but the path records that failover happened.
+    FailedOver {
+        /// Pool slot index of the device that finally produced the result.
+        device: usize,
+        /// Total placements, including the failed ones (≥ 2).
+        attempts: usize,
+    },
     /// Too large for any single device: ran through the coarse-grained
     /// multi-device path ([`cd_core::louvain_multi_gpu`]) across the whole
     /// pool, with its failover/degradation ladder.
@@ -198,6 +252,7 @@ impl ExecPath {
             ExecPath::CacheHit => "cache-hit",
             ExecPath::Coalesced => "coalesced",
             ExecPath::SingleDevice { .. } => "single",
+            ExecPath::FailedOver { .. } => "failed-over",
             ExecPath::DevicePool { degraded: false, .. } => "pooled",
             ExecPath::DevicePool { degraded: true, .. } => "pooled-degraded",
         }

@@ -58,7 +58,15 @@
 //! until the job settles. The closed-loop load generator ([`loadgen`])
 //! replays a seeded trace of the workload suite against a server — the
 //! `repro serve` experiment uses it to produce `BENCH_serve.json` and to
-//! verify end-to-end determinism by replaying the trace twice.
+//! verify end-to-end determinism by replaying the trace twice. The
+//! open-loop generator ([`loadgen::run_open_loop`]) submits on a Poisson
+//! arrival schedule instead, driving the server *past* saturation — the
+//! `repro overload` experiment uses it to locate the knee and verify that
+//! overload sheds (deadline expiry at five checkpoints, estimator-based
+//! [`Rejected::WontMeetDeadline`]) rather than corrupts. Device circuit
+//! breakers ([`BreakerConfig`]) quarantine failing devices, and the result
+//! cache persists across restarts ([`Server::snapshot_cache_to`] /
+//! [`ServerConfig::cache_snapshot`]).
 
 #![warn(missing_docs)]
 
@@ -67,6 +75,7 @@ pub mod hash;
 pub mod job;
 pub mod loadgen;
 pub mod metrics;
+pub mod persist;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
@@ -74,10 +83,15 @@ pub mod server;
 pub use cache::{CacheStats, ResultCache};
 pub use hash::{options_hash, structural_hash, CacheKey, Fnv1a};
 pub use job::{
-    ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Priority, Rejected, ServeResult,
+    DeviceFault, ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Priority, Rejected,
+    ServeResult,
 };
-pub use loadgen::{labels_fnv, run_trace, JobRecord, TraceConfig, TraceReport};
+pub use loadgen::{
+    distinct_rings, labels_fnv, run_open_loop, run_trace, suggested_device_bytes, JobRecord,
+    OpenLoopConfig, OpenLoopReport, TraceConfig, TraceReport,
+};
 pub use metrics::{LatencyStats, ServeMetrics};
+pub use persist::{RestoreError, SnapshotEntry};
 pub use queue::SubmissionQueue;
-pub use scheduler::{DevicePool, DeviceSlotStats, Placement};
+pub use scheduler::{BreakerConfig, DevicePool, DeviceSlotStats, Placement};
 pub use server::{Server, ServerConfig};

@@ -47,20 +47,43 @@ impl LatencyStats {
     }
 }
 
+/// Smoothing factor of the execution-time estimator's EWMA.
+const EXEC_EWMA_ALPHA: f64 = 0.3;
+
 /// Mutable counter state the server updates as jobs move through their
 /// lifecycle; snapshotted into [`ServeMetrics`].
 #[derive(Clone, Debug, Default)]
 pub(crate) struct MetricsState {
     pub submitted: u64,
     pub rejected: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_slo: u64,
     pub completed: u64,
     pub failed: u64,
     pub cancelled: u64,
     pub expired: u64,
+    /// Expiry breakdown by the checkpoint that observed it. The five sum to
+    /// `expired`.
+    pub expired_admission: u64,
+    pub expired_sweep: u64,
+    pub expired_dequeue: u64,
+    pub expired_stage: u64,
+    pub expired_settle: u64,
+    /// Of `expired_dequeue`: sheds where the deadline had *not* yet passed
+    /// but the estimated execution time already exceeded the remaining
+    /// budget — the job was dropped early instead of burning device time.
+    pub shed_predicted: u64,
+    pub retried_jobs: u64,
+    pub failed_over_jobs: u64,
     pub pooled_jobs: u64,
     pub degraded_jobs: u64,
+    pub cache_restored_entries: u64,
+    pub cache_restore_failures: u64,
     pub in_flight: usize,
     pub max_in_flight: usize,
+    /// EWMA of execution milliseconds per footprint byte over completed
+    /// single-device runs — the basis of the SLO shedding estimate.
+    pub exec_ewma_ms_per_byte: Option<f64>,
     /// Milliseconds each job spent queued (admission → placement).
     pub queue_wait_ms: Vec<f64>,
     /// Milliseconds each producing run spent executing.
@@ -74,8 +97,27 @@ impl MetricsState {
         self.queue_wait_ms.push(d.as_secs_f64() * 1e3);
     }
 
-    pub(crate) fn record_exec(&mut self, d: Duration) {
-        self.exec_ms.push(d.as_secs_f64() * 1e3);
+    /// Records an executed run. `footprint` feeds the execution-time
+    /// estimator and is supplied for single-device runs only — pooled runs
+    /// have a different cost shape and would skew the per-byte rate.
+    pub(crate) fn record_exec(&mut self, d: Duration, footprint: Option<usize>) {
+        let ms = d.as_secs_f64() * 1e3;
+        self.exec_ms.push(ms);
+        if let Some(bytes) = footprint.filter(|&b| b > 0) {
+            let per_byte = ms / bytes as f64;
+            self.exec_ewma_ms_per_byte = Some(match self.exec_ewma_ms_per_byte {
+                None => per_byte,
+                Some(old) => old + EXEC_EWMA_ALPHA * (per_byte - old),
+            });
+        }
+    }
+
+    /// Estimated execution time of a job with the given footprint, from the
+    /// observed per-byte rate. `None` until at least one single-device run
+    /// has completed — the estimator never sheds on zero evidence.
+    pub(crate) fn estimate_exec(&self, footprint: usize) -> Option<Duration> {
+        let per_byte = self.exec_ewma_ms_per_byte?;
+        Some(Duration::from_secs_f64((per_byte * footprint as f64 / 1e3).max(0.0)))
     }
 
     pub(crate) fn record_total(&mut self, d: Duration) {
@@ -92,6 +134,12 @@ pub struct ServeMetrics {
     pub submitted: u64,
     /// Submissions refused at the door ([`crate::Rejected`]).
     pub rejected: u64,
+    /// Of `rejected`: refused because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Of `rejected`: refused because the estimated execution time already
+    /// exceeded the submitted deadline budget
+    /// ([`crate::Rejected::WontMeetDeadline`]).
+    pub rejected_slo: u64,
     /// Jobs that reached [`crate::JobStatus::Completed`].
     pub completed: u64,
     /// Jobs that reached [`crate::JobStatus::Failed`].
@@ -100,10 +148,41 @@ pub struct ServeMetrics {
     pub cancelled: u64,
     /// Jobs that reached [`crate::JobStatus::Expired`].
     pub expired: u64,
+    /// Of `expired`: caught at admission (deadline already past at submit).
+    pub expired_admission: u64,
+    /// Of `expired`: caught by the periodic queue sweep.
+    pub expired_sweep: u64,
+    /// Of `expired`: caught at the queue-dequeue checkpoint (including
+    /// predictive sheds — see `shed_predicted`).
+    pub expired_dequeue: u64,
+    /// Of `expired`: caught at a stage checkpoint mid-run.
+    pub expired_stage: u64,
+    /// Of `expired`: followers settled expired when their leader finished,
+    /// and jobs whose deadline passed across a failed placement.
+    pub expired_settle: u64,
+    /// Of `expired_dequeue`: shed *before* the deadline passed because the
+    /// estimated execution time exceeded the remaining budget.
+    pub shed_predicted: u64,
+    /// Placements retried on another device after a device-attributable
+    /// failure (circuit-breaker failover).
+    pub retried_jobs: u64,
+    /// Jobs that completed via [`crate::ExecPath::FailedOver`].
+    pub failed_over_jobs: u64,
+    /// Circuit-breaker trips across the device pool.
+    pub breaker_trips: u64,
+    /// Half-open reinstatements across the device pool.
+    pub breaker_reinstatements: u64,
+    /// Device slots currently quarantined.
+    pub quarantined_devices: usize,
     /// Jobs that ran the exclusive multi-device path.
     pub pooled_jobs: u64,
     /// Pooled jobs whose recovery log shows sequential degradation.
     pub degraded_jobs: u64,
+    /// Cache entries restored from a snapshot at startup.
+    pub cache_restored_entries: u64,
+    /// Snapshot restores that failed (corrupt/unreadable snapshot → cold
+    /// start). At most 1 per server lifetime today, counted for the gate.
+    pub cache_restore_failures: u64,
     /// Jobs currently queued.
     pub queue_depth: usize,
     /// High-water mark of the queue depth.

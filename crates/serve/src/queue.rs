@@ -92,6 +92,17 @@ impl SubmissionQueue {
     pub fn pop(&mut self) -> Option<JobId> {
         self.heap.pop().map(|q| q.id)
     }
+
+    /// Drops every queued entry for which `keep` returns `false` and
+    /// returns how many were removed. The queue sweep uses this to purge
+    /// entries whose jobs were finalized while queued (cancelled or
+    /// expired) — stale ids otherwise sit in the heap counting against the
+    /// admission bound until a worker happens to pop them.
+    pub fn retain_live(&mut self, mut keep: impl FnMut(JobId) -> bool) -> usize {
+        let before = self.heap.len();
+        self.heap.retain(|q| keep(q.id));
+        before - self.heap.len()
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +131,21 @@ mod tests {
         q.pop();
         assert!(q.push(JobId(2), Priority::High), "room after a dequeue");
         assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn retain_live_purges_and_frees_room() {
+        let mut q = SubmissionQueue::new(3);
+        assert!(q.push(JobId(0), Priority::Normal));
+        assert!(q.push(JobId(1), Priority::High));
+        assert!(q.push(JobId(2), Priority::Normal));
+        assert!(!q.has_room());
+        // Purge the two even ids, as a sweep would after finalizing them.
+        assert_eq!(q.retain_live(|id| id.0 % 2 == 1), 2);
+        assert_eq!(q.len(), 1);
+        assert!(q.has_room());
+        assert_eq!(q.pop(), Some(JobId(1)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

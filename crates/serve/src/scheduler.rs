@@ -1,5 +1,5 @@
 //! The device-pool scheduler: placement of jobs onto N simulated devices by
-//! estimated memory footprint.
+//! estimated memory footprint, with per-device circuit breakers.
 //!
 //! Each pool slot models one accelerator with `global_mem_bytes` of device
 //! memory. A job's footprint is [`cd_core::estimated_device_bytes`] — the
@@ -10,8 +10,30 @@
 //! pooled path: an exclusive reservation of the whole pool for a
 //! coarse-grained multi-device run ([`cd_core::louvain_multi_gpu`]), which
 //! brings its own failover/degradation ladder.
+//!
+//! ## Circuit breakers
+//!
+//! Each slot carries a three-state breaker driven by the server's
+//! success/failure reports:
+//!
+//! * **Closed** (healthy): placements proceed normally. Device-attributable
+//!   failures increment a consecutive-failure count; reaching
+//!   [`BreakerConfig::failure_threshold`] trips the breaker.
+//! * **Open** (quarantined): the slot takes no placements until its backoff
+//!   expires. Backoff grows exponentially with consecutive trips
+//!   ([`BreakerConfig::backoff_base`] × `backoff_multiplier`^trips, capped
+//!   at [`BreakerConfig::backoff_max`]).
+//! * **Half-open**: after the backoff elapses, the next placement
+//!   *reinstates* the slot tentatively — one more failure re-trips it
+//!   immediately (with a doubled backoff); a success closes it fully and
+//!   resets the backoff.
+//!
+//! The pooled path deliberately ignores quarantine: the multi-device run
+//! carries its own per-device failover ladder and can work around a broken
+//! member on its own.
 
 use cd_gpusim::DeviceConfig;
+use std::time::{Duration, Instant};
 
 /// Where the scheduler decided a job runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,15 +44,60 @@ pub enum Placement {
     Pooled,
 }
 
+/// Circuit-breaker tuning shared by every slot of a pool.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive device-attributable failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Quarantine length after the first trip.
+    pub backoff_base: Duration,
+    /// Factor the quarantine grows by on each consecutive re-trip.
+    pub backoff_multiplier: u32,
+    /// Upper bound on any quarantine length.
+    pub backoff_max: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_multiplier: 2,
+            backoff_max: Duration::from_secs(10),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The quarantine length after `trip_streak` consecutive trips (≥ 1).
+    fn backoff_for(&self, trip_streak: u32) -> Duration {
+        let mut backoff = self.backoff_base;
+        for _ in 1..trip_streak {
+            backoff = backoff.saturating_mul(self.backoff_multiplier.max(1));
+            if backoff >= self.backoff_max {
+                return self.backoff_max;
+            }
+        }
+        backoff.min(self.backoff_max)
+    }
+}
+
 /// Per-slot accounting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DeviceSlotStats {
-    /// Jobs completed on this slot (single-device placements only).
+    /// Jobs that completed successfully on this slot (single-device
+    /// placements only).
     pub jobs_completed: u64,
     /// Bytes currently reserved by in-flight placements.
     pub bytes_in_use: usize,
     /// In-flight single-device jobs on the slot.
     pub in_flight: usize,
+    /// Device-attributable failures reported against the slot.
+    pub failures: u64,
+    /// Times the slot's breaker tripped into quarantine.
+    pub trips: u64,
+    /// True while the slot is quarantined (breaker open).
+    pub quarantined: bool,
 }
 
 struct Slot {
@@ -38,6 +105,23 @@ struct Slot {
     bytes_in_use: usize,
     in_flight: usize,
     jobs_completed: u64,
+    /// Failures since the last success (or reinstatement baseline).
+    consecutive_failures: u32,
+    /// Total failures reported against this slot.
+    failures: u64,
+    /// Total breaker trips.
+    trips: u64,
+    /// Consecutive trips without an intervening success — the backoff
+    /// exponent.
+    trip_streak: u32,
+    /// `Some(t)`: quarantined until `t` (open until then, half-open after).
+    quarantined_until: Option<Instant>,
+}
+
+impl Slot {
+    fn quarantined(&self, now: Instant) -> bool {
+        self.quarantined_until.is_some_and(|until| now < until)
+    }
 }
 
 /// A pool of N simulated device slots with footprint-based placement.
@@ -49,12 +133,16 @@ struct Slot {
 pub struct DevicePool {
     slots: Vec<Slot>,
     device: DeviceConfig,
+    breaker: BreakerConfig,
     pooled_reserved: bool,
     pooled_jobs: u64,
+    breaker_trips: u64,
+    breaker_reinstatements: u64,
 }
 
 impl DevicePool {
-    /// A pool of `num_devices` slots (at least 1) of the given device model.
+    /// A pool of `num_devices` slots (at least 1) of the given device model,
+    /// with the default breaker tuning.
     pub fn new(num_devices: usize, device: DeviceConfig) -> Self {
         let n = num_devices.max(1);
         let slots = (0..n)
@@ -63,9 +151,28 @@ impl DevicePool {
                 bytes_in_use: 0,
                 in_flight: 0,
                 jobs_completed: 0,
+                consecutive_failures: 0,
+                failures: 0,
+                trips: 0,
+                trip_streak: 0,
+                quarantined_until: None,
             })
             .collect();
-        Self { slots, device, pooled_reserved: false, pooled_jobs: 0 }
+        Self {
+            slots,
+            device,
+            breaker: BreakerConfig::default(),
+            pooled_reserved: false,
+            pooled_jobs: 0,
+            breaker_trips: 0,
+            breaker_reinstatements: 0,
+        }
+    }
+
+    /// Returns the pool with its breaker tuning replaced.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
     }
 
     /// Number of device slots.
@@ -84,51 +191,140 @@ impl DevicePool {
     }
 
     /// Attempts to reserve capacity for a job of `footprint` bytes.
+    /// Equivalent to [`Self::try_place_at`] with no avoided slot, evaluated
+    /// now.
+    pub fn try_place(&mut self, footprint: usize) -> Option<Placement> {
+        self.try_place_at(footprint, None, Instant::now())
+    }
+
+    /// Attempts to reserve capacity for a job of `footprint` bytes,
+    /// skipping quarantined slots and — when another healthy slot exists —
+    /// the `avoid` slot a previous attempt of the same job failed on.
     ///
     /// Returns `None` when nothing can be reserved *right now* (the caller
-    /// waits for a release); the pool never rejects a job permanently —
-    /// oversized jobs queue for the exclusive pooled path.
-    pub fn try_place(&mut self, footprint: usize) -> Option<Placement> {
+    /// waits for a release or a quarantine expiry); the pool never rejects
+    /// a job permanently — oversized jobs queue for the exclusive pooled
+    /// path, and a fully-quarantined pool heals as backoffs elapse.
+    pub fn try_place_at(
+        &mut self,
+        footprint: usize,
+        avoid: Option<usize>,
+        now: Instant,
+    ) -> Option<Placement> {
         if self.pooled_reserved {
             // An exclusive multi-device run owns every slot.
             return None;
         }
         if self.needs_pool(footprint) {
-            // Whole-pool reservation requires every slot idle.
+            // Whole-pool reservation requires every slot idle. Quarantine is
+            // ignored: the multi-device path has its own failover ladder.
             if self.slots.iter().all(|s| s.in_flight == 0) {
                 self.pooled_reserved = true;
                 return Some(Placement::Pooled);
             }
             return None;
         }
+        // Only avoid the failed slot when some other non-quarantined slot
+        // could take the job at all — with a single healthy slot left, a
+        // retry there beats never running.
+        let avoid = avoid
+            .filter(|&a| self.slots.iter().enumerate().any(|(i, s)| i != a && !s.quarantined(now)));
         // Best fit: the slot with the most free bytes takes the job (spreads
         // load); ties resolve to the lowest index (determinism).
         let best = self
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.capacity_bytes - s.bytes_in_use >= footprint)
+            .filter(|(i, s)| {
+                Some(*i) != avoid
+                    && !s.quarantined(now)
+                    && s.capacity_bytes - s.bytes_in_use >= footprint
+            })
             .max_by_key(|(i, s)| (s.capacity_bytes - s.bytes_in_use, usize::MAX - i))?
             .0;
-        self.slots[best].bytes_in_use += footprint;
-        self.slots[best].in_flight += 1;
+        let slot = &mut self.slots[best];
+        if slot.quarantined_until.take().is_some() {
+            // Half-open: the backoff elapsed and the slot takes this job
+            // tentatively — one more failure re-trips immediately.
+            slot.consecutive_failures = self.breaker.failure_threshold.saturating_sub(1);
+            self.breaker_reinstatements += 1;
+        }
+        slot.bytes_in_use += footprint;
+        slot.in_flight += 1;
         Some(Placement::Single(best))
     }
 
-    /// Releases a reservation made by [`Self::try_place`].
+    /// Releases a reservation made by [`Self::try_place`] /
+    /// [`Self::try_place_at`]. Says nothing about the outcome — report that
+    /// separately with [`Self::note_success`] / [`Self::note_failure`].
     pub fn release(&mut self, placement: Placement, footprint: usize) {
         match placement {
             Placement::Single(i) => {
                 let slot = &mut self.slots[i];
                 slot.bytes_in_use = slot.bytes_in_use.saturating_sub(footprint);
                 slot.in_flight = slot.in_flight.saturating_sub(1);
-                slot.jobs_completed += 1;
             }
             Placement::Pooled => {
                 self.pooled_reserved = false;
                 self.pooled_jobs += 1;
             }
         }
+    }
+
+    /// Reports a successful run on a slot: counts the completion and fully
+    /// closes the slot's breaker (failure count, backoff streak, and any
+    /// half-open tentativeness all reset).
+    pub fn note_success(&mut self, slot: usize) {
+        let s = &mut self.slots[slot];
+        s.jobs_completed += 1;
+        s.consecutive_failures = 0;
+        s.trip_streak = 0;
+        s.quarantined_until = None;
+    }
+
+    /// Reports a device-attributable failure on a slot. Returns the
+    /// quarantine length when this failure tripped the breaker, `None` when
+    /// the slot merely accumulated a strike.
+    pub fn note_failure(&mut self, slot: usize, now: Instant) -> Option<Duration> {
+        let threshold = self.breaker.failure_threshold.max(1);
+        let s = &mut self.slots[slot];
+        s.failures += 1;
+        s.consecutive_failures += 1;
+        if s.consecutive_failures < threshold {
+            return None;
+        }
+        s.consecutive_failures = 0;
+        s.trip_streak += 1;
+        s.trips += 1;
+        self.breaker_trips += 1;
+        let backoff = self.breaker.backoff_for(s.trip_streak);
+        s.quarantined_until = Some(now + backoff);
+        Some(backoff)
+    }
+
+    /// Clears every quarantine immediately. The shutdown drain uses this so
+    /// queued work can still terminate instead of waiting out backoffs that
+    /// will never be observed again.
+    pub fn lift_quarantines(&mut self) {
+        for s in &mut self.slots {
+            s.quarantined_until = None;
+        }
+    }
+
+    /// Slots currently quarantined.
+    pub fn quarantined_devices(&self) -> usize {
+        let now = Instant::now();
+        self.slots.iter().filter(|s| s.quarantined(now)).count()
+    }
+
+    /// Total breaker trips across the pool.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips
+    }
+
+    /// Total half-open reinstatements across the pool.
+    pub fn breaker_reinstatements(&self) -> u64 {
+        self.breaker_reinstatements
     }
 
     /// Jobs that took the exclusive pooled path.
@@ -138,12 +334,16 @@ impl DevicePool {
 
     /// Point-in-time per-slot stats.
     pub fn slot_stats(&self) -> Vec<DeviceSlotStats> {
+        let now = Instant::now();
         self.slots
             .iter()
             .map(|s| DeviceSlotStats {
                 jobs_completed: s.jobs_completed,
                 bytes_in_use: s.bytes_in_use,
                 in_flight: s.in_flight,
+                failures: s.failures,
+                trips: s.trips,
+                quarantined: s.quarantined(now),
             })
             .collect()
     }
@@ -176,6 +376,7 @@ mod tests {
         assert_eq!(p.try_place(40), Some(Placement::Single(0)));
         assert_eq!(p.in_flight(), 4);
         p.release(Placement::Single(0), 40);
+        p.note_success(0);
         assert_eq!(p.slot_stats()[0].jobs_completed, 1);
     }
 
@@ -206,5 +407,94 @@ mod tests {
         assert_eq!(p.try_place(150), None, "busy slot blocks the exclusive reservation");
         p.release(Placement::Single(0), 10);
         assert_eq!(p.try_place(150), Some(Placement::Pooled));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_quarantines() {
+        let now = Instant::now();
+        let mut p = pool(2, 100).with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            backoff_base: Duration::from_secs(1),
+            backoff_multiplier: 2,
+            backoff_max: Duration::from_secs(8),
+        });
+        assert_eq!(p.note_failure(0, now), None, "first strike only");
+        let backoff = p.note_failure(0, now).expect("second strike trips");
+        assert_eq!(backoff, Duration::from_secs(1));
+        assert_eq!(p.breaker_trips(), 1);
+        assert!(p.slot_stats()[0].trips == 1 && p.slot_stats()[0].failures == 2);
+        // Quarantined slot 0 is skipped; placements land on slot 1.
+        assert_eq!(p.try_place_at(10, None, now), Some(Placement::Single(1)));
+        assert_eq!(p.try_place_at(10, None, now), Some(Placement::Single(1)));
+    }
+
+    #[test]
+    fn half_open_reinstates_then_retrips_with_doubled_backoff() {
+        let now = Instant::now();
+        let mut p = pool(1, 100).with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            backoff_base: Duration::from_secs(1),
+            backoff_multiplier: 2,
+            backoff_max: Duration::from_secs(8),
+        });
+        p.note_failure(0, now);
+        p.note_failure(0, now);
+        assert_eq!(p.try_place_at(10, None, now), None, "open breaker takes nothing");
+        // Backoff elapsed: half-open — the slot takes one tentative job.
+        let later = now + Duration::from_secs(2);
+        assert_eq!(p.try_place_at(10, None, later), Some(Placement::Single(0)));
+        assert_eq!(p.breaker_reinstatements(), 1);
+        p.release(Placement::Single(0), 10);
+        // One failure in half-open re-trips immediately, with doubled backoff.
+        assert_eq!(p.note_failure(0, later), Some(Duration::from_secs(2)));
+        // A success after the next reinstatement closes the breaker fully.
+        let even_later = later + Duration::from_secs(4);
+        assert_eq!(p.try_place_at(10, None, even_later), Some(Placement::Single(0)));
+        p.release(Placement::Single(0), 10);
+        p.note_success(0);
+        assert_eq!(p.note_failure(0, even_later), None, "streak reset: back to two strikes");
+        assert_eq!(p.slot_stats()[0].jobs_completed, 1);
+    }
+
+    #[test]
+    fn avoid_slot_is_skipped_only_when_alternatives_exist() {
+        let now = Instant::now();
+        let mut p = pool(2, 100);
+        // Slot 0 would win best-fit; avoiding it lands on slot 1.
+        assert_eq!(p.try_place_at(10, Some(0), now), Some(Placement::Single(1)));
+        // With slot 1 the only alternative quarantined, the avoided slot is
+        // used anyway — better a retry there than never running.
+        let mut lone = pool(2, 100)
+            .with_breaker(BreakerConfig { failure_threshold: 1, ..BreakerConfig::default() });
+        lone.note_failure(1, now);
+        assert_eq!(lone.try_place_at(10, Some(0), now), Some(Placement::Single(0)));
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            backoff_base: Duration::from_secs(1),
+            backoff_multiplier: 10,
+            backoff_max: Duration::from_secs(5),
+        };
+        assert_eq!(cfg.backoff_for(1), Duration::from_secs(1));
+        assert_eq!(cfg.backoff_for(2), Duration::from_secs(5));
+        assert_eq!(cfg.backoff_for(30), Duration::from_secs(5), "no overflow at deep streaks");
+    }
+
+    #[test]
+    fn lift_quarantines_reopens_the_pool() {
+        let now = Instant::now();
+        let mut p = pool(1, 100).with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            backoff_base: Duration::from_secs(3600),
+            ..BreakerConfig::default()
+        });
+        p.note_failure(0, now);
+        assert_eq!(p.try_place_at(10, None, now), None);
+        assert_eq!(p.quarantined_devices(), 1);
+        p.lift_quarantines();
+        assert!(p.try_place_at(10, None, now).is_some());
     }
 }

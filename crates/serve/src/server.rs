@@ -36,7 +36,7 @@ use crate::hash::CacheKey;
 use crate::job::{ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Rejected, ServeResult};
 use crate::metrics::{LatencyStats, MetricsState, ServeMetrics};
 use crate::queue::SubmissionQueue;
-use crate::scheduler::{DevicePool, Placement};
+use crate::scheduler::{BreakerConfig, DevicePool, Placement};
 use cd_core::{
     estimated_device_bytes, louvain_gpu_gated, louvain_multi_gpu, GpuLouvainError, MultiGpuConfig,
     RecoveryAction, StageAbort, ThresholdSchedule,
@@ -44,10 +44,11 @@ use cd_core::{
 use cd_gpusim::{Device, DeviceConfig};
 use cd_graph::Csr;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -69,6 +70,25 @@ pub struct ServerConfig {
     /// Whether the pooled multi-device path may degrade to the sequential
     /// host baseline when no healthy device can take a block.
     pub sequential_fallback: bool,
+    /// Per-device circuit-breaker tuning (failure threshold, quarantine
+    /// backoff).
+    pub breaker: BreakerConfig,
+    /// Extra placements a job may consume after device-attributable
+    /// failures before it is failed outright. `0` disables failover.
+    pub placement_retries: usize,
+    /// Period of the background queue sweep that expires deadline-passed
+    /// jobs while they wait (workers mode only; in manual mode call
+    /// [`Server::sweep_expired`] explicitly).
+    pub sweep_interval: Duration,
+    /// Reject submissions whose estimated execution time already exceeds
+    /// their deadline budget ([`Rejected::WontMeetDeadline`]), and shed
+    /// queued jobs at the dequeue checkpoint on the same grounds.
+    pub shed_unattainable: bool,
+    /// Path of the result-cache snapshot. When set, the server restores it
+    /// at startup (cold-starting cleanly if the file is missing or
+    /// corrupt); persist the current cache with
+    /// [`Server::snapshot_cache_to`].
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +100,11 @@ impl Default for ServerConfig {
             device: DeviceConfig::tesla_k40m(),
             cache_bytes: 64 << 20,
             sequential_fallback: true,
+            breaker: BreakerConfig::default(),
+            placement_retries: 2,
+            sweep_interval: Duration::from_millis(2),
+            shed_unattainable: true,
+            cache_snapshot: None,
         }
     }
 }
@@ -95,7 +120,7 @@ impl ServerConfig {
             num_devices: 2,
             device: DeviceConfig::tesla_k40m(),
             cache_bytes: 1 << 20,
-            sequential_fallback: true,
+            ..Self::default()
         }
     }
 }
@@ -110,6 +135,10 @@ struct JobState {
     cancel: Arc<AtomicBool>,
     submitted_at: Instant,
     deadline_at: Option<Instant>,
+    /// Placements that failed with a device-attributable error.
+    attempts: usize,
+    /// Slot of the most recent such failure, steered around on the retry.
+    avoid: Option<usize>,
 }
 
 /// The coalescing record of one in-flight content key: the job that will
@@ -129,6 +158,8 @@ struct Inner {
     next_id: u64,
     shutting_down: bool,
     sequential_fallback: bool,
+    shed_unattainable: bool,
+    placement_retries: usize,
 }
 
 impl Inner {
@@ -183,6 +214,7 @@ struct Shared {
     state: Mutex<Inner>,
     work_cv: Condvar,
     done_cv: Condvar,
+    sweep_cv: Condvar,
 }
 
 impl Shared {
@@ -200,10 +232,73 @@ enum Action {
     Wait,
 }
 
+/// Expires every queued job whose deadline has passed — leaders, queued
+/// followers, everything the periodic sweep can reach — settles coalescing
+/// state, and purges stale heap entries so expired work stops occupying
+/// queue room. Returns the number of jobs expired. The caller notifies
+/// `done_cv` (and `work_cv`, if the queue is non-empty) after unlocking.
+fn sweep_expired_locked(inner: &mut Inner, now: Instant) -> usize {
+    // Collect first: finalize needs the job table mutably.
+    let doomed: Vec<(JobId, CacheKey)> = inner
+        .jobs
+        .iter()
+        .filter(|(_, j)| {
+            j.outcome.is_none()
+                && j.status == JobStatus::Queued
+                && j.deadline_at.is_some_and(|d| now >= d)
+        })
+        .map(|(id, j)| (*id, j.key))
+        .collect();
+    for &(id, key) in &doomed {
+        if inner.jobs.get(&id).is_some_and(|j| j.outcome.is_some()) {
+            continue; // settled earlier in this sweep (e.g. skipped as a promoted follower)
+        }
+        let is_leader = inner.inflight.get(&key).map(|i| i.leader) == Some(id);
+        inner.finalize(id, JobOutcome::Expired { stage: None });
+        inner.metrics.expired_sweep += 1;
+        if is_leader {
+            inner.promote_follower(key);
+        } else if let Some(inf) = inner.inflight.get_mut(&key) {
+            inf.followers.retain(|f| *f != id);
+        }
+    }
+    // Drop heap entries of finalized jobs so they free queue room now
+    // instead of lingering until the dequeue checkpoint skips them.
+    let Inner { jobs, queue, .. } = inner;
+    queue.retain_live(|id| jobs.get(&id).is_some_and(|j| j.outcome.is_none()));
+    doomed.len()
+}
+
+/// The periodic queue sweep (workers mode): expires deadline-passed jobs
+/// while they wait, and doubles as the waker that lets parked workers
+/// re-test placement once a quarantine backoff has elapsed.
+fn sweeper_loop(shared: Arc<Shared>, interval: Duration) {
+    let mut inner = shared.lock();
+    loop {
+        if inner.shutting_down {
+            return;
+        }
+        let (guard, _) =
+            shared.sweep_cv.wait_timeout(inner, interval).unwrap_or_else(PoisonError::into_inner);
+        inner = guard;
+        if inner.shutting_down {
+            return;
+        }
+        let expired = sweep_expired_locked(&mut inner, Instant::now());
+        if expired > 0 {
+            shared.done_cv.notify_all();
+        }
+        if !inner.queue.is_empty() {
+            shared.work_cv.notify_all();
+        }
+    }
+}
+
 /// Pops until a runnable job is found, applying the dequeue checkpoint
-/// (stale-entry skip, cancellation, deadline) to everything popped. On
-/// placement failure the head is pushed back — same id, so its position
-/// within its priority class is preserved — and the caller waits.
+/// (stale-entry skip, cancellation, deadline, predictive shed) to
+/// everything popped. On placement failure the head is pushed back — same
+/// id, so its position within its priority class is preserved — and the
+/// caller waits.
 fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
     loop {
         let Some(id) = inner.queue.pop() else { return Action::Wait };
@@ -213,8 +308,13 @@ fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
             continue;
         }
         let key = job.key;
+        let footprint = job.footprint;
+        let priority = job.options.priority;
+        let deadline_at = job.deadline_at;
+        let avoid = job.avoid;
+        let cancelled = job.cancel.load(Ordering::SeqCst);
         let is_leader = inner.inflight.get(&key).map(|i| i.leader) == Some(id);
-        if job.cancel.load(Ordering::SeqCst) {
+        if cancelled {
             inner.finalize(id, JobOutcome::Cancelled { stage: None });
             if is_leader {
                 inner.promote_follower(key);
@@ -222,7 +322,9 @@ fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
             shared.done_cv.notify_all();
             continue;
         }
-        if job.deadline_at.is_some_and(|d| Instant::now() >= d) {
+        let now = Instant::now();
+        if deadline_at.is_some_and(|d| now >= d) {
+            inner.metrics.expired_dequeue += 1;
             inner.finalize(id, JobOutcome::Expired { stage: None });
             if is_leader {
                 inner.promote_follower(key);
@@ -230,11 +332,27 @@ fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
             shared.done_cv.notify_all();
             continue;
         }
-        let footprint = job.footprint;
-        match inner.pool.try_place(footprint) {
+        // Predictive shed: the deadline hasn't passed, but the estimated
+        // execution time already exceeds what's left of the budget — drop
+        // the job now rather than burn device time on a result nobody will
+        // wait for.
+        if inner.shed_unattainable {
+            if let (Some(d), Some(est)) = (deadline_at, inner.metrics.estimate_exec(footprint)) {
+                if est > d.saturating_duration_since(now) {
+                    inner.metrics.expired_dequeue += 1;
+                    inner.metrics.shed_predicted += 1;
+                    inner.finalize(id, JobOutcome::Expired { stage: None });
+                    if is_leader {
+                        inner.promote_follower(key);
+                    }
+                    shared.done_cv.notify_all();
+                    continue;
+                }
+            }
+        }
+        match inner.pool.try_place_at(footprint, avoid, now) {
             Some(placement) => return Action::Run(id, placement),
             None => {
-                let priority = job.options.priority;
                 inner.queue.push_promoted(id, priority);
                 return Action::Wait;
             }
@@ -245,7 +363,7 @@ fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
 /// Runs a placed job to completion: releases the lock, executes, re-locks,
 /// and settles the leader plus every coalesced follower.
 fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placement: Placement) {
-    let (graph, options, key, footprint, cancel, deadline_at) = {
+    let (graph, options, key, footprint, cancel, deadline_at, attempts) = {
         let job = inner.jobs.get_mut(&id).expect("placed job has state");
         job.status = JobStatus::Running;
         (
@@ -255,6 +373,7 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
             job.footprint,
             Arc::clone(&job.cancel),
             job.deadline_at,
+            job.attempts,
         )
     };
     let queue_wait = inner.jobs[&id].submitted_at.elapsed();
@@ -268,9 +387,14 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
 
     let exec_start = Instant::now();
     let raw: Result<(Arc<ServeResult>, ExecPath), GpuLouvainError> = match placement {
-        Placement::Single(slot) => Device::try_new(device_cfg.with_profile(options.profile))
-            .map_err(GpuLouvainError::Config)
-            .and_then(|dev| {
+        Placement::Single(slot) => {
+            let mut slot_cfg = device_cfg.with_profile(options.profile);
+            // Per-job fault injection targets one pool slot: the job carries
+            // the plan, and only a placement on that slot arms it.
+            if let Some(f) = options.fault.filter(|f| f.device == slot) {
+                slot_cfg = slot_cfg.with_fault_plan(f.plan);
+            }
+            Device::try_new(slot_cfg).map_err(GpuLouvainError::Config).and_then(|dev| {
                 let cfg = &options.config;
                 let schedule = ThresholdSchedule::two_level(
                     cfg.threshold_bin,
@@ -294,7 +418,8 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                     });
                     (result, ExecPath::SingleDevice { device: slot })
                 })
-            }),
+            })
+        }
         Placement::Pooled => {
             let cfg = MultiGpuConfig {
                 num_devices,
@@ -321,15 +446,34 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
     let mut inner = shared.lock();
     inner.pool.release(placement, footprint);
     inner.metrics.in_flight -= 1;
-    inner.metrics.record_exec(exec_time);
+    // Only single-device runs feed the per-byte estimator: pooled runs have
+    // a different cost shape.
+    let estimator_footprint = match placement {
+        Placement::Single(_) => Some(footprint),
+        Placement::Pooled => None,
+    };
+    inner.metrics.record_exec(exec_time, estimator_footprint);
     match raw {
         Ok((result, path)) => {
-            if let ExecPath::DevicePool { degraded, .. } = path {
-                inner.metrics.pooled_jobs += 1;
-                if degraded {
-                    inner.metrics.degraded_jobs += 1;
+            let path = match path {
+                ExecPath::SingleDevice { device } => {
+                    inner.pool.note_success(device);
+                    if attempts > 0 {
+                        inner.metrics.failed_over_jobs += 1;
+                        ExecPath::FailedOver { device, attempts: attempts + 1 }
+                    } else {
+                        path
+                    }
                 }
-            }
+                ExecPath::DevicePool { degraded, .. } => {
+                    inner.metrics.pooled_jobs += 1;
+                    if degraded {
+                        inner.metrics.degraded_jobs += 1;
+                    }
+                    path
+                }
+                other => other,
+            };
             inner.cache.insert(key, Arc::clone(&result));
             inner.finalize(id, JobOutcome::Completed { result: Arc::clone(&result), path });
             let followers = inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
@@ -345,28 +489,73 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                 } else {
                     JobOutcome::Completed { result: Arc::clone(&result), path: ExecPath::Coalesced }
                 };
+                if matches!(outcome, JobOutcome::Expired { .. }) {
+                    inner.metrics.expired_settle += 1;
+                }
                 inner.finalize(f, outcome);
             }
         }
         Err(GpuLouvainError::Aborted { stage, reason }) => {
             let outcome = match reason {
                 StageAbort::Cancelled => JobOutcome::Cancelled { stage: Some(stage) },
-                StageAbort::DeadlineExceeded => JobOutcome::Expired { stage: Some(stage) },
+                StageAbort::DeadlineExceeded => {
+                    inner.metrics.expired_stage += 1;
+                    JobOutcome::Expired { stage: Some(stage) }
+                }
             };
             inner.finalize(id, outcome);
             // Followers still want the result; hand leadership on.
             inner.promote_follower(key);
         }
         Err(e) => {
-            // The run is a pure function of (graph, options): an identical
-            // re-run would fail identically, so followers share the error.
-            let err = Arc::new(e);
-            inner.finalize(id, JobOutcome::Failed(Arc::clone(&err)));
-            let followers = inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
-            for f in followers {
-                let live = inner.jobs.get(&f).is_some_and(|j| j.outcome.is_none());
-                if live {
-                    inner.finalize(f, JobOutcome::Failed(Arc::clone(&err)));
+            let now = Instant::now();
+            let failed_slot = match placement {
+                Placement::Single(s) => Some(s),
+                Placement::Pooled => None,
+            };
+            // Feed the breaker: transient faults and mid-run stage failures
+            // indict the device; config/OOM errors indict the job.
+            let device_attributable = e.is_device_attributable();
+            if device_attributable {
+                if let Some(slot) = failed_slot {
+                    inner.pool.note_failure(slot, now);
+                }
+            }
+            let retry_slot =
+                failed_slot.filter(|_| device_attributable && attempts < inner.placement_retries);
+            if let Some(slot) = retry_slot {
+                // The fault was the device's, not the job's: re-queue onto a
+                // different slot — unless cancellation or the deadline
+                // caught up with the job across the failed placement.
+                if cancel.load(Ordering::SeqCst) {
+                    inner.finalize(id, JobOutcome::Cancelled { stage: None });
+                    inner.promote_follower(key);
+                } else if deadline_at.is_some_and(|d| now >= d) {
+                    inner.metrics.expired_settle += 1;
+                    inner.finalize(id, JobOutcome::Expired { stage: None });
+                    inner.promote_follower(key);
+                } else {
+                    let job = inner.jobs.get_mut(&id).expect("retried job has state");
+                    job.attempts += 1;
+                    job.avoid = Some(slot);
+                    job.status = JobStatus::Queued;
+                    let priority = job.options.priority;
+                    inner.queue.push_promoted(id, priority);
+                    inner.metrics.retried_jobs += 1;
+                }
+            } else {
+                // Out of retries, or the error indicts the (graph, options)
+                // content itself — an identical re-run would fail
+                // identically, so followers share the error.
+                let err = Arc::new(e);
+                inner.finalize(id, JobOutcome::Failed(Arc::clone(&err)));
+                let followers =
+                    inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
+                for f in followers {
+                    let live = inner.jobs.get(&f).is_some_and(|j| j.outcome.is_none());
+                    if live {
+                        inner.finalize(f, JobOutcome::Failed(Arc::clone(&err)));
+                    }
                 }
             }
         }
@@ -402,29 +591,58 @@ fn worker_loop(shared: Arc<Shared>) {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Builds a server (and spawns its worker threads, unless
     /// `config.workers == 0`).
+    ///
+    /// When [`ServerConfig::cache_snapshot`] is set, the result cache is
+    /// warm-started from that file. A missing file is a normal first boot;
+    /// an unreadable or corrupt snapshot is logged, counted
+    /// (`cache_restore_failures`), and discarded for a clean cold start —
+    /// never a panic.
     pub fn new(config: ServerConfig) -> Self {
+        let mut cache = ResultCache::new(config.cache_bytes);
+        let mut metrics = MetricsState::default();
+        if let Some(path) = &config.cache_snapshot {
+            match std::fs::read(path) {
+                Ok(bytes) => match cache.restore(&bytes) {
+                    Ok(n) => metrics.cache_restored_entries = n as u64,
+                    Err(e) => {
+                        eprintln!("cd-serve: discarding cache snapshot {}: {e}", path.display());
+                        metrics.cache_restore_failures = 1;
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!("cd-serve: cannot read cache snapshot {}: {e}", path.display());
+                    metrics.cache_restore_failures = 1;
+                }
+            }
+        }
         let inner = Inner {
             jobs: HashMap::new(),
             queue: SubmissionQueue::new(config.queue_capacity),
-            pool: DevicePool::new(config.num_devices, config.device.clone()),
-            cache: ResultCache::new(config.cache_bytes),
+            pool: DevicePool::new(config.num_devices, config.device.clone())
+                .with_breaker(config.breaker),
+            cache,
             inflight: HashMap::new(),
-            metrics: MetricsState::default(),
+            metrics,
             next_id: 0,
             shutting_down: false,
             sequential_fallback: config.sequential_fallback,
+            shed_unattainable: config.shed_unattainable,
+            placement_retries: config.placement_retries,
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(inner),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            sweep_cv: Condvar::new(),
         });
-        let workers = (0..config.workers)
+        let workers: Vec<_> = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -433,7 +651,17 @@ impl Server {
                     .expect("spawning a worker thread")
             })
             .collect();
-        Self { shared, workers }
+        // Manual mode gets no sweeper either: tests drive expiry explicitly
+        // with `sweep_expired`.
+        let sweeper = (config.workers > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            let interval = config.sweep_interval;
+            std::thread::Builder::new()
+                .name("cd-serve-sweeper".into())
+                .spawn(move || sweeper_loop(shared, interval))
+                .expect("spawning the sweeper thread")
+        });
+        Self { shared, workers, sweeper }
     }
 
     /// Submits a job. On success the job is owned by the server until it
@@ -470,6 +698,8 @@ impl Server {
             cancel: Arc::new(AtomicBool::new(false)),
             submitted_at: now,
             deadline_at,
+            attempts: 0,
+            avoid: None,
         };
         // Coalesce onto an identical in-flight job.
         if inner.inflight.contains_key(&key) {
@@ -480,7 +710,9 @@ impl Server {
             inner.metrics.submitted += 1;
             return Ok(id);
         }
-        // Content-addressed cache hit: completed before it ever queued.
+        // Content-addressed cache hit: completed before it ever queued. A
+        // free result beats every other admission decision — deadline
+        // included, since serving it costs no queue slot and no device time.
         if let Some(result) = inner.cache.lookup(&key) {
             let id = inner.alloc_id();
             inner.jobs.insert(id, state(JobStatus::Queued, None));
@@ -490,9 +722,38 @@ impl Server {
             self.shared.done_cv.notify_all();
             return Ok(id);
         }
+        // Dead on arrival: the deadline passed before admission. Admitted
+        // (the caller holds an awaitable id) but expired immediately, never
+        // occupying a queue slot.
+        if deadline_at.is_some_and(|d| now >= d) {
+            let id = inner.alloc_id();
+            inner.jobs.insert(id, state(JobStatus::Queued, None));
+            inner.metrics.submitted += 1;
+            inner.metrics.expired_admission += 1;
+            inner.finalize(id, JobOutcome::Expired { stage: None });
+            drop(inner);
+            self.shared.done_cv.notify_all();
+            return Ok(id);
+        }
+        // Unattainable SLO: the estimated execution time already exceeds
+        // the whole deadline budget, so running the job could only produce
+        // a late result. Shed at the door, honestly.
+        if inner.shed_unattainable {
+            if let (Some(d), Some(estimated)) =
+                (deadline_at, inner.metrics.estimate_exec(footprint))
+            {
+                let budget = d.saturating_duration_since(now);
+                if estimated > budget {
+                    inner.metrics.rejected += 1;
+                    inner.metrics.rejected_slo += 1;
+                    return Err(Rejected::WontMeetDeadline { estimated, budget });
+                }
+            }
+        }
         // Cold: admission control, then the queue.
         if !inner.queue.has_room() {
             inner.metrics.rejected += 1;
+            inner.metrics.rejected_queue_full += 1;
             return Err(Rejected::QueueFull { capacity: inner.queue.capacity() });
         }
         let id = inner.alloc_id();
@@ -588,18 +849,72 @@ impl Server {
         while self.process_one() {}
     }
 
+    /// Runs one expiry sweep over the queued jobs right now, expiring every
+    /// job whose deadline has passed while it waited. Returns the number
+    /// expired. A worker-mode server runs this automatically every
+    /// [`ServerConfig::sweep_interval`]; manual-mode tests call it directly.
+    pub fn sweep_expired(&self) -> usize {
+        let mut inner = self.shared.lock();
+        let expired = sweep_expired_locked(&mut inner, Instant::now());
+        let queue_nonempty = !inner.queue.is_empty();
+        drop(inner);
+        if expired > 0 {
+            self.shared.done_cv.notify_all();
+        }
+        if queue_nonempty {
+            self.shared.work_cv.notify_all();
+        }
+        expired
+    }
+
+    /// Serialises the current result cache into a snapshot byte image
+    /// (format: [`crate::persist`]), LRU-first so a restore reproduces the
+    /// recency order.
+    pub fn snapshot_cache(&self) -> Vec<u8> {
+        self.shared.lock().cache.snapshot()
+    }
+
+    /// Writes the cache snapshot to `path` atomically (temp file + rename,
+    /// so a crash mid-write can't leave a torn snapshot under the real
+    /// name). Returns the number of entries captured.
+    pub fn snapshot_cache_to(&self, path: &Path) -> std::io::Result<usize> {
+        let (bytes, entries) = {
+            let inner = self.shared.lock();
+            (inner.cache.snapshot(), inner.cache.entries())
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(entries)
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> ServeMetrics {
         let inner = self.shared.lock();
         ServeMetrics {
             submitted: inner.metrics.submitted,
             rejected: inner.metrics.rejected,
+            rejected_queue_full: inner.metrics.rejected_queue_full,
+            rejected_slo: inner.metrics.rejected_slo,
             completed: inner.metrics.completed,
             failed: inner.metrics.failed,
             cancelled: inner.metrics.cancelled,
             expired: inner.metrics.expired,
+            expired_admission: inner.metrics.expired_admission,
+            expired_sweep: inner.metrics.expired_sweep,
+            expired_dequeue: inner.metrics.expired_dequeue,
+            expired_stage: inner.metrics.expired_stage,
+            expired_settle: inner.metrics.expired_settle,
+            shed_predicted: inner.metrics.shed_predicted,
+            retried_jobs: inner.metrics.retried_jobs,
+            failed_over_jobs: inner.metrics.failed_over_jobs,
+            breaker_trips: inner.pool.breaker_trips(),
+            breaker_reinstatements: inner.pool.breaker_reinstatements(),
+            quarantined_devices: inner.pool.quarantined_devices(),
             pooled_jobs: inner.metrics.pooled_jobs,
             degraded_jobs: inner.metrics.degraded_jobs,
+            cache_restored_entries: inner.metrics.cache_restored_entries,
+            cache_restore_failures: inner.metrics.cache_restore_failures,
             queue_depth: inner.queue.len(),
             max_queue_depth: inner.queue.max_depth(),
             in_flight: inner.metrics.in_flight,
@@ -620,9 +935,17 @@ impl Server {
         {
             let mut inner = self.shared.lock();
             inner.shutting_down = true;
+            // Quarantines make no sense during a drain: better a suspect
+            // device than jobs stranded behind an empty pool with no one
+            // left to observe the backoff expire.
+            inner.pool.lift_quarantines();
         }
         self.shared.work_cv.notify_all();
+        self.shared.sweep_cv.notify_all();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sweeper.take() {
             let _ = handle.join();
         }
         // Manual mode (or freshly-shut-down workers racing a late promote):

@@ -93,16 +93,17 @@ fn dequeue_is_priority_then_fifo() {
 }
 
 #[test]
-fn zero_deadline_expires_at_the_dequeue_checkpoint() {
+fn zero_deadline_expires_at_the_admission_checkpoint() {
     let server = manual(16);
     let id = server.submit(ring(80), JobOptions::default().with_deadline(Duration::ZERO)).unwrap();
-    assert_eq!(server.status(id), Some(JobStatus::Queued));
-    server.run_until_idle();
+    // Dead on arrival: settled synchronously, never occupying a queue slot.
+    assert_eq!(server.status(id), Some(JobStatus::Expired));
     match server.await_result(id) {
         JobOutcome::Expired { stage: None } => {}
-        other => panic!("expected queue-level expiry, got {other:?}"),
+        other => panic!("expected admission-level expiry, got {other:?}"),
     }
-    assert_eq!(server.metrics().expired, 1);
+    let m = server.metrics();
+    assert_eq!((m.expired, m.expired_admission, m.queue_depth), (1, 1, 0));
 }
 
 #[test]
@@ -302,6 +303,7 @@ fn seeded_trace_is_deterministic_lossless_and_reuses_work() {
         workloads: vec!["com-dblp".into(), "cnr2000".into()],
         base: JobOptions::default(),
         vary_pruning: true,
+        oversized: None,
     };
     let run = |cfg: &TraceConfig| {
         let mut server = Server::new(ServerConfig {
