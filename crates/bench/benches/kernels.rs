@@ -5,7 +5,9 @@
 
 use cd_core::hashtable::{TableSpace, TableStorage};
 use cd_core::primes::table_size_for;
-use cd_gpusim::{BlockCounters, Device, DeviceConfig, GlobalF64, GroupCtx};
+use cd_gpusim::{
+    BlockCounters, Device, DeviceConfig, GlobalF64, GroupCtx, Instrumented, Parallel, Profile,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_hash_insert(c: &mut Criterion) {
@@ -58,6 +60,55 @@ fn bench_thrust(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lockstep emulation vs the native direct path on the two loops the
+/// parallel backend retargets: the hash-table probe loop (the inner loop of
+/// `computeMove`) and frontier compaction (`copy_if` over the vertex set).
+/// The lockstep legs carry per-lane `step()` bookkeeping; the direct legs
+/// are what `Profile::Parallel` executes per block.
+fn bench_backend_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_paths");
+
+    let deg = 84usize;
+    let slots = table_size_for(deg).unwrap();
+    let keys: Vec<u32> = (0..deg as u32).map(|i| (i * 2654435761) % (deg as u32 / 2 + 1)).collect();
+    macro_rules! probe_loop {
+        ($name:literal, $profile:ty) => {
+            group.bench_function(concat!("hash_probe/", $name), |b| {
+                let mut storage = TableStorage::with_capacity(slots);
+                let mut counters = BlockCounters::default();
+                b.iter(|| {
+                    let mut ctx = GroupCtx::<$profile>::typed(0, 32, &mut counters);
+                    let mut t = storage.table(slots, TableSpace::Shared);
+                    t.reset(&mut ctx);
+                    for &k in &keys {
+                        t.insert_add(&mut ctx, k, 1.0);
+                    }
+                    black_box(t.len())
+                });
+            });
+        };
+    }
+    probe_loop!("lockstep", Instrumented);
+    probe_loop!("direct", Parallel);
+
+    // Frontier compaction as the pruned optimization phase issues it: keep
+    // the ~1/8 of vertices whose community changed this iteration.
+    let n = 100_000usize;
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    for (name, dev) in [
+        ("lockstep", Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast))),
+        (
+            "direct",
+            Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Parallel).with_threads(1)),
+        ),
+    ] {
+        group.bench_function(format!("frontier_compact_100k/{name}"), |b| {
+            b.iter(|| black_box(dev.copy_if(&vertices, |&v| v % 8 == 0)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_atomics(c: &mut Criterion) {
     let mut group = c.benchmark_group("atomics");
     let buf = GlobalF64::zeroed(1024);
@@ -91,6 +142,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_hash_insert, bench_thrust, bench_atomics
+    targets = bench_hash_insert, bench_thrust, bench_backend_paths, bench_atomics
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|large] [--out DIR]
-//!                    [--profile instrumented|fast] [--clients N]
+//!                    [--profile instrumented|fast|racecheck|parallel] [--clients N]
 //!
 //! experiments:
 //!   table1    graphs, sequential vs GPU times and modularity
@@ -22,7 +22,9 @@
 //!   schedule  multi-level threshold schedules (Section 6)
 //!   faults    fault-injection sweep and multi-device failover
 //!   opt-bench perf snapshot of the optimization hot loop (BENCH_opt.json)
-//!   backend   Fast vs Instrumented execution profiles (BENCH_backend.json)
+//!   backend   Instrumented vs Fast vs native-Parallel execution profiles
+//!             at 1 and N worker threads (BENCH_backend.json; exits nonzero
+//!             if any backend diverges from Instrumented)
 //!   racecheck full-pipeline hazard sweep under the race detector
 //!             (BENCH_racecheck.json; exits nonzero on any hazard)
 //!   serve     closed-loop load test of the cd-serve service: seeded suite
@@ -38,10 +40,11 @@
 //! ```
 //!
 //! `--profile` selects the execution profile for the GPU runs (default:
-//! `CD_GPUSIM_PROFILE`, instrumented if unset). Experiments whose
-//! measurement *is* the instrumented cost model reject `--profile fast`
-//! rather than report zero model times; `backend` and `racecheck` pin their
-//! profiles themselves.
+//! `CD_GPUSIM_PROFILE`, instrumented if unset; `parallel` honours
+//! `CD_GPUSIM_THREADS`, auto-detecting the core count when unset).
+//! Experiments whose measurement *is* the instrumented cost model reject
+//! uninstrumented profiles rather than report zero model times; `backend`
+//! and `racecheck` pin their profiles themselves.
 
 use cd_bench::experiments;
 use cd_gpusim::Profile;
@@ -82,7 +85,7 @@ fn main() {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--profile needs a value"));
                 profile = Profile::parse(v)
-                    .unwrap_or_else(|| die("profile must be instrumented|fast|racecheck"));
+                    .unwrap_or_else(|| die("profile must be instrumented|fast|racecheck|parallel"));
             }
             "--clients" => {
                 i += 1;
@@ -100,7 +103,7 @@ fn main() {
     if !profile.is_instrumented() && !FAST_SAFE.contains(&experiment) {
         die(&format!(
             "experiment '{experiment}' quotes the instrumented cost model and cannot run under \
-             the fast profile; fast supports: {}",
+             the {profile} profile; uninstrumented profiles support: {}",
             FAST_SAFE.join(", ")
         ));
     }
@@ -109,8 +112,12 @@ fn main() {
     // *require* a specific profile still pin it explicitly).
     std::env::set_var("CD_GPUSIM_PROFILE", profile.to_string());
 
+    // The effective worker count the native backend will use (1 for the
+    // lockstep profiles) — surfaced so a run's parallelism is on record next
+    // to its numbers.
+    let threads = cd_gpusim::DeviceConfig::tesla_k40m().with_profile(profile).effective_threads();
     println!(
-        "# repro: experiment={experiment} scale={scale:?} out={} profile={profile}",
+        "# repro: experiment={experiment} scale={scale:?} out={} profile={profile} threads={threads}",
         out.display()
     );
     let t0 = std::time::Instant::now();
@@ -163,7 +170,7 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck] [--clients N]\n\n\
+         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck|parallel] [--clients N]\n\n\
          experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\

@@ -3,7 +3,8 @@
 
 use crate::report::{f4, ratio, secs, Table};
 use crate::runner::{
-    run_cpu_parallel, run_gpu, run_gpu_profiled, run_plm, run_seq, run_seq_adaptive,
+    run_cpu_parallel, run_gpu, run_gpu_parallel, run_gpu_profiled, run_plm, run_seq,
+    run_seq_adaptive,
 };
 use cd_core::{GpuLouvainConfig, HashPlacement, ThreadAssignment, UpdateStrategy};
 use cd_gpusim::Profile;
@@ -963,19 +964,44 @@ pub fn opt_snapshot(scale: Scale, out: &Path) {
     }
 }
 
-/// Execution-backend comparison: the same workloads under the `Fast` and
-/// `Instrumented` profiles. The two must agree bit-for-bit on labels and
-/// modularity (the profiles differ only in what they *record*); the payoff
-/// is opt-phase wall time, written as `BENCH_backend.json` (committed
-/// baseline at `Scale::Medium`, regenerated as a CI artifact).
+/// Execution-backend comparison: the same workloads under the
+/// `Instrumented`, `Fast`, and native-`Parallel` (at 1 thread and at the
+/// host's core count) execution profiles. All four runs must agree
+/// bit-for-bit on labels and modularity — the profiles differ only in what
+/// they *record* and *where blocks run* — and the process exits nonzero if
+/// they do not, which is the CI divergence gate. The payoff is opt-phase
+/// wall time, written as `BENCH_backend.json` (committed baseline at
+/// `Scale::Medium`, regenerated as a CI artifact).
 pub fn backend_snapshot(scale: Scale, out: &Path) {
     let names = ["road-usa", "com-dblp", "uk2002"];
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // On a single-core host the many-thread leg still runs (oversubscribed)
+    // to exercise the pool path; its speedup is then a scheduling-overhead
+    // measurement, not a parallelism one, and the JSON records `host_cores`
+    // so readers can tell which they are looking at.
+    let par_n = cores.max(2);
     let mut t = Table::new(
-        format!("Execution backends — Fast vs Instrumented opt wall time (scale: {scale:?})"),
-        &["graph", "pruning", "instr opt[s]", "fast opt[s]", "fast speedup", "Q", "|dQ|", "labels"],
+        format!(
+            "Execution backends — opt wall time, instrumented vs fast vs parallel \
+             (scale: {scale:?}, host cores: {cores})"
+        ),
+        &[
+            "graph",
+            "pruning",
+            "instr[s]",
+            "fast[s]",
+            "par@1[s]",
+            &format!("par@{par_n}[s]"),
+            "par@1/fast",
+            &format!("par@{par_n}/fast"),
+            "Q",
+            "labels",
+        ],
     );
     let mut entries = String::new();
-    let mut speedups = Vec::new();
+    let mut fast_speedups = Vec::new();
+    let mut par1_speedups = Vec::new();
+    let mut parn_speedups = Vec::new();
     let mut max_drift = 0.0f64;
     let mut all_identical = true;
     for name in names {
@@ -984,39 +1010,58 @@ pub fn backend_snapshot(scale: Scale, out: &Path) {
         for pruning in [true, false] {
             let mut cfg = gpu_cfg(scale);
             cfg.pruning = pruning;
-            // Best of three per profile, with the repetitions interleaved
-            // (I,F, I,F, I,F) so slow ambient drift on the host lands on both
-            // profiles equally instead of biasing whichever ran second.
+            // Best of three per backend, with the repetitions interleaved
+            // (I,F,P1,PN, I,F,P1,PN, ...) so slow ambient drift on the host
+            // lands on every backend equally instead of biasing whichever
+            // ran last.
             let mut instr: Option<crate::runner::GpuRun> = None;
             let mut fast: Option<crate::runner::GpuRun> = None;
+            let mut par1: Option<crate::runner::GpuRun> = None;
+            let mut parn: Option<crate::runner::GpuRun> = None;
             for _ in 0..3 {
-                for (profile, best) in
-                    [(Profile::Instrumented, &mut instr), (Profile::Fast, &mut fast)]
-                {
-                    let run = run_gpu_profiled(g, &cfg, profile);
+                for (run, best) in [
+                    (run_gpu_profiled(g, &cfg, Profile::Instrumented), &mut instr),
+                    (run_gpu_profiled(g, &cfg, Profile::Fast), &mut fast),
+                    (run_gpu_parallel(g, &cfg, 1), &mut par1),
+                    (run_gpu_parallel(g, &cfg, par_n), &mut parn),
+                ] {
                     if best.as_ref().is_none_or(|b| run.opt_wall() < b.opt_wall()) {
                         *best = Some(run);
                     }
                 }
             }
             let (instr, fast) = (instr.unwrap(), fast.unwrap());
+            let (par1, parn) = (par1.unwrap(), parn.unwrap());
             let instr_s = instr.opt_wall().as_secs_f64();
             let fast_s = fast.opt_wall().as_secs_f64();
-            let speedup = instr_s / fast_s.max(1e-12);
-            speedups.push(speedup);
-            let drift = (instr.result.modularity - fast.result.modularity).abs();
+            let par1_s = par1.opt_wall().as_secs_f64();
+            let parn_s = parn.opt_wall().as_secs_f64();
+            let fast_speedup = instr_s / fast_s.max(1e-12);
+            let par1_vs_fast = fast_s / par1_s.max(1e-12);
+            let parn_vs_fast = fast_s / parn_s.max(1e-12);
+            fast_speedups.push(fast_speedup);
+            par1_speedups.push(par1_vs_fast);
+            parn_speedups.push(parn_vs_fast);
+            let refq = instr.result.modularity;
+            let drift = [&fast, &par1, &parn]
+                .iter()
+                .map(|r| (refq - r.result.modularity).abs())
+                .fold(0.0f64, f64::max);
             max_drift = max_drift.max(drift);
-            let labels_identical =
-                instr.result.partition.as_slice() == fast.result.partition.as_slice();
+            let labels_identical = [&fast, &par1, &parn]
+                .iter()
+                .all(|r| r.result.partition.as_slice() == instr.result.partition.as_slice());
             all_identical &= labels_identical && drift == 0.0;
             t.row(vec![
                 name.to_string(),
                 pruning.to_string(),
                 format!("{instr_s:.4}"),
                 format!("{fast_s:.4}"),
-                ratio(speedup),
-                format!("{:.12}", instr.result.modularity),
-                format!("{drift:.1e}"),
+                format!("{par1_s:.4}"),
+                format!("{parn_s:.4}"),
+                ratio(par1_vs_fast),
+                ratio(parn_vs_fast),
+                format!("{refq:.12}"),
                 if labels_identical { "identical".into() } else { "DIVERGED".into() },
             ]);
             if !entries.is_empty() {
@@ -1026,40 +1071,64 @@ pub fn backend_snapshot(scale: Scale, out: &Path) {
                 "\n    {{\n      \"graph\": \"{name}\",\n      \"pruning\": {pruning},\n      \
                  \"vertices\": {nv},\n      \"arcs\": {na},\n      \
                  \"instrumented_opt_seconds\": {instr_s:.6},\n      \
-                 \"fast_opt_seconds\": {fast_s:.6},\n      \"fast_opt_speedup\": {speedup:.4},\n      \
-                 \"modularity\": {q:.15},\n      \"modularity_drift\": {drift:.3e},\n      \
+                 \"fast_opt_seconds\": {fast_s:.6},\n      \
+                 \"parallel1_opt_seconds\": {par1_s:.6},\n      \
+                 \"parallel{par_n}_opt_seconds\": {parn_s:.6},\n      \
+                 \"fast_opt_speedup\": {fast_speedup:.4},\n      \
+                 \"parallel1_vs_fast\": {par1_vs_fast:.4},\n      \
+                 \"parallel{par_n}_vs_fast\": {parn_vs_fast:.4},\n      \
+                 \"modularity\": {refq:.15},\n      \"modularity_drift\": {drift:.3e},\n      \
                  \"labels_identical\": {labels_identical}\n    }}",
                 nv = g.num_vertices(),
                 na = g.num_arcs(),
-                q = instr.result.modularity,
             ));
         }
     }
     t.print();
-    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let gm_fast = geometric_mean(&fast_speedups);
+    let gm_par1 = geometric_mean(&par1_speedups);
+    let gm_parn = geometric_mean(&parn_speedups);
     println!(
-        "fast-profile opt speedup: min {} / geo-mean {}; max |dQ| = {max_drift:.1e}; labels {} (gate: >=1.3x, |dQ| = 0, labels identical)",
-        ratio(min),
-        ratio(geometric_mean(&speedups)),
-        if all_identical { "identical on every workload" } else { "DIVERGED — backends disagree" },
+        "fast vs instrumented: geo-mean {}; parallel@1 vs fast: geo-mean {}; \
+         parallel@{par_n} vs fast: geo-mean {} ({cores}-core host); max |dQ| = {max_drift:.1e}; \
+         labels {}",
+        ratio(gm_fast),
+        ratio(gm_par1),
+        ratio(gm_parn),
+        if all_identical {
+            "identical on every workload"
+        } else {
+            "DIVERGED — backends disagree"
+        },
     );
     let json = format!(
         "{{\n  \"experiment\": \"backend_snapshot\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"device\": \"tesla_k40m\",\n  \"profiles\": [\"{}\", \"{}\"],\n  \
+         \"device\": \"tesla_k40m\",\n  \"host_cores\": {cores},\n  \
+         \"parallel_threads\": {par_n},\n  \
+         \"profiles\": [\"{}\", \"{}\", \"{} x1\", \"{} x{par_n}\"],\n  \
          \"workloads\": [{entries}\n  ],\n  \"summary\": {{\n    \
-         \"min_fast_opt_speedup\": {min:.4},\n    \
-         \"geo_mean_fast_opt_speedup\": {gm:.4},\n    \
+         \"geo_mean_fast_opt_speedup\": {gm_fast:.4},\n    \
+         \"geo_mean_parallel1_vs_fast\": {gm_par1:.4},\n    \
+         \"geo_mean_parallel{par_n}_vs_fast\": {gm_parn:.4},\n    \
          \"max_modularity_drift\": {max_drift:.3e},\n    \
          \"all_labels_identical\": {all_identical}\n  }}\n}}\n",
         Profile::Instrumented,
         Profile::Fast,
-        gm = geometric_mean(&speedups),
+        Profile::Parallel,
+        Profile::Parallel,
     );
     std::fs::create_dir_all(out).ok();
     let path = out.join("BENCH_backend.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    if !all_identical {
+        eprintln!(
+            "error: backend snapshot found label or modularity divergence between \
+             execution profiles (see above)"
+        );
+        std::process::exit(1);
     }
 }
 

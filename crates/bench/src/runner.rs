@@ -96,6 +96,16 @@ pub fn run_gpu_profiled(graph: &Csr, cfg: &GpuLouvainConfig, profile: Profile) -
     run_gpu_on(graph, cfg, DeviceConfig::tesla_k40m().with_profile(profile))
 }
 
+/// Runs the GPU algorithm under the native-parallel profile with an explicit
+/// worker count (`0` = auto-detect), ignoring `CD_GPUSIM_THREADS`.
+pub fn run_gpu_parallel(graph: &Csr, cfg: &GpuLouvainConfig, threads: usize) -> GpuRun {
+    run_gpu_on(
+        graph,
+        cfg,
+        DeviceConfig::tesla_k40m().with_profile(Profile::Parallel).with_threads(threads),
+    )
+}
+
 /// Runs the GPU algorithm on a fresh device with an explicit configuration.
 pub fn run_gpu_on(graph: &Csr, cfg: &GpuLouvainConfig, device_config: DeviceConfig) -> GpuRun {
     let dev = Device::new(device_config.clone());
@@ -160,6 +170,20 @@ mod tests {
         assert_eq!(fast.metrics.profile(), Profile::Fast);
         assert_eq!(fast.result.modularity.to_bits(), slow.result.modularity.to_bits());
         assert_eq!(fast.result.partition.as_slice(), slow.result.partition.as_slice());
+    }
+
+    #[test]
+    fn parallel_run_matches_instrumented_and_reports_its_threads() {
+        let g = cliques(3, 6, true);
+        let cfg = GpuLouvainConfig::paper_default();
+        let par = run_gpu_parallel(&g, &cfg, 2);
+        let slow = run_gpu_profiled(&g, &cfg, Profile::Instrumented);
+        assert_eq!(par.profile(), Profile::Parallel);
+        assert_eq!(par.metrics.threads(), 2);
+        assert_eq!(par.model_seconds, 0.0);
+        assert!(par.metrics.kernels().is_empty());
+        assert_eq!(par.result.modularity.to_bits(), slow.result.modularity.to_bits());
+        assert_eq!(par.result.partition.as_slice(), slow.result.partition.as_slice());
     }
 
     #[test]

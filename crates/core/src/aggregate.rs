@@ -59,6 +59,7 @@ pub fn aggregate(
         Profile::Instrumented => aggregate_typed::<Instrumented>(dev, g, comm, cfg),
         Profile::Fast => aggregate_typed::<Fast>(dev, g, comm, cfg),
         Profile::Racecheck => aggregate_typed::<cd_gpusim::Racecheck>(dev, g, comm, cfg),
+        Profile::Parallel => aggregate_typed::<cd_gpusim::Parallel>(dev, g, comm, cfg),
     }
 }
 

@@ -386,6 +386,9 @@ pub fn modularity_optimization(
         Profile::Racecheck => {
             modularity_optimization_typed::<cd_gpusim::Racecheck>(dev, g, cfg, threshold)
         }
+        Profile::Parallel => {
+            modularity_optimization_typed::<cd_gpusim::Parallel>(dev, g, cfg, threshold)
+        }
     }
 }
 

@@ -1,14 +1,17 @@
 //! Backend-equivalence tests at the algorithm level: the `Fast`,
-//! `Instrumented`, and `Racecheck` execution profiles may differ only in what
-//! they *record*, never in what they *compute*. The hash-table proptests are
-//! the cd-core half of the primitive-level equivalence bar (the thrust half
-//! lives in cd-gpusim); the Louvain tests check the full pipeline end to end
-//! across all three profiles.
+//! `Instrumented`, `Racecheck`, and `Parallel` execution profiles may differ
+//! only in what they *record* and *where blocks run*, never in what they
+//! *compute*. The hash-table proptests are the cd-core half of the
+//! primitive-level equivalence bar (the thrust half lives in cd-gpusim); the
+//! Louvain tests check the full pipeline end to end across all four
+//! profiles, and the schedule-independence test sweeps the native backend's
+//! thread count to prove results do not depend on the work-claiming
+//! schedule.
 
 use cd_core::hashtable::{TableSpace, TableStorage};
 use cd_core::{louvain_gpu, GpuLouvainConfig};
 use cd_gpusim::{
-    BlockCounters, Device, DeviceConfig, Fast, GroupCtx, Instrumented, Profile, Racecheck,
+    BlockCounters, Device, DeviceConfig, Fast, GroupCtx, Instrumented, Parallel, Profile, Racecheck,
 };
 use cd_graph::gen::{cliques, planted_partition};
 use proptest::prelude::*;
@@ -20,9 +23,14 @@ fn device_pair() -> (Device, Device) {
     )
 }
 
-fn device_trio() -> (Device, Device, Device) {
+fn device_quad() -> (Device, Device, Device, Device) {
     let (slow, fast) = device_pair();
-    (slow, fast, Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Racecheck)))
+    (
+        slow,
+        fast,
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Racecheck)),
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Parallel).with_threads(2)),
+    )
 }
 
 /// Everything observable from a table replay: per-insert `(slot, running)`
@@ -60,21 +68,27 @@ proptest! {
         let slow = replay::<Instrumented>(&ops, 97, space);
         let fast = replay::<Fast>(&ops, 97, space);
         let rc = replay::<Racecheck>(&ops, 97, space);
+        let par = replay::<Parallel>(&ops, 97, space);
         // Same probe sequences, bit-identical accumulated weights.
         prop_assert_eq!(slow.0.len(), fast.0.len());
         prop_assert_eq!(slow.0.len(), rc.0.len());
-        for ((a, b), c) in slow.0.iter().zip(&fast.0).zip(&rc.0) {
+        prop_assert_eq!(slow.0.len(), par.0.len());
+        for (((a, b), c), d) in slow.0.iter().zip(&fast.0).zip(&rc.0).zip(&par.0) {
             prop_assert_eq!(a.0, b.0);
             prop_assert_eq!(a.0, c.0);
+            prop_assert_eq!(a.0, d.0);
             prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
             prop_assert_eq!(a.1.to_bits(), c.1.to_bits());
+            prop_assert_eq!(a.1.to_bits(), d.1.to_bits());
         }
-        for ((a, b), c) in slow.1.iter().zip(&fast.1).zip(&rc.1) {
+        for (((a, b), c), d) in slow.1.iter().zip(&fast.1).zip(&rc.1).zip(&par.1) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
             prop_assert_eq!(a.to_bits(), c.to_bits());
+            prop_assert_eq!(a.to_bits(), d.to_bits());
         }
         prop_assert_eq!(&slow.2, &fast.2);
         prop_assert_eq!(&slow.2, &rc.2);
+        prop_assert_eq!(&slow.2, &par.2);
     }
 
     #[test]
@@ -96,31 +110,45 @@ proptest! {
     }
 }
 
-#[test]
-fn louvain_identical_labels_and_modularity_across_profiles() {
-    let (slow, fast, rc) = device_trio();
-    let graphs = [
+fn test_graphs() -> [cd_graph::Csr; 4] {
+    [
         cliques(4, 8, true),
         planted_partition(6, 40, 0.4, 0.01, 3).graph,
         planted_partition(5, 30, 0.4, 0.02, 11).graph,
         cd_graph::gen::add_random_edges(&cd_graph::gen::cycle(200), 400, 7),
-    ];
-    for (gi, g) in graphs.iter().enumerate() {
+    ]
+}
+
+fn labels_of(r: &cd_core::louvain::GpuLouvainResult, n: u32) -> Vec<u32> {
+    (0..n).map(|v| r.partition.community_of(v)).collect()
+}
+
+#[test]
+fn louvain_identical_labels_and_modularity_across_profiles() {
+    let (slow, fast, rc, par) = device_quad();
+    for (gi, g) in test_graphs().iter().enumerate() {
         for pruning in [false, true] {
             let mut cfg = GpuLouvainConfig::paper_default();
             cfg.pruning = pruning;
             let a = louvain_gpu(&slow, g, &cfg).unwrap();
             let b = louvain_gpu(&fast, g, &cfg).unwrap();
             let c = louvain_gpu(&rc, g, &cfg).unwrap();
+            let d = louvain_gpu(&par, g, &cfg).unwrap();
             let n = g.num_vertices() as u32;
-            let labels = |r: &cd_core::louvain::GpuLouvainResult| {
-                (0..n).map(|v| r.partition.community_of(v)).collect::<Vec<_>>()
-            };
-            assert_eq!(labels(&a), labels(&b), "graph {gi} pruning={pruning}: labels diverge");
             assert_eq!(
-                labels(&a),
-                labels(&c),
+                labels_of(&a, n),
+                labels_of(&b, n),
+                "graph {gi} pruning={pruning}: labels diverge"
+            );
+            assert_eq!(
+                labels_of(&a, n),
+                labels_of(&c, n),
                 "graph {gi} pruning={pruning}: racecheck labels diverge"
+            );
+            assert_eq!(
+                labels_of(&a, n),
+                labels_of(&d, n),
+                "graph {gi} pruning={pruning}: parallel labels diverge"
             );
             assert_eq!(
                 a.modularity.to_bits(),
@@ -136,16 +164,28 @@ fn louvain_identical_labels_and_modularity_across_profiles() {
                 a.modularity,
                 c.modularity
             );
+            assert_eq!(
+                a.modularity.to_bits(),
+                d.modularity.to_bits(),
+                "graph {gi} pruning={pruning}: parallel Q {} vs {}",
+                a.modularity,
+                d.modularity
+            );
             assert_eq!(a.stages.len(), b.stages.len());
             assert_eq!(a.stages.len(), c.stages.len());
+            assert_eq!(a.stages.len(), d.stages.len());
         }
     }
-    // The instrumented device recorded kernels; the fast one recorded none
-    // and says so.
+    // The instrumented device recorded kernels; the fast and parallel ones
+    // recorded none and say so.
     assert!(!slow.metrics().kernels().is_empty());
     let fm = fast.metrics();
     assert!(fm.kernels().is_empty());
     assert_eq!(fm.profile(), Profile::Fast);
+    let pm = par.metrics();
+    assert!(pm.kernels().is_empty());
+    assert_eq!(pm.profile(), Profile::Parallel);
+    assert_eq!(pm.threads(), 2);
     // The racecheck device watched every access of every pipeline launch and
     // found no hazards: the false-positive guard for the detector.
     let reports = rc.race_reports();
@@ -159,8 +199,50 @@ fn louvain_identical_labels_and_modularity_across_profiles() {
 }
 
 #[test]
+fn parallel_results_independent_of_thread_count() {
+    // Schedule independence: the native backend must produce bit-identical
+    // labels and Q no matter how many workers claim blocks (1 = inline, 2 =
+    // pool, 8 = heavily oversubscribed on small hosts, which maximally
+    // perturbs the claim order).
+    for (gi, g) in test_graphs().iter().enumerate() {
+        for pruning in [false, true] {
+            let mut cfg = GpuLouvainConfig::paper_default();
+            cfg.pruning = pruning;
+            let reference: Option<(Vec<u32>, u64)> = None;
+            let mut reference = reference;
+            for threads in [1usize, 2, 8] {
+                let dev = Device::new(
+                    DeviceConfig::tesla_k40m()
+                        .with_profile(Profile::Parallel)
+                        .with_threads(threads),
+                );
+                let r = louvain_gpu(&dev, g, &cfg).unwrap();
+                let n = g.num_vertices() as u32;
+                let got = (labels_of(&r, n), r.modularity.to_bits());
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => {
+                        assert_eq!(
+                            want.0, got.0,
+                            "graph {gi} pruning={pruning} threads={threads}: labels diverge"
+                        );
+                        assert_eq!(
+                            want.1,
+                            got.1,
+                            "graph {gi} pruning={pruning} threads={threads}: Q {} vs {}",
+                            f64::from_bits(want.1),
+                            f64::from_bits(got.1)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn aggregation_identical_across_profiles() {
-    let (slow, fast, rc) = device_trio();
+    let (slow, fast, rc, par) = device_quad();
     let g = cd_graph::gen::add_random_edges(&cd_graph::gen::cycle(150), 300, 5);
     let dg = cd_core::DeviceGraph::from_csr(&g);
     let comm: Vec<u32> = (0..150u32).map(|v| (v * 31 + 7) % 13).collect();
@@ -168,16 +250,21 @@ fn aggregation_identical_across_profiles() {
     let a = cd_core::aggregate_graph(&slow, &dg, &comm, &cfg).unwrap();
     let b = cd_core::aggregate_graph(&fast, &dg, &comm, &cfg).unwrap();
     let c = cd_core::aggregate_graph(&rc, &dg, &comm, &cfg).unwrap();
+    let d = cd_core::aggregate_graph(&par, &dg, &comm, &cfg).unwrap();
     assert_eq!(a.vertex_map, b.vertex_map);
     assert_eq!(a.vertex_map, c.vertex_map);
+    assert_eq!(a.vertex_map, d.vertex_map);
     assert_eq!(a.graph.offsets, b.graph.offsets);
     assert_eq!(a.graph.offsets, c.graph.offsets);
+    assert_eq!(a.graph.offsets, d.graph.offsets);
     assert_eq!(a.graph.targets, b.graph.targets);
     assert_eq!(a.graph.targets, c.graph.targets);
+    assert_eq!(a.graph.targets, d.graph.targets);
     let bits = |x: &cd_core::AggregateOutcome| {
         x.graph.weights.iter().map(|w| w.to_bits()).collect::<Vec<u64>>()
     };
     assert_eq!(bits(&a), bits(&b));
     assert_eq!(bits(&a), bits(&c));
+    assert_eq!(bits(&a), bits(&d));
     assert!(rc.race_reports().is_empty(), "racecheck flagged aggregation: {:?}", rc.race_reports());
 }

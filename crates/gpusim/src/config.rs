@@ -50,9 +50,22 @@ pub struct DeviceConfig {
     pub fault_plan: crate::fault::FaultPlan,
     /// Execution profile: [`crate::Profile::Instrumented`] keeps counters,
     /// cycle model, and fault injection; [`crate::Profile::Fast`] compiles
-    /// accounting out. The stock constructors honour the `CD_GPUSIM_PROFILE`
-    /// environment variable (see [`crate::Profile::from_env`]).
+    /// accounting out; [`crate::Profile::Parallel`] additionally runs blocks
+    /// as real host threads. The stock constructors honour the
+    /// `CD_GPUSIM_PROFILE` environment variable (see
+    /// [`crate::Profile::from_env`]).
     pub profile: crate::profile::Profile,
+    /// Host worker threads for the [`crate::Profile::Parallel`] backend.
+    /// `0` (the default) means "auto": use `std::thread::available_parallelism`.
+    /// The stock constructors honour the `CD_GPUSIM_THREADS` environment
+    /// variable. Ignored by the lockstep profiles.
+    pub threads: usize,
+}
+
+/// Reads `CD_GPUSIM_THREADS`, returning `0` ("auto") when unset or
+/// unparseable.
+fn threads_from_env() -> usize {
+    std::env::var("CD_GPUSIM_THREADS").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
 }
 
 impl DeviceConfig {
@@ -77,6 +90,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 4000.0,
             fault_plan: crate::fault::FaultPlan::disabled(),
             profile: crate::profile::Profile::from_env(),
+            threads: threads_from_env(),
         }
     }
 
@@ -102,6 +116,7 @@ impl DeviceConfig {
             launch_overhead_cycles: 100.0,
             fault_plan: crate::fault::FaultPlan::disabled(),
             profile: crate::profile::Profile::from_env(),
+            threads: threads_from_env(),
         }
     }
 
@@ -115,6 +130,28 @@ impl DeviceConfig {
     pub fn with_profile(mut self, profile: crate::profile::Profile) -> Self {
         self.profile = profile;
         self
+    }
+
+    /// Returns the configuration with the given native-backend thread count
+    /// (`0` = auto). Only meaningful with [`crate::Profile::Parallel`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The thread count the native backend will actually use: `threads` if
+    /// explicitly set, otherwise the host's available parallelism. Always at
+    /// least 1. Lockstep profiles report 1 (they execute launches on the
+    /// calling thread unless the legacy chunked fan-out kicks in).
+    pub fn effective_threads(&self) -> usize {
+        if !self.profile.is_native() {
+            return 1;
+        }
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 
     /// Checks cross-field consistency. An active fault plan requires the
@@ -234,6 +271,29 @@ mod tests {
             .validate()
             .is_ok());
         assert!(DeviceConfig::test_tiny().with_profile(Profile::Fast).validate().is_ok());
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        use crate::profile::Profile;
+        // Lockstep profiles always report 1 regardless of the knob.
+        let c = DeviceConfig::test_tiny().with_profile(Profile::Fast).with_threads(8);
+        assert_eq!(c.effective_threads(), 1);
+        // Parallel honours an explicit count.
+        let c = DeviceConfig::test_tiny().with_profile(Profile::Parallel).with_threads(8);
+        assert_eq!(c.effective_threads(), 8);
+        // Auto (0) resolves to at least one thread.
+        let c = DeviceConfig::test_tiny().with_profile(Profile::Parallel).with_threads(0);
+        assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn faults_are_rejected_on_the_parallel_profile() {
+        use crate::profile::{ConfigError, Profile};
+        let plan = crate::fault::FaultPlan::seeded(7).with_abort_rate(0.1);
+        let c = DeviceConfig::test_tiny().with_fault_plan(plan).with_profile(Profile::Parallel);
+        assert_eq!(c.validate(), Err(ConfigError::FaultsRequireInstrumented));
+        assert!(DeviceConfig::test_tiny().with_profile(Profile::Parallel).validate().is_ok());
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!
 //! Blocks execute concurrently on the rayon pool; each block owns private
 //! [`BlockCounters`] merged into the device metrics when the launch
-//! completes, so the hot path takes no locks.
+//! completes, so the hot path takes no locks. Under the native
+//! [`crate::Parallel`] profile the lockstep emulation is bypassed entirely:
+//! blocks run as direct scalar loops on the persistent work-claiming pool
+//! in [`crate::schedule`], with per-participant scratch reuse and no
+//! per-warp interleaving.
 //!
 //! Every launcher has a fallible `try_*` form returning
 //! [`Result`]`<(), `[`LaunchError`]`>`. Configuration errors (bad group
@@ -43,15 +47,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// True when the host has a single execution unit: the block loop then runs
-/// inline, skipping the parallel-iterator machinery (whose per-launch setup
-/// is pure overhead without a second core). One block is always inline for
-/// the same reason. Results are identical either way — block execution is
-/// order-independent.
+/// Whether the lockstep profiles run their block fan-out inline on the
+/// calling thread instead of the rayon pool. The explicit escape hatch is
+/// the `CD_GPUSIM_SERIAL` environment variable: `1` forces inline, `0`
+/// forces the pool fan-out, and unset keeps the automatic probe — inline
+/// iff the host has a single execution unit, where the fan-out's per-launch
+/// setup is pure overhead. One block is always inline for the same reason.
+/// Results are identical either way — block execution is order-independent.
+/// The native [`crate::Parallel`] profile does not consult this; its thread
+/// count comes from `CD_GPUSIM_THREADS` /
+/// [`DeviceConfig::effective_threads`].
 fn serial_host() -> bool {
-    static SINGLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *SINGLE
-        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(true))
+    static SERIAL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SERIAL.get_or_init(|| match std::env::var("CD_GPUSIM_SERIAL").ok().as_deref().map(str::trim) {
+        Some("1") => true,
+        Some("0") => false,
+        _ => std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(true),
+    })
 }
 
 /// A simulated GPU.
@@ -122,6 +134,7 @@ impl Device {
     ///     Profile::Instrumented => histogram::<cd_gpusim::Instrumented>(&dev, &counts),
     ///     Profile::Fast => histogram::<cd_gpusim::Fast>(&dev, &counts),
     ///     Profile::Racecheck => histogram::<cd_gpusim::Racecheck>(&dev, &counts),
+    ///     Profile::Parallel => histogram::<cd_gpusim::Parallel>(&dev, &counts),
     /// }
     /// assert_eq!(counts.to_vec(), vec![250, 250, 250, 250]);
     /// assert!(dev.metrics().kernels().is_empty()); // Fast records nothing
@@ -135,7 +148,11 @@ impl Device {
     /// entries exist (launches are not recorded) rather than entries full of
     /// zeroed counters.
     pub fn metrics(&self) -> MetricsReport {
-        self.metrics.lock().snapshot(self.pool.lock().stats, self.cfg.profile)
+        self.metrics.lock().snapshot(
+            self.pool.lock().stats,
+            self.cfg.profile,
+            self.cfg.effective_threads(),
+        )
     }
 
     /// Clears all recorded metrics (including fault and pool counters).
@@ -551,6 +568,39 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
             }
             counters
         };
+        if P::NATIVE {
+            // Faults require the instrumented profile, so a Parallel launch
+            // never has an abort/stuck decision to honour. Blocks run as
+            // direct scalar loops: no per-lane bookkeeping, no racecheck
+            // guard, and the per-block scratch is built once per
+            // *participant* and reused across every block it claims —
+            // kernels reset their scratch per task, so a launch allocates
+            // at most `threads` states instead of `n_blocks`.
+            let threads = dev.cfg.effective_threads();
+            let run_native = |state: &mut S, block: usize| {
+                let mut counters = BlockCounters::default();
+                let lo = block * tasks_per_block;
+                let hi = (lo + tasks_per_block).min(n_tasks);
+                for task in lo..hi {
+                    let mut ctx = GroupCtx::<P>::typed(block, lanes, &mut counters);
+                    kernel(&mut ctx, state, task);
+                }
+            };
+            if threads <= 1 || n_blocks == 1 {
+                let mut state = block_state();
+                for block in 0..n_blocks {
+                    run_native(&mut state, block);
+                }
+            } else {
+                let states: Mutex<Vec<S>> = Mutex::new(Vec::new());
+                crate::schedule::run_blocks(threads, n_blocks, |block| {
+                    let mut state = states.lock().pop().unwrap_or_else(&block_state);
+                    run_native(&mut state, block);
+                    states.lock().push(state);
+                });
+            }
+            return Ok(());
+        }
         let inline = n_blocks == 1 || serial_host();
         if P::INSTRUMENTED {
             // One block (or a single-core host) has no parallelism to
@@ -639,6 +689,19 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
             kernel(&mut ctx, &mut state);
             counters
         };
+        if P::NATIVE {
+            // Block-wide kernels keep per-block state (its shape can depend
+            // on the block id — e.g. per-block table capacities); the native
+            // win here is real threads plus skipped fault/shadow plumbing.
+            let threads = dev.cfg.effective_threads();
+            crate::schedule::run_blocks(threads, n_blocks, |block| {
+                let mut counters = BlockCounters::default();
+                let mut state = block_state(block);
+                let mut ctx = GroupCtx::<P>::typed(block, block_threads, &mut counters);
+                kernel(&mut ctx, &mut state);
+            });
+            return Ok(());
+        }
         let inline = n_blocks == 1 || serial_host();
         if P::INSTRUMENTED {
             let totals = if inline {
@@ -733,6 +796,23 @@ impl<'d, P: ExecutionProfile> Exec<'d, P> {
             }
             counters
         };
+        if P::NATIVE {
+            // Elementwise kernels carry no per-warp state (`step()` and the
+            // collectives' accounting are compiled out), so the native path
+            // drops the warp-stepped loop entirely: one context per block,
+            // one flat scalar loop over its threads.
+            let threads = dev.cfg.effective_threads();
+            crate::schedule::run_blocks(threads, n_blocks, |block| {
+                let mut counters = BlockCounters::default();
+                let lo = block * block_threads;
+                let hi = (lo + block_threads).min(n_threads);
+                let mut ctx = GroupCtx::<P>::typed(block, warp, &mut counters);
+                for thread in lo..hi {
+                    kernel(&mut ctx, thread);
+                }
+            });
+            return Ok(());
+        }
         let inline = n_blocks == 1 || serial_host();
         if P::INSTRUMENTED {
             let totals = if inline {
@@ -914,6 +994,7 @@ mod tests {
             Profile::Instrumented => run_typed::<Instrumented>(dev, out),
             Profile::Fast => run_typed::<Fast>(dev, out),
             Profile::Racecheck => run_typed::<crate::profile::Racecheck>(dev, out),
+            Profile::Parallel => run_typed::<crate::profile::Parallel>(dev, out),
         };
         fn run_typed<P: ExecutionProfile>(dev: &Device, out: &GlobalU32) {
             let ex = dev.exec::<P>();
@@ -952,6 +1033,99 @@ mod tests {
         assert!(fm.kernels().is_empty());
         assert_eq!(fm.profile(), Profile::Fast);
         assert_eq!(slow.metrics().profile(), Profile::Instrumented);
+    }
+
+    #[test]
+    fn parallel_launches_match_lockstep_and_record_nothing() {
+        use crate::profile::Parallel;
+        let cfg = DeviceConfig::test_tiny();
+        let reference = {
+            let dev = Device::new(cfg.clone().with_profile(Profile::Instrumented));
+            let out = GlobalU32::zeroed(10);
+            exercise::<Instrumented>(&dev, &out);
+            out.to_vec()
+        };
+        fn exercise<P: ExecutionProfile>(dev: &Device, out: &GlobalU32) {
+            let ex = dev.exec::<P>();
+            ex.launch_threads("init", 500, |ctx, t| {
+                ctx.atomic_add_u32(out, t % 10, 1);
+            });
+            ex.launch_tasks(
+                "tasks",
+                100,
+                8,
+                0,
+                || (),
+                |ctx, _, task| {
+                    ctx.atomic_add_u32(out, task % 10, 1);
+                },
+            );
+            ex.launch_blocks(
+                "blocks",
+                3,
+                |b| b as u32,
+                |ctx, b| {
+                    ctx.atomic_add_u32(out, *b as usize, 5);
+                },
+            );
+        }
+        for threads in [1, 2, 8] {
+            let dev =
+                Device::new(cfg.clone().with_profile(Profile::Parallel).with_threads(threads));
+            let out = GlobalU32::zeroed(10);
+            exercise::<Parallel>(&dev, &out);
+            assert_eq!(out.to_vec(), reference, "threads={threads}");
+            let m = dev.metrics();
+            assert!(m.kernels().is_empty(), "Parallel records no kernel entries");
+            assert_eq!(m.profile(), Profile::Parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_task_scratch_is_per_participant_not_per_block() {
+        use crate::profile::Parallel;
+        // 256 tasks of width 32 => 64 blocks. Lockstep builds 64 states (see
+        // launch_tasks_block_state_reused_within_block); the native path
+        // builds at most one per participant.
+        let count_states = |threads: usize| {
+            let dev = Device::new(
+                DeviceConfig::test_tiny().with_profile(Profile::Parallel).with_threads(threads),
+            );
+            let constructions = GlobalU32::zeroed(1);
+            dev.exec::<Parallel>().launch_tasks(
+                "state",
+                256,
+                32,
+                0,
+                || {
+                    constructions.atomic_add(0, 1);
+                },
+                |_, _, _| {},
+            );
+            constructions.load(0)
+        };
+        assert_eq!(count_states(1), 1);
+        let c = count_states(4);
+        assert!((1..=4).contains(&c), "expected <= 4 states, got {c}");
+    }
+
+    #[test]
+    fn parallel_launch_errors_still_surface() {
+        use crate::profile::Parallel;
+        let dev = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Parallel));
+        let ex = dev.exec::<Parallel>();
+        let e = ex.try_launch_tasks("bad", 1, 5, 0, || (), |_, _, _: usize| {});
+        assert_eq!(e, Err(LaunchError::InvalidGroupWidth { lanes: 5 }));
+        let e = ex.try_launch_tasks("big", 10, 4, 512, || (), |_, _, _: usize| {});
+        assert!(matches!(e, Err(LaunchError::SharedMemoryExceeded { .. })));
+    }
+
+    #[test]
+    fn try_new_rejects_faults_on_parallel() {
+        let cfg = DeviceConfig::test_tiny()
+            .with_fault_plan(FaultPlan::seeded(1).with_abort_rate(0.5))
+            .with_profile(Profile::Parallel);
+        assert!(matches!(Device::try_new(cfg), Err(ConfigError::FaultsRequireInstrumented)));
     }
 
     #[test]

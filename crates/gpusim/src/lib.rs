@@ -28,9 +28,10 @@
 //! ```
 //!
 //! Observability is pluggable: see [`profile`] for the
-//! `Instrumented`/`Fast`/`Racecheck` split between execution semantics and
-//! accounting, and [`racecheck`] for the happens-before hazard detector the
-//! third profile turns on.
+//! `Instrumented`/`Fast`/`Racecheck`/`Parallel` split between execution
+//! semantics and accounting, [`racecheck`] for the happens-before hazard
+//! detector the third profile turns on, and [`schedule`] for the persistent
+//! work-claiming pool the fourth profile runs blocks on.
 
 #![warn(missing_docs)]
 
@@ -43,6 +44,7 @@ pub mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod racecheck;
+pub mod schedule;
 pub mod thrust;
 
 pub use config::DeviceConfig;
@@ -52,5 +54,7 @@ pub use launch::{Device, Exec};
 pub use memory::{GlobalF64, GlobalU32, GlobalU64};
 pub use metrics::{BlockCounters, KernelMetrics, MetricsReport};
 pub use pool::{PoolStats, PooledF64, PooledU32, PooledU64};
-pub use profile::{ConfigError, ExecutionProfile, Fast, Instrumented, Profile, Racecheck};
+pub use profile::{
+    ConfigError, ExecutionProfile, Fast, Instrumented, Parallel, Profile, Racecheck,
+};
 pub use racecheck::{AccessKind, MemSpace, RaceClass, RaceReport};

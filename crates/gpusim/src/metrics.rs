@@ -135,6 +135,7 @@ pub struct MetricsReport {
     faults: FaultStats,
     pool: PoolStats,
     profile: crate::profile::Profile,
+    threads: usize,
     races: Vec<RaceReport>,
     race_events: u64,
 }
@@ -145,10 +146,11 @@ impl MetricsReport {
         faults: FaultStats,
         pool: PoolStats,
         profile: crate::profile::Profile,
+        threads: usize,
         races: Vec<RaceReport>,
         race_events: u64,
     ) -> Self {
-        Self { entries, faults, pool, profile, races, race_events }
+        Self { entries, faults, pool, profile, threads, races, race_events }
     }
 
     /// Deduplicated race reports from [`crate::Racecheck`] launches (one per
@@ -169,6 +171,14 @@ impl MetricsReport {
     /// should report that explicitly rather than print zeroed counters.
     pub fn profile(&self) -> crate::profile::Profile {
         self.profile
+    }
+
+    /// Effective host worker threads of the device's execution backend (see
+    /// [`DeviceConfig::effective_threads`]): the resolved `CD_GPUSIM_THREADS`
+    /// count under [`crate::Profile::Parallel`], and 1 for the lockstep
+    /// profiles, which execute launches on the calling thread.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Fault-injection counters: injected by the device, detected/recovered
@@ -256,12 +266,14 @@ impl MetricsStore {
         &self,
         pool: PoolStats,
         profile: crate::profile::Profile,
+        threads: usize,
     ) -> MetricsReport {
         MetricsReport::new(
             self.order.iter().map(|name| (name.clone(), self.map[name].clone())).collect(),
             self.faults,
             pool,
             profile,
+            threads,
             self.races.clone(),
             self.race_events,
         )
@@ -309,7 +321,8 @@ mod tests {
         s.record_launch("b", 1, BlockCounters::default(), Duration::ZERO, 64);
         s.record_launch("a", 1, BlockCounters::default(), Duration::ZERO, 0);
         s.record_launch("b", 2, BlockCounters::default(), Duration::ZERO, 32);
-        let r = s.snapshot(PoolStats::default(), crate::profile::Profile::Instrumented);
+        let r = s.snapshot(PoolStats::default(), crate::profile::Profile::Instrumented, 1);
+        assert_eq!(r.threads(), 1);
         assert_eq!(r.kernels()[0].0, "b");
         assert_eq!(r.kernels()[1].0, "a");
         assert_eq!(r.kernel("b").unwrap().launches, 2);

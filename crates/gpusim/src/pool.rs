@@ -15,9 +15,10 @@
 
 use crate::launch::Device;
 use crate::memory::{GlobalF64, GlobalU32, GlobalU64};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU32, AtomicU64};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Counters of pool activity since the last metrics reset.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -112,12 +113,82 @@ impl PoolStore {
     }
 }
 
+/// Per-class cap on the thread-local free lists. Small on purpose: the hot
+/// loop keeps a handful of scratch buffers per worker; anything beyond that
+/// overflows to the shared device pool so one thread cannot hoard memory.
+const TLS_CACHE_CAP: usize = 4;
+
+/// Thread-local free lists used by the uninstrumented profiles (Fast and
+/// Parallel): acquisitions and releases on the hot path skip the device
+/// mutex entirely, which matters once [`crate::Profile::Parallel`] runs
+/// blocks from many worker threads at once. Buffers are plain host
+/// allocations with no device affinity, so a list shared across devices is
+/// safe; they are re-zeroed on every acquisition. The instrumented profiles
+/// bypass this cache so [`PoolStats`] stays an exact account of pool
+/// traffic.
+#[derive(Default)]
+struct TlsCache {
+    words32: HashMap<usize, Vec<Vec<AtomicU32>>>,
+    words64: HashMap<usize, Vec<Vec<AtomicU64>>>,
+}
+
+thread_local! {
+    static TLS_POOL: RefCell<TlsCache> = RefCell::new(TlsCache::default());
+}
+
+fn tls_acquire_u32(len: usize) -> Option<Vec<AtomicU32>> {
+    let cells = TLS_POOL.with(|p| p.borrow_mut().words32.get_mut(&size_class(len))?.pop())?;
+    for c in &cells[..len] {
+        c.store(0, Ordering::Relaxed);
+    }
+    Some(cells)
+}
+
+fn tls_acquire_u64(len: usize) -> Option<Vec<AtomicU64>> {
+    let cells = TLS_POOL.with(|p| p.borrow_mut().words64.get_mut(&size_class(len))?.pop())?;
+    for c in &cells[..len] {
+        c.store(0, Ordering::Relaxed);
+    }
+    Some(cells)
+}
+
+/// Offers a retired allocation to the thread-local cache; returns it back
+/// when the class is at capacity (the caller then releases to the device
+/// pool).
+fn tls_release_u32(cells: Vec<AtomicU32>) -> Option<Vec<AtomicU32>> {
+    TLS_POOL.with(|p| {
+        let mut cache = p.borrow_mut();
+        let list = cache.words32.entry(cells.len()).or_default();
+        if list.len() >= TLS_CACHE_CAP {
+            return Some(cells);
+        }
+        list.push(cells);
+        None
+    })
+}
+
+fn tls_release_u64(cells: Vec<AtomicU64>) -> Option<Vec<AtomicU64>> {
+    TLS_POOL.with(|p| {
+        let mut cache = p.borrow_mut();
+        let list = cache.words64.entry(cells.len()).or_default();
+        if list.len() >= TLS_CACHE_CAP {
+            return Some(cells);
+        }
+        list.push(cells);
+        None
+    })
+}
+
 impl Device {
     /// Acquires a zero-filled `u32` buffer of logical length `len` from the
     /// pool (allocating on miss). The guard returns the allocation on drop.
     #[track_caller]
     pub fn pool_u32(&self, len: usize) -> PooledU32<'_> {
-        let cells = self.pool_store().acquire_u32(len);
+        let cells = if self.profile().is_instrumented() {
+            self.pool_store().acquire_u32(len)
+        } else {
+            tls_acquire_u32(len).unwrap_or_else(|| self.pool_store().acquire_u32(len))
+        };
         PooledU32 { dev: self, buf: Some(GlobalU32::from_pooled(cells, len)) }
     }
 
@@ -125,7 +196,11 @@ impl Device {
     /// pool.
     #[track_caller]
     pub fn pool_u64(&self, len: usize) -> PooledU64<'_> {
-        let cells = self.pool_store().acquire_u64(len);
+        let cells = if self.profile().is_instrumented() {
+            self.pool_store().acquire_u64(len)
+        } else {
+            tls_acquire_u64(len).unwrap_or_else(|| self.pool_store().acquire_u64(len))
+        };
         PooledU64 { dev: self, buf: Some(GlobalU64::from_pooled(cells, len)) }
     }
 
@@ -133,18 +208,25 @@ impl Device {
     /// pool (shares the 64-bit word pool with [`Device::pool_u64`]).
     #[track_caller]
     pub fn pool_f64(&self, len: usize) -> PooledF64<'_> {
-        let cells = self.pool_store().acquire_u64(len);
+        let cells = if self.profile().is_instrumented() {
+            self.pool_store().acquire_u64(len)
+        } else {
+            tls_acquire_u64(len).unwrap_or_else(|| self.pool_store().acquire_u64(len))
+        };
         PooledF64 { dev: self, buf: Some(GlobalF64::from_pooled(cells, len)) }
     }
 
-    /// Pool counters since the last metrics reset.
+    /// Pool counters since the last metrics reset. Exact under the
+    /// instrumented profiles; under Fast/Parallel the thread-local free
+    /// lists serve steady-state traffic without touching these counters, so
+    /// only cold misses and cache overflow show up here.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool_store().stats
     }
 }
 
 macro_rules! pooled_guard {
-    ($guard:ident, $target:ident, $release:ident, $doc:literal) => {
+    ($guard:ident, $target:ident, $release:ident, $tls_release:ident, $doc:literal) => {
         #[doc = $doc]
         ///
         /// The drop path runs during unwinding too: a guard dropped while a
@@ -166,7 +248,12 @@ macro_rules! pooled_guard {
         impl Drop for $guard<'_> {
             fn drop(&mut self) {
                 if let Some(buf) = self.buf.take() {
-                    self.dev.pool_store().$release(buf.into_pooled());
+                    let cells = buf.into_pooled();
+                    if self.dev.profile().is_instrumented() {
+                        self.dev.pool_store().$release(cells);
+                    } else if let Some(overflow) = $tls_release(cells) {
+                        self.dev.pool_store().$release(overflow);
+                    }
                 }
             }
         }
@@ -177,6 +264,7 @@ pooled_guard!(
     PooledU32,
     GlobalU32,
     release_u32,
+    tls_release_u32,
     "RAII guard over a pooled [`GlobalU32`]; derefs to it and returns the \
      allocation to the device pool on drop."
 );
@@ -184,6 +272,7 @@ pooled_guard!(
     PooledU64,
     GlobalU64,
     release_u64,
+    tls_release_u64,
     "RAII guard over a pooled [`GlobalU64`]; derefs to it and returns the \
      allocation to the device pool on drop."
 );
@@ -191,6 +280,7 @@ pooled_guard!(
     PooledF64,
     GlobalF64,
     release_u64,
+    tls_release_u64,
     "RAII guard over a pooled [`GlobalF64`]; derefs to it and returns the \
      allocation to the device pool on drop."
 );
@@ -201,7 +291,10 @@ mod tests {
     use crate::config::DeviceConfig;
 
     fn dev() -> Device {
-        Device::new(DeviceConfig::test_tiny())
+        // Stats-asserting tests need the exact mutex-side accounting, which
+        // only the instrumented profiles keep (the TLS cache bypasses it),
+        // so they must not be flipped by CD_GPUSIM_PROFILE.
+        Device::new(DeviceConfig::test_tiny().with_profile(crate::profile::Profile::Instrumented))
     }
 
     #[test]
@@ -283,6 +376,50 @@ mod tests {
         let b2 = d.pool_u32(100);
         assert_eq!(d.pool_stats().hits, 1);
         assert!(b2.to_vec().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn uninstrumented_profiles_recycle_through_the_tls_cache() {
+        use crate::profile::Profile;
+        let d = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Parallel));
+        // Cold acquisition misses through to the device pool...
+        {
+            let b = d.pool_u32(100);
+            b.store(5, 17);
+        }
+        let misses_after_cold = d.pool_stats().misses;
+        assert_eq!(misses_after_cold, 1);
+        // ...but steady-state reuse is served thread-locally: no new device
+        // pool traffic, and the buffer still comes back zeroed.
+        for _ in 0..10 {
+            let b = d.pool_u32(100);
+            assert!(b.to_vec().iter().all(|&x| x == 0));
+            b.store(0, 1);
+        }
+        let s = d.pool_stats();
+        assert_eq!(s.misses, misses_after_cold);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn tls_cache_overflow_returns_to_the_device_pool() {
+        use crate::profile::Profile;
+        let d = Device::new(DeviceConfig::test_tiny().with_profile(Profile::Fast));
+        // Hold more same-class buffers than the TLS cap, then drop them all:
+        // the overflow must land in the shared pool, where an instrumented
+        // device can observe it as a hit.
+        let held: Vec<_> = (0..super::TLS_CACHE_CAP + 2).map(|_| d.pool_u32(1000)).collect();
+        drop(held);
+        assert_eq!(
+            d.pool_stats().misses as usize,
+            super::TLS_CACHE_CAP + 2,
+            "every cold acquisition missed"
+        );
+        // Reacquiring beyond the TLS cap pulls the spilled buffers back from
+        // the device pool as hits.
+        let held: Vec<_> = (0..super::TLS_CACHE_CAP + 2).map(|_| d.pool_u32(1000)).collect();
+        assert!(d.pool_stats().hits >= 2, "overflow buffers came back from the shared pool");
+        drop(held);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   routes memory accesses through the [`crate::racecheck`] happens-before
 //!   detector, surfacing data races the lockstep simulator would otherwise
 //!   mask as typed [`crate::RaceReport`]s on the metrics report.
+//! * [`Parallel`] compiles accounting out like [`Fast`] and additionally
+//!   retargets launches at real host parallelism: blocks execute as direct
+//!   scalar loops on a persistent worker pool ([`crate::schedule`]) instead
+//!   of being interleaved warp-by-warp on one thread. Results stay
+//!   bit-identical regardless of thread count (`CD_GPUSIM_THREADS`).
 //!
 //! Selection is **monomorphized**: kernel bodies are generic over
 //! `P: ExecutionProfile` and gate accounting on the associated constants
@@ -41,6 +46,7 @@ mod sealed {
     impl Sealed for super::Instrumented {}
     impl Sealed for super::Fast {}
     impl Sealed for super::Racecheck {}
+    impl Sealed for super::Parallel {}
 }
 
 /// Compile-time execution profile selector.
@@ -60,6 +66,11 @@ pub trait ExecutionProfile: sealed::Sealed + Send + Sync + 'static {
     /// Whether this profile routes memory accesses through the
     /// happens-before race detector ([`crate::racecheck`]).
     const RACECHECK: bool = false;
+    /// Whether launches run blocks as real host threads (direct scalar
+    /// execution, no per-warp interleaving) instead of lockstep emulation.
+    /// Only [`Parallel`] sets this; see the native scheduler in
+    /// [`crate::schedule`].
+    const NATIVE: bool = false;
     /// The runtime selector value corresponding to this marker type.
     const PROFILE: Profile;
 }
@@ -89,6 +100,20 @@ pub struct Fast;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Racecheck;
 
+/// Marker type for the native-parallel profile: accounting is compiled out
+/// like [`Fast`], and in addition launches retarget blocks at *actual host
+/// parallelism* — each block runs as one direct scalar loop on a worker
+/// thread of the persistent scheduler pool (see [`crate::schedule`]), with
+/// no per-warp interleaving and no per-lane `step()` bookkeeping. Results
+/// stay bit-identical to the other profiles independent of thread count and
+/// schedule: floating-point commits go through sharded accumulators reduced
+/// in fixed shard order and compactions are order-stable, so work-claiming
+/// order cannot leak into output. Thread count comes from
+/// `CD_GPUSIM_THREADS` / [`crate::DeviceConfig::with_threads`]. Fault
+/// injection is unavailable (requires the instrumented launch path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Parallel;
+
 impl ExecutionProfile for Instrumented {
     const INSTRUMENTED: bool = true;
     const PROFILE: Profile = Profile::Instrumented;
@@ -105,6 +130,12 @@ impl ExecutionProfile for Racecheck {
     const PROFILE: Profile = Profile::Racecheck;
 }
 
+impl ExecutionProfile for Parallel {
+    const INSTRUMENTED: bool = false;
+    const NATIVE: bool = true;
+    const PROFILE: Profile = Profile::Parallel;
+}
+
 /// Runtime profile selector carried by [`crate::DeviceConfig`]. Drivers
 /// dispatch on this once per phase entry, then stay monomorphized over the
 /// matching marker type for the duration of the phase.
@@ -117,6 +148,9 @@ pub enum Profile {
     Fast,
     /// Full observability plus happens-before race detection.
     Racecheck,
+    /// Accounting compiled out *and* blocks run as real host threads
+    /// (direct scalar execution on the persistent scheduler pool).
+    Parallel,
 }
 
 impl Profile {
@@ -131,23 +165,30 @@ impl Profile {
         matches!(self, Profile::Racecheck)
     }
 
-    /// Parses `"instrumented"`, `"fast"`, or `"racecheck"`
+    /// True for [`Profile::Parallel`]: launches run blocks as real host
+    /// threads instead of lockstep emulation.
+    pub fn is_native(self) -> bool {
+        matches!(self, Profile::Parallel)
+    }
+
+    /// Parses `"instrumented"`, `"fast"`, `"racecheck"`, or `"parallel"`
     /// (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "instrumented" => Some(Profile::Instrumented),
             "fast" => Some(Profile::Fast),
             "racecheck" => Some(Profile::Racecheck),
+            "parallel" => Some(Profile::Parallel),
             _ => None,
         }
     }
 
     /// Profile selected by the `CD_GPUSIM_PROFILE` environment variable
-    /// (`instrumented` | `fast` | `racecheck`), defaulting to
+    /// (`instrumented` | `fast` | `racecheck` | `parallel`), defaulting to
     /// [`Profile::Instrumented`] when unset or unparseable.
     /// [`crate::DeviceConfig`] constructors consult this so a whole test
     /// suite can be re-run under another profile without code changes (CI
-    /// does exactly that for all three).
+    /// does exactly that for all four).
     pub fn from_env() -> Self {
         std::env::var("CD_GPUSIM_PROFILE").ok().and_then(|v| Self::parse(&v)).unwrap_or_default()
     }
@@ -159,6 +200,7 @@ impl fmt::Display for Profile {
             Profile::Instrumented => write!(f, "instrumented"),
             Profile::Fast => write!(f, "fast"),
             Profile::Racecheck => write!(f, "racecheck"),
+            Profile::Parallel => write!(f, "parallel"),
         }
     }
 }
@@ -212,6 +254,8 @@ mod tests {
         assert_eq!(Profile::parse("Instrumented"), Some(Profile::Instrumented));
         assert_eq!(Profile::parse("racecheck"), Some(Profile::Racecheck));
         assert_eq!(Profile::parse("RaceCheck"), Some(Profile::Racecheck));
+        assert_eq!(Profile::parse("parallel"), Some(Profile::Parallel));
+        assert_eq!(Profile::parse("PARALLEL"), Some(Profile::Parallel));
         assert_eq!(Profile::parse("turbo"), None);
     }
 
@@ -223,9 +267,16 @@ mod tests {
         const { assert!(Racecheck::RACECHECK) };
         const { assert!(!Instrumented::RACECHECK) };
         const { assert!(!Fast::RACECHECK) };
+        const { assert!(!Parallel::INSTRUMENTED) };
+        const { assert!(!Parallel::RACECHECK) };
+        const { assert!(Parallel::NATIVE) };
+        const { assert!(!Instrumented::NATIVE) };
+        const { assert!(!Fast::NATIVE) };
+        const { assert!(!Racecheck::NATIVE) };
         assert_eq!(Instrumented::PROFILE, Profile::Instrumented);
         assert_eq!(Fast::PROFILE, Profile::Fast);
         assert_eq!(Racecheck::PROFILE, Profile::Racecheck);
+        assert_eq!(Parallel::PROFILE, Profile::Parallel);
         assert_eq!(Profile::default(), Profile::Instrumented);
     }
 
@@ -239,8 +290,18 @@ mod tests {
     }
 
     #[test]
+    fn parallel_is_native_and_uninstrumented() {
+        assert!(Profile::Parallel.is_native());
+        assert!(!Profile::Parallel.is_instrumented());
+        assert!(!Profile::Parallel.is_racecheck());
+        assert!(!Profile::Instrumented.is_native());
+        assert!(!Profile::Fast.is_native());
+        assert!(!Profile::Racecheck.is_native());
+    }
+
+    #[test]
     fn display_round_trips_through_parse() {
-        for p in [Profile::Instrumented, Profile::Fast, Profile::Racecheck] {
+        for p in [Profile::Instrumented, Profile::Fast, Profile::Racecheck, Profile::Parallel] {
             assert_eq!(Profile::parse(&p.to_string()), Some(p));
         }
     }

@@ -1,18 +1,19 @@
 //! Backend-equivalence properties: every Thrust-style collective must produce
-//! bit-identical results under the `Fast`, `Instrumented`, and `Racecheck`
-//! profiles on arbitrary input. The profiles may only differ in what they
-//! *record*, never in what they *compute* — these tests are the
-//! primitive-level half of the backend-equivalence acceptance bar (the
-//! hash-table half lives in cd-core).
+//! bit-identical results under the `Fast`, `Instrumented`, `Racecheck`, and
+//! `Parallel` profiles on arbitrary input. The profiles may only differ in
+//! what they *record* and *where blocks run*, never in what they *compute* —
+//! these tests are the primitive-level half of the backend-equivalence
+//! acceptance bar (the hash-table half lives in cd-core).
 
 use cd_gpusim::{Device, DeviceConfig, GlobalF64, Profile};
 use proptest::prelude::*;
 
-fn trio() -> (Device, Device, Device) {
+fn quad() -> (Device, Device, Device, Device) {
     (
         Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented)),
         Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Fast)),
         Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Racecheck)),
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Parallel).with_threads(2)),
     )
 }
 
@@ -21,59 +22,72 @@ proptest! {
 
     #[test]
     fn partition_identical_across_profiles(items in proptest::collection::vec(0u32..1000, 0..500)) {
-        let (slow, fast, rc) = trio();
+        let (slow, fast, rc, par) = quad();
         let (a, na) = slow.partition(&items, |&x| x % 3 == 0);
         let (b, nb) = fast.partition(&items, |&x| x % 3 == 0);
         let (c, nc) = rc.partition(&items, |&x| x % 3 == 0);
+        let (d, nd) = par.partition(&items, |&x| x % 3 == 0);
         prop_assert_eq!(na, nb);
         prop_assert_eq!(na, nc);
+        prop_assert_eq!(na, nd);
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(&a, &c);
+        prop_assert_eq!(&a, &d);
     }
 
     #[test]
     fn copy_if_identical_across_profiles(items in proptest::collection::vec(0u32..100, 0..500)) {
-        let (slow, fast, rc) = trio();
+        let (slow, fast, rc, par) = quad();
         let expect = slow.copy_if(&items, |&x| x % 7 == 0);
         prop_assert_eq!(&expect, &fast.copy_if(&items, |&x| x % 7 == 0));
         prop_assert_eq!(&expect, &rc.copy_if(&items, |&x| x % 7 == 0));
+        prop_assert_eq!(&expect, &par.copy_if(&items, |&x| x % 7 == 0));
     }
 
     #[test]
     fn scans_identical_across_profiles(vals in proptest::collection::vec(0usize..5000, 0..600)) {
-        let (slow, fast, rc) = trio();
+        let (slow, fast, rc, par) = quad();
         let mut a = vals.clone();
         let mut b = vals.clone();
         let mut c = vals.clone();
+        let mut d = vals.clone();
         let ta = slow.exclusive_scan_usize(&mut a);
         prop_assert_eq!(ta, fast.exclusive_scan_usize(&mut b));
         prop_assert_eq!(ta, rc.exclusive_scan_usize(&mut c));
+        prop_assert_eq!(ta, par.exclusive_scan_usize(&mut d));
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(&a, &c);
+        prop_assert_eq!(&a, &d);
         let mut a = vals.clone();
         let mut b = vals.clone();
-        let mut c = vals;
+        let mut c = vals.clone();
+        let mut d = vals;
         let ta = slow.inclusive_scan_usize(&mut a);
         prop_assert_eq!(ta, fast.inclusive_scan_usize(&mut b));
         prop_assert_eq!(ta, rc.inclusive_scan_usize(&mut c));
+        prop_assert_eq!(ta, par.inclusive_scan_usize(&mut d));
         prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a, c);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a, d);
     }
 
     #[test]
     fn sort_by_key_identical_across_profiles(
         items in proptest::collection::vec((0u32..50, 0u32..1000), 0..500),
     ) {
-        let (slow, fast, rc) = trio();
+        let (slow, fast, rc, par) = quad();
         let mut a = items.clone();
         let mut b = items.clone();
-        let mut c = items;
+        let mut c = items.clone();
+        let mut d = items;
         slow.sort_by_key(&mut a, |&(k, _)| k);
         fast.sort_by_key(&mut b, |&(k, _)| k);
         rc.sort_by_key(&mut c, |&(k, _)| k);
+        par.sort_by_key(&mut d, |&(k, _)| k);
         // Stable sort: payload order within equal keys must also agree.
         prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a, c);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a, d);
     }
 
     #[test]
@@ -85,7 +99,7 @@ proptest! {
         // stable sort so a future switch to an unstable radix path cannot
         // silently reorder ties (which would change Louvain outcomes that
         // consume sorted community lists).
-        let (slow, _, _) = trio();
+        let (slow, _, _, _) = quad();
         let mut got = items.clone();
         slow.sort_by_key(&mut got, |&(k, _)| k);
         let mut want = items;
@@ -97,30 +111,36 @@ proptest! {
     fn reductions_bitwise_identical_across_profiles(
         vals in proptest::collection::vec(-1e12f64..1e12, 0..600),
     ) {
-        let (slow, fast, rc) = trio();
+        let (slow, fast, rc, par) = quad();
         let sum = slow.reduce_sum_f64(&vals).to_bits();
         prop_assert_eq!(sum, fast.reduce_sum_f64(&vals).to_bits());
         prop_assert_eq!(sum, rc.reduce_sum_f64(&vals).to_bits());
+        prop_assert_eq!(sum, par.reduce_sum_f64(&vals).to_bits());
         if !vals.is_empty() {
             let buf = GlobalF64::zeroed(vals.len());
             buf.copy_from_slice(&vals);
             let gsum = slow.reduce_sum_f64_global(&buf).to_bits();
             prop_assert_eq!(gsum, fast.reduce_sum_f64_global(&buf).to_bits());
             prop_assert_eq!(gsum, rc.reduce_sum_f64_global(&buf).to_bits());
+            prop_assert_eq!(gsum, par.reduce_sum_f64_global(&buf).to_bits());
             let tsum = slow.transform_reduce_f64_global(&buf, |x| x * x).to_bits();
             prop_assert_eq!(tsum, fast.transform_reduce_f64_global(&buf, |x| x * x).to_bits());
             prop_assert_eq!(tsum, rc.transform_reduce_f64_global(&buf, |x| x * x).to_bits());
+            prop_assert_eq!(tsum, par.transform_reduce_f64_global(&buf, |x| x * x).to_bits());
         }
         let lens: Vec<usize> = vals.iter().map(|v| v.abs() as usize % 97).collect();
         let usum = slow.reduce_sum_usize(&lens);
         prop_assert_eq!(usum, fast.reduce_sum_usize(&lens));
         prop_assert_eq!(usum, rc.reduce_sum_usize(&lens));
+        prop_assert_eq!(usum, par.reduce_sum_usize(&lens));
         let umax = slow.max_usize(&lens);
         prop_assert_eq!(umax, fast.max_usize(&lens));
         prop_assert_eq!(umax, rc.max_usize(&lens));
+        prop_assert_eq!(umax, par.max_usize(&lens));
         let cnt = slow.count_if(&lens, |&x| x % 2 == 0);
         prop_assert_eq!(cnt, fast.count_if(&lens, |&x| x % 2 == 0));
         prop_assert_eq!(cnt, rc.count_if(&lens, |&x| x % 2 == 0));
+        prop_assert_eq!(cnt, par.count_if(&lens, |&x| x % 2 == 0));
         // The racecheck device saw every one of these collectives and none of
         // them shares a cell between unordered actors.
         prop_assert!(rc.race_reports().is_empty());

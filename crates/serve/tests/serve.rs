@@ -203,7 +203,7 @@ fn coalescing_computes_once_and_shares_the_result() {
 fn cache_hits_are_bit_identical_to_cold_runs_across_profiles() {
     let graph = Arc::new(cliques(6, 8, true));
     let mut baseline: Option<(u64, Vec<VertexId>)> = None;
-    for profile in [Profile::Instrumented, Profile::Fast, Profile::Racecheck] {
+    for profile in [Profile::Instrumented, Profile::Fast, Profile::Racecheck, Profile::Parallel] {
         let opts = JobOptions::default().with_profile(profile);
 
         // Cold run on a fresh server.
@@ -239,6 +239,35 @@ fn cache_hits_are_bit_identical_to_cold_runs_across_profiles() {
             }
         }
     }
+}
+
+#[test]
+fn profiles_share_one_cache_line() {
+    // The execution profile is scheduling, not semantics: the four-way
+    // equivalence suite makes results bit-identical across profiles, so the
+    // content key deliberately ignores the profile. A job computed under one
+    // profile must therefore warm the cache for every other — resubmitting
+    // under a different profile is a cache hit, not a recompute.
+    let graph = Arc::new(cliques(6, 8, true));
+    let server = manual(16);
+    let cold_id = server
+        .submit(Arc::clone(&graph), JobOptions::default().with_profile(Profile::Fast))
+        .unwrap();
+    server.run_until_idle();
+    let cold_res = server.await_result(cold_id).result().expect("cold run completes").clone();
+
+    for profile in [Profile::Instrumented, Profile::Racecheck, Profile::Parallel] {
+        let id =
+            server.submit(Arc::clone(&graph), JobOptions::default().with_profile(profile)).unwrap();
+        match server.await_result(id) {
+            JobOutcome::Completed { path: ExecPath::CacheHit, result } => {
+                assert!(Arc::ptr_eq(&cold_res, &result), "{profile:?} should share the Arc");
+            }
+            other => panic!("{profile:?} resubmission should hit the cache, got {other:?}"),
+        }
+    }
+    let m = server.metrics();
+    assert_eq!((m.cache.misses, m.cache.hits), (1, 3), "one compute serves all four profiles");
 }
 
 #[test]
