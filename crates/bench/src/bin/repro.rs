@@ -36,6 +36,13 @@
 //!             time, sweeps arrival rates to locate the saturation knee,
 //!             measures 1×/2×/5× knee (BENCH_overload.json; exits nonzero
 //!             on any lost/duplicated job or failed run)
+//!   incremental  edge-churn sweep (0.01%–10%) over the featured suite:
+//!             warm-start Louvain vs from-scratch wall time and ΔQ
+//!             (BENCH_incremental.json; at medium scale and above, exits
+//!             nonzero if the warm-start quality deficit exceeds
+//!             max(1e-3, the graph's measured cold-run dispersion) on any
+//!             cell, or the median small-churn speedup falls below 3× —
+//!             smaller scales report both informationally)
 //!   all       everything above
 //! ```
 //!
@@ -55,7 +62,8 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 6] = ["backend", "buckets", "multigpu", "racecheck", "serve", "overload"];
+const FAST_SAFE: [&str; 7] =
+    ["backend", "buckets", "multigpu", "racecheck", "serve", "overload", "incremental"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -141,6 +149,7 @@ fn main() {
         "racecheck" => experiments::racecheck_sweep(scale, &out),
         "serve" => experiments::serve_snapshot(scale, &out, clients),
         "overload" => experiments::overload(scale, &out),
+        "incremental" => experiments::incremental(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -161,6 +170,7 @@ fn main() {
             experiments::racecheck_sweep(scale, &out);
             experiments::serve_snapshot(scale, &out, clients);
             experiments::overload(scale, &out);
+            experiments::incremental(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -171,7 +181,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck|parallel] [--clients N]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, all\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, incremental, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\
          --clients sets the serve load generator's concurrency (default 4)"

@@ -46,8 +46,9 @@ pub use dev_graph::DeviceGraph;
 pub use hashtable::TableOverflow;
 pub use louvain::{
     estimated_device_bytes, louvain_gpu, louvain_gpu_gated, louvain_gpu_with_schedule,
-    GpuLouvainError, GpuLouvainResult, GpuStageStats, StageAbort, StageCheckpoint,
+    louvain_warm_start, louvain_warm_start_gated, GpuLouvainError, GpuLouvainResult, GpuStageStats,
+    StageAbort, StageCheckpoint,
 };
-pub use modopt::{modularity_optimization, OptOutcome};
+pub use modopt::{modularity_optimization, modularity_optimization_seeded, OptOutcome, WarmSeed};
 pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult, RecoveryAction};
 pub use schedule::{ThresholdSchedule, WidthSchedule};

@@ -7,7 +7,9 @@
 use crate::aggregate::{aggregate, AggregateOutcome};
 use crate::config::GpuLouvainConfig;
 use crate::dev_graph::DeviceGraph;
-use crate::modopt::{modularity_optimization, OptOutcome};
+use crate::modopt::{
+    modularity_optimization, modularity_optimization_seeded, OptOutcome, WarmSeed,
+};
 use crate::schedule::ThresholdSchedule;
 use cd_gpusim::{Device, GlobalF64, GlobalU32, LaunchError};
 use cd_graph::{modularity, Csr, Dendrogram, Partition};
@@ -358,7 +360,7 @@ pub fn louvain_gpu_gated(
         let threshold = schedule.threshold_for(current.num_vertices());
 
         let StageRun { outcome, agg, opt_time, agg_time } =
-            run_stage_with_retry(dev, &current, cfg, threshold, stages.len())?;
+            run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None)?;
 
         stages.push(GpuStageStats {
             num_vertices: current.num_vertices(),
@@ -393,6 +395,212 @@ pub fn louvain_gpu_gated(
     })
 }
 
+/// Incremental Louvain: resume from a previous partition instead of
+/// singletons. `prev` is the partition of a (structurally similar) earlier
+/// version of `graph` — typically the pre-delta result — and `touched` is
+/// the set of vertices whose adjacency changed since (what
+/// [`cd_graph::apply_delta`] reports). Stage 0 (*absorb*) seeds the labels
+/// from `prev` and re-evaluates only the touched frontier via the
+/// frontier-proportional binning machinery; if the frontier drains without
+/// a single move, the run ends after that one near-free stage. Otherwise
+/// stage 1 (*repair*) makes one pass over the full graph — every vertex
+/// eligible, seeded with the absorb labeling — so untouched regions can
+/// respond to what the delta changed; pruning shrinks it back to the
+/// active set after its first iteration. Later stages run cold on the
+/// (much smaller) contracted graph.
+///
+/// Correctness is gated on ΔQ versus a from-scratch run, not on label
+/// equality: a warm run explores a different trajectory, so its partition
+/// may differ while its modularity must track the from-scratch run up to
+/// the reference's own per-instance dispersion (`repro incremental`
+/// measures that dispersion in-run and gates the warm deficit against it;
+/// the warm result is never worse than the seed labeling itself on the new
+/// graph — the phase returns its best observed labeling).
+pub fn louvain_warm_start(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    prev: &Partition,
+    touched: &[u32],
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    let schedule =
+        ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, cfg.size_limit);
+    louvain_warm_start_gated(dev, graph, cfg, &schedule, prev, touched, &mut |_| Ok(()))
+}
+
+/// [`louvain_warm_start`] with an explicit threshold schedule and a stage
+/// gate — the warm-start analogue of [`louvain_gpu_gated`], with identical
+/// checkpoint/abort semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn louvain_warm_start_gated(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    schedule: &ThresholdSchedule,
+    prev: &Partition,
+    touched: &[u32],
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    let n = graph.num_vertices();
+    if n >= u32::MAX as usize {
+        return Err(GpuLouvainError::TooManyVertices(n));
+    }
+    if prev.len() != n {
+        return Err(GpuLouvainError::InvariantViolation {
+            stage: "warm_seed",
+            detail: format!("seed partition labels {} vertices, graph has {n}", prev.len()),
+        });
+    }
+    if let Some((index, &label)) =
+        prev.as_slice().iter().enumerate().find(|&(_, &c)| (c as usize) >= n)
+    {
+        return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: n });
+    }
+    if let Some((index, &label)) = touched.iter().enumerate().find(|&(_, &v)| (v as usize) >= n) {
+        return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: n });
+    }
+    let required = estimated_device_bytes(graph);
+    let available = dev.config().global_mem_bytes;
+    if required > available {
+        return Err(GpuLouvainError::OutOfMemory { required, available });
+    }
+
+    // Seed labeling: untouched vertices keep their previous community
+    // (compactly renumbered); touched vertices are re-seeded as fresh
+    // singletons. Keeping old labels on the frontier would let a touched
+    // vertex *move between* surviving communities but never split one the
+    // delta broke apart — the first contraction would lock the stale
+    // grouping in. Extraction frees them completely: iteration 1 re-joins
+    // each to its best neighboring community or leaves it to seed a new
+    // one. Untouched communities use at most n − |touched| labels, so the
+    // |touched| fresh ids always fit below n.
+    let mut is_touched = vec![false; n];
+    for &v in touched {
+        is_touched[v as usize] = true;
+    }
+    let mut seed_labels = vec![0u32; n];
+    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for (v, slot) in seed_labels.iter_mut().enumerate() {
+        if !is_touched[v] {
+            *slot = *remap.entry(prev.as_slice()[v]).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+        }
+    }
+    for &v in touched {
+        seed_labels[v as usize] = next;
+        next += 1;
+    }
+
+    let start = Instant::now();
+    let mut dendrogram = Dendrogram::new();
+    let mut stages: Vec<GpuStageStats> = Vec::new();
+    let mut current = DeviceGraph::from_csr(graph);
+
+    // Stage 0 — absorb: frontier-pruned pass over the touched vertices
+    // only, seeded with the smashed labeling. Near-free when the delta is
+    // small; if the frontier drains without a move the run ends here.
+    let gate_stage = |gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+                      stage: usize,
+                      g: &DeviceGraph|
+     -> Result<(), GpuLouvainError> {
+        let checkpoint =
+            StageCheckpoint { stage, num_vertices: g.num_vertices(), num_arcs: g.num_arcs() };
+        gate(&checkpoint).map_err(|reason| GpuLouvainError::Aborted { stage, reason })
+    };
+    gate_stage(gate, 0, &current)?;
+    let threshold = schedule.threshold_for(current.num_vertices());
+    let absorb_seed = WarmSeed { labels: &seed_labels, frontier: touched };
+    let absorb = run_stage_with_retry(dev, &current, cfg, threshold, 0, Some(&absorb_seed))?;
+    stages.push(GpuStageStats {
+        num_vertices: current.num_vertices(),
+        num_arcs: current.num_arcs(),
+        iterations: absorb.outcome.iterations,
+        modularity: absorb.outcome.modularity,
+        moves: absorb.outcome.moves,
+        opt_time: absorb.opt_time,
+        agg_time: absorb.agg_time,
+        iter_times: absorb.outcome.iter_times.clone(),
+        threshold,
+    });
+    let drained = absorb.outcome.moves == 0;
+    if !drained {
+        // Stage 1 — repair: one more pass over the level-0 graph with
+        // *every* vertex eligible, seeded with the absorb labeling. The
+        // frontier pass can only re-home the touched vertices; this sweep
+        // lets the rest of the graph respond (pruning shrinks it back to
+        // the active set after its first iteration). The absorb stage's
+        // aggregation is superseded — only the repair labeling enters the
+        // dendrogram.
+        gate_stage(gate, 1, &current)?;
+        let all: Vec<u32> = (0..n as u32).collect();
+        let repair_seed = WarmSeed { labels: &absorb.outcome.comm, frontier: &all };
+        let repair = run_stage_with_retry(dev, &current, cfg, threshold, 1, Some(&repair_seed))?;
+        stages.push(GpuStageStats {
+            num_vertices: current.num_vertices(),
+            num_arcs: current.num_arcs(),
+            iterations: repair.outcome.iterations,
+            modularity: repair.outcome.modularity,
+            moves: repair.outcome.moves,
+            opt_time: repair.opt_time,
+            agg_time: repair.agg_time,
+            iter_times: repair.outcome.iter_times.clone(),
+            threshold,
+        });
+        dendrogram.push_level(Partition::from_vec(repair.agg.vertex_map));
+        let no_contraction = repair.agg.graph.num_vertices() == current.num_vertices();
+        // The warm baseline from here on is the repaired labeling: cold
+        // stage gains measure improvement over what the warm phase built.
+        let mut q_prev = repair.outcome.modularity;
+        if !no_contraction {
+            // Cold descent on the (much smaller) contracted graph. The
+            // warm stages' gain over the seed is small by construction, so
+            // the gain-based stop rule applies only from here on.
+            current = repair.agg.graph;
+            while stages.len() < cfg.max_stages {
+                gate_stage(gate, stages.len(), &current)?;
+                let threshold = schedule.threshold_for(current.num_vertices());
+                let StageRun { outcome, agg, opt_time, agg_time } =
+                    run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None)?;
+                stages.push(GpuStageStats {
+                    num_vertices: current.num_vertices(),
+                    num_arcs: current.num_arcs(),
+                    iterations: outcome.iterations,
+                    modularity: outcome.modularity,
+                    moves: outcome.moves,
+                    opt_time,
+                    agg_time,
+                    iter_times: outcome.iter_times,
+                    threshold,
+                });
+                dendrogram.push_level(Partition::from_vec(agg.vertex_map));
+                let no_contraction = agg.graph.num_vertices() == current.num_vertices();
+                let gained = outcome.modularity - q_prev;
+                q_prev = outcome.modularity;
+                if no_contraction || gained <= cfg.stage_threshold {
+                    break;
+                }
+                current = agg.graph;
+            }
+        }
+    } else {
+        dendrogram.push_level(Partition::from_vec(absorb.agg.vertex_map));
+    }
+
+    let partition = dendrogram.flatten();
+    let q = modularity(graph, &partition);
+    Ok(GpuLouvainResult {
+        partition,
+        dendrogram,
+        modularity: q,
+        stages,
+        total_time: start.elapsed(),
+    })
+}
+
 /// Everything one stage produces (one optimization phase + one aggregation).
 struct StageRun {
     outcome: OptOutcome,
@@ -414,12 +622,13 @@ fn run_stage_with_retry(
     cfg: &GpuLouvainConfig,
     threshold: f64,
     stage_idx: usize,
+    seed: Option<&WarmSeed<'_>>,
 ) -> Result<StageRun, GpuLouvainError> {
     let policy = cfg.retry;
     let mut attempt = 0usize;
     loop {
         attempt += 1;
-        match run_stage(dev, g, cfg, threshold) {
+        match run_stage(dev, g, cfg, threshold, seed) {
             Ok(run) => {
                 if attempt > 1 {
                     dev.note_fault_recovered();
@@ -452,12 +661,16 @@ fn run_stage(
     g: &DeviceGraph,
     cfg: &GpuLouvainConfig,
     threshold: f64,
+    seed: Option<&WarmSeed<'_>>,
 ) -> Result<StageRun, GpuLouvainError> {
     let n = g.num_vertices();
     let inject = dev.config().fault_plan.bitflip_rate > 0.0;
 
     let opt_start = Instant::now();
-    let mut outcome = modularity_optimization(dev, g, cfg, threshold)?;
+    let mut outcome = match seed {
+        Some(s) => modularity_optimization_seeded(dev, g, cfg, threshold, s)?,
+        None => modularity_optimization(dev, g, cfg, threshold)?,
+    };
     let opt_time = opt_start.elapsed();
     if !outcome.modularity.is_finite() || !(-0.5 - 1e-9..=1.0 + 1e-9).contains(&outcome.modularity)
     {

@@ -144,6 +144,83 @@ impl<'d> OptState<'d> {
             .map_err(GpuLouvainError::Launch)?;
         Ok(s)
     }
+
+    /// Like [`OptState::new`] but seeded from a previous labeling instead of
+    /// singletons: every vertex starts in `labels[v]`, with the community
+    /// sizes and volumes accumulated atomically (the pool hands out
+    /// zero-filled buffers, so one additive pass suffices). The caller must
+    /// have validated `labels` (length `n`, every entry `< n`).
+    fn new_seeded<P: ExecutionProfile>(
+        dev: &'d Device,
+        g: &DeviceGraph,
+        labels: &[u32],
+    ) -> Result<Self, GpuLouvainError> {
+        let n = g.num_vertices();
+        debug_assert_eq!(labels.len(), n);
+        let k = compute_weighted_degrees::<P>(dev, g)?;
+        let s = Self {
+            comm: dev.pool_u32(n),
+            new_comm: dev.pool_u32(n),
+            best_comm: dev.pool_u32(n),
+            comm_size: dev.pool_u32(n),
+            ac: dev.pool_f64(n),
+            k,
+            q_delta: dev.pool_f64(2 * ACC_SHARDS),
+            moves: dev.pool_u32(ACC_SHARDS),
+            marked: dev.pool_u32(n),
+            frontier: dev.pool_u32(n),
+            frontier_len: dev.pool_u32(1),
+        };
+        let k_ref = &s.k;
+        dev.exec::<P>()
+            .try_launch_threads("init_warm_state", n, |ctx, v| {
+                let c = labels[v];
+                s.comm.store(v, c);
+                s.new_comm.store(v, c);
+                s.best_comm.store(v, c);
+                ctx.global_write_coalesced(3);
+                ctx.atomic_add_u32(&s.comm_size, c as usize, 1);
+                ctx.atomic_add_f64(&s.ac, c as usize, k_ref[v]);
+            })
+            .map_err(GpuLouvainError::Launch)?;
+        Ok(s)
+    }
+
+    /// Preloads the frontier machinery with an explicit vertex set (the
+    /// delta-touched vertices of a warm start): sets the membership flags
+    /// and the compacted list exactly as a previous iteration's commits
+    /// would have, so the first [`Bins::bin_frontier`] consumes it.
+    fn inject_frontier<P: ExecutionProfile>(
+        &self,
+        dev: &Device,
+        frontier: &[u32],
+    ) -> Result<(), GpuLouvainError> {
+        if !frontier.is_empty() {
+            dev.exec::<P>()
+                .try_launch_threads("seed_frontier", frontier.len(), |ctx, t| {
+                    let v = frontier[t];
+                    self.marked.store(v as usize, 1);
+                    self.frontier.store(t, v);
+                    ctx.global_write_scattered(2);
+                })
+                .map_err(GpuLouvainError::Launch)?;
+        }
+        self.frontier_len.store(0, frontier.len() as u32);
+        Ok(())
+    }
+}
+
+/// A warm-start seed for one optimization phase: the labeling to resume from
+/// and the frontier of vertices whose neighborhoods changed since that
+/// labeling was computed. Only frontier vertices (and whatever their moves
+/// mark) are re-evaluated — the phase is O(frontier), not O(n), per
+/// iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmSeed<'a> {
+    /// Community label per vertex (length `n`, every label `< n`).
+    pub labels: &'a [u32],
+    /// Vertices whose adjacency changed; the initial re-evaluation frontier.
+    pub frontier: &'a [u32],
 }
 
 /// Computes `k_i` for every vertex (Alg. 1 line 2).
@@ -380,14 +457,44 @@ pub fn modularity_optimization(
     // accounting branches.
     match dev.profile() {
         Profile::Instrumented => {
-            modularity_optimization_typed::<Instrumented>(dev, g, cfg, threshold)
+            modularity_optimization_typed::<Instrumented>(dev, g, cfg, threshold, None)
         }
-        Profile::Fast => modularity_optimization_typed::<Fast>(dev, g, cfg, threshold),
+        Profile::Fast => modularity_optimization_typed::<Fast>(dev, g, cfg, threshold, None),
         Profile::Racecheck => {
-            modularity_optimization_typed::<cd_gpusim::Racecheck>(dev, g, cfg, threshold)
+            modularity_optimization_typed::<cd_gpusim::Racecheck>(dev, g, cfg, threshold, None)
         }
         Profile::Parallel => {
-            modularity_optimization_typed::<cd_gpusim::Parallel>(dev, g, cfg, threshold)
+            modularity_optimization_typed::<cd_gpusim::Parallel>(dev, g, cfg, threshold, None)
+        }
+    }
+}
+
+/// [`modularity_optimization`] resumed from a [`WarmSeed`] instead of the
+/// singleton labeling: the phase starts at the seed's communities and only
+/// re-bins the seed frontier (plus whatever its moves mark), so an empty or
+/// quickly-draining frontier ends the phase after one near-free iteration.
+/// The caller must have validated the seed labels.
+pub fn modularity_optimization_seeded(
+    dev: &Device,
+    g: &DeviceGraph,
+    cfg: &GpuLouvainConfig,
+    threshold: f64,
+    seed: &WarmSeed<'_>,
+) -> Result<OptOutcome, GpuLouvainError> {
+    match dev.profile() {
+        Profile::Instrumented => {
+            modularity_optimization_typed::<Instrumented>(dev, g, cfg, threshold, Some(seed))
+        }
+        Profile::Fast => modularity_optimization_typed::<Fast>(dev, g, cfg, threshold, Some(seed)),
+        Profile::Racecheck => modularity_optimization_typed::<cd_gpusim::Racecheck>(
+            dev,
+            g,
+            cfg,
+            threshold,
+            Some(seed),
+        ),
+        Profile::Parallel => {
+            modularity_optimization_typed::<cd_gpusim::Parallel>(dev, g, cfg, threshold, Some(seed))
         }
     }
 }
@@ -398,9 +505,13 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
     g: &DeviceGraph,
     cfg: &GpuLouvainConfig,
     threshold: f64,
+    seed: Option<&WarmSeed<'_>>,
 ) -> Result<OptOutcome, GpuLouvainError> {
     let n = g.num_vertices();
-    let state = OptState::new::<P>(dev, g)?;
+    let state = match seed {
+        Some(s) => OptState::new_seeded::<P>(dev, g, s.labels)?,
+        None => OptState::new::<P>(dev, g)?,
+    };
     if n == 0 || g.two_m == 0.0 {
         return Ok(OptOutcome {
             comm: state.comm.to_vec(),
@@ -419,6 +530,17 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
         ThreadAssignment::DegreeBinned => Some(Bins::new::<P>(dev, g)?),
         ThreadAssignment::NodeCentric => None,
     };
+    // A warm seed narrows the first iteration to the injected frontier and
+    // forces frontier marking on — later iterations reuse the pruned bins,
+    // so without marking, vertices outside the seed frontier could never be
+    // re-evaluated. Node-centric assignment has no bins to narrow; it warm
+    // starts from the seeded labels alone.
+    let seeded_binned = seed.is_some() && bins.is_some();
+    let pruning = cfg.pruning || seeded_binned;
+    if let (Some(s), Some(bins)) = (seed, bins.as_mut()) {
+        state.inject_frontier::<P>(dev, s.frontier)?;
+        bins.bin_frontier::<P>(dev, g, &state)?;
+    }
     let mut iterations = 0usize;
     let mut iter_times = Vec::new();
     let mut total_moves = 0usize;
@@ -449,8 +571,10 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
     // Movers committed by the previous iteration — the density signal for
     // the adaptive modularity tracking below. Initialized to n: the first
     // iteration of a phase moves a large fraction of the vertices, where a
-    // single full recompute is cheaper than walking every mover's arcs.
-    let mut last_moves = n;
+    // single full recompute is cheaper than walking every mover's arcs. A
+    // seeded phase evaluates only the frontier, so it starts from that size
+    // and gets incremental tracking from the first iteration.
+    let mut last_moves = if seeded_binned { seed.map_or(n, |s| s.frontier.len()) } else { n };
 
     while iterations < cfg.max_iterations {
         iterations += 1;
@@ -465,7 +589,7 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
 
         match (cfg.assignment, bins.as_mut()) {
             (ThreadAssignment::DegreeBinned, Some(bins)) => {
-                if cfg.pruning && iterations > 1 {
+                if pruning && iterations > 1 {
                     // Rebin only the vertices marked by the previous
                     // iteration's commits — O(frontier), not O(7n).
                     bins.bin_frontier::<P>(dev, g, &state)?;
@@ -511,7 +635,7 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
                             g,
                             &state,
                             Some((&bins.ids[bucket_idx], count)),
-                            cfg.pruning,
+                            pruning,
                             track_deltas,
                         )?;
                     }
@@ -528,7 +652,7 @@ fn modularity_optimization_typed<P: ExecutionProfile>(
             // One commit over all vertices: the deltas pass must read a
             // consistent pre-commit labeling for every neighbor, which
             // per-bucket sequential commits would destroy here.
-            iter_moves += commit::<P>(dev, g, &state, None, cfg.pruning, track_deltas)?;
+            iter_moves += commit::<P>(dev, g, &state, None, pruning, track_deltas)?;
         }
 
         total_moves += iter_moves;

@@ -1,0 +1,144 @@
+//! Warm-start Louvain: incremental recompute after a delta batch.
+//!
+//! The correctness bar for warm starts is ΔQ against a from-scratch run on
+//! the same (patched) graph, not label equality — a warm run explores a
+//! different trajectory. These tests pin the three contract points:
+//!
+//! 1. quality: |Q_warm − Q_scratch| stays within the equivalence band and
+//!    the warm result is never worse than its own seed labeling;
+//! 2. drain: an empty touched frontier ends after one near-free stage with
+//!    the seed partition intact;
+//! 3. profile equivalence: Instrumented and Parallel produce bit-identical
+//!    warm results (the CI matrix additionally runs this whole file under
+//!    each `CD_GPUSIM_PROFILE`).
+
+use cd_core::{louvain_gpu, louvain_warm_start, GpuLouvainConfig, GpuLouvainError};
+use cd_gpusim::{Device, DeviceConfig, Profile};
+use cd_graph::gen::planted_partition;
+use cd_graph::{apply_delta, modularity, Csr, Partition};
+use cd_workloads::churn;
+
+/// ΔQ band for warm-vs-scratch equivalence (matches the repro gate).
+const DQ_BAND: f64 = 1e-3;
+
+fn test_graph() -> Csr {
+    planted_partition(8, 48, 0.30, 0.01, 7).graph
+}
+
+/// Churn the graph, then hand back (patched graph, touched frontier).
+fn churned(graph: &Csr, frac: f64) -> (Csr, Vec<u32>) {
+    let batch = churn(graph, 11, frac);
+    apply_delta(graph, &batch).expect("churn batches apply cleanly")
+}
+
+#[test]
+fn warm_start_quality_matches_scratch_on_churned_graph() {
+    let dev = Device::k40m();
+    let cfg = GpuLouvainConfig::paper_default();
+    let base = test_graph();
+    let seed = louvain_gpu(&dev, &base, &cfg).unwrap();
+
+    for frac in [0.001, 0.01, 0.05] {
+        let (patched, touched) = churned(&base, frac);
+        let scratch = louvain_gpu(&dev, &patched, &cfg).unwrap();
+        let warm = louvain_warm_start(&dev, &patched, &cfg, &seed.partition, &touched).unwrap();
+
+        let dq = (warm.modularity - scratch.modularity).abs();
+        assert!(
+            dq <= DQ_BAND,
+            "frac {frac}: |Q_warm - Q_scratch| = {dq:.3e} (warm {}, scratch {})",
+            warm.modularity,
+            scratch.modularity
+        );
+        // The warm result must not be worse than simply keeping the seed
+        // labeling on the patched graph.
+        let q_seed = modularity(&patched, &seed.partition);
+        assert!(
+            warm.modularity >= q_seed - 1e-12,
+            "frac {frac}: warm {} fell below its own seed {q_seed}",
+            warm.modularity
+        );
+    }
+}
+
+#[test]
+fn warm_start_empty_frontier_exits_after_one_stage() {
+    let dev = Device::k40m();
+    let cfg = GpuLouvainConfig::paper_default();
+    let graph = test_graph();
+    let seed = louvain_gpu(&dev, &graph, &cfg).unwrap();
+
+    // Nothing touched: the injected frontier is empty, so the warm stage
+    // makes zero moves and the run drains immediately with the seed's
+    // clustering (possibly relabeled by the contraction).
+    let warm = louvain_warm_start(&dev, &graph, &cfg, &seed.partition, &[]).unwrap();
+    assert_eq!(warm.stages.len(), 1, "empty frontier must drain after one stage");
+    assert_eq!(warm.stages[0].moves, 0);
+    let q_seed = modularity(&graph, &seed.partition);
+    assert!(
+        (warm.modularity - q_seed).abs() <= 1e-12,
+        "drained warm run must preserve seed quality: {} vs {q_seed}",
+        warm.modularity
+    );
+    assert_eq!(
+        warm.partition.num_communities(),
+        seed.partition.num_communities(),
+        "drained warm run must preserve the seed clustering"
+    );
+}
+
+#[test]
+fn warm_start_validates_seed_and_frontier() {
+    let dev = Device::k40m();
+    let cfg = GpuLouvainConfig::paper_default();
+    let graph = test_graph();
+    let n = graph.num_vertices();
+
+    // Wrong seed length.
+    let short = Partition::from_vec(vec![0; n - 1]);
+    assert!(matches!(
+        louvain_warm_start(&dev, &graph, &cfg, &short, &[]),
+        Err(GpuLouvainError::InvariantViolation { stage: "warm_seed", .. })
+    ));
+
+    // Label out of range.
+    let mut labels = vec![0u32; n];
+    labels[3] = n as u32;
+    let bad = Partition::from_vec(labels);
+    assert!(matches!(
+        louvain_warm_start(&dev, &graph, &cfg, &bad, &[]),
+        Err(GpuLouvainError::InvalidLabels { index: 3, .. })
+    ));
+
+    // Touched vertex out of range.
+    let ok = Partition::from_vec((0..n as u32).collect());
+    assert!(matches!(
+        louvain_warm_start(&dev, &graph, &cfg, &ok, &[n as u32]),
+        Err(GpuLouvainError::InvalidLabels { .. })
+    ));
+}
+
+#[test]
+fn warm_start_instrumented_and_parallel_agree() {
+    let instrumented = Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Instrumented));
+    let parallel =
+        Device::new(DeviceConfig::tesla_k40m().with_profile(Profile::Parallel).with_threads(2));
+    let cfg = GpuLouvainConfig::paper_default();
+    let base = test_graph();
+
+    let seed = louvain_gpu(&instrumented, &base, &cfg).unwrap();
+    let (patched, touched) = churned(&base, 0.02);
+
+    let a = louvain_warm_start(&instrumented, &patched, &cfg, &seed.partition, &touched).unwrap();
+    let b = louvain_warm_start(&parallel, &patched, &cfg, &seed.partition, &touched).unwrap();
+
+    assert_eq!(a.partition.as_slice(), b.partition.as_slice());
+    assert_eq!(
+        a.modularity.to_bits(),
+        b.modularity.to_bits(),
+        "profiles must be bit-identical: {} vs {}",
+        a.modularity,
+        b.modularity
+    );
+    assert_eq!(a.stages.len(), b.stages.len());
+}

@@ -1,0 +1,685 @@
+//! Dynamic graphs: validated edge-delta batches and a versioned CSR that
+//! applies them incrementally.
+//!
+//! Production graphs mutate; rebuilding the CSR (and recomputing the
+//! partition) from scratch for every edge change throws away almost all of
+//! the previous work. This module supplies the graph-layer half of the
+//! incremental pipeline:
+//!
+//! * [`DeltaBatch`] — an ordered batch of edge operations (insert / delete /
+//!   reweight), constructed through [`DeltaBuilder`] which validates vertex
+//!   ranges, weights, and at-most-one-op-per-edge at build time.
+//! * [`apply_delta`] — applies a batch to a [`Csr`] with a *patch* path that
+//!   merges only the touched adjacency lists (untouched per-vertex slices
+//!   are copied verbatim), returning the patched graph plus the sorted set
+//!   of touched vertices. Apply-time violations (inserting an edge that
+//!   already exists, deleting or reweighting one that does not) are typed
+//!   [`DeltaError`]s, and a failed apply leaves nothing half-mutated.
+//! * [`VersionedCsr`] — a `(graph, version)` pair that applies batches in
+//!   sequence, falling back to a full rebuild through [`GraphBuilder`] when
+//!   a batch touches more than [`VersionedCsr::REBUILD_CHURN`] of the edges
+//!   (the patch path's per-touched-vertex merge bookkeeping stops paying
+//!   for itself around there).
+//!
+//! Both the patch path and the rebuild path are **bit-identical** to
+//! building the post-delta edge list from scratch: adjacency lists stay
+//! sorted by target, weights ride along unchanged as the same `f64` bit
+//! patterns, and `total_weight_2m` is recomputed by summing the final
+//! weights array in order (exactly what [`Csr::from_parts`] does on every
+//! construction path). This is what makes content-addressed caching of
+//! delta chains sound — see `cd-serve`'s chained cache keys — and it is
+//! property-tested in `tests/proptest_invariants.rs`, together with the
+//! round-trip law: applying a batch and then its [`DeltaBatch::inverse`]
+//! restores the original CSR bit-for-bit.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId, Weight};
+use std::collections::HashSet;
+
+/// One edge operation. Endpoints are stored canonically (`u <= v`); a
+/// self-loop has `u == v`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaOp {
+    /// Insert the undirected edge `{u, v}` with weight `w`. The edge must
+    /// not already exist (reweighting an existing edge is its own op).
+    Insert {
+        /// Smaller endpoint.
+        u: VertexId,
+        /// Larger endpoint (equal to `u` for a self-loop).
+        v: VertexId,
+        /// Finite, positive weight.
+        w: Weight,
+    },
+    /// Delete the existing undirected edge `{u, v}`.
+    Delete {
+        /// Smaller endpoint.
+        u: VertexId,
+        /// Larger endpoint.
+        v: VertexId,
+    },
+    /// Replace the weight of the existing undirected edge `{u, v}` with `w`.
+    Reweight {
+        /// Smaller endpoint.
+        u: VertexId,
+        /// Larger endpoint.
+        v: VertexId,
+        /// Finite, positive new weight.
+        w: Weight,
+    },
+}
+
+impl DeltaOp {
+    /// The canonical `(u, v)` endpoint pair of the op.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            DeltaOp::Insert { u, v, .. }
+            | DeltaOp::Delete { u, v }
+            | DeltaOp::Reweight { u, v, .. } => (u, v),
+        }
+    }
+}
+
+/// Why a delta could not be built or applied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaError {
+    /// An op references a vertex outside the graph's vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices of the target graph.
+        num_vertices: usize,
+    },
+    /// An insert or reweight carries a weight that is not finite and
+    /// positive.
+    BadWeight {
+        /// The offending weight.
+        weight: Weight,
+    },
+    /// Two ops in one batch address the same undirected edge — batches are
+    /// sets of independent edge changes, so order within a batch must never
+    /// matter.
+    DuplicateOp {
+        /// Smaller endpoint of the doubly-addressed edge.
+        u: VertexId,
+        /// Larger endpoint.
+        v: VertexId,
+    },
+    /// An [`DeltaOp::Insert`] addressed an edge the graph already has.
+    DuplicateInsert {
+        /// Smaller endpoint.
+        u: VertexId,
+        /// Larger endpoint.
+        v: VertexId,
+    },
+    /// A [`DeltaOp::Delete`] or [`DeltaOp::Reweight`] addressed an edge the
+    /// graph does not have.
+    MissingEdge {
+        /// Smaller endpoint.
+        u: VertexId,
+        /// Larger endpoint.
+        v: VertexId,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for a graph with {num_vertices} vertices")
+            }
+            DeltaError::BadWeight { weight } => {
+                write!(f, "edge weight must be finite and positive, got {weight}")
+            }
+            DeltaError::DuplicateOp { u, v } => {
+                write!(f, "batch addresses edge {{{u}, {v}}} more than once")
+            }
+            DeltaError::DuplicateInsert { u, v } => {
+                write!(f, "insert of edge {{{u}, {v}}} which already exists")
+            }
+            DeltaError::MissingEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Builds a [`DeltaBatch`] op by op, validating as it goes.
+///
+/// Range and weight violations and within-batch duplicate edges are caught
+/// here; existence violations ([`DeltaError::DuplicateInsert`],
+/// [`DeltaError::MissingEdge`]) can only be judged against a concrete graph
+/// and surface at apply time.
+#[derive(Clone, Debug)]
+pub struct DeltaBuilder {
+    num_vertices: usize,
+    ops: Vec<DeltaOp>,
+    seen: HashSet<(VertexId, VertexId)>,
+}
+
+impl DeltaBuilder {
+    /// A builder for deltas against graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { num_vertices: n, ops: Vec::new(), seen: HashSet::new() }
+    }
+
+    fn canon(&mut self, u: VertexId, v: VertexId) -> Result<(VertexId, VertexId), DeltaError> {
+        for x in [u, v] {
+            if x as usize >= self.num_vertices {
+                return Err(DeltaError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        if !self.seen.insert((a, b)) {
+            return Err(DeltaError::DuplicateOp { u: a, v: b });
+        }
+        Ok((a, b))
+    }
+
+    fn check_weight(w: Weight) -> Result<(), DeltaError> {
+        if w.is_finite() && w > 0.0 {
+            Ok(())
+        } else {
+            Err(DeltaError::BadWeight { weight: w })
+        }
+    }
+
+    /// Queues an edge insert (`u == v` inserts a self-loop).
+    pub fn insert(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<&mut Self, DeltaError> {
+        Self::check_weight(w)?;
+        let (u, v) = self.canon(u, v)?;
+        self.ops.push(DeltaOp::Insert { u, v, w });
+        Ok(self)
+    }
+
+    /// Queues an edge delete.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Result<&mut Self, DeltaError> {
+        let (u, v) = self.canon(u, v)?;
+        self.ops.push(DeltaOp::Delete { u, v });
+        Ok(self)
+    }
+
+    /// Queues an edge reweight.
+    pub fn reweight(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<&mut Self, DeltaError> {
+        Self::check_weight(w)?;
+        let (u, v) = self.canon(u, v)?;
+        self.ops.push(DeltaOp::Reweight { u, v, w });
+        Ok(self)
+    }
+
+    /// Number of ops queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalizes the batch. Ops keep their queue order (the order is part of
+    /// the batch's identity and of its content hash in `cd-serve`).
+    pub fn build(self) -> DeltaBatch {
+        DeltaBatch { num_vertices: self.num_vertices, ops: self.ops }
+    }
+}
+
+/// A validated, ordered batch of edge operations against a graph with a
+/// fixed vertex count.
+///
+/// Within one batch every undirected edge is addressed at most once, so the
+/// ops commute and the batch denotes a *set* of changes; the stored order
+/// still matters for identity (content hashing) and for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaBatch {
+    num_vertices: usize,
+    ops: Vec<DeltaOp>,
+}
+
+impl DeltaBatch {
+    /// The vertex count of the graphs this batch applies to.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The ops, in build order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The sorted, deduplicated set of vertices whose adjacency this batch
+    /// changes — the warm-start frontier seed.
+    pub fn touched_vertices(&self) -> Vec<VertexId> {
+        let mut touched: Vec<VertexId> = self
+            .ops
+            .iter()
+            .flat_map(|op| {
+                let (u, v) = op.endpoints();
+                [u, v]
+            })
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// The batch that undoes this one when applied to `apply_delta(base,
+    /// self)`: inserts become deletes, deletes become inserts of the edge's
+    /// old weight, reweights restore the old weight. Built against the
+    /// *pre-application* graph, so deletes' old weights can still be read.
+    ///
+    /// Fails with the same typed errors an apply of `self` to `base` would
+    /// (the inverse of an inapplicable batch is meaningless).
+    pub fn inverse(&self, base: &Csr) -> Result<DeltaBatch, DeltaError> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let (u, v) = op.endpoints();
+            let existing = edge_weight(base, u, v);
+            ops.push(match (*op, existing) {
+                (DeltaOp::Insert { u, v, .. }, None) => DeltaOp::Delete { u, v },
+                (DeltaOp::Insert { u, v, .. }, Some(_)) => {
+                    return Err(DeltaError::DuplicateInsert { u, v })
+                }
+                (DeltaOp::Delete { u, v }, Some(w)) => DeltaOp::Insert { u, v, w },
+                (DeltaOp::Reweight { u, v, .. }, Some(w)) => DeltaOp::Reweight { u, v, w },
+                (DeltaOp::Delete { u, v }, None) | (DeltaOp::Reweight { u, v, .. }, None) => {
+                    return Err(DeltaError::MissingEdge { u, v })
+                }
+            });
+        }
+        Ok(DeltaBatch { num_vertices: self.num_vertices, ops })
+    }
+}
+
+/// The weight of edge `{u, v}` in `g`, if present.
+fn edge_weight(g: &Csr, u: VertexId, v: VertexId) -> Option<Weight> {
+    g.neighbors(u).binary_search(&v).ok().map(|pos| g.edge_weights(u)[pos])
+}
+
+/// What applying a batch produced, alongside the patched graph.
+#[derive(Clone, Debug)]
+pub struct AppliedDelta {
+    /// Sorted vertices whose adjacency changed.
+    pub touched: Vec<VertexId>,
+    /// Whether the full-rebuild fallback ran instead of the patch path
+    /// (identical output either way; recorded for observability).
+    pub rebuilt: bool,
+}
+
+/// Validates `batch` against `base` without mutating anything.
+fn validate(base: &Csr, batch: &DeltaBatch) -> Result<(), DeltaError> {
+    if batch.num_vertices != base.num_vertices() {
+        // A batch built for a different vertex count: report the first
+        // out-of-range vertex it could address.
+        return Err(DeltaError::VertexOutOfRange {
+            vertex: batch.num_vertices.max(base.num_vertices()) as VertexId,
+            num_vertices: base.num_vertices(),
+        });
+    }
+    for op in batch.ops() {
+        let (u, v) = op.endpoints();
+        if u as usize >= base.num_vertices() || v as usize >= base.num_vertices() {
+            return Err(DeltaError::VertexOutOfRange {
+                vertex: u.max(v),
+                num_vertices: base.num_vertices(),
+            });
+        }
+        let exists = edge_weight(base, u, v).is_some();
+        match op {
+            DeltaOp::Insert { .. } if exists => return Err(DeltaError::DuplicateInsert { u, v }),
+            DeltaOp::Delete { .. } | DeltaOp::Reweight { .. } if !exists => {
+                return Err(DeltaError::MissingEdge { u, v })
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Per-touched-vertex change list: `(neighbor, change)`, sorted by neighbor.
+enum AdjChange {
+    Insert(Weight),
+    Delete,
+    Reweight(Weight),
+}
+
+/// Applies `batch` to `base`, returning the patched graph and the sorted
+/// touched-vertex set. The whole batch is validated up front, so an `Err`
+/// means `base` is untouched and no partial state escapes.
+///
+/// The patch path copies untouched vertices' CSR slices verbatim and merges
+/// each touched vertex's sorted adjacency with its sorted change list —
+/// O(degree) work per touched vertex beyond the bulk copy, no edge-list
+/// re-sort.
+pub fn apply_delta(base: &Csr, batch: &DeltaBatch) -> Result<(Csr, Vec<VertexId>), DeltaError> {
+    validate(base, batch)?;
+    let touched = batch.touched_vertices();
+    if batch.is_empty() {
+        return Ok((base.clone(), touched));
+    }
+
+    // Scatter ops into per-vertex change lists. A non-loop edge {u, v}
+    // changes both adjacencies; a self-loop changes one entry of one list.
+    let mut changes: Vec<(VertexId, Vec<(VertexId, AdjChange)>)> =
+        touched.iter().map(|&v| (v, Vec::new())).collect();
+    let slot = |list: &[(VertexId, Vec<(VertexId, AdjChange)>)], v: VertexId| {
+        list.binary_search_by_key(&v, |e| e.0).expect("touched vertex indexed")
+    };
+    for op in batch.ops() {
+        let (u, v) = op.endpoints();
+        let change = |other: VertexId| match *op {
+            DeltaOp::Insert { w, .. } => (other, AdjChange::Insert(w)),
+            DeltaOp::Delete { .. } => (other, AdjChange::Delete),
+            DeltaOp::Reweight { w, .. } => (other, AdjChange::Reweight(w)),
+        };
+        let iu = slot(&changes, u);
+        changes[iu].1.push(change(v));
+        if u != v {
+            let iv = slot(&changes, v);
+            changes[iv].1.push(change(u));
+        }
+    }
+    for (_, list) in &mut changes {
+        list.sort_unstable_by_key(|&(nbr, _)| nbr);
+    }
+
+    // Assemble the patched arrays vertex by vertex: untouched slices are
+    // copied verbatim, touched adjacencies get a sorted two-way merge.
+    let n = base.num_vertices();
+    let inserts: usize = batch
+        .ops()
+        .iter()
+        .map(|op| {
+            let (u, v) = op.endpoints();
+            match op {
+                DeltaOp::Insert { .. } => {
+                    if u == v {
+                        1
+                    } else {
+                        2
+                    }
+                }
+                _ => 0,
+            }
+        })
+        .sum();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(base.num_arcs() + inserts);
+    let mut weights = Vec::with_capacity(base.num_arcs() + inserts);
+    offsets.push(0);
+    let mut next_change = 0usize;
+    for x in 0..n as VertexId {
+        let is_touched = next_change < changes.len() && changes[next_change].0 == x;
+        if !is_touched {
+            targets.extend_from_slice(base.neighbors(x));
+            weights.extend_from_slice(base.edge_weights(x));
+        } else {
+            let list = &changes[next_change].1;
+            next_change += 1;
+            let (old_t, old_w) = (base.neighbors(x), base.edge_weights(x));
+            let mut i = 0usize; // cursor into the old adjacency
+            for &(nbr, ref change) in list {
+                while i < old_t.len() && old_t[i] < nbr {
+                    targets.push(old_t[i]);
+                    weights.push(old_w[i]);
+                    i += 1;
+                }
+                match change {
+                    AdjChange::Insert(w) => {
+                        targets.push(nbr);
+                        weights.push(*w);
+                    }
+                    AdjChange::Delete => {
+                        debug_assert!(i < old_t.len() && old_t[i] == nbr);
+                        i += 1;
+                    }
+                    AdjChange::Reweight(w) => {
+                        debug_assert!(i < old_t.len() && old_t[i] == nbr);
+                        targets.push(nbr);
+                        weights.push(*w);
+                        i += 1;
+                    }
+                }
+            }
+            targets.extend_from_slice(&old_t[i..]);
+            weights.extend_from_slice(&old_w[i..]);
+        }
+        offsets.push(targets.len());
+    }
+    Ok((Csr::from_parts(offsets, targets, weights), touched))
+}
+
+/// Rebuilds the post-delta graph from scratch through [`GraphBuilder`]: the
+/// fallback for batches whose churn makes per-vertex merging pointless.
+/// Bit-identical to the patch path (both end in sorted adjacencies fed to
+/// [`Csr::from_parts`]).
+fn rebuild(base: &Csr, batch: &DeltaBatch) -> Csr {
+    let deleted: HashSet<(VertexId, VertexId)> = batch
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            DeltaOp::Delete { u, v } | DeltaOp::Reweight { u, v, .. } => Some((*u, *v)),
+            DeltaOp::Insert { .. } => None,
+        })
+        .collect();
+    let mut b = GraphBuilder::with_capacity(base.num_vertices(), base.num_arcs() / 2 + batch.len());
+    for u in 0..base.num_vertices() as VertexId {
+        for (v, w) in base.edges(u) {
+            if v >= u && !deleted.contains(&(u, v)) {
+                b.add_edge(u, v, w);
+            }
+        }
+    }
+    for op in batch.ops() {
+        match *op {
+            DeltaOp::Insert { u, v, w } | DeltaOp::Reweight { u, v, w } => b.add_edge(u, v, w),
+            DeltaOp::Delete { .. } => {}
+        }
+    }
+    b.build()
+}
+
+/// A CSR graph plus a monotonically increasing version counter, advanced by
+/// applying [`DeltaBatch`]es.
+#[derive(Clone, Debug)]
+pub struct VersionedCsr {
+    graph: Csr,
+    version: u64,
+}
+
+impl VersionedCsr {
+    /// Batches touching more than this fraction of the edges take the
+    /// full-rebuild path instead of the per-vertex patch merge.
+    pub const REBUILD_CHURN: f64 = 0.25;
+
+    /// Version 0 of a graph.
+    pub fn new(graph: Csr) -> Self {
+        Self { graph, version: 0 }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// How many batches have been applied.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Applies a batch, advancing the version. An `Err` leaves the graph and
+    /// the version unchanged.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<AppliedDelta, DeltaError> {
+        let churn = batch.len() as f64 / (self.graph.num_edges().max(1) as f64);
+        let (graph, touched, rebuilt) = if churn > Self::REBUILD_CHURN {
+            validate(&self.graph, batch)?;
+            (rebuild(&self.graph, batch), batch.touched_vertices(), true)
+        } else {
+            let (graph, touched) = apply_delta(&self.graph, batch)?;
+            (graph, touched, false)
+        };
+        self.graph = graph;
+        self.version += 1;
+        Ok(AppliedDelta { touched, rebuilt })
+    }
+
+    /// Consumes the wrapper, yielding the current graph.
+    pub fn into_graph(self) -> Csr {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+
+    fn square() -> Csr {
+        // 0-1, 1-2, 2-3, 3-0, all weight 1; plus chord 0-2 weight 2.
+        csr_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 2.0)])
+    }
+
+    #[test]
+    fn patch_inserts_deletes_reweights() {
+        let g = square();
+        let mut b = DeltaBuilder::new(4);
+        b.insert(1, 3, 5.0).unwrap();
+        b.delete(0, 2).unwrap();
+        b.reweight(2, 3, 0.25).unwrap();
+        let batch = b.build();
+        let (patched, touched) = apply_delta(&g, &batch).unwrap();
+        assert_eq!(touched, vec![0, 1, 2, 3]);
+        assert_eq!(patched.neighbors(0), &[1, 3]);
+        assert_eq!(patched.neighbors(1), &[0, 2, 3]);
+        assert_eq!(edge_weight(&patched, 1, 3), Some(5.0));
+        assert_eq!(edge_weight(&patched, 2, 3), Some(0.25));
+        assert!(patched.is_symmetric());
+        // Equals the from-scratch build of the post-delta edge list.
+        let rebuilt =
+            csr_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 0.25), (3, 0, 1.0), (1, 3, 5.0)]);
+        assert_eq!(patched, rebuilt);
+    }
+
+    #[test]
+    fn self_loops_are_single_entries() {
+        let g = square();
+        let mut b = DeltaBuilder::new(4);
+        b.insert(2, 2, 3.0).unwrap();
+        let (patched, touched) = apply_delta(&g, &b.build()).unwrap();
+        assert_eq!(touched, vec![2]);
+        assert_eq!(patched.self_loop(2), 3.0);
+        assert_eq!(patched.num_arcs(), g.num_arcs() + 1);
+        assert_eq!(patched.total_weight_2m(), g.total_weight_2m() + 3.0);
+    }
+
+    #[test]
+    fn apply_errors_are_typed_and_atomic() {
+        let g = square();
+        let mut b = DeltaBuilder::new(4);
+        b.insert(1, 3, 1.0).unwrap(); // fine
+        b.insert(0, 1, 1.0).unwrap(); // exists
+        let err = apply_delta(&g, &b.build()).unwrap_err();
+        assert_eq!(err, DeltaError::DuplicateInsert { u: 0, v: 1 });
+
+        let mut b = DeltaBuilder::new(4);
+        b.delete(1, 3).unwrap(); // absent
+        assert_eq!(
+            apply_delta(&g, &b.build()).unwrap_err(),
+            DeltaError::MissingEdge { u: 1, v: 3 }
+        );
+
+        let mut b = DeltaBuilder::new(4);
+        b.reweight(1, 3, 2.0).unwrap(); // absent
+        assert_eq!(
+            apply_delta(&g, &b.build()).unwrap_err(),
+            DeltaError::MissingEdge { u: 1, v: 3 }
+        );
+    }
+
+    #[test]
+    fn builder_validates_range_weight_duplicates() {
+        let mut b = DeltaBuilder::new(4);
+        assert_eq!(
+            b.insert(0, 9, 1.0).unwrap_err(),
+            DeltaError::VertexOutOfRange { vertex: 9, num_vertices: 4 }
+        );
+        assert_eq!(b.insert(0, 1, 0.0).unwrap_err(), DeltaError::BadWeight { weight: 0.0 });
+        assert!(matches!(
+            b.insert(0, 1, f64::NAN).unwrap_err(),
+            DeltaError::BadWeight { weight } if weight.is_nan()
+        ));
+        b.insert(0, 1, 1.0).unwrap();
+        // Same edge in the other orientation, different op kind: still a dup.
+        assert_eq!(b.delete(1, 0).unwrap_err(), DeltaError::DuplicateOp { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn inverse_round_trips_bit_identically() {
+        let g = square();
+        let mut b = DeltaBuilder::new(4);
+        b.insert(1, 3, 5.0).unwrap();
+        b.delete(0, 2).unwrap();
+        b.reweight(2, 3, 0.25).unwrap();
+        b.insert(3, 3, 1.5).unwrap();
+        let batch = b.build();
+        let inv = batch.inverse(&g).unwrap();
+        let (forward, _) = apply_delta(&g, &batch).unwrap();
+        let (back, _) = apply_delta(&forward, &inv).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.total_weight_2m().to_bits(), g.total_weight_2m().to_bits());
+    }
+
+    #[test]
+    fn versioned_rebuild_fallback_matches_patch() {
+        let g = square(); // 5 edges; a 2-op batch is 40% churn -> rebuild
+        let mut b = DeltaBuilder::new(4);
+        b.delete(0, 2).unwrap();
+        b.insert(1, 3, 2.0).unwrap();
+        let batch = b.build();
+        let mut vg = VersionedCsr::new(g.clone());
+        let applied = vg.apply(&batch).unwrap();
+        assert!(applied.rebuilt);
+        assert_eq!(vg.version(), 1);
+        let (patched, _) = apply_delta(&g, &batch).unwrap();
+        assert_eq!(vg.graph(), &patched);
+    }
+
+    #[test]
+    fn failed_apply_leaves_versioned_graph_untouched() {
+        let mut vg = VersionedCsr::new(square());
+        let before = vg.graph().clone();
+        let mut b = DeltaBuilder::new(4);
+        b.delete(1, 3).unwrap();
+        assert!(vg.apply(&b.build()).is_err());
+        assert_eq!(vg.graph(), &before);
+        assert_eq!(vg.version(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let g = square();
+        let batch = DeltaBuilder::new(4).build();
+        let (patched, touched) = apply_delta(&g, &batch).unwrap();
+        assert_eq!(patched, g);
+        assert!(touched.is_empty());
+    }
+}

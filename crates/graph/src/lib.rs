@@ -17,6 +17,7 @@ pub mod compare;
 pub mod components;
 pub mod contract;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod modularity;
@@ -30,6 +31,9 @@ pub use compare::{adjusted_rand_index, nmi};
 pub use components::{component_labels, component_stats, ComponentStats, UnionFind};
 pub use contract::contract;
 pub use csr::{Csr, VertexId, Weight};
+pub use delta::{
+    apply_delta, AppliedDelta, DeltaBatch, DeltaBuilder, DeltaError, DeltaOp, VersionedCsr,
+};
 pub use modularity::{community_aggregates, modularity, modularity_gain};
 pub use partition::{Dendrogram, Partition};
 pub use stats::{bucket_of_degree, degree_stats, DegreeStats, PAPER_DEGREE_BUCKETS};

@@ -67,19 +67,36 @@ impl CacheStats {
 
 struct Entry {
     result: Arc<ServeResult>,
-    bytes: usize,
+    payload: usize,
     last_use: u64,
 }
 
-/// Approximate retained size of a cached result: the label array dominates;
-/// the constant covers the modularity, stage count, and map overhead.
-fn result_bytes(result: &ServeResult) -> usize {
-    result.partition.as_slice().len() * 4 + 64
+/// Fixed per-key accounting overhead: the modularity, stage count, key, and
+/// map-entry bookkeeping.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Approximate retained size of a cached result's payload: the label array
+/// dominates.
+fn payload_bytes(result: &ServeResult) -> usize {
+    result.partition.as_slice().len() * 4
 }
 
 /// A bounded LRU map from content address to shared result.
+///
+/// One payload may live under several keys: a completed delta job is
+/// inserted under its *chained* key (base hash folded with the applied
+/// delta hashes) and, promoted to a new base, under the structural hash of
+/// the patched graph — the same `Arc<ServeResult>` both times. Byte
+/// accounting refcounts payloads by allocation identity so a shared label
+/// array is charged exactly once, and is freed only when its last key is
+/// evicted; each key still pays the fixed [`ENTRY_OVERHEAD`].
 pub struct ResultCache {
     entries: HashMap<CacheKey, Entry>,
+    /// Payload allocation (`Arc` data pointer) → number of keys sharing it.
+    /// Entries keep their `Arc` alive, so a live pointer here is never
+    /// dangling; the slot is removed at refcount zero, so a recycled
+    /// address can never inherit a stale count.
+    payload_refs: HashMap<usize, usize>,
     capacity_bytes: usize,
     bytes: usize,
     clock: u64,
@@ -93,11 +110,28 @@ impl ResultCache {
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
             entries: HashMap::new(),
+            payload_refs: HashMap::new(),
             capacity_bytes,
             bytes: 0,
             clock: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Drops one key's claim on its payload, returning the bytes actually
+    /// freed: the overhead always, the payload only at its last reference.
+    fn release(&mut self, e: &Entry) -> usize {
+        let ptr = Arc::as_ptr(&e.result) as usize;
+        let refs = self.payload_refs.get_mut(&ptr).expect("cached payload is refcounted");
+        *refs -= 1;
+        let freed = if *refs == 0 {
+            self.payload_refs.remove(&ptr);
+            e.payload + ENTRY_OVERHEAD
+        } else {
+            ENTRY_OVERHEAD
+        };
+        self.bytes -= freed;
+        freed
     }
 
     /// Looks up a key, counting a hit or miss and refreshing recency on hit.
@@ -116,6 +150,13 @@ impl ResultCache {
         }
     }
 
+    /// Peeks a key without touching recency or the hit/miss counters —
+    /// used by internal resolutions (the warm-seed lookup of a delta
+    /// submission) that must not skew the client-facing statistics.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<ServeResult>> {
+        self.entries.get(key).map(|e| Arc::clone(&e.result))
+    }
+
     /// Records a submission that coalesced onto an in-flight job.
     pub fn note_coalesced(&mut self) {
         self.stats.coalesced += 1;
@@ -130,19 +171,25 @@ impl ResultCache {
     /// and evicting the entire working set on its way to not fitting would
     /// be pure loss.
     pub fn insert(&mut self, key: CacheKey, result: Arc<ServeResult>) {
-        let bytes = result_bytes(&result);
+        let payload = payload_bytes(&result);
         self.clock += 1;
-        if bytes > self.capacity_bytes {
+        if payload + ENTRY_OVERHEAD > self.capacity_bytes {
             self.stats.rejected_oversized += 1;
             return;
         }
         if let Some(old) = self.entries.remove(&key) {
-            self.bytes -= old.bytes;
+            self.release(&old);
         }
         self.stats.insertions += 1;
-        self.stats.bytes_inserted += bytes as u64;
-        self.entries.insert(key, Entry { result, bytes, last_use: self.clock });
-        self.bytes += bytes;
+        let ptr = Arc::as_ptr(&result) as usize;
+        let refs = self.payload_refs.entry(ptr).or_insert(0);
+        // A payload already resident under another key (a delta-chain
+        // alias) is charged only the per-key overhead.
+        let charged = if *refs == 0 { payload + ENTRY_OVERHEAD } else { ENTRY_OVERHEAD };
+        *refs += 1;
+        self.stats.bytes_inserted += charged as u64;
+        self.bytes += charged;
+        self.entries.insert(key, Entry { result, payload, last_use: self.clock });
         while self.bytes > self.capacity_bytes && !self.entries.is_empty() {
             // Full scan for the LRU victim: entry counts here are the number
             // of distinct workloads, not the number of requests, so O(n)
@@ -154,9 +201,9 @@ impl ResultCache {
                 .map(|(k, _)| *k)
                 .expect("non-empty cache has an LRU entry");
             let evicted = self.entries.remove(&victim).expect("victim came from the map");
-            self.bytes -= evicted.bytes;
+            let freed = self.release(&evicted);
             self.stats.evictions += 1;
-            self.stats.bytes_evicted += evicted.bytes as u64;
+            self.stats.bytes_evicted += freed as u64;
         }
     }
 
@@ -346,5 +393,48 @@ mod tests {
         c.insert(key(1), result(10));
         assert_eq!(c.bytes(), before);
         assert_eq!(c.entries(), 1);
+    }
+
+    #[test]
+    fn shared_payload_is_counted_once_across_keys() {
+        // A delta job's result lands under its chained key and, promoted to
+        // a new base, under the patched graph's structural key — the same
+        // Arc both times. The label array must be charged once.
+        let mut c = ResultCache::new(1 << 20);
+        let shared = result(100); // 400-byte payload
+        c.insert(key(1), Arc::clone(&shared));
+        let single = c.bytes();
+        c.insert(key(2), Arc::clone(&shared));
+        assert_eq!(c.entries(), 2);
+        assert_eq!(c.bytes(), single + 64, "alias adds only per-key overhead");
+
+        // Replacing one alias with a distinct payload charges the new
+        // payload but keeps the shared one resident for the other key.
+        c.insert(key(2), result(100));
+        assert_eq!(c.bytes(), 2 * single);
+        assert_eq!(c.lookup(&key(1)).unwrap().partition.as_slice().len(), 100);
+    }
+
+    #[test]
+    fn evicting_one_alias_keeps_the_shared_payload_resident() {
+        // Budget 1000: payload 400 + overhead 64 per key. Two aliases of one
+        // payload cost 528; a second 464-byte entry totals 992 and fits —
+        // which it would not if the alias double-counted its payload.
+        let mut c = ResultCache::new(1000);
+        let shared = result(100);
+        c.insert(key(1), Arc::clone(&shared));
+        c.insert(key(2), Arc::clone(&shared));
+        c.insert(key(3), result(100));
+        assert_eq!(c.entries(), 3);
+        assert_eq!(c.stats().evictions, 0, "aliases must not double-count into eviction");
+
+        // Evicting one alias frees only its overhead, so the LRU loop keeps
+        // going until the budget truly holds; the survivor still resolves.
+        c.insert(key(4), result(100));
+        assert!(c.bytes() <= c.capacity_bytes());
+        let survivors = [1, 2, 3, 4].iter().filter(|&&i| c.lookup(&key(i)).is_some()).count();
+        assert!(survivors >= 2);
+        let total_payloads: usize = c.payload_refs.keys().count();
+        assert!(total_payloads <= c.entries());
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::job::JobOptions;
 use cd_core::{HashPlacement, ThreadAssignment, UpdateStrategy};
-use cd_graph::Csr;
+use cd_graph::{Csr, DeltaBatch, DeltaOp};
 
 /// 64-bit FNV-1a, the same construction gpusim uses for fault-plan seeding:
 /// tiny, dependency-free, and stable across platforms.
@@ -139,6 +139,54 @@ pub fn options_hash(options: &JobOptions) -> u64 {
     h.finish()
 }
 
+/// Content hash of a delta batch: vertex count plus every op in order
+/// (tag, canonical endpoints, weight bits). Order matters — deltas are
+/// applied sequentially, so `[A, B]` and `[B, A]` are different edits even
+/// when they commute structurally.
+pub fn delta_hash(batch: &DeltaBatch) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(batch.num_vertices());
+    for op in batch.ops() {
+        match *op {
+            DeltaOp::Insert { u, v, w } => {
+                h.write_u64(0);
+                h.write_u64(u as u64);
+                h.write_u64(v as u64);
+                h.write_f64(w);
+            }
+            DeltaOp::Delete { u, v } => {
+                h.write_u64(1);
+                h.write_u64(u as u64);
+                h.write_u64(v as u64);
+            }
+            DeltaOp::Reweight { u, v, w } => {
+                h.write_u64(2);
+                h.write_u64(u as u64);
+                h.write_u64(v as u64);
+                h.write_f64(w);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Graph hash of `base` after applying a delta with hash `delta`, *without
+/// materializing the patched graph*: `fnv(base_hash, delta_hash)`.
+///
+/// This is how delta chains warm-hit: a resubmitted chain
+/// `base → d1 → d2` folds to the same chained hash both times, so the
+/// second submission is a pure cache lookup. Because `apply_delta` and the
+/// from-scratch builder produce bit-identical CSRs, every completed delta
+/// job is *also* inserted under the [`structural_hash`] of its patched
+/// graph — promoting the result to a plain base that cold submissions of
+/// the same graph can hit.
+pub fn chained_graph_hash(base_graph_hash: u64, delta: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(base_graph_hash);
+    h.write_u64(delta);
+    h.finish()
+}
+
 /// The content address of a (graph, options) pair — the key of the result
 /// cache and of in-flight coalescing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -210,6 +258,35 @@ mod tests {
         let faulty = base.with_fault(0, plan);
         assert_ne!(options_hash(&base), options_hash(&faulty));
         assert_ne!(options_hash(&faulty), options_hash(&base.with_fault(1, plan)));
+    }
+
+    #[test]
+    fn delta_hash_is_order_sensitive_and_chains_fold() {
+        use cd_graph::DeltaBuilder;
+        let mk = |first_insert: bool| {
+            let mut b = DeltaBuilder::new(16);
+            if first_insert {
+                b.insert(0, 5, 1.0).unwrap();
+                b.delete(1, 2).unwrap();
+            } else {
+                b.delete(1, 2).unwrap();
+                b.insert(0, 5, 1.0).unwrap();
+            }
+            b.build()
+        };
+        // Same ops, same order → same hash; same ops, different order → not.
+        assert_eq!(delta_hash(&mk(true)), delta_hash(&mk(true)));
+        assert_ne!(delta_hash(&mk(true)), delta_hash(&mk(false)));
+
+        // Chained hashes are deterministic and position-sensitive.
+        let (a, b) = (delta_hash(&mk(true)), delta_hash(&mk(false)));
+        let g = structural_hash(&ring(16));
+        assert_eq!(chained_graph_hash(g, a), chained_graph_hash(g, a));
+        assert_ne!(chained_graph_hash(g, a), chained_graph_hash(g, b));
+        assert_ne!(
+            chained_graph_hash(chained_graph_hash(g, a), b),
+            chained_graph_hash(chained_graph_hash(g, b), a)
+        );
     }
 
     #[test]

@@ -140,6 +140,21 @@ impl JobOptions {
     }
 }
 
+/// How a delta submission names the graph it patches: by a previously
+/// accepted job (the delta applies to that job's input graph) or by a graph
+/// hash the server already knows — a structural hash from a plain
+/// submission, or the chained hash of an earlier delta job, which is how
+/// chains extend: `submit` → `submit_delta` → `submit_delta` …
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaBase {
+    /// The input graph of this previously accepted job.
+    Job(JobId),
+    /// A graph hash registered by an earlier submission: the structural
+    /// hash of a submitted graph, or the chained hash of a delta job
+    /// (see [`crate::chained_graph_hash`]).
+    Graph(u64),
+}
+
 /// Why a submission was refused at the door. Rejections are synchronous: no
 /// job id is assigned and nothing is queued — the explicit backpressure
 /// signal a caller uses to shed or retry load.
@@ -149,6 +164,20 @@ pub enum Rejected {
     QueueFull {
         /// The configured queue bound.
         capacity: usize,
+    },
+    /// A delta submission referenced a base the server does not know — an
+    /// unknown job id, or a graph hash no prior submission registered.
+    UnknownBase {
+        /// The job id or graph hash the delta referenced.
+        base: u64,
+    },
+    /// The delta batch does not apply to its base graph (vertex out of
+    /// range, deleting a missing edge, …). The reason is the rendered
+    /// [`cd_graph::DeltaError`]; nothing was queued and the base is
+    /// unchanged.
+    InvalidDelta {
+        /// Human-readable rendering of the typed delta error.
+        reason: String,
     },
     /// The graph exceeds the 32-bit vertex id space of the kernels; no
     /// device or degradation path could ever run it.
@@ -173,6 +202,12 @@ impl std::fmt::Display for Rejected {
         match self {
             Rejected::QueueFull { capacity } => {
                 write!(f, "submission queue full (capacity {capacity})")
+            }
+            Rejected::UnknownBase { base } => {
+                write!(f, "delta references unknown base {base:#x}")
+            }
+            Rejected::InvalidDelta { reason } => {
+                write!(f, "delta does not apply to its base: {reason}")
             }
             Rejected::TooManyVertices(n) => {
                 write!(f, "{n} vertices exceed the 32-bit vertex id space")

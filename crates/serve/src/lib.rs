@@ -31,6 +31,12 @@
 //! * **Cooperative lifecycle** — cancellation and deadlines are observed at
 //!   the dequeue checkpoint and at every stage checkpoint of the gated
 //!   driver; a run is never interrupted mid-stage.
+//! * **Incremental jobs** — [`Server::submit_delta`] submits a
+//!   [`cd_graph::DeltaBatch`] against a previously seen base. The content
+//!   key chains the base hash with the batch hash, so resubmitted delta
+//!   chains warm-hit the cache link by link; a resident base result seeds
+//!   the warm-start driver so the run re-evaluates only the touched
+//!   frontier.
 //!
 //! ## Quick start
 //!
@@ -81,9 +87,9 @@ pub mod scheduler;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
-pub use hash::{options_hash, structural_hash, CacheKey, Fnv1a};
+pub use hash::{chained_graph_hash, delta_hash, options_hash, structural_hash, CacheKey, Fnv1a};
 pub use job::{
-    DeviceFault, ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Priority, Rejected,
+    DeltaBase, DeviceFault, ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Priority, Rejected,
     ServeResult,
 };
 pub use loadgen::{

@@ -77,6 +77,8 @@ pub(crate) struct MetricsState {
     pub failed_over_jobs: u64,
     pub pooled_jobs: u64,
     pub degraded_jobs: u64,
+    pub delta_jobs: u64,
+    pub warm_started_jobs: u64,
     pub cache_restored_entries: u64,
     pub cache_restore_failures: u64,
     pub in_flight: usize,
@@ -178,6 +180,14 @@ pub struct ServeMetrics {
     pub pooled_jobs: u64,
     /// Pooled jobs whose recovery log shows sequential degradation.
     pub degraded_jobs: u64,
+    /// Delta submissions received through [`crate::Server::submit_delta`]
+    /// past base resolution (whether they then queued, coalesced, or hit
+    /// the cache).
+    pub delta_jobs: u64,
+    /// Producing runs that executed via the warm-start driver — seeded from
+    /// the base's partition with a touched-vertex frontier — rather than
+    /// from scratch.
+    pub warm_started_jobs: u64,
     /// Cache entries restored from a snapshot at startup.
     pub cache_restored_entries: u64,
     /// Snapshot restores that failed (corrupt/unreadable snapshot → cold

@@ -32,17 +32,19 @@
 //! only at the dequeue checkpoint.
 
 use crate::cache::ResultCache;
-use crate::hash::CacheKey;
-use crate::job::{ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Rejected, ServeResult};
+use crate::hash::{chained_graph_hash, delta_hash, options_hash, CacheKey};
+use crate::job::{
+    DeltaBase, ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Rejected, ServeResult,
+};
 use crate::metrics::{LatencyStats, MetricsState, ServeMetrics};
 use crate::queue::SubmissionQueue;
 use crate::scheduler::{BreakerConfig, DevicePool, Placement};
 use cd_core::{
-    estimated_device_bytes, louvain_gpu_gated, louvain_multi_gpu, GpuLouvainError, MultiGpuConfig,
-    RecoveryAction, StageAbort, ThresholdSchedule,
+    estimated_device_bytes, louvain_gpu_gated, louvain_multi_gpu, louvain_warm_start_gated,
+    GpuLouvainError, MultiGpuConfig, RecoveryAction, StageAbort, ThresholdSchedule,
 };
 use cd_gpusim::{Device, DeviceConfig};
-use cd_graph::Csr;
+use cd_graph::{apply_delta, Csr, DeltaBatch};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -125,6 +127,15 @@ impl ServerConfig {
     }
 }
 
+/// Warm-start material a delta job carries: the base's partition to seed
+/// labels from and the vertices the delta touched (the re-evaluation
+/// frontier). Both shared — the seed is the base's cached `ServeResult`.
+#[derive(Clone)]
+struct WarmContext {
+    seed: Arc<ServeResult>,
+    touched: Arc<Vec<u32>>,
+}
+
 struct JobState {
     graph: Arc<Csr>,
     options: JobOptions,
@@ -139,6 +150,25 @@ struct JobState {
     attempts: usize,
     /// Slot of the most recent such failure, steered around on the retry.
     avoid: Option<usize>,
+    /// Warm-start seed of a delta job whose base result was resident.
+    warm: Option<WarmContext>,
+    /// Second cache key a delta job's result is inserted under: the
+    /// structural hash of its patched graph, promoting the chain entry to
+    /// a plain base that cold submissions of the same graph can hit.
+    promote_key: Option<CacheKey>,
+}
+
+/// Everything a submission resolved before admission: the (possibly
+/// patched) graph, its content key, and the optional warm-start material.
+struct ProtoJob {
+    graph: Arc<Csr>,
+    options: JobOptions,
+    key: CacheKey,
+    footprint: usize,
+    now: Instant,
+    deadline_at: Option<Instant>,
+    warm: Option<WarmContext>,
+    promote_key: Option<CacheKey>,
 }
 
 /// The coalescing record of one in-flight content key: the job that will
@@ -154,6 +184,11 @@ struct Inner {
     pool: DevicePool,
     cache: ResultCache,
     inflight: HashMap<CacheKey, InFlight>,
+    /// Graphs a delta can reference as its base, by every hash they answer
+    /// to: the structural hash of each submitted graph, and both the
+    /// chained and structural hashes of each delta job's patched graph.
+    /// Retained for the server lifetime, like the job table.
+    bases: HashMap<u64, Arc<Csr>>,
     metrics: MetricsState,
     next_id: u64,
     shutting_down: bool,
@@ -363,7 +398,7 @@ fn next_action(shared: &Shared, inner: &mut Inner) -> Action {
 /// Runs a placed job to completion: releases the lock, executes, re-locks,
 /// and settles the leader plus every coalesced follower.
 fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placement: Placement) {
-    let (graph, options, key, footprint, cancel, deadline_at, attempts) = {
+    let (graph, options, key, footprint, cancel, deadline_at, attempts, warm, promote_key) = {
         let job = inner.jobs.get_mut(&id).expect("placed job has state");
         job.status = JobStatus::Running;
         (
@@ -374,6 +409,8 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
             Arc::clone(&job.cancel),
             job.deadline_at,
             job.attempts,
+            job.warm.clone(),
+            job.promote_key,
         )
     };
     let queue_wait = inner.jobs[&id].submitted_at.elapsed();
@@ -386,6 +423,10 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
     drop(inner);
 
     let exec_start = Instant::now();
+    // Set when the single-device path actually ran the warm-start driver
+    // (pooled runs ignore warm context — the multi-device path has no
+    // seeded entry point).
+    let mut ran_warm = false;
     let raw: Result<(Arc<ServeResult>, ExecPath), GpuLouvainError> = match placement {
         Placement::Single(slot) => {
             let mut slot_cfg = device_cfg.with_profile(options.profile);
@@ -410,7 +451,22 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                     }
                     Ok(())
                 };
-                louvain_gpu_gated(&dev, &graph, cfg, &schedule, &mut gate).map(|r| {
+                let run = match &warm {
+                    Some(w) => {
+                        ran_warm = true;
+                        louvain_warm_start_gated(
+                            &dev,
+                            &graph,
+                            cfg,
+                            &schedule,
+                            &w.seed.partition,
+                            &w.touched,
+                            &mut gate,
+                        )
+                    }
+                    None => louvain_gpu_gated(&dev, &graph, cfg, &schedule, &mut gate),
+                };
+                run.map(|r| {
                     let result = Arc::new(ServeResult {
                         partition: r.partition,
                         modularity: r.modularity,
@@ -474,7 +530,16 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                 }
                 other => other,
             };
+            if ran_warm {
+                inner.metrics.warm_started_jobs += 1;
+            }
             inner.cache.insert(key, Arc::clone(&result));
+            // A delta job's result is also the result of its patched graph
+            // as a plain base: insert it under the structural key too (the
+            // shared payload is byte-counted once — see `ResultCache`).
+            if let Some(pk) = promote_key.filter(|pk| *pk != key) {
+                inner.cache.insert(pk, Arc::clone(&result));
+            }
             inner.finalize(id, JobOutcome::Completed { result: Arc::clone(&result), path });
             let followers = inner.inflight.remove(&key).map(|i| i.followers).unwrap_or_default();
             for f in followers {
@@ -629,6 +694,7 @@ impl Server {
                 .with_breaker(config.breaker),
             cache,
             inflight: HashMap::new(),
+            bases: HashMap::new(),
             metrics,
             next_id: 0,
             shutting_down: false,
@@ -688,6 +754,139 @@ impl Server {
             inner.metrics.rejected += 1;
             return Err(Rejected::TooManyVertices(graph.num_vertices()));
         }
+        self.admit(
+            inner,
+            ProtoJob {
+                graph,
+                options,
+                key,
+                footprint,
+                now,
+                deadline_at,
+                warm: None,
+                promote_key: None,
+            },
+        )
+    }
+
+    /// Submits an *incremental* job: the base graph — named by a prior job
+    /// or a registered graph hash — with `batch` applied.
+    ///
+    /// The job's content key chains the base's graph hash with the batch
+    /// hash ([`crate::chained_graph_hash`]), so a resubmitted delta chain
+    /// folds to the same keys and warm-hits the cache link by link with
+    /// zero recompute. Every fast path of [`Self::submit`] (coalescing,
+    /// cache hits) applies to the chained key too, and the completed result
+    /// is additionally inserted under the structural hash of the patched
+    /// graph — promoting it to a plain base that a cold submission of the
+    /// same graph hits directly.
+    ///
+    /// When the base's own result (same semantic options) is resident, the
+    /// run executes through the warm-start driver
+    /// ([`cd_core::louvain_warm_start_gated`]): labels seeded from the base
+    /// partition, re-evaluation limited to the touched-vertex frontier.
+    /// Otherwise the patched graph runs cold — same result, no speedup.
+    pub fn submit_delta(
+        &self,
+        base: DeltaBase,
+        batch: &DeltaBatch,
+        options: JobOptions,
+    ) -> Result<JobId, Rejected> {
+        // Resolve the base under the lock; patch outside it — applying a
+        // delta is O(graph) work that must not serialize the service.
+        let (base_hash, base_graph, seed) = {
+            let mut inner = self.shared.lock();
+            if inner.shutting_down {
+                inner.metrics.rejected += 1;
+                return Err(Rejected::ShuttingDown);
+            }
+            let (base_hash, base_graph) = match base {
+                DeltaBase::Job(id) => match inner.jobs.get(&id) {
+                    Some(j) => (j.key.graph, Arc::clone(&j.graph)),
+                    None => {
+                        inner.metrics.rejected += 1;
+                        return Err(Rejected::UnknownBase { base: id.as_u64() });
+                    }
+                },
+                DeltaBase::Graph(h) => match inner.bases.get(&h) {
+                    Some(g) => (h, Arc::clone(g)),
+                    None => {
+                        inner.metrics.rejected += 1;
+                        return Err(Rejected::UnknownBase { base: h });
+                    }
+                },
+            };
+            // Warm seed: the base's result under the same semantic options.
+            // A peek, not a lookup — internal resolution must not skew the
+            // client-facing hit/miss counters.
+            let base_key = CacheKey { graph: base_hash, options: options_hash(&options) };
+            let seed = inner.cache.peek(&base_key).or_else(|| match base {
+                DeltaBase::Job(id) => inner
+                    .jobs
+                    .get(&id)
+                    .filter(|j| j.key == base_key)
+                    .and_then(|j| j.outcome.as_ref())
+                    .and_then(|o| o.result().cloned()),
+                DeltaBase::Graph(_) => None,
+            });
+            (base_hash, base_graph, seed)
+        };
+
+        let (patched, touched) = match apply_delta(&base_graph, batch) {
+            Ok(v) => v,
+            Err(e) => {
+                self.shared.lock().metrics.rejected += 1;
+                return Err(Rejected::InvalidDelta { reason: e.to_string() });
+            }
+        };
+        let patched = Arc::new(patched);
+        let opts_hash = options_hash(&options);
+        let key = CacheKey {
+            graph: chained_graph_hash(base_hash, delta_hash(batch)),
+            options: opts_hash,
+        };
+        let promote_key =
+            CacheKey { graph: crate::hash::structural_hash(&patched), options: opts_hash };
+        let footprint = estimated_device_bytes(&patched);
+        let now = Instant::now();
+        let deadline_at = options.deadline.map(|d| now + d);
+        let warm = seed.map(|s| WarmContext { seed: s, touched: Arc::new(touched) });
+
+        let mut inner = self.shared.lock();
+        if inner.shutting_down {
+            inner.metrics.rejected += 1;
+            return Err(Rejected::ShuttingDown);
+        }
+        inner.metrics.delta_jobs += 1;
+        self.admit(
+            inner,
+            ProtoJob {
+                graph: patched,
+                options,
+                key,
+                footprint,
+                now,
+                deadline_at,
+                warm,
+                promote_key: Some(promote_key),
+            },
+        )
+    }
+
+    /// The admission path shared by [`Self::submit`] and
+    /// [`Self::submit_delta`]: fast paths (coalesce, cache hit), the
+    /// deadline and SLO gates, then the bounded queue. Consumes the lock
+    /// guard and performs its own condvar notifications.
+    fn admit(&self, mut inner: MutexGuard<'_, Inner>, proto: ProtoJob) -> Result<JobId, Rejected> {
+        let ProtoJob { graph, options, key, footprint, now, deadline_at, warm, promote_key } =
+            proto;
+        // Register the graph as a delta base under every hash it answers
+        // to — even for submissions the gates below reject, so a client can
+        // chain off a base whose own job was shed.
+        inner.bases.entry(key.graph).or_insert_with(|| Arc::clone(&graph));
+        if let Some(pk) = promote_key {
+            inner.bases.entry(pk.graph).or_insert_with(|| Arc::clone(&graph));
+        }
         let state = |status, outcome| JobState {
             graph: Arc::clone(&graph),
             options,
@@ -700,6 +899,8 @@ impl Server {
             deadline_at,
             attempts: 0,
             avoid: None,
+            warm: warm.clone(),
+            promote_key,
         };
         // Coalesce onto an identical in-flight job.
         if inner.inflight.contains_key(&key) {
@@ -913,6 +1114,8 @@ impl Server {
             quarantined_devices: inner.pool.quarantined_devices(),
             pooled_jobs: inner.metrics.pooled_jobs,
             degraded_jobs: inner.metrics.degraded_jobs,
+            delta_jobs: inner.metrics.delta_jobs,
+            warm_started_jobs: inner.metrics.warm_started_jobs,
             cache_restored_entries: inner.metrics.cache_restored_entries,
             cache_restore_failures: inner.metrics.cache_restore_failures,
             queue_depth: inner.queue.len(),

@@ -18,7 +18,9 @@ use cd_graph::gen::{
     grid_3d, lfr, perturbed_grid_2d, planted_partition, random_geometric, road_network,
     GridStencil, LfrParams,
 };
-use cd_graph::{Csr, Partition};
+use cd_graph::{Csr, DeltaBatch, DeltaBuilder, Partition, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Graph family, mirroring how Table 1 groups by structure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -485,6 +487,77 @@ pub fn load(name: &str, scale: Scale) -> Result<BuiltWorkload, UnknownWorkload> 
     }
 }
 
+/// Generates a deterministic edge-churn [`DeltaBatch`] for `graph`:
+/// `max(1, round(frac * |E|))` operations, roughly 40% deletes, 30%
+/// inserts, and 30% reweights (skewed toward deletes so the batch exercises
+/// both shrinking and growing adjacencies). Deletes and reweights are
+/// sampled without replacement from the existing edge set; inserts are
+/// rejection-sampled from the non-edges. The same `(graph, seed, frac)`
+/// always yields the same batch — this generator is the single churn source
+/// shared by the delta tests, the warm-start equivalence suite, and
+/// `repro incremental`.
+pub fn churn(graph: &Csr, seed: u64, frac: f64) -> DeltaBatch {
+    assert!((0.0..=1.0).contains(&frac), "churn fraction must be in [0, 1], got {frac}");
+    let n = graph.num_vertices();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(graph.num_arcs() / 2);
+    for u in 0..n as VertexId {
+        for v in graph.neighbors(u) {
+            if *v >= u {
+                edges.push((u, *v));
+            }
+        }
+    }
+    let ops = ((frac * edges.len() as f64).round() as usize).max(1);
+    let mut r = SmallRng::seed_from_u64(seed ^ 0x6368_7572_6e21_2121); // "churn!!!"
+    let mut b = DeltaBuilder::new(n);
+    // Partial Fisher–Yates over the edge list: positions [0, drawn) hold the
+    // edges already claimed by a delete or reweight.
+    let mut drawn = 0usize;
+    let has_edge = |u: VertexId, v: VertexId| graph.neighbors(u).binary_search(&v).is_ok();
+    while b.len() < ops {
+        let roll: f64 = r.gen();
+        if roll < 0.3 && n >= 2 {
+            // Insert a currently-absent edge. Bounded rejection sampling: on
+            // dense or tiny graphs a free pair can be rare, so give up after
+            // a fixed number of tries and fall through to the edge ops.
+            let mut placed = false;
+            for _ in 0..64 {
+                let u = r.gen_range(0..n) as VertexId;
+                let v = r.gen_range(0..n) as VertexId;
+                let (u, v) = if u <= v { (u, v) } else { (v, u) };
+                if !has_edge(u, v) && b.insert(u, v, 0.5 + r.gen::<f64>()).is_ok() {
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                continue;
+            }
+        }
+        if drawn >= edges.len() {
+            // Every existing edge is claimed; only inserts remain. On a
+            // complete graph this cannot make progress — accept the short
+            // batch rather than spin.
+            if b.is_empty() {
+                let w = 0.5 + r.gen::<f64>();
+                let (u, v) = edges[r.gen_range(0..edges.len())];
+                b.reweight(u, v, w).ok();
+            }
+            break;
+        }
+        let pick = r.gen_range(drawn..edges.len());
+        edges.swap(drawn, pick);
+        let (u, v) = edges[drawn];
+        drawn += 1;
+        if roll < 0.7 {
+            b.delete(u, v).expect("sampled without replacement");
+        } else {
+            b.reweight(u, v, 0.5 + r.gen::<f64>()).expect("sampled without replacement");
+        }
+    }
+    b.build()
+}
+
 /// The four workloads used for the per-stage breakdown and comparison
 /// figures (road-like for Fig. 5, KKT for Fig. 6, a web graph for profiling,
 /// a channel mesh for TEPS).
@@ -577,6 +650,23 @@ mod tests {
         assert_eq!(Scale::parse("x"), None);
         assert_eq!(Scale::parse("smoke"), Some(Scale::Tiny));
         assert!(Scale::Large.factor() > Scale::Tiny.factor());
+    }
+
+    #[test]
+    fn churn_is_deterministic_applicable_and_sized() {
+        let g = by_name("com-dblp").unwrap().build(Scale::Tiny).graph;
+        for frac in [0.0005, 0.01, 0.1] {
+            let batch = churn(&g, 42, frac);
+            let again = churn(&g, 42, frac);
+            assert_eq!(batch, again, "churn must be deterministic");
+            let expect = ((frac * g.num_edges() as f64).round() as usize).max(1);
+            assert_eq!(batch.len(), expect, "frac {frac}");
+            // The batch must apply cleanly to the graph it was drawn from.
+            let (patched, touched) = cd_graph::apply_delta(&g, &batch).unwrap();
+            assert!(patched.is_symmetric());
+            assert!(!touched.is_empty());
+        }
+        assert_ne!(churn(&g, 42, 0.01), churn(&g, 43, 0.01), "seed must matter");
     }
 
     #[test]
