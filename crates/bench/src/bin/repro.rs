@@ -43,6 +43,12 @@
 //!             max(1e-3, the graph's measured cold-run dispersion) on any
 //!             cell, or the median small-churn speedup falls below 3× —
 //!             smaller scales report both informationally)
+//!   portfolio algorithm portfolio (Louvain, Leiden, sync/async LPA) over
+//!             the whole suite: modularity, NMI vs planted truth (or vs the
+//!             Louvain partition where no truth exists), and wall time per
+//!             cell (BENCH_portfolio.json; exits nonzero on any non-finite
+//!             NMI or any Leiden stage whose refinement pass lost
+//!             modularity — the commit-rule invariant)
 //!   all       everything above
 //! ```
 //!
@@ -62,8 +68,16 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 7] =
-    ["backend", "buckets", "multigpu", "racecheck", "serve", "overload", "incremental"];
+const FAST_SAFE: [&str; 8] = [
+    "backend",
+    "buckets",
+    "multigpu",
+    "racecheck",
+    "serve",
+    "overload",
+    "incremental",
+    "portfolio",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -150,6 +164,7 @@ fn main() {
         "serve" => experiments::serve_snapshot(scale, &out, clients),
         "overload" => experiments::overload(scale, &out),
         "incremental" => experiments::incremental(scale, &out),
+        "portfolio" => experiments::portfolio(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -171,6 +186,7 @@ fn main() {
             experiments::serve_snapshot(scale, &out, clients);
             experiments::overload(scale, &out);
             experiments::incremental(scale, &out);
+            experiments::portfolio(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -181,7 +197,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck|parallel] [--clients N]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, incremental, all\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, incremental, portfolio, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\
          --clients sets the serve load generator's concurrency (default 4)"

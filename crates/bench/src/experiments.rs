@@ -1990,6 +1990,146 @@ pub fn incremental(scale: Scale, out: &Path) {
     }
 }
 
+/// `repro portfolio` — quality/speed snapshot of the algorithm portfolio:
+/// every member (Louvain, Leiden, sync LPA, async LPA) on every suite
+/// workload, reporting modularity, NMI, and wall time per cell
+/// (`BENCH_portfolio.json`).
+///
+/// NMI is scored against the planted ground truth where the generator
+/// provides one, and against the same workload's Louvain partition
+/// otherwise — either way a partition over the same vertex set, so with the
+/// hardened `cd_graph::compare::nmi` the score is finite on *every* cell,
+/// and the experiment gates on exactly that (exit 1 on any non-finite or
+/// out-of-range value). It also gates the refinement commit rule via the
+/// per-stage `refine_delta_q` telemetry: no refinement pass of any Leiden
+/// run may ever *lose* modularity at its own stage. (The final Leiden-vs-
+/// Louvain Q gap is reported informationally — refinement reshapes the
+/// contraction, so later stages legitimately explore a different
+/// trajectory and the end-to-end comparison is not a guaranteed
+/// invariant.)
+pub fn portfolio(scale: Scale, out: &Path) {
+    use cd_core::{detect_communities, Algorithm};
+    use cd_gpusim::Device;
+    use cd_graph::compare::nmi;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        format!("Algorithm portfolio: quality and wall time (scale: {scale:?})"),
+        &["graph", "algorithm", "Q", "NMI", "ref", "comms", "wall[s]"],
+    );
+    let cfg = gpu_cfg(scale);
+    let mut entries = String::new();
+    let mut nmi_ok = true;
+    let mut refine_ok = true;
+    let mut worst_nmi = f64::INFINITY;
+    let mut min_refine_delta = 0.0f64;
+    let mut max_leiden_deficit = 0.0f64;
+    for spec in SUITE {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        // Louvain runs first: its partition is the NMI reference for
+        // workloads without planted ground truth, and its Q anchors the
+        // Leiden-never-loses gate.
+        let mut louvain_partition: Option<cd_graph::Partition> = None;
+        let mut louvain_q = f64::NAN;
+        for algorithm in Algorithm::ALL {
+            let t0 = Instant::now();
+            let res = detect_communities(&Device::k40m(), g, &cfg, algorithm)
+                .expect("portfolio member runs the suite");
+            let wall = t0.elapsed().as_secs_f64();
+            let (score, reference) = match &built.truth {
+                Some(truth) => (nmi(&res.partition, truth), "truth"),
+                None => match &louvain_partition {
+                    Some(lp) => (nmi(&res.partition, lp), "louvain"),
+                    None => (1.0, "self"), // Louvain scored against itself
+                },
+            };
+            if !score.is_finite() || !(0.0..=1.0).contains(&score) {
+                nmi_ok = false;
+            }
+            worst_nmi = worst_nmi.min(score);
+            match algorithm {
+                Algorithm::Louvain => {
+                    louvain_q = res.modularity;
+                    louvain_partition = Some(res.partition.clone());
+                }
+                Algorithm::Leiden => {
+                    // The guaranteed invariant: every refinement pass holds
+                    // or improves its own stage's modularity.
+                    for s in &res.stages {
+                        min_refine_delta = min_refine_delta.min(s.refine_delta_q);
+                        if s.refine_delta_q < -1e-12 {
+                            refine_ok = false;
+                        }
+                    }
+                    // Informational: the end-to-end gap vs Louvain.
+                    max_leiden_deficit =
+                        max_leiden_deficit.max((louvain_q - res.modularity).max(0.0));
+                }
+                _ => {}
+            }
+            t.row(vec![
+                spec.name.to_string(),
+                algorithm.label().to_string(),
+                f4(res.modularity),
+                format!("{score:.4}"),
+                reference.to_string(),
+                res.partition.num_communities().to_string(),
+                format!("{wall:.4}"),
+            ]);
+            if !entries.is_empty() {
+                entries.push(',');
+            }
+            entries.push_str(&format!(
+                "\n    {{\n      \"graph\": \"{name}\",\n      \"algorithm\": \"{alg}\",\n      \
+                 \"modularity\": {q:.15},\n      \"nmi\": {score:.6},\n      \
+                 \"nmi_reference\": \"{reference}\",\n      \"communities\": {comms},\n      \
+                 \"wall_seconds\": {wall:.6}\n    }}",
+                name = spec.name,
+                alg = algorithm.label(),
+                q = res.modularity,
+                comms = res.partition.num_communities(),
+            ));
+        }
+    }
+    t.print();
+    println!(
+        "portfolio: worst NMI = {worst_nmi:.4} (gate: finite, in [0,1]), \
+         min per-stage refinement ΔQ = {min_refine_delta:.3e} (gate: ≥0), \
+         max final Leiden deficit vs Louvain = {max_leiden_deficit:.3e} (informational)"
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"portfolio\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"device\": \"tesla_k40m\",\n  \"cells\": [{entries}\n  ],\n  \
+         \"summary\": {{\n    \"worst_nmi\": {worst_nmi:.6},\n    \
+         \"min_refine_delta_q\": {min_refine_delta:.3e},\n    \
+         \"max_leiden_deficit\": {max_leiden_deficit:.3e},\n    \
+         \"nmi_ok\": {nmi_ok},\n    \"refine_ok\": {refine_ok}\n  }},\n  \
+         \"ok\": {ok}\n}}\n",
+        ok = nmi_ok && refine_ok,
+    );
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("BENCH_portfolio.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    if !nmi_ok {
+        eprintln!(
+            "error: some (algorithm × workload) cell produced a non-finite or out-of-range NMI"
+        );
+        std::process::exit(1);
+    }
+    if !refine_ok {
+        eprintln!(
+            "error: a Leiden refinement pass lost {:.3e} modularity at its own stage — \
+             the refinement commit rule must never lose",
+            -min_refine_delta
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Median of `xs` (sorts in place; 0.0 when empty). Even lengths take the
 /// mean of the middle pair.
 fn median(xs: &mut [f64]) -> f64 {

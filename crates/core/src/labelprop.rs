@@ -1,0 +1,712 @@
+//! Label-propagation kernels — the fast, modularity-free end of the
+//! algorithm portfolio.
+//!
+//! Both variants run on the same CSR + label-buffer machinery as the Louvain
+//! kernels and reuse the degree-binned launch ladder
+//! ([`crate::config::MODOPT_BUCKETS`]) with hash-table weighted voting: each
+//! vertex adopts the label carrying the largest incident edge weight, ties
+//! broken deterministically toward the *smallest* label id.
+//!
+//! - **Synchronous** ([`LpaMode::Sync`]): double-buffered. Every vertex votes
+//!   against the previous iteration's labeling (`labels`), stages its
+//!   decision in a separate buffer (`staged`), and a commit kernel publishes
+//!   all decisions at once. Fully deterministic, but susceptible to the
+//!   classic two-coloring swap on bipartite-like structures — the loop keeps
+//!   the labeling from two iterations back and, on detecting a period-2
+//!   cycle, breaks it with one asymmetric half-commit (only label
+//!   *decreases* are published), which is deterministic and strictly
+//!   monotone, so the cycle cannot re-form.
+//! - **Asynchronous** ([`LpaMode::Async`]): in-place at chunk granularity.
+//!   Vertices are processed in [`ASYNC_CHUNKS`] fixed id-ordered chunks;
+//!   each chunk votes against the *live* labeling (seeing every earlier
+//!   chunk's commits within the same sweep) and publishes before the next
+//!   chunk starts. A literal per-vertex in-place update would be both racy
+//!   (read-neighbor/write-self in one launch) and schedule-dependent; the
+//!   chunked Gauss–Seidel form keeps the asynchronous fixed-point behavior
+//!   while staying race-free and bit-identical across execution profiles
+//!   and thread counts. The in-sweep visibility also breaks bipartite
+//!   oscillation without extra machinery.
+//!
+//! Determinism across all four execution profiles follows the same argument
+//! as `computeMove`: hash-table running sums accumulate in lockstep lane
+//! order within one task, the lane performing a slot's final update observes
+//! the full vote weight (partial observations can never beat it), and
+//! [`cd_gpusim::GroupCtx::reduce_best`] breaks exact ties toward the smaller
+//! label id.
+
+use crate::config::{GpuLouvainConfig, HashPlacement, MODOPT_BUCKETS};
+use crate::dev_graph::DeviceGraph;
+use crate::hashtable::{HashTable, TableOverflow, TableSpace, TableStorage};
+use crate::louvain::{
+    estimated_device_bytes, GpuLouvainError, GpuLouvainResult, GpuStageStats, StageAbort,
+    StageCheckpoint,
+};
+use crate::primes::{next_prime_at_least, table_size_for};
+use crate::schedule::WidthSchedule;
+use cd_gpusim::{Device, ExecutionProfile, Fast, GroupCtx, Instrumented, PooledU32, Profile};
+use cd_graph::{modularity, Csr, Dendrogram, Partition};
+use std::time::{Duration, Instant};
+
+/// Which update schedule a label-propagation run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LpaMode {
+    /// Double-buffered: all vertices vote against the previous iteration's
+    /// labeling, commits publish once per iteration.
+    Sync,
+    /// Chunked in-place: vertices vote in fixed id-ordered chunks, each
+    /// chunk seeing all earlier chunks' commits within the same sweep.
+    Async,
+}
+
+/// Work-to-width mapping of the voting kernels (same ladder as the
+/// modularity-optimization phase: vote work is one hash insert per arc,
+/// exactly `computeMove`'s access pattern minus the gain arithmetic).
+const LPA_WIDTHS: WidthSchedule = WidthSchedule::new(&MODOPT_BUCKETS);
+
+/// Kernel names per degree bucket, hoisted like `COMPUTE_MOVE_KERNELS`.
+const LPA_VOTE_KERNELS: [&str; 7] = [
+    "lpa_vote_b1",
+    "lpa_vote_b2",
+    "lpa_vote_b3",
+    "lpa_vote_b4",
+    "lpa_vote_b5",
+    "lpa_vote_b6",
+    "lpa_vote_b7",
+];
+
+/// Shard count for the sharded iteration counters (same contention argument
+/// as the modularity phase's accumulators).
+const LPA_SHARDS: usize = 64;
+
+/// Fixed chunk count of the asynchronous sweep. Chunk boundaries are a pure
+/// function of `n`, so the visit order — and therefore the result — is
+/// independent of profile and thread count.
+pub const ASYNC_CHUNKS: usize = 8;
+
+/// Counter layout in [`LpaState::counters`]: staged label changes.
+const CTR_STAGED: usize = 0;
+/// Counter layout: staged labels differing from the labeling two
+/// iterations back (zero while changes are staged = period-2 cycle).
+const CTR_CYCLE: usize = LPA_SHARDS;
+/// Counter layout: committed label changes.
+const CTR_COMMITTED: usize = 2 * LPA_SHARDS;
+
+/// Device-resident label-propagation state.
+struct LpaState<'d> {
+    /// Current label of every vertex.
+    labels: PooledU32<'d>,
+    /// Staged decision of the current vote pass. Invariant outside a
+    /// vote→commit window: `staged[v] == labels[v]` for unbinned (degree-0)
+    /// vertices, so the commit pass never moves them.
+    staged: PooledU32<'d>,
+    /// The labeling two iterations back (sync mode's cycle detector).
+    prev2: PooledU32<'d>,
+    /// Sharded counters: `[CTR_STAGED..)`, `[CTR_CYCLE..)`,
+    /// `[CTR_COMMITTED..)`.
+    counters: PooledU32<'d>,
+}
+
+impl<'d> LpaState<'d> {
+    fn new<P: ExecutionProfile>(dev: &'d Device, n: usize) -> Result<Self, GpuLouvainError> {
+        let s = Self {
+            labels: dev.pool_u32(n),
+            staged: dev.pool_u32(n),
+            prev2: dev.pool_u32(n),
+            counters: dev.pool_u32(3 * LPA_SHARDS),
+        };
+        dev.exec::<P>()
+            .try_launch_threads("lpa_init", n, |ctx, v| {
+                s.labels.store(v, v as u32);
+                s.staged.store(v, v as u32);
+                s.prev2.store(v, v as u32);
+                ctx.global_write_coalesced(3);
+            })
+            .map_err(GpuLouvainError::Launch)?;
+        Ok(s)
+    }
+
+    /// Folds one sharded counter in fixed index order.
+    fn fold(&self, base: usize) -> usize {
+        (base..base + LPA_SHARDS).map(|s| self.counters.load(s) as usize).sum()
+    }
+}
+
+/// Host-side degree bins for one vertex range. Degrees never change within a
+/// run (label propagation does not contract), so the bins are built once.
+struct HostBins {
+    /// Id lists for the six shared-memory buckets.
+    shared: [Vec<u32>; 6],
+    /// Open-ended bucket, degree-descending (ties by id) like the
+    /// modularity phase's bucket 7.
+    b7_sorted: Vec<u32>,
+    /// Hash-table slots per entry of `b7_sorted`.
+    b7_slots: Vec<usize>,
+}
+
+impl HostBins {
+    fn build(
+        dev: &Device,
+        g: &DeviceGraph,
+        range: std::ops::Range<usize>,
+    ) -> Result<Self, GpuLouvainError> {
+        let mut shared: [Vec<u32>; 6] = Default::default();
+        let mut b7: Vec<u32> = Vec::new();
+        for v in range {
+            let d = g.degree(v);
+            if d == 0 {
+                continue;
+            }
+            let b = LPA_WIDTHS.bucket_for(d);
+            if b == MODOPT_BUCKETS.len() - 1 {
+                b7.push(v as u32);
+            } else {
+                shared[b].push(v as u32);
+            }
+        }
+        dev.sort_by_key(&mut b7, |&v| (std::cmp::Reverse(g.degree(v as usize)), v));
+        let b7_slots: Vec<usize> =
+            b7.iter().map(|&v| table_size_for(g.degree(v as usize))).collect::<Result<_, _>>()?;
+        Ok(Self { shared, b7_sorted: b7, b7_slots })
+    }
+}
+
+/// Per-block scratch of the voting kernels (a reusable hash table plus the
+/// per-lane best-candidate slots).
+struct VoteScratch {
+    table: TableStorage,
+    lane_best: Vec<(f64, u32)>,
+}
+
+impl VoteScratch {
+    fn new(table_slots: usize) -> Self {
+        Self { table: TableStorage::with_capacity(table_slots), lane_best: vec![(0.0, 0); 128] }
+    }
+}
+
+/// Weighted vote for one vertex with the same capacity-fault recovery loop
+/// as `computeMove`: on table overflow the attempt retries against the
+/// next-prime-sized table, falling back from shared to global memory.
+#[allow(clippy::too_many_arguments)]
+fn vote_one<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
+    g: &DeviceGraph,
+    state: &LpaState<'_>,
+    storage: &mut TableStorage,
+    mut slots: usize,
+    mut space: TableSpace,
+    lane_best: &mut [(f64, u32)],
+    i: usize,
+) {
+    loop {
+        let mut table = storage.table(slots, space);
+        match vote_attempt(ctx, g, state, &mut table, lane_best, i) {
+            Ok(()) => return,
+            Err(TableOverflow { .. }) => {
+                if space == TableSpace::Shared {
+                    space = TableSpace::Global;
+                    ctx.note_table_fallback();
+                }
+                slots = next_prime_at_least(slots.saturating_mul(2) | 1);
+            }
+        }
+    }
+}
+
+/// One weighted vote: hash the neighborhood's labels, track per-lane bests
+/// on the *running* sums, reduce, and stage the winner. Comparisons are
+/// exact (no epsilon): vote totals of integer-weighted graphs are exact,
+/// and a partial observation of a label is strictly below that label's
+/// final observation, so the maximum over all partial observations equals
+/// the true per-label total.
+fn vote_attempt<P: ExecutionProfile>(
+    ctx: &mut GroupCtx<P>,
+    g: &DeviceGraph,
+    state: &LpaState<'_>,
+    table: &mut HashTable<'_>,
+    lane_best: &mut [(f64, u32)],
+    i: usize,
+) -> Result<(), TableOverflow> {
+    let deg = g.degree(i);
+    let li = state.labels.load(i);
+    let lanes = ctx.lanes();
+
+    table.reset(ctx);
+    for lb in lane_best[..lanes].iter_mut() {
+        *lb = (f64::NEG_INFINITY, u32::MAX);
+    }
+    // Same hazard structure as `compute_move_attempt`: a multi-warp group
+    // drifts apart after the cooperative table reset, so the inserts below
+    // need a barrier against it (racecheck: W-A). Sub-warp groups are
+    // warp-synchronous.
+    if lanes > 32 {
+        ctx.barrier();
+    }
+
+    ctx.global_read_coalesced(2); // offsets
+    ctx.global_read_scattered(1); // labels[i]
+    let nbrs = g.neighbors(i);
+    let ws = g.edge_weights(i);
+    ctx.strided_steps(deg);
+    ctx.global_read_coalesced(2 * deg); // edges + weights
+    ctx.global_read_scattered(deg); // label gathers
+
+    let mut lane = lanes - 1;
+    for idx in 0..deg {
+        lane += 1;
+        if lane == lanes {
+            lane = 0;
+        }
+        let j = nbrs[idx] as usize;
+        let w = ws[idx];
+        // A self-loop votes for the vertex's own current label — it never
+        // pulls the vertex anywhere and only adds inertia, which is the
+        // sensible reading of "neighboring label" for j == i.
+        let lj = if j == i { li } else { state.labels.load(j) };
+        let (_slot, running) = table.try_insert_add(ctx, lj, w)?;
+        let lb = &mut lane_best[lane];
+        if running > lb.0 || (running == lb.0 && lj < lb.1) {
+            *lb = (running, lj);
+        }
+    }
+
+    // `reduce_best` is a block-wide collective: every lane's inserts
+    // happen-before the reduction, and exact weight ties break toward the
+    // smaller label id — the portfolio's deterministic tie rule.
+    let best = ctx.reduce_best(&lane_best[..lanes]);
+    let target = match best {
+        Some((w, l)) if l != u32::MAX && w > 0.0 => l,
+        _ => li,
+    };
+    state.staged.store(i, target);
+    ctx.global_write_coalesced(1);
+    // End-of-task barrier: the next task's table reset must not overtake
+    // this task's reads (racecheck: R-W).
+    if lanes > 32 {
+        ctx.barrier();
+    }
+    Ok(())
+}
+
+/// One vote pass over a shared-memory bucket (buckets 1–6).
+#[allow(clippy::too_many_arguments)]
+fn vote_bucket_shared<P: ExecutionProfile>(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &LpaState<'_>,
+    cfg: &GpuLouvainConfig,
+    ids: &[u32],
+    max_degree: usize,
+    lanes: usize,
+    bucket_idx: usize,
+) -> Result<(), GpuLouvainError> {
+    let slots = table_size_for(max_degree)?;
+    let (space, shared_bytes) = match cfg.hash_placement {
+        HashPlacement::Auto => (TableSpace::Shared, slots * 12),
+        HashPlacement::ForceGlobal => (TableSpace::Global, 0),
+    };
+    dev.exec::<P>()
+        .try_launch_tasks(
+            LPA_VOTE_KERNELS[bucket_idx],
+            ids.len(),
+            lanes,
+            shared_bytes,
+            || VoteScratch::new(slots),
+            |ctx, scratch, task| {
+                ctx.global_read_coalesced(1);
+                let i = ids[task] as usize;
+                let VoteScratch { table, lane_best } = scratch;
+                vote_one(ctx, g, state, table, slots, space, lane_best, i);
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
+}
+
+/// One vote pass over the open-ended bucket: global-memory tables, vertices
+/// dealt degree-descending to a bounded number of blocks — the same
+/// interleaved deal as `computeMove`'s bucket 7.
+fn vote_bucket_global<P: ExecutionProfile>(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &LpaState<'_>,
+    cfg: &GpuLouvainConfig,
+    sorted: &[u32],
+    slots_sorted: &[usize],
+) -> Result<(), GpuLouvainError> {
+    debug_assert_eq!(sorted.len(), slots_sorted.len());
+    let n_blocks = cfg.global_bucket_blocks.min(sorted.len()).max(1);
+    dev.exec::<P>()
+        .try_launch_blocks(
+            LPA_VOTE_KERNELS[6],
+            n_blocks,
+            |block| VoteScratch::new(slots_sorted[block]),
+            |ctx, scratch| {
+                let block = ctx.block_id;
+                let mut idx = block;
+                while idx < sorted.len() {
+                    let i = sorted[idx] as usize;
+                    let slots = slots_sorted[idx];
+                    let VoteScratch { table, lane_best } = scratch;
+                    vote_one(ctx, g, state, table, slots, TableSpace::Global, lane_best, i);
+                    ctx.finish_task();
+                    idx += n_blocks;
+                }
+            },
+        )
+        .map_err(GpuLouvainError::Launch)
+}
+
+/// Runs the vote kernels for every bucket of `bins`.
+fn vote<P: ExecutionProfile>(
+    dev: &Device,
+    g: &DeviceGraph,
+    state: &LpaState<'_>,
+    cfg: &GpuLouvainConfig,
+    bins: &HostBins,
+) -> Result<(), GpuLouvainError> {
+    for (bucket_idx, ids) in bins.shared.iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        let spec = MODOPT_BUCKETS[bucket_idx];
+        vote_bucket_shared::<P>(dev, g, state, cfg, ids, spec.max_work, spec.lanes, bucket_idx)?;
+    }
+    if !bins.b7_sorted.is_empty() {
+        vote_bucket_global::<P>(dev, g, state, cfg, &bins.b7_sorted, &bins.b7_slots)?;
+    }
+    Ok(())
+}
+
+/// Counts staged changes and the period-2 signal in one pass: a staged
+/// labeling that differs from the current one but matches the labeling two
+/// iterations back is the two-coloring swap re-presenting its old state.
+fn check_cycle<P: ExecutionProfile>(
+    dev: &Device,
+    state: &LpaState<'_>,
+    n: usize,
+) -> Result<(usize, usize), GpuLouvainError> {
+    dev.exec::<P>()
+        .try_launch_threads("lpa_check", n, |ctx, v| {
+            let new = state.staged.load(v);
+            let old = state.labels.load(v);
+            let p2 = state.prev2.load(v);
+            ctx.global_read_coalesced(3);
+            let shard = v & (LPA_SHARDS - 1);
+            if new != old {
+                ctx.atomic_add_u32(&state.counters, CTR_STAGED + shard, 1);
+            }
+            if new != p2 {
+                ctx.atomic_add_u32(&state.counters, CTR_CYCLE + shard, 1);
+            }
+        })
+        .map_err(GpuLouvainError::Launch)?;
+    Ok((state.fold(CTR_STAGED), state.fold(CTR_CYCLE)))
+}
+
+/// Publishes staged decisions over `[lo, lo+count)` and rotates the cycle
+/// detector (`prev2` receives the pre-commit labeling). With `break_cycle`
+/// only label *decreases* are published — the deterministic asymmetric
+/// half-step that breaks a period-2 swap: committed labels strictly
+/// decrease, so the swapped state cannot recur.
+fn commit<P: ExecutionProfile>(
+    dev: &Device,
+    state: &LpaState<'_>,
+    lo: usize,
+    count: usize,
+    break_cycle: bool,
+) -> Result<(), GpuLouvainError> {
+    if count == 0 {
+        return Ok(());
+    }
+    dev.exec::<P>()
+        .try_launch_threads("lpa_commit", count, |ctx, t| {
+            let v = lo + t;
+            let old = state.labels.load(v);
+            let new = state.staged.load(v);
+            ctx.global_read_coalesced(2);
+            state.prev2.store(v, old);
+            ctx.global_write_coalesced(1);
+            if new == old || (break_cycle && new > old) {
+                return;
+            }
+            state.labels.store(v, new);
+            ctx.global_write_coalesced(1);
+            ctx.atomic_add_u32(&state.counters, CTR_COMMITTED + (v & (LPA_SHARDS - 1)), 1);
+        })
+        .map_err(GpuLouvainError::Launch)
+}
+
+/// Runs label propagation on `graph`. Honors
+/// [`GpuLouvainConfig::max_iterations`], the hash-placement ablation and
+/// the global-bucket block budget; the Louvain-specific threshold knobs are
+/// ignored (the loop terminates on zero committed changes — LPA has no
+/// modularity objective to threshold).
+pub fn label_propagation(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    mode: LpaMode,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    label_propagation_gated(dev, graph, cfg, mode, &mut |_| Ok(()))
+}
+
+/// [`label_propagation`] with a sweep gate — the portfolio analogue of
+/// [`crate::louvain::louvain_gpu_gated`]'s stage gate, invoked before every
+/// sweep (LPA has no contraction stages, so sweeps are its cancellation
+/// points). The checkpoint's `stage` field carries the sweep index.
+pub fn label_propagation_gated(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    mode: LpaMode,
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    if graph.num_vertices() >= u32::MAX as usize {
+        return Err(GpuLouvainError::TooManyVertices(graph.num_vertices()));
+    }
+    let required = estimated_device_bytes(graph);
+    let available = dev.config().global_mem_bytes;
+    if required > available {
+        return Err(GpuLouvainError::OutOfMemory { required, available });
+    }
+    match dev.profile() {
+        Profile::Instrumented => lpa_typed::<Instrumented>(dev, graph, cfg, mode, gate),
+        Profile::Fast => lpa_typed::<Fast>(dev, graph, cfg, mode, gate),
+        Profile::Racecheck => lpa_typed::<cd_gpusim::Racecheck>(dev, graph, cfg, mode, gate),
+        Profile::Parallel => lpa_typed::<cd_gpusim::Parallel>(dev, graph, cfg, mode, gate),
+    }
+}
+
+/// [`label_propagation`] monomorphized for one execution profile.
+fn lpa_typed<P: ExecutionProfile>(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    mode: LpaMode,
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    let start = Instant::now();
+    let g = DeviceGraph::from_csr(graph);
+    let n = g.num_vertices();
+    let state = LpaState::new::<P>(dev, n)?;
+
+    let mut iterations = 0usize;
+    let mut iter_times: Vec<Duration> = Vec::new();
+    let mut total_moves = 0usize;
+
+    if n > 0 && g.num_arcs() > 0 {
+        // Chunk ranges of the asynchronous sweep; the synchronous mode is
+        // the single-chunk special case with staging, cycle detection and a
+        // once-per-sweep commit.
+        let chunks: Vec<std::ops::Range<usize>> = match mode {
+            LpaMode::Sync => std::iter::once(0..n).collect(),
+            LpaMode::Async => {
+                let per = n.div_ceil(ASYNC_CHUNKS);
+                (0..ASYNC_CHUNKS)
+                    .map(|c| (c * per).min(n)..((c + 1) * per).min(n))
+                    .filter(|r| !r.is_empty())
+                    .collect()
+            }
+        };
+        let bins: Vec<HostBins> =
+            chunks.iter().map(|r| HostBins::build(dev, &g, r.clone())).collect::<Result<_, _>>()?;
+
+        'sweeps: while iterations < cfg.max_iterations {
+            let checkpoint =
+                StageCheckpoint { stage: iterations, num_vertices: n, num_arcs: g.num_arcs() };
+            if let Err(reason) = gate(&checkpoint) {
+                return Err(GpuLouvainError::Aborted { stage: checkpoint.stage, reason });
+            }
+            iterations += 1;
+            let iter_start = Instant::now();
+            state.counters.fill(0);
+            let mut committed_before = 0usize;
+            for (range, chunk_bins) in chunks.iter().zip(&bins) {
+                vote::<P>(dev, &g, &state, cfg, chunk_bins)?;
+                match mode {
+                    LpaMode::Sync => {
+                        let (staged, cycle_diff) = check_cycle::<P>(dev, &state, n)?;
+                        if staged == 0 {
+                            iter_times.push(iter_start.elapsed());
+                            break 'sweeps; // converged: nothing to publish
+                        }
+                        commit::<P>(dev, &state, 0, n, cycle_diff == 0)?;
+                    }
+                    LpaMode::Async => {
+                        commit::<P>(dev, &state, range.start, range.len(), false)?;
+                    }
+                }
+                let committed = state.fold(CTR_COMMITTED);
+                total_moves += committed - committed_before;
+                committed_before = committed;
+            }
+            iter_times.push(iter_start.elapsed());
+            if committed_before == 0 {
+                // Sync: a cycle-breaking half-commit that published nothing
+                // means the current labeling is the pointwise minimum of the
+                // swap — a stable, deterministic stopping point. Async: a
+                // full sweep without a single change is the fixed point.
+                break;
+            }
+        }
+    }
+
+    let labels = state.labels.to_vec();
+    let partition = Partition::from_vec(labels);
+    let q = modularity(graph, &partition);
+    let mut dendrogram = Dendrogram::new();
+    dendrogram.push_level(partition.clone());
+    let opt_time: Duration = iter_times.iter().sum();
+    Ok(GpuLouvainResult {
+        partition,
+        dendrogram,
+        modularity: q,
+        stages: vec![GpuStageStats {
+            num_vertices: n,
+            num_arcs: g.num_arcs(),
+            iterations,
+            modularity: q,
+            moves: total_moves,
+            opt_time,
+            agg_time: Duration::ZERO,
+            iter_times,
+            threshold: 0.0,
+            refine_delta_q: 0.0,
+        }],
+        total_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cd_gpusim::DeviceConfig;
+    use cd_graph::csr_from_edges;
+    use cd_graph::gen::cliques;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::tesla_k40m())
+    }
+
+    /// A complete bipartite graph K_{a,b} with unit weights: the canonical
+    /// synchronous-LPA oscillator (both sides adopt each other's labels in
+    /// lockstep).
+    fn complete_bipartite(a: usize, b: usize) -> Csr {
+        let mut edges = Vec::new();
+        for u in 0..a {
+            for v in 0..b {
+                edges.push((u as u32, (a + v) as u32, 1.0));
+            }
+        }
+        csr_from_edges(a + b, &edges)
+    }
+
+    #[test]
+    fn sync_lpa_finds_cliques() {
+        let g = cliques(4, 8, true);
+        let res = label_propagation(&dev(), &g, &GpuLouvainConfig::paper_default(), LpaMode::Sync)
+            .unwrap();
+        for c in 0..4u32 {
+            let base = c * 8;
+            for v in 1..8u32 {
+                assert_eq!(res.partition.community_of(base), res.partition.community_of(base + v));
+            }
+        }
+        assert!(res.modularity > 0.5, "Q = {}", res.modularity);
+        assert_eq!(res.stages.len(), 1);
+        assert!(res.stages[0].iterations >= 1);
+    }
+
+    #[test]
+    fn async_lpa_finds_cliques() {
+        let g = cliques(4, 8, true);
+        let res = label_propagation(&dev(), &g, &GpuLouvainConfig::paper_default(), LpaMode::Async)
+            .unwrap();
+        for c in 0..4u32 {
+            let base = c * 8;
+            for v in 1..8u32 {
+                assert_eq!(res.partition.community_of(base), res.partition.community_of(base + v));
+            }
+        }
+        assert!(res.modularity > 0.5, "Q = {}", res.modularity);
+    }
+
+    #[test]
+    fn sync_lpa_breaks_bipartite_oscillation() {
+        // Without cycle breaking the synchronous update swaps the two sides'
+        // label sets forever and exits only at max_iterations. With the
+        // period-2 detector the run must terminate in a handful of sweeps
+        // with a stable labeling.
+        for (a, b) in [(4usize, 4usize), (5, 3), (2, 6)] {
+            let g = complete_bipartite(a, b);
+            let cfg = GpuLouvainConfig::paper_default();
+            let res = label_propagation(&dev(), &g, &cfg, LpaMode::Sync).unwrap();
+            assert!(
+                res.stages[0].iterations < 10,
+                "K_{{{a},{b}}}: sync LPA did not break the swap cycle ({} iterations)",
+                res.stages[0].iterations
+            );
+            // Re-running from the result must be stable: the labeling the
+            // cycle breaker settles on is a fixed point of the loop.
+            assert!(res.stages[0].iterations < cfg.max_iterations);
+        }
+    }
+
+    #[test]
+    fn bipartite_fixture_is_deterministic() {
+        let g = complete_bipartite(4, 4);
+        let cfg = GpuLouvainConfig::paper_default();
+        let a = label_propagation(&dev(), &g, &cfg, LpaMode::Sync).unwrap();
+        let b = label_propagation(&dev(), &g, &cfg, LpaMode::Sync).unwrap();
+        assert_eq!(a.partition.as_slice(), b.partition.as_slice());
+        assert_eq!(a.modularity.to_bits(), b.modularity.to_bits());
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_labels() {
+        // Vertex 3 has no edges; it must stay a singleton in both modes.
+        let g = csr_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        for mode in [LpaMode::Sync, LpaMode::Async] {
+            let res =
+                label_propagation(&dev(), &g, &GpuLouvainConfig::paper_default(), mode).unwrap();
+            let l3 = res.partition.community_of(3);
+            for v in 0..3 {
+                assert_ne!(res.partition.community_of(v), l3, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_votes_beat_counts() {
+        // Vertex 2 has two unit edges into the {0,1} pair but one weight-5
+        // edge to 3: the weighted vote must pull it toward 3's label.
+        let g = csr_from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 3, 5.0)]);
+        let res = label_propagation(&dev(), &g, &GpuLouvainConfig::paper_default(), LpaMode::Sync)
+            .unwrap();
+        assert_eq!(res.partition.community_of(2), res.partition.community_of(3));
+    }
+
+    #[test]
+    fn gate_abort_reports_the_sweep() {
+        let g = cliques(4, 8, true);
+        let err = label_propagation_gated(
+            &dev(),
+            &g,
+            &GpuLouvainConfig::paper_default(),
+            LpaMode::Sync,
+            &mut |_| Err(StageAbort::Cancelled),
+        )
+        .unwrap_err();
+        assert_eq!(err, GpuLouvainError::Aborted { stage: 0, reason: StageAbort::Cancelled });
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = csr_from_edges(0, &[]);
+        for mode in [LpaMode::Sync, LpaMode::Async] {
+            let res =
+                label_propagation(&dev(), &g, &GpuLouvainConfig::paper_default(), mode).unwrap();
+            assert_eq!(res.partition.len(), 0);
+            assert_eq!(res.modularity, 0.0);
+        }
+    }
+}

@@ -28,27 +28,33 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod algorithm;
 pub mod config;
 pub mod dev_graph;
 pub mod hashtable;
+pub mod labelprop;
 pub mod louvain;
 pub mod modopt;
 pub mod multi_gpu;
 pub mod primes;
+pub mod refine;
 pub mod schedule;
 
 pub use aggregate::{aggregate as aggregate_graph, AggregateOutcome};
+pub use algorithm::{detect_communities, detect_communities_gated, Algorithm};
 pub use config::{
     BucketSpec, GpuLouvainConfig, HashPlacement, RetryPolicy, ThreadAssignment, UpdateStrategy,
     AGG_BUCKETS, MODOPT_BUCKETS,
 };
 pub use dev_graph::DeviceGraph;
 pub use hashtable::TableOverflow;
+pub use labelprop::{label_propagation, label_propagation_gated, LpaMode};
 pub use louvain::{
-    estimated_device_bytes, louvain_gpu, louvain_gpu_gated, louvain_gpu_with_schedule,
-    louvain_warm_start, louvain_warm_start_gated, GpuLouvainError, GpuLouvainResult, GpuStageStats,
-    StageAbort, StageCheckpoint,
+    estimated_device_bytes, leiden_gpu, leiden_gpu_gated, louvain_gpu, louvain_gpu_gated,
+    louvain_gpu_with_schedule, louvain_warm_start, louvain_warm_start_gated, GpuLouvainError,
+    GpuLouvainResult, GpuStageStats, StageAbort, StageCheckpoint,
 };
 pub use modopt::{modularity_optimization, modularity_optimization_seeded, OptOutcome, WarmSeed};
 pub use multi_gpu::{louvain_multi_gpu, MultiGpuConfig, MultiGpuResult, RecoveryAction};
+pub use refine::refine_communities;
 pub use schedule::{ThresholdSchedule, WidthSchedule};

@@ -75,6 +75,17 @@ pub enum GpuLouvainError {
         /// The last transient error observed.
         cause: Box<GpuLouvainError>,
     },
+    /// The requested algorithm cannot run on the chosen execution path —
+    /// e.g. a non-Louvain portfolio algorithm placed on the multi-device
+    /// pool, whose partition/merge pipeline is Louvain-specific. Permanent:
+    /// the same request fails identically; the caller must pick another
+    /// algorithm or a single-device placement.
+    UnsupportedAlgorithm {
+        /// The algorithm that was requested.
+        algorithm: crate::algorithm::Algorithm,
+        /// The execution path that cannot run it.
+        path: &'static str,
+    },
     /// A stage-checkpoint gate aborted the run ([`louvain_gpu_gated`]) —
     /// cooperative cancellation or a deadline expiring between stages.
     /// Permanent by definition: the abort came from outside the device.
@@ -177,6 +188,9 @@ impl std::fmt::Display for GpuLouvainError {
             GpuLouvainError::StageFailed { stage, attempts, cause } => {
                 write!(f, "stage {stage} failed after {attempts} attempts: {cause}")
             }
+            GpuLouvainError::UnsupportedAlgorithm { algorithm, path } => {
+                write!(f, "algorithm {algorithm} is not supported on the {path} path")
+            }
             GpuLouvainError::Aborted { stage, reason } => {
                 write!(f, "run aborted at the stage {stage} checkpoint: {reason}")
             }
@@ -232,6 +246,11 @@ pub struct GpuStageStats {
     pub iter_times: Vec<Duration>,
     /// The per-iteration threshold in force during this stage.
     pub threshold: f64,
+    /// Modularity gained by the Leiden refinement pass this stage (0.0 when
+    /// refinement did not run or left the labeling untouched). The commit
+    /// rule guarantees this is never negative — `repro portfolio` gates on
+    /// exactly that across the suite.
+    pub refine_delta_q: f64,
 }
 
 /// Result of a full GPU Louvain run.
@@ -329,6 +348,49 @@ pub fn louvain_gpu_gated(
     schedule: &ThresholdSchedule,
     gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
 ) -> Result<GpuLouvainResult, GpuLouvainError> {
+    descend_gated(dev, graph, cfg, schedule, false, gate)
+}
+
+/// Leiden-style community detection: the Louvain driver with the
+/// well-connectedness refinement pass ([`crate::refine`]) between every
+/// stage's optimization phase and its contraction. Badly-connected
+/// communities are split into singletons and re-absorbed before the
+/// aggregation commits them; the refined labeling is accepted only when its
+/// modularity is at least the unrefined one's, so refinement never decreases
+/// Q.
+pub fn leiden_gpu(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    let schedule =
+        ThresholdSchedule::two_level(cfg.threshold_bin, cfg.threshold_final, cfg.size_limit);
+    leiden_gpu_gated(dev, graph, cfg, &schedule, &mut |_| Ok(()))
+}
+
+/// [`leiden_gpu`] with an explicit threshold schedule and a stage gate —
+/// identical checkpoint/abort semantics to [`louvain_gpu_gated`].
+pub fn leiden_gpu_gated(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    schedule: &ThresholdSchedule,
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
+    descend_gated(dev, graph, cfg, schedule, true, gate)
+}
+
+/// The shared multi-stage descent behind [`louvain_gpu_gated`] and
+/// [`leiden_gpu_gated`]; `refine` switches the per-stage Leiden
+/// well-connectedness pass on.
+fn descend_gated(
+    dev: &Device,
+    graph: &Csr,
+    cfg: &GpuLouvainConfig,
+    schedule: &ThresholdSchedule,
+    refine: bool,
+    gate: &mut dyn FnMut(&StageCheckpoint) -> Result<(), StageAbort>,
+) -> Result<GpuLouvainResult, GpuLouvainError> {
     if graph.num_vertices() >= u32::MAX as usize {
         return Err(GpuLouvainError::TooManyVertices(graph.num_vertices()));
     }
@@ -359,8 +421,8 @@ pub fn louvain_gpu_gated(
         }
         let threshold = schedule.threshold_for(current.num_vertices());
 
-        let StageRun { outcome, agg, opt_time, agg_time } =
-            run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None)?;
+        let StageRun { outcome, agg, opt_time, agg_time, refine_delta_q } =
+            run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None, refine)?;
 
         stages.push(GpuStageStats {
             num_vertices: current.num_vertices(),
@@ -372,6 +434,7 @@ pub fn louvain_gpu_gated(
             agg_time,
             iter_times: outcome.iter_times,
             threshold,
+            refine_delta_q,
         });
         dendrogram.push_level(Partition::from_vec(agg.vertex_map));
 
@@ -514,7 +577,7 @@ pub fn louvain_warm_start_gated(
     gate_stage(gate, 0, &current)?;
     let threshold = schedule.threshold_for(current.num_vertices());
     let absorb_seed = WarmSeed { labels: &seed_labels, frontier: touched };
-    let absorb = run_stage_with_retry(dev, &current, cfg, threshold, 0, Some(&absorb_seed))?;
+    let absorb = run_stage_with_retry(dev, &current, cfg, threshold, 0, Some(&absorb_seed), false)?;
     stages.push(GpuStageStats {
         num_vertices: current.num_vertices(),
         num_arcs: current.num_arcs(),
@@ -525,6 +588,7 @@ pub fn louvain_warm_start_gated(
         agg_time: absorb.agg_time,
         iter_times: absorb.outcome.iter_times.clone(),
         threshold,
+        refine_delta_q: absorb.refine_delta_q,
     });
     let drained = absorb.outcome.moves == 0;
     if !drained {
@@ -538,7 +602,8 @@ pub fn louvain_warm_start_gated(
         gate_stage(gate, 1, &current)?;
         let all: Vec<u32> = (0..n as u32).collect();
         let repair_seed = WarmSeed { labels: &absorb.outcome.comm, frontier: &all };
-        let repair = run_stage_with_retry(dev, &current, cfg, threshold, 1, Some(&repair_seed))?;
+        let repair =
+            run_stage_with_retry(dev, &current, cfg, threshold, 1, Some(&repair_seed), false)?;
         stages.push(GpuStageStats {
             num_vertices: current.num_vertices(),
             num_arcs: current.num_arcs(),
@@ -549,6 +614,7 @@ pub fn louvain_warm_start_gated(
             agg_time: repair.agg_time,
             iter_times: repair.outcome.iter_times.clone(),
             threshold,
+            refine_delta_q: repair.refine_delta_q,
         });
         dendrogram.push_level(Partition::from_vec(repair.agg.vertex_map));
         let no_contraction = repair.agg.graph.num_vertices() == current.num_vertices();
@@ -563,8 +629,8 @@ pub fn louvain_warm_start_gated(
             while stages.len() < cfg.max_stages {
                 gate_stage(gate, stages.len(), &current)?;
                 let threshold = schedule.threshold_for(current.num_vertices());
-                let StageRun { outcome, agg, opt_time, agg_time } =
-                    run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None)?;
+                let StageRun { outcome, agg, opt_time, agg_time, refine_delta_q } =
+                    run_stage_with_retry(dev, &current, cfg, threshold, stages.len(), None, false)?;
                 stages.push(GpuStageStats {
                     num_vertices: current.num_vertices(),
                     num_arcs: current.num_arcs(),
@@ -575,6 +641,7 @@ pub fn louvain_warm_start_gated(
                     agg_time,
                     iter_times: outcome.iter_times,
                     threshold,
+                    refine_delta_q,
                 });
                 dendrogram.push_level(Partition::from_vec(agg.vertex_map));
                 let no_contraction = agg.graph.num_vertices() == current.num_vertices();
@@ -607,6 +674,8 @@ struct StageRun {
     agg: AggregateOutcome,
     opt_time: Duration,
     agg_time: Duration,
+    /// Modularity the refinement pass added (0.0 without refinement).
+    refine_delta_q: f64,
 }
 
 /// Runs one stage under the configured retry policy. Each stage is a
@@ -623,12 +692,13 @@ fn run_stage_with_retry(
     threshold: f64,
     stage_idx: usize,
     seed: Option<&WarmSeed<'_>>,
+    refine: bool,
 ) -> Result<StageRun, GpuLouvainError> {
     let policy = cfg.retry;
     let mut attempt = 0usize;
     loop {
         attempt += 1;
-        match run_stage(dev, g, cfg, threshold, seed) {
+        match run_stage(dev, g, cfg, threshold, seed, refine) {
             Ok(run) => {
                 if attempt > 1 {
                     dev.note_fault_recovered();
@@ -662,6 +732,7 @@ fn run_stage(
     cfg: &GpuLouvainConfig,
     threshold: f64,
     seed: Option<&WarmSeed<'_>>,
+    refine: bool,
 ) -> Result<StageRun, GpuLouvainError> {
     let n = g.num_vertices();
     let inject = dev.config().fault_plan.bitflip_rate > 0.0;
@@ -671,6 +742,16 @@ fn run_stage(
         Some(s) => modularity_optimization_seeded(dev, g, cfg, threshold, s)?,
         None => modularity_optimization(dev, g, cfg, threshold)?,
     };
+    let mut refine_delta_q = 0.0;
+    if refine {
+        // Leiden well-connectedness pass: split badly-connected communities
+        // and re-absorb before the contraction locks them in. The commit
+        // rule inside guarantees the labeling entering the validation below
+        // never lost modularity.
+        let pre_refine_q = outcome.modularity;
+        outcome = crate::refine::refine_communities(dev, g, cfg, threshold, &outcome)?;
+        refine_delta_q = outcome.modularity - pre_refine_q;
+    }
     let opt_time = opt_start.elapsed();
     if !outcome.modularity.is_finite() || !(-0.5 - 1e-9..=1.0 + 1e-9).contains(&outcome.modularity)
     {
@@ -732,7 +813,7 @@ fn run_stage(
         return Err(GpuLouvainError::InvalidLabels { index, label, num_vertices: new_n });
     }
 
-    Ok(StageRun { outcome, agg, opt_time, agg_time })
+    Ok(StageRun { outcome, agg, opt_time, agg_time, refine_delta_q })
 }
 
 #[cfg(test)]

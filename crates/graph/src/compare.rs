@@ -31,16 +31,32 @@ fn contingency(a: &Partition, b: &Partition) -> Contingency {
 
 /// Normalized mutual information between two partitions, in `[0, 1]`
 /// (1 = identical up to relabeling). Uses the arithmetic-mean normalization
-/// `NMI = 2 I(A;B) / (H(A) + H(B))`; two single-community partitions define
-/// `NMI = 1` by convention.
+/// `NMI = 2 I(A;B) / (H(A) + H(B))`.
+///
+/// Degenerate inputs are defined by convention rather than left to the
+/// arithmetic, so the result is finite for *every* input — the portfolio
+/// benchmark gates on these values:
+/// - empty partitions score 1 (vacuously identical);
+/// - two trivial partitions (each a single community, including the
+///   all-singletons-vs-all-singletons case where both entropies are the
+///   same maximum) score by the general formula, which is exact there;
+/// - one trivial partition against a non-trivial one scores 0 via
+///   `I = 0, H > 0` — the `0·log 0`-shaped terms (`p = 0` cells and
+///   zero-entropy denominators) are skipped explicitly instead of relying
+///   on IEEE semantics, and a `NaN` can never reach the final clamp (which
+///   would propagate it).
 pub fn nmi(a: &Partition, b: &Partition) -> f64 {
     if a.is_empty() {
+        assert!(b.is_empty(), "partitions cover different vertex sets");
         return 1.0;
     }
     let c = contingency(a, b);
     let n = c.n;
     let mut mutual = 0.0;
     for (&(ca, cb), &nij) in &c.joint {
+        if nij <= 0.0 {
+            continue; // 0·log 0 := 0 (defensive: contingency never stores 0)
+        }
         let pa = c.a_sizes[&ca] / n;
         let pb = c.b_sizes[&cb] / n;
         let pij = nij / n;
@@ -49,6 +65,7 @@ pub fn nmi(a: &Partition, b: &Partition) -> f64 {
     let entropy = |sizes: &HashMap<VertexId, f64>| -> f64 {
         sizes
             .values()
+            .filter(|&&s| s > 0.0) // 0·log 0 := 0
             .map(|&s| {
                 let p = s / n;
                 -p * p.ln()
@@ -56,10 +73,18 @@ pub fn nmi(a: &Partition, b: &Partition) -> f64 {
             .sum()
     };
     let (ha, hb) = (entropy(&c.a_sizes), entropy(&c.b_sizes));
-    if ha + hb == 0.0 {
-        return 1.0; // both partitions are trivial (one community each)
+    if ha + hb <= 0.0 {
+        // Both partitions are trivial (one community each): identical up to
+        // relabeling, and the general formula would divide 0 by 0.
+        return 1.0;
     }
-    (2.0 * mutual / (ha + hb)).clamp(0.0, 1.0)
+    let v = 2.0 * mutual / (ha + hb);
+    if !v.is_finite() {
+        // Unreachable for well-formed contingency tables; a hard backstop so
+        // float pathology degrades to "no agreement" instead of NaN.
+        return 0.0;
+    }
+    v.clamp(0.0, 1.0)
 }
 
 /// Adjusted Rand index between two partitions: 1 = identical, ~0 = random
@@ -131,6 +156,45 @@ mod tests {
         assert_eq!(adjusted_rand_index(&one, &one), 1.0);
         let empty = Partition::from_vec(vec![]);
         assert_eq!(nmi(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_finite() {
+        // The zero-entropy / 0·log 0 corners the portfolio benchmark gates
+        // on: every combination of trivial partitions must produce a finite
+        // score, never NaN (a NaN would survive `.clamp`).
+        let singletons = p(&[0, 1, 2, 3]);
+        let single = p(&[0, 0, 0, 0]);
+        let mixed = p(&[0, 0, 1, 1]);
+        for (x, y) in [
+            (&singletons, &singletons),
+            (&single, &single),
+            (&singletons, &single),
+            (&single, &singletons),
+            (&singletons, &mixed),
+            (&single, &mixed),
+            (&mixed, &single),
+        ] {
+            let v = nmi(x, y);
+            assert!(v.is_finite(), "NMI({x:?}, {y:?}) = {v}");
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // All-singletons vs itself: identical up to relabeling.
+        assert!((nmi(&singletons, &singletons) - 1.0).abs() < 1e-12);
+        // A trivial partition shares no information with a non-trivial one.
+        assert_eq!(nmi(&single, &mixed), 0.0);
+        assert_eq!(nmi(&mixed, &single), 0.0);
+        // Singletons vs single community: both degenerate, zero agreement
+        // (I = 0 while H(singletons) = ln n > 0).
+        assert_eq!(nmi(&singletons, &single), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_scores_one() {
+        let empty = Partition::from_vec(vec![]);
+        let v = nmi(&empty, &empty);
+        assert!(v.is_finite());
+        assert_eq!(v, 1.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! *what* it computes.
 
 use crate::job::JobOptions;
-use cd_core::{HashPlacement, ThreadAssignment, UpdateStrategy};
+use cd_core::{Algorithm, HashPlacement, ThreadAssignment, UpdateStrategy};
 use cd_graph::{Csr, DeltaBatch, DeltaOp};
 
 /// 64-bit FNV-1a, the same construction gpusim uses for fault-plan seeding:
@@ -81,8 +81,15 @@ pub fn structural_hash(graph: &Csr) -> u64 {
     h.finish()
 }
 
-/// Hash of every result-affecting field of [`JobOptions`]: the full
-/// algorithm configuration.
+/// Hash of every result-affecting field of [`JobOptions`]: the selected
+/// portfolio algorithm plus its full configuration.
+///
+/// The algorithm discriminant comes **first**: two submissions of the same
+/// graph under different algorithms compute different partitions, so they
+/// must never share a cache line — including through the delta-promotion
+/// path, where a delta job's result is re-inserted under the structural
+/// hash of its patched graph. That promoted key carries this options hash
+/// too, so one algorithm's partition can never be served to another.
 ///
 /// The execution profile contributes **nothing** to the key: the four-way
 /// equivalence suite enforces (in CI, on every medium workload, across
@@ -95,6 +102,12 @@ pub fn structural_hash(graph: &Csr) -> u64 {
 pub fn options_hash(options: &JobOptions) -> u64 {
     let cfg = &options.config;
     let mut h = Fnv1a::new();
+    h.write_u64(match options.algorithm {
+        Algorithm::Louvain => 0,
+        Algorithm::Leiden => 1,
+        Algorithm::LpaSync => 2,
+        Algorithm::LpaAsync => 3,
+    });
     h.write_f64(cfg.threshold_bin);
     h.write_f64(cfg.threshold_final);
     h.write_usize(cfg.size_limit);
@@ -244,6 +257,25 @@ mod tests {
 
         // Semantic knobs do.
         assert_ne!(options_hash(&base), options_hash(&base.with_pruning(true)));
+
+        // The algorithm is the most semantic knob of all: every portfolio
+        // member gets its own key, pairwise distinct.
+        let hashes: Vec<u64> = cd_core::Algorithm::ALL
+            .iter()
+            .map(|&a| options_hash(&base.with_algorithm(a)))
+            .collect();
+        for i in 0..hashes.len() {
+            for j in 0..i {
+                assert_ne!(
+                    hashes[i],
+                    hashes[j],
+                    "{} and {} share an options hash",
+                    cd_core::Algorithm::ALL[i],
+                    cd_core::Algorithm::ALL[j]
+                );
+            }
+        }
+        assert_eq!(options_hash(&base), hashes[0], "Louvain is the default");
 
         // The execution profile is *not* semantic: all four profiles are
         // bit-identical (enforced by the equivalence suite), so they share

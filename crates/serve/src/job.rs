@@ -7,7 +7,7 @@
 //! failures ([`Rejected`]) happen before a job exists and are reported
 //! synchronously from [`crate::Server::submit`].
 
-use cd_core::{GpuLouvainConfig, GpuLouvainError};
+use cd_core::{Algorithm, GpuLouvainConfig, GpuLouvainError};
 use cd_gpusim::{FaultPlan, Profile};
 use cd_graph::Partition;
 use std::sync::Arc;
@@ -67,16 +67,22 @@ pub struct DeviceFault {
     pub plan: FaultPlan,
 }
 
-/// Per-job options: the algorithm configuration, the execution profile, and
-/// the scheduling knobs.
+/// Per-job options: the algorithm selection and configuration, the
+/// execution profile, and the scheduling knobs.
 ///
-/// The algorithm configuration, profile, and fault plan are *semantic* —
+/// The algorithm (and its configuration) and fault plan are *semantic* —
 /// they select what result is computed and participate in the cache key.
 /// Priority and deadline are *scheduling* — they decide when (and whether)
 /// the job runs and are deliberately excluded from the key, so a
-/// high-priority resubmission of cached work is still a cache hit.
+/// high-priority resubmission of cached work is still a cache hit. The
+/// execution profile is neither: the four-way equivalence guarantee makes
+/// every profile produce the same bits, so profiles share a cache line.
 #[derive(Clone, Copy, Debug)]
 pub struct JobOptions {
+    /// Which portfolio algorithm the job runs ([`Algorithm::Louvain`] by
+    /// default). Result-affecting: two submissions of the same graph under
+    /// different algorithms never share a cache entry.
+    pub algorithm: Algorithm,
     /// Algorithm configuration (thresholds, pruning, buckets, …).
     pub config: GpuLouvainConfig,
     /// Execution profile the job's device is built with. Defaults to
@@ -99,6 +105,7 @@ pub struct JobOptions {
 impl Default for JobOptions {
     fn default() -> Self {
         Self {
+            algorithm: Algorithm::Louvain,
             config: GpuLouvainConfig::paper_default(),
             profile: Profile::Fast,
             priority: Priority::Normal,
@@ -109,6 +116,12 @@ impl Default for JobOptions {
 }
 
 impl JobOptions {
+    /// Returns the options with the given portfolio algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
     /// Returns the options with vertex pruning set.
     pub fn with_pruning(mut self, pruning: bool) -> Self {
         self.config.pruning = pruning;
@@ -371,15 +384,18 @@ mod tests {
     #[test]
     fn options_builders() {
         let o = JobOptions::default()
+            .with_algorithm(Algorithm::LpaSync)
             .with_pruning(true)
             .with_profile(Profile::Racecheck)
             .with_priority(Priority::High)
             .with_deadline(Duration::from_secs(1));
+        assert_eq!(o.algorithm, Algorithm::LpaSync);
         assert!(o.config.pruning);
         assert_eq!(o.profile, Profile::Racecheck);
         assert_eq!(o.priority, Priority::High);
         assert_eq!(o.deadline, Some(Duration::from_secs(1)));
         assert_eq!(JobOptions::default().profile, Profile::Fast);
+        assert_eq!(JobOptions::default().algorithm, Algorithm::Louvain);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub mod scheduler;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
+pub use cd_core::Algorithm;
 pub use hash::{chained_graph_hash, delta_hash, options_hash, structural_hash, CacheKey, Fnv1a};
 pub use job::{
     DeltaBase, DeviceFault, ExecPath, JobId, JobOptions, JobOutcome, JobStatus, Priority, Rejected,

@@ -40,8 +40,8 @@ use crate::metrics::{LatencyStats, MetricsState, ServeMetrics};
 use crate::queue::SubmissionQueue;
 use crate::scheduler::{BreakerConfig, DevicePool, Placement};
 use cd_core::{
-    estimated_device_bytes, louvain_gpu_gated, louvain_multi_gpu, louvain_warm_start_gated,
-    GpuLouvainError, MultiGpuConfig, RecoveryAction, StageAbort, ThresholdSchedule,
+    detect_communities_gated, estimated_device_bytes, louvain_multi_gpu, louvain_warm_start_gated,
+    Algorithm, GpuLouvainError, MultiGpuConfig, RecoveryAction, StageAbort, ThresholdSchedule,
 };
 use cd_gpusim::{Device, DeviceConfig};
 use cd_graph::{apply_delta, Csr, DeltaBatch};
@@ -451,8 +451,13 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                     }
                     Ok(())
                 };
+                // The warm-start driver is Louvain-specific (it seeds the
+                // modularity descent); `submit_delta` only attaches warm
+                // context to Louvain jobs, and this guard keeps the
+                // invariant local — every other algorithm runs its own
+                // cold driver through the portfolio dispatch.
                 let run = match &warm {
-                    Some(w) => {
+                    Some(w) if options.algorithm == Algorithm::Louvain => {
                         ran_warm = true;
                         louvain_warm_start_gated(
                             &dev,
@@ -464,7 +469,14 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                             &mut gate,
                         )
                     }
-                    None => louvain_gpu_gated(&dev, &graph, cfg, &schedule, &mut gate),
+                    _ => detect_communities_gated(
+                        &dev,
+                        &graph,
+                        cfg,
+                        &schedule,
+                        options.algorithm,
+                        &mut gate,
+                    ),
                 };
                 run.map(|r| {
                     let result = Arc::new(ServeResult {
@@ -474,6 +486,17 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                     });
                     (result, ExecPath::SingleDevice { device: slot })
                 })
+            })
+        }
+        Placement::Pooled if options.algorithm != Algorithm::Louvain => {
+            // The coarse-grained multi-device path only implements the
+            // Louvain descent. A too-large graph under another algorithm
+            // fails with a typed, content-attributable error (an identical
+            // re-run would fail identically, so followers share it) rather
+            // than silently computing Louvain under the wrong cache key.
+            Err(GpuLouvainError::UnsupportedAlgorithm {
+                algorithm: options.algorithm,
+                path: "multi-device pool",
             })
         }
         Placement::Pooled => {
@@ -786,6 +809,10 @@ impl Server {
     /// ([`cd_core::louvain_warm_start_gated`]): labels seeded from the base
     /// partition, re-evaluation limited to the touched-vertex frontier.
     /// Otherwise the patched graph runs cold — same result, no speedup.
+    /// Warm starting is specific to [`cd_core::Algorithm::Louvain`]; delta
+    /// jobs under any other portfolio algorithm always run cold, and the
+    /// algorithm-qualified cache keys guarantee a seed can never cross
+    /// algorithms.
     pub fn submit_delta(
         &self,
         base: DeltaBase,
@@ -816,19 +843,27 @@ impl Server {
                     }
                 },
             };
-            // Warm seed: the base's result under the same semantic options.
-            // A peek, not a lookup — internal resolution must not skew the
-            // client-facing hit/miss counters.
-            let base_key = CacheKey { graph: base_hash, options: options_hash(&options) };
-            let seed = inner.cache.peek(&base_key).or_else(|| match base {
-                DeltaBase::Job(id) => inner
-                    .jobs
-                    .get(&id)
-                    .filter(|j| j.key == base_key)
-                    .and_then(|j| j.outcome.as_ref())
-                    .and_then(|o| o.result().cloned()),
-                DeltaBase::Graph(_) => None,
-            });
+            // Warm seed: the base's result under the same semantic options
+            // (the key carries the algorithm, so a Louvain job can only be
+            // seeded by a Louvain partition). A peek, not a lookup —
+            // internal resolution must not skew the client-facing hit/miss
+            // counters. Only Louvain can consume a seed at all: the
+            // warm-start driver is the seeded modularity descent, and the
+            // other portfolio members run cold (same result, no speedup).
+            let seed = if options.algorithm == Algorithm::Louvain {
+                let base_key = CacheKey { graph: base_hash, options: options_hash(&options) };
+                inner.cache.peek(&base_key).or_else(|| match base {
+                    DeltaBase::Job(id) => inner
+                        .jobs
+                        .get(&id)
+                        .filter(|j| j.key == base_key)
+                        .and_then(|j| j.outcome.as_ref())
+                        .and_then(|o| o.result().cloned()),
+                    DeltaBase::Graph(_) => None,
+                })
+            } else {
+                None
+            };
             (base_hash, base_graph, seed)
         };
 

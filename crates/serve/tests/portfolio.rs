@@ -1,0 +1,224 @@
+//! Cross-algorithm serving tests: the portfolio selector must thread all
+//! the way through the cache key, so no path — plain submission, request
+//! coalescing, delta chains, or structural-hash promotion — can ever serve
+//! one algorithm's partition to a request for another. All in manual mode
+//! for deterministic interleavings.
+
+use cd_gpusim::DeviceConfig;
+use cd_graph::{Csr, DeltaBatch, DeltaBuilder, GraphBuilder, VertexId};
+use cd_serve::{Algorithm, DeltaBase, ExecPath, JobOptions, JobOutcome, Server, ServerConfig};
+use cd_workloads::Scale;
+use std::sync::Arc;
+
+fn ring(n: usize) -> Arc<Csr> {
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as VertexId, ((v + 1) % n) as VertexId, 1.0);
+    }
+    Arc::new(b.build())
+}
+
+fn manual() -> Server {
+    Server::new(ServerConfig::test_manual())
+}
+
+fn batch(n: usize) -> DeltaBatch {
+    let mut b = DeltaBuilder::new(n);
+    b.insert(0, (n / 2) as VertexId, 1.5).unwrap();
+    b.delete(1, 2).unwrap();
+    b.build()
+}
+
+fn completed(server: &Server, id: cd_serve::JobId) -> (Arc<cd_serve::ServeResult>, ExecPath) {
+    match server.await_result(id) {
+        JobOutcome::Completed { result, path } => (result, path),
+        other => panic!("expected completion, got {other:?}"),
+    }
+}
+
+#[test]
+fn algorithms_never_share_a_cache_line() {
+    // The same graph under every portfolio algorithm: each first submission
+    // must compute (no cross-algorithm hit, no cross-algorithm coalescing),
+    // and each *re*-submission must hit exactly its own entry.
+    let server = manual();
+    let g = ring(48);
+    let mut firsts = Vec::new();
+    for a in Algorithm::ALL {
+        let opts = JobOptions::default().with_algorithm(a);
+        let id = server.submit(Arc::clone(&g), opts).unwrap();
+        server.run_until_idle();
+        let (result, path) = completed(&server, id);
+        assert!(
+            matches!(path, ExecPath::SingleDevice { .. }),
+            "{a}: first submission must compute, got {path:?}"
+        );
+        firsts.push(result);
+    }
+    // Pairwise distinct payloads: four computations, four Arcs.
+    for i in 0..firsts.len() {
+        for j in 0..i {
+            assert!(
+                !Arc::ptr_eq(&firsts[i], &firsts[j]),
+                "{} and {} were served the same payload",
+                Algorithm::ALL[i],
+                Algorithm::ALL[j]
+            );
+        }
+    }
+    // Resubmission under each algorithm hands back that algorithm's own Arc.
+    for (a, first) in Algorithm::ALL.into_iter().zip(&firsts) {
+        let id = server.submit(Arc::clone(&g), JobOptions::default().with_algorithm(a)).unwrap();
+        match server.await_result(id) {
+            JobOutcome::Completed { result, path: ExecPath::CacheHit } => {
+                assert!(Arc::ptr_eq(&result, first), "{a}: hit the wrong entry");
+            }
+            other => panic!("{a}: resubmission should hit its own cache line, got {other:?}"),
+        }
+    }
+    let m = server.metrics();
+    assert_eq!(m.exec.count, Algorithm::ALL.len(), "one compute per algorithm");
+}
+
+#[test]
+fn inflight_coalescing_is_algorithm_scoped() {
+    // Two queued submissions of the same graph under different algorithms
+    // must both compute; a same-algorithm twin coalesces.
+    let server = manual();
+    let g = ring(40);
+    let louvain = server.submit(Arc::clone(&g), JobOptions::default()).unwrap();
+    let lpa = server
+        .submit(Arc::clone(&g), JobOptions::default().with_algorithm(Algorithm::LpaSync))
+        .unwrap();
+    let lpa_twin = server
+        .submit(Arc::clone(&g), JobOptions::default().with_algorithm(Algorithm::LpaSync))
+        .unwrap();
+    server.run_until_idle();
+    let (r_louvain, p_louvain) = completed(&server, louvain);
+    let (r_lpa, p_lpa) = completed(&server, lpa);
+    let (r_twin, p_twin) = completed(&server, lpa_twin);
+    assert!(!p_louvain.is_shared() && !p_lpa.is_shared(), "different algorithms both compute");
+    assert_eq!(p_twin, ExecPath::Coalesced, "same algorithm coalesces");
+    assert!(Arc::ptr_eq(&r_lpa, &r_twin));
+    assert!(!Arc::ptr_eq(&r_louvain, &r_lpa));
+}
+
+#[test]
+fn delta_promotion_does_not_leak_across_algorithms() {
+    // A delta job computed under LPA promotes its result to the structural
+    // hash of the patched graph — under *LPA's* options hash. A cold
+    // Louvain submission of the independently built patched graph must
+    // miss that entry and compute its own; a cold LPA submission hits it.
+    let server = manual();
+    let n = 56;
+    let lpa = JobOptions::default().with_algorithm(Algorithm::LpaSync);
+    let base = server.submit(ring(n), lpa).unwrap();
+    server.run_until_idle();
+    server.await_result(base);
+    let d = server.submit_delta(DeltaBase::Job(base), &batch(n), lpa).unwrap();
+    server.run_until_idle();
+    let (lpa_result, _) = completed(&server, d);
+
+    // The patched graph, built independently (bit-identical to the patch).
+    let patched = || {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n {
+            if (v, (v + 1) % n) == (1, 2) {
+                continue;
+            }
+            b.add_edge(v as VertexId, ((v + 1) % n) as VertexId, 1.0);
+        }
+        b.add_edge(0, (n / 2) as VertexId, 1.5);
+        Arc::new(b.build())
+    };
+
+    // Louvain on the patched graph: the promoted LPA entry must NOT answer.
+    let cold_louvain = server.submit(patched(), JobOptions::default()).unwrap();
+    server.run_until_idle();
+    let (louvain_result, louvain_path) = completed(&server, cold_louvain);
+    assert!(
+        matches!(louvain_path, ExecPath::SingleDevice { .. }),
+        "Louvain must not hit the promoted LPA entry, got {louvain_path:?}"
+    );
+    assert!(!Arc::ptr_eq(&louvain_result, &lpa_result), "cross-algorithm payload leak");
+
+    // LPA on the patched graph: the promoted entry answers, same Arc.
+    let cold_lpa = server.submit(patched(), lpa).unwrap();
+    match server.await_result(cold_lpa) {
+        JobOutcome::Completed { result, path: ExecPath::CacheHit } => {
+            assert!(Arc::ptr_eq(&result, &lpa_result));
+        }
+        other => panic!("same-algorithm promotion should hit, got {other:?}"),
+    }
+    server.run_until_idle();
+}
+
+#[test]
+fn non_louvain_delta_jobs_run_cold() {
+    // Warm starting is the seeded Louvain descent; a delta job under any
+    // other algorithm runs cold — completing correctly, never consuming a
+    // seed partition computed by a different (or even the same) algorithm.
+    let server = manual();
+    let n = 48;
+    for a in [Algorithm::Leiden, Algorithm::LpaSync, Algorithm::LpaAsync] {
+        let opts = JobOptions::default().with_algorithm(a);
+        let base = server.submit(ring(n), opts).unwrap();
+        server.run_until_idle();
+        server.await_result(base);
+        let d = server.submit_delta(DeltaBase::Job(base), &batch(n), opts).unwrap();
+        server.run_until_idle();
+        let (_, path) = completed(&server, d);
+        assert!(matches!(path, ExecPath::SingleDevice { .. }), "{a}: got {path:?}");
+    }
+    assert_eq!(server.metrics().warm_started_jobs, 0, "no non-Louvain job was seeded");
+
+    // And a Louvain delta on the same server still warm-starts, seeded
+    // strictly by its own (algorithm-qualified) base entry.
+    let opts = JobOptions::default();
+    let base = server.submit(ring(n), opts).unwrap();
+    server.run_until_idle();
+    server.await_result(base);
+    let d = server.submit_delta(DeltaBase::Job(base), &batch(n), opts).unwrap();
+    server.run_until_idle();
+    completed(&server, d);
+    assert_eq!(server.metrics().warm_started_jobs, 1);
+}
+
+#[test]
+fn pooled_placement_rejects_non_louvain_with_a_typed_error() {
+    // A graph too large for any single slot takes the multi-device path,
+    // which only implements the Louvain descent: any other algorithm fails
+    // with the typed UnsupportedAlgorithm error instead of silently
+    // computing the wrong thing under its cache key.
+    let graph = Arc::new(cd_workloads::load("road-usa", Scale::Tiny).unwrap().graph);
+    let footprint = cd_core::estimated_device_bytes(&graph);
+    let mut device = DeviceConfig::tesla_k40m();
+    device.global_mem_bytes = footprint * 3 / 4;
+    let server = Server::new(ServerConfig {
+        workers: 0,
+        num_devices: 2,
+        device,
+        ..ServerConfig::test_manual()
+    });
+    let id = server
+        .submit(Arc::clone(&graph), JobOptions::default().with_algorithm(Algorithm::LpaSync))
+        .unwrap();
+    server.run_until_idle();
+    match server.await_result(id) {
+        JobOutcome::Failed(err) => match &*err {
+            cd_core::GpuLouvainError::UnsupportedAlgorithm { algorithm, path } => {
+                assert_eq!(*algorithm, Algorithm::LpaSync);
+                assert_eq!(*path, "multi-device pool");
+            }
+            other => panic!("expected UnsupportedAlgorithm, got {other:?}"),
+        },
+        other => panic!("expected a typed failure, got {other:?}"),
+    }
+    // Louvain itself still runs the pooled path on the same server.
+    let id = server.submit(graph, JobOptions::default()).unwrap();
+    server.run_until_idle();
+    match server.await_result(id) {
+        JobOutcome::Completed { path: ExecPath::DevicePool { .. }, .. } => {}
+        other => panic!("expected the pooled path, got {other:?}"),
+    }
+}

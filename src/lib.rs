@@ -36,6 +36,11 @@
 //! assert!(result.modularity > 0.6);
 //! ```
 //!
+//! Beyond Louvain, [`core::detect_communities`] dispatches across the whole
+//! algorithm portfolio — Leiden-style refinement and synchronous or
+//! asynchronous label propagation — and [`serve`] exposes the same choice per
+//! job via `JobOptions::with_algorithm`.
+//!
 //! See `examples/` for realistic scenarios and the `repro` binary
 //! (`cargo run --release -p cd-bench --bin repro`) for regenerating every
 //! table and figure of the paper.
@@ -54,8 +59,9 @@ pub mod prelude {
     };
     pub use cd_baselines::{ColoredConfig, ParallelCpuConfig, PlmConfig, SequentialConfig};
     pub use cd_core::{
-        louvain_gpu, louvain_multi_gpu, GpuLouvainConfig, GpuLouvainError, GpuLouvainResult,
-        MultiGpuConfig, MultiGpuResult, RecoveryAction, RetryPolicy,
+        detect_communities, label_propagation, leiden_gpu, louvain_gpu, louvain_multi_gpu,
+        Algorithm, GpuLouvainConfig, GpuLouvainError, GpuLouvainResult, LpaMode, MultiGpuConfig,
+        MultiGpuResult, RecoveryAction, RetryPolicy,
     };
     pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError, Profile};
     pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
