@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|medium|large] [--out DIR]
+//! repro <experiment> [--scale tiny|small|medium|large|huge] [--out DIR]
 //!                    [--profile instrumented|fast|racecheck|parallel] [--clients N]
 //!
 //! experiments:
@@ -43,6 +43,14 @@
 //!             max(1e-3, the graph's measured cold-run dispersion) on any
 //!             cell, or the median small-churn speedup falls below 3× —
 //!             smaller scales report both informationally)
+//!   dist      partitioned out-of-core execution (cd-dist): every featured
+//!             workload sharded across devices too small to hold it, gated
+//!             on the single-device oracle's dispersion band, plus a
+//!             {2,4} shards × {1,8} threads bit-identity matrix on a
+//!             dedicated RMAT graph — tens of millions of arcs at
+//!             --scale huge (BENCH_dist.json; exits nonzero on any lost
+//!             ghost label, ownership violation, or cross-configuration
+//!             divergence)
 //!   portfolio algorithm portfolio (Louvain, Leiden, sync/async LPA) over
 //!             the whole suite: modularity, NMI vs planted truth (or vs the
 //!             Louvain partition where no truth exists), and wall time per
@@ -68,7 +76,7 @@ use std::path::PathBuf;
 /// run no GPU kernels, quote only quality numbers, or (like `backend`) pin
 /// their profiles themselves. Everything else quotes the instrumented cost
 /// model and would report zeros.
-const FAST_SAFE: [&str; 8] = [
+const FAST_SAFE: [&str; 9] = [
     "backend",
     "buckets",
     "multigpu",
@@ -77,6 +85,7 @@ const FAST_SAFE: [&str; 8] = [
     "overload",
     "incremental",
     "portfolio",
+    "dist",
 ];
 
 fn main() {
@@ -96,8 +105,8 @@ fn main() {
             "--scale" => {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
-                scale =
-                    Scale::parse(v).unwrap_or_else(|| die("scale must be tiny|small|medium|large"));
+                scale = Scale::parse(v)
+                    .unwrap_or_else(|| die("scale must be tiny|small|medium|large|huge"));
             }
             "--out" => {
                 i += 1;
@@ -165,6 +174,7 @@ fn main() {
         "overload" => experiments::overload(scale, &out),
         "incremental" => experiments::incremental(scale, &out),
         "portfolio" => experiments::portfolio(scale, &out),
+        "dist" => experiments::dist(scale, &out),
         "all" => {
             experiments::table1(scale, &out);
             experiments::fig1_2(scale, &out);
@@ -187,6 +197,7 @@ fn main() {
             experiments::overload(scale, &out);
             experiments::incremental(scale, &out);
             experiments::portfolio(scale, &out);
+            experiments::dist(scale, &out);
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -196,8 +207,8 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--scale tiny|small|medium|large] [--out DIR] [--profile instrumented|fast|racecheck|parallel] [--clients N]\n\n\
-         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, incremental, portfolio, all\n\
+         usage: repro <experiment> [--scale tiny|small|medium|large|huge] [--out DIR] [--profile instrumented|fast|racecheck|parallel] [--clients N]\n\n\
+         experiments: table1, fig1-2, fig3-4, fig5-6, fig7, relaxed, plm, teps, profile, ablation, buckets, multigpu, schedule, faults, opt-bench, backend, racecheck, serve, overload, incremental, portfolio, dist, all\n\
          default scale: small; outputs CSVs under DIR (default ./results)\n\
          default profile: CD_GPUSIM_PROFILE (instrumented if unset); cost-model experiments require instrumented\n\
          --clients sets the serve load generator's concurrency (default 4)"

@@ -1319,6 +1319,12 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
     let warm_restored = c.metrics.cache_restored_entries;
     let warm_pure = c.metrics.cache.misses == 0 && warm_restored > 0;
     let pooled_exercised = a.metrics.pooled_jobs > 0 && b.metrics.pooled_jobs > 0;
+    // The oversized workload must have gone through the sharded
+    // out-of-core engine, with actual halo traffic on record.
+    let sharded_exercised = a.metrics.sharded_jobs > 0
+        && b.metrics.sharded_jobs > 0
+        && a.metrics.exchange_rounds > 0
+        && a.metrics.ghost_bytes > 0;
 
     // Aggregate replay 1 per content key (workload, pruning).
     #[derive(Default)]
@@ -1421,6 +1427,7 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
         && deterministic
         && failed == 0
         && pooled_exercised
+        && sharded_exercised
         && warm_pure;
     let json = format!(
         "{{\n  \"experiment\": \"serve_snapshot\",\n  \"scale\": \"{scale:?}\",\n  \
@@ -1431,6 +1438,8 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
          \"completed\": {completed},\n    \"failed\": {failed},\n    \
          \"cancelled\": {cancelled},\n    \"expired\": {expired},\n    \
          \"queue_full_retries\": {retries},\n    \"pooled_jobs\": {pooled},\n    \
+         \"sharded_jobs\": {sharded},\n    \"exchange_rounds\": {xrounds},\n    \
+         \"ghost_bytes\": {gbytes},\n    \
          \"degraded_jobs\": {degraded},\n    \"lost\": {lost},\n    \
          \"duplicated\": {duplicated}\n  }},\n  \
          \"throughput_jobs_per_s\": {tput:.3},\n  \"wall_s\": {wall:.3},\n  \
@@ -1448,6 +1457,7 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
          \"pure_cache\": {warm_pure}\n  }},\n  \
          \"results_consistent\": {consistent},\n  \"deterministic\": {deterministic},\n  \
          \"pooled_exercised\": {pooled_exercised},\n  \
+         \"sharded_exercised\": {sharded_exercised},\n  \
          \"ok\": {ok}\n}}\n",
         warm_misses = c.metrics.cache.misses,
         warm_hits = c.metrics.cache.hits,
@@ -1461,6 +1471,9 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
         expired = m.expired,
         retries = a.records.iter().map(|r| r.retries).sum::<u64>(),
         pooled = m.pooled_jobs,
+        sharded = m.sharded_jobs,
+        xrounds = m.exchange_rounds,
+        gbytes = m.ghost_bytes,
         degraded = m.degraded_jobs,
         lost = a.lost,
         duplicated = a.duplicated,
@@ -1492,7 +1505,7 @@ pub fn serve_snapshot(scale: Scale, out: &Path, clients: usize) {
         eprintln!(
             "error: serve trace violated a service invariant \
              (lost/duplicated jobs, failed runs, inconsistent or nondeterministic results, \
-             pooled path not exercised, or impure warm restart)"
+             pooled/sharded path not exercised, or impure warm restart)"
         );
         std::process::exit(1);
     }
@@ -2125,6 +2138,305 @@ pub fn portfolio(scale: Scale, out: &Path) {
             "error: a Leiden refinement pass lost {:.3e} modularity at its own stage — \
              the refinement commit rule must never lose",
             -min_refine_delta
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `repro dist` — the partitioned out-of-core path (`cd-dist`): sharded CSR,
+/// ghost vertices, halo label exchange. Written as `BENCH_dist.json`
+/// (committed baseline at `Scale::Medium`, regenerated as a CI artifact at
+/// `--scale small` on every push).
+///
+/// Two phases, three gates:
+/// * **quality** — every featured workload runs sharded across 4 devices
+///   each sized to ~60% of the graph's single-device footprint (so no
+///   device could hold it alone) and is compared against the single-device
+///   oracle. The gate reuses the incremental experiment's honesty
+///   methodology: the oracle's own cold-run dispersion across the base
+///   graph and two ≤ 0.1%-churn instances sets the per-graph allowance
+///   (floored at 1e-3), and the sharded *deficit* `max(0, Q_oracle −
+///   Q_sharded)` must stay inside it. Enforced at `Scale::Medium` and
+///   above, informational below.
+/// * **identity** — a dedicated RMAT graph (scaled with `--scale`, up to
+///   tens of millions of arcs at `huge`) runs the full
+///   {2, 4} shards × {1, 8} worker-thread matrix under the native-parallel
+///   backend. All four cells must produce bit-identical partitions and
+///   modularity. Enforced at every scale — this is the CI smoke gate.
+/// * **exchange consistency** — zero lost ghost labels and zero ownership
+///   violations across every run of both phases. Enforced at every scale.
+///
+/// Each identity cell also reports the paper-style telemetry: wall time,
+/// first-superstep TEPS, exchange rounds, ghost bytes, cut fraction.
+pub fn dist(scale: Scale, out: &Path) {
+    use cd_core::{estimated_device_bytes, louvain_gpu};
+    use cd_dist::{louvain_sharded, DistConfig};
+    use cd_gpusim::Device;
+    use cd_graph::apply_delta;
+    use cd_graph::gen::{rmat, RmatParams};
+    use cd_workloads::{churn, featured};
+    use std::time::Instant;
+
+    const DQ_BAND: f64 = 1e-3;
+    const QUALITY_SHARDS: usize = 4;
+    // Target fraction of the single-device footprint each shard device
+    // gets: small enough that no device could run the graph alone.
+    const MEM_FRACTION: f64 = 0.6;
+
+    // Device size for a forced out-of-core run: aim at `MEM_FRACTION` of
+    // the single-device footprint, but never below what the largest shard
+    // of any requested shard count actually needs (hub-heavy graphs ghost
+    // almost every vertex, so a K=2 shard can exceed half the footprint),
+    // and always strictly below the footprint itself.
+    let device_bytes_for = |g: &cd_graph::Csr, shard_counts: &[usize]| -> usize {
+        let footprint = estimated_device_bytes(g);
+        let max_req = shard_counts
+            .iter()
+            .map(|&k| {
+                let s = cd_graph::ShardedCsr::build(g, k);
+                s.shards.iter().map(|sh| estimated_device_bytes(&sh.graph)).max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        ((footprint as f64 * MEM_FRACTION) as usize)
+            .max(max_req + max_req / 16)
+            .min(footprint.saturating_sub(1))
+            .max(max_req)
+    };
+
+    let cfg = gpu_cfg(scale);
+    let mut lost_labels = 0usize;
+    let mut ownership_violations = 0usize;
+
+    // -- phase 1: quality vs the single-device oracle ------------------------
+    let mut t = Table::new(
+        format!("Sharded vs single-device Louvain (scale: {scale:?}, {QUALITY_SHARDS} shards)"),
+        &[
+            "graph",
+            "footprint",
+            "device",
+            "cut%",
+            "strategy",
+            "oracle Q",
+            "sharded Q",
+            "deficit",
+            "allowance",
+            "rounds",
+            "ghost KiB",
+        ],
+    );
+    let mut quality_entries = String::new();
+    let mut deficit_ok = true;
+    let mut max_deficit = 0.0f64;
+    for spec in featured() {
+        let built = build(spec, scale);
+        let g = &built.graph;
+        let footprint = estimated_device_bytes(g);
+        let oracle = louvain_gpu(&Device::k40m(), g, &cfg).expect("oracle run");
+        // Oracle dispersion: cold runs on two near-identical churn
+        // instances bound how tightly *any* second method can track it.
+        let mut ref_qs = vec![oracle.modularity];
+        for (i, frac) in [0.0005, 0.001].into_iter().enumerate() {
+            let batch = churn(g, 0xD157 + i as u64, frac);
+            let (patched, _) = apply_delta(g, &batch).expect("churn applies");
+            ref_qs.push(louvain_gpu(&Device::k40m(), &patched, &cfg).expect("ref run").modularity);
+        }
+        let spread = ref_qs.iter().cloned().fold(f64::MIN, f64::max)
+            - ref_qs.iter().cloned().fold(f64::MAX, f64::min);
+        let allowance = DQ_BAND.max(spread);
+
+        let mut dcfg = DistConfig::k40m(QUALITY_SHARDS);
+        dcfg.gpu = cfg;
+        dcfg.device.global_mem_bytes = device_bytes_for(g, &[QUALITY_SHARDS]);
+        let t0 = Instant::now();
+        let r = louvain_sharded(g, &dcfg).expect("sharded run");
+        let wall = t0.elapsed().as_secs_f64();
+        lost_labels += r.telemetry.lost_labels;
+        ownership_violations += r.telemetry.ownership_violations;
+        let deficit = (oracle.modularity - r.modularity).max(0.0);
+        max_deficit = max_deficit.max(deficit);
+        if deficit > allowance {
+            deficit_ok = false;
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}M", footprint as f64 / 1e6),
+            format!("{:.1}M", dcfg.device.global_mem_bytes as f64 / 1e6),
+            format!("{:.2}%", r.telemetry.cut_fraction * 100.0),
+            r.telemetry.strategy.to_string(),
+            f4(oracle.modularity),
+            f4(r.modularity),
+            format!("{deficit:.3e}"),
+            format!("{allowance:.3e}"),
+            r.telemetry.exchange_rounds.to_string(),
+            format!("{:.1}", r.telemetry.ghost_bytes as f64 / 1024.0),
+        ]);
+        if !quality_entries.is_empty() {
+            quality_entries.push(',');
+        }
+        quality_entries.push_str(&format!(
+            "\n    {{\n      \"graph\": \"{name}\",\n      \"vertices\": {n},\n      \
+             \"arcs\": {arcs},\n      \"footprint_bytes\": {footprint},\n      \
+             \"device_bytes\": {dev_bytes},\n      \"num_shards\": {QUALITY_SHARDS},\n      \
+             \"cut_fraction\": {cut:.6},\n      \"strategy\": \"{strategy}\",\n      \
+             \"oracle_modularity\": {oq:.15},\n      \"sharded_modularity\": {sq:.15},\n      \
+             \"reference_spread\": {spread:.3e},\n      \"allowance\": {allowance:.3e},\n      \
+             \"deficit\": {deficit:.3e},\n      \"levels\": {levels},\n      \
+             \"sharded_levels\": {slevels},\n      \"exchange_rounds\": {rounds},\n      \
+             \"ghost_updates\": {gup},\n      \"ghost_bytes\": {gbytes},\n      \
+             \"resident_ghosts\": {ghosts},\n      \"max_shard_bytes\": {msb},\n      \
+             \"wall_seconds\": {wall:.6},\n      \"ok\": {ok}\n    }}",
+            name = spec.name,
+            n = g.num_vertices(),
+            arcs = g.num_arcs(),
+            dev_bytes = dcfg.device.global_mem_bytes,
+            cut = r.telemetry.cut_fraction,
+            strategy = r.telemetry.strategy,
+            oq = oracle.modularity,
+            sq = r.modularity,
+            levels = r.telemetry.levels,
+            slevels = r.telemetry.sharded_levels,
+            rounds = r.telemetry.exchange_rounds,
+            gup = r.telemetry.ghost_updates,
+            gbytes = r.telemetry.ghost_bytes,
+            ghosts = r.telemetry.resident_ghosts,
+            msb = r.telemetry.max_shard_bytes,
+            ok = deficit <= allowance,
+        ));
+        println!(
+            "  {}: oracle {:.4} sharded {:.4}, deficit {deficit:.3e} vs allowance \
+             {allowance:.3e} ({})",
+            spec.name,
+            oracle.modularity,
+            r.modularity,
+            if deficit <= allowance { "ok" } else { "EXCEEDED" },
+        );
+    }
+    t.print();
+
+    // -- phase 2: bit-identity matrix on a dedicated out-of-core graph -------
+    let (rmat_scale, edge_factor) = match scale {
+        Scale::Tiny => (12, 8),
+        Scale::Small => (14, 8),
+        Scale::Medium => (16, 12),
+        Scale::Large => (18, 16),
+        Scale::Huge => (21, 16),
+    };
+    let g = rmat(rmat_scale, edge_factor, RmatParams::GRAPH500, 0xD157);
+    let footprint = estimated_device_bytes(&g);
+    let dev_bytes = device_bytes_for(&g, &[2, 4]);
+    println!(
+        "\nidentity graph: rmat-{rmat_scale} ({} vertices, {} arcs, footprint {:.1} MB, \
+         device {:.1} MB)",
+        g.num_vertices(),
+        g.num_arcs(),
+        footprint as f64 / 1e6,
+        dev_bytes as f64 / 1e6,
+    );
+    let mut t2 = Table::new(
+        "Bit-identity matrix: shards x worker threads (native-parallel backend)".to_string(),
+        &["shards", "threads", "Q", "wall[s]", "TEPS", "rounds", "ghost KiB", "lost", "ownership"],
+    );
+    let mut cells = String::new();
+    let mut outputs: Vec<(Vec<u32>, u64)> = Vec::new();
+    for shards in [2usize, 4] {
+        for threads in [1usize, 8] {
+            let mut dcfg = DistConfig::k40m(shards);
+            dcfg.gpu = cfg;
+            dcfg.device.global_mem_bytes = dev_bytes;
+            dcfg.device = dcfg.device.with_profile(Profile::Parallel).with_threads(threads);
+            let t0 = Instant::now();
+            let r = louvain_sharded(&g, &dcfg).expect("identity run");
+            let wall = t0.elapsed().as_secs_f64();
+            let teps = g.num_arcs() as f64 / r.telemetry.first_superstep.as_secs_f64().max(1e-12);
+            lost_labels += r.telemetry.lost_labels;
+            ownership_violations += r.telemetry.ownership_violations;
+            t2.row(vec![
+                shards.to_string(),
+                threads.to_string(),
+                f4(r.modularity),
+                format!("{wall:.4}"),
+                format!("{teps:.3e}"),
+                r.telemetry.exchange_rounds.to_string(),
+                format!("{:.1}", r.telemetry.ghost_bytes as f64 / 1024.0),
+                r.telemetry.lost_labels.to_string(),
+                r.telemetry.ownership_violations.to_string(),
+            ]);
+            if !cells.is_empty() {
+                cells.push(',');
+            }
+            cells.push_str(&format!(
+                "\n      {{ \"shards\": {shards}, \"threads\": {threads}, \
+                 \"modularity\": {q:.15}, \"wall_seconds\": {wall:.6}, \
+                 \"first_superstep_teps\": {teps:.6e}, \"exchange_rounds\": {rounds}, \
+                 \"ghost_updates\": {gup}, \"ghost_bytes\": {gbytes}, \
+                 \"cut_fraction\": {cut:.6}, \"lost_labels\": {lost}, \
+                 \"ownership_violations\": {own} }}",
+                q = r.modularity,
+                rounds = r.telemetry.exchange_rounds,
+                gup = r.telemetry.ghost_updates,
+                gbytes = r.telemetry.ghost_bytes,
+                cut = r.telemetry.cut_fraction,
+                lost = r.telemetry.lost_labels,
+                own = r.telemetry.ownership_violations,
+            ));
+            outputs.push((r.partition.into_vec(), r.modularity.to_bits()));
+        }
+    }
+    t2.print();
+    let bit_identical = outputs.windows(2).all(|w| w[0] == w[1]);
+    let exchange_ok = lost_labels == 0 && ownership_violations == 0;
+    let gated = scale >= Scale::Medium;
+    let quality_ok = !gated || deficit_ok;
+    println!(
+        "dist: bit_identical={bit_identical}, lost_labels={lost_labels}, \
+         ownership_violations={ownership_violations}, max quality deficit {max_deficit:.3e} \
+         (gate {} at this scale)",
+        if gated { "enforced" } else { "informational" },
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"dist\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"device\": \"tesla_k40m ({MEM_FRACTION} x footprint)\",\n  \
+         \"dq_band\": {DQ_BAND:.0e},\n  \"quality\": [{quality_entries}\n  ],\n  \
+         \"identity\": {{\n    \"graph\": \"rmat-{rmat_scale}\",\n    \
+         \"vertices\": {n},\n    \"arcs\": {arcs},\n    \
+         \"footprint_bytes\": {footprint},\n    \"device_bytes\": {dev_bytes},\n    \
+         \"cells\": [{cells}\n    ],\n    \"bit_identical\": {bit_identical}\n  }},\n  \
+         \"summary\": {{\n    \"max_quality_deficit\": {max_deficit:.3e},\n    \
+         \"lost_labels\": {lost_labels},\n    \
+         \"ownership_violations\": {ownership_violations},\n    \"gated\": {gated},\n    \
+         \"quality_ok\": {quality_ok},\n    \"exchange_ok\": {exchange_ok},\n    \
+         \"bit_identical\": {bit_identical}\n  }},\n  \"ok\": {ok}\n}}\n",
+        n = g.num_vertices(),
+        arcs = g.num_arcs(),
+        ok = quality_ok && exchange_ok && bit_identical,
+    );
+    std::fs::create_dir_all(out).ok();
+    let path = out.join("BENCH_dist.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    if !bit_identical {
+        eprintln!(
+            "error: sharded Louvain diverged across the shard-count x thread-count matrix — \
+             the halo exchange must be deterministic"
+        );
+        std::process::exit(1);
+    }
+    if !exchange_ok {
+        eprintln!(
+            "error: the halo exchange lost {lost_labels} ghost label(s) and recorded \
+             {ownership_violations} ownership violation(s); both must be zero"
+        );
+        std::process::exit(1);
+    }
+    if !quality_ok {
+        eprintln!(
+            "error: sharded modularity fell {max_deficit:.3e} short of the single-device \
+             oracle on some workload, beyond that graph's reference dispersion \
+             (floor {DQ_BAND:.0e})"
         );
         std::process::exit(1);
     }

@@ -31,6 +31,7 @@ pub mod aggregate;
 pub mod algorithm;
 pub mod config;
 pub mod dev_graph;
+pub mod halo;
 pub mod hashtable;
 pub mod labelprop;
 pub mod louvain;
@@ -47,6 +48,7 @@ pub use config::{
     AGG_BUCKETS, MODOPT_BUCKETS,
 };
 pub use dev_graph::DeviceGraph;
+pub use halo::{halo_move_host, halo_move_pass, HaloView};
 pub use hashtable::TableOverflow;
 pub use labelprop::{label_propagation, label_propagation_gated, LpaMode};
 pub use louvain::{

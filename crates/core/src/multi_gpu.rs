@@ -31,7 +31,9 @@ use crate::config::{GpuLouvainConfig, RetryPolicy};
 use crate::louvain::{louvain_gpu, GpuLouvainError};
 use cd_baselines::{louvain_sequential, SequentialConfig};
 use cd_gpusim::{Device, DeviceConfig, FaultStats};
-use cd_graph::{block_ranges, contract, induced_subgraph, modularity, Csr, Partition, VertexId};
+use cd_graph::{
+    contract, edge_cut_members, induced_subgraph, modularity, Csr, Partition, VertexId,
+};
 use std::time::{Duration, Instant};
 
 /// Configuration of a multi-device run.
@@ -165,8 +167,12 @@ pub fn louvain_multi_gpu(
     let mut recovery: Vec<RecoveryAction> = Vec::new();
 
     // ---- phase 1: local clustering per device -----------------------------
+    // The edge-cut partitioner keeps the historical contiguous split unless
+    // a BFS-growth candidate measurably lowers the cut fraction — fewer cut
+    // edges means less structure invisible to the local phases, which is
+    // where this path loses quality.
     let local_start = Instant::now();
-    let blocks = block_ranges(n, num_blocks);
+    let (blocks, _stats) = edge_cut_members(graph, num_blocks);
     let mut local_results: Vec<(Vec<VertexId>, LocalOutcome)> = Vec::new();
     let mut cut_weight = 0.0;
     let mut local_modularities = Vec::new();
@@ -369,6 +375,59 @@ mod tests {
             }
         }
         assert!(multi.modularity > 0.6);
+    }
+
+    #[test]
+    fn aligned_cliques_pin_the_contiguous_cut() {
+        // Regression pin for the edge-cut partitioner swap: on the
+        // clique-aligned fixture the historical contiguous split is already
+        // optimal (only bridge edges cut), so the chooser must keep it —
+        // same cut, same exact clique recovery, no quality regression.
+        let g = cliques(4, 8, true);
+        let (_, stats) = cd_graph::edge_cut_owners(&g, 4);
+        let cont = cd_graph::shard_stats(
+            &g,
+            &cd_graph::contiguous_owners(g.num_vertices(), 4),
+            4,
+            cd_graph::ShardStrategy::Contiguous,
+        );
+        assert!(stats.cut_arcs <= cont.cut_arcs);
+        let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(4)).unwrap();
+        assert!(
+            (multi.cut_weight - stats.cut_weight).abs() < 1e-12,
+            "phase 1 must see exactly the chosen partition's cut ({} vs {})",
+            multi.cut_weight,
+            stats.cut_weight
+        );
+        assert!(multi.modularity > 0.6, "Q = {}", multi.modularity);
+    }
+
+    #[test]
+    fn edge_cut_partitioning_reassembles_interleaved_cliques() {
+        // Two 16-cliques interleaved by vertex id. The old contiguous split
+        // cut both cliques in half, so no local phase ever saw either one
+        // whole; the edge-cut partitioner follows the edges, reassembles
+        // them, and the 2-device run cuts nothing at all.
+        let size = 16u32;
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            for a in 0..size {
+                for b in (a + 1)..size {
+                    edges.push((2 * a + c, 2 * b + c, 1.0));
+                }
+            }
+        }
+        let g = cd_graph::csr_from_edges(2 * size as usize, &edges);
+        let multi = louvain_multi_gpu(&g, &MultiGpuConfig::k40m(2)).unwrap();
+        assert_eq!(multi.cut_weight, 0.0, "both cliques must land whole on one device");
+        for v in (2..2 * size).step_by(2) {
+            assert_eq!(multi.partition.community_of(0), multi.partition.community_of(v));
+        }
+        for v in (3..2 * size).step_by(2) {
+            assert_eq!(multi.partition.community_of(1), multi.partition.community_of(v));
+        }
+        // Two equal disconnected cliques: Q = 1/2 exactly.
+        assert!((multi.modularity - 0.5).abs() < 1e-9, "Q = {}", multi.modularity);
     }
 
     #[test]

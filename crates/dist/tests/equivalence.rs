@@ -1,0 +1,52 @@
+//! Sharded-vs-single-device equivalence, judged the honest way: the
+//! single-device oracle's own cold-run dispersion across near-identical
+//! graphs bounds how tightly *any* second method can track it, so the
+//! sharded path's quality deficit is gated against that measured band
+//! (floored at 1e-3), not against an arbitrary tolerance. `repro dist`
+//! applies the same methodology to every featured workload at the
+//! acceptance scale; this test keeps the property under `cargo test` on a
+//! size the suite can afford.
+
+use cd_core::{estimated_device_bytes, louvain_gpu, GpuLouvainConfig};
+use cd_dist::{louvain_sharded, DistConfig};
+use cd_gpusim::Device;
+use cd_graph::apply_delta;
+use cd_workloads::{churn, load, Scale};
+
+#[test]
+fn sharded_quality_stays_inside_the_oracle_dispersion_band() {
+    let cfg = GpuLouvainConfig::paper_default();
+    for name in ["road-usa", "com-dblp"] {
+        let g = load(name, Scale::Tiny).expect("suite workload").graph;
+        let oracle = louvain_gpu(&Device::k40m(), &g, &cfg).expect("oracle run");
+
+        // Cold runs on two ≤ 0.1%-churn instances — graphs a handful of
+        // edges away — measure the oracle's own per-instance variability.
+        let mut ref_qs = vec![oracle.modularity];
+        for (i, frac) in [0.0005, 0.001].into_iter().enumerate() {
+            let batch = churn(&g, 0xE0 + i as u64, frac);
+            let (patched, _) = apply_delta(&g, &batch).expect("churn applies");
+            ref_qs.push(louvain_gpu(&Device::k40m(), &patched, &cfg).expect("ref run").modularity);
+        }
+        let spread = ref_qs.iter().cloned().fold(f64::MIN, f64::max)
+            - ref_qs.iter().cloned().fold(f64::MAX, f64::min);
+        let allowance = 1e-3f64.max(spread);
+
+        // Devices sized below the graph: only the sharded path can run it.
+        let mut dcfg = DistConfig::k40m(3);
+        dcfg.gpu = cfg.clone();
+        dcfg.device.global_mem_bytes = estimated_device_bytes(&g) * 4 / 5;
+        let r = louvain_sharded(&g, &dcfg).expect("sharded run");
+
+        let deficit = (oracle.modularity - r.modularity).max(0.0);
+        assert!(
+            deficit <= allowance,
+            "{name}: sharded Q {:.6} trails oracle Q {:.6} by {deficit:.3e}, \
+             beyond the measured dispersion allowance {allowance:.3e}",
+            r.modularity,
+            oracle.modularity
+        );
+        assert_eq!(r.telemetry.lost_labels, 0, "{name}: halo exchange lost labels");
+        assert_eq!(r.telemetry.ownership_violations, 0, "{name}: ownership violated");
+    }
+}

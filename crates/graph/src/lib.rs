@@ -22,6 +22,7 @@ pub mod gen;
 pub mod io;
 pub mod modularity;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod subgraph;
 
@@ -36,5 +37,9 @@ pub use delta::{
 };
 pub use modularity::{community_aggregates, modularity, modularity_gain};
 pub use partition::{Dendrogram, Partition};
+pub use shard::{
+    bfs_owners, bfs_owners_lazy, contiguous_owners, edge_cut_members, edge_cut_owners, shard_stats,
+    Shard, ShardStats, ShardStrategy, ShardedCsr,
+};
 pub use stats::{bucket_of_degree, degree_stats, DegreeStats, PAPER_DEGREE_BUCKETS};
 pub use subgraph::{block_ranges, induced_subgraph, InducedSubgraph};

@@ -277,11 +277,12 @@ pub enum ExecPath {
         /// Total placements, including the failed ones (≥ 2).
         attempts: usize,
     },
-    /// Too large for any single device: ran through the coarse-grained
-    /// multi-device path ([`cd_core::louvain_multi_gpu`]) across the whole
-    /// pool, with its failover/degradation ladder.
+    /// Too large for any single device: ran through the sharded
+    /// out-of-core engine (`cd_dist::louvain_sharded`) across the whole
+    /// pool — one shard per device, ghost vertices, halo label exchange —
+    /// with its failover/degradation ladder.
     DevicePool {
-        /// Devices the multi-device run used.
+        /// Devices (shards) the sharded run used.
         devices: usize,
         /// True when any work item degraded to the sequential host baseline.
         degraded: bool,

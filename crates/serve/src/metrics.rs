@@ -76,6 +76,9 @@ pub(crate) struct MetricsState {
     pub retried_jobs: u64,
     pub failed_over_jobs: u64,
     pub pooled_jobs: u64,
+    pub sharded_jobs: u64,
+    pub exchange_rounds: u64,
+    pub ghost_bytes: u64,
     pub degraded_jobs: u64,
     pub delta_jobs: u64,
     pub warm_started_jobs: u64,
@@ -178,6 +181,14 @@ pub struct ServeMetrics {
     pub quarantined_devices: usize,
     /// Jobs that ran the exclusive multi-device path.
     pub pooled_jobs: u64,
+    /// Jobs that ran the sharded out-of-core engine (`cd_dist`): the graph
+    /// was split across the pool with ghost vertices and halo label
+    /// exchange because no single device could hold it.
+    pub sharded_jobs: u64,
+    /// Halo exchange rounds (supersteps) across all sharded jobs.
+    pub exchange_rounds: u64,
+    /// Bytes the halo exchanges moved across all sharded jobs.
+    pub ghost_bytes: u64,
     /// Pooled jobs whose recovery log shows sequential degradation.
     pub degraded_jobs: u64,
     /// Delta submissions received through [`crate::Server::submit_delta`]

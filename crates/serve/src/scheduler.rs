@@ -7,9 +7,10 @@
 //! scheduler accepts is one the device will not immediately reject. Jobs
 //! that fit a single device are placed best-fit (most free bytes, lowest
 //! index on ties — deterministic). Jobs too large for any device take the
-//! pooled path: an exclusive reservation of the whole pool for a
-//! coarse-grained multi-device run ([`cd_core::louvain_multi_gpu`]), which
-//! brings its own failover/degradation ladder.
+//! pooled path: an exclusive reservation of the whole pool for a sharded
+//! out-of-core run (`cd_dist::louvain_sharded` — one shard per device,
+//! ghost vertices, halo label exchange), which brings its own
+//! failover/degradation ladder.
 //!
 //! ## Circuit breakers
 //!

@@ -40,8 +40,8 @@ use crate::metrics::{LatencyStats, MetricsState, ServeMetrics};
 use crate::queue::SubmissionQueue;
 use crate::scheduler::{BreakerConfig, DevicePool, Placement};
 use cd_core::{
-    detect_communities_gated, estimated_device_bytes, louvain_multi_gpu, louvain_warm_start_gated,
-    Algorithm, GpuLouvainError, MultiGpuConfig, RecoveryAction, StageAbort, ThresholdSchedule,
+    detect_communities_gated, estimated_device_bytes, louvain_warm_start_gated, Algorithm,
+    GpuLouvainError, StageAbort, ThresholdSchedule,
 };
 use cd_gpusim::{Device, DeviceConfig};
 use cd_graph::{apply_delta, Csr, DeltaBatch};
@@ -427,6 +427,9 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
     // (pooled runs ignore warm context — the multi-device path has no
     // seeded entry point).
     let mut ran_warm = false;
+    // (exchange rounds, ghost bytes) of a sharded pooled run, for the
+    // service counters.
+    let mut sharded_telemetry: Option<(u64, u64)> = None;
     let raw: Result<(Arc<ServeResult>, ExecPath), GpuLouvainError> = match placement {
         Placement::Single(slot) => {
             let mut slot_cfg = device_cfg.with_profile(options.profile);
@@ -500,17 +503,21 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
             })
         }
         Placement::Pooled => {
-            let cfg = MultiGpuConfig {
-                num_devices,
+            // Oversized graphs run the sharded out-of-core engine: one
+            // shard per pool device, ghost copies of cut-edge neighbors,
+            // and halo label exchange between supersteps (`cd_dist`) —
+            // with the same retry/failover/sequential-degradation ladder
+            // as the single-device path.
+            let cfg = cd_dist::DistConfig {
                 gpu: options.config,
                 device: device_cfg.with_profile(options.profile),
                 sequential_fallback,
+                ..cd_dist::DistConfig::k40m(num_devices)
             };
-            louvain_multi_gpu(&graph, &cfg).map(|r| {
-                let degraded = r
-                    .recovery
-                    .iter()
-                    .any(|a| matches!(a, RecoveryAction::SequentialFallback { .. }));
+            cd_dist::louvain_sharded(&graph, &cfg).map(|r| {
+                sharded_telemetry =
+                    Some((r.telemetry.exchange_rounds as u64, r.telemetry.ghost_bytes as u64));
+                let degraded = r.telemetry.degraded;
                 let result = Arc::new(ServeResult {
                     partition: r.partition,
                     modularity: r.modularity,
@@ -546,6 +553,11 @@ fn execute(shared: &Shared, mut inner: MutexGuard<'_, Inner>, id: JobId, placeme
                 }
                 ExecPath::DevicePool { degraded, .. } => {
                     inner.metrics.pooled_jobs += 1;
+                    inner.metrics.sharded_jobs += 1;
+                    if let Some((rounds, bytes)) = sharded_telemetry {
+                        inner.metrics.exchange_rounds += rounds;
+                        inner.metrics.ghost_bytes += bytes;
+                    }
                     if degraded {
                         inner.metrics.degraded_jobs += 1;
                     }
@@ -1148,6 +1160,9 @@ impl Server {
             breaker_reinstatements: inner.pool.breaker_reinstatements(),
             quarantined_devices: inner.pool.quarantined_devices(),
             pooled_jobs: inner.metrics.pooled_jobs,
+            sharded_jobs: inner.metrics.sharded_jobs,
+            exchange_rounds: inner.metrics.exchange_rounds,
+            ghost_bytes: inner.metrics.ghost_bytes,
             degraded_jobs: inner.metrics.degraded_jobs,
             delta_jobs: inner.metrics.delta_jobs,
             warm_started_jobs: inner.metrics.warm_started_jobs,

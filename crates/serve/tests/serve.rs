@@ -292,7 +292,13 @@ fn oversized_jobs_run_the_pooled_multi_device_path() {
         }
         other => panic!("expected the pooled path, got {other:?}"),
     }
-    assert_eq!(server.metrics().pooled_jobs, 1);
+    let m = server.metrics();
+    assert_eq!(m.pooled_jobs, 1);
+    // The pooled path is the sharded out-of-core engine: the job must be
+    // counted as sharded, with actual halo exchange traffic on record.
+    assert_eq!(m.sharded_jobs, 1);
+    assert!(m.exchange_rounds > 0, "a sharded run supersteps at least once");
+    assert!(m.ghost_bytes > 0, "cut edges must have produced ghost updates");
 }
 
 #[test]

@@ -9,8 +9,10 @@
 //! extreme sparsity and diameter (road/OSM), and explicit community structure
 //! (`com-*`, with ground truth).
 //!
-//! Every workload builds at four [`Scale`]s so tests stay fast while the
-//! reproduction harness can run at a size where parallelism pays.
+//! Every workload builds at five [`Scale`]s so tests stay fast while the
+//! reproduction harness can run at a size where parallelism pays — up to
+//! [`Scale::Huge`], sized past a single modeled device for the sharded
+//! out-of-core path.
 
 #![warn(missing_docs)]
 
@@ -69,6 +71,10 @@ pub enum Scale {
     Medium,
     /// Around a million vertices — the slow, faithful runs.
     Large,
+    /// Several million vertices, tens of millions of edges — deliberately
+    /// bigger than one modeled device's memory, for the sharded out-of-core
+    /// path (`repro dist`). Expect minutes per run.
+    Huge,
 }
 
 impl Scale {
@@ -79,17 +85,20 @@ impl Scale {
             Scale::Small => 8,
             Scale::Medium => 32,
             Scale::Large => 128,
+            Scale::Huge => 512,
         }
     }
 
-    /// Parses `tiny|small|medium|large` (case-insensitive). `smoke` is an
-    /// alias for `tiny` — the name CI steps use for their fastest runs.
+    /// Parses `tiny|small|medium|large|huge` (case-insensitive). `smoke` is
+    /// an alias for `tiny` — the name CI steps use for their fastest runs —
+    /// and `xl` for `huge`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "tiny" | "smoke" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "large" => Some(Scale::Large),
+            "huge" | "xl" => Some(Scale::Huge),
             _ => None,
         }
     }
@@ -650,6 +659,27 @@ mod tests {
         assert_eq!(Scale::parse("x"), None);
         assert_eq!(Scale::parse("smoke"), Some(Scale::Tiny));
         assert!(Scale::Large.factor() > Scale::Tiny.factor());
+    }
+
+    #[test]
+    fn scale_parse_round_trips_every_tier() {
+        let all = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large, Scale::Huge];
+        for s in all {
+            let name = format!("{s:?}").to_ascii_lowercase();
+            assert_eq!(Scale::parse(&name), Some(s), "{name} must round-trip");
+        }
+        // Tiers are strictly ordered by factor.
+        for pair in all.windows(2) {
+            assert!(pair[0].factor() < pair[1].factor());
+        }
+    }
+
+    #[test]
+    fn huge_tier_parses_with_alias() {
+        assert_eq!(Scale::parse("huge"), Some(Scale::Huge));
+        assert_eq!(Scale::parse("HUGE"), Some(Scale::Huge));
+        assert_eq!(Scale::parse("xl"), Some(Scale::Huge));
+        assert_eq!(Scale::Huge.factor(), 512);
     }
 
     #[test]

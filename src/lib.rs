@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's algorithm: binned `computeMove`, parallel aggregation, driver |
 //! | [`baselines`] | sequential Louvain, CPU-parallel Louvain, PLM |
 //! | [`workloads`] | the synthetic Table 1 stand-in suite |
+//! | [`dist`] | partitioned out-of-core execution: sharded CSR, ghost vertices, halo exchange |
 //! | [`serve`] | the batched service: job API, admission control, device pool, result cache |
 //!
 //! ## Quick start
@@ -47,6 +48,7 @@
 
 pub use cd_baselines as baselines;
 pub use cd_core as core;
+pub use cd_dist as dist;
 pub use cd_gpusim as gpusim;
 pub use cd_graph as graph;
 pub use cd_serve as serve;
@@ -63,6 +65,7 @@ pub mod prelude {
         Algorithm, GpuLouvainConfig, GpuLouvainError, GpuLouvainResult, LpaMode, MultiGpuConfig,
         MultiGpuResult, RecoveryAction, RetryPolicy,
     };
+    pub use cd_dist::{fits_single_device, louvain_sharded, DistConfig, DistResult};
     pub use cd_gpusim::{Device, DeviceConfig, FaultPlan, FaultStats, LaunchError, Profile};
     pub use cd_graph::{modularity, Csr, Dendrogram, GraphBuilder, Partition};
     pub use cd_serve::{
